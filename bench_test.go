@@ -1,0 +1,155 @@
+package pkgrec
+
+// One benchmark per evaluation artefact of the paper: every row group of
+// Table 8.1 (combined complexity) and Table 8.2 (data complexity), the
+// Figure 4.1 gadget machinery, and the special-case/ablation rows of
+// Corollaries 6.1–6.3, Theorem 6.4, 7.3 and 8.2. The benchmarks reuse the
+// instance families of internal/experiments, at a fixed mid-range
+// parameter; run `go run ./cmd/recbench` for the full scaling series the
+// tables report.
+
+import (
+	"testing"
+
+	"repro/internal/boolenc"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/query"
+)
+
+// benchFamily runs one experiment family at the given parameter.
+func benchFamily(b *testing.B, fams []experiments.Family, id string, param int) {
+	b.Helper()
+	for _, f := range fams {
+		if f.ID != id {
+			continue
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Run(param); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	b.Fatalf("unknown experiment family %q", id)
+}
+
+func t81(b *testing.B, id string, param int) {
+	benchFamily(b, experiments.Table81(false), id, param)
+}
+
+func t82(b *testing.B, id string, param int) {
+	benchFamily(b, experiments.Table82(false), id, param)
+}
+
+func abl(b *testing.B, id string, param int) {
+	benchFamily(b, experiments.Ablations(false), id, param)
+}
+
+// --- Table 8.1: combined complexity ---
+
+func BenchmarkTable81RPPCQWithQc(b *testing.B)  { t81(b, "T81-RPP-CQ-Qc", 2) }
+func BenchmarkTable81RPPCQNoQc(b *testing.B)    { t81(b, "T81-RPP-CQ-noQc", 3) }
+func BenchmarkTable81RPPDatalogNR(b *testing.B) { t81(b, "T81-RPP-DATALOGnr", 8) }
+func BenchmarkTable81RPPFO(b *testing.B)        { t81(b, "T81-RPP-FO", 3) }
+func BenchmarkTable81RPPDatalog(b *testing.B)   { t81(b, "T81-RPP-DATALOG", 8) }
+
+func BenchmarkTable81FRPCQWithQc(b *testing.B)  { t81(b, "T81-FRP-CQ-Qc", 2) }
+func BenchmarkTable81FRPCQNoQc(b *testing.B)    { t81(b, "T81-FRP-CQ-noQc", 3) }
+func BenchmarkTable81FRPDatalogNR(b *testing.B) { t81(b, "T81-FRP-DATALOGnr", 8) }
+func BenchmarkTable81FRPFO(b *testing.B)        { t81(b, "T81-FRP-FO", 3) }
+func BenchmarkTable81FRPDatalog(b *testing.B)   { t81(b, "T81-FRP-DATALOG", 8) }
+
+func BenchmarkTable81MBPCQWithQc(b *testing.B)  { t81(b, "T81-MBP-CQ-Qc", 2) }
+func BenchmarkTable81MBPCQNoQc(b *testing.B)    { t81(b, "T81-MBP-CQ-noQc", 3) }
+func BenchmarkTable81MBPDatalogNR(b *testing.B) { t81(b, "T81-MBP-DATALOGnr", 8) }
+func BenchmarkTable81MBPFO(b *testing.B)        { t81(b, "T81-MBP-FO", 3) }
+func BenchmarkTable81MBPDatalog(b *testing.B)   { t81(b, "T81-MBP-DATALOG", 8) }
+
+func BenchmarkTable81CPPCQWithQc(b *testing.B)     { t81(b, "T81-CPP-CQ-Qc", 2) }
+func BenchmarkTable81CPPCQNoQc(b *testing.B)       { t81(b, "T81-CPP-CQ-noQc", 2) }
+func BenchmarkTable81CPPDatalogNR(b *testing.B)    { t81(b, "T81-CPP-DATALOGnr", 8) }
+func BenchmarkTable81CPPDatalogNRQBF(b *testing.B) { t81(b, "T81-CPP-DATALOGnr-QBF", 8) }
+func BenchmarkTable81CPPFO(b *testing.B)           { t81(b, "T81-CPP-FO", 3) }
+func BenchmarkTable81CPPDatalog(b *testing.B)      { t81(b, "T81-CPP-DATALOG", 8) }
+
+func BenchmarkTable81QRPPCQWithQc(b *testing.B)  { t81(b, "T81-QRPP-CQ", 2) }
+func BenchmarkTable81QRPPCQNoQc(b *testing.B)    { t81(b, "T81-QRPP-CQ-noQc", 2) }
+func BenchmarkTable81QRPPDatalogNR(b *testing.B) { t81(b, "T81-QRPP-DATALOGnr", 8) }
+func BenchmarkTable81QRPPDatalog(b *testing.B)   { t81(b, "T81-QRPP-DATALOG", 8) }
+
+func BenchmarkTable81ARPPCQWithQc(b *testing.B)  { t81(b, "T81-ARPP-CQ-Qc", 2) }
+func BenchmarkTable81ARPPDatalogNR(b *testing.B) { t81(b, "T81-ARPP-DATALOGnr", 8) }
+func BenchmarkTable81ARPPDatalog(b *testing.B)   { t81(b, "T81-ARPP-DATALOG", 8) }
+
+// --- Table 8.2: data complexity ---
+
+func BenchmarkTable82RPPPolyBound(b *testing.B)  { t82(b, "T82-RPP-poly", 4) }
+func BenchmarkTable82FRPPolyBound(b *testing.B)  { t82(b, "T82-FRP-poly", 4) }
+func BenchmarkTable82MBPPolyBound(b *testing.B)  { t82(b, "T82-MBP-poly", 4) }
+func BenchmarkTable82CPPPolyBound(b *testing.B)  { t82(b, "T82-CPP-poly", 4) }
+func BenchmarkTable82QRPPPolyBound(b *testing.B) { t82(b, "T82-QRPP-poly", 4) }
+func BenchmarkTable82ARPPItems(b *testing.B)     { t82(b, "T82-ARPP-poly", 2) }
+
+func BenchmarkTable82RPPConstBound(b *testing.B) { t82(b, "T82-RPP-const", 160) }
+func BenchmarkTable82FRPConstBound(b *testing.B) { t82(b, "T82-FRP-const", 160) }
+func BenchmarkTable82MBPConstBound(b *testing.B) { t82(b, "T82-MBP-const", 160) }
+func BenchmarkTable82CPPConstBound(b *testing.B) { t82(b, "T82-CPP-const", 160) }
+
+// --- Corollaries and ablations ---
+
+func BenchmarkCorollary61FixedVsPoly(b *testing.B) { abl(b, "ABL-SP-fixed", 4) }
+func BenchmarkCorollary62SPVariable(b *testing.B)  { abl(b, "ABL-SP-variable", 4) }
+func BenchmarkCorollary63PtimeQc(b *testing.B)     { abl(b, "ABL-Qc-ptime", 160) }
+func BenchmarkTheorem64Items(b *testing.B)         { abl(b, "ABL-items", 160) }
+func BenchmarkAblationOracleFRP(b *testing.B)      { abl(b, "ABL-FRP-oracle", 3) }
+func BenchmarkCorollary73ItemRelax(b *testing.B)   { t81(b, "T81-QRPP-CQ-noQc", 2) }
+func BenchmarkCorollary82ItemAdjust(b *testing.B)  { t82(b, "T82-ARPP-poly", 2) }
+
+// BenchmarkAblationParallelCPP compares the worker-pool CPP counter against
+// the sequential one (BenchmarkTable82CPPPolyBound) on the same family.
+func BenchmarkAblationParallelCPP(b *testing.B) {
+	c := experiments.HardCPPProblem(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CountValidParallel(0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 4.1: the Boolean gadget relations ---
+
+// BenchmarkFigure41Gadgets compiles and evaluates a gadget-encoded formula
+// over the Figure 4.1 relations: the primitive every hardness reduction in
+// the repository is built from.
+func BenchmarkFigure41Gadgets(b *testing.B) {
+	db := boolenc.NewDB()
+	vars := boolenc.VarNames("x", 4)
+	formula := boolenc.Or{Subs: []boolenc.Formula{
+		boolenc.And{Subs: []boolenc.Formula{boolenc.Var("x0"), boolenc.Not{Sub: boolenc.Var("x1")}}},
+		boolenc.And{Subs: []boolenc.Formula{boolenc.Var("x2"), boolenc.Var("x3")}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp := &boolenc.Compiler{}
+		out := comp.Compile(formula)
+		comp.AssertEq(out, true)
+		atoms := append(boolenc.AssignmentAtoms(vars), comp.Atoms()...)
+		q := query.NewCQ("Q", nil, atoms...)
+		if _, err := q.Eval(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExampleWorkloadTopK measures the quickstart-style travel
+// workload through the public API (the realistic, non-reduction path).
+func BenchmarkExampleWorkloadTopK(b *testing.B) {
+	fams := experiments.Table82(false)
+	benchFamily(b, fams, "T82-FRP-const", 320)
+}
+
+// Silence unused-import lint for core when bench selection changes.
+var _ = core.Count

@@ -1,0 +1,173 @@
+// Command pkgrec runs package recommendation problems from JSON
+// specifications:
+//
+//	pkgrec -db db.json -spec problem.json -op topk
+//
+// Operations: topk (FRP), maxbound (MBP), count (CPP, uses spec.bound),
+// exists (k valid packages rated >= bound?), answer (just evaluate Q).
+// The database format is the internal/relation JSON codec; the spec format
+// is pkgrec.ProblemSpec (queries in the textual syntax of internal/parser).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	pkgrec "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pkgrec: ")
+	var (
+		dbPath    = flag.String("db", "", "database JSON file")
+		specPath  = flag.String("spec", "", "problem specification JSON file")
+		op        = flag.String("op", "topk", "operation: topk | maxbound | count | exists | answer | relax | adjust")
+		relaxPath = flag.String("relax", "", "relaxation specification JSON file (op=relax)")
+		extraPath = flag.String("extra", "", "extra item collection D' JSON file (op=adjust)")
+		adjPath   = flag.String("adjust", "", "adjustment specification JSON file (op=adjust)")
+	)
+	flag.Parse()
+	if *dbPath == "" || *specPath == "" {
+		log.Fatal("both -db and -spec are required")
+	}
+
+	dbFile, err := os.Open(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dbFile.Close()
+	db, err := readDatabase(dbFile)
+	if err != nil {
+		log.Fatalf("loading database: %v", err)
+	}
+
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var spec pkgrec.ProblemSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		log.Fatalf("parsing spec: %v", err)
+	}
+	prob, err := spec.Build(db)
+	if err != nil {
+		log.Fatalf("building problem: %v", err)
+	}
+
+	switch *op {
+	case "answer":
+		ans, err := prob.Q.Eval(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q(D): %d items\n%v\n", ans.Len(), ans)
+	case "topk":
+		sel, ok, err := pkgrec.FindTopK(prob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Println("no top-k selection exists")
+			os.Exit(2)
+		}
+		for i, n := range sel {
+			fmt.Printf("package #%d (val %g, cost %g): %v\n",
+				i+1, prob.Val.Eval(n), prob.Cost.Eval(n), n)
+		}
+	case "maxbound":
+		b, ok, err := pkgrec.MaxBound(prob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Println("no top-k selection exists; no bound")
+			os.Exit(2)
+		}
+		fmt.Printf("maximum bound B = %g\n", b)
+	case "count":
+		n, err := pkgrec.CountValid(prob, spec.Bound)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("valid packages rated >= %g: %d\n", spec.Bound, n)
+	case "exists":
+		ok, err := prob.ExistsKValid(prob.K, spec.Bound)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d valid packages rated >= %g exist: %v\n", prob.K, spec.Bound, ok)
+		if !ok {
+			os.Exit(2)
+		}
+	case "relax":
+		if *relaxPath == "" {
+			log.Fatal("-relax spec file required for op=relax")
+		}
+		raw, err := os.ReadFile(*relaxPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rs pkgrec.RelaxSpec
+		if err := json.Unmarshal(raw, &rs); err != nil {
+			log.Fatalf("parsing relax spec: %v", err)
+		}
+		inst, err := rs.Build(prob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel, ok, err := pkgrec.RelaxQuery(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Printf("no relaxation within gap budget %g\n", rs.GapBudget)
+			os.Exit(2)
+		}
+		fmt.Printf("minimal relaxation gap %g\nrelaxed query:\n%s\n", rel.Gap, rel.Query)
+	case "adjust":
+		if *extraPath == "" || *adjPath == "" {
+			log.Fatal("-extra and -adjust files required for op=adjust")
+		}
+		ef, err := os.Open(*extraPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ef.Close()
+		extra, err := readDatabase(ef)
+		if err != nil {
+			log.Fatalf("loading extra collection: %v", err)
+		}
+		raw, err := os.ReadFile(*adjPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var as pkgrec.AdjustSpec
+		if err := json.Unmarshal(raw, &as); err != nil {
+			log.Fatalf("parsing adjust spec: %v", err)
+		}
+		delta, ok, err := pkgrec.AdjustItems(as.Build(prob, extra))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Printf("no adjustment within k' = %d\n", as.KPrime)
+			os.Exit(2)
+		}
+		fmt.Printf("minimal adjustment (|delta| = %d): %v\n", delta.Size(), delta)
+	default:
+		log.Fatalf("unknown operation %q", *op)
+	}
+}
+
+func readDatabase(f *os.File) (*pkgrec.Database, error) {
+	db := pkgrec.NewDatabase()
+	dec := json.NewDecoder(f)
+	if err := dec.Decode(db); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

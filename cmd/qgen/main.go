@@ -1,0 +1,44 @@
+// Command qgen generates the synthetic workloads of internal/gen as JSON
+// databases on stdout:
+//
+//	qgen -workload travel -seed 7 -n 30 -m 24 > travel.json
+//	qgen -workload courses -seed 21 -n 10 -m 2 > courses.json
+//	qgen -workload team -seed 5 -n 12 -rate 0.15 > team.json
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qgen: ")
+	var (
+		workload = flag.String("workload", "travel", "travel | courses | team")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		n        = flag.Int("n", 20, "primary size (flights / courses / experts)")
+		m        = flag.Int("m", 15, "secondary size (POIs / max prerequisites)")
+		rate     = flag.Float64("rate", 0.2, "conflict rate (team workload)")
+	)
+	flag.Parse()
+
+	var db *relation.Database
+	switch *workload {
+	case "travel":
+		db = gen.Travel(*seed, *n, *m)
+	case "courses":
+		db = gen.Courses(*seed, *n, *m)
+	case "team":
+		db = gen.Team(*seed, *n, *rate)
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+	if err := db.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

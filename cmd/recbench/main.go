@@ -1,0 +1,55 @@
+// Command recbench regenerates the paper's evaluation artefacts — Table 8.1
+// (combined complexity) and Table 8.2 (data complexity) plus the ablation
+// rows — as measured scaling series:
+//
+//	recbench            # full run
+//	recbench -quick     # smaller parameters
+//	recbench -table 82  # one table only (81 | 82 | abl | all)
+//
+// Absolute times are machine-dependent; the reproduced signal is the growth
+// shape per row (exponential for the hard settings, polynomial for the
+// constant-bound and item settings), matching the paper's complexity
+// classes. EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("recbench: ")
+	var (
+		quick = flag.Bool("quick", false, "use smaller instance parameters")
+		table = flag.String("table", "all", "which table to run: 81 | 82 | abl | all")
+	)
+	flag.Parse()
+
+	run := func(title string, fams []experiments.Family) {
+		rows := experiments.RunAll(fams)
+		fmt.Println(experiments.Render(title, rows))
+		for _, r := range rows {
+			if r.Err != nil {
+				log.Fatalf("row %s failed: %v", r.Family.ID, r.Err)
+			}
+		}
+	}
+	switch *table {
+	case "81":
+		run("Table 8.1 — combined complexity (measured scaling)", experiments.Table81(*quick))
+	case "82":
+		run("Table 8.2 — data complexity (measured scaling)", experiments.Table82(*quick))
+	case "abl":
+		run("Ablations (design choices)", experiments.Ablations(*quick))
+	case "all":
+		run("Table 8.1 — combined complexity (measured scaling)", experiments.Table81(*quick))
+		run("Table 8.2 — data complexity (measured scaling)", experiments.Table82(*quick))
+		run("Ablations (design choices)", experiments.Ablations(*quick))
+	default:
+		log.Fatalf("unknown table %q", *table)
+	}
+}

@@ -1,0 +1,74 @@
+// Grouptrip demonstrates the group recommendation extension the paper's
+// conclusion points to (Section 9, citing Amer-Yahia et al. [5]): a family
+// of three plans a day of nyc sightseeing; each member rates POI types
+// differently, and the system recommends packages under least-misery and
+// average-satisfaction semantics — two different consensus functions over
+// the same package model, so RPP/FRP/MBP/CPP apply unchanged.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pkgrec "repro"
+	"repro/internal/gen"
+)
+
+// tastes maps POI types to a user's per-visit enjoyment.
+func taste(prefs map[string]float64) pkgrec.Aggregator {
+	return pkgrec.AggFunc("taste", func(n pkgrec.Package) float64 {
+		var s float64
+		for _, t := range n.Tuples() {
+			s += prefs[t[1].Text()]
+		}
+		return s
+	})
+}
+
+func main() {
+	db := gen.Travel(13, 10, 30)
+
+	q, err := pkgrec.ParseQuery(`
+		RQ(name, type, ticket, time) :- poi(name, "nyc", type, ticket, time).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := &pkgrec.Problem{
+		DB: db, Q: q,
+		Cost:   pkgrec.SumAttr(3).WithMonotone(), // total visiting time
+		Budget: 360,                              // six hours
+		Val:    pkgrec.ConstAgg(0),               // replaced per group semantics
+		K:      1,
+	}
+
+	users := []pkgrec.Aggregator{
+		taste(map[string]float64{"museum": 5, "gallery": 4, "park": 1, "theater": 2, "landmark": 2}),
+		taste(map[string]float64{"museum": 1, "gallery": 1, "park": 5, "theater": 4, "landmark": 3}),
+		taste(map[string]float64{"museum": 3, "gallery": 2, "park": 3, "theater": 3, "landmark": 3}),
+	}
+
+	for _, sem := range []pkgrec.GroupSemantics{
+		pkgrec.LeastMisery, pkgrec.AverageSatisfaction, pkgrec.AverageMinusDisagreement,
+	} {
+		prob, err := pkgrec.GroupProblem(base, users, sem, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel, ok, err := pkgrec.FindTopK(prob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Printf("%v: no feasible package\n", sem)
+			continue
+		}
+		fmt.Printf("\n%v: group rating %.1f, visiting time %.0f min\n",
+			sem, prob.Val.Eval(sel[0]), prob.Cost.Eval(sel[0]))
+		for _, t := range sel[0].Tuples() {
+			fmt.Printf("  %v (%v, %v min)\n", t[0], t[1], t[3])
+		}
+		for ui, u := range users {
+			fmt.Printf("  user %d satisfaction: %.0f\n", ui+1, u.Eval(sel[0]))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Quickstart reproduces Example 1.1 of the paper: recommend top-3 travel
+// packages. Items are (flight, POI) pairs joining direct flights out of
+// Edinburgh with points of interest at the destination; a package must use
+// a single flight and visit at most two museums (compatibility constraints
+// expressed as a UCQ over the package relation RQ); the cost budget caps
+// total visiting time; packages are ranked by (negated) total price.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pkgrec "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	db := gen.Travel(7, 30, 24)
+
+	// Selection criteria Q: direct flights from edi paired with POIs at the
+	// destination city (Example 1.1's conjunctive query).
+	q, err := pkgrec.ParseQuery(`
+		RQ(f, price, name, type, ticket, time) :-
+			flight(f, "edi", city, d, price, dur),
+			poi(name, city, type, ticket, time).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compatibility constraints Qc as a union of conjunctive queries:
+	// (1) all items share one flight; (2) at most two museums.
+	qc, err := pkgrec.ParseQuery(`
+		Qc() :- RQ(f1, p1, n1, t1, k1, m1), RQ(f2, p2, n2, t2, k2, m2), f1 != f2.
+		Qc() :- RQ(f, p, n1, "museum", k1, m1),
+		        RQ(f, p, n2, "museum", k2, m2),
+		        RQ(f, p, n3, "museum", k3, m3),
+		        n1 != n2, n1 != n3, n2 != n3.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// cost(N): total visiting time (attribute 5), budget C = 8 hours.
+	// val(N): the lower the flight price plus total tickets, the higher the
+	// rating — the aggregate of Example 1.1.
+	val := pkgrec.AggFunc("negTotalPrice", func(n pkgrec.Package) float64 {
+		if n.IsEmpty() {
+			return 0
+		}
+		total := n.Tuples()[0][1].Float64() // shared flight price
+		for _, t := range n.Tuples() {
+			total += t[4].Float64() // ticket
+		}
+		return -total
+	})
+
+	prob := &pkgrec.Problem{
+		DB:     db,
+		Q:      q,
+		Qc:     qc,
+		Cost:   pkgrec.SumAttr(5).WithMonotone(),
+		Val:    val,
+		Budget: 480,
+		K:      3,
+	}
+
+	cands, err := prob.Candidates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("items matching Q(D): %d\n", cands.Len())
+
+	sel, ok, err := pkgrec.FindTopK(prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		fmt.Println("no top-3 selection exists (fewer than 3 valid packages)")
+		return
+	}
+	for i, n := range sel {
+		fmt.Printf("\npackage #%d  rating %.0f  visiting time %.0f min\n",
+			i+1, val.Eval(n), prob.Cost.Eval(n))
+		for _, t := range n.Tuples() {
+			fmt.Printf("  flight %v ($%v) -> %v (%v, ticket $%v, %v min)\n",
+				t[0], t[1], t[2], t[3], t[4], t[5])
+		}
+	}
+
+	// RPP: the engine's own answer must verify as a top-k selection.
+	accept, witness, err := pkgrec.DecideTopK(prob, sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRPP check: selection verified = %v (witness: %v)\n", accept, witness)
+
+	// MBP and CPP on the same instance.
+	b, _, err := pkgrec.MaxBound(prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count, err := pkgrec.CountValid(prob, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MBP: maximum rating bound B = %.0f; CPP: %d valid packages rated >= B\n", b, count)
+}

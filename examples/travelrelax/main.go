@@ -1,0 +1,89 @@
+// Travelrelax reproduces Example 7.1 (query relaxation) and the adjustment
+// recommendation of Section 8 on the same data: there is no direct
+// edi → nyc flight, so QRPP recommends relaxing the destination within 15
+// miles (finding Newark), and ARPP recommends the vendor add a direct
+// flight from the extra collection D′.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pkgrec "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	db := gen.Travel(11, 25, 10)
+
+	q, err := pkgrec.ParseQuery(`Q(f, price) :- flight(f, "edi", "nyc", d, price, dur).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := q.Eval(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct edi -> nyc flights: %d (the user gets no recommendation)\n", ans.Len())
+
+	// ---- Query relaxation recommendation (Section 7) ----
+	prob := &pkgrec.Problem{
+		DB: db, Q: q,
+		Cost: pkgrec.CountOrInf(), Val: pkgrec.Count(), Budget: 1, K: 1,
+	}
+	points, err := pkgrec.RelaxPoints(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	city := pkgrec.TableMetric("citydist", gen.CityDistances())
+	var chosen []pkgrec.RelaxPoint
+	for _, p := range points {
+		chosen = append(chosen, p.WithMetric(city))
+	}
+	rel, ok, err := pkgrec.RelaxQuery(pkgrec.RelaxInstance{
+		Problem:   prob,
+		Points:    chosen,
+		Bound:     1,  // at least one flight in a package
+		GapBudget: 15, // the user accepts cities within 15 miles
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		fmt.Println("QRPP: no relaxation within gap 15")
+	} else {
+		fmt.Printf("QRPP: relax with gap %.0f miles; relaxed query:\n  %s\n", rel.Gap, rel.Query)
+		relAns, err := rel.Query.Eval(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range relAns.Tuples() {
+			fmt.Printf("  reachable flight: fno %v, $%v\n", t[0], t[1])
+		}
+	}
+
+	// ---- Adjustment recommendation (Section 8) ----
+	// The vendor's candidate additions D′: two direct edi → nyc flights.
+	extra := pkgrec.NewDatabase()
+	extra.Add(pkgrec.FromTuples(
+		pkgrec.NewSchema("flight", "fno", "from", "to", "date", "price", "duration"),
+		pkgrec.NewTuple(pkgrec.Int(900), pkgrec.Str("edi"), pkgrec.Str("nyc"),
+			pkgrec.Int(1), pkgrec.Int(640), pkgrec.Int(420)),
+		pkgrec.NewTuple(pkgrec.Int(901), pkgrec.Str("edi"), pkgrec.Str("nyc"),
+			pkgrec.Int(2), pkgrec.Int(580), pkgrec.Int(430))))
+
+	delta, ok, err := pkgrec.AdjustItems(pkgrec.AdjustInstance{
+		Problem: prob,
+		Extra:   extra,
+		Bound:   1,
+		KPrime:  1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		fmt.Println("ARPP: no adjustment within k' = 1")
+		return
+	}
+	fmt.Printf("ARPP: minimal adjustment %v (|delta| = %d)\n", delta, delta.Size())
+}

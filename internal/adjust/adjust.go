@@ -1,0 +1,216 @@
+// Package adjust implements the adjustment recommendations of Section 8:
+// when the item collection D cannot satisfy users' requests, find a bounded
+// set Δ(D, D′) of modifications — deletions of tuples from D and insertions
+// of tuples drawn from an additional collection D′ — such that D ⊕ Δ(D, D′)
+// admits k distinct valid packages rated at least B. ARPP asks whether such
+// a Δ with |Δ| ≤ k′ exists; Decide answers it and returns a minimum-size
+// witness.
+package adjust
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Edit is a single adjustment: a tuple to delete from or insert into a named
+// relation of D.
+type Edit struct {
+	Rel    string
+	Tuple  relation.Tuple
+	Insert bool // true = insertion from D′, false = deletion from D
+}
+
+// String renders the edit.
+func (e Edit) String() string {
+	op := "-"
+	if e.Insert {
+		op = "+"
+	}
+	return fmt.Sprintf("%s%s%s", op, e.Rel, e.Tuple)
+}
+
+// Delta is a set of adjustments Δ(D, D′).
+type Delta struct {
+	Edits []Edit
+}
+
+// Size returns |Δ|.
+func (d Delta) Size() int { return len(d.Edits) }
+
+// String renders the adjustment set.
+func (d Delta) String() string {
+	parts := make([]string, len(d.Edits))
+	for i, e := range d.Edits {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Apply returns D ⊕ Δ(D, D′) as a new database; D is not modified.
+// Inserting into a relation absent from D creates it with the schema found
+// in D′ (via the edit's tuple arity).
+func Apply(db *relation.Database, schemas map[string]*relation.Schema, d Delta) (*relation.Database, error) {
+	out := db.Clone()
+	for _, e := range d.Edits {
+		r := out.Relation(e.Rel)
+		if r == nil {
+			if !e.Insert {
+				return nil, fmt.Errorf("adjust: deletion from unknown relation %q", e.Rel)
+			}
+			schema := schemas[e.Rel]
+			if schema == nil {
+				schema = relation.AutoSchema(e.Rel, len(e.Tuple))
+			}
+			r = relation.NewRelation(schema)
+			out.Add(r)
+		}
+		if e.Insert {
+			if err := r.Insert(e.Tuple); err != nil {
+				return nil, err
+			}
+		} else {
+			r.Delete(e.Tuple)
+		}
+	}
+	return out, nil
+}
+
+// Instance is an ARPP instance: the recommendation problem over D, the
+// additional collection D′, the rating bound B and the adjustment budget k′.
+type Instance struct {
+	Problem *core.Problem
+	Extra   *relation.Database // D′: candidate insertions
+	Bound   float64            // B
+	KPrime  int                // k′: |Δ| ≤ k′
+}
+
+// universe lists every possible edit in a deterministic order: deletions of
+// the tuples of D (relations in insertion order, tuples in canonical order),
+// then insertions of the tuples of D′ not already present in D.
+func (inst Instance) universe() []Edit {
+	var edits []Edit
+	db := inst.Problem.DB
+	for _, name := range db.Names() {
+		for _, t := range db.Relation(name).Sorted().Tuples() {
+			edits = append(edits, Edit{Rel: name, Tuple: t})
+		}
+	}
+	if inst.Extra != nil {
+		for _, name := range inst.Extra.Names() {
+			existing := db.Relation(name)
+			for _, t := range inst.Extra.Relation(name).Sorted().Tuples() {
+				if existing != nil && existing.Contains(t) {
+					continue
+				}
+				edits = append(edits, Edit{Rel: name, Tuple: t, Insert: true})
+			}
+		}
+	}
+	return edits
+}
+
+// extraSchemas maps D′ relation names to schemas, for insertions that
+// create new relations in D.
+func (inst Instance) extraSchemas() map[string]*relation.Schema {
+	m := map[string]*relation.Schema{}
+	if inst.Extra != nil {
+		for _, name := range inst.Extra.Names() {
+			m[name] = inst.Extra.Relation(name).Schema()
+		}
+	}
+	return m
+}
+
+// Decide solves ARPP: does a package adjustment Δ(D, D′) with |Δ| ≤ k′
+// exist such that k distinct valid packages rated at least B exist over
+// D ⊕ Δ? Adjustments are searched in order of increasing size, so the
+// returned witness is minimum; size 0 succeeds when D already satisfies the
+// users' requests.
+func Decide(inst Instance) (*Delta, bool, error) {
+	return decide(inst, func(db *relation.Database) (bool, error) {
+		prob := *inst.Problem
+		prob.DB = db
+		prob.InvalidateCache()
+		return prob.ExistsKValid(inst.Problem.K, inst.Bound)
+	})
+}
+
+// DecideItems solves ARPP for item selections (Corollary 8.2): does an
+// adjustment with |Δ| ≤ k′ yield k distinct items rated at least B by the
+// utility function?
+func DecideItems(db *relation.Database, extra *relation.Database, q query.Query,
+	f core.Utility, bound float64, k, kPrime int) (*Delta, bool, error) {
+	inst := Instance{
+		Problem: core.ItemProblem(db, q, f, k),
+		Extra:   extra,
+		Bound:   bound,
+		KPrime:  kPrime,
+	}
+	return decide(inst, func(adjusted *relation.Database) (bool, error) {
+		ans, err := q.Eval(adjusted)
+		if err != nil {
+			return false, err
+		}
+		n := 0
+		for _, t := range ans.Tuples() {
+			if f(t) >= bound {
+				n++
+			}
+		}
+		return n >= k, nil
+	})
+}
+
+// decide enumerates adjustment sets of increasing size and tests each with
+// the supplied feasibility predicate.
+func decide(inst Instance, feasible func(*relation.Database) (bool, error)) (*Delta, bool, error) {
+	universe := inst.universe()
+	schemas := inst.extraSchemas()
+	idx := make([]int, 0, inst.KPrime)
+	var found *Delta
+	var rec func(start, need int) (bool, error)
+	rec = func(start, need int) (bool, error) {
+		if need == 0 {
+			edits := make([]Edit, len(idx))
+			for i, j := range idx {
+				edits[i] = universe[j]
+			}
+			d := Delta{Edits: edits}
+			db, err := Apply(inst.Problem.DB, schemas, d)
+			if err != nil {
+				return false, err
+			}
+			ok, err := feasible(db)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				found = &d
+			}
+			return ok, nil
+		}
+		for j := start; j+need <= len(universe)+1 && j < len(universe); j++ {
+			idx = append(idx, j)
+			done, err := rec(j+1, need-1)
+			idx = idx[:len(idx)-1]
+			if err != nil || done {
+				return done, err
+			}
+		}
+		return false, nil
+	}
+	for size := 0; size <= inst.KPrime; size++ {
+		done, err := rec(0, size)
+		if err != nil {
+			return nil, false, err
+		}
+		if done {
+			return found, true, nil
+		}
+	}
+	return nil, false, nil
+}

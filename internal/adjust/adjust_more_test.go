@@ -1,0 +1,109 @@
+package adjust
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func TestDecideWithNilExtra(t *testing.T) {
+	// Only deletions available: removing a museum fixes a "no more than two
+	// items" requirement expressed through val.
+	db := poiDB()
+	prob := &core.Problem{
+		DB: db,
+		Q:  query.Identity("RQ", db.Relation("poi")),
+		Val: core.Func("exactlyTwo", func(p core.Package) float64 {
+			if p.Len() == 2 {
+				return 1
+			}
+			return 0
+		}),
+		Cost:   core.CountOrInf(),
+		Budget: 10,
+		K:      3, // three distinct 2-item packages require ≥ 3 items: C(3,2) = 3
+	}
+	inst := Instance{Problem: prob, Extra: nil, Bound: 1, KPrime: 1}
+	delta, ok, err := Decide(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || delta.Size() != 0 {
+		t.Fatalf("three museums already give three pairs: ok=%v delta=%v", ok, delta)
+	}
+	// Demanding six pairs needs a fourth item, which nil Extra cannot give.
+	prob.K = 6
+	_, ok, err = Decide(Instance{Problem: prob, Extra: nil, Bound: 1, KPrime: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("no insertions available: six pairs are impossible")
+	}
+}
+
+func TestDecidePropagatesEvaluationErrors(t *testing.T) {
+	db := poiDB()
+	prob := &core.Problem{
+		DB:     db,
+		Q:      query.NewCQ("RQ", []query.Term{query.V("x")}, query.Rel("missing", query.V("x"))),
+		Val:    core.Count(),
+		Cost:   core.Count(),
+		Budget: 10,
+		K:      1,
+	}
+	_, _, err := Decide(Instance{Problem: prob, Bound: 1, KPrime: 0})
+	if err == nil {
+		t.Fatal("unknown relation in Q must surface")
+	}
+}
+
+func TestDecideItemsPropagatesErrors(t *testing.T) {
+	db := poiDB()
+	q := query.NewCQ("RQ", []query.Term{query.V("x")}, query.Rel("missing", query.V("x")))
+	_, _, err := DecideItems(db, nil, q, func(relation.Tuple) float64 { return 0 }, 0, 1, 0)
+	if err == nil {
+		t.Fatal("unknown relation in Q must surface")
+	}
+}
+
+func TestApplyInsertErrorOnArityMismatch(t *testing.T) {
+	db := poiDB()
+	delta := Delta{Edits: []Edit{{Rel: "poi", Tuple: relation.Ints(1), Insert: true}}}
+	if _, err := Apply(db, nil, delta); err == nil {
+		t.Fatal("arity-mismatched insertion must fail")
+	}
+}
+
+func TestCompatFnErrorSurfacesThroughDecide(t *testing.T) {
+	db := poiDB()
+	sentinel := errors.New("compat failure")
+	prob := &core.Problem{
+		DB:       db,
+		Q:        query.Identity("RQ", db.Relation("poi")),
+		CompatFn: func(core.Package, *relation.Database) (bool, error) { return false, sentinel },
+		Val:      core.Count(),
+		Cost:     core.Count(),
+		Budget:   10,
+		K:        1,
+	}
+	_, _, err := Decide(Instance{Problem: prob, Bound: 1, KPrime: 0})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("expected sentinel, got %v", err)
+	}
+}
+
+func TestEditString(t *testing.T) {
+	del := Edit{Rel: "poi", Tuple: relation.Ints(1)}
+	ins := Edit{Rel: "poi", Tuple: relation.Ints(2), Insert: true}
+	if del.String() != "-poi(1)" || ins.String() != "+poi(2)" {
+		t.Fatalf("edit renderings: %q %q", del.String(), ins.String())
+	}
+	d := Delta{Edits: []Edit{del, ins}}
+	if d.String() != "{-poi(1), +poi(2)}" {
+		t.Fatalf("delta rendering: %q", d.String())
+	}
+}

@@ -1,0 +1,234 @@
+package adjust
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// poiDB models Example 1.1(5): the POI collection has only museums, and the
+// compatibility constraint caps museums at 2 per package.
+func poiDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("poi", "name", "type"),
+		relation.NewTuple(relation.Str("met"), relation.Str("museum")),
+		relation.NewTuple(relation.Str("moma"), relation.Str("museum")),
+		relation.NewTuple(relation.Str("guggenheim"), relation.Str("museum"))))
+	return db
+}
+
+// extraPOI is the vendor's candidate item collection D′.
+func extraPOI() *relation.Database {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("poi", "name", "type"),
+		relation.NewTuple(relation.Str("broadway"), relation.Str("theater")),
+		relation.NewTuple(relation.Str("lincoln"), relation.Str("theater"))))
+	return db
+}
+
+// atMostTwoMuseums is the Qc of Example 1.1: nonempty iff the package holds
+// three distinct museums.
+func atMostTwoMuseums() query.Query {
+	v := query.V
+	return query.NewCQ("Qc", nil,
+		query.Rel("RQ", v("n1"), v("t1")),
+		query.Rel("RQ", v("n2"), v("t2")),
+		query.Rel("RQ", v("n3"), v("t3")),
+		query.Eq(v("t1"), query.CS("museum")),
+		query.Eq(v("t2"), query.CS("museum")),
+		query.Eq(v("t3"), query.CS("museum")),
+		query.Cmp(v("n1"), query.OpNe, v("n2")),
+		query.Cmp(v("n1"), query.OpNe, v("n3")),
+		query.Cmp(v("n2"), query.OpNe, v("n3")))
+}
+
+// poiProblem wants a package of at least 4 POIs (val = count, B = 4).
+func poiProblem() *core.Problem {
+	db := poiDB()
+	return &core.Problem{
+		DB:     db,
+		Q:      query.Identity("RQ", db.Relation("poi")),
+		Qc:     atMostTwoMuseums(),
+		Cost:   core.Count(),
+		Val:    core.Count(),
+		Budget: 10,
+		K:      1,
+	}
+}
+
+func TestApplyDelta(t *testing.T) {
+	db := poiDB()
+	delta := Delta{Edits: []Edit{
+		{Rel: "poi", Tuple: relation.NewTuple(relation.Str("met"), relation.Str("museum"))},
+		{Rel: "poi", Tuple: relation.NewTuple(relation.Str("broadway"), relation.Str("theater")), Insert: true},
+	}}
+	out, err := Apply(db, nil, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relation("poi").Contains(relation.NewTuple(relation.Str("met"), relation.Str("museum"))) {
+		t.Fatal("deletion not applied")
+	}
+	if !out.Relation("poi").Contains(relation.NewTuple(relation.Str("broadway"), relation.Str("theater"))) {
+		t.Fatal("insertion not applied")
+	}
+	// Original untouched.
+	if db.Relation("poi").Len() != 3 {
+		t.Fatal("Apply mutated the base database")
+	}
+}
+
+func TestApplyDeltaCreatesRelation(t *testing.T) {
+	db := relation.NewDatabase()
+	delta := Delta{Edits: []Edit{{Rel: "fresh", Tuple: relation.Ints(1), Insert: true}}}
+	out, err := Apply(db, map[string]*relation.Schema{"fresh": relation.NewSchema("fresh", "v")}, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relation("fresh") == nil || out.Relation("fresh").Len() != 1 {
+		t.Fatal("insertion should create the relation")
+	}
+	// Deleting from a missing relation errors.
+	bad := Delta{Edits: []Edit{{Rel: "nope", Tuple: relation.Ints(1)}}}
+	if _, err := Apply(db, nil, bad); err == nil {
+		t.Fatal("deletion from unknown relation should error")
+	}
+}
+
+func TestARPPDecideInsertsTheaters(t *testing.T) {
+	// A 4-POI package needs ≥ 4 items with ≤ 2 museums: the vendor must add
+	// both theaters from D′ (minimum adjustment size 2), and delete one
+	// museum... no — 2 museums + 2 theaters = 4 items works. |Δ| = 2.
+	inst := Instance{
+		Problem: poiProblem(),
+		Extra:   extraPOI(),
+		Bound:   4,
+		KPrime:  2,
+	}
+	delta, ok, err := Decide(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ARPP should succeed by inserting the two theaters")
+	}
+	if delta.Size() != 2 {
+		t.Fatalf("minimum adjustment size = %d, want 2 (%v)", delta.Size(), delta)
+	}
+	for _, e := range delta.Edits {
+		if !e.Insert {
+			t.Fatalf("expected insertions only, got %v", delta)
+		}
+	}
+}
+
+func TestARPPDecideBudgetTooSmall(t *testing.T) {
+	inst := Instance{
+		Problem: poiProblem(),
+		Extra:   extraPOI(),
+		Bound:   4,
+		KPrime:  1, // one theater is not enough for a 4-item, ≤2-museum package
+	}
+	_, ok, err := Decide(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ARPP should fail with k′ = 1")
+	}
+}
+
+func TestARPPDecideZeroWhenAlreadyFeasible(t *testing.T) {
+	inst := Instance{
+		Problem: poiProblem(),
+		Extra:   extraPOI(),
+		Bound:   2, // two museums suffice
+		KPrime:  2,
+	}
+	delta, ok, err := Decide(inst)
+	if err != nil || !ok {
+		t.Fatalf("Decide: ok=%v err=%v", ok, err)
+	}
+	if delta.Size() != 0 {
+		t.Fatalf("already-feasible instance should need |Δ| = 0, got %v", delta)
+	}
+}
+
+func TestARPPDeletionsHelp(t *testing.T) {
+	// Val rewards packages with NO museums: val = 1 if the package has no
+	// museum else 0. With only museums in D, B = 1 and val counting
+	// non-museum purity, the fix is to insert a theater (1 edit).
+	db := poiDB()
+	prob := &core.Problem{
+		DB: db,
+		Q:  query.Identity("RQ", db.Relation("poi")),
+		Val: core.Func("noMuseum", func(p core.Package) float64 {
+			for _, t := range p.Tuples() {
+				if t[1].Equal(relation.Str("museum")) {
+					return 0
+				}
+			}
+			return 1
+		}),
+		Cost:   core.CountOrInf(),
+		Budget: 1,
+		K:      1,
+	}
+	inst := Instance{Problem: prob, Extra: extraPOI(), Bound: 1, KPrime: 1}
+	delta, ok, err := Decide(inst)
+	if err != nil || !ok {
+		t.Fatalf("Decide: ok=%v err=%v", ok, err)
+	}
+	if delta.Size() != 1 || !delta.Edits[0].Insert {
+		t.Fatalf("delta = %v, want one insertion", delta)
+	}
+}
+
+func TestARPPDecideItems(t *testing.T) {
+	// Items: top-k POIs rated by being a theater. D has none; D′ has two.
+	db := poiDB()
+	q := query.Identity("RQ", db.Relation("poi"))
+	f := func(t relation.Tuple) float64 {
+		if t[1].Equal(relation.Str("theater")) {
+			return 1
+		}
+		return 0
+	}
+	delta, ok, err := DecideItems(db, extraPOI(), q, f, 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("item ARPP should succeed by inserting both theaters")
+	}
+	if delta.Size() != 2 {
+		t.Fatalf("delta = %v, want 2 insertions", delta)
+	}
+	// k′ = 1 cannot provide two theaters.
+	_, ok, err = DecideItems(db, extraPOI(), q, f, 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("item ARPP should fail with k′ = 1")
+	}
+}
+
+func TestUniverseDeterministicAndDeduplicated(t *testing.T) {
+	// D′ tuples already in D must not appear as insertions.
+	db := poiDB()
+	extra := poiDB() // identical: no insertions possible
+	inst := Instance{Problem: &core.Problem{DB: db, Q: query.Identity("RQ", db.Relation("poi")),
+		Cost: core.Count(), Val: core.Count(), Budget: 10, K: 1}, Extra: extra}
+	u := inst.universe()
+	for _, e := range u {
+		if e.Insert {
+			t.Fatalf("duplicate insertion offered: %v", e)
+		}
+	}
+	if len(u) != 3 {
+		t.Fatalf("universe = %v, want the 3 deletions", u)
+	}
+}

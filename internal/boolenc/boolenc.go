@@ -1,0 +1,275 @@
+// Package boolenc implements the Boolean gadget relations of Figure 4.1 —
+// I01 (the Boolean domain), I∨, I∧ and I¬ (disjunction, conjunction,
+// negation) plus the inspection relation Ic of Theorem 5.2 — and a compiler
+// from propositional formulas to chains of gadget atoms. The hardness
+// reductions of the paper express SAT/QBF matrices as conjunctive queries
+// over these relations; internal/reductions uses this package to reproduce
+// them executably.
+package boolenc
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Relation names used by the gadget encodings.
+const (
+	R01Name  = "R01"  // R01(X): the Boolean domain {0, 1}
+	ROrName  = "Ror"  // R∨(B, A1, A2): B = A1 ∨ A2
+	RAndName = "Rand" // R∧(B, A1, A2): B = A1 ∧ A2
+	RNotName = "Rneg" // R¬(A, NA): NA = ¬A
+	RcName   = "Rc"   // Rc(C1, C2, C) from Theorem 5.2: C = 0 iff C1=1 ∧ C2=0
+)
+
+// I01 returns the Boolean-domain relation of Figure 4.1.
+func I01() *relation.Relation {
+	return relation.FromTuples(relation.NewSchema(R01Name, "X"),
+		relation.Ints(1), relation.Ints(0))
+}
+
+// IOr returns the disjunction relation of Figure 4.1.
+func IOr() *relation.Relation {
+	return relation.FromTuples(relation.NewSchema(ROrName, "B", "A1", "A2"),
+		relation.Ints(0, 0, 0), relation.Ints(1, 0, 1),
+		relation.Ints(1, 1, 0), relation.Ints(1, 1, 1))
+}
+
+// IAnd returns the conjunction relation of Figure 4.1.
+func IAnd() *relation.Relation {
+	return relation.FromTuples(relation.NewSchema(RAndName, "B", "A1", "A2"),
+		relation.Ints(0, 0, 0), relation.Ints(0, 0, 1),
+		relation.Ints(0, 1, 0), relation.Ints(1, 1, 1))
+}
+
+// INot returns the negation relation of Figure 4.1.
+func INot() *relation.Relation {
+	return relation.FromTuples(relation.NewSchema(RNotName, "A", "NA"),
+		relation.Ints(0, 1), relation.Ints(1, 0))
+}
+
+// Ic returns the inspection relation of Theorem 5.2:
+// {(1,0,0), (1,1,1), (0,0,1), (0,1,1)}; C = 0 iff C1 = 1 and C2 = 0.
+func Ic() *relation.Relation {
+	return relation.FromTuples(relation.NewSchema(RcName, "C1", "C2", "C"),
+		relation.Ints(1, 0, 0), relation.Ints(1, 1, 1),
+		relation.Ints(0, 0, 1), relation.Ints(0, 1, 1))
+}
+
+// AddTo installs the four Figure 4.1 relations into db and returns db.
+func AddTo(db *relation.Database) *relation.Database {
+	db.Add(I01())
+	db.Add(IOr())
+	db.Add(IAnd())
+	db.Add(INot())
+	return db
+}
+
+// NewDB returns a fresh database holding exactly the Figure 4.1 relations.
+func NewDB() *relation.Database { return AddTo(relation.NewDatabase()) }
+
+// Formula is a propositional formula over named variables.
+type Formula interface {
+	// Eval evaluates the formula under an assignment.
+	Eval(assign map[string]bool) bool
+	String() string
+}
+
+// Var is a propositional variable.
+type Var string
+
+// Not negates a formula.
+type Not struct{ Sub Formula }
+
+// And conjoins formulas; the empty conjunction is true.
+type And struct{ Subs []Formula }
+
+// Or disjoins formulas; the empty disjunction is false.
+type Or struct{ Subs []Formula }
+
+// Eval evaluates a variable.
+func (v Var) Eval(assign map[string]bool) bool { return assign[string(v)] }
+
+// Eval evaluates a negation.
+func (n Not) Eval(assign map[string]bool) bool { return !n.Sub.Eval(assign) }
+
+// Eval evaluates a conjunction.
+func (a And) Eval(assign map[string]bool) bool {
+	for _, s := range a.Subs {
+		if !s.Eval(assign) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates a disjunction.
+func (o Or) Eval(assign map[string]bool) bool {
+	for _, s := range o.Subs {
+		if s.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v Var) String() string { return string(v) }
+func (n Not) String() string { return "!" + n.Sub.String() }
+func (a And) String() string { return joinSubs(a.Subs, " & ") }
+func (o Or) String() string  { return joinSubs(o.Subs, " | ") }
+
+func joinSubs(subs []Formula, sep string) string {
+	s := "("
+	for i, f := range subs {
+		if i > 0 {
+			s += sep
+		}
+		s += f.String()
+	}
+	return s + ")"
+}
+
+// CNFFormula builds the formula ∧ clauses where each clause is ∨ of DIMACS
+// literals: literal v > 0 denotes variable name(v-1), v < 0 its negation.
+func CNFFormula(clauses [][]int, name func(v int) string) Formula {
+	conj := And{}
+	for _, cl := range clauses {
+		disj := Or{}
+		for _, lit := range cl {
+			disj.Subs = append(disj.Subs, litFormula(lit, name))
+		}
+		conj.Subs = append(conj.Subs, disj)
+	}
+	return conj
+}
+
+// DNFFormula builds the formula ∨ terms where each term is ∧ of DIMACS
+// literals.
+func DNFFormula(terms [][]int, name func(v int) string) Formula {
+	disj := Or{}
+	for _, tm := range terms {
+		conj := And{}
+		for _, lit := range tm {
+			conj.Subs = append(conj.Subs, litFormula(lit, name))
+		}
+		disj.Subs = append(disj.Subs, conj)
+	}
+	return disj
+}
+
+func litFormula(lit int, name func(v int) string) Formula {
+	if lit < 0 {
+		return Not{Sub: Var(name(-lit - 1))}
+	}
+	return Var(name(lit - 1))
+}
+
+// Compiler turns propositional formulas into chains of gadget atoms. Each
+// propositional variable name is used directly as a conjunctive-query
+// variable, which the caller must bind to a Boolean value (for instance with
+// the atoms produced by AssignmentAtoms, or by matching a package relation).
+// Intermediate results are held in fresh variables prefixed by Prefix.
+type Compiler struct {
+	// Prefix distinguishes fresh intermediate variables; defaults to "_b".
+	Prefix string
+	atoms  []query.Atom
+	n      int
+}
+
+// fresh mints an unused intermediate variable name.
+func (c *Compiler) fresh() string {
+	p := c.Prefix
+	if p == "" {
+		p = "_b"
+	}
+	c.n++
+	return fmt.Sprintf("%s%d", p, c.n)
+}
+
+// Atoms returns the gadget atoms emitted so far.
+func (c *Compiler) Atoms() []query.Atom { return c.atoms }
+
+// Vars returns the fresh variables minted so far (for explicit ∃ lists).
+func (c *Compiler) Vars() []string {
+	p := c.Prefix
+	if p == "" {
+		p = "_b"
+	}
+	out := make([]string, c.n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", p, i+1)
+	}
+	return out
+}
+
+// Compile emits atoms computing the truth value of f and returns the query
+// variable holding the result (bound to 0 or 1 by the gadget relations).
+func (c *Compiler) Compile(f Formula) string {
+	switch g := f.(type) {
+	case Var:
+		return string(g)
+	case Not:
+		in := c.Compile(g.Sub)
+		out := c.fresh()
+		c.atoms = append(c.atoms, query.Rel(RNotName, query.V(in), query.V(out)))
+		return out
+	case And:
+		return c.fold(RAndName, g.Subs, true)
+	case Or:
+		return c.fold(ROrName, g.Subs, false)
+	default:
+		panic(fmt.Sprintf("boolenc: unknown formula node %T", f))
+	}
+}
+
+// fold chains a binary gadget over the sub-results; identity is the value of
+// the empty fold (true for ∧, false for ∨), realised as a fresh variable
+// constrained to that constant through R01.
+func (c *Compiler) fold(gadget string, subs []Formula, identity bool) string {
+	if len(subs) == 0 {
+		return c.Constant(identity)
+	}
+	cur := c.Compile(subs[0])
+	for _, s := range subs[1:] {
+		next := c.Compile(s)
+		out := c.fresh()
+		c.atoms = append(c.atoms, query.Rel(gadget, query.V(out), query.V(cur), query.V(next)))
+		cur = out
+	}
+	return cur
+}
+
+// Constant emits atoms binding a fresh variable to the Boolean constant b.
+func (c *Compiler) Constant(b bool) string {
+	out := c.fresh()
+	c.atoms = append(c.atoms,
+		query.Rel(R01Name, query.V(out)),
+		query.Eq(query.V(out), query.C(relation.Bool(b))))
+	return out
+}
+
+// AssertEq emits a constraint forcing the compiled variable to the constant.
+func (c *Compiler) AssertEq(v string, b bool) {
+	c.atoms = append(c.atoms, query.Eq(query.V(v), query.C(relation.Bool(b))))
+}
+
+// AssignmentAtoms returns the atoms R01(v1), ..., R01(vn) generating all
+// truth assignments of the given variables, as in the queries QX, QY of the
+// reductions.
+func AssignmentAtoms(vars []string) []query.Atom {
+	atoms := make([]query.Atom, len(vars))
+	for i, v := range vars {
+		atoms[i] = query.Rel(R01Name, query.V(v))
+	}
+	return atoms
+}
+
+// VarNames returns the standard variable names prefix0..prefix{n-1}.
+func VarNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package boolenc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func TestGadgetTruthTables(t *testing.T) {
+	iOr, iAnd, iNot := IOr(), IAnd(), INot()
+	for a := int64(0); a <= 1; a++ {
+		for b := int64(0); b <= 1; b++ {
+			or := int64(0)
+			if a == 1 || b == 1 {
+				or = 1
+			}
+			and := int64(0)
+			if a == 1 && b == 1 {
+				and = 1
+			}
+			if !iOr.Contains(relation.Ints(or, a, b)) {
+				t.Errorf("I∨ missing (%d, %d, %d)", or, a, b)
+			}
+			if iOr.Contains(relation.Ints(1-or, a, b)) {
+				t.Errorf("I∨ contains wrong row for (%d, %d)", a, b)
+			}
+			if !iAnd.Contains(relation.Ints(and, a, b)) {
+				t.Errorf("I∧ missing (%d, %d, %d)", and, a, b)
+			}
+			if iAnd.Contains(relation.Ints(1-and, a, b)) {
+				t.Errorf("I∧ contains wrong row for (%d, %d)", a, b)
+			}
+		}
+		if !iNot.Contains(relation.Ints(a, 1-a)) || iNot.Contains(relation.Ints(a, a)) {
+			t.Errorf("I¬ wrong for %d", a)
+		}
+	}
+	if I01().Len() != 2 || IOr().Len() != 4 || IAnd().Len() != 4 || INot().Len() != 2 {
+		t.Fatal("gadget cardinalities differ from Figure 4.1")
+	}
+}
+
+func TestIcInspection(t *testing.T) {
+	ic := Ic()
+	if ic.Len() != 4 {
+		t.Fatalf("Ic has %d rows, want 4", ic.Len())
+	}
+	// C = 0 iff C1 = 1 and C2 = 0 on the rows present.
+	for _, tup := range ic.Tuples() {
+		c1, c2, c := tup[0].Int64(), tup[1].Int64(), tup[2].Int64()
+		want := int64(1)
+		if c1 == 1 && c2 == 0 {
+			want = 0
+		}
+		if c != want {
+			t.Errorf("Ic row (%d, %d, %d): C should be %d", c1, c2, c, want)
+		}
+	}
+}
+
+// compileQuery builds the Boolean query "is f true under the assignment
+// enumerated by R01 products" and evaluates it for a specific assignment by
+// constraining the variables.
+func evalViaGadgets(t *testing.T, f Formula, vars []string, assign map[string]bool) bool {
+	t.Helper()
+	comp := &Compiler{}
+	atoms := AssignmentAtoms(vars)
+	for _, v := range vars {
+		atoms = append(atoms, query.Eq(query.V(v), query.C(relation.Bool(assign[v]))))
+	}
+	out := comp.Compile(f)
+	comp.AssertEq(out, true)
+	atoms = append(atoms, comp.Atoms()...)
+	q := query.NewCQ("Q", nil, atoms...)
+	res, err := q.Eval(NewDB())
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return res.Len() > 0
+}
+
+func TestCompilerMatchesDirectEvaluation(t *testing.T) {
+	vars := []string{"x0", "x1", "x2"}
+	formulas := []Formula{
+		Var("x0"),
+		Not{Var("x1")},
+		And{[]Formula{Var("x0"), Var("x1")}},
+		Or{[]Formula{Var("x0"), Not{Var("x2")}}},
+		Or{[]Formula{
+			And{[]Formula{Var("x0"), Not{Var("x1")}, Var("x2")}},
+			And{[]Formula{Not{Var("x0")}, Var("x1")}},
+		}},
+		And{[]Formula{
+			Or{[]Formula{Var("x0"), Var("x1"), Var("x2")}},
+			Or{[]Formula{Not{Var("x0")}, Not{Var("x1")}}},
+		}},
+		And{nil}, // empty conjunction = true
+		Or{nil},  // empty disjunction = false
+	}
+	for fi, f := range formulas {
+		for bits := 0; bits < 8; bits++ {
+			assign := map[string]bool{}
+			for i, v := range vars {
+				assign[v] = bits&(1<<i) != 0
+			}
+			want := f.Eval(assign)
+			got := evalViaGadgets(t, f, vars, assign)
+			if got != want {
+				t.Fatalf("formula %d (%v) under %v: gadget=%v direct=%v", fi, f, assign, got, want)
+			}
+		}
+	}
+}
+
+func TestCNFDNFFormulaBuilders(t *testing.T) {
+	name := func(v int) string { return fmt.Sprintf("x%d", v) }
+	// (x0 ∨ ¬x1) ∧ (x1 ∨ x2)
+	cnf := CNFFormula([][]int{{1, -2}, {2, 3}}, name)
+	assign := map[string]bool{"x0": false, "x1": false, "x2": true}
+	if !cnf.Eval(assign) {
+		t.Fatal("CNF should hold: clause1 via ¬x1, clause2 via x2")
+	}
+	assign["x1"] = true
+	if cnf.Eval(assign) {
+		t.Fatal("CNF should fail: clause1 has x0=0, x1=1")
+	}
+	// (x0 ∧ ¬x1) ∨ (x2)
+	dnf := DNFFormula([][]int{{1, -2}, {3}}, name)
+	if !dnf.Eval(map[string]bool{"x0": true, "x1": false, "x2": false}) {
+		t.Fatal("DNF term 1 should hold")
+	}
+	if dnf.Eval(map[string]bool{"x0": true, "x1": true, "x2": false}) {
+		t.Fatal("DNF should fail")
+	}
+}
+
+func TestCompilerCountsSatisfyingAssignments(t *testing.T) {
+	// Count assignments of (x0 ∨ x1) via the gadget encoding: build
+	// Q(x0, x1) with the compiled value asserted true; answer size must be 3.
+	f := Or{[]Formula{Var("x0"), Var("x1")}}
+	comp := &Compiler{}
+	atoms := AssignmentAtoms([]string{"x0", "x1"})
+	out := comp.Compile(f)
+	comp.AssertEq(out, true)
+	atoms = append(atoms, comp.Atoms()...)
+	q := query.NewCQ("Q", []query.Term{query.V("x0"), query.V("x1")}, atoms...)
+	res, err := q.Eval(NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("satisfying assignments = %d, want 3 (%v)", res.Len(), res)
+	}
+}
+
+func TestCompilerFreshVarsAreListed(t *testing.T) {
+	comp := &Compiler{Prefix: "_t"}
+	comp.Compile(And{[]Formula{Var("a"), Var("b"), Var("c")}})
+	vars := comp.Vars()
+	if len(vars) != 2 { // two fold steps
+		t.Fatalf("fresh vars = %v, want 2 entries", vars)
+	}
+	for _, v := range vars {
+		if v[:2] != "_t" {
+			t.Fatalf("fresh var %q lacks prefix", v)
+		}
+	}
+}
+
+func TestVarNames(t *testing.T) {
+	got := VarNames("y", 3)
+	want := []string{"y0", "y1", "y2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VarNames = %v", got)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package boolenc
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func TestCompilerConstant(t *testing.T) {
+	for _, b := range []bool{true, false} {
+		comp := &Compiler{}
+		v := comp.Constant(b)
+		// Evaluate: the constant atom chain binds v to exactly one value.
+		q := query.NewCQ("Q", []query.Term{query.V(v)}, comp.Atoms()...)
+		ans, err := q.Eval(NewDB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Len() != 1 || !ans.Tuples()[0][0].Equal(relation.Bool(b)) {
+			t.Fatalf("Constant(%v) evaluated to %v", b, ans)
+		}
+	}
+}
+
+func TestCompilerDefaultPrefix(t *testing.T) {
+	comp := &Compiler{}
+	comp.Compile(And{[]Formula{Var("a"), Var("b")}})
+	vars := comp.Vars()
+	if len(vars) != 1 || vars[0] != "_b1" {
+		t.Fatalf("default-prefix fresh vars = %v", vars)
+	}
+}
+
+func TestCompilerPanicsOnUnknownNode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown formula node")
+		}
+	}()
+	comp := &Compiler{}
+	comp.Compile(nil)
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := Or{[]Formula{And{[]Formula{Var("x"), Not{Var("y")}}}, Var("z")}}
+	if f.String() != "((x & !y) | z)" {
+		t.Fatalf("rendering = %q", f.String())
+	}
+}
+
+func TestAddToInstallsAllFour(t *testing.T) {
+	db := AddTo(relation.NewDatabase())
+	for _, name := range []string{R01Name, ROrName, RAndName, RNotName} {
+		if db.Relation(name) == nil {
+			t.Fatalf("relation %s missing", name)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/relation"
+)
+
+// Aggregator is a PTIME-computable function from packages to ℝ, the model's
+// cost(), val() and f() functions (Section 2). The paper assumes nothing
+// beyond PTIME computability, so the honest realisation is an arbitrary Go
+// function; the stock constructors below cover the aggregate shapes the
+// paper mentions (count, sum, min, max, avg, weighted combinations).
+//
+// Monotone marks aggregators that are nondecreasing with respect to package
+// inclusion over non-empty packages; the enumeration engine uses it to prune
+// supersets once cost exceeds the budget. Marking a non-monotone function as
+// monotone yields unsound pruning, so the flag is only set by constructors
+// whose monotonicity is structural (Count, CountOrInf) or asserted by the
+// caller (WithMonotone).
+type Aggregator struct {
+	name string
+	fn   func(Package) float64
+	mono bool
+}
+
+// Func builds an aggregator from an arbitrary function.
+func Func(name string, fn func(Package) float64) Aggregator {
+	return Aggregator{name: name, fn: fn}
+}
+
+// Name returns the aggregator's display name.
+func (a Aggregator) Name() string { return a.name }
+
+// Eval applies the aggregator.
+func (a Aggregator) Eval(p Package) float64 { return a.fn(p) }
+
+// Monotone reports whether the aggregator is nondecreasing under inclusion
+// of non-empty packages.
+func (a Aggregator) Monotone() bool { return a.mono }
+
+// WithMonotone returns a copy asserted monotone (caller's responsibility,
+// e.g. a sum over an attribute known to be non-negative).
+func (a Aggregator) WithMonotone() Aggregator {
+	a.mono = true
+	return a
+}
+
+// Count returns cost(N) = |N|.
+func Count() Aggregator {
+	return Aggregator{name: "count", mono: true,
+		fn: func(p Package) float64 { return float64(p.Len()) }}
+}
+
+// CountOrInf returns the paper's standard cost function: cost(N) = |N| for
+// non-empty N and cost(∅) = ∞, so the empty package is never a valid
+// recommendation.
+func CountOrInf() Aggregator {
+	return Aggregator{name: "countOrInf", mono: true, fn: func(p Package) float64 {
+		if p.IsEmpty() {
+			return math.Inf(1)
+		}
+		return float64(p.Len())
+	}}
+}
+
+// SumAttr returns the sum of attribute i over the package's items. Combine
+// with WithMonotone when the attribute is known non-negative.
+func SumAttr(i int) Aggregator {
+	return Aggregator{name: "sum", fn: func(p Package) float64 {
+		var s float64
+		for _, t := range p.Tuples() {
+			s += t[i].Float64()
+		}
+		return s
+	}}
+}
+
+// NegSumAttr returns the negated sum of attribute i: the paper's "the higher
+// the price, the lower the rating" shape from Example 1.1.
+func NegSumAttr(i int) Aggregator {
+	return Aggregator{name: "negsum", fn: func(p Package) float64 {
+		var s float64
+		for _, t := range p.Tuples() {
+			s -= t[i].Float64()
+		}
+		return s
+	}}
+}
+
+// MinAttr returns the minimum of attribute i (+∞ on the empty package).
+func MinAttr(i int) Aggregator {
+	return Aggregator{name: "min", fn: func(p Package) float64 {
+		m := math.Inf(1)
+		for _, t := range p.Tuples() {
+			m = math.Min(m, t[i].Float64())
+		}
+		return m
+	}}
+}
+
+// MaxAttr returns the maximum of attribute i (−∞ on the empty package).
+func MaxAttr(i int) Aggregator {
+	return Aggregator{name: "max", fn: func(p Package) float64 {
+		m := math.Inf(-1)
+		for _, t := range p.Tuples() {
+			m = math.Max(m, t[i].Float64())
+		}
+		return m
+	}}
+}
+
+// AvgAttr returns the mean of attribute i (0 on the empty package).
+func AvgAttr(i int) Aggregator {
+	return Aggregator{name: "avg", fn: func(p Package) float64 {
+		if p.IsEmpty() {
+			return 0
+		}
+		var s float64
+		for _, t := range p.Tuples() {
+			s += t[i].Float64()
+		}
+		return s / float64(p.Len())
+	}}
+}
+
+// WeightedSum returns Σ_i weights[i] · Σ_items attr_i, a multi-attribute
+// utility in the spirit of the airfare/duration weighting of Example 1.1.
+func WeightedSum(weights map[int]float64) Aggregator {
+	return Aggregator{name: "weighted", fn: func(p Package) float64 {
+		var s float64
+		for _, t := range p.Tuples() {
+			for i, w := range weights {
+				s += w * t[i].Float64()
+			}
+		}
+		return s
+	}}
+}
+
+// ConstAgg returns the constant function v, used pervasively by the
+// reductions.
+func ConstAgg(v float64) Aggregator {
+	return Aggregator{name: "const", mono: true, fn: func(Package) float64 { return v }}
+}
+
+// Utility is a per-item rating function f(), the item-recommendation model
+// of Section 2.
+type Utility func(relation.Tuple) float64
+
+// UtilityAttr rates an item by attribute i.
+func UtilityAttr(i int) Utility {
+	return func(t relation.Tuple) float64 { return t[i].Float64() }
+}
+
+// UtilityNegAttr rates an item by the negated attribute i (lower is better).
+func UtilityNegAttr(i int) Utility {
+	return func(t relation.Tuple) float64 { return -t[i].Float64() }
+}
+
+// SingletonVal lifts an item utility to packages: val({s}) = f(s), matching
+// the item/package embedding of Section 2. Its value on non-singletons is
+// −∞ so such packages never win under the embedding's C = 1 budget anyway.
+func SingletonVal(f Utility) Aggregator {
+	return Aggregator{name: "singleton", fn: func(p Package) float64 {
+		if p.Len() != 1 {
+			return math.Inf(-1)
+		}
+		return f(p.Tuples()[0])
+	}}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func TestErrorPropagationFromBadQc(t *testing.T) {
+	p := basicProblem(100, 1)
+	// Qc referencing a relation that exists in neither D nor the package
+	// overlay: every solver entry point must surface the error.
+	p.Qc = query.NewCQ("Qc", nil, query.Rel("NoSuchRel", query.V("x")))
+	if _, err := p.Compatible(NewPackage(relation.Ints(1, 10, 5))); err == nil {
+		t.Fatal("Compatible should fail on unknown relation in Qc")
+	}
+	if _, _, err := p.FindTopK(); err == nil {
+		t.Fatal("FindTopK should surface the Qc error")
+	}
+	if _, _, err := p.DecideTopK([]Package{NewPackage(relation.Ints(1, 10, 5))}); err == nil {
+		t.Fatal("DecideTopK should surface the Qc error")
+	}
+	if _, err := p.CountValid(0); err == nil {
+		t.Fatal("CountValid should surface the Qc error")
+	}
+	if _, _, err := p.MaxBound(); err == nil {
+		t.Fatal("MaxBound should surface the Qc error")
+	}
+}
+
+func TestErrorPropagationFromBadQuery(t *testing.T) {
+	db := itemsDB()
+	p := &Problem{
+		DB:   db,
+		Q:    query.NewCQ("RQ", []query.Term{query.V("x")}, query.Rel("missing", query.V("x"))),
+		Cost: Count(), Val: Count(), Budget: 10, K: 1,
+	}
+	if _, err := p.Candidates(); err == nil {
+		t.Fatal("Candidates should fail on unknown relation in Q")
+	}
+	if _, _, err := p.FindTopK(); err == nil {
+		t.Fatal("FindTopK should surface the Q error")
+	}
+	if _, _, err := p.FindTopKViaOracle(0, 10); err == nil {
+		t.Fatal("FindTopKViaOracle should surface the Q error")
+	}
+	if _, err := p.ExistsKValid(1, 0); err == nil {
+		t.Fatal("ExistsKValid should surface the Q error")
+	}
+}
+
+func TestCompatFnErrorPropagates(t *testing.T) {
+	p := basicProblem(100, 1)
+	sentinel := errors.New("compat boom")
+	p.CompatFn = func(Package, *relation.Database) (bool, error) { return false, sentinel }
+	_, _, err := p.FindTopK()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("expected the CompatFn error, got %v", err)
+	}
+}
+
+func TestZeroK(t *testing.T) {
+	p := basicProblem(100, 0)
+	sel, ok, err := p.FindTopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(sel) != 0 {
+		t.Fatalf("top-0 selection should be the empty set: ok=%v sel=%v", ok, sel)
+	}
+	accept, _, err := p.DecideTopK(nil)
+	if err != nil || !accept {
+		t.Fatalf("the empty selection is trivially top-0: %v %v", accept, err)
+	}
+}
+
+func TestInfeasibleBudget(t *testing.T) {
+	p := basicProblem(math.Inf(-1), 1)
+	_, ok, err := p.FindTopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("no package fits a −∞ budget")
+	}
+	n, err := p.CountValid(math.Inf(-1))
+	if err != nil || n != 0 {
+		t.Fatalf("CountValid = %d, want 0", n)
+	}
+	if _, ok, _ := p.MaxBound(); ok {
+		t.Fatal("MaxBound should not exist")
+	}
+	if got, _ := p.IsMaxBound(0); got {
+		t.Fatal("no bound is the maximum when nothing is valid")
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.NewRelation(relation.NewSchema("item", "id", "price", "rating")))
+	p := &Problem{
+		DB: db, Q: query.Identity("RQ", db.Relation("item")),
+		Cost: Count(), Val: Count(), Budget: 10, K: 1,
+	}
+	sel, ok, err := p.FindTopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("empty Q(D) cannot yield a top-1 selection: %v", sel)
+	}
+}
+
+func TestEnumerateValidEarlyStop(t *testing.T) {
+	p := basicProblem(1000, 1)
+	calls := 0
+	err := p.EnumerateValid(func(Package) (bool, error) {
+		calls++
+		return false, nil // stop immediately
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("yield called %d times after requesting stop", calls)
+	}
+}
+
+func TestEnumerateValidErrorStop(t *testing.T) {
+	p := basicProblem(1000, 1)
+	sentinel := errors.New("stop with error")
+	err := p.EnumerateValid(func(Package) (bool, error) { return false, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("expected sentinel error, got %v", err)
+	}
+}
+
+func TestPruneHintCutsEnumeration(t *testing.T) {
+	p := basicProblem(1000, 1)
+	// Hereditary hint: forbid any package containing item 1 — its branch
+	// must never be explored.
+	p.Prune = func(pkg Package) bool { return pkg.Contains(relation.Ints(1, 10, 5)) }
+	err := p.EnumerateValid(func(pkg Package) (bool, error) {
+		if pkg.Contains(relation.Ints(1, 10, 5)) {
+			t.Fatalf("pruned package %v enumerated", pkg)
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 remaining items → 7 non-empty subsets.
+	n, err := p.CountValid(math.Inf(-1))
+	if err != nil || n != 7 {
+		t.Fatalf("CountValid with prune = %d, want 7", n)
+	}
+}
+
+func TestWithMaxSizeZeroMeansDefault(t *testing.T) {
+	p := basicProblem(1000, 1)
+	ms, err := p.maxSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 4 {
+		t.Fatalf("default size bound = %d, want |Q(D)| = 4", ms)
+	}
+}
+
+func TestOracleRespectsExclusions(t *testing.T) {
+	p := basicProblem(15, 2)
+	sel, ok, err := p.FindTopKViaOracle(0, 20)
+	if err != nil || !ok {
+		t.Fatalf("oracle: ok=%v err=%v", ok, err)
+	}
+	if sel[0].Equal(sel[1]) {
+		t.Fatal("oracle returned duplicate packages")
+	}
+	// Ratings are non-increasing across slots.
+	if p.Val.Eval(sel[0]) < p.Val.Eval(sel[1]) {
+		t.Fatal("oracle slots out of order")
+	}
+}
+
+func TestValidAboveBoundary(t *testing.T) {
+	p := basicProblem(15, 1)
+	pkg := NewPackage(relation.Ints(1, 10, 5)) // val 5
+	ok, err := p.ValidAbove(pkg, 5)
+	if err != nil || !ok {
+		t.Fatalf("val = bound should satisfy ValidAbove: %v %v", ok, err)
+	}
+	ok, err = p.ValidAbove(pkg, 5.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("val below bound should fail ValidAbove")
+	}
+}

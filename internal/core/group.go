@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Group recommendations are the extension the paper's conclusion (Section
+// 9) points to, citing Amer-Yahia et al. [5]: recommend packages to a
+// group of users, each with their own rating function, under a group
+// consensus semantics. This file realises the two standard semantics of
+// [5] — least misery (min over users) and aggregated voting (average) —
+// plus a disagreement-penalised variant, by compiling the group rating into
+// an ordinary val() aggregator; every POI problem (RPP/FRP/MBP/CPP) then
+// applies unchanged, which is exactly why the paper's model absorbs the
+// extension.
+
+// GroupSemantics selects how individual ratings combine into a group
+// rating.
+type GroupSemantics int
+
+// The group consensus functions of Amer-Yahia et al.
+const (
+	// LeastMisery rates a package by its least-happy user.
+	LeastMisery GroupSemantics = iota
+	// AverageSatisfaction rates a package by the mean user rating.
+	AverageSatisfaction
+	// AverageMinusDisagreement penalises the mean by the spread
+	// (max − min) between users, weighted by DisagreementWeight.
+	AverageMinusDisagreement
+)
+
+// String names the semantics.
+func (s GroupSemantics) String() string {
+	switch s {
+	case LeastMisery:
+		return "least-misery"
+	case AverageSatisfaction:
+		return "average"
+	case AverageMinusDisagreement:
+		return "average-minus-disagreement"
+	default:
+		return fmt.Sprintf("GroupSemantics(%d)", int(s))
+	}
+}
+
+// GroupVal compiles per-user rating functions into a single group val()
+// aggregator under the chosen semantics. disagreementWeight only matters
+// for AverageMinusDisagreement.
+func GroupVal(users []Aggregator, sem GroupSemantics, disagreementWeight float64) (Aggregator, error) {
+	if len(users) == 0 {
+		return Aggregator{}, fmt.Errorf("core: group needs at least one user rating function")
+	}
+	us := append([]Aggregator(nil), users...)
+	name := fmt.Sprintf("group(%s,%d users)", sem, len(us))
+	switch sem {
+	case LeastMisery:
+		return Func(name, func(p Package) float64 {
+			m := math.Inf(1)
+			for _, u := range us {
+				m = math.Min(m, u.Eval(p))
+			}
+			return m
+		}), nil
+	case AverageSatisfaction:
+		return Func(name, func(p Package) float64 {
+			var s float64
+			for _, u := range us {
+				s += u.Eval(p)
+			}
+			return s / float64(len(us))
+		}), nil
+	case AverageMinusDisagreement:
+		return Func(name, func(p Package) float64 {
+			var s float64
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, u := range us {
+				v := u.Eval(p)
+				s += v
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			return s/float64(len(us)) - disagreementWeight*(hi-lo)
+		}), nil
+	default:
+		return Aggregator{}, fmt.Errorf("core: unknown group semantics %v", sem)
+	}
+}
+
+// GroupProblem builds a package recommendation problem for a group: the
+// base problem's val() is replaced by the compiled group rating. The base
+// problem is not modified.
+func GroupProblem(base *Problem, users []Aggregator, sem GroupSemantics, disagreementWeight float64) (*Problem, error) {
+	gv, err := GroupVal(users, sem, disagreementWeight)
+	if err != nil {
+		return nil, err
+	}
+	p := *base
+	p.Val = gv
+	p.InvalidateCache()
+	return &p, nil
+}

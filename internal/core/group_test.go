@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// groupFixture: three items; two users with opposite tastes over the
+// rating attributes.
+func groupFixture() (*Problem, []Aggregator) {
+	db := relation.NewDatabase()
+	// item(id, uA_rating, uB_rating)
+	db.Add(relation.FromTuples(relation.NewSchema("item", "id", "ra", "rb"),
+		relation.Ints(1, 10, 0),
+		relation.Ints(2, 0, 10),
+		relation.Ints(3, 6, 6)))
+	base := &Problem{
+		DB:     db,
+		Q:      query.Identity("RQ", db.Relation("item")),
+		Cost:   CountOrInf(),
+		Val:    ConstAgg(0), // replaced by the group rating
+		Budget: 1,           // singleton packages
+		K:      1,
+	}
+	users := []Aggregator{SumAttr(1), SumAttr(2)}
+	return base, users
+}
+
+func TestGroupLeastMiseryVsAverage(t *testing.T) {
+	base, users := groupFixture()
+
+	lm, err := GroupProblem(base, users, LeastMisery, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok, err := lm.FindTopK()
+	if err != nil || !ok {
+		t.Fatalf("least misery FindTopK: ok=%v err=%v", ok, err)
+	}
+	// Item 3 (6, 6) maximises the minimum (6 > 0).
+	if sel[0].Tuples()[0][0].Int64() != 3 {
+		t.Fatalf("least misery picked %v, want item 3", sel[0])
+	}
+
+	avg, err := GroupProblem(base, users, AverageSatisfaction, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok, err = avg.FindTopK()
+	if err != nil || !ok {
+		t.Fatalf("average FindTopK: ok=%v err=%v", ok, err)
+	}
+	// Item 3 averages 6 > items 1 and 2 (both average 5).
+	if sel[0].Tuples()[0][0].Int64() != 3 {
+		t.Fatalf("average picked %v, want item 3", sel[0])
+	}
+	if v := avg.Val.Eval(NewPackage(relation.Ints(1, 10, 0))); v != 5 {
+		t.Fatalf("average of (10, 0) = %g, want 5", v)
+	}
+}
+
+func TestGroupDisagreementPenalty(t *testing.T) {
+	base, users := groupFixture()
+	g, err := GroupProblem(base, users, AverageMinusDisagreement, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item 1: avg 5, spread 10 → 0. Item 3: avg 6, spread 0 → 6.
+	if v := g.Val.Eval(NewPackage(relation.Ints(1, 10, 0))); v != 0 {
+		t.Fatalf("penalised rating of item 1 = %g, want 0", v)
+	}
+	if v := g.Val.Eval(NewPackage(relation.Ints(3, 6, 6))); v != 6 {
+		t.Fatalf("penalised rating of item 3 = %g, want 6", v)
+	}
+}
+
+func TestGroupSingleUserReducesToBase(t *testing.T) {
+	base, users := groupFixture()
+	for _, sem := range []GroupSemantics{LeastMisery, AverageSatisfaction, AverageMinusDisagreement} {
+		g, err := GroupProblem(base, users[:1], sem, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo := *base
+		solo.Val = users[0]
+		a, okA, err := g.FindTopK()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, okB, err := solo.FindTopK()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okA != okB || !a[0].Equal(b[0]) {
+			t.Fatalf("%v: single-user group diverges from the base problem", sem)
+		}
+	}
+}
+
+func TestGroupValErrors(t *testing.T) {
+	if _, err := GroupVal(nil, LeastMisery, 0); err == nil {
+		t.Fatal("empty user list should error")
+	}
+	if _, err := GroupVal([]Aggregator{Count()}, GroupSemantics(99), 0); err == nil {
+		t.Fatal("unknown semantics should error")
+	}
+}
+
+func TestGroupDoesNotMutateBase(t *testing.T) {
+	base, users := groupFixture()
+	origVal := base.Val
+	if _, err := GroupProblem(base, users, LeastMisery, 0); err != nil {
+		t.Fatal(err)
+	}
+	if base.Val.Name() != origVal.Name() {
+		t.Fatal("GroupProblem mutated the base problem")
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// TopKItems solves the item recommendation problem: a top-k selection for
+// (Q, D, f) — the k distinct tuples of Q(D) with the highest utility, or
+// ok = false if |Q(D)| < k. Items are ordered by descending utility with
+// ties broken by canonical tuple key, matching FindTopK's determinism. This
+// is the PTIME (data complexity) fast path of Theorem 6.4.
+func TopKItems(db *relation.Database, q query.Query, f Utility, k int) (items []relation.Tuple, ok bool, err error) {
+	ans, err := q.Eval(db)
+	if err != nil {
+		return nil, false, err
+	}
+	if ans.Len() < k {
+		return nil, false, nil
+	}
+	tuples := append([]relation.Tuple(nil), ans.Tuples()...)
+	sort.Slice(tuples, func(i, j int) bool {
+		fi, fj := f(tuples[i]), f(tuples[j])
+		if fi != fj {
+			return fi > fj
+		}
+		return tuples[i].Compare(tuples[j]) < 0
+	})
+	return tuples[:k], true, nil
+}
+
+// ItemProblem embeds item recommendation into the package model exactly as
+// Section 2 prescribes: Qc is the empty (absent) query, cost(N) = |N| with
+// cost(∅) = ∞, C = 1 (so packages are singletons), and val({s}) = f(s).
+// FindTopK on the returned problem agrees with TopKItems (tested as the
+// Section 2 embedding property).
+func ItemProblem(db *relation.Database, q query.Query, f Utility, k int) *Problem {
+	return &Problem{
+		DB:     db,
+		Q:      q,
+		Cost:   CountOrInf(),
+		Val:    SingletonVal(f),
+		Budget: 1,
+		K:      k,
+	}
+}
+
+// ItemsOf flattens a selection of singleton packages back to items, the
+// inverse of the Section 2 embedding.
+func ItemsOf(sel []Package) []relation.Tuple {
+	out := make([]relation.Tuple, 0, len(sel))
+	for _, p := range sel {
+		out = append(out, p.Tuples()...)
+	}
+	return out
+}

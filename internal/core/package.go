@@ -1,0 +1,154 @@
+// Package core implements the package recommendation model of Deng, Fan and
+// Geerts (PODS 2012) — the paper's primary contribution — and exact solvers
+// for the problems it studies:
+//
+//   - RPP: deciding whether a set of packages is a top-k package selection
+//     (Problem.DecideTopK);
+//   - FRP: computing a top-k package selection (Problem.FindTopK, plus
+//     Problem.FindTopKViaOracle, the binary-search algorithm from the proof
+//     of Theorem 5.1);
+//   - MBP: deciding the maximum rating bound (Problem.MaxBound,
+//     Problem.IsMaxBound);
+//   - CPP: counting valid packages (Problem.CountValid);
+//
+// together with item recommendations as the degenerate case of Section 2
+// (TopKItems, ItemProblem) and the fixed-size special case of Corollary 6.1
+// (Problem.WithMaxSize).
+//
+// A top-k package selection for (Q, D, Qc, cost, val, C) is a set
+// {N1, ..., Nk} of pairwise-distinct packages with, for each i:
+// Ni ⊆ Q(D); Qc(Ni, D) = ∅; cost(Ni) ≤ C; |Ni| ≤ p(|D|); and
+// val(N') ≤ val(Ni) for every other package N' satisfying those conditions.
+//
+// The solvers are deliberately exponential-time exact searches: they are the
+// deterministic simulations of the oracle machines in the paper's upper
+// bound proofs, and the benchmarks in the repository root measure exactly
+// this scaling.
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Package is a set of items (tuples drawn from the query answer Q(D)),
+// stored canonically: sorted and deduplicated, with a precomputed identity
+// key. The zero value is the empty package.
+type Package struct {
+	tuples []relation.Tuple
+	key    string
+}
+
+// NewPackage builds a package from tuples, sorting and deduplicating.
+func NewPackage(tuples ...relation.Tuple) Package {
+	ts := make([]relation.Tuple, 0, len(tuples))
+	seen := make(map[string]struct{}, len(tuples))
+	for _, t := range tuples {
+		k := t.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	return Package{tuples: ts, key: packageKey(ts)}
+}
+
+// PackageFromRelation builds a package holding all tuples of a relation.
+func PackageFromRelation(r *relation.Relation) Package {
+	return NewPackage(r.Tuples()...)
+}
+
+func packageKey(sorted []relation.Tuple) string {
+	var b strings.Builder
+	for _, t := range sorted {
+		b.WriteString(t.Key())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Len returns |N|, the number of items.
+func (p Package) Len() int { return len(p.tuples) }
+
+// IsEmpty reports whether the package has no items.
+func (p Package) IsEmpty() bool { return len(p.tuples) == 0 }
+
+// Tuples returns the items in canonical order. Callers must not mutate.
+func (p Package) Tuples() []relation.Tuple { return p.tuples }
+
+// Key returns the canonical identity key; packages are equal iff keys are.
+func (p Package) Key() string { return p.key }
+
+// Equal reports set equality.
+func (p Package) Equal(q Package) bool { return p.key == q.key }
+
+// Contains reports whether the package holds the tuple.
+func (p Package) Contains(t relation.Tuple) bool {
+	i := sort.Search(len(p.tuples), func(i int) bool { return p.tuples[i].Compare(t) >= 0 })
+	return i < len(p.tuples) && p.tuples[i].Equal(t)
+}
+
+// WithTuple returns the package extended by t.
+func (p Package) WithTuple(t relation.Tuple) Package {
+	if p.Contains(t) {
+		return p
+	}
+	return NewPackage(append(append([]relation.Tuple(nil), p.tuples...), t)...)
+}
+
+// Relation materialises the package as a relation under the given schema,
+// which is how the compatibility constraint Qc sees the package (as the
+// relation RQ in Section 2).
+func (p Package) Relation(schema *relation.Schema) *relation.Relation {
+	r := relation.NewRelation(schema)
+	for _, t := range p.tuples {
+		if err := r.Insert(t); err != nil {
+			// Arity mismatch indicates the package does not come from Q(D);
+			// callers validate before materialising.
+			panic(err)
+		}
+	}
+	return r
+}
+
+// String renders the package.
+func (p Package) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range p.tuples {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SortPackages orders packages by descending value under vals (parallel
+// slice), breaking ties by ascending key, the deterministic order used by
+// FindTopK.
+func SortPackages(pkgs []Package, vals []float64) {
+	idx := make([]int, len(pkgs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if vals[idx[a]] != vals[idx[b]] {
+			return vals[idx[a]] > vals[idx[b]]
+		}
+		return pkgs[idx[a]].key < pkgs[idx[b]].key
+	})
+	np := make([]Package, len(pkgs))
+	nv := make([]float64, len(vals))
+	for i, j := range idx {
+		np[i] = pkgs[j]
+		nv[i] = vals[j]
+	}
+	copy(pkgs, np)
+	copy(vals, nv)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestPackageCanonicalisation(t *testing.T) {
+	a := NewPackage(relation.Ints(2, 2), relation.Ints(1, 1), relation.Ints(2, 2))
+	b := NewPackage(relation.Ints(1, 1), relation.Ints(2, 2))
+	if !a.Equal(b) {
+		t.Fatal("packages with same tuple sets must be equal")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d after dedup, want 2", a.Len())
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("keys differ for equal packages")
+	}
+}
+
+func TestPackageKeyIsOrderInvariant(t *testing.T) {
+	f := func(xs []int64) bool {
+		ts := make([]relation.Tuple, len(xs))
+		for i, x := range xs {
+			ts[i] = relation.Ints(x)
+		}
+		fwd := NewPackage(ts...)
+		rev := make([]relation.Tuple, len(ts))
+		for i, tp := range ts {
+			rev[len(ts)-1-i] = tp
+		}
+		bwd := NewPackage(rev...)
+		return fwd.Key() == bwd.Key() && fwd.Len() == bwd.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackageContainsAndWithTuple(t *testing.T) {
+	p := NewPackage(relation.Ints(1), relation.Ints(3))
+	if !p.Contains(relation.Ints(1)) || p.Contains(relation.Ints(2)) {
+		t.Fatal("Contains wrong")
+	}
+	q := p.WithTuple(relation.Ints(2))
+	if q.Len() != 3 || !q.Contains(relation.Ints(2)) {
+		t.Fatal("WithTuple failed")
+	}
+	if p.Len() != 2 {
+		t.Fatal("WithTuple mutated the receiver")
+	}
+	if !p.WithTuple(relation.Ints(1)).Equal(p) {
+		t.Fatal("WithTuple of existing tuple should be identity")
+	}
+}
+
+func TestPackageRelationMaterialisation(t *testing.T) {
+	p := NewPackage(relation.Ints(1, 2), relation.Ints(3, 4))
+	r := p.Relation(relation.AutoSchema("RQ", 2))
+	if r.Len() != 2 || !r.Contains(relation.Ints(1, 2)) {
+		t.Fatal("materialised relation wrong")
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	p := NewPackage(relation.Ints(1, 10), relation.Ints(2, 20), relation.Ints(3, 30))
+	empty := NewPackage()
+	cases := []struct {
+		name string
+		agg  Aggregator
+		pkg  Package
+		want float64
+	}{
+		{"count", Count(), p, 3},
+		{"count empty", Count(), empty, 0},
+		{"countOrInf", CountOrInf(), p, 3},
+		{"countOrInf empty", CountOrInf(), empty, math.Inf(1)},
+		{"sum attr0", SumAttr(0), p, 6},
+		{"sum attr1", SumAttr(1), p, 60},
+		{"negsum", NegSumAttr(1), p, -60},
+		{"min", MinAttr(1), p, 10},
+		{"min empty", MinAttr(1), empty, math.Inf(1)},
+		{"max", MaxAttr(1), p, 30},
+		{"max empty", MaxAttr(1), empty, math.Inf(-1)},
+		{"avg", AvgAttr(0), p, 2},
+		{"avg empty", AvgAttr(0), empty, 0},
+		{"weighted", WeightedSum(map[int]float64{0: 1, 1: 0.5}), p, 36},
+		{"const", ConstAgg(7), p, 7},
+	}
+	for _, c := range cases {
+		if got := c.agg.Eval(c.pkg); got != c.want {
+			t.Errorf("%s: Eval = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMonotonicityFlags(t *testing.T) {
+	if !Count().Monotone() || !CountOrInf().Monotone() || !ConstAgg(1).Monotone() {
+		t.Fatal("count-style aggregators should be monotone")
+	}
+	if SumAttr(0).Monotone() {
+		t.Fatal("sums are not monotone by default (values may be negative)")
+	}
+	if !SumAttr(0).WithMonotone().Monotone() {
+		t.Fatal("WithMonotone should set the flag")
+	}
+}
+
+func TestSingletonVal(t *testing.T) {
+	f := UtilityAttr(0)
+	v := SingletonVal(f)
+	if v.Eval(NewPackage(relation.Ints(42))) != 42 {
+		t.Fatal("singleton utility wrong")
+	}
+	if !math.IsInf(v.Eval(NewPackage(relation.Ints(1), relation.Ints(2))), -1) {
+		t.Fatal("non-singleton should rate −∞ under the embedding")
+	}
+	if UtilityNegAttr(0)(relation.Ints(5)) != -5 {
+		t.Fatal("UtilityNegAttr wrong")
+	}
+}
+
+func TestSortPackages(t *testing.T) {
+	a := NewPackage(relation.Ints(1))
+	b := NewPackage(relation.Ints(2))
+	c := NewPackage(relation.Ints(3))
+	pkgs := []Package{a, b, c}
+	vals := []float64{1, 3, 3}
+	SortPackages(pkgs, vals)
+	if vals[0] != 3 || vals[1] != 3 || vals[2] != 1 {
+		t.Fatalf("vals after sort: %v", vals)
+	}
+	// Tie between b and c broken by key: b's key sorts before c's.
+	if !pkgs[0].Equal(b) || !pkgs[1].Equal(c) || !pkgs[2].Equal(a) {
+		t.Fatalf("packages after sort: %v", pkgs)
+	}
+}

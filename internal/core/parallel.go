@@ -1,0 +1,122 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// CountValidParallel solves CPP with a worker pool: the subset-enumeration
+// forest is split at the first level (one tree per smallest candidate
+// index) and the trees are counted concurrently. Counting is
+// order-independent, so the result is identical to CountValid; workers
+// default to GOMAXPROCS. Aggregators, the compatibility query and the
+// Prune hint must be safe for concurrent use — all stock constructors are
+// (they close over immutable state), and Qc evaluation builds a private
+// overlay per call.
+func (p *Problem) CountValidParallel(bound float64, workers int) (int64, error) {
+	if _, err := p.Candidates(); err != nil {
+		return 0, err
+	}
+	ms, err := p.maxSize()
+	if err != nil {
+		return 0, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cands := p.candList
+	roots := make(chan int)
+	var wg sync.WaitGroup
+	counts := make([]int64, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for root := range roots {
+				n, err := p.countSubtree(root, cands, ms, bound)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				counts[w] += n
+			}
+		}(w)
+	}
+	for i := range cands {
+		roots <- i
+	}
+	close(roots)
+	wg.Wait()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// countSubtree counts the valid packages whose smallest candidate index is
+// root, mirroring EnumerateValid's pruning (monotone cost, Prune hint).
+func (p *Problem) countSubtree(root int, cands []relation.Tuple, maxSize int, bound float64) (int64, error) {
+	var total int64
+	current := []relation.Tuple{cands[root]}
+	var walk func(pkg Package, start int) error
+	visit := func(pkg Package) (descend bool, err error) {
+		if p.Prune != nil && p.Prune(pkg) {
+			return false, nil
+		}
+		cost := p.Cost.Eval(pkg)
+		if cost <= p.Budget {
+			ok, err := p.Compatible(pkg)
+			if err != nil {
+				return false, err
+			}
+			if ok && p.Val.Eval(pkg) >= bound {
+				total++
+			}
+		} else if p.Cost.Monotone() {
+			return false, nil
+		}
+		return true, nil
+	}
+	walk = func(pkg Package, start int) error {
+		if pkg.Len() >= maxSize {
+			return nil
+		}
+		for i := start; i < len(cands); i++ {
+			current = append(current, cands[i])
+			next := NewPackage(current...)
+			descend, err := visit(next)
+			if err != nil {
+				current = current[:len(current)-1]
+				return err
+			}
+			if descend {
+				if err := walk(next, i+1); err != nil {
+					current = current[:len(current)-1]
+					return err
+				}
+			}
+			current = current[:len(current)-1]
+		}
+		return nil
+	}
+	rootPkg := NewPackage(cands[root])
+	descend, err := visit(rootPkg)
+	if err != nil {
+		return 0, err
+	}
+	if descend {
+		if err := walk(rootPkg, root+1); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func TestCountValidParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		db := relation.NewDatabase()
+		r := relation.NewRelation(relation.NewSchema("item", "id", "price", "rating"))
+		items := 4 + rng.Intn(5)
+		for i := 0; i < items; i++ {
+			if err := r.Insert(relation.Ints(int64(i), int64(rng.Intn(30)), int64(rng.Intn(10)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.Add(r)
+		p := &Problem{
+			DB: db, Q: query.Identity("RQ", r),
+			Cost: SumAttr(1).WithMonotone(), Val: SumAttr(2),
+			Budget: float64(10 + rng.Intn(60)), K: 1,
+		}
+		bound := float64(rng.Intn(15))
+		seq, err := p.CountValid(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 4} {
+			par, err := p.CountValidParallel(bound, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par != seq {
+				t.Fatalf("trial %d workers %d: parallel %d vs sequential %d", trial, workers, par, seq)
+			}
+		}
+	}
+}
+
+func TestCountValidParallelWithQcAndPrune(t *testing.T) {
+	p := basicProblem(35, 1)
+	p.Qc = query.NewCQ("Qc", nil,
+		query.Rel("RQ", query.V("i1"), query.V("p1"), query.V("r1")),
+		query.Rel("RQ", query.V("i2"), query.V("p2"), query.V("r2")),
+		query.Cmp(query.V("i1"), query.OpNe, query.V("i2")))
+	seq, err := p.CountValid(math.Inf(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := p.CountValidParallel(math.Inf(-1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != seq {
+		t.Fatalf("with Qc: parallel %d vs sequential %d", par, seq)
+	}
+
+	p2 := basicProblem(1000, 1)
+	p2.Prune = func(pkg Package) bool { return pkg.Contains(relation.Ints(1, 10, 5)) }
+	seq, err = p2.CountValid(math.Inf(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err = p2.CountValidParallel(math.Inf(-1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != seq || par != 7 {
+		t.Fatalf("with Prune: parallel %d vs sequential %d (want 7)", par, seq)
+	}
+}
+
+func TestCountValidParallelErrorPropagation(t *testing.T) {
+	p := basicProblem(100, 1)
+	p.Qc = query.NewCQ("Qc", nil, query.Rel("missing", query.V("x")))
+	if _, err := p.CountValidParallel(0, 4); err == nil {
+		t.Fatal("expected Qc error from parallel counting")
+	}
+}

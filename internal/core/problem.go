@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Problem bundles an instance of the package recommendation model:
+// (Q, D, Qc, cost(), val(), C, k) in the paper's notation, plus the
+// predefined polynomial bound on package sizes.
+//
+// Compatibility constraints come in two forms, matching Section 2 and
+// Corollary 6.3: a query Qc (satisfied by N iff Qc(N, D) = ∅, where Qc sees
+// the package as the relation named by Q's output schema), or an arbitrary
+// PTIME predicate CompatFn. Both nil means constraints are absent (the
+// setting of Theorem 4.5). If both are set they must both hold.
+type Problem struct {
+	DB *relation.Database
+	Q  query.Query
+	Qc query.Query
+	// CompatFn reports whether the package is compatible; it realises the
+	// PTIME compatibility constraints of Corollary 6.3.
+	CompatFn func(Package, *relation.Database) (bool, error)
+	Cost     Aggregator
+	Val      Aggregator
+	Budget   float64 // the cost budget C
+	K        int
+	// MaxPkgSize is the predefined bound on |N|; 0 means the default
+	// polynomial bound p(|D|) = |Q(D)| (every package is a subset of the
+	// answer, so this is the tightest sound default). Corollary 6.1 sets it
+	// to a constant Bp.
+	MaxPkgSize int
+	// Prune is an optional hereditary-infeasibility hint: Prune(N) = true
+	// asserts that N and every superset of N are invalid, letting the
+	// enumeration cut the branch. Soundness is the caller's obligation; the
+	// reductions use it for assignment-consistency checks, which are
+	// hereditary even when their cost functions are not monotone.
+	Prune func(Package) bool
+
+	candidates *relation.Relation
+	candList   []relation.Tuple
+}
+
+// Validate checks the instance is well-formed.
+func (p *Problem) Validate() error {
+	if p.DB == nil || p.Q == nil {
+		return fmt.Errorf("core: problem needs a database and a selection query")
+	}
+	if err := p.Q.Validate(); err != nil {
+		return err
+	}
+	if p.Qc != nil {
+		if err := p.Qc.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.K < 0 || p.MaxPkgSize < 0 {
+		return fmt.Errorf("core: k and MaxPkgSize must be non-negative")
+	}
+	return nil
+}
+
+// Candidates returns Q(D), memoised. Its tuples are the items packages are
+// built from.
+func (p *Problem) Candidates() (*relation.Relation, error) {
+	if p.candidates == nil {
+		r, err := p.Q.Eval(p.DB)
+		if err != nil {
+			return nil, err
+		}
+		p.candidates = r
+		p.candList = r.Tuples()
+	}
+	return p.candidates, nil
+}
+
+// InvalidateCache drops the memoised answer, for callers that mutate DB.
+func (p *Problem) InvalidateCache() {
+	p.candidates = nil
+	p.candList = nil
+}
+
+// maxSize resolves the package size bound.
+func (p *Problem) maxSize() (int, error) {
+	if p.MaxPkgSize > 0 {
+		return p.MaxPkgSize, nil
+	}
+	c, err := p.Candidates()
+	if err != nil {
+		return 0, err
+	}
+	return c.Len(), nil
+}
+
+// WithMaxSize returns a copy of the problem with packages bounded by bp, the
+// constant-bound special case of Corollary 6.1 (bp = 1 with absent Qc is the
+// item setting of Theorem 6.4).
+func (p *Problem) WithMaxSize(bp int) *Problem {
+	c := *p
+	c.MaxPkgSize = bp
+	c.candidates = nil
+	c.candList = nil
+	return &c
+}
+
+// Compatible reports whether the package satisfies the compatibility
+// constraints: Qc(N, D) = ∅ and/or CompatFn.
+func (p *Problem) Compatible(pkg Package) (bool, error) {
+	if p.Qc != nil {
+		schema := relation.AutoSchema(p.Q.OutName(), p.Q.Arity())
+		db := p.DB.WithRelation(pkg.Relation(schema))
+		ans, err := p.Qc.Eval(db)
+		if err != nil {
+			return false, err
+		}
+		if ans.Len() != 0 {
+			return false, nil
+		}
+	}
+	if p.CompatFn != nil {
+		ok, err := p.CompatFn(pkg, p.DB)
+		if err != nil || !ok {
+			return ok, err
+		}
+	}
+	return true, nil
+}
+
+// Valid reports whether pkg satisfies conditions (1)–(4) of a top-k package
+// selection: pkg ⊆ Q(D), |pkg| within the size bound, Qc(pkg, D) = ∅, and
+// cost(pkg) ≤ C.
+func (p *Problem) Valid(pkg Package) (bool, error) {
+	cands, err := p.Candidates()
+	if err != nil {
+		return false, err
+	}
+	ms, err := p.maxSize()
+	if err != nil {
+		return false, err
+	}
+	if pkg.Len() > ms {
+		return false, nil
+	}
+	for _, t := range pkg.Tuples() {
+		if !cands.Contains(t) {
+			return false, nil
+		}
+	}
+	if p.Cost.Eval(pkg) > p.Budget {
+		return false, nil
+	}
+	return p.Compatible(pkg)
+}
+
+// ValidAbove reports whether pkg is valid for (Q, D, Qc, cost, val, C, B),
+// i.e. valid with val(pkg) ≥ B (Section 5's validity notion).
+func (p *Problem) ValidAbove(pkg Package, bound float64) (bool, error) {
+	ok, err := p.Valid(pkg)
+	if err != nil || !ok {
+		return ok, err
+	}
+	return p.Val.Eval(pkg) >= bound, nil
+}
+
+// EnumerateValid enumerates every valid non-empty package in a
+// deterministic order, invoking yield for each; yield returning false stops
+// the enumeration. The search walks subsets of Q(D) depth-first in
+// canonical tuple order, pruning over-budget branches when the cost
+// aggregator is monotone. This is the deterministic simulation of the
+// paper's oracle machines; its worst case is exponential in |Q(D)|, as the
+// complexity results require.
+func (p *Problem) EnumerateValid(yield func(Package) (bool, error)) error {
+	if _, err := p.Candidates(); err != nil {
+		return err
+	}
+	ms, err := p.maxSize()
+	if err != nil {
+		return err
+	}
+	cands := p.candList
+	current := make([]relation.Tuple, 0, ms)
+	var walk func(start int) (bool, error)
+	walk = func(start int) (bool, error) {
+		if len(current) >= ms {
+			return true, nil
+		}
+		for i := start; i < len(cands); i++ {
+			current = append(current, cands[i])
+			pkg := NewPackage(current...)
+			if p.Prune != nil && p.Prune(pkg) {
+				current = current[:len(current)-1]
+				continue
+			}
+			cost := p.Cost.Eval(pkg)
+			prune := false
+			if cost <= p.Budget {
+				ok, err := p.Compatible(pkg)
+				if err != nil {
+					current = current[:len(current)-1]
+					return false, err
+				}
+				if ok {
+					cont, err := yield(pkg)
+					if err != nil || !cont {
+						current = current[:len(current)-1]
+						return cont, err
+					}
+				}
+			} else if p.Cost.Monotone() {
+				// Supersets can only cost more: skip the whole branch.
+				prune = true
+			}
+			if !prune {
+				cont, err := walk(i + 1)
+				if err != nil || !cont {
+					current = current[:len(current)-1]
+					return cont, err
+				}
+			}
+			current = current[:len(current)-1]
+		}
+		return true, nil
+	}
+	_, err = walk(0)
+	return err
+}
+
+// ExistsKValid reports whether k pairwise-distinct valid packages rated at
+// least B exist, the feasibility check shared by the query-relaxation and
+// adjustment problems (Sections 7 and 8).
+func (p *Problem) ExistsKValid(k int, bound float64) (bool, error) {
+	if k <= 0 {
+		return true, nil
+	}
+	found := 0
+	err := p.EnumerateValid(func(pkg Package) (bool, error) {
+		if p.Val.Eval(pkg) >= bound {
+			found++
+			if found >= k {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
+	return found >= k, err
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DecideTopK decides RPP: whether sel is a top-k package selection for the
+// problem. When the answer is no, witness explains why — either a member
+// fails validity/distinctness (witness nil) or a valid package outside sel
+// out-rates some member (witness set to it).
+func (p *Problem) DecideTopK(sel []Package) (ok bool, witness *Package, err error) {
+	if len(sel) != p.K {
+		return false, nil, nil
+	}
+	seen := make(map[string]struct{}, len(sel))
+	minVal := math.Inf(1)
+	for _, n := range sel {
+		if _, dup := seen[n.Key()]; dup {
+			return false, nil, nil // condition (6): pairwise distinct
+		}
+		seen[n.Key()] = struct{}{}
+		valid, err := p.Valid(n)
+		if err != nil {
+			return false, nil, err
+		}
+		if !valid {
+			return false, nil, nil // conditions (1)–(4)
+		}
+		minVal = math.Min(minVal, p.Val.Eval(n))
+	}
+	// Condition (5): no valid package outside sel rates above any member.
+	var found *Package
+	err = p.EnumerateValid(func(n Package) (bool, error) {
+		if _, inSel := seen[n.Key()]; inSel {
+			return true, nil
+		}
+		if p.Val.Eval(n) > minVal {
+			cp := n
+			found = &cp
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	if found != nil {
+		return false, found, nil
+	}
+	return true, nil, nil
+}
+
+// FindTopK solves FRP by exhaustive enumeration: it returns a top-k package
+// selection ordered by descending rating (ties broken by canonical package
+// key), or ok = false when fewer than k distinct valid packages exist.
+func (p *Problem) FindTopK() (sel []Package, ok bool, err error) {
+	type scored struct {
+		pkg Package
+		val float64
+	}
+	var best []scored
+	worse := func(a, b scored) bool { // a strictly worse than b
+		if a.val != b.val {
+			return a.val < b.val
+		}
+		return a.pkg.Key() > b.pkg.Key()
+	}
+	err = p.EnumerateValid(func(n Package) (bool, error) {
+		s := scored{pkg: n, val: p.Val.Eval(n)}
+		// Insert into the top-k buffer (k is small; linear insertion).
+		pos := len(best)
+		for pos > 0 && worse(best[pos-1], s) {
+			pos--
+		}
+		if pos >= p.K {
+			return true, nil
+		}
+		best = append(best, scored{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = s
+		if len(best) > p.K {
+			best = best[:p.K]
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if len(best) < p.K {
+		return nil, false, nil
+	}
+	sel = make([]Package, len(best))
+	for i, s := range best {
+		sel[i] = s.pkg
+	}
+	return sel, true, nil
+}
+
+// MaxBound solves the optimisation core of MBP: the maximum B such that a
+// top-k package selection exists with val(Ni) ≥ B for all i — equivalently
+// the k-th highest rating among valid packages. ok is false when no top-k
+// selection exists.
+func (p *Problem) MaxBound() (bound float64, ok bool, err error) {
+	sel, ok, err := p.FindTopK()
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	bound = math.Inf(1)
+	for _, n := range sel {
+		bound = math.Min(bound, p.Val.Eval(n))
+	}
+	return bound, true, nil
+}
+
+// IsMaxBound decides MBP: whether B is the maximum bound for
+// (Q, D, Qc, cost, val, C, k).
+func (p *Problem) IsMaxBound(b float64) (bool, error) {
+	mb, ok, err := p.MaxBound()
+	if err != nil {
+		return false, err
+	}
+	return ok && mb == b, nil
+}
+
+// CountValid solves CPP: the number of valid packages rated at least B.
+func (p *Problem) CountValid(bound float64) (int64, error) {
+	var n int64
+	err := p.EnumerateValid(func(pkg Package) (bool, error) {
+		if p.Val.Eval(pkg) >= bound {
+			n++
+		}
+		return true, nil
+	})
+	return n, err
+}
+
+// existsValidAboveExt is the oracle EXISTPACK≥ from the proof of Theorem
+// 5.1: does a valid package N exist with val(N) ≥ bound, N ∉ excl, and
+// N ⊇ base? The deterministic simulation is a bounded exhaustive search
+// over supersets of base.
+func (p *Problem) existsValidAboveExt(bound float64, excl map[string]struct{}, base Package) (bool, error) {
+	if _, err := p.Candidates(); err != nil {
+		return false, err
+	}
+	ms, err := p.maxSize()
+	if err != nil {
+		return false, err
+	}
+	// Check the base itself first.
+	if !base.IsEmpty() && base.Len() <= ms {
+		if ok, err := p.checkOracleHit(base, bound, excl); err != nil || ok {
+			return ok, err
+		}
+	}
+	found := false
+	var walk func(start int, cur Package) (bool, error)
+	walk = func(start int, cur Package) (bool, error) {
+		if cur.Len() >= ms {
+			return true, nil
+		}
+		for i := start; i < len(p.candList); i++ {
+			t := p.candList[i]
+			if base.Contains(t) {
+				continue
+			}
+			next := cur.WithTuple(t)
+			if p.Prune != nil && p.Prune(next) {
+				continue
+			}
+			hit, err := p.checkOracleHit(next, bound, excl)
+			if err != nil {
+				return false, err
+			}
+			if hit {
+				found = true
+				return false, nil
+			}
+			// Monotone-cost pruning, as in EnumerateValid.
+			if p.Cost.Monotone() && p.Cost.Eval(next) > p.Budget {
+				continue
+			}
+			cont, err := walk(i+1, next)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err = walk(0, base)
+	return found, err
+}
+
+// checkOracleHit tests a concrete package against the oracle's conditions.
+// The empty package is never a hit, mirroring EnumerateValid.
+func (p *Problem) checkOracleHit(pkg Package, bound float64, excl map[string]struct{}) (bool, error) {
+	if pkg.IsEmpty() {
+		return false, nil
+	}
+	if _, skip := excl[pkg.Key()]; skip {
+		return false, nil
+	}
+	return p.ValidAbove(pkg, bound)
+}
+
+// FindTopKViaOracle solves FRP with the algorithm from the proof of Theorem
+// 5.1: for each of the k slots it binary-searches the maximal integer
+// rating B ∈ [lo, hi] for which the oracle EXISTPACK≥ reports a fresh valid
+// package, then extracts such a package by self-reduction — repeatedly
+// asking the oracle whether the current partial package extends to an
+// optimal one. It requires an integer-valued rating function (as the proof
+// does, which assumes ratings within [0, 2^p(n)]); the extraction step uses
+// direct oracle calls on N ∪ {s} instead of the proof's m×n constant-array
+// bookkeeping, which queries the same oracle and extracts the same package.
+func (p *Problem) FindTopKViaOracle(lo, hi int64) (sel []Package, ok bool, err error) {
+	excl := make(map[string]struct{})
+	curHi := hi
+	for slot := 0; slot < p.K; slot++ {
+		// Binary search the maximal B with a fresh valid package rated ≥ B.
+		feasible, err := p.existsValidAboveExt(float64(lo), excl, Package{})
+		if err != nil {
+			return nil, false, err
+		}
+		if !feasible {
+			return nil, false, nil
+		}
+		bLo, bHi := lo, curHi // invariant: exists at bLo
+		for bLo < bHi {
+			mid := bLo + (bHi-bLo+1)/2
+			exists, err := p.existsValidAboveExt(float64(mid), excl, Package{})
+			if err != nil {
+				return nil, false, err
+			}
+			if exists {
+				bLo = mid
+			} else {
+				bHi = mid - 1
+			}
+		}
+		b := float64(bLo)
+		// Self-reducible extraction of a package rated ≥ b.
+		pkg, err := p.extractPackage(b, excl)
+		if err != nil {
+			return nil, false, err
+		}
+		sel = append(sel, pkg)
+		excl[pkg.Key()] = struct{}{}
+		curHi = bLo // later packages rate no higher
+	}
+	return sel, true, nil
+}
+
+// extractPackage grows a package tuple by tuple, keeping the invariant that
+// some valid fresh package rated ≥ b extends the current partial package.
+func (p *Problem) extractPackage(b float64, excl map[string]struct{}) (Package, error) {
+	cur := Package{}
+	ms, err := p.maxSize()
+	if err != nil {
+		return Package{}, err
+	}
+	for steps := 0; steps <= ms; steps++ {
+		if hit, err := p.checkOracleHit(cur, b, excl); err != nil {
+			return Package{}, err
+		} else if hit {
+			return cur, nil
+		}
+		extended := false
+		for _, t := range p.candList {
+			if cur.Contains(t) {
+				continue
+			}
+			next := cur.WithTuple(t)
+			exists, err := p.existsValidAboveExt(b, excl, next)
+			if err != nil {
+				return Package{}, err
+			}
+			if exists {
+				cur = next
+				extended = true
+				break
+			}
+		}
+		if !extended {
+			return Package{}, fmt.Errorf("core: oracle extraction stalled at %v (bound %g): non-integer ratings?", cur, b)
+		}
+	}
+	return Package{}, fmt.Errorf("core: oracle extraction exceeded the package size bound")
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// bruteTopK computes the top-k selection by full subset enumeration,
+// independent of EnumerateValid, for cross-checking FindTopK.
+func bruteTopK(t *testing.T, p *Problem) ([]Package, bool) {
+	t.Helper()
+	cands, err := p.Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := cands.Tuples()
+	var pkgs []Package
+	var vals []float64
+	for mask := 1; mask < 1<<len(ts); mask++ {
+		var sub []relation.Tuple
+		for i := range ts {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, ts[i])
+			}
+		}
+		pkg := NewPackage(sub...)
+		ok, err := p.Valid(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			pkgs = append(pkgs, pkg)
+			vals = append(vals, p.Val.Eval(pkg))
+		}
+	}
+	if len(pkgs) < p.K {
+		return nil, false
+	}
+	SortPackages(pkgs, vals)
+	return pkgs[:p.K], true
+}
+
+func TestFindTopKMatchesBruteForce(t *testing.T) {
+	for _, budget := range []float64{5, 15, 35, 60, 1000} {
+		for k := 1; k <= 4; k++ {
+			p := basicProblem(budget, k)
+			got, ok, err := p.FindTopK()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := bruteTopK(t, p)
+			if ok != wantOK {
+				t.Fatalf("budget %g k %d: ok = %v, brute = %v", budget, k, ok, wantOK)
+			}
+			if !ok {
+				continue
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("budget %g k %d: slot %d = %v, brute = %v", budget, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFindTopKOrdering(t *testing.T) {
+	p := basicProblem(1000, 3)
+	sel, ok, err := p.FindTopK()
+	if err != nil || !ok {
+		t.Fatalf("FindTopK: ok=%v err=%v", ok, err)
+	}
+	for i := 1; i < len(sel); i++ {
+		if p.Val.Eval(sel[i-1]) < p.Val.Eval(sel[i]) {
+			t.Fatal("selection not sorted by descending rating")
+		}
+	}
+}
+
+func TestDecideTopKAcceptsFindTopK(t *testing.T) {
+	for _, budget := range []float64{15, 35, 1000} {
+		for k := 1; k <= 3; k++ {
+			p := basicProblem(budget, k)
+			sel, ok, err := p.FindTopK()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				continue
+			}
+			accept, witness, err := p.DecideTopK(sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !accept {
+				t.Fatalf("budget %g k %d: DecideTopK rejected FindTopK's answer (witness %v)", budget, k, witness)
+			}
+		}
+	}
+}
+
+func TestDecideTopKRejectsSuboptimal(t *testing.T) {
+	p := basicProblem(1000, 1)
+	// The singleton {4} (rating 3) is valid but far from top-1 (the full
+	// package rates 25).
+	ok, witness, err := p.DecideTopK([]Package{NewPackage(relation.Ints(4, 5, 3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("suboptimal selection accepted")
+	}
+	if witness == nil {
+		t.Fatal("expected a higher-rated witness package")
+	}
+	if p.Val.Eval(*witness) <= 3 {
+		t.Fatalf("witness %v does not out-rate the rejected selection", witness)
+	}
+}
+
+func TestDecideTopKRejectsMalformedSelections(t *testing.T) {
+	p := basicProblem(1000, 2)
+	a := NewPackage(relation.Ints(1, 10, 5))
+	cases := []struct {
+		name string
+		sel  []Package
+	}{
+		{"wrong cardinality", []Package{a}},
+		{"duplicates", []Package{a, a}},
+		{"invalid member", []Package{a, NewPackage(relation.Ints(9, 9, 9))}},
+	}
+	for _, c := range cases {
+		ok, _, err := p.DecideTopK(c.sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestMaxBound(t *testing.T) {
+	// Budget 15: valid packages {1}(val 5), {4}(3), {1,4}(8).
+	p := basicProblem(15, 2)
+	b, ok, err := p.MaxBound()
+	if err != nil || !ok {
+		t.Fatalf("MaxBound: ok=%v err=%v", ok, err)
+	}
+	// Top-2 ratings are 8 and 5, so the max bound is 5.
+	if b != 5 {
+		t.Fatalf("MaxBound = %g, want 5", b)
+	}
+	for _, c := range []struct {
+		b    float64
+		want bool
+	}{{5, true}, {8, false}, {3, false}, {100, false}} {
+		got, err := p.IsMaxBound(c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("IsMaxBound(%g) = %v, want %v", c.b, got, c.want)
+		}
+	}
+	// k larger than the number of valid packages: no bound exists.
+	p4 := basicProblem(15, 4)
+	if _, ok, err := p4.MaxBound(); err != nil || ok {
+		t.Fatalf("MaxBound with infeasible k: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCountValid(t *testing.T) {
+	p := basicProblem(15, 1)
+	for _, c := range []struct {
+		bound float64
+		want  int64
+	}{{math.Inf(-1), 3}, {0, 3}, {4, 2}, {5, 2}, {6, 1}, {8, 1}, {9, 0}} {
+		got, err := p.CountValid(c.bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("CountValid(%g) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+}
+
+func TestFindTopKViaOracleAgreesWithFindTopK(t *testing.T) {
+	// Integer-valued ratings: SumAttr over integer attributes.
+	for _, budget := range []float64{15, 35, 1000} {
+		for k := 1; k <= 3; k++ {
+			p := basicProblem(budget, k)
+			want, wantOK, err := p.FindTopK()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := p.FindTopKViaOracle(0, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != wantOK {
+				t.Fatalf("budget %g k %d: oracle ok=%v exhaustive ok=%v", budget, k, ok, wantOK)
+			}
+			if !ok {
+				continue
+			}
+			// Ratings must agree slot by slot (the specific packages may
+			// differ under ties; here ratings are unique per package value).
+			for i := range want {
+				if p.Val.Eval(got[i]) != p.Val.Eval(want[i]) {
+					t.Fatalf("budget %g k %d slot %d: oracle val %g, exhaustive val %g",
+						budget, k, i, p.Val.Eval(got[i]), p.Val.Eval(want[i]))
+				}
+				if valid, _ := p.Valid(got[i]); !valid {
+					t.Fatalf("oracle returned invalid package %v", got[i])
+				}
+			}
+			// Pairwise distinct.
+			seen := map[string]struct{}{}
+			for _, n := range got {
+				if _, dup := seen[n.Key()]; dup {
+					t.Fatal("oracle selection has duplicates")
+				}
+				seen[n.Key()] = struct{}{}
+			}
+		}
+	}
+}
+
+func TestFindTopKViaOracleInfeasible(t *testing.T) {
+	p := basicProblem(1, 1) // nothing fits a budget of 1
+	_, ok, err := p.FindTopKViaOracle(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("oracle found a selection with an infeasible budget")
+	}
+}
+
+func TestTopKItemsAndEmbedding(t *testing.T) {
+	db := itemsDB()
+	q := query.Identity("RQ", db.Relation("item"))
+	f := UtilityAttr(2) // rating column
+	items, ok, err := TopKItems(db, q, f, 2)
+	if err != nil || !ok {
+		t.Fatalf("TopKItems: ok=%v err=%v", ok, err)
+	}
+	if items[0][0].Int64() != 3 || items[1][0].Int64() != 2 {
+		t.Fatalf("top-2 items = %v", items)
+	}
+
+	// The Section 2 embedding: FindTopK on ItemProblem agrees with TopKItems.
+	ip := ItemProblem(db, q, f, 2)
+	sel, ok, err := ip.FindTopK()
+	if err != nil || !ok {
+		t.Fatalf("embedded FindTopK: ok=%v err=%v", ok, err)
+	}
+	emb := ItemsOf(sel)
+	for i := range items {
+		if !items[i].Equal(emb[i]) {
+			t.Fatalf("embedding mismatch: items %v vs packages %v", items, emb)
+		}
+	}
+}
+
+func TestTopKItemsInsufficient(t *testing.T) {
+	db := itemsDB()
+	q := query.Identity("RQ", db.Relation("item"))
+	_, ok, err := TopKItems(db, q, UtilityAttr(2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("only four items exist; top-5 must fail")
+	}
+}
+
+func TestFixedBoundRestrictsSelections(t *testing.T) {
+	// Corollary 6.1 setting: with Bp = 1 only singletons are valid.
+	p := basicProblem(1000, 1).WithMaxSize(1)
+	sel, ok, err := p.FindTopK()
+	if err != nil || !ok {
+		t.Fatalf("FindTopK: ok=%v err=%v", ok, err)
+	}
+	if sel[0].Len() != 1 {
+		t.Fatalf("Bp=1 selection has %d items", sel[0].Len())
+	}
+	// Best singleton by rating is item 3 (rating 9).
+	if sel[0].Tuples()[0][0].Int64() != 3 {
+		t.Fatalf("top singleton = %v", sel[0])
+	}
+}
+
+func TestDecideTopKWithQc(t *testing.T) {
+	// Qc forbids packages with ≥ 2 items (expressed as a query over RQ):
+	// two distinct ids in the package.
+	db := itemsDB()
+	qc := query.NewCQ("Qc", nil,
+		query.Rel("RQ", query.V("i1"), query.V("p1"), query.V("r1")),
+		query.Rel("RQ", query.V("i2"), query.V("p2"), query.V("r2")),
+		query.Cmp(query.V("i1"), query.OpNe, query.V("i2")))
+	p := &Problem{
+		DB: db, Q: query.Identity("RQ", db.Relation("item")), Qc: qc,
+		Cost: Count(), Val: SumAttr(2), Budget: 100, K: 1,
+	}
+	sel, ok, err := p.FindTopK()
+	if err != nil || !ok {
+		t.Fatalf("FindTopK: ok=%v err=%v", ok, err)
+	}
+	if sel[0].Len() != 1 {
+		t.Fatalf("Qc should force singletons, got %v", sel[0])
+	}
+	accept, _, err := p.DecideTopK(sel)
+	if err != nil || !accept {
+		t.Fatalf("DecideTopK rejected the Qc-constrained optimum: %v", err)
+	}
+}

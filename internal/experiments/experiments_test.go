@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllFamiliesRunAtSmallestParam smoke-tests every experiment row at its
+// smallest parameter: no family may error, and result notes must be
+// non-empty.
+func TestAllFamiliesRunAtSmallestParam(t *testing.T) {
+	var fams []Family
+	fams = append(fams, Table81(true)...)
+	fams = append(fams, Table82(true)...)
+	fams = append(fams, Ablations(true)...)
+	seen := map[string]bool{}
+	for _, f := range fams {
+		if seen[f.ID] {
+			t.Errorf("duplicate family id %q", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.Params) == 0 {
+			t.Errorf("%s: no parameters", f.ID)
+			continue
+		}
+		note, err := f.Run(f.Params[0])
+		if err != nil {
+			t.Errorf("%s at n=%d: %v", f.ID, f.Params[0], err)
+			continue
+		}
+		if note == "" {
+			t.Errorf("%s: empty result note", f.ID)
+		}
+	}
+}
+
+// TestTableCoverage checks that every problem of the paper appears in both
+// tables' families — the "every table row has a bench" deliverable.
+func TestTableCoverage(t *testing.T) {
+	problems := []string{"RPP", "FRP", "MBP", "CPP", "QRPP", "ARPP"}
+	for _, tab := range []struct {
+		name string
+		fams []Family
+	}{
+		{"Table81", Table81(true)},
+		{"Table82", Table82(true)},
+	} {
+		have := map[string]bool{}
+		for _, f := range tab.fams {
+			have[f.Problem] = true
+		}
+		for _, p := range problems {
+			if !have[p] {
+				t.Errorf("%s: problem %s has no experiment family", tab.name, p)
+			}
+		}
+	}
+	// Table 8.1 must cover the language lattice.
+	langs := map[string]bool{}
+	for _, f := range Table81(true) {
+		langs[f.Language] = true
+	}
+	for _, l := range []string{"CQ/UCQ/∃FO+", "DATALOGnr", "FO", "DATALOG"} {
+		if !langs[l] {
+			t.Errorf("Table81: language %s has no experiment family", l)
+		}
+	}
+}
+
+// TestQuickParamsAreSubset checks quick mode only shrinks parameters.
+func TestQuickParamsAreSubset(t *testing.T) {
+	full := Table81(false)
+	quick := Table81(true)
+	if len(full) != len(quick) {
+		t.Fatalf("quick mode changed the number of families: %d vs %d", len(quick), len(full))
+	}
+	for i := range full {
+		if len(quick[i].Params) > len(full[i].Params) {
+			t.Errorf("%s: quick has more params than full", full[i].ID)
+		}
+	}
+}
+
+// TestRunAndRender exercises the measurement plumbing on one cheap family.
+func TestRunAndRender(t *testing.T) {
+	fams := Table82(true)
+	var target Family
+	for _, f := range fams {
+		if f.ID == "T82-RPP-const" {
+			target = f
+		}
+	}
+	if target.ID == "" {
+		t.Fatal("T82-RPP-const family missing")
+	}
+	row := Run(target)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	if len(row.Samples) != len(target.Params) {
+		t.Fatalf("samples = %d, want %d", len(row.Samples), len(target.Params))
+	}
+	if len(row.GrowthRatios()) != len(row.Samples)-1 {
+		t.Fatal("growth ratio count wrong")
+	}
+	out := Render("test table", []Row{row})
+	for _, want := range []string{"test table", "T82-RPP-const", "growth ratios", "PTIME"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLanguageFamiliesAnswerCorrectly pins the family semantics: the
+// product program has 2^d answers, the counter reaches 2^d states, the FO
+// alternation formula holds on a cycle.
+func TestLanguageFamiliesAnswerCorrectly(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		prob := datalogNRProblem(d)
+		cands, err := prob.Candidates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cands.Len() != 1<<d {
+			t.Fatalf("prod(%d) has %d answers, want %d", d, cands.Len(), 1<<d)
+		}
+		prob = datalogProblem(d)
+		cands, err = prob.Candidates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cands.Len() != 1<<d {
+			t.Fatalf("counter(%d) has %d answers, want %d", d, cands.Len(), 1<<d)
+		}
+		fo := foProblem(d)
+		cands, err = fo.Candidates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cands.Len() != 1 {
+			t.Fatalf("alternating FO depth %d should hold on a cycle", d)
+		}
+	}
+}

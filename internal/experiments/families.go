@@ -1,0 +1,708 @@
+// Package experiments builds the instance families and measurement harness
+// that regenerate the paper's evaluation artefacts — Table 8.1 (combined
+// complexity) and Table 8.2 (data complexity) — as measured scaling series.
+// Each row of the tables maps to a Family: a parameterised instance
+// generator plus the solver call whose growth the paper's complexity class
+// predicts. cmd/recbench prints the rows; the root bench_test.go exposes
+// the same families as testing.B benchmarks; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adjust"
+	"repro/internal/boolenc"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/query"
+	"repro/internal/reductions"
+	"repro/internal/relation"
+	"repro/internal/relax"
+	"repro/internal/sat"
+)
+
+// Family is one experiment row: a parameterised instance family and the
+// solver call under measurement.
+type Family struct {
+	ID         string
+	Problem    string // RPP, FRP, MBP, CPP, QRPP, ARPP
+	Language   string // CQ/UCQ/∃FO+, DATALOGnr, FO, DATALOG, SP, (any)
+	Setting    string // with Qc, no Qc, poly bound, Bp=1, items, ...
+	PaperClass string // the complexity class claimed by the paper
+	Params     []int
+	// Run executes the measured solve for size parameter n. The returned
+	// note is displayed beside the sample (e.g. the computed answer).
+	Run func(n int) (note string, err error)
+}
+
+// ---------------------------------------------------------------------------
+// Query families exhibiting the language-driven evaluation growth the
+// upper-bound algorithms rely on.
+// ---------------------------------------------------------------------------
+
+// prodProgram is the non-recursive family P_d(x1..xd) built by joining the
+// Boolean domain d times: |P_d(D)| = 2^d, so bottom-up evaluation grows
+// exponentially with the program size — the succinctness that makes
+// DATALOGnr evaluation PSPACE-hard.
+func prodProgram(d int) *query.Datalog {
+	rules := []query.Rule{
+		query.NewRule(query.Rel("P1", query.V("x1")), query.Rel(boolenc.R01Name, query.V("x1"))),
+	}
+	for i := 2; i <= d; i++ {
+		var headArgs []query.Term
+		var bodyArgs []query.Term
+		for j := 1; j < i; j++ {
+			headArgs = append(headArgs, query.V(fmt.Sprintf("x%d", j)))
+			bodyArgs = append(bodyArgs, query.V(fmt.Sprintf("x%d", j)))
+		}
+		headArgs = append(headArgs, query.V(fmt.Sprintf("x%d", i)))
+		rules = append(rules, query.NewRule(
+			query.Rel(fmt.Sprintf("P%d", i), headArgs...),
+			query.Rel(fmt.Sprintf("P%d", i-1), bodyArgs...),
+			query.Rel(boolenc.R01Name, query.V(fmt.Sprintf("x%d", i)))))
+	}
+	return query.NewDatalog(fmt.Sprintf("P%d", d), rules...)
+}
+
+// counterProgram is the recursive binary-counter family: C holds d-bit
+// strings, the base rule derives 0...0 and one increment rule per bit
+// position derives the successor, so the fixpoint takes 2^d derivation
+// steps — the iteration blow-up behind DATALOG's EXPTIME-completeness.
+func counterProgram(d int) *query.Datalog {
+	zeros := make([]query.Term, d)
+	for i := range zeros {
+		zeros[i] = query.CI(0)
+	}
+	rules := []query.Rule{
+		query.NewRule(query.Rel("C", zeros...), query.Rel(boolenc.R01Name, query.V("z"))),
+	}
+	for i := 0; i < d; i++ {
+		// C(x1..xi, 1, 0...0) :- C(x1..xi, 0, 1...1).
+		head := make([]query.Term, d)
+		body := make([]query.Term, d)
+		for j := 0; j < i; j++ {
+			v := query.V(fmt.Sprintf("x%d", j))
+			head[j], body[j] = v, v
+		}
+		head[i], body[i] = query.CI(1), query.CI(0)
+		for j := i + 1; j < d; j++ {
+			head[j], body[j] = query.CI(0), query.CI(1)
+		}
+		rules = append(rules, query.NewRule(query.Rel("C", head...), query.Rel("C", body...)))
+	}
+	return query.NewDatalog("C", rules...)
+}
+
+// alternatingFO is the quantifier-alternation family
+// ∀a1 ∃b1 (E(a1, b1) ∧ ∀a2 ∃b2 (E(a2, b2) ∧ ...)), true on a directed
+// cycle; active-domain evaluation explores adom^(2d) branches — the
+// alternation that drives FO's PSPACE-completeness.
+func alternatingFO(d int) *query.FOQuery {
+	f := query.Formula(query.Atomf(query.Eq(query.CI(0), query.CI(0))))
+	for i := d; i >= 1; i-- {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		f = query.Forall([]string{a},
+			query.Exists([]string{b},
+				query.And(query.Atomf(query.Rel("E", query.V(a), query.V(b))), f)))
+	}
+	return query.NewFO("RQ", nil, f)
+}
+
+// cycleDB is a directed cycle of length n.
+func cycleDB(n int) *relation.Database {
+	r := relation.NewRelation(relation.NewSchema("E", "src", "dst"))
+	for i := 0; i < n; i++ {
+		if err := r.Insert(relation.Ints(int64(i), int64((i+1)%n))); err != nil {
+			panic(err)
+		}
+	}
+	return relation.NewDatabase().Add(r)
+}
+
+// languageProblem wraps a query family into a minimal package problem:
+// singleton packages (cost |N|, C = 1), constant rating, k = 1. All four
+// POI problems over it are dominated by the query evaluation cost, which is
+// exactly what the language rows of Table 8.1 assert.
+func languageProblem(db *relation.Database, q query.Query) *core.Problem {
+	return &core.Problem{
+		DB: db, Q: q,
+		Cost: core.CountOrInf(), Val: core.ConstAgg(1),
+		Budget: 1, K: 1,
+	}
+}
+
+// datalogNRProblem builds the DATALOGnr language family instance.
+func datalogNRProblem(d int) *core.Problem {
+	return languageProblem(boolenc.NewDB(), prodProgram(d))
+}
+
+// datalogProblem builds the recursive DATALOG language family instance.
+func datalogProblem(d int) *core.Problem {
+	return languageProblem(boolenc.NewDB(), counterProgram(d))
+}
+
+// foProblem builds the FO language family instance (Boolean query).
+func foProblem(d int) *core.Problem {
+	return languageProblem(cycleDB(3), alternatingFO(d))
+}
+
+// knownMember returns a tuple guaranteed to be in the family query's
+// answer, for RPP candidate selections.
+func knownMember(kind string, d int) core.Package {
+	switch kind {
+	case "prod":
+		t := make(relation.Tuple, d)
+		for i := range t {
+			t[i] = relation.Int(1)
+		}
+		return core.NewPackage(t)
+	case "counter":
+		t := make(relation.Tuple, d)
+		for i := range t {
+			t[i] = relation.Int(0)
+		}
+		return core.NewPackage(t)
+	default: // boolean FO query
+		return core.NewPackage(relation.Tuple{})
+	}
+}
+
+// seededEFDNF/seededCNF/seededPair build deterministic formula instances.
+func seededEFDNF(n int) sat.EFDNF {
+	return sat.RandEFDNF(rand.New(rand.NewSource(int64(1000+n))), n, n, n+1)
+}
+
+func seededCNF(vars, clauses int, seed int64) sat.CNF {
+	return sat.Rand3CNF(rand.New(rand.NewSource(seed)), vars, clauses)
+}
+
+func seededPair(n int) sat.Pair {
+	rng := rand.New(rand.NewSource(int64(2000 + n)))
+	return sat.RandPair(rng, n, n, n, n)
+}
+
+// ---------------------------------------------------------------------------
+// The experiment rows.
+// ---------------------------------------------------------------------------
+
+// note formats a boolean/number result for the row display.
+func note(v any) string { return fmt.Sprint(v) }
+
+// Table81 returns the combined-complexity families, one group per problem
+// row of Table 8.1.
+func Table81(quick bool) []Family {
+	cqSizes := []int{1, 2, 3}
+	pairSizes := []int{2, 3, 4}
+	nrSizes := []int{6, 8, 10, 12}
+	foSizes := []int{2, 3, 4, 5}
+	dlSizes := []int{6, 8, 10, 12}
+	if quick {
+		cqSizes = []int{1, 2}
+		pairSizes = []int{2, 3}
+		nrSizes = []int{6, 8}
+		foSizes = []int{2, 3}
+		dlSizes = []int{6, 8}
+	}
+
+	fams := []Family{
+		{
+			ID: "T81-RPP-CQ-Qc", Problem: "RPP", Language: "CQ/UCQ/∃FO+", Setting: "with Qc",
+			PaperClass: "Πp2-complete", Params: cqSizes,
+			Run: func(n int) (string, error) {
+				prob, sel := reductions.RPPFromEFDNF(seededEFDNF(n))
+				ok, _, err := prob.DecideTopK(sel)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-RPP-CQ-noQc", Problem: "RPP", Language: "CQ/UCQ/∃FO+", Setting: "no Qc",
+			PaperClass: "DP-complete", Params: pairSizes,
+			Run: func(n int) (string, error) {
+				prob, sel := reductions.RPPFromSATUNSAT(seededPair(n))
+				ok, _, err := prob.DecideTopK(sel)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-RPP-DATALOGnr", Problem: "RPP", Language: "DATALOGnr", Setting: "either",
+			PaperClass: "PSPACE-complete", Params: nrSizes,
+			Run: func(n int) (string, error) {
+				prob := datalogNRProblem(n)
+				ok, _, err := prob.DecideTopK([]core.Package{knownMember("prod", n)})
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-RPP-FO", Problem: "RPP", Language: "FO", Setting: "either",
+			PaperClass: "PSPACE-complete", Params: foSizes,
+			Run: func(n int) (string, error) {
+				prob := foProblem(n)
+				ok, _, err := prob.DecideTopK([]core.Package{knownMember("fo", n)})
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-RPP-DATALOG", Problem: "RPP", Language: "DATALOG", Setting: "either",
+			PaperClass: "EXPTIME-complete", Params: dlSizes,
+			Run: func(n int) (string, error) {
+				prob := datalogProblem(n)
+				ok, _, err := prob.DecideTopK([]core.Package{knownMember("counter", n)})
+				return note(ok), err
+			},
+		},
+
+		{
+			ID: "T81-FRP-CQ-Qc", Problem: "FRP", Language: "CQ/UCQ/∃FO+", Setting: "with Qc",
+			PaperClass: "FPΣp2-complete", Params: cqSizes,
+			Run: func(n int) (string, error) {
+				ci := reductions.CompatFromEFDNF(seededEFDNF(n))
+				_, ok, err := ci.Problem.FindTopK()
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-FRP-CQ-noQc", Problem: "FRP", Language: "CQ/UCQ/∃FO+", Setting: "no Qc (items)",
+			PaperClass: "FPNP-complete", Params: pairSizes,
+			Run: func(n int) (string, error) {
+				c := seededCNF(n+2, n+2, int64(300+n))
+				ws := sat.RandWeights(rand.New(rand.NewSource(int64(400+n))), n+2, 10)
+				db, q, util := reductions.ItemFRPFromMaxWeightSAT(c, ws)
+				items, ok, err := core.TopKItems(db, q, util, 1)
+				if err != nil || !ok {
+					return note(ok), err
+				}
+				return note(util(items[0])), nil
+			},
+		},
+		{
+			ID: "T81-FRP-DATALOGnr", Problem: "FRP", Language: "DATALOGnr", Setting: "either",
+			PaperClass: "FPSPACE(poly)-complete", Params: nrSizes,
+			Run: func(n int) (string, error) {
+				_, ok, err := datalogNRProblem(n).FindTopK()
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-FRP-FO", Problem: "FRP", Language: "FO", Setting: "either",
+			PaperClass: "FPSPACE(poly)-complete", Params: foSizes,
+			Run: func(n int) (string, error) {
+				_, ok, err := foProblem(n).FindTopK()
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-FRP-DATALOG", Problem: "FRP", Language: "DATALOG", Setting: "either",
+			PaperClass: "FEXPTIME(poly)-complete", Params: dlSizes,
+			Run: func(n int) (string, error) {
+				_, ok, err := datalogProblem(n).FindTopK()
+				return note(ok), err
+			},
+		},
+
+		{
+			ID: "T81-MBP-CQ-Qc", Problem: "MBP", Language: "CQ/UCQ/∃FO+", Setting: "with Qc",
+			PaperClass: "Dp2-complete", Params: cqSizes,
+			Run: func(n int) (string, error) {
+				ci := reductions.CompatFromEFDNF(seededEFDNF(n))
+				ok, err := ci.Problem.IsMaxBound(1)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-MBP-CQ-noQc", Problem: "MBP", Language: "CQ/UCQ/∃FO+", Setting: "no Qc (items)",
+			PaperClass: "DP-complete", Params: pairSizes,
+			Run: func(n int) (string, error) {
+				db, q, util, b := reductions.ItemMBPFromSATUNSAT(seededPair(n))
+				prob := core.ItemProblem(db, q, util, 1)
+				ok, err := prob.IsMaxBound(b)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-MBP-DATALOGnr", Problem: "MBP", Language: "DATALOGnr", Setting: "either",
+			PaperClass: "PSPACE-complete", Params: nrSizes,
+			Run: func(n int) (string, error) {
+				ok, err := datalogNRProblem(n).IsMaxBound(1)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-MBP-FO", Problem: "MBP", Language: "FO", Setting: "either",
+			PaperClass: "PSPACE-complete", Params: foSizes,
+			Run: func(n int) (string, error) {
+				ok, err := foProblem(n).IsMaxBound(1)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-MBP-DATALOG", Problem: "MBP", Language: "DATALOG", Setting: "either",
+			PaperClass: "EXPTIME-complete", Params: dlSizes,
+			Run: func(n int) (string, error) {
+				ok, err := datalogProblem(n).IsMaxBound(1)
+				return note(ok), err
+			},
+		},
+
+		{
+			ID: "T81-CPP-CQ-Qc", Problem: "CPP", Language: "CQ/UCQ/∃FO+", Setting: "with Qc",
+			PaperClass: "#·coNP-complete", Params: cqSizes,
+			Run: func(n int) (string, error) {
+				psi := sat.Rand3DNF(rand.New(rand.NewSource(int64(500+n))), 2*n, n+1)
+				// A Y-only term keeps some counts positive: ∀X ψ holds at
+				// least on the y0 = 1 half of the Y space.
+				psi.Terms = append(psi.Terms, sat.Clause{n + 1})
+				prob, b := reductions.CPPFromPi1(psi, n, n)
+				cnt, err := prob.CountValid(b)
+				return note(cnt), err
+			},
+		},
+		{
+			ID: "T81-CPP-CQ-noQc", Problem: "CPP", Language: "CQ/UCQ/∃FO+", Setting: "no Qc",
+			PaperClass: "#·NP-complete", Params: cqSizes,
+			Run: func(n int) (string, error) {
+				phi := seededCNF(2*n, n+1, int64(600+n))
+				prob, b := reductions.CPPFromSigma1(phi, n, n)
+				cnt, err := prob.CountValid(b)
+				return note(cnt), err
+			},
+		},
+		{
+			ID: "T81-CPP-DATALOGnr", Problem: "CPP", Language: "DATALOGnr", Setting: "either",
+			PaperClass: "#·PSPACE-complete", Params: nrSizes,
+			Run: func(n int) (string, error) {
+				cnt, err := datalogNRProblem(n).CountValid(1)
+				return note(cnt), err
+			},
+		},
+		{
+			ID: "T81-CPP-DATALOGnr-QBF", Problem: "CPP", Language: "DATALOGnr", Setting: "Thm 5.3 #QBF reduction",
+			PaperClass: "#·PSPACE-complete", Params: nrSizes,
+			Run: func(n int) (string, error) {
+				matrix := seededCNF(n, n, int64(900+n))
+				nf := n / 2
+				prefix := make([]sat.Quantifier, n-nf)
+				for j := range prefix {
+					if j%2 == 0 {
+						prefix[j] = sat.QForall
+					}
+				}
+				prob, b, err := reductions.CPPFromQBF(matrix, prefix, nf)
+				if err != nil {
+					return "", err
+				}
+				cnt, err := prob.CountValid(b)
+				return note(cnt), err
+			},
+		},
+		{
+			ID: "T81-CPP-FO", Problem: "CPP", Language: "FO", Setting: "either",
+			PaperClass: "#·PSPACE-complete", Params: foSizes,
+			Run: func(n int) (string, error) {
+				cnt, err := foProblem(n).CountValid(1)
+				return note(cnt), err
+			},
+		},
+		{
+			ID: "T81-CPP-DATALOG", Problem: "CPP", Language: "DATALOG", Setting: "either",
+			PaperClass: "#·EXPTIME-complete", Params: dlSizes,
+			Run: func(n int) (string, error) {
+				cnt, err := datalogProblem(n).CountValid(1)
+				return note(cnt), err
+			},
+		},
+
+		{
+			ID: "T81-QRPP-CQ", Problem: "QRPP", Language: "CQ/UCQ/∃FO+", Setting: "with Qc",
+			PaperClass: "Σp2-complete", Params: cqSizes,
+			Run: func(n int) (string, error) {
+				inst, err := reductions.QRPPFromEFDNF(seededEFDNF(n))
+				if err != nil {
+					return "", err
+				}
+				_, ok, err := relax.Decide(inst)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-QRPP-CQ-noQc", Problem: "QRPP", Language: "CQ/UCQ/∃FO+", Setting: "no Qc",
+			PaperClass: "NP-complete", Params: cqSizes,
+			Run: func(n int) (string, error) {
+				inst, err := reductions.QRPPFrom3SAT(seededCNF(n+2, n+1, int64(700+n)))
+				if err != nil {
+					return "", err
+				}
+				_, ok, err := relax.Decide(inst)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-QRPP-DATALOGnr", Problem: "QRPP", Language: "DATALOGnr", Setting: "either",
+			PaperClass: "PSPACE-complete", Params: nrSizes,
+			Run: func(n int) (string, error) {
+				_, ok, err := relax.Decide(relax.Instance{
+					Problem: datalogNRProblem(n), Bound: 1, GapBudget: 0})
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-QRPP-DATALOG", Problem: "QRPP", Language: "DATALOG", Setting: "either",
+			PaperClass: "EXPTIME-complete", Params: dlSizes,
+			Run: func(n int) (string, error) {
+				_, ok, err := relax.Decide(relax.Instance{
+					Problem: datalogProblem(n), Bound: 1, GapBudget: 0})
+				return note(ok), err
+			},
+		},
+
+		{
+			ID: "T81-ARPP-CQ-Qc", Problem: "ARPP", Language: "CQ/UCQ/∃FO+", Setting: "with Qc",
+			PaperClass: "Σp2-complete", Params: cqSizes,
+			Run: func(n int) (string, error) {
+				inst := reductions.ARPPFromEFDNF(seededEFDNF(n))
+				_, ok, err := adjust.Decide(inst)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-ARPP-DATALOGnr", Problem: "ARPP", Language: "DATALOGnr", Setting: "either",
+			PaperClass: "PSPACE-complete", Params: nrSizes,
+			Run: func(n int) (string, error) {
+				_, ok, err := adjust.Decide(adjust.Instance{
+					Problem: datalogNRProblem(n), Bound: 1, KPrime: 0})
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T81-ARPP-DATALOG", Problem: "ARPP", Language: "DATALOG", Setting: "either",
+			PaperClass: "EXPTIME-complete", Params: dlSizes,
+			Run: func(n int) (string, error) {
+				_, ok, err := adjust.Decide(adjust.Instance{
+					Problem: datalogProblem(n), Bound: 1, KPrime: 0})
+				return note(ok), err
+			},
+		},
+	}
+	return fams
+}
+
+// Table82 returns the data-complexity families: fixed queries over growing
+// databases, in the poly-bounded and constant-bounded package settings.
+func Table82(quick bool) []Family {
+	rs := []int{2, 3, 4, 5}
+	travelSizes := []int{40, 80, 160, 320}
+	if quick {
+		rs = []int{2, 3}
+		travelSizes = []int{40, 80}
+	}
+	fams := []Family{
+		{
+			ID: "T82-RPP-poly", Problem: "RPP", Language: "fixed Q (SP)", Setting: "poly bound",
+			PaperClass: "coNP-complete", Params: rs,
+			Run: func(r int) (string, error) {
+				prob, sel := reductions.RPPFrom3SAT(seededCNF(r+2, r, int64(800+r)))
+				ok, _, err := prob.DecideTopK(sel)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T82-FRP-poly", Problem: "FRP", Language: "fixed Q (SP)", Setting: "poly bound",
+			PaperClass: "FPNP-complete", Params: rs,
+			Run: func(r int) (string, error) {
+				c := seededCNF(r+2, r, int64(810+r))
+				ws := sat.RandWeights(rand.New(rand.NewSource(int64(820+r))), r, 10)
+				prob := reductions.FRPFromMaxWeightSAT(c, ws)
+				sel, ok, err := prob.FindTopK()
+				if err != nil || !ok {
+					return note(ok), err
+				}
+				return note(prob.Val.Eval(sel[0])), nil
+			},
+		},
+		{
+			ID: "T82-MBP-poly", Problem: "MBP", Language: "fixed Q (SP)", Setting: "poly bound",
+			PaperClass: "DP-complete", Params: rs,
+			Run: func(r int) (string, error) {
+				prob, b := reductions.MBPFromSATUNSAT(sat.RandPair(
+					rand.New(rand.NewSource(int64(830+r))), r+2, (r+1)/2, r+2, (r+1)/2))
+				ok, err := prob.IsMaxBound(b)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T82-CPP-poly", Problem: "CPP", Language: "fixed Q (SP)", Setting: "poly bound",
+			PaperClass: "#·P-complete", Params: rs,
+			Run: func(r int) (string, error) {
+				prob, b := reductions.CPPFrom3SAT(seededCNF(r+2, r, int64(840+r)))
+				cnt, err := prob.CountValid(b)
+				return note(cnt), err
+			},
+		},
+		{
+			ID: "T82-QRPP-poly", Problem: "QRPP", Language: "fixed Q (SP)", Setting: "poly bound",
+			PaperClass: "NP-complete", Params: rs,
+			Run: func(r int) (string, error) {
+				inst, err := reductions.QRPPFrom3SAT(seededCNF(r+2, r, int64(850+r)))
+				if err != nil {
+					return "", err
+				}
+				_, ok, err := relax.Decide(inst)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "T82-ARPP-poly", Problem: "ARPP", Language: "fixed Q", Setting: "items (Cor 8.2)",
+			PaperClass: "NP-complete", Params: []int{2, 3},
+			Run: func(r int) (string, error) {
+				c := seededCNF(3, r, int64(860+r)).Compact()
+				inst, _ := reductions.ItemARPPFrom3SAT(c)
+				_, ok, err := adjust.Decide(inst)
+				return note(ok), err
+			},
+		},
+	}
+	// Constant-bound rows (Corollary 6.1): fixed travel query, growing |D|,
+	// Bp = 2. Runtime must grow polynomially.
+	constRow := func(id, problem, class string, run func(p *core.Problem) (string, error)) Family {
+		return Family{
+			ID: id, Problem: problem, Language: "fixed Q (CQ)", Setting: "Bp=2",
+			PaperClass: class, Params: travelSizes,
+			Run: func(n int) (string, error) {
+				prob := travelProblem(n).WithMaxSize(2)
+				return run(prob)
+			},
+		}
+	}
+	fams = append(fams,
+		constRow("T82-RPP-const", "RPP", "PTIME", func(p *core.Problem) (string, error) {
+			sel, ok, err := p.FindTopK()
+			if err != nil || !ok {
+				return note(ok), err
+			}
+			ok2, _, err := p.DecideTopK(sel)
+			return note(ok2), err
+		}),
+		constRow("T82-FRP-const", "FRP", "FP", func(p *core.Problem) (string, error) {
+			_, ok, err := p.FindTopK()
+			return note(ok), err
+		}),
+		constRow("T82-MBP-const", "MBP", "PTIME", func(p *core.Problem) (string, error) {
+			b, ok, err := p.MaxBound()
+			if err != nil || !ok {
+				return note(ok), err
+			}
+			return note(b), nil
+		}),
+		constRow("T82-CPP-const", "CPP", "FP", func(p *core.Problem) (string, error) {
+			cnt, err := p.CountValid(0)
+			return note(cnt), err
+		}),
+	)
+	return fams
+}
+
+// HardCPPProblem exposes the Theorem 5.3 counting family at clause count r
+// for the parallel-counting ablation bench.
+func HardCPPProblem(r int) *core.Problem {
+	prob, _ := reductions.CPPFrom3SAT(seededCNF(r+2, r, int64(840+r)))
+	return prob
+}
+
+// travelProblem is the fixed-query data-complexity workload: nyc POI
+// packages over a growing travel database.
+func travelProblem(nPOI int) *core.Problem {
+	db := gen.Travel(9, 20, nPOI)
+	v := query.V
+	q := query.NewCQ("RQ",
+		[]query.Term{v("name"), v("type"), v("ticket"), v("time")},
+		query.Rel("poi", v("name"), v("city"), v("type"), v("ticket"), v("time")),
+		query.Eq(v("city"), query.CS("nyc")))
+	return &core.Problem{
+		DB: db, Q: q,
+		Cost:   core.SumAttr(3).WithMonotone(),
+		Val:    core.NegSumAttr(2),
+		Budget: 400,
+		K:      2,
+	}
+}
+
+// Ablations returns the design-choice ablation rows DESIGN.md calls out:
+// oracle-based vs exhaustive FRP, Qc-as-query vs PTIME CompatFn
+// (Corollary 6.3), packages vs items (Theorem 6.4), and SP variable- vs
+// fixed-size (Corollary 6.2).
+func Ablations(quick bool) []Family {
+	rs := []int{2, 3, 4}
+	if quick {
+		rs = []int{2, 3}
+	}
+	return []Family{
+		{
+			ID: "ABL-FRP-oracle", Problem: "FRP", Language: "fixed Q (SP)", Setting: "oracle algorithm (Thm 5.1)",
+			PaperClass: "FPNP via binary search", Params: rs,
+			Run: func(r int) (string, error) {
+				c := seededCNF(r+2, r, int64(810+r))
+				ws := sat.RandWeights(rand.New(rand.NewSource(int64(820+r))), r, 10)
+				prob := reductions.FRPFromMaxWeightSAT(c, ws)
+				var hi int64
+				for _, w := range ws {
+					hi += w
+				}
+				sel, ok, err := prob.FindTopKViaOracle(0, hi)
+				if err != nil || !ok {
+					return note(ok), err
+				}
+				return note(prob.Val.Eval(sel[0])), nil
+			},
+		},
+		{
+			ID: "ABL-Qc-ptime", Problem: "RPP", Language: "CQ", Setting: "PTIME CompatFn (Cor 6.3)",
+			PaperClass: "same as no-Qc", Params: []int{40, 80, 160},
+			Run: func(n int) (string, error) {
+				prob := travelProblem(n).WithMaxSize(2)
+				prob.CompatFn = func(p core.Package, _ *relation.Database) (bool, error) {
+					// At most one museum per package.
+					museums := 0
+					for _, t := range p.Tuples() {
+						if t[1].Equal(relation.Str("museum")) {
+							museums++
+						}
+					}
+					return museums <= 1, nil
+				}
+				_, ok, err := prob.FindTopK()
+				return note(ok), err
+			},
+		},
+		{
+			ID: "ABL-SP-variable", Problem: "CPP", Language: "SP", Setting: "variable size (Cor 6.2)",
+			PaperClass: "#·P-complete", Params: rs,
+			Run: func(r int) (string, error) {
+				prob, b := reductions.CPPFrom3SAT(seededCNF(r+2, r, int64(840+r)))
+				cnt, err := prob.CountValid(b)
+				return note(cnt), err
+			},
+		},
+		{
+			ID: "ABL-SP-fixed", Problem: "CPP", Language: "SP", Setting: "Bp=2 (Cor 6.2)",
+			PaperClass: "FP", Params: rs,
+			Run: func(r int) (string, error) {
+				prob, _ := reductions.CPPFrom3SAT(seededCNF(r+2, r, int64(840+r)))
+				cnt, err := prob.WithMaxSize(2).CountValid(0)
+				return note(cnt), err
+			},
+		},
+		{
+			ID: "ABL-items", Problem: "FRP", Language: "CQ", Setting: "items (Thm 6.4)",
+			PaperClass: "data complexity FP", Params: []int{40, 80, 160},
+			Run: func(n int) (string, error) {
+				prob := travelProblem(n)
+				items, ok, err := core.TopKItems(prob.DB, prob.Q, core.UtilityNegAttr(2), 3)
+				if err != nil || !ok {
+					return note(ok), err
+				}
+				return note(len(items)), nil
+			},
+		},
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Sample is one timed solve.
+type Sample struct {
+	Param   int
+	Seconds float64
+	Note    string
+}
+
+// Row is a completed experiment row: the family plus its measurements.
+type Row struct {
+	Family  Family
+	Samples []Sample
+	Err     error
+}
+
+// Run measures a family: one timed solve per parameter.
+func Run(f Family) Row {
+	row := Row{Family: f}
+	for _, n := range f.Params {
+		start := time.Now()
+		note, err := f.Run(n)
+		el := time.Since(start).Seconds()
+		if err != nil {
+			row.Err = fmt.Errorf("param %d: %w", n, err)
+			return row
+		}
+		row.Samples = append(row.Samples, Sample{Param: n, Seconds: el, Note: note})
+	}
+	return row
+}
+
+// RunAll measures a list of families.
+func RunAll(fams []Family) []Row {
+	rows := make([]Row, len(fams))
+	for i, f := range fams {
+		rows[i] = Run(f)
+	}
+	return rows
+}
+
+// GrowthRatios returns consecutive time ratios t(n_{i+1}) / t(n_i).
+func (r Row) GrowthRatios() []float64 {
+	var out []float64
+	for i := 1; i < len(r.Samples); i++ {
+		prev := r.Samples[i-1].Seconds
+		if prev <= 0 {
+			prev = 1e-9
+		}
+		out = append(out, r.Samples[i].Seconds/prev)
+	}
+	return out
+}
+
+// LogLogSlope fits time ≈ c · param^slope by least squares on the log-log
+// samples — the polynomial-degree estimate used by the constant-bound rows.
+func (r Row) LogLogSlope() float64 {
+	if len(r.Samples) < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(r.Samples))
+	for _, s := range r.Samples {
+		x := math.Log(float64(s.Param))
+		y := math.Log(math.Max(s.Seconds, 1e-9))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Render formats rows as an aligned text table, one block per row, in the
+// shape of the paper's Tables 8.1/8.2 annotated with measurements.
+func Render(title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&b, "%-22s %-14s %-18s %-24s %s\n",
+		"id", "problem", "language", "setting", "paper class")
+	for _, r := range rows {
+		f := r.Family
+		fmt.Fprintf(&b, "%-22s %-14s %-18s %-24s %s\n",
+			f.ID, f.Problem, f.Language, f.Setting, f.PaperClass)
+		if r.Err != nil {
+			fmt.Fprintf(&b, "    ERROR: %v\n", r.Err)
+			continue
+		}
+		for _, s := range r.Samples {
+			fmt.Fprintf(&b, "    n=%-5d %10.4fs   result=%s\n", s.Param, s.Seconds, s.Note)
+		}
+		ratios := r.GrowthRatios()
+		if len(ratios) > 0 {
+			parts := make([]string, len(ratios))
+			for i, x := range ratios {
+				parts[i] = fmt.Sprintf("%.1fx", x)
+			}
+			fmt.Fprintf(&b, "    growth ratios: %s", strings.Join(parts, ", "))
+			if slope := r.LogLogSlope(); !math.IsNaN(slope) {
+				fmt.Fprintf(&b, "   (log-log slope %.2f)", slope)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+// Package gen produces deterministic synthetic workloads for the three
+// application domains the paper motivates package recommendation with:
+// travel planning (flights and points of interest, Example 1.1), course
+// packages with prerequisites ([27, 28]), and team formation ([23]). The
+// paper's referenced systems use proprietary data; these seeded generators
+// exercise the same schemas and constraint shapes (see DESIGN.md).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// Cities used by the travel generator; edi/nyc/ewr anchor the Example 1.1
+// and Example 7.1 scenarios.
+var Cities = []string{"edi", "nyc", "ewr", "lhr", "cdg", "ams", "bos", "sfo", "gla", "dub"}
+
+// POITypes used by the travel generator.
+var POITypes = []string{"museum", "theater", "park", "gallery", "landmark"}
+
+// Travel generates a travel database:
+//
+//	flight(fno, from, to, date, price, duration)
+//	poi(name, city, type, ticket, time)
+//
+// with nFlights flights among Cities and nPOI points of interest. A direct
+// edi → nyc flight is deliberately excluded so the Example 7.1 relaxation
+// scenario holds, while edi → ewr flights always exist.
+func Travel(seed int64, nFlights, nPOI int) *relation.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := relation.NewDatabase()
+
+	flights := relation.NewRelation(relation.NewSchema("flight",
+		"fno", "from", "to", "date", "price", "duration"))
+	// Guaranteed anchors for the examples: edi → ewr and gla → nyc.
+	anchors := [][2]string{{"edi", "ewr"}, {"gla", "nyc"}}
+	for i := 0; i < nFlights; i++ {
+		var from, to string
+		if i < len(anchors) {
+			from, to = anchors[i][0], anchors[i][1]
+		} else {
+			from = Cities[rng.Intn(len(Cities))]
+			to = Cities[rng.Intn(len(Cities))]
+			for to == from || (from == "edi" && to == "nyc") {
+				to = Cities[rng.Intn(len(Cities))]
+			}
+		}
+		tuple := relation.NewTuple(
+			relation.Int(int64(100+i)),
+			relation.Str(from),
+			relation.Str(to),
+			relation.Int(int64(1+rng.Intn(28))),
+			relation.Int(int64(60+rng.Intn(900))),
+			relation.Int(int64(60+rng.Intn(600))))
+		if err := flights.Insert(tuple); err != nil {
+			panic(err)
+		}
+	}
+	db.Add(flights)
+
+	pois := relation.NewRelation(relation.NewSchema("poi",
+		"name", "city", "type", "ticket", "time"))
+	for i := 0; i < nPOI; i++ {
+		city := Cities[rng.Intn(len(Cities))]
+		if i < 4 {
+			city = "nyc" // the examples visit nyc
+		}
+		tuple := relation.NewTuple(
+			relation.Str(fmt.Sprintf("poi%03d", i)),
+			relation.Str(city),
+			relation.Str(POITypes[rng.Intn(len(POITypes))]),
+			relation.Int(int64(rng.Intn(60))),
+			relation.Int(int64(30+rng.Intn(240))))
+		if err := pois.Insert(tuple); err != nil {
+			panic(err)
+		}
+	}
+	db.Add(pois)
+	return db
+}
+
+// Courses generates a course catalogue with an acyclic prerequisite graph:
+//
+//	course(cid, credits, rating)
+//	prereq(cid, requires)
+//
+// Course i may require only lower-numbered courses, so the graph is a DAG.
+func Courses(seed int64, nCourses, maxPrereqs int) *relation.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := relation.NewDatabase()
+
+	courses := relation.NewRelation(relation.NewSchema("course", "cid", "credits", "rating"))
+	for i := 0; i < nCourses; i++ {
+		if err := courses.Insert(relation.NewTuple(
+			relation.Int(int64(i+1)),
+			relation.Int(int64(1+rng.Intn(4))),
+			relation.Int(int64(1+rng.Intn(10))))); err != nil {
+			panic(err)
+		}
+	}
+	db.Add(courses)
+
+	prereqs := relation.NewRelation(relation.NewSchema("prereq", "cid", "requires"))
+	for i := 2; i <= nCourses; i++ {
+		n := rng.Intn(maxPrereqs + 1)
+		for j := 0; j < n; j++ {
+			req := 1 + rng.Intn(i-1)
+			if err := prereqs.Insert(relation.Ints(int64(i), int64(req))); err != nil {
+				panic(err)
+			}
+		}
+	}
+	db.Add(prereqs)
+	return db
+}
+
+// Skills used by the team generator.
+var Skills = []string{"db", "ml", "systems", "theory", "frontend", "security"}
+
+// Team generates an expert pool with pairwise conflicts:
+//
+//	expert(eid, skill, cost, rating)
+//	conflict(a, b)
+//
+// Conflicts are symmetric and irreflexive; conflictRate in [0, 1] controls
+// their density.
+func Team(seed int64, nExperts int, conflictRate float64) *relation.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := relation.NewDatabase()
+
+	experts := relation.NewRelation(relation.NewSchema("expert", "eid", "skill", "cost", "rating"))
+	for i := 0; i < nExperts; i++ {
+		if err := experts.Insert(relation.NewTuple(
+			relation.Int(int64(i+1)),
+			relation.Str(Skills[i%len(Skills)]),
+			relation.Int(int64(10+rng.Intn(90))),
+			relation.Int(int64(1+rng.Intn(10))))); err != nil {
+			panic(err)
+		}
+	}
+	db.Add(experts)
+
+	conflicts := relation.NewRelation(relation.NewSchema("conflict", "a", "b"))
+	for i := 1; i <= nExperts; i++ {
+		for j := i + 1; j <= nExperts; j++ {
+			if rng.Float64() < conflictRate {
+				if err := conflicts.Insert(relation.Ints(int64(i), int64(j))); err != nil {
+					panic(err)
+				}
+				if err := conflicts.Insert(relation.Ints(int64(j), int64(i))); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	db.Add(conflicts)
+	return db
+}
+
+// CityDistances returns the distance table used by the travel relaxation
+// examples (Example 7.1): nyc is 12 miles from ewr and 10 from jfk.
+func CityDistances() map[[2]string]float64 {
+	return map[[2]string]float64{
+		{"nyc", "ewr"}: 12,
+		{"nyc", "jfk"}: 10,
+		{"edi", "gla"}: 42,
+		{"lhr", "cdg"}: 214,
+	}
+}

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestTravelDeterministic(t *testing.T) {
+	a := Travel(7, 20, 15)
+	b := Travel(7, 20, 15)
+	for _, name := range a.Names() {
+		if !a.Relation(name).Equal(b.Relation(name)) {
+			t.Fatalf("relation %s differs across identical seeds", name)
+		}
+	}
+	c := Travel(8, 20, 15)
+	same := true
+	for _, name := range a.Names() {
+		if !a.Relation(name).Equal(c.Relation(name)) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical databases")
+	}
+}
+
+func TestTravelInvariants(t *testing.T) {
+	db := Travel(1, 30, 20)
+	flights := db.Relation("flight")
+	if flights.Len() == 0 || db.Relation("poi").Len() == 0 {
+		t.Fatal("empty workload")
+	}
+	ediEwr := false
+	for _, f := range flights.Tuples() {
+		from, to := f[1].Text(), f[2].Text()
+		if from == "edi" && to == "nyc" {
+			t.Fatal("generator must not create a direct edi → nyc flight (Example 7.1)")
+		}
+		if from == to {
+			t.Fatal("self-loop flight generated")
+		}
+		if from == "edi" && to == "ewr" {
+			ediEwr = true
+		}
+		if f[4].Int64() <= 0 || f[5].Int64() <= 0 {
+			t.Fatal("non-positive price or duration")
+		}
+	}
+	if !ediEwr {
+		t.Fatal("anchor flight edi → ewr missing")
+	}
+	nyc := 0
+	for _, p := range db.Relation("poi").Tuples() {
+		if p[1].Text() == "nyc" {
+			nyc++
+		}
+	}
+	if nyc < 4 {
+		t.Fatalf("expected at least 4 nyc POIs, got %d", nyc)
+	}
+}
+
+func TestCoursesPrereqDAG(t *testing.T) {
+	db := Courses(3, 12, 3)
+	if db.Relation("course").Len() != 12 {
+		t.Fatalf("courses = %d", db.Relation("course").Len())
+	}
+	for _, p := range db.Relation("prereq").Tuples() {
+		if p[1].Int64() >= p[0].Int64() {
+			t.Fatalf("prerequisite edge %v not descending: cycle possible", p)
+		}
+	}
+}
+
+func TestTeamConflictsSymmetric(t *testing.T) {
+	db := Team(5, 10, 0.3)
+	conf := db.Relation("conflict")
+	for _, c := range conf.Tuples() {
+		if c[0].Equal(c[1]) {
+			t.Fatalf("reflexive conflict %v", c)
+		}
+		if !conf.Contains(relation.NewTuple(c[1], c[0])) {
+			t.Fatalf("conflict %v missing its symmetric pair", c)
+		}
+	}
+	if db.Relation("expert").Len() != 10 {
+		t.Fatal("wrong expert count")
+	}
+}
+
+func TestTeamConflictRateZero(t *testing.T) {
+	db := Team(5, 8, 0)
+	if db.Relation("conflict").Len() != 0 {
+		t.Fatal("zero conflict rate should yield no conflicts")
+	}
+}
+
+func TestCityDistancesAnchors(t *testing.T) {
+	d := CityDistances()
+	if d[[2]string{"nyc", "ewr"}] != 12 {
+		t.Fatal("nyc-ewr distance must stay 12 (Example 7.1 depends on it)")
+	}
+}

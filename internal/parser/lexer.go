@@ -1,0 +1,233 @@
+// Package parser parses the textual query syntax used by the command-line
+// tools and tests. Two forms are supported, mirroring the paper's language
+// lattice:
+//
+// Rule form (CQ / UCQ / DATALOGnr / DATALOG, auto-classified):
+//
+//	Q(x, y) :- R(x, z), S(z, y), x < 5, z != "a".
+//	Q(x, y) :- T(x, y).
+//
+// Formula form (∃FO+ / FO, auto-classified by positivity):
+//
+//	Q(x) := exists y (R(x, y) & !S(y)) | forall z (T(z) -> U(x, z)).
+//
+// Comments run from '%' or '#' to end of line. Constants are integers,
+// floats, or double-quoted strings.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokRuleDef    // :-
+	tokFormulaDef // :=
+	tokCmp        // < <= > >= = !=
+	tokAnd        // &
+	tokOr         // |
+	tokNot        // !
+	tokImplies    // ->
+)
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenises the input.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenises the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("parser: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%' || c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto lexStart
+		}
+	}
+lexStart:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos, line: l.line}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	mk := func(kind tokenKind) token {
+		return token{kind: kind, text: l.src[start:l.pos], pos: start, line: l.line}
+	}
+	switch {
+	case c == '(':
+		l.pos++
+		return mk(tokLParen), nil
+	case c == ')':
+		l.pos++
+		return mk(tokRParen), nil
+	case c == ',':
+		l.pos++
+		return mk(tokComma), nil
+	case c == '.':
+		l.pos++
+		return mk(tokDot), nil
+	case c == '&':
+		l.pos++
+		return mk(tokAnd), nil
+	case c == '|':
+		l.pos++
+		return mk(tokOr), nil
+	case c == ':':
+		l.pos++
+		switch l.peekByte() {
+		case '-':
+			l.pos++
+			return mk(tokRuleDef), nil
+		case '=':
+			l.pos++
+			return mk(tokFormulaDef), nil
+		default:
+			return token{}, l.errf("expected ':-' or ':=' after ':'")
+		}
+	case c == '<' || c == '>':
+		l.pos++
+		if l.peekByte() == '=' {
+			l.pos++
+		}
+		return mk(tokCmp), nil
+	case c == '=':
+		l.pos++
+		return mk(tokCmp), nil
+	case c == '!':
+		l.pos++
+		if l.peekByte() == '=' {
+			l.pos++
+			return mk(tokCmp), nil
+		}
+		return mk(tokNot), nil
+	case c == '-':
+		l.pos++
+		if l.peekByte() == '>' {
+			l.pos++
+			return mk(tokImplies), nil
+		}
+		// Negative number.
+		if !isDigit(l.peekByte()) {
+			return token{}, l.errf("unexpected '-'")
+		}
+		l.lexNumberTail()
+		return mk(tokNumber), nil
+	case c == '"':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				return token{}, l.errf("unterminated string literal")
+			}
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string literal")
+		}
+		l.pos++ // closing quote
+		return token{kind: tokString, text: b.String(), pos: start, line: l.line}, nil
+	case isDigit(c):
+		l.lexNumberTail()
+		return mk(tokNumber), nil
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return mk(tokIdent), nil
+	default:
+		return token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+// lexNumberTail consumes digits and an optional fraction; the first
+// character (digit or '-') is already consumed.
+func (l *lexer) lexNumberTail() {
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isDigit(l.src[l.pos+1]) {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,397 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// parser consumes a token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return token{}, fmt.Errorf("parser: line %d: expected %s, found %s", t.line, what, t)
+	}
+	return p.advance(), nil
+}
+
+// Parse parses a query in either rule form or formula form and classifies
+// it: one rule over extensional predicates parses as a CQ (or SP), several
+// rules with a common head as a UCQ, programs with intensional body
+// predicates as DATALOGnr or DATALOG, and formula-form queries as ∃FO+ when
+// positive or FO otherwise. The first rule's head predicate is the output.
+func Parse(src string) (query.Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	// Look ahead to decide the form: head ident, args, then ':-' or ':='.
+	form, err := p.detectForm()
+	if err != nil {
+		return nil, err
+	}
+	if form == tokFormulaDef {
+		return p.parseFormulaQuery()
+	}
+	return p.parseRuleQuery()
+}
+
+// detectForm scans ahead for the first ':-' or ':=' token.
+func (p *parser) detectForm() (tokenKind, error) {
+	for _, t := range p.toks {
+		if t.kind == tokRuleDef || t.kind == tokFormulaDef {
+			return t.kind, nil
+		}
+		if t.kind == tokEOF {
+			break
+		}
+	}
+	return tokEOF, fmt.Errorf("parser: no ':-' or ':=' definition found")
+}
+
+// parseTerm parses a variable or constant.
+func (p *parser) parseTerm() (query.Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		p.advance()
+		return query.V(t.text), nil
+	case tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return query.Term{}, fmt.Errorf("parser: line %d: bad number %q", t.line, t.text)
+			}
+			return query.C(relation.Float(f)), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return query.Term{}, fmt.Errorf("parser: line %d: bad number %q", t.line, t.text)
+		}
+		return query.C(relation.Int(i)), nil
+	case tokString:
+		p.advance()
+		return query.C(relation.Str(t.text)), nil
+	default:
+		return query.Term{}, fmt.Errorf("parser: line %d: expected a term, found %s", t.line, t)
+	}
+}
+
+// parseTermList parses '(' term, ..., term ')' (possibly empty).
+func (p *parser) parseTermList() ([]query.Term, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var terms []query.Term
+	if p.peek().kind == tokRParen {
+		p.advance()
+		return terms, nil
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		switch p.peek().kind {
+		case tokComma:
+			p.advance()
+		case tokRParen:
+			p.advance()
+			return terms, nil
+		default:
+			return nil, fmt.Errorf("parser: line %d: expected ',' or ')', found %s", p.peek().line, p.peek())
+		}
+	}
+}
+
+// cmpOps maps comparison spellings.
+var cmpOps = map[string]query.CmpOp{
+	"=": query.OpEq, "!=": query.OpNe,
+	"<": query.OpLt, "<=": query.OpLe,
+	">": query.OpGt, ">=": query.OpGe,
+}
+
+// parseBodyAtom parses a relation atom or comparison inside a rule body.
+func (p *parser) parseBodyAtom() (query.Atom, error) {
+	t := p.peek()
+	if t.kind == tokIdent && p.toks[p.pos+1].kind == tokLParen {
+		p.advance()
+		args, err := p.parseTermList()
+		if err != nil {
+			return nil, err
+		}
+		return query.Rel(t.text, args...), nil
+	}
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.expect(tokCmp, "a comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return query.Cmp(left, cmpOps[op.text], right), nil
+}
+
+// rule is an unclassified parsed rule.
+type rule struct {
+	headPred string
+	headArgs []query.Term
+	body     []query.Atom
+}
+
+// parseRuleQuery parses one or more rules and classifies the program.
+func (p *parser) parseRuleQuery() (query.Query, error) {
+	var rules []rule
+	for p.peek().kind != tokEOF {
+		head, err := p.expect(tokIdent, "a head predicate")
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseTermList()
+		if err != nil {
+			return nil, err
+		}
+		r := rule{headPred: head.text, headArgs: args}
+		if p.peek().kind == tokRuleDef {
+			p.advance()
+			for {
+				a, err := p.parseBodyAtom()
+				if err != nil {
+					return nil, err
+				}
+				r.body = append(r.body, a)
+				if p.peek().kind == tokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(tokDot, "'.' at end of rule"); err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("parser: empty program")
+	}
+	return classifyRules(rules)
+}
+
+// classifyRules picks the weakest language that fits: CQ, UCQ, or datalog.
+func classifyRules(rules []rule) (query.Query, error) {
+	heads := map[string]bool{}
+	for _, r := range rules {
+		heads[r.headPred] = true
+	}
+	usesIDB := false
+	for _, r := range rules {
+		for _, a := range r.body {
+			if ra, ok := a.(*query.RelAtom); ok && heads[ra.Pred] {
+				usesIDB = true
+			}
+		}
+	}
+	output := rules[0].headPred
+	if !usesIDB && len(heads) == 1 {
+		if len(rules) == 1 {
+			return query.NewCQ(output, rules[0].headArgs, rules[0].body...), nil
+		}
+		disjuncts := make([]*query.CQ, len(rules))
+		for i, r := range rules {
+			disjuncts[i] = query.NewCQ(fmt.Sprintf("%s_%d", output, i+1), r.headArgs, r.body...)
+		}
+		return query.NewUCQ(output, disjuncts...), nil
+	}
+	dl := make([]query.Rule, len(rules))
+	for i, r := range rules {
+		dl[i] = query.NewRule(query.Rel(r.headPred, r.headArgs...), r.body...)
+	}
+	return query.NewDatalog(output, dl...), nil
+}
+
+// parseFormulaQuery parses Q(vars) := formula.
+func (p *parser) parseFormulaQuery() (query.Query, error) {
+	head, err := p.expect(tokIdent, "a head predicate")
+	if err != nil {
+		return nil, err
+	}
+	args, err := p.parseTermList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokFormulaDef, "':='"); err != nil {
+		return nil, err
+	}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokDot {
+		p.advance()
+	}
+	if _, err := p.expect(tokEOF, "end of input"); err != nil {
+		return nil, err
+	}
+	q := query.NewEFOPlus(head.text, args, f)
+	if q.Validate() == nil {
+		return q, nil
+	}
+	return query.NewFO(head.text, args, f), nil
+}
+
+// parseFormula: implication (right-associative, lowest precedence).
+func (p *parser) parseFormula() (query.Formula, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokImplies {
+		p.advance()
+		right, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		return query.Implies(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (query.Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	subs := []query.Formula{left}
+	for p.peek().kind == tokOr {
+		p.advance()
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return left, nil
+	}
+	return query.Or(subs...), nil
+}
+
+func (p *parser) parseAnd() (query.Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	subs := []query.Formula{left}
+	for p.peek().kind == tokAnd {
+		p.advance()
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return left, nil
+	}
+	return query.And(subs...), nil
+}
+
+func (p *parser) parseUnary() (query.Formula, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNot:
+		p.advance()
+		sub, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return query.Not(sub), nil
+	case t.kind == tokIdent && (t.text == "exists" || t.text == "forall"):
+		p.advance()
+		var vars []string
+		for {
+			v, err := p.expect(tokIdent, "a quantified variable")
+			if err != nil {
+				return nil, err
+			}
+			vars = append(vars, v.text)
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokLParen, "'(' after quantifier"); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if t.text == "exists" {
+			return query.Exists(vars, sub), nil
+		}
+		return query.Forall(vars, sub), nil
+	case t.kind == tokLParen:
+		p.advance()
+		sub, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return sub, nil
+	case t.kind == tokIdent && p.toks[p.pos+1].kind == tokLParen:
+		p.advance()
+		args, err := p.parseTermList()
+		if err != nil {
+			return nil, err
+		}
+		return query.Atomf(query.Rel(t.text, args...)), nil
+	default:
+		// Comparison atom.
+		left, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.expect(tokCmp, "a comparison operator")
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return query.Atomf(query.Cmp(left, cmpOps[op.text], right)), nil
+	}
+}

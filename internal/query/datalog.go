@@ -1,0 +1,319 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Rule is a datalog rule Head ← Body, where Head is an IDB atom and Body is
+// a list of relation atoms (EDB or IDB) and built-in predicates
+// (Section 2(d),(f)).
+type Rule struct {
+	Head *RelAtom
+	Body []Atom
+}
+
+// NewRule builds a rule.
+func NewRule(head *RelAtom, body ...Atom) Rule { return Rule{Head: head, Body: body} }
+
+// String renders the rule.
+func (r Rule) String() string { return r.Head.String() + " :- " + atomsString(r.Body) + "." }
+
+// Datalog is a datalog program with a designated output predicate. If the
+// dependency graph (edge p' → p when p' occurs in the body of a rule with
+// head p) is acyclic the program is non-recursive (DATALOGnr); otherwise it
+// is full DATALOG with inflationary fixpoint semantics.
+type Datalog struct {
+	Output string
+	Rules  []Rule
+}
+
+// NewDatalog builds a program.
+func NewDatalog(output string, rules ...Rule) *Datalog {
+	return &Datalog{Output: output, Rules: rules}
+}
+
+// OutName returns the output predicate name.
+func (p *Datalog) OutName() string { return p.Output }
+
+// Arity returns the output predicate's arity.
+func (p *Datalog) Arity() int {
+	for _, r := range p.Rules {
+		if r.Head.Pred == p.Output {
+			return len(r.Head.Args)
+		}
+	}
+	return 0
+}
+
+// idbPreds returns the set of intensional predicates (rule heads).
+func (p *Datalog) idbPreds() map[string]int {
+	idb := make(map[string]int)
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = len(r.Head.Args)
+	}
+	return idb
+}
+
+// IsRecursive reports whether the dependency graph has a cycle.
+func (p *Datalog) IsRecursive() bool {
+	idb := p.idbPreds()
+	adj := make(map[string][]string)
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if ra, ok := a.(*RelAtom); ok {
+				if _, isIDB := idb[ra.Pred]; isIDB {
+					adj[r.Head.Pred] = append(adj[r.Head.Pred], ra.Pred)
+				}
+			}
+		}
+	}
+	// Cycle detection by DFS colouring.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[string]int)
+	var visit func(p string) bool
+	visit = func(pred string) bool {
+		colour[pred] = grey
+		for _, next := range adj[pred] {
+			switch colour[next] {
+			case grey:
+				return true
+			case white:
+				if visit(next) {
+					return true
+				}
+			}
+		}
+		colour[pred] = black
+		return false
+	}
+	for pred := range idb {
+		if colour[pred] == white && visit(pred) {
+			return true
+		}
+	}
+	return false
+}
+
+// Language classifies the program: DATALOGnr when non-recursive, DATALOG
+// otherwise.
+func (p *Datalog) Language() Language {
+	if p.IsRecursive() {
+		return LangDatalog
+	}
+	return LangDatalogNR
+}
+
+// Validate checks that the output predicate is intensional, that every IDB
+// predicate has a consistent arity, and that each rule is range-restricted
+// (head and constraint variables bound by body relation atoms).
+func (p *Datalog) Validate() error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("query: datalog program %s has no rules", p.Output)
+	}
+	idb := make(map[string]int)
+	for _, r := range p.Rules {
+		if prev, ok := idb[r.Head.Pred]; ok && prev != len(r.Head.Args) {
+			return fmt.Errorf("query: datalog %s: predicate %s has arities %d and %d",
+				p.Output, r.Head.Pred, prev, len(r.Head.Args))
+		}
+		idb[r.Head.Pred] = len(r.Head.Args)
+	}
+	if _, ok := idb[p.Output]; !ok {
+		return fmt.Errorf("query: datalog %s: output predicate has no rules", p.Output)
+	}
+	for _, r := range p.Rules {
+		bound := make(map[string]struct{})
+		for _, a := range r.Body {
+			if ra, ok := a.(*RelAtom); ok {
+				ra.addVars(bound)
+				if n, isIDB := idb[ra.Pred]; isIDB && n != len(ra.Args) {
+					return fmt.Errorf("query: datalog %s: body atom %v has arity %d, predicate defined with arity %d",
+						p.Output, ra, len(ra.Args), n)
+				}
+			}
+		}
+		for _, t := range r.Head.Args {
+			if t.IsVar {
+				if _, ok := bound[t.Var]; !ok {
+					return fmt.Errorf("query: datalog %s: rule %v: head variable %s not bound by body",
+						p.Output, r, t.Var)
+				}
+			}
+		}
+		for _, a := range r.Body {
+			if _, ok := a.(*RelAtom); ok {
+				continue
+			}
+			vars := make(map[string]struct{})
+			a.addVars(vars)
+			for v := range vars {
+				if _, ok := bound[v]; !ok {
+					return errUnsafe("datalog "+p.Output, a)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Eval computes the output predicate's fixpoint value by semi-naive
+// evaluation. Extensional predicates resolve against db; an IDB predicate
+// shadowing an EDB relation is rejected.
+func (p *Datalog) Eval(db *relation.Database) (*relation.Relation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idbAr := p.idbPreds()
+	for pred := range idbAr {
+		if db.Relation(pred) != nil {
+			return nil, fmt.Errorf("query: datalog %s: IDB predicate %s shadows a database relation", p.Output, pred)
+		}
+	}
+	full := make(map[string]*relation.Relation, len(idbAr))
+	delta := make(map[string]*relation.Relation, len(idbAr))
+	for pred, ar := range idbAr {
+		full[pred] = relation.NewRelation(relation.AutoSchema(pred, ar))
+		delta[pred] = relation.NewRelation(relation.AutoSchema(pred, ar))
+	}
+
+	// ruleEval evaluates one rule with the given resolver, inserting newly
+	// derived head tuples into next.
+	ruleEval := func(r Rule, resolve relResolver, next map[string]*relation.Relation) error {
+		var insertErr error
+		err := evalBody("datalog "+p.Output, r.Body, resolve, Binding{}, func(env Binding) bool {
+			t, err := instantiateHead("datalog "+p.Output, r.Head.Args, env)
+			if err != nil {
+				insertErr = err
+				return false
+			}
+			if !full[r.Head.Pred].Contains(t) {
+				if err := next[r.Head.Pred].Insert(t); err != nil {
+					insertErr = err
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		return insertErr
+	}
+
+	// Round 0: rules evaluated with all IDB predicates empty contribute the
+	// base facts (only rules whose bodies have no IDB atoms can fire).
+	base := func(index int, pred string) (*relation.Relation, error) {
+		_ = index
+		if _, isIDB := idbAr[pred]; isIDB {
+			return full[pred], nil // empty at this point
+		}
+		r := db.Relation(pred)
+		if r == nil {
+			return nil, fmt.Errorf("query: datalog %s: unknown relation %q", p.Output, pred)
+		}
+		return r, nil
+	}
+	for _, r := range p.Rules {
+		if err := ruleEval(r, base, delta); err != nil {
+			return nil, err
+		}
+	}
+	for pred := range idbAr {
+		for _, t := range delta[pred].Tuples() {
+			if err := full[pred].Insert(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Semi-naive iteration: each round, for every rule and every IDB body
+	// occurrence, evaluate with that occurrence restricted to the previous
+	// delta and all other IDB occurrences reading the full relations.
+	for {
+		next := make(map[string]*relation.Relation, len(idbAr))
+		for pred, ar := range idbAr {
+			next[pred] = relation.NewRelation(relation.AutoSchema(pred, ar))
+		}
+		fired := false
+		for _, r := range p.Rules {
+			// Positions (among relation atoms) holding IDB predicates.
+			pos := -1
+			var idbPositions []int
+			var idbPredsAt []string
+			for _, a := range r.Body {
+				if ra, ok := a.(*RelAtom); ok {
+					pos++
+					if _, isIDB := idbAr[ra.Pred]; isIDB {
+						idbPositions = append(idbPositions, pos)
+						idbPredsAt = append(idbPredsAt, ra.Pred)
+					}
+				}
+			}
+			for i, dp := range idbPositions {
+				if delta[idbPredsAt[i]].Len() == 0 {
+					continue
+				}
+				resolver := func(deltaPos int, deltaPred string) relResolver {
+					return func(index int, pred string) (*relation.Relation, error) {
+						if _, isIDB := idbAr[pred]; isIDB {
+							if index == deltaPos {
+								return delta[deltaPred], nil
+							}
+							return full[pred], nil
+						}
+						rel := db.Relation(pred)
+						if rel == nil {
+							return nil, fmt.Errorf("query: datalog %s: unknown relation %q", p.Output, pred)
+						}
+						return rel, nil
+					}
+				}(dp, idbPredsAt[i])
+				if err := ruleEval(r, resolver, next); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for pred := range idbAr {
+			if next[pred].Len() > 0 {
+				fired = true
+			}
+			for _, t := range next[pred].Tuples() {
+				if err := full[pred].Insert(t); err != nil {
+					return nil, err
+				}
+			}
+		}
+		delta = next
+		if !fired {
+			break
+		}
+	}
+	out := full[p.Output].Clone()
+	out.Sort()
+	return out, nil
+}
+
+// Clone returns a deep copy.
+func (p *Datalog) Clone() Query {
+	rules := make([]Rule, len(p.Rules))
+	for i, r := range p.Rules {
+		rules[i] = Rule{Head: r.Head.cloneAtom().(*RelAtom), Body: cloneAtoms(r.Body)}
+	}
+	return &Datalog{Output: p.Output, Rules: rules}
+}
+
+// String renders the program.
+func (p *Datalog) String() string {
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n")
+}

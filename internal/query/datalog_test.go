@@ -1,0 +1,250 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// edgeDB builds a directed path graph 1 -> 2 -> ... -> n plus a back edge
+// n -> 1 when cyclic is set.
+func edgeDB(n int, cyclic bool) *relation.Database {
+	db := relation.NewDatabase()
+	r := relation.NewRelation(relation.NewSchema("E", "src", "dst"))
+	for i := 1; i < n; i++ {
+		if err := r.Insert(relation.Ints(int64(i), int64(i+1))); err != nil {
+			panic(err)
+		}
+	}
+	if cyclic {
+		if err := r.Insert(relation.Ints(int64(n), 1)); err != nil {
+			panic(err)
+		}
+	}
+	db.Add(r)
+	return db
+}
+
+// transitiveClosure is the canonical recursive program.
+func transitiveClosure() *Datalog {
+	return NewDatalog("TC",
+		NewRule(Rel("TC", V("x"), V("y")), Rel("E", V("x"), V("y"))),
+		NewRule(Rel("TC", V("x"), V("z")), Rel("E", V("x"), V("y")), Rel("TC", V("y"), V("z"))))
+}
+
+func TestDatalogTransitiveClosurePath(t *testing.T) {
+	const n = 6
+	out := mustEval(t, transitiveClosure(), edgeDB(n, false))
+	// Path graph: n*(n-1)/2 pairs.
+	if out.Len() != n*(n-1)/2 {
+		t.Fatalf("TC size = %d, want %d", out.Len(), n*(n-1)/2)
+	}
+	if !out.Contains(relation.Ints(1, 6)) || out.Contains(relation.Ints(6, 1)) {
+		t.Fatal("TC content wrong")
+	}
+}
+
+func TestDatalogTransitiveClosureCycle(t *testing.T) {
+	const n = 5
+	out := mustEval(t, transitiveClosure(), edgeDB(n, true))
+	// Strongly connected: all n^2 pairs reachable.
+	if out.Len() != n*n {
+		t.Fatalf("TC size = %d, want %d", out.Len(), n*n)
+	}
+}
+
+func TestDatalogClassification(t *testing.T) {
+	if transitiveClosure().Language() != LangDatalog {
+		t.Fatal("transitive closure should classify as recursive DATALOG")
+	}
+	nr := NewDatalog("Out",
+		NewRule(Rel("P", V("x")), Rel("E", V("x"), V("y"))),
+		NewRule(Rel("Out", V("x")), Rel("P", V("x")), Rel("E", V("x"), V("y"))))
+	if nr.Language() != LangDatalogNR {
+		t.Fatal("acyclic program should classify as DATALOGnr")
+	}
+	if nr.IsRecursive() {
+		t.Fatal("acyclic program reported recursive")
+	}
+}
+
+func TestDatalogNRMatchesUCQ(t *testing.T) {
+	// Out(x) :- E(x, y).  Out(y) :- E(x, y).  equals the UCQ of projections.
+	db := edgeDB(5, false)
+	prog := NewDatalog("Out",
+		NewRule(Rel("Out", V("x")), Rel("E", V("x"), V("y"))),
+		NewRule(Rel("Out", V("y")), Rel("E", V("x"), V("y"))))
+	ucq := NewUCQ("Out",
+		NewCQ("Q1", []Term{V("x")}, Rel("E", V("x"), V("y"))),
+		NewCQ("Q2", []Term{V("y")}, Rel("E", V("x"), V("y"))))
+	if !mustEval(t, prog, db).Equal(mustEval(t, ucq, db)) {
+		t.Fatal("non-recursive datalog disagrees with equivalent UCQ")
+	}
+}
+
+func TestDatalogBuiltinsInBodies(t *testing.T) {
+	// Reach only along edges with src < 3.
+	db := edgeDB(6, false)
+	prog := NewDatalog("TC",
+		NewRule(Rel("TC", V("x"), V("y")), Rel("E", V("x"), V("y")), Cmp(V("x"), OpLt, CI(3))),
+		NewRule(Rel("TC", V("x"), V("z")),
+			Rel("E", V("x"), V("y")), Cmp(V("x"), OpLt, CI(3)), Rel("TC", V("y"), V("z"))))
+	out := mustEval(t, prog, db)
+	wantTuples(t, out, relation.Ints(1, 2), relation.Ints(2, 3), relation.Ints(1, 3))
+}
+
+func TestDatalogMultipleIDBs(t *testing.T) {
+	// Even/odd distance from node 1.
+	db := edgeDB(6, false)
+	prog := NewDatalog("Even",
+		NewRule(Rel("Even", V("x")), Rel("E", V("x"), V("y")), Eq(V("x"), CI(1))),
+		NewRule(Rel("Odd", V("y")), Rel("Even", V("x")), Rel("E", V("x"), V("y"))),
+		NewRule(Rel("Even", V("y")), Rel("Odd", V("x")), Rel("E", V("x"), V("y"))))
+	out := mustEval(t, prog, db)
+	wantTuples(t, out, relation.Ints(1), relation.Ints(3), relation.Ints(5))
+}
+
+func TestDatalogValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Datalog
+	}{
+		{"no rules", NewDatalog("Q")},
+		{"output not IDB", NewDatalog("Q", NewRule(Rel("P", V("x")), Rel("E", V("x"), V("y"))))},
+		{"head var unbound", NewDatalog("Q", NewRule(Rel("Q", V("z")), Rel("E", V("x"), V("y"))))},
+		{"inconsistent arity", NewDatalog("Q",
+			NewRule(Rel("Q", V("x")), Rel("E", V("x"), V("y"))),
+			NewRule(Rel("Q", V("x"), V("y")), Rel("E", V("x"), V("y"))))},
+		{"unsafe builtin", NewDatalog("Q",
+			NewRule(Rel("Q", V("x")), Rel("E", V("x"), V("y")), Cmp(V("z"), OpLt, CI(1))))},
+	}
+	for _, c := range cases {
+		if err := c.prog.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestDatalogIDBShadowsEDB(t *testing.T) {
+	prog := NewDatalog("E", NewRule(Rel("E", V("x"), V("y")), Rel("E", V("x"), V("y"))))
+	if _, err := prog.Eval(edgeDB(3, false)); err == nil {
+		t.Fatal("IDB predicate shadowing an EDB relation must be rejected")
+	}
+}
+
+func TestDatalogUnknownEDB(t *testing.T) {
+	prog := NewDatalog("Q", NewRule(Rel("Q", V("x")), Rel("Missing", V("x"))))
+	if _, err := prog.Eval(edgeDB(3, false)); err == nil {
+		t.Fatal("unknown EDB relation must be rejected")
+	}
+}
+
+func TestDatalogFixpointIdempotent(t *testing.T) {
+	// Evaluating twice gives the same result (fixpoint is deterministic).
+	db := edgeDB(7, true)
+	prog := transitiveClosure()
+	a := mustEval(t, prog, db)
+	b := mustEval(t, prog, db)
+	if !a.Equal(b) {
+		t.Fatal("datalog evaluation is not deterministic")
+	}
+}
+
+func TestDatalogMonotoneInEDB(t *testing.T) {
+	// Adding facts can only grow the fixpoint (datalog is monotone).
+	prog := transitiveClosure()
+	small := edgeDB(4, false)
+	large := edgeDB(4, false)
+	if err := large.Relation("E").Insert(relation.Ints(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	outSmall := mustEval(t, prog, small)
+	outLarge := mustEval(t, prog, large)
+	for _, tup := range outSmall.Tuples() {
+		if !outLarge.Contains(tup) {
+			t.Fatalf("monotonicity violated: %v lost after adding a fact", tup)
+		}
+	}
+}
+
+func TestDatalogSameGenerationProgram(t *testing.T) {
+	// A classic nonlinear recursion: same-generation over a small tree.
+	db := relation.NewDatabase()
+	par := relation.NewRelation(relation.NewSchema("Par", "child", "parent"))
+	// Tree: 1 has children 2,3; 2 has children 4,5; 3 has child 6.
+	for _, e := range [][2]int64{{2, 1}, {3, 1}, {4, 2}, {5, 2}, {6, 3}} {
+		if err := par.Insert(relation.Ints(e[0], e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Add(par)
+	prog := NewDatalog("SG",
+		NewRule(Rel("SG", V("x"), V("x")), Rel("Par", V("x"), V("p"))),
+		NewRule(Rel("SG", V("x"), V("x")), Rel("Par", V("c"), V("x"))),
+		NewRule(Rel("SG", V("x"), V("y")),
+			Rel("Par", V("x"), V("px")), Rel("Par", V("y"), V("py")), Rel("SG", V("px"), V("py"))))
+	out := mustEval(t, prog, db)
+	if !out.Contains(relation.Ints(4, 6)) || !out.Contains(relation.Ints(2, 3)) {
+		t.Fatalf("same-generation missing expected pairs: %v", out)
+	}
+	if out.Contains(relation.Ints(2, 4)) {
+		t.Fatal("same-generation related nodes of different depth")
+	}
+}
+
+func TestDatalogSemiNaiveAgreesWithNaive(t *testing.T) {
+	// Reference naive fixpoint for transitive closure, compared on several
+	// graph sizes.
+	for _, n := range []int{2, 4, 8} {
+		for _, cyclic := range []bool{false, true} {
+			db := edgeDB(n, cyclic)
+			got := mustEval(t, transitiveClosure(), db)
+			want := naiveTC(db.Relation("E"))
+			if !got.Equal(want) {
+				t.Fatalf("n=%d cyclic=%v: semi-naive %v, naive %v", n, cyclic, got, want)
+			}
+		}
+	}
+}
+
+// naiveTC computes transitive closure by repeated squaring-free iteration.
+func naiveTC(edges *relation.Relation) *relation.Relation {
+	out := relation.NewRelation(relation.AutoSchema("TC", 2))
+	for _, e := range edges.Tuples() {
+		if err := out.Insert(e.Clone()); err != nil {
+			panic(err)
+		}
+	}
+	for {
+		added := false
+		for _, a := range out.Tuples() {
+			for _, b := range edges.Tuples() {
+				if a[1].Equal(b[0]) {
+					tup := relation.NewTuple(a[0], b[1])
+					if !out.Contains(tup) {
+						if err := out.Insert(tup); err != nil {
+							panic(err)
+						}
+						added = true
+					}
+				}
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return out
+}
+
+func TestDatalogString(t *testing.T) {
+	s := transitiveClosure().String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	want := fmt.Sprintf("TC(x, y) :- E(x, y).%sTC(x, z) :- E(x, y), TC(y, z).", "\n")
+	if s != want {
+		t.Fatalf("String() = %q, want %q", s, want)
+	}
+}

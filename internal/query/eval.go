@@ -1,0 +1,253 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Language identifies the query language a query belongs to, mirroring the
+// lattice SP ⊆ CQ ⊆ UCQ ⊆ ∃FO+ ⊆ {DATALOGnr, FO} ⊆ DATALOG studied in the
+// paper.
+type Language int
+
+// The languages of Section 2 (plus SP from Corollary 6.2).
+const (
+	LangSP Language = iota
+	LangCQ
+	LangUCQ
+	LangEFOPlus
+	LangDatalogNR
+	LangFO
+	LangDatalog
+)
+
+// String returns the paper's name for the language.
+func (l Language) String() string {
+	switch l {
+	case LangSP:
+		return "SP"
+	case LangCQ:
+		return "CQ"
+	case LangUCQ:
+		return "UCQ"
+	case LangEFOPlus:
+		return "∃FO+"
+	case LangDatalogNR:
+		return "DATALOGnr"
+	case LangFO:
+		return "FO"
+	case LangDatalog:
+		return "DATALOG"
+	default:
+		return fmt.Sprintf("Language(%d)", int(l))
+	}
+}
+
+// Query is a selection query Q or compatibility constraint Qc in one of the
+// languages LQ. Eval returns the answer relation Q(D) under set semantics.
+type Query interface {
+	// Eval computes Q(D).
+	Eval(db *relation.Database) (*relation.Relation, error)
+	// OutName is the name of the output schema RQ.
+	OutName() string
+	// Arity is the arity of the output schema.
+	Arity() int
+	// Language classifies the query.
+	Language() Language
+	// Validate checks well-formedness (range restriction, arity coherence).
+	Validate() error
+	// Clone returns a deep copy, used by the relaxation rewrites of
+	// Section 7.
+	Clone() Query
+	String() string
+}
+
+// errUnsafe reports a body whose constraint atoms never become ground, i.e.
+// a query that is not range-restricted.
+func errUnsafe(what string, a Atom) error {
+	return fmt.Errorf("query: %s: constraint %v has variables not bound by any relation atom", what, a)
+}
+
+// bodyPlan is a compiled rule body: relation atoms in evaluation order, each
+// followed by the constraint atoms that become ground once it is matched.
+type bodyPlan struct {
+	rels        []*RelAtom
+	relSources  []*relation.Relation // parallel to rels
+	constraints [][]Atom             // constraints[i] checked after rels[i-1]; constraints[0] ground at start
+}
+
+// relResolver maps an occurrence of a relation atom to the relation it scans.
+// index is the position of the atom within the body's relation atoms.
+type relResolver func(index int, pred string) (*relation.Relation, error)
+
+// dbResolver resolves predicates directly against a database.
+func dbResolver(db *relation.Database) relResolver {
+	return func(_ int, pred string) (*relation.Relation, error) {
+		r := db.Relation(pred)
+		if r == nil {
+			return nil, fmt.Errorf("query: unknown relation %q", pred)
+		}
+		return r, nil
+	}
+}
+
+// planBody splits a body into relation atoms and constraints, assigning each
+// constraint to the earliest point at which it is ground. initiallyBound
+// lists variables already bound by the caller (e.g. by an enclosing formula).
+func planBody(what string, body []Atom, resolve relResolver, initiallyBound map[string]struct{}) (*bodyPlan, error) {
+	plan := &bodyPlan{}
+	bound := make(map[string]struct{}, len(initiallyBound))
+	for v := range initiallyBound {
+		bound[v] = struct{}{}
+	}
+	var constraints []Atom
+	for _, a := range body {
+		if ra, ok := a.(*RelAtom); ok {
+			plan.rels = append(plan.rels, ra)
+		} else {
+			constraints = append(constraints, a)
+		}
+	}
+	plan.constraints = make([][]Atom, len(plan.rels)+1)
+	plan.relSources = make([]*relation.Relation, len(plan.rels))
+
+	// boundAfter[i] = variables bound once relation atoms [0, i) matched.
+	assigned := make([]bool, len(constraints))
+	place := func(step int) {
+		for ci, c := range constraints {
+			if assigned[ci] {
+				continue
+			}
+			vars := make(map[string]struct{})
+			c.addVars(vars)
+			ground := true
+			for v := range vars {
+				if _, ok := bound[v]; !ok {
+					ground = false
+					break
+				}
+			}
+			if ground {
+				plan.constraints[step] = append(plan.constraints[step], c)
+				assigned[ci] = true
+			}
+		}
+	}
+	place(0)
+	for i, ra := range plan.rels {
+		src, err := resolve(i, ra.Pred)
+		if err != nil {
+			return nil, err
+		}
+		if len(ra.Args) != src.Arity() {
+			return nil, fmt.Errorf("query: %s: atom %v has arity %d but relation %s has arity %d",
+				what, ra, len(ra.Args), ra.Pred, src.Arity())
+		}
+		plan.relSources[i] = src
+		for _, t := range ra.Args {
+			if t.IsVar {
+				bound[t.Var] = struct{}{}
+			}
+		}
+		place(i + 1)
+	}
+	for ci, c := range constraints {
+		if !assigned[ci] {
+			return nil, errUnsafe(what, c)
+		}
+	}
+	return plan, nil
+}
+
+// run enumerates all bindings extending env that satisfy the planned body,
+// invoking yield for each; evaluation stops early if yield returns false.
+// env is mutated during the search and restored before returning.
+func (p *bodyPlan) run(env Binding, yield func(Binding) bool) bool {
+	var step func(i int) bool
+	check := func(atoms []Atom) bool {
+		for _, c := range atoms {
+			ok, ground := groundAtomHolds(c, env)
+			if !ground || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	step = func(i int) bool {
+		if i == len(p.rels) {
+			return yield(env)
+		}
+		ra := p.rels[i]
+		src := p.relSources[i]
+	tuples:
+		for _, tup := range src.Tuples() {
+			var newly []string
+			for j, term := range ra.Args {
+				if !term.IsVar {
+					if !term.Const.Equal(tup[j]) {
+						for _, v := range newly {
+							delete(env, v)
+						}
+						continue tuples
+					}
+					continue
+				}
+				if cur, ok := env[term.Var]; ok {
+					if !cur.Equal(tup[j]) {
+						for _, v := range newly {
+							delete(env, v)
+						}
+						continue tuples
+					}
+					continue
+				}
+				env[term.Var] = tup[j]
+				newly = append(newly, term.Var)
+			}
+			ok := check(p.constraints[i+1]) // constraints ground after this atom
+			cont := true
+			if ok {
+				cont = step(i + 1)
+			}
+			for _, v := range newly {
+				delete(env, v)
+			}
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	if !check(p.constraints[0]) {
+		return true
+	}
+	return step(0)
+}
+
+// evalBody plans and runs a body in one call.
+func evalBody(what string, body []Atom, resolve relResolver, env Binding, yield func(Binding) bool) error {
+	bound := make(map[string]struct{}, len(env))
+	for v := range env {
+		bound[v] = struct{}{}
+	}
+	plan, err := planBody(what, body, resolve, bound)
+	if err != nil {
+		return err
+	}
+	plan.run(env, yield)
+	return nil
+}
+
+// instantiateHead builds the output tuple for a head under env.
+func instantiateHead(what string, head []Term, env Binding) (relation.Tuple, error) {
+	t := make(relation.Tuple, len(head))
+	for i, term := range head {
+		v, ok := term.resolve(env)
+		if !ok {
+			return nil, fmt.Errorf("query: %s: head variable %s not bound by body (query is not range-restricted)", what, term.Var)
+		}
+		t[i] = v
+	}
+	return t, nil
+}

@@ -1,0 +1,548 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Formula is a first-order formula over relation atoms and built-in
+// predicates (Section 2(c),(e)). ∃FO+ queries use the positive fragment
+// (no FNot, no FForall); FO queries use the full language. Evaluation is
+// under active-domain semantics: quantifiers range over adom(Q, D).
+type Formula interface {
+	addFreeVars(set map[string]struct{})
+	cloneF() Formula
+	String() string
+}
+
+// FAtom is an atomic formula.
+type FAtom struct{ A Atom }
+
+// FAnd is a conjunction.
+type FAnd struct{ Subs []Formula }
+
+// FOr is a disjunction.
+type FOr struct{ Subs []Formula }
+
+// FNot is a negation (FO only).
+type FNot struct{ Sub Formula }
+
+// FExists is existential quantification over Vars.
+type FExists struct {
+	Vars []string
+	Sub  Formula
+}
+
+// FForall is universal quantification over Vars (FO only).
+type FForall struct {
+	Vars []string
+	Sub  Formula
+}
+
+// Atomf wraps an atom as a formula.
+func Atomf(a Atom) Formula { return &FAtom{A: a} }
+
+// And builds a conjunction.
+func And(subs ...Formula) Formula { return &FAnd{Subs: subs} }
+
+// Or builds a disjunction.
+func Or(subs ...Formula) Formula { return &FOr{Subs: subs} }
+
+// Not builds a negation.
+func Not(sub Formula) Formula { return &FNot{Sub: sub} }
+
+// Exists builds an existential quantification.
+func Exists(vars []string, sub Formula) Formula { return &FExists{Vars: vars, Sub: sub} }
+
+// Forall builds a universal quantification.
+func Forall(vars []string, sub Formula) Formula { return &FForall{Vars: vars, Sub: sub} }
+
+// Implies builds a → b as ¬a ∨ b.
+func Implies(a, b Formula) Formula { return Or(Not(a), b) }
+
+func (f *FAtom) addFreeVars(set map[string]struct{}) { f.A.addVars(set) }
+func (f *FAnd) addFreeVars(set map[string]struct{}) {
+	for _, s := range f.Subs {
+		s.addFreeVars(set)
+	}
+}
+func (f *FOr) addFreeVars(set map[string]struct{}) {
+	for _, s := range f.Subs {
+		s.addFreeVars(set)
+	}
+}
+func (f *FNot) addFreeVars(set map[string]struct{}) { f.Sub.addFreeVars(set) }
+func (f *FExists) addFreeVars(set map[string]struct{}) {
+	sub := make(map[string]struct{})
+	f.Sub.addFreeVars(sub)
+	for _, v := range f.Vars {
+		delete(sub, v)
+	}
+	for v := range sub {
+		set[v] = struct{}{}
+	}
+}
+func (f *FForall) addFreeVars(set map[string]struct{}) {
+	sub := make(map[string]struct{})
+	f.Sub.addFreeVars(sub)
+	for _, v := range f.Vars {
+		delete(sub, v)
+	}
+	for v := range sub {
+		set[v] = struct{}{}
+	}
+}
+
+func (f *FAtom) cloneF() Formula { return &FAtom{A: f.A.cloneAtom()} }
+func (f *FAnd) cloneF() Formula  { return &FAnd{Subs: cloneFormulas(f.Subs)} }
+func (f *FOr) cloneF() Formula   { return &FOr{Subs: cloneFormulas(f.Subs)} }
+func (f *FNot) cloneF() Formula  { return &FNot{Sub: f.Sub.cloneF()} }
+func (f *FExists) cloneF() Formula {
+	return &FExists{Vars: append([]string(nil), f.Vars...), Sub: f.Sub.cloneF()}
+}
+func (f *FForall) cloneF() Formula {
+	return &FForall{Vars: append([]string(nil), f.Vars...), Sub: f.Sub.cloneF()}
+}
+
+func cloneFormulas(fs []Formula) []Formula {
+	out := make([]Formula, len(fs))
+	for i, f := range fs {
+		out[i] = f.cloneF()
+	}
+	return out
+}
+
+func (f *FAtom) String() string { return f.A.String() }
+func (f *FAnd) String() string  { return joinFormulas(f.Subs, " & ") }
+func (f *FOr) String() string   { return joinFormulas(f.Subs, " | ") }
+func (f *FNot) String() string  { return "!(" + f.Sub.String() + ")" }
+func (f *FExists) String() string {
+	return "exists " + strings.Join(f.Vars, ", ") + " (" + f.Sub.String() + ")"
+}
+func (f *FForall) String() string {
+	return "forall " + strings.Join(f.Vars, ", ") + " (" + f.Sub.String() + ")"
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = "(" + f.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// freeVars returns the sorted free variables of a formula.
+func freeVars(f Formula) []string {
+	set := make(map[string]struct{})
+	f.addFreeVars(set)
+	return sortedVars(set)
+}
+
+// formulaConstants collects constants appearing in a formula (for adom).
+func formulaConstants(f Formula, seen map[relation.Value]struct{}, out *[]relation.Value) {
+	add := func(t Term) {
+		if !t.IsVar {
+			if _, ok := seen[t.Const]; !ok {
+				seen[t.Const] = struct{}{}
+				*out = append(*out, t.Const)
+			}
+		}
+	}
+	switch g := f.(type) {
+	case *FAtom:
+		switch at := g.A.(type) {
+		case *RelAtom:
+			for _, t := range at.Args {
+				add(t)
+			}
+		case *CmpAtom:
+			add(at.Left)
+			add(at.Right)
+		case *DistAtom:
+			add(at.Left)
+			add(at.Right)
+		}
+	case *FAnd:
+		for _, s := range g.Subs {
+			formulaConstants(s, seen, out)
+		}
+	case *FOr:
+		for _, s := range g.Subs {
+			formulaConstants(s, seen, out)
+		}
+	case *FNot:
+		formulaConstants(g.Sub, seen, out)
+	case *FExists:
+		formulaConstants(g.Sub, seen, out)
+	case *FForall:
+		formulaConstants(g.Sub, seen, out)
+	}
+}
+
+// foEval evaluates formulas against a database under active-domain
+// semantics.
+type foEval struct {
+	db   *relation.Database
+	adom []relation.Value
+}
+
+// enumerate yields every extension of env binding all free variables of f
+// (not already bound) under which f holds. env is mutated and restored;
+// the callback must not retain it. It returns false if a yield cancelled.
+func (e *foEval) enumerate(f Formula, env Binding, yield func(Binding) bool) bool {
+	switch g := f.(type) {
+	case *FAtom:
+		return e.enumAtom(g.A, env, yield)
+	case *FAnd:
+		var chain func(i int) bool
+		chain = func(i int) bool {
+			if i == len(g.Subs) {
+				return yield(env)
+			}
+			return e.enumerate(g.Subs[i], env, func(Binding) bool { return chain(i + 1) })
+		}
+		return chain(0)
+	case *FOr:
+		unbound := e.unboundFree(f, env)
+		seen := make(map[string]struct{})
+		for _, sub := range g.Subs {
+			cont := e.enumerate(sub, env, func(Binding) bool {
+				// The branch bound its own free vars; fill in the rest of
+				// f's free vars over the active domain, dedup, and yield.
+				return e.fillAndYield(unbound, env, seen, yield)
+			})
+			if !cont {
+				return false
+			}
+		}
+		return true
+	case *FNot:
+		unbound := e.unboundFree(f, env)
+		return e.forEachAssignment(unbound, env, func() bool {
+			if e.satisfied(g.Sub, env) {
+				return true
+			}
+			return yield(env)
+		})
+	case *FExists:
+		saved := saveVars(env, g.Vars)
+		unbound := e.unboundFree(f, env)
+		seen := make(map[string]struct{})
+		cont := e.enumerate(g.Sub, env, func(Binding) bool {
+			// Hide the witness bindings of the quantified variables and
+			// reinstate any outer bindings they shadowed, so the parent
+			// sees env exactly as at entry.
+			stash := saveVars(env, g.Vars)
+			restoreVars(env, saved)
+			c := e.fillAndYield(unbound, env, seen, yield)
+			for v := range saved {
+				delete(env, v)
+			}
+			restoreVars(env, stash)
+			return c
+		})
+		restoreVars(env, saved)
+		return cont
+	case *FForall:
+		unbound := e.unboundFree(f, env)
+		return e.forEachAssignment(unbound, env, func() bool {
+			saved := saveVars(env, g.Vars)
+			holds := e.allAssignments(g.Vars, env, func() bool {
+				return e.satisfied(g.Sub, env)
+			})
+			restoreVars(env, saved)
+			if !holds {
+				return true
+			}
+			return yield(env)
+		})
+	default:
+		return true
+	}
+}
+
+// enumAtom enumerates satisfying extensions for an atomic formula.
+func (e *foEval) enumAtom(a Atom, env Binding, yield func(Binding) bool) bool {
+	if ra, ok := a.(*RelAtom); ok {
+		src := e.db.Relation(ra.Pred)
+		if src == nil || len(ra.Args) != src.Arity() {
+			// Unknown predicate or arity mismatch: caught by Validate; be
+			// conservative here and produce no matches.
+			return true
+		}
+		plan := &bodyPlan{rels: []*RelAtom{ra}, relSources: []*relation.Relation{src},
+			constraints: make([][]Atom, 2)}
+		return plan.run(env, yield)
+	}
+	// Built-in constraint: test if ground, otherwise enumerate the unbound
+	// variables over the active domain (the constants of Q are part of it).
+	vars := make(map[string]struct{})
+	a.addVars(vars)
+	var unbound []string
+	for _, v := range sortedVars(vars) {
+		if _, ok := env[v]; !ok {
+			unbound = append(unbound, v)
+		}
+	}
+	return e.allAssignmentsYield(unbound, env, func() bool {
+		ok, ground := groundAtomHolds(a, env)
+		if ground && ok {
+			return yield(env)
+		}
+		return true
+	})
+}
+
+// fillAndYield enumerates active-domain assignments for whichever of vars
+// are still unbound, deduplicates complete bindings over vars, and yields.
+func (e *foEval) fillAndYield(vars []string, env Binding, seen map[string]struct{}, yield func(Binding) bool) bool {
+	var rest []string
+	for _, v := range vars {
+		if _, ok := env[v]; !ok {
+			rest = append(rest, v)
+		}
+	}
+	return e.allAssignmentsYield(rest, env, func() bool {
+		key := env.key(vars)
+		if _, dup := seen[key]; dup {
+			return true
+		}
+		seen[key] = struct{}{}
+		return yield(env)
+	})
+}
+
+// unboundFree returns f's free variables not bound in env, sorted.
+func (e *foEval) unboundFree(f Formula, env Binding) []string {
+	var out []string
+	for _, v := range freeVars(f) {
+		if _, ok := env[v]; !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// forEachAssignment enumerates all active-domain assignments of vars,
+// invoking body for each; body returning false cancels.
+func (e *foEval) forEachAssignment(vars []string, env Binding, body func() bool) bool {
+	return e.allAssignmentsYield(vars, env, body)
+}
+
+// allAssignments reports whether body holds for every active-domain
+// assignment of vars.
+func (e *foEval) allAssignments(vars []string, env Binding, body func() bool) bool {
+	all := true
+	e.allAssignmentsYield(vars, env, func() bool {
+		if !body() {
+			all = false
+			return false
+		}
+		return true
+	})
+	return all
+}
+
+// allAssignmentsYield recursively assigns vars over the active domain.
+func (e *foEval) allAssignmentsYield(vars []string, env Binding, body func() bool) bool {
+	if len(vars) == 0 {
+		return body()
+	}
+	v := vars[0]
+	if _, ok := env[v]; ok {
+		return e.allAssignmentsYield(vars[1:], env, body)
+	}
+	for _, val := range e.adom {
+		env[v] = val
+		cont := e.allAssignmentsYield(vars[1:], env, body)
+		delete(env, v)
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// satisfied reports whether f holds under env (all free vars of f bound or
+// implicitly existential via enumeration).
+func (e *foEval) satisfied(f Formula, env Binding) bool {
+	found := false
+	e.enumerate(f, env, func(Binding) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// saveVars removes vars from env, returning their previous values.
+func saveVars(env Binding, vars []string) map[string]relation.Value {
+	saved := make(map[string]relation.Value)
+	for _, v := range vars {
+		if val, ok := env[v]; ok {
+			saved[v] = val
+			delete(env, v)
+		}
+	}
+	return saved
+}
+
+// restoreVars reinstates values saved by saveVars, removing any other
+// bindings of those variables first.
+func restoreVars(env Binding, saved map[string]relation.Value) {
+	for v, val := range saved {
+		env[v] = val
+	}
+}
+
+// FOQuery is a first-order query Name(Head) = Formula, with free(Formula)
+// equal to the head variables (Section 2(e)).
+type FOQuery struct {
+	Name    string
+	Head    []Term
+	Formula Formula
+	// Positive restricts the query to ∃FO+ (Section 2(c)); set by NewEFOPlus.
+	Positive bool
+}
+
+// NewFO builds an FO query.
+func NewFO(name string, head []Term, formula Formula) *FOQuery {
+	return &FOQuery{Name: name, Head: head, Formula: formula}
+}
+
+// NewEFOPlus builds an ∃FO+ query; Validate rejects negation and universal
+// quantification.
+func NewEFOPlus(name string, head []Term, formula Formula) *FOQuery {
+	return &FOQuery{Name: name, Head: head, Formula: formula, Positive: true}
+}
+
+// OutName returns the output relation name.
+func (q *FOQuery) OutName() string { return q.Name }
+
+// Arity returns the output arity.
+func (q *FOQuery) Arity() int { return len(q.Head) }
+
+// Language classifies the query.
+func (q *FOQuery) Language() Language {
+	if q.Positive {
+		return LangEFOPlus
+	}
+	return LangFO
+}
+
+// Validate checks that head variables are free in the formula and, for
+// ∃FO+, that the formula is positive.
+func (q *FOQuery) Validate() error {
+	free := make(map[string]struct{})
+	q.Formula.addFreeVars(free)
+	for _, t := range q.Head {
+		if t.IsVar {
+			if _, ok := free[t.Var]; !ok {
+				return fmt.Errorf("query: %s %s: head variable %s is not free in the formula",
+					q.Language(), q.Name, t.Var)
+			}
+		}
+	}
+	if q.Positive {
+		if err := checkPositive(q.Formula); err != nil {
+			return fmt.Errorf("query: ∃FO+ %s: %w", q.Name, err)
+		}
+	}
+	return nil
+}
+
+// checkPositive rejects FNot and FForall nodes.
+func checkPositive(f Formula) error {
+	switch g := f.(type) {
+	case *FAtom:
+		return nil
+	case *FAnd:
+		for _, s := range g.Subs {
+			if err := checkPositive(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *FOr:
+		for _, s := range g.Subs {
+			if err := checkPositive(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *FExists:
+		return checkPositive(g.Sub)
+	case *FNot:
+		return fmt.Errorf("negation is not allowed in ∃FO+")
+	case *FForall:
+		return fmt.Errorf("universal quantification is not allowed in ∃FO+")
+	default:
+		return fmt.Errorf("unknown formula node %T", f)
+	}
+}
+
+// ActiveDomain returns adom(Q, D): database values plus query constants.
+func (q *FOQuery) ActiveDomain(db *relation.Database) []relation.Value {
+	adom := db.ActiveDomain()
+	seen := make(map[relation.Value]struct{}, len(adom))
+	for _, v := range adom {
+		seen[v] = struct{}{}
+	}
+	var extra []relation.Value
+	formulaConstants(q.Formula, seen, &extra)
+	for _, t := range q.Head {
+		if !t.IsVar {
+			if _, ok := seen[t.Const]; !ok {
+				seen[t.Const] = struct{}{}
+				extra = append(extra, t.Const)
+			}
+		}
+	}
+	adom = append(adom, extra...)
+	sort.Slice(adom, func(i, j int) bool { return adom[i].Less(adom[j]) })
+	return adom
+}
+
+// Eval computes Q(D) under active-domain semantics.
+func (q *FOQuery) Eval(db *relation.Database) (*relation.Relation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	e := &foEval{db: db, adom: q.ActiveDomain(db)}
+	out := relation.NewRelation(relation.AutoSchema(q.Name, len(q.Head)))
+	var evalErr error
+	e.enumerate(q.Formula, Binding{}, func(env Binding) bool {
+		t, err := instantiateHead(q.Language().String()+" "+q.Name, q.Head, env)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if err := out.Insert(t); err != nil {
+			evalErr = err
+			return false
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	out.Sort()
+	return out, nil
+}
+
+// Clone returns a deep copy.
+func (q *FOQuery) Clone() Query {
+	return &FOQuery{Name: q.Name, Head: append([]Term(nil), q.Head...),
+		Formula: q.Formula.cloneF(), Positive: q.Positive}
+}
+
+// String renders the query.
+func (q *FOQuery) String() string {
+	parts := make([]string, len(q.Head))
+	for i, t := range q.Head {
+		parts[i] = t.String()
+	}
+	return q.Name + "(" + strings.Join(parts, ", ") + ") := " + q.Formula.String()
+}

@@ -1,0 +1,167 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestEFOPlusDisjunction(t *testing.T) {
+	// Q(x) := S(x) | exists b (R(x, b) & b = 2)
+	q := NewEFOPlus("Q", []Term{V("x")},
+		Or(Atomf(Rel("S", V("x"))),
+			Exists([]string{"b"}, And(Atomf(Rel("R", V("x"), V("b"))), Atomf(Eq(V("b"), CI(2)))))))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(1), relation.Ints(2), relation.Ints(4))
+	if q.Language() != LangEFOPlus {
+		t.Fatalf("language = %v", q.Language())
+	}
+}
+
+func TestEFOPlusRejectsNegation(t *testing.T) {
+	q := NewEFOPlus("Q", []Term{V("x")}, And(Atomf(Rel("S", V("x"))), Not(Atomf(Rel("S", V("x"))))))
+	if err := q.Validate(); err == nil {
+		t.Fatal("∃FO+ must reject negation")
+	}
+	q2 := NewEFOPlus("Q", []Term{V("x")},
+		And(Atomf(Rel("S", V("x"))), Forall([]string{"y"}, Atomf(Rel("S", V("y"))))))
+	if err := q2.Validate(); err == nil {
+		t.Fatal("∃FO+ must reject universal quantification")
+	}
+}
+
+func TestEFOPlusMatchesUCQ(t *testing.T) {
+	// The ∃FO+ query (S(x) ∨ ∃b R(x,b)) equals the UCQ with those disjuncts.
+	db := testDB()
+	efo := NewEFOPlus("Q", []Term{V("x")},
+		Or(Atomf(Rel("S", V("x"))), Exists([]string{"b"}, Atomf(Rel("R", V("x"), V("b"))))))
+	ucq := NewUCQ("Q",
+		NewCQ("Q1", []Term{V("x")}, Rel("S", V("x"))),
+		NewCQ("Q2", []Term{V("x")}, Rel("R", V("x"), V("b"))))
+	if !mustEval(t, efo, db).Equal(mustEval(t, ucq, db)) {
+		t.Fatal("∃FO+ and equivalent UCQ disagree")
+	}
+}
+
+func TestFONegation(t *testing.T) {
+	// Q(x) := (exists b R(x, b)) & !S(x)  — first components not in S.
+	q := NewFO("Q", []Term{V("x")},
+		And(Exists([]string{"b"}, Atomf(Rel("R", V("x"), V("b")))),
+			Not(Atomf(Rel("S", V("x"))))))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(1), relation.Ints(3))
+}
+
+func TestFOUniversal(t *testing.T) {
+	// Q(x) := S(x) & forall a, b (R(a, b) -> x <= b)
+	// In testDB the R b-column is {2,3,4}; min is 2 so x ∈ S with x ≤ 2: {2}.
+	q := NewFO("Q", []Term{V("x")},
+		And(Atomf(Rel("S", V("x"))),
+			Forall([]string{"a", "b"},
+				Implies(Atomf(Rel("R", V("a"), V("b"))), Atomf(Cmp(V("x"), OpLe, V("b")))))))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(2))
+}
+
+func TestFODoubleNegationMatchesPositive(t *testing.T) {
+	db := testDB()
+	pos := NewFO("Q", []Term{V("x")}, Atomf(Rel("S", V("x"))))
+	dneg := NewFO("Q", []Term{V("x")},
+		And(Atomf(Rel("S", V("x"))), Not(Not(Atomf(Rel("S", V("x")))))))
+	if !mustEval(t, pos, db).Equal(mustEval(t, dneg, db)) {
+		t.Fatal("double negation changed the answer")
+	}
+}
+
+func TestFOQuantifierShadowing(t *testing.T) {
+	// Q(b) := S(b) & exists b (R(1, b))  — inner b shadows the head variable.
+	q := NewFO("Q", []Term{V("b")},
+		And(Atomf(Rel("S", V("b"))), Exists([]string{"b"}, Atomf(Rel("R", CI(1), V("b"))))))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(2), relation.Ints(4))
+}
+
+func TestFOActiveDomainIncludesQueryConstants(t *testing.T) {
+	// Q(x) := x = 99: 99 only exists as a query constant; active-domain
+	// semantics must still return it.
+	q := NewFO("Q", []Term{V("x")}, Atomf(Eq(V("x"), CI(99))))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(99))
+}
+
+func TestFOHeadVarNotFree(t *testing.T) {
+	q := NewFO("Q", []Term{V("z")}, Atomf(Rel("S", V("x"))))
+	if err := q.Validate(); err == nil {
+		t.Fatal("head variable not free in formula should fail validation")
+	}
+}
+
+func TestFOBooleanQuery(t *testing.T) {
+	// Boolean (0-ary) query: Q() := exists x (S(x) & x > 3).
+	q := NewFO("Q", nil, Exists([]string{"x"},
+		And(Atomf(Rel("S", V("x"))), Atomf(Cmp(V("x"), OpGt, CI(3))))))
+	out := mustEval(t, q, testDB())
+	if out.Len() != 1 {
+		t.Fatalf("boolean query should hold: %v", out)
+	}
+	qNo := NewFO("Q", nil, Exists([]string{"x"},
+		And(Atomf(Rel("S", V("x"))), Atomf(Cmp(V("x"), OpGt, CI(10))))))
+	out = mustEval(t, qNo, testDB())
+	if out.Len() != 0 {
+		t.Fatalf("boolean query should be empty: %v", out)
+	}
+}
+
+func TestFOOrDeduplicates(t *testing.T) {
+	// x appears in both branches; answers must be a set.
+	q := NewFO("Q", []Term{V("x")},
+		Or(Atomf(Rel("S", V("x"))), Atomf(Rel("S", V("x")))))
+	wantTuples(t, mustEval(t, q, testDB()), relation.Ints(2), relation.Ints(4))
+}
+
+func TestFOOrUnboundBranchVariables(t *testing.T) {
+	// Q(x, y) := S(x) | S(y): active-domain semantics pairs the free branch
+	// variable with every active-domain value.
+	q := NewFO("Q", []Term{V("x"), V("y")}, Or(Atomf(Rel("S", V("x"))), Atomf(Rel("S", V("y")))))
+	out := mustEval(t, q, testDB())
+	adomSize := len(q.ActiveDomain(testDB()))
+	// |S| * |adom| per branch minus the overlap |S|*|S|.
+	want := 2*adomSize + 2*adomSize - 4
+	if out.Len() != want {
+		t.Fatalf("got %d answers, want %d", out.Len(), want)
+	}
+}
+
+func TestFOImplicationEncoding(t *testing.T) {
+	// forall x (S(x) -> x >= 2) is true in testDB.
+	q := NewFO("Q", nil, Forall([]string{"x"},
+		Implies(Atomf(Rel("S", V("x"))), Atomf(Cmp(V("x"), OpGe, CI(2))))))
+	if mustEval(t, q, testDB()).Len() != 1 {
+		t.Fatal("implication should hold for every S value")
+	}
+	q2 := NewFO("Q", nil, Forall([]string{"x"},
+		Implies(Atomf(Rel("S", V("x"))), Atomf(Cmp(V("x"), OpGe, CI(3))))))
+	if mustEval(t, q2, testDB()).Len() != 0 {
+		t.Fatal("implication should fail for S value 2")
+	}
+}
+
+func TestFOCloneIsDeep(t *testing.T) {
+	q := NewFO("Q", []Term{V("x")}, And(Atomf(Rel("S", V("x"))), Not(Atomf(Eq(V("x"), CI(2))))))
+	c := q.Clone().(*FOQuery)
+	inner := c.Formula.(*FAnd).Subs[1].(*FNot).Sub.(*FAtom).A.(*CmpAtom)
+	inner.Right = CI(4)
+	orig := q.Formula.(*FAnd).Subs[1].(*FNot).Sub.(*FAtom).A.(*CmpAtom)
+	if orig.Right.Const.Int64() != 2 {
+		t.Fatal("clone shares formula nodes with original")
+	}
+}
+
+func TestEFOPlusAgreesWithFOOnPositive(t *testing.T) {
+	// The same positive formula evaluated by both query kinds must agree
+	// (∃FO+ ⊆ FO).
+	db := testDB()
+	formula := Or(
+		Exists([]string{"b"}, And(Atomf(Rel("R", V("x"), V("b"))), Atomf(Rel("S", V("b"))))),
+		Atomf(Rel("S", V("x"))))
+	efo := NewEFOPlus("Q", []Term{V("x")}, formula)
+	fo := NewFO("Q", []Term{V("x")}, formula.cloneF())
+	if !mustEval(t, efo, db).Equal(mustEval(t, fo, db)) {
+		t.Fatal("∃FO+ and FO evaluation disagree on a positive formula")
+	}
+}

@@ -1,0 +1,129 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestRenderings(t *testing.T) {
+	cq := NewCQ("Q", []Term{V("x"), CI(3)},
+		Rel("R", V("x"), CS("a")), Cmp(V("x"), OpLe, CI(9)))
+	if got := cq.String(); got != `Q(x, 3) :- R(x, "a"), x <= 9.` {
+		t.Fatalf("CQ rendering = %q", got)
+	}
+	u := NewUCQ("Q",
+		NewCQ("Q1", []Term{V("x")}, Rel("S", V("x"))),
+		NewCQ("Q2", []Term{V("x")}, Rel("T", V("x"))))
+	if got := u.String(); !strings.Contains(got, "Q1(x) :- S(x).") || !strings.Contains(got, "Q2(x) :- T(x).") {
+		t.Fatalf("UCQ rendering = %q", got)
+	}
+	fo := NewFO("Q", []Term{V("x")},
+		And(Atomf(Rel("S", V("x"))),
+			Not(Exists([]string{"y"}, Atomf(Rel("R", V("x"), V("y")))))))
+	want := "Q(x) := (S(x)) & (!(exists y (R(x, y))))"
+	if got := fo.String(); got != want {
+		t.Fatalf("FO rendering = %q, want %q", got, want)
+	}
+	forall := Forall([]string{"z"}, Or(Atomf(Rel("S", V("z"))), Atomf(Cmp(V("z"), OpNe, CI(0)))))
+	if got := forall.String(); got != "forall z ((S(z)) | (z != 0))" {
+		t.Fatalf("forall rendering = %q", got)
+	}
+	d := Dist("citydist", func(a, b relation.Value) float64 { return 0 }, V("w"), CS("nyc"), 15)
+	if got := d.String(); got != `citydist(w, "nyc") <= 15` {
+		t.Fatalf("dist rendering = %q", got)
+	}
+}
+
+func TestLanguageStrings(t *testing.T) {
+	cases := map[Language]string{
+		LangSP:        "SP",
+		LangCQ:        "CQ",
+		LangUCQ:       "UCQ",
+		LangEFOPlus:   "∃FO+",
+		LangDatalogNR: "DATALOGnr",
+		LangFO:        "FO",
+		LangDatalog:   "DATALOG",
+	}
+	for l, want := range cases {
+		if l.String() != want {
+			t.Errorf("Language(%d).String() = %q, want %q", int(l), l.String(), want)
+		}
+	}
+	ops := map[CmpOp]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("CmpOp %v rendering wrong", op)
+		}
+	}
+}
+
+func TestDistAtomEvaluation(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("R", "v"),
+		relation.Ints(1), relation.Ints(5), relation.Ints(9)))
+	abs := func(a, b relation.Value) float64 {
+		d := a.Float64() - b.Float64()
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	q := NewCQ("Q", []Term{V("v")},
+		Rel("R", V("v")),
+		Dist("abs", abs, V("v"), CI(5), 4))
+	out := mustEval(t, q, db)
+	wantTuples(t, out, relation.Ints(1), relation.Ints(5), relation.Ints(9))
+	tight := NewCQ("Q", []Term{V("v")},
+		Rel("R", V("v")),
+		Dist("abs", abs, V("v"), CI(5), 3))
+	wantTuples(t, mustEval(t, tight, db), relation.Ints(5))
+}
+
+func TestDistAtomInFOFormula(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("R", "v"),
+		relation.Ints(1), relation.Ints(5)))
+	abs := func(a, b relation.Value) float64 {
+		d := a.Float64() - b.Float64()
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	q := NewFO("Q", []Term{V("v")},
+		And(Atomf(Rel("R", V("v"))), Atomf(Dist("abs", abs, V("v"), CI(0), 2))))
+	wantTuples(t, mustEval(t, q, db), relation.Ints(1))
+}
+
+func TestTermString(t *testing.T) {
+	if V("x").String() != "x" || CI(5).String() != "5" || CS("a").String() != `"a"` {
+		t.Fatal("term renderings wrong")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := NewRule(Rel("P", V("x")), Rel("E", V("x"), V("y")), Cmp(V("y"), OpGt, CI(0)))
+	if got := r.String(); got != "P(x) :- E(x, y), y > 0." {
+		t.Fatalf("rule rendering = %q", got)
+	}
+}
+
+func TestEFOPlusActiveDomainIncludesHeadConstants(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("S", "v"), relation.Ints(1)))
+	q := NewEFOPlus("Q", []Term{CI(42), V("x")}, Atomf(Rel("S", V("x"))))
+	adom := q.ActiveDomain(db)
+	found := false
+	for _, v := range adom {
+		if v.Equal(relation.Int(42)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("head constant missing from adom: %v", adom)
+	}
+	out := mustEval(t, q, db)
+	wantTuples(t, out, relation.Ints(42, 1))
+}

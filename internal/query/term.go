@@ -1,0 +1,164 @@
+// Package query implements the query languages the paper parameterises the
+// recommendation problems with: CQ, UCQ, ∃FO+ (positive existential FO),
+// DATALOGnr, FO and DATALOG, all with the built-in predicates
+// =, ≠, <, ≤, >, ≥, plus the SP (select–project) fragment of Corollary 6.2
+// and the distance atoms dist(x, c) ≤ d used by the query relaxations of
+// Section 7.
+//
+// Each language has an exact evaluator:
+//
+//   - CQ/UCQ and datalog rule bodies: backtracking join with eager
+//     constraint checking (combined complexity NP, matching the paper's
+//     membership problem);
+//   - ∃FO+: recursive enumeration of satisfying bindings;
+//   - FO: recursive active-domain evaluation (quantifiers range over
+//     adom(Q, D)), falling back to domain enumeration for negation and
+//     universal quantification (PSPACE membership);
+//   - DATALOG: semi-naive fixpoint; a program whose dependency graph is
+//     acyclic classifies as DATALOGnr (PSPACE membership), otherwise as full
+//     DATALOG (EXPTIME membership).
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Term is a variable or a constant appearing in an atom.
+type Term struct {
+	IsVar bool
+	Var   string
+	Const relation.Value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{IsVar: true, Var: name} }
+
+// C returns a constant term.
+func C(v relation.Value) Term { return Term{Const: v} }
+
+// CI returns an integer constant term.
+func CI(i int64) Term { return C(relation.Int(i)) }
+
+// CS returns a string constant term.
+func CS(s string) Term { return C(relation.Str(s)) }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Var
+	}
+	return t.Const.String()
+}
+
+// Binding maps variable names to values during evaluation.
+type Binding map[string]relation.Value
+
+// resolve returns the term's value under env, reporting whether it is ground.
+func (t Term) resolve(env Binding) (relation.Value, bool) {
+	if !t.IsVar {
+		return t.Const, true
+	}
+	v, ok := env[t.Var]
+	return v, ok
+}
+
+// clone returns a copy of the binding.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// restrict returns a copy of b keeping only the named variables.
+func (b Binding) restrict(vars []string) Binding {
+	c := make(Binding, len(vars))
+	for _, v := range vars {
+		if val, ok := b[v]; ok {
+			c[v] = val
+		}
+	}
+	return c
+}
+
+// key returns a canonical encoding of the binding over the given variable
+// order, used to deduplicate satisfying assignments.
+func (b Binding) key(vars []string) string {
+	t := make(relation.Tuple, 0, len(vars))
+	for _, v := range vars {
+		t = append(t, b[v])
+	}
+	return t.Key()
+}
+
+// sortedVars returns the sorted variable names of a set.
+func sortedVars(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CmpOp is a built-in comparison predicate.
+type CmpOp int
+
+// The built-in predicates of the paper: =, ≠, <, ≤, >, ≥.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Holds evaluates the predicate on two values.
+func (op CmpOp) Holds(a, b relation.Value) bool {
+	c := a.Compare(b)
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// DistanceFunc measures the distance between two values of an attribute
+// domain, as in the distance functions Γ of Section 7.
+type DistanceFunc func(a, b relation.Value) float64

@@ -1,0 +1,112 @@
+package query
+
+import "fmt"
+
+// This file implements the classical translation from positive existential
+// first-order queries to unions of conjunctive queries: every ∃FO+ query is
+// equivalent to a UCQ of at most exponential size (distribute ∧ over ∨,
+// flatten ∃). The paper's language lattice CQ ⊆ UCQ ⊆ ∃FO+ relies on this
+// equivalence — the complexity results for the three classes coincide — and
+// the test suite uses the translation to cross-check the ∃FO+ evaluator
+// against the UCQ evaluator.
+
+// ToUCQ converts a positive query (no negation, no universal
+// quantification) into an equivalent UCQ. Quantified variables are renamed
+// apart so shadowing is preserved. It fails if the query is not positive or
+// if some disjunct would be unsafe (a head variable not bound in every
+// disjunct — such queries are not expressible as safe UCQs).
+func (q *FOQuery) ToUCQ() (*UCQ, error) {
+	if err := checkPositive(q.Formula); err != nil {
+		return nil, fmt.Errorf("query: ToUCQ: %w", err)
+	}
+	tr := &translator{}
+	disjuncts := tr.expand(q.Formula, map[string]string{})
+	out := &UCQ{Name: q.Name}
+	for i, atoms := range disjuncts {
+		cq := &CQ{
+			Name: fmt.Sprintf("%s_%d", q.Name, i+1),
+			Head: append([]Term(nil), q.Head...),
+			Body: atoms,
+		}
+		if err := cq.Validate(); err != nil {
+			return nil, fmt.Errorf("query: ToUCQ: disjunct %d is unsafe: %w", i+1, err)
+		}
+		out.Disjuncts = append(out.Disjuncts, cq)
+	}
+	if len(out.Disjuncts) == 0 {
+		return nil, fmt.Errorf("query: ToUCQ: the formula has no disjuncts")
+	}
+	return out, nil
+}
+
+// translator renames quantified variables apart while expanding to DNF.
+type translator struct{ fresh int }
+
+// expand returns the disjuncts (atom conjunctions) of f under the renaming
+// subst, which maps quantified variable names to their fresh replacements.
+func (tr *translator) expand(f Formula, subst map[string]string) [][]Atom {
+	switch g := f.(type) {
+	case *FAtom:
+		return [][]Atom{{renameAtom(g.A, subst)}}
+	case *FOr:
+		var out [][]Atom
+		for _, s := range g.Subs {
+			out = append(out, tr.expand(s, subst)...)
+		}
+		return out
+	case *FAnd:
+		// Cross product of the sub-disjunct lists.
+		acc := [][]Atom{nil}
+		for _, s := range g.Subs {
+			sub := tr.expand(s, subst)
+			var next [][]Atom
+			for _, a := range acc {
+				for _, b := range sub {
+					merged := append(append([]Atom(nil), a...), b...)
+					next = append(next, merged)
+				}
+			}
+			acc = next
+		}
+		return acc
+	case *FExists:
+		inner := make(map[string]string, len(subst)+len(g.Vars))
+		for k, v := range subst {
+			inner[k] = v
+		}
+		for _, v := range g.Vars {
+			tr.fresh++
+			inner[v] = fmt.Sprintf("_e%d", tr.fresh)
+		}
+		return tr.expand(g.Sub, inner)
+	default:
+		// checkPositive rejects FNot/FForall before expansion.
+		return nil
+	}
+}
+
+// renameAtom applies a variable renaming to an atom copy.
+func renameAtom(a Atom, subst map[string]string) Atom {
+	ren := func(t Term) Term {
+		if t.IsVar {
+			if nv, ok := subst[t.Var]; ok {
+				return V(nv)
+			}
+		}
+		return t
+	}
+	switch at := a.(type) {
+	case *RelAtom:
+		args := make([]Term, len(at.Args))
+		for i, t := range at.Args {
+			args[i] = ren(t)
+		}
+		return &RelAtom{Pred: at.Pred, Args: args}
+	case *CmpAtom:
+		return &CmpAtom{Op: at.Op, Left: ren(at.Left), Right: ren(at.Right)}
+	case *DistAtom:
+		return &DistAtom{FnName: at.FnName, Fn: at.Fn, Left: ren(at.Left), Right: ren(at.Right), Bound: at.Bound}
+	default:
+		return a.cloneAtom()
+	}
+}

@@ -1,0 +1,146 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestToUCQSimpleDisjunction(t *testing.T) {
+	q := NewEFOPlus("Q", []Term{V("x")},
+		Or(Atomf(Rel("S", V("x"))),
+			Exists([]string{"b"}, And(Atomf(Rel("R", V("x"), V("b"))), Atomf(Eq(V("b"), CI(2)))))))
+	u, err := q.ToUCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjuncts) != 2 {
+		t.Fatalf("disjuncts = %d, want 2", len(u.Disjuncts))
+	}
+	db := testDB()
+	a, err := q.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := u.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("∃FO+ %v vs translated UCQ %v", a, b)
+	}
+}
+
+func TestToUCQDistributesConjunction(t *testing.T) {
+	// (A ∨ B) ∧ (C ∨ D) expands to four disjuncts.
+	q := NewEFOPlus("Q", []Term{V("x")},
+		And(
+			Or(Atomf(Rel("S", V("x"))), Atomf(Rel("S", V("x")))),
+			Or(Exists([]string{"y"}, Atomf(Rel("R", V("x"), V("y")))),
+				Exists([]string{"y"}, Atomf(Rel("R", V("y"), V("x")))))))
+	u, err := q.ToUCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjuncts) != 4 {
+		t.Fatalf("disjuncts = %d, want 4", len(u.Disjuncts))
+	}
+	db := testDB()
+	a, _ := q.Eval(db)
+	b, err := u.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("∃FO+ %v vs UCQ %v", a, b)
+	}
+}
+
+func TestToUCQShadowingRenamedApart(t *testing.T) {
+	// ∃y R(x, y) ∧ ∃y S(y): the two y's are different variables.
+	q := NewEFOPlus("Q", []Term{V("x")},
+		And(Exists([]string{"y"}, Atomf(Rel("R", V("x"), V("y")))),
+			Exists([]string{"y"}, Atomf(Rel("S", V("y"))))))
+	u, err := q.ToUCQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq := u.Disjuncts[0]
+	vars := atomsVars(cq.Body)
+	if _, collision := vars["y"]; collision {
+		t.Fatalf("quantified variable leaked un-renamed: %v", cq)
+	}
+	db := testDB()
+	a, _ := q.Eval(db)
+	b, _ := u.Eval(db)
+	if !a.Equal(b) {
+		t.Fatalf("∃FO+ %v vs UCQ %v", a, b)
+	}
+}
+
+func TestToUCQRejectsNonPositive(t *testing.T) {
+	q := NewFO("Q", []Term{V("x")}, Not(Atomf(Rel("S", V("x")))))
+	if _, err := q.ToUCQ(); err == nil {
+		t.Fatal("negation must be rejected")
+	}
+}
+
+func TestToUCQRejectsUnsafeDisjunct(t *testing.T) {
+	// x free in only one branch: not a safe UCQ.
+	q := NewEFOPlus("Q", []Term{V("x"), V("y")},
+		Or(Atomf(Rel("R", V("x"), V("y"))), Atomf(Rel("S", V("x")))))
+	if _, err := q.ToUCQ(); err == nil {
+		t.Fatal("disjunct missing a head variable must be rejected")
+	}
+}
+
+// randPositive builds a random safe positive formula over R/2 and S/1 whose
+// every disjunct binds the head variable h.
+func randPositive(rng *rand.Rand, depth int, h string, qdepth int) Formula {
+	if depth == 0 {
+		if rng.Intn(2) == 0 {
+			return Atomf(Rel("S", V(h)))
+		}
+		fresh := []string{"q0", "q1", "q2"}[qdepth%3]
+		return Exists([]string{fresh}, Atomf(Rel("R", V(h), V(fresh))))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And(randPositive(rng, depth-1, h, qdepth), randPositive(rng, depth-1, h, qdepth+1))
+	case 1:
+		return Or(randPositive(rng, depth-1, h, qdepth), randPositive(rng, depth-1, h, qdepth+1))
+	default:
+		fresh := []string{"p0", "p1", "p2"}[qdepth%3]
+		return Exists([]string{fresh},
+			And(Atomf(Rel("R", V(h), V(fresh))), randPositive(rng, depth-1, h, qdepth+1)))
+	}
+}
+
+// TestToUCQAgreesOnRandomFormulas is the equivalence property: the ∃FO+
+// evaluator and the UCQ evaluator agree through the translation on random
+// positive formulas and random databases.
+func TestToUCQAgreesOnRandomFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for i := 0; i < 80; i++ {
+		f := randPositive(rng, 1+rng.Intn(3), "h", 0)
+		q := NewEFOPlus("Q", []Term{V("h")}, f)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("instance %d invalid: %v", i, err)
+		}
+		u, err := q.ToUCQ()
+		if err != nil {
+			t.Fatalf("instance %d: %v\n%s", i, err, q)
+		}
+		db := randDB(rng, 3, 2+rng.Intn(6), 1+rng.Intn(3))
+		a, err := q.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := u.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("instance %d: ∃FO+ %v vs UCQ %v\nformula: %s", i, a, b, q)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package reductions
+
+import (
+	"repro/internal/boolenc"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/sat"
+)
+
+// CompatInstance is an instance of the compatibility problem (Lemma 4.2):
+// given Q, D, Qc, cost(), val(), C and a constant B, does a non-empty
+// N ⊆ Q(D) exist with cost(N) ≤ C, val(N) > B and Qc(N, D) = ∅?
+type CompatInstance struct {
+	Problem *core.Problem
+	B       float64
+}
+
+// Decide answers the compatibility problem by bounded exhaustive search.
+func (ci CompatInstance) Decide() (bool, error) {
+	found := false
+	err := ci.Problem.EnumerateValid(func(p core.Package) (bool, error) {
+		if ci.Problem.Val.Eval(p) > ci.B {
+			found = true
+			return false, nil
+		}
+		return true, nil
+	})
+	return found, err
+}
+
+// CompatFromEFDNF is the Lemma 4.2 reduction: given ϕ = ∃X ∀Y ψ(X, Y) with
+// ψ in 3DNF, it builds (Q, D, Qc, cost, val, C, B) over the Figure 4.1
+// gadget relations such that ϕ is true iff the compatibility problem
+// answers yes.
+//
+//   - Q(x⃗) = R01(x0) ∧ ... ∧ R01(x_{m-1}) generates all X assignments;
+//   - Qc = ∃x⃗ ∃y⃗ (RQ(x⃗) ∧ QY(y⃗) ∧ Qψ(x⃗, y⃗, b) ∧ b = 0) flags a package
+//     (an X assignment) for which some Y assignment falsifies ψ;
+//   - cost(N) = |N| (∞ on ∅), C = 1, val ≡ 1, B = 0.
+func CompatFromEFDNF(f sat.EFDNF) CompatInstance {
+	db := boolenc.NewDB()
+	xs := boolenc.VarNames("x", f.NX)
+	ys := boolenc.VarNames("y", f.NY)
+
+	q := query.NewCQ("RQ", varTerms(xs), boolenc.AssignmentAtoms(xs)...)
+
+	// Qc: match the package tuple, generate Y, compute ψ, demand ψ = 0.
+	comp := &boolenc.Compiler{}
+	psi := boolenc.DNFFormula(lits(f.Psi.Terms), blockName(f.NX))
+	out := comp.Compile(psi)
+	comp.AssertEq(out, false)
+	body := []query.Atom{query.Rel("RQ", varTerms(xs)...)}
+	body = append(body, boolenc.AssignmentAtoms(ys)...)
+	body = append(body, comp.Atoms()...)
+	qc := query.NewCQ("Qc", nil, body...)
+
+	prob := &core.Problem{
+		DB:     db,
+		Q:      q,
+		Qc:     qc,
+		Cost:   core.CountOrInf(),
+		Val:    core.ConstAgg(1),
+		Budget: 1,
+		K:      1,
+	}
+	return CompatInstance{Problem: prob, B: 0}
+}
+
+// RPPFromEFDNF is the Theorem 4.1 reduction from the complement of the
+// compatibility problem to RPP: the candidate selection N = {∅} ("no
+// recommendation", rated val′(∅) = B) is a top-1 package selection iff no
+// non-empty valid package rates above B, i.e. iff ϕ is false. Following the
+// DESIGN.md note, cost′(∅) = 0 so the placeholder is itself admissible.
+func RPPFromEFDNF(f sat.EFDNF) (*core.Problem, []core.Package) {
+	ci := CompatFromEFDNF(f)
+	prob := *ci.Problem
+	b := ci.B
+	prob.Cost = core.Func("costOrEmpty", func(p core.Package) float64 {
+		if p.IsEmpty() {
+			return 0
+		}
+		return float64(p.Len())
+	}).WithMonotone()
+	inner := ci.Problem.Val
+	prob.Val = core.Func("valOrB", func(p core.Package) float64 {
+		if p.IsEmpty() {
+			return b
+		}
+		return inner.Eval(p)
+	})
+	return &prob, []core.Package{core.NewPackage()}
+}
+
+// CompatFrom3SAT is the Lemma 4.4 reduction (the data-complexity analysis
+// of Theorem 4.3): Q is the fixed identity query over the clause relation
+// RC, Qc is absent, val(N) = |N| with B = r − 1, and cost(N) ∈ {1, 2}
+// checks cid-uniqueness and assignment consistency with C = 1. The formula
+// is satisfiable iff a valid package of r consistent rows exists.
+func CompatFrom3SAT(c sat.CNF) CompatInstance {
+	db := clauseDB("RC", c, xName)
+	prob := &core.Problem{
+		DB:     db,
+		Q:      query.Identity("RQ", db.Relation("RC")),
+		Cost:   consistencyCost(),
+		Val:    core.Count(),
+		Budget: 1,
+		K:      1,
+		Prune:  consistencyPrune(),
+	}
+	return CompatInstance{Problem: prob, B: float64(len(c.Clauses) - 1)}
+}
+
+// RPPFrom3SAT lifts CompatFrom3SAT to an RPP instance exactly as
+// RPPFromEFDNF does: the empty placeholder selection is top-1 iff ϕ is
+// unsatisfiable. Q stays fixed, so this witnesses coNP-hardness of RPP's
+// data complexity.
+func RPPFrom3SAT(c sat.CNF) (*core.Problem, []core.Package) {
+	ci := CompatFrom3SAT(c)
+	prob := *ci.Problem
+	b := ci.B
+	inner := prob.Cost
+	prob.Cost = core.Func("costOrEmpty", func(p core.Package) float64 {
+		if p.IsEmpty() {
+			return 0
+		}
+		return inner.Eval(p)
+	})
+	innerVal := prob.Val
+	prob.Val = core.Func("valOrB", func(p core.Package) float64 {
+		if p.IsEmpty() {
+			return b
+		}
+		return innerVal.Eval(p)
+	})
+	return &prob, []core.Package{core.NewPackage()}
+}
+
+// varTerms converts variable names to head/argument terms.
+func varTerms(vars []string) []query.Term {
+	out := make([]query.Term, len(vars))
+	for i, v := range vars {
+		out[i] = query.V(v)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package reductions
+
+import (
+	"repro/internal/boolenc"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/sat"
+)
+
+// CPPFrom3SAT is the Theorem 5.3 data-complexity reduction: a parsimonious
+// reduction from #SAT to CPP with a fixed identity query and absent Qc.
+// Valid packages rated at least B = r are exactly the consistent full
+// clause covers, in bijection with the satisfying assignments of ϕ over its
+// occurring variables. CountValid(B) therefore equals #SAT(ϕ) counted over
+// occurring variables.
+func CPPFrom3SAT(c sat.CNF) (*core.Problem, float64) {
+	ci := CompatFrom3SAT(c)
+	return ci.Problem, float64(len(c.Clauses))
+}
+
+// CPPFromSigma1 is the Theorem 5.3 reduction from #Σ1SAT to CPP in the
+// absence of compatibility constraints (#·NP-hardness): over the Figure 4.1
+// gadgets,
+//
+//	Q(y⃗) = ∃x⃗ (R01(y⃗) ∧ R01(x⃗) ∧ Qϕ(x⃗, y⃗, b) ∧ b = 1)
+//
+// returns the Y assignments for which some X assignment satisfies the CNF
+// ϕ; with cost = |N| (∞ on ∅), C = 1 and constant val = B, the valid
+// packages are exactly the singletons over Q(D), so CountValid(B) equals
+// #Σ1SAT.
+func CPPFromSigma1(phi sat.CNF, nx, ny int) (*core.Problem, float64) {
+	db := boolenc.NewDB()
+	xs := boolenc.VarNames("x", nx)
+	ys := boolenc.VarNames("y", ny)
+	comp := &boolenc.Compiler{}
+	out := comp.Compile(boolenc.CNFFormula(lits(phi.Clauses), blockName(nx)))
+	comp.AssertEq(out, true)
+	var body []query.Atom
+	body = append(body, boolenc.AssignmentAtoms(ys)...)
+	body = append(body, boolenc.AssignmentAtoms(xs)...)
+	body = append(body, comp.Atoms()...)
+	q := query.NewCQ("RQ", varTerms(ys), body...)
+	prob := &core.Problem{
+		DB:     db,
+		Q:      q,
+		Cost:   core.CountOrInf(),
+		Val:    core.ConstAgg(1),
+		Budget: 1,
+		K:      1,
+	}
+	return prob, 1
+}
+
+// CPPFromPi1 is the Theorem 5.3 reduction from #Π1SAT to CPP with
+// compatibility constraints (#·coNP-hardness): Q(y⃗) = R01(y⃗) generates all
+// Y assignments, and
+//
+//	Qc(y⃗) = RQ(y⃗) ∧ ∃x⃗ (R01(x⃗) ∧ Q¬C1(x⃗, y⃗) ∧ ... ∧ Q¬Cr(x⃗, y⃗))
+//
+// flags a Y assignment for which some X assignment falsifies every term of
+// the 3DNF ψ, i.e. falsifies ϕ(X, Y) = ∀X (C1 ∨ ... ∨ Cr). Valid packages
+// are the singletons surviving Qc, so CountValid(B) equals #Π1SAT.
+func CPPFromPi1(psi sat.DNF, nx, ny int) (*core.Problem, float64) {
+	db := boolenc.NewDB()
+	xs := boolenc.VarNames("x", nx)
+	ys := boolenc.VarNames("y", ny)
+	q := query.NewCQ("RQ", varTerms(ys), boolenc.AssignmentAtoms(ys)...)
+
+	// ¬ψ = ∧i ¬Ci, where each ¬Ci is the disjunction of the negated
+	// literals of the term Ci.
+	negPsi := boolenc.CNFFormula(lits(psi.Negate().Clauses), blockName(nx))
+	comp := &boolenc.Compiler{}
+	out := comp.Compile(negPsi)
+	comp.AssertEq(out, true)
+	var body []query.Atom
+	body = append(body, query.Rel("RQ", varTerms(ys)...))
+	body = append(body, boolenc.AssignmentAtoms(xs)...)
+	body = append(body, comp.Atoms()...)
+	qc := query.NewCQ("Qc", nil, body...)
+
+	prob := &core.Problem{
+		DB:     db,
+		Q:      q,
+		Qc:     qc,
+		Cost:   core.CountOrInf(),
+		Val:    core.ConstAgg(1),
+		Budget: 1,
+		K:      1,
+	}
+	return prob, 1
+}

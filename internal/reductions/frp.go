@@ -1,0 +1,102 @@
+package reductions
+
+import (
+	"repro/internal/boolenc"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// FRPFromMaxWeightSAT is the Theorem 5.1 data-complexity reduction from
+// MAX-WEIGHT SAT to the function problem FRP with a fixed identity query:
+// the clause relation of Lemma 4.4 with the consistency cost, and
+// val(N) = Σ weights of the cids of N's rows. The top-1 package encodes a
+// (partial) truth assignment maximising the total weight of satisfied
+// clauses, so val(top-1) equals the MAX-WEIGHT SAT optimum.
+func FRPFromMaxWeightSAT(c sat.CNF, weights []int64) *core.Problem {
+	db := clauseDB("RC", c, xName)
+	ws := append([]int64(nil), weights...)
+	val := core.Func("weightVal", func(p core.Package) float64 {
+		var s float64
+		for _, t := range p.Tuples() {
+			s += float64(ws[t[0].Int64()-1])
+		}
+		return s
+	})
+	return &core.Problem{
+		DB:     db,
+		Q:      query.Identity("RQ", db.Relation("RC")),
+		Cost:   consistencyCost(),
+		Val:    val,
+		Budget: 1,
+		K:      1,
+		Prune:  consistencyPrune(),
+	}
+}
+
+// weightUtility rates an assignment item (attribute i holds the value of
+// variable xi) by the summed weight of the clauses it satisfies.
+func weightUtility(clauses []sat.Clause, ws []int64) core.Utility {
+	return func(tup relation.Tuple) float64 {
+		assign := make([]bool, len(tup))
+		for i, v := range tup {
+			assign[i] = v.Int64() == 1
+		}
+		var s float64
+		for ci, cl := range clauses {
+			for _, lit := range cl {
+				if sat.LitSatisfied(lit, assign) {
+					s += float64(ws[ci])
+					break
+				}
+			}
+		}
+		return s
+	}
+}
+
+// ItemFRPFromMaxWeightSAT is the Theorem 6.4 reduction from MAX-WEIGHT SAT
+// to item FRP for CQ: Q = R01^m generates all truth assignments as items,
+// and an item's utility is the summed weight of the clauses its assignment
+// satisfies. The top-1 item achieves the MAX-WEIGHT SAT optimum.
+func ItemFRPFromMaxWeightSAT(c sat.CNF, weights []int64) (*relation.Database, query.Query, core.Utility) {
+	db := boolenc.NewDB()
+	xs := boolenc.VarNames("x", c.NumVars)
+	q := query.NewCQ("RQ", varTerms(xs), boolenc.AssignmentAtoms(xs)...)
+	return db, q, weightUtility(append([]sat.Clause(nil), c.Clauses...), append([]int64(nil), weights...))
+}
+
+// ItemMBPFromSATUNSAT is the Theorem 6.4 reduction from SAT-UNSAT to item
+// MBP for CQ: Q = R01^(m+n) generates assignments of X ∪ Y, and the utility
+// is 2 when the Y part satisfies ϕ2, otherwise 1 when the X part satisfies
+// ϕ1, otherwise 0. B = 1 is the maximum bound iff ϕ1 is satisfiable and ϕ2
+// is not. (The paper's case split rates "any other tuple" 2, under which
+// the stated equivalence cannot hold; this ordering repairs it — see
+// DESIGN.md.)
+func ItemMBPFromSATUNSAT(p sat.Pair) (*relation.Database, query.Query, core.Utility, float64) {
+	db := boolenc.NewDB()
+	m, n := p.Phi1.NumVars, p.Phi2.NumVars
+	vars := append(boolenc.VarNames("x", m), boolenc.VarNames("y", n)...)
+	q := query.NewCQ("RQ", varTerms(vars), boolenc.AssignmentAtoms(vars)...)
+	phi1, phi2 := p.Phi1, p.Phi2
+	util := core.Utility(func(tup relation.Tuple) float64 {
+		ax := make([]bool, m)
+		for i := 0; i < m; i++ {
+			ax[i] = tup[i].Int64() == 1
+		}
+		ay := make([]bool, n)
+		for i := 0; i < n; i++ {
+			ay[i] = tup[m+i].Int64() == 1
+		}
+		switch {
+		case phi2.Eval(ay):
+			return 2
+		case phi1.Eval(ax):
+			return 1
+		default:
+			return 0
+		}
+	})
+	return db, q, util, 1
+}

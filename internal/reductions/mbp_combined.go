@@ -1,0 +1,143 @@
+package reductions
+
+import (
+	"repro/internal/boolenc"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/sat"
+)
+
+// MBPFromEFDNFPair is the Theorem 5.2 combined-complexity reduction from
+// the Dp2-complete pair problem ∃*∀*3DNF–∀*∃*3CNF to MBP(CQ): given two
+// ∃X∀Y 3DNF sentences ϕ1 and ϕ2, it builds (Q, D, Qc, cost, val, C, B, k)
+// over the Figure 4.1 gadgets plus the inspection relation Ic such that
+// B = 1 is the maximum bound iff ϕ1 is true and ϕ2 is false.
+//
+// Construction (Section 5.1):
+//
+//   - Q(x⃗1, b1, x⃗2, b2) generates X1/X2 assignments together with the truth
+//     values ψ1 and ψ2 take under existentially chosen Y1/Y2 assignments,
+//     so Q(D) realises every achievable (µX1, b1, µX2, b2) combination;
+//   - Qc matches the package tuple, recomputes c1 = ψ1(x⃗1, y⃗1') for a fresh
+//     universal Y1 probe, checks some Y2 probe reproduces b2, checks some
+//     other Y2 probe falsifies ψ2 (the query Q'ψ2 with c2 = 0), and finally
+//     demands Ic(c1, b2, c) with c = 1 — by Ic's truth table the package
+//     survives (Qc empty) only when no probe yields c1 = 0 with b2 = 0
+//     (i.e. ∀Y1 ψ1 for b2 = 0 tuples) and no Y2 probe falsifies ψ2 (for
+//     b2 = 1 tuples);
+//   - val rates singletons by their (b1, b2): (1,0) → 1, (1,1) → 2, else 0;
+//     cost = |N| with cost(∅) = ∞ and C = 1; B = 1, k = 1.
+//
+// A val-1 valid package then exists iff ϕ1 is true (with ψ2 falsifiable,
+// which ¬ϕ2 guarantees), and a val-2 valid package exists iff ϕ2 is true,
+// so the maximum bound is exactly 1 iff ϕ1 ∧ ¬ϕ2.
+func MBPFromEFDNFPair(f1, f2 sat.EFDNF) (*core.Problem, float64) {
+	db := boolenc.NewDB()
+	db.Add(boolenc.Ic())
+
+	x1 := boolenc.VarNames("u", f1.NX)
+	y1 := boolenc.VarNames("v", f1.NY)
+	x2 := boolenc.VarNames("s", f2.NX)
+	y2 := boolenc.VarNames("t", f2.NY)
+
+	name1 := func(v int) string {
+		if v < f1.NX {
+			return x1[v]
+		}
+		return y1[v-f1.NX]
+	}
+	name2 := func(v int) string {
+		if v < f2.NX {
+			return x2[v]
+		}
+		return y2[v-f2.NX]
+	}
+
+	// Q: achievable (µX1, b1, µX2, b2) combinations.
+	compQ1 := &boolenc.Compiler{Prefix: "_q1v"}
+	b1 := compQ1.Compile(boolenc.DNFFormula(lits(f1.Psi.Terms), name1))
+	compQ2 := &boolenc.Compiler{Prefix: "_q2v"}
+	b2 := compQ2.Compile(boolenc.DNFFormula(lits(f2.Psi.Terms), name2))
+	var qBody []query.Atom
+	qBody = append(qBody, boolenc.AssignmentAtoms(x1)...)
+	qBody = append(qBody, boolenc.AssignmentAtoms(y1)...)
+	qBody = append(qBody, compQ1.Atoms()...)
+	qBody = append(qBody, boolenc.AssignmentAtoms(x2)...)
+	qBody = append(qBody, boolenc.AssignmentAtoms(y2)...)
+	qBody = append(qBody, compQ2.Atoms()...)
+	head := append(varTerms(x1), query.V(b1))
+	head = append(head, varTerms(x2)...)
+	head = append(head, query.V(b2))
+	q := query.NewCQ("RQ", head, qBody...)
+
+	// Qc: probe variables are fresh so they quantify independently of the
+	// package tuple's columns.
+	y1p := boolenc.VarNames("vp", f1.NY)
+	y2p := boolenc.VarNames("tp", f2.NY)
+	y2pp := boolenc.VarNames("tq", f2.NY)
+	probe1 := func(v int) string {
+		if v < f1.NX {
+			return x1[v]
+		}
+		return y1p[v-f1.NX]
+	}
+	probe2 := func(v int) string {
+		if v < f2.NX {
+			return x2[v]
+		}
+		return y2p[v-f2.NX]
+	}
+	probe2b := func(v int) string {
+		if v < f2.NX {
+			return x2[v]
+		}
+		return y2pp[v-f2.NX]
+	}
+	compC1 := &boolenc.Compiler{Prefix: "_c1v"}
+	c1 := compC1.Compile(boolenc.DNFFormula(lits(f1.Psi.Terms), probe1))
+	compC2 := &boolenc.Compiler{Prefix: "_c2v"}
+	same := compC2.Compile(boolenc.DNFFormula(lits(f2.Psi.Terms), probe2))
+	compC3 := &boolenc.Compiler{Prefix: "_c3v"}
+	c2 := compC3.Compile(boolenc.DNFFormula(lits(f2.Psi.Terms), probe2b))
+
+	var qcBody []query.Atom
+	qcBody = append(qcBody, query.Rel("RQ", head...))
+	qcBody = append(qcBody, boolenc.AssignmentAtoms(y1p)...)
+	qcBody = append(qcBody, compC1.Atoms()...)
+	qcBody = append(qcBody, boolenc.AssignmentAtoms(y2p)...)
+	qcBody = append(qcBody, compC2.Atoms()...)
+	qcBody = append(qcBody, query.Eq(query.V(same), query.V(b2)))
+	qcBody = append(qcBody, boolenc.AssignmentAtoms(y2pp)...)
+	qcBody = append(qcBody, compC3.Atoms()...)
+	qcBody = append(qcBody, query.Eq(query.V(c2), query.CI(0)))
+	qcBody = append(qcBody, query.Rel(boolenc.RcName, query.V(c1), query.V(b2), query.V("_cfin")))
+	qcBody = append(qcBody, query.Eq(query.V("_cfin"), query.CI(1)))
+	qc := query.NewCQ("Qc", nil, qcBody...)
+
+	b1Idx := f1.NX
+	b2Idx := f1.NX + 1 + f2.NX
+	val := core.Func("pairLevelVal", func(pkg core.Package) float64 {
+		if pkg.Len() != 1 {
+			return 0
+		}
+		t := pkg.Tuples()[0]
+		switch {
+		case t[b1Idx].Int64() == 1 && t[b2Idx].Int64() == 0:
+			return 1
+		case t[b1Idx].Int64() == 1 && t[b2Idx].Int64() == 1:
+			return 2
+		default:
+			return 0
+		}
+	})
+	prob := &core.Problem{
+		DB:     db,
+		Q:      q,
+		Qc:     qc,
+		Cost:   core.CountOrInf(),
+		Val:    val,
+		Budget: 1,
+		K:      1,
+	}
+	return prob, 1
+}

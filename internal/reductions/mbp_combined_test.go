@@ -1,0 +1,62 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// TestTheorem52CombinedMBPFromEFDNFPair cross-validates the Dp2 combined-
+// complexity construction: B = 1 is the maximum bound iff ϕ1 = ∃X∀Y ψ1 is
+// true and ϕ2 = ∃X∀Y ψ2 is false.
+func TestTheorem52CombinedMBPFromEFDNFPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(520))
+	for i := 0; i < 12; i++ {
+		f1 := sat.RandEFDNF(rng, 2, 2, 1+rng.Intn(3))
+		f2 := sat.RandEFDNF(rng, 2, 2, 1+rng.Intn(3))
+		prob, b := MBPFromEFDNFPair(f1, f2)
+		got, err := prob.IsMaxBound(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f1.Decide() && !f2.Decide()
+		if got != want {
+			t.Fatalf("instance %d: MBP = %v, ϕ1∧¬ϕ2 = %v (ϕ1=%v %v, ϕ2=%v %v)",
+				i, got, want, f1.Psi, f1.Decide(), f2.Psi, f2.Decide())
+		}
+	}
+}
+
+// TestTheorem52CombinedMBPCornerCases pins the four truth combinations with
+// hand-built sentences: ψ = x0 (∀Y-true once x0 = 1, so ϕ true) and
+// ψ = x0 ∧ y0 (no X choice works for all Y, so ϕ false).
+func TestTheorem52CombinedMBPCornerCases(t *testing.T) {
+	tautTrue := sat.EFDNF{NX: 1, NY: 1, Psi: sat.DNF{NumVars: 2, Terms: []sat.Clause{{1}}}}
+	if !tautTrue.Decide() {
+		t.Fatal("fixture: ∃x∀y (x) should be true")
+	}
+	depFalse := sat.EFDNF{NX: 1, NY: 1, Psi: sat.DNF{NumVars: 2, Terms: []sat.Clause{{1, 2}}}}
+	if depFalse.Decide() {
+		t.Fatal("fixture: ∃x∀y (x ∧ y) should be false")
+	}
+	cases := []struct {
+		f1, f2 sat.EFDNF
+		want   bool
+	}{
+		{tautTrue, depFalse, true},
+		{tautTrue, tautTrue, false},
+		{depFalse, depFalse, false},
+		{depFalse, tautTrue, false},
+	}
+	for i, c := range cases {
+		prob, b := MBPFromEFDNFPair(c.f1, c.f2)
+		got, err := prob.IsMaxBound(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("case %d: MBP = %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/boolenc"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// QBFDatalogQuery compiles a quantified Boolean formula into a
+// non-recursive datalog program by quantifier elimination, the engine of
+// the paper's DATALOGnr lower bounds (Theorem 4.1's reduction from Q3SAT
+// and Theorem 5.3's #QBF → CPP):
+//
+//   - the base predicate P_n(v0..v_{n-1}) holds the satisfying assignments
+//     of the matrix, computed with the Figure 4.1 gadget chain;
+//   - each quantifier peels one variable: a universal level derives
+//     P_{i-1}(v⃗) from P_i(v⃗, 0) ∧ P_i(v⃗, 1), an existential level from
+//     either one;
+//   - the output predicate P_{nf} keeps the first nf variables free, so its
+//     answer is exactly the set of free-variable assignments under which
+//     the quantified suffix is true.
+//
+// With nf = 0 the program is Boolean and decides the closed QBF; its
+// dependency graph is acyclic, so the program classifies as DATALOGnr.
+func QBFDatalogQuery(matrix sat.CNF, prefix []sat.Quantifier, nf int) (*query.Datalog, error) {
+	n := matrix.NumVars
+	if nf+len(prefix) != n {
+		return nil, fmt.Errorf("reductions: %d free + %d quantified variables but the matrix has %d",
+			nf, len(prefix), n)
+	}
+	vars := boolenc.VarNames("v", n)
+	pred := func(i int) string { return fmt.Sprintf("P%d", i) }
+
+	// Base rule: P_n(v⃗) holds the matrix's satisfying assignments.
+	comp := &boolenc.Compiler{}
+	out := comp.Compile(boolenc.CNFFormula(lits(matrix.Clauses), func(v int) string { return vars[v] }))
+	comp.AssertEq(out, true)
+	base := append([]query.Atom{}, boolenc.AssignmentAtoms(vars)...)
+	base = append(base, comp.Atoms()...)
+	rules := []query.Rule{query.NewRule(query.Rel(pred(n), varTerms(vars)...), base...)}
+
+	// Quantifier elimination, innermost variable first.
+	for i := n; i > nf; i-- {
+		head := query.Rel(pred(i-1), varTerms(vars[:i-1])...)
+		withVal := func(b int64) *query.RelAtom {
+			args := append(varTerms(vars[:i-1]), query.CI(b))
+			return query.Rel(pred(i), args...)
+		}
+		if prefix[i-1-nf] == sat.QForall {
+			rules = append(rules, query.NewRule(head, withVal(0), withVal(1)))
+		} else {
+			rules = append(rules, query.NewRule(head, withVal(0)))
+			rules = append(rules, query.NewRule(
+				query.Rel(pred(i-1), varTerms(vars[:i-1])...), withVal(1)))
+		}
+	}
+	prog := query.NewDatalog(pred(nf), rules...)
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if prog.IsRecursive() {
+		return nil, fmt.Errorf("reductions: quantifier elimination produced a recursive program")
+	}
+	return prog, nil
+}
+
+// CPPFromQBF is the Theorem 5.3 reduction from #QBF to CPP(DATALOGnr): the
+// valid packages are the singletons over the program's answer, so
+// CountValid(B) equals the number of free-variable assignments making the
+// quantified suffix true.
+func CPPFromQBF(matrix sat.CNF, prefix []sat.Quantifier, nf int) (*core.Problem, float64, error) {
+	prog, err := QBFDatalogQuery(matrix, prefix, nf)
+	if err != nil {
+		return nil, 0, err
+	}
+	prob := &core.Problem{
+		DB:     boolenc.NewDB(),
+		Q:      prog,
+		Cost:   core.CountOrInf(),
+		Val:    core.ConstAgg(1),
+		Budget: 1,
+		K:      1,
+	}
+	return prob, 1, nil
+}
+
+// RPPFromQ3SAT is Theorem 4.1's DATALOGnr lower-bound reduction: the closed
+// QBF (all variables quantified) compiles to a Boolean program, and the
+// selection {()} is a top-1 package selection iff the QBF is true.
+func RPPFromQ3SAT(q sat.QBF) (*core.Problem, []core.Package, error) {
+	prog, err := QBFDatalogQuery(q.Matrix, q.Prefix, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	prob, sel := MembershipInstance(prog, boolenc.NewDB(), relation.Tuple{})
+	return prob, sel, nil
+}

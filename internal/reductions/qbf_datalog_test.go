@@ -1,0 +1,103 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// bruteQBFWitnesses counts free-variable assignments (the first nf
+// variables) under which the quantified suffix holds.
+func bruteQBFWitnesses(matrix sat.CNF, prefix []sat.Quantifier, nf int) int64 {
+	var count int64
+	free := make([]bool, nf)
+	for {
+		restricted := matrix.Restrict(free)
+		sub := sat.QBF{Prefix: prefix, Matrix: restricted}
+		if sub.Decide() {
+			count++
+		}
+		if !incrementBools(free) {
+			return count
+		}
+	}
+}
+
+func incrementBools(bits []bool) bool {
+	for i := len(bits) - 1; i >= 0; i-- {
+		if !bits[i] {
+			bits[i] = true
+			return true
+		}
+		bits[i] = false
+	}
+	return false
+}
+
+func TestTheorem53CPPFromQBF(t *testing.T) {
+	rng := rand.New(rand.NewSource(530))
+	for i := 0; i < 15; i++ {
+		nf := 1 + rng.Intn(2)
+		nq := 2 + rng.Intn(2)
+		matrix := sat.Rand3CNF(rng, nf+nq, 1+rng.Intn(4))
+		prefix := make([]sat.Quantifier, nq)
+		for j := range prefix {
+			if rng.Intn(2) == 0 {
+				prefix[j] = sat.QForall
+			} else {
+				prefix[j] = sat.QExists
+			}
+		}
+		prob, b, err := CPPFromQBF(matrix, prefix, nf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prob.Q.Language().String() != "DATALOGnr" {
+			t.Fatalf("instance %d: program classifies as %v", i, prob.Q.Language())
+		}
+		got, err := prob.CountValid(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteQBFWitnesses(matrix, prefix, nf); got != want {
+			t.Fatalf("instance %d: CPP = %d, #QBF witnesses = %d\nmatrix: %v prefix: %v",
+				i, got, want, matrix, prefix)
+		}
+	}
+}
+
+func TestTheorem41RPPFromQ3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(410))
+	sawTrue, sawFalse := false, false
+	for i := 0; i < 15; i++ {
+		q := sat.RandQBF(rng, 3+rng.Intn(2), 1+rng.Intn(5))
+		prob, sel, err := RPPFromQ3SAT(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := prob.DecideTopK(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := q.Decide()
+		if got != want {
+			t.Fatalf("instance %d: RPP = %v, QBF = %v (%v)", i, got, want, q.Matrix)
+		}
+		if want {
+			sawTrue = true
+		} else {
+			sawFalse = true
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Fatalf("instance stream degenerate: true=%v false=%v", sawTrue, sawFalse)
+	}
+}
+
+func TestQBFDatalogQueryValidation(t *testing.T) {
+	matrix := sat.CNF{NumVars: 2, Clauses: []sat.Clause{{1, 2}}}
+	if _, err := QBFDatalogQuery(matrix, []sat.Quantifier{sat.QExists}, 0); err == nil {
+		t.Fatal("prefix/variable count mismatch should error")
+	}
+}

@@ -1,0 +1,197 @@
+package reductions
+
+import (
+	"repro/internal/adjust"
+	"repro/internal/boolenc"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/relax"
+	"repro/internal/sat"
+)
+
+// QRPPFrom3SAT is the Theorem 7.2 data-complexity reduction from 3SAT to
+// QRPP with a fixed SP query and absent Qc. The clause relation carries an
+// extra flag column V = 1 on every row; the query selects rows with V = 0
+// and is therefore empty. Relaxing the equality constant 0 by one step of
+// the Boolean-flip metric admits all rows, and a valid package (consistent,
+// one row per clause, covering every clause, cost 1 ≤ C) exists iff ϕ is
+// satisfiable. val(N) = |N| with B = 1, k = 1 and gap budget g = 1.
+func QRPPFrom3SAT(c sat.CNF) (relax.Instance, error) {
+	schema := relation.NewSchema("RC", "cid", "L1", "V1", "L2", "V2", "L3", "V3", "V")
+	rel := relation.NewRelation(schema)
+	mustCover := make([]int64, len(c.Clauses))
+	for i, cl := range c.Clauses {
+		mustCover[i] = int64(i + 1)
+		for _, row := range clauseRows(i+1, cl, xName) {
+			row = append(row, relation.Int(1))
+			if err := rel.Insert(row); err != nil {
+				return relax.Instance{}, err
+			}
+		}
+	}
+	db := relation.NewDatabase().Add(rel)
+
+	// Q selects rows with V = 0 — empty on D as built.
+	head := make([]query.Term, schema.Arity())
+	vars := make([]query.Term, schema.Arity())
+	for i := range vars {
+		vars[i] = query.V(schema.Attrs[i])
+		head[i] = vars[i]
+	}
+	q := query.NewCQ("RQ", head,
+		query.Rel("RC", vars...),
+		query.Eq(query.V("V"), query.CI(0)))
+
+	prob := &core.Problem{
+		DB:     db,
+		Q:      q,
+		Cost:   coverageCost(mustCover),
+		Val:    core.Count(),
+		Budget: 1,
+		K:      1,
+		Prune:  consistencyPrune(),
+	}
+	pts, err := relax.Points(q)
+	if err != nil {
+		return relax.Instance{}, err
+	}
+	var chosen []relax.Point
+	for _, p := range pts {
+		if p.Kind == relax.ConstInEquality && p.Const.Equal(relation.Int(0)) {
+			chosen = append(chosen, p.WithMetric(relax.BoolFlip()))
+		}
+	}
+	return relax.Instance{
+		Problem:   prob,
+		Points:    chosen,
+		Bound:     1,
+		GapBudget: 1,
+	}, nil
+}
+
+// ARPPFromEFDNF is the Theorem 8.1 reduction from ∃*∀*3DNF to ARPP
+// (Σp2-hardness, combined complexity): D holds the I∨, I∧, I¬ gadgets and
+// an empty Boolean-domain relation R01; D′ holds the two Boolean values.
+// Q requires both 1 ∈ R01 and 0 ∈ R01 before generating X assignments, so
+// packages exist only after the adjustment inserts both values (k′ = 2);
+// the compatibility constraint is that of Lemma 4.2, so an adjustment
+// works iff ϕ = ∃X ∀Y ψ is true.
+func ARPPFromEFDNF(f sat.EFDNF) adjust.Instance {
+	db := relation.NewDatabase()
+	db.Add(relation.NewRelation(relation.NewSchema(boolenc.R01Name, "X"))) // empty I01
+	db.Add(boolenc.IOr())
+	db.Add(boolenc.IAnd())
+	db.Add(boolenc.INot())
+	extra := relation.NewDatabase().Add(boolenc.I01())
+
+	xs := boolenc.VarNames("x", f.NX)
+	ys := boolenc.VarNames("y", f.NY)
+	body := []query.Atom{
+		query.Rel(boolenc.R01Name, query.V("z1")), query.Eq(query.V("z1"), query.CI(1)),
+		query.Rel(boolenc.R01Name, query.V("z0")), query.Eq(query.V("z0"), query.CI(0)),
+	}
+	body = append(body, boolenc.AssignmentAtoms(xs)...)
+	q := query.NewCQ("RQ", varTerms(xs), body...)
+
+	comp := &boolenc.Compiler{}
+	out := comp.Compile(boolenc.DNFFormula(lits(f.Psi.Terms), blockName(f.NX)))
+	comp.AssertEq(out, false)
+	qcBody := []query.Atom{query.Rel("RQ", varTerms(xs)...)}
+	qcBody = append(qcBody, boolenc.AssignmentAtoms(ys)...)
+	qcBody = append(qcBody, comp.Atoms()...)
+	qc := query.NewCQ("Qc", nil, qcBody...)
+
+	prob := &core.Problem{
+		DB:     db,
+		Q:      q,
+		Qc:     qc,
+		Cost:   core.CountOrInf(),
+		Val:    core.ConstAgg(1),
+		Budget: 1,
+		K:      1,
+	}
+	return adjust.Instance{
+		Problem: prob,
+		Extra:   extra,
+		Bound:   1,
+		KPrime:  2,
+	}
+}
+
+// ItemARPPFrom3SAT is the Theorem 8.1 data-complexity reduction from 3SAT
+// to ARPP over item selections (which Corollary 8.2 reuses verbatim): the
+// assignment relation RX starts empty and D′ offers both truth values for
+// each variable; with k′ = n the adjustment can insert at most one complete
+// assignment, and k = n·r items rated ≥ B = 1 exist iff that assignment
+// satisfies every clause. Items are tuples (j, c, x, v, x′, v′); the
+// utility penalises unsatisfied clauses (c = 0) and inconsistent or
+// mismatched assignment pairs.
+func ItemARPPFrom3SAT(c sat.CNF) (adjust.Instance, core.Utility) {
+	n := c.NumVars
+	r := len(c.Clauses)
+
+	db := relation.NewDatabase()
+	db.Add(relation.NewRelation(relation.NewSchema("RX", "X", "V"))) // IX = ∅
+	psi := relation.NewRelation(relation.NewSchema("Rpsi", "idC", "Px", "X", "Vx", "W"))
+	for j, cl := range c.Clauses {
+		for pos, lit := range cl {
+			v := sat.LitVar(lit)
+			for _, val := range []int64{0, 1} {
+				w := int64(0)
+				if (val == 1) == sat.LitSign(lit) {
+					w = 1
+				}
+				if err := psi.Insert(relation.NewTuple(
+					relation.Int(int64(j+1)), relation.Int(int64(pos+1)),
+					relation.Str(xName(v)), relation.Int(val), relation.Int(w))); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	db.Add(psi)
+	db.Add(boolenc.IOr())
+
+	extra := relation.NewDatabase()
+	rx := relation.NewRelation(relation.NewSchema("RX", "X", "V"))
+	for i := 0; i < n; i++ {
+		for _, val := range []int64{0, 1} {
+			if err := rx.Insert(relation.NewTuple(relation.Str(xName(i)), relation.Int(val))); err != nil {
+				panic(err)
+			}
+		}
+	}
+	extra.Add(rx)
+
+	v := query.V
+	q := query.NewCQ("RQ",
+		[]query.Term{v("j"), v("c"), v("x"), v("v"), v("xp"), v("vp")},
+		query.Rel("RX", v("x1"), v("v1")),
+		query.Rel("Rpsi", v("j"), query.CI(1), v("x1"), v("v1"), v("w1")),
+		query.Rel("RX", v("x2"), v("v2")),
+		query.Rel("Rpsi", v("j"), query.CI(2), v("x2"), v("v2"), v("w2")),
+		query.Rel("RX", v("x3"), v("v3")),
+		query.Rel("Rpsi", v("j"), query.CI(3), v("x3"), v("v3"), v("w3")),
+		query.Rel(boolenc.ROrName, v("c1"), v("w1"), v("w2")),
+		query.Rel(boolenc.ROrName, v("c"), v("c1"), v("w3")),
+		query.Rel("RX", v("x"), v("v")),
+		query.Rel("RX", v("xp"), v("vp")))
+
+	util := core.Utility(func(t relation.Tuple) float64 {
+		cVal := t[1].Int64()
+		x, vv := t[2], t[3]
+		xp, vp := t[4], t[5]
+		if cVal == 0 || !x.Equal(xp) || !vv.Equal(vp) {
+			return -1
+		}
+		return 1
+	})
+	inst := adjust.Instance{
+		Problem: core.ItemProblem(db, q, util, n*r),
+		Extra:   extra,
+		Bound:   1,
+		KPrime:  n,
+	}
+	return inst, util
+}

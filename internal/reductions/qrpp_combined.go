@@ -1,0 +1,99 @@
+package reductions
+
+import (
+	"repro/internal/boolenc"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/relax"
+	"repro/internal/sat"
+)
+
+// QRPPFromEFDNF is the Theorem 7.2 combined-complexity reduction from
+// ∃*∀*3DNF to QRPP(CQ) with compatibility constraints (Σp2-hardness):
+//
+//   - Q(x⃗, c) = R01(x0) ∧ ... ∧ R01(x_{m-1}) ∧ R01(c) ∧ c = 0 generates
+//     X assignments flagged c = 0; the set E = {0} marks the flag constant
+//     as the only relaxable parameter;
+//   - Qc is the Lemma 4.2 constraint over the answer schema: it rejects a
+//     package whose X assignment admits a Y assignment falsifying ψ;
+//   - val rates a package 1 only if its flag is c = 1, so the original
+//     query (c = 0 rows only) never reaches the bound B = 1; relaxing
+//     c = 0 to dist(c, 0) ≤ 1 under the Boolean-flip metric (gap budget
+//     g = 1) admits c = 1 rows, and a valid package then exists iff
+//     ϕ = ∃X ∀Y ψ is true.
+func QRPPFromEFDNF(f sat.EFDNF) (relax.Instance, error) {
+	db := boolenc.NewDB()
+	xs := boolenc.VarNames("x", f.NX)
+	ys := boolenc.VarNames("y", f.NY)
+
+	body := append([]query.Atom{}, boolenc.AssignmentAtoms(xs)...)
+	body = append(body,
+		query.Rel(boolenc.R01Name, query.V("c")),
+		query.Eq(query.V("c"), query.CI(0)))
+	head := append(varTerms(xs), query.V("c"))
+	q := query.NewCQ("RQ", head, body...)
+
+	comp := &boolenc.Compiler{}
+	out := comp.Compile(boolenc.DNFFormula(lits(f.Psi.Terms), blockName(f.NX)))
+	comp.AssertEq(out, false)
+	qcBody := []query.Atom{query.Rel("RQ", head...)}
+	qcBody = append(qcBody, boolenc.AssignmentAtoms(ys)...)
+	qcBody = append(qcBody, comp.Atoms()...)
+	qc := query.NewCQ("Qc", nil, qcBody...)
+
+	cIdx := f.NX
+	val := core.Func("flagVal", func(p core.Package) float64 {
+		if p.Len() != 1 {
+			return 0
+		}
+		if p.Tuples()[0][cIdx].Int64() == 1 {
+			return 1
+		}
+		return 0
+	})
+	prob := &core.Problem{
+		DB:     db,
+		Q:      q,
+		Qc:     qc,
+		Cost:   core.CountOrInf(),
+		Val:    val,
+		Budget: 1,
+		K:      1,
+	}
+
+	pts, err := relax.Points(q)
+	if err != nil {
+		return relax.Instance{}, err
+	}
+	var chosen []relax.Point
+	for _, p := range pts {
+		if p.Kind == relax.ConstInEquality && p.Const.Equal(relation.Int(0)) {
+			chosen = append(chosen, p.WithMetric(relax.BoolFlip()))
+		}
+	}
+	return relax.Instance{
+		Problem:   prob,
+		Points:    chosen,
+		Bound:     1,
+		GapBudget: 1,
+	}, nil
+}
+
+// MembershipInstance turns a membership-problem instance (Q, D, t) into the
+// RPP instance of Theorem 4.1's DATALOGnr/FO/DATALOG lower bounds: with
+// cost(N) = |N| (∞ on ∅), C = 1, constant val and k = 1, the selection
+// {{t}} is a top-1 package selection iff t ∈ Q(D). The query's language
+// carries over, so the same wrapper witnesses PSPACE-hardness (DATALOGnr,
+// FO) and EXPTIME-hardness (DATALOG).
+func MembershipInstance(q query.Query, db *relation.Database, t relation.Tuple) (*core.Problem, []core.Package) {
+	prob := &core.Problem{
+		DB:     db,
+		Q:      q,
+		Cost:   core.CountOrInf(),
+		Val:    core.ConstAgg(1),
+		Budget: 1,
+		K:      1,
+	}
+	return prob, []core.Package{core.NewPackage(t)}
+}

@@ -1,0 +1,106 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/boolenc"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/relax"
+	"repro/internal/sat"
+)
+
+func TestTheorem72CombinedQRPPFromEFDNF(t *testing.T) {
+	rng := rand.New(rand.NewSource(721))
+	for i := 0; i < 15; i++ {
+		f := sat.RandEFDNF(rng, 2, 2, 1+rng.Intn(3))
+		inst, err := QRPPFromEFDNF(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, got, err := relax.Decide(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := f.Decide(); got != want {
+			t.Fatalf("instance %d (%v): QRPP = %v, ∃∀DNF = %v", i, f.Psi, got, want)
+		}
+		if got && rel.Gap != 1 {
+			t.Fatalf("instance %d: witness gap = %g, want 1", i, rel.Gap)
+		}
+	}
+}
+
+func TestTheorem72CombinedOriginalInfeasible(t *testing.T) {
+	f := sat.RandEFDNF(rand.New(rand.NewSource(7210)), 2, 2, 2)
+	inst, err := QRPPFromEFDNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With gap budget 0 the original query admits no rated package, true
+	// or false alike.
+	inst.GapBudget = 0
+	_, ok, err := relax.Decide(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("the unrelaxed instance must be infeasible (all flags are 0)")
+	}
+}
+
+func TestMembershipInstanceDatalog(t *testing.T) {
+	// Transitive closure on a path: (1, n) is in TC, (n, 1) is not.
+	const n = 5
+	db := relation.NewDatabase()
+	edges := relation.NewRelation(relation.NewSchema("E", "s", "d"))
+	for i := 1; i < n; i++ {
+		if err := edges.Insert(relation.Ints(int64(i), int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Add(edges)
+	tc := query.NewDatalog("TC",
+		query.NewRule(query.Rel("TC", query.V("x"), query.V("y")), query.Rel("E", query.V("x"), query.V("y"))),
+		query.NewRule(query.Rel("TC", query.V("x"), query.V("z")),
+			query.Rel("E", query.V("x"), query.V("y")), query.Rel("TC", query.V("y"), query.V("z"))))
+
+	prob, sel := MembershipInstance(tc, db, relation.Ints(1, n))
+	ok, _, err := prob.DecideTopK(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("(1, n) ∈ TC should make {t} a top-1 selection")
+	}
+	prob2, sel2 := MembershipInstance(tc, db, relation.Ints(n, 1))
+	ok, _, err = prob2.DecideTopK(sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("(n, 1) ∉ TC should reject the selection")
+	}
+}
+
+func TestMembershipInstanceFO(t *testing.T) {
+	db := boolenc.NewDB()
+	// Q(x) := R01(x) & !(x = 0): membership of (1) holds, (0) does not.
+	q := query.NewFO("RQ", []query.Term{query.V("x")},
+		query.And(query.Atomf(query.Rel(boolenc.R01Name, query.V("x"))),
+			query.Not(query.Atomf(query.Eq(query.V("x"), query.CI(0))))))
+	prob, sel := MembershipInstance(q, db, relation.Ints(1))
+	ok, _, err := prob.DecideTopK(sel)
+	if err != nil || !ok {
+		t.Fatalf("(1) should be a member: %v %v", ok, err)
+	}
+	prob2, sel2 := MembershipInstance(q, db, relation.Ints(0))
+	ok, _, err = prob2.DecideTopK(sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("(0) is not a member")
+	}
+}

@@ -1,0 +1,368 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adjust"
+	"repro/internal/core"
+	"repro/internal/relax"
+	"repro/internal/sat"
+)
+
+// The cross-validation tests run every reduction against the direct solvers
+// of internal/sat on streams of seeded random instances: the executable
+// analogue of the paper's correctness proofs. Instances are kept small —
+// the engines are deliberately exponential.
+
+func TestLemma42CompatibilityFromEFDNF(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 25; i++ {
+		f := sat.RandEFDNF(rng, 2+rng.Intn(2), 2+rng.Intn(2), 1+rng.Intn(4))
+		ci := CompatFromEFDNF(f)
+		got, err := ci.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := f.Decide(); got != want {
+			t.Fatalf("instance %d (%v): compatibility = %v, ∃∀DNF = %v", i, f.Psi, got, want)
+		}
+	}
+}
+
+func TestTheorem41RPPFromEFDNF(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 20; i++ {
+		f := sat.RandEFDNF(rng, 2, 2, 1+rng.Intn(4))
+		prob, sel := RPPFromEFDNF(f)
+		got, _, err := prob.DecideTopK(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// {∅} is top-1 iff ϕ is FALSE (reduction from the complement).
+		if want := !f.Decide(); got != want {
+			t.Fatalf("instance %d: RPP = %v, ¬ϕ = %v", i, got, want)
+		}
+	}
+}
+
+func TestLemma44CompatibilityFrom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 30; i++ {
+		c := sat.Rand3CNF(rng, 3+rng.Intn(3), 1+rng.Intn(4))
+		ci := CompatFrom3SAT(c)
+		got, err := ci.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sat.Satisfiable(c); got != want {
+			t.Fatalf("instance %d (%v): compatibility = %v, SAT = %v", i, c, got, want)
+		}
+	}
+}
+
+func TestTheorem43RPPFrom3SATDataComplexity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 20; i++ {
+		c := sat.Rand3CNF(rng, 3+rng.Intn(3), 1+rng.Intn(4))
+		prob, sel := RPPFrom3SAT(c)
+		got, _, err := prob.DecideTopK(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := !sat.Satisfiable(c); got != want {
+			t.Fatalf("instance %d: RPP = %v, ¬SAT = %v", i, got, want)
+		}
+	}
+}
+
+func TestTheorem45RPPFromSATUNSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for i := 0; i < 20; i++ {
+		p := sat.RandPair(rng, 3, 2+rng.Intn(4), 3, 2+rng.Intn(4))
+		prob, sel := RPPFromSATUNSAT(p)
+		got, _, err := prob.DecideTopK(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := p.Decide(); got != want {
+			t.Fatalf("instance %d: RPP = %v, SAT-UNSAT = %v", i, got, want)
+		}
+	}
+}
+
+func TestTheorem51FRPFromMaxWeightSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 25; i++ {
+		nc := 1 + rng.Intn(4)
+		c := sat.Rand3CNF(rng, 3+rng.Intn(3), nc)
+		ws := sat.RandWeights(rng, nc, 10)
+		prob := FRPFromMaxWeightSAT(c, ws)
+		sel, ok, err := prob.FindTopK()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("instance %d: FRP found nothing (some clause is always satisfiable)", i)
+		}
+		got := prob.Val.Eval(sel[0])
+		if want := float64(sat.BestWeight(c.Clauses, ws, c.NumVars)); got != want {
+			t.Fatalf("instance %d: FRP optimum = %g, MAX-WEIGHT SAT = %g", i, got, want)
+		}
+	}
+}
+
+func TestTheorem51OracleAlgorithmAgrees(t *testing.T) {
+	// The binary-search + oracle algorithm from the Theorem 5.1 upper-bound
+	// proof must find the same optimum as exhaustive search.
+	rng := rand.New(rand.NewSource(510))
+	for i := 0; i < 8; i++ {
+		nc := 1 + rng.Intn(3)
+		c := sat.Rand3CNF(rng, 3, nc)
+		ws := sat.RandWeights(rng, nc, 10)
+		prob := FRPFromMaxWeightSAT(c, ws)
+		want, wantOK, err := prob.FindTopK()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hi int64
+		for _, w := range ws {
+			hi += w
+		}
+		got, ok, err := prob.FindTopKViaOracle(0, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != wantOK {
+			t.Fatalf("instance %d: oracle ok=%v exhaustive ok=%v", i, ok, wantOK)
+		}
+		if ok && prob.Val.Eval(got[0]) != prob.Val.Eval(want[0]) {
+			t.Fatalf("instance %d: oracle val %g, exhaustive val %g",
+				i, prob.Val.Eval(got[0]), prob.Val.Eval(want[0]))
+		}
+	}
+}
+
+func TestTheorem52MBPFromSATUNSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < 15; i++ {
+		p := sat.RandPair(rng, 3, 1+rng.Intn(2), 3, 1+rng.Intn(2))
+		prob, b := MBPFromSATUNSAT(p)
+		got, err := prob.IsMaxBound(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := p.Decide(); got != want {
+			t.Fatalf("instance %d: MBP = %v, SAT-UNSAT = %v (ϕ1 %v, ϕ2 %v)",
+				i, got, want, p.Phi1, p.Phi2)
+		}
+	}
+}
+
+func TestTheorem53CPPFrom3SATParsimonious(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 25; i++ {
+		c := sat.Rand3CNF(rng, 3+rng.Intn(3), 1+rng.Intn(4))
+		prob, b := CPPFrom3SAT(c)
+		got, err := prob.CountValid(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Valid packages biject with satisfying assignments of the
+		// occurring variables.
+		if want := sat.CountModels(c.Compact()); got != want {
+			t.Fatalf("instance %d (%v): CPP = %d, #SAT = %d", i, c, got, want)
+		}
+	}
+}
+
+func TestTheorem53CPPFromSigma1(t *testing.T) {
+	rng := rand.New(rand.NewSource(531))
+	for i := 0; i < 15; i++ {
+		nx, ny := 2, 2+rng.Intn(2)
+		phi := sat.Rand3CNF(rng, nx+ny, 1+rng.Intn(4))
+		prob, b := CPPFromSigma1(phi, nx, ny)
+		got, err := prob.CountValid(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sat.CountSigma1(phi, nx, ny); got != want {
+			t.Fatalf("instance %d: CPP = %d, #Σ1SAT = %d", i, got, want)
+		}
+	}
+}
+
+func TestTheorem53CPPFromPi1(t *testing.T) {
+	rng := rand.New(rand.NewSource(532))
+	for i := 0; i < 15; i++ {
+		nx, ny := 2, 2+rng.Intn(2)
+		psi := sat.Rand3DNF(rng, nx+ny, 1+rng.Intn(4))
+		prob, b := CPPFromPi1(psi, nx, ny)
+		got, err := prob.CountValid(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sat.CountPi1(psi, nx, ny); got != want {
+			t.Fatalf("instance %d: CPP = %d, #Π1SAT = %d", i, got, want)
+		}
+	}
+}
+
+func TestTheorem64ItemFRPFromMaxWeightSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 20; i++ {
+		nc := 1 + rng.Intn(4)
+		c := sat.Rand3CNF(rng, 3+rng.Intn(2), nc)
+		ws := sat.RandWeights(rng, nc, 10)
+		db, q, util := ItemFRPFromMaxWeightSAT(c, ws)
+		items, ok, err := core.TopKItems(db, q, util, 1)
+		if err != nil || !ok {
+			t.Fatalf("instance %d: TopKItems ok=%v err=%v", i, ok, err)
+		}
+		if got, want := util(items[0]), float64(sat.BestWeight(c.Clauses, ws, c.NumVars)); got != want {
+			t.Fatalf("instance %d: item FRP = %g, MAX-WEIGHT SAT = %g", i, got, want)
+		}
+	}
+}
+
+func TestTheorem64ItemMBPFromSATUNSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(641))
+	for i := 0; i < 20; i++ {
+		p := sat.RandPair(rng, 3, 2+rng.Intn(3), 3, 2+rng.Intn(3))
+		db, q, util, b := ItemMBPFromSATUNSAT(p)
+		prob := core.ItemProblem(db, q, util, 1)
+		got, err := prob.IsMaxBound(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := p.Decide(); got != want {
+			t.Fatalf("instance %d: item MBP = %v, SAT-UNSAT = %v", i, got, want)
+		}
+	}
+}
+
+func TestTheorem72QRPPFrom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for i := 0; i < 15; i++ {
+		c := sat.Rand3CNF(rng, 3+rng.Intn(2), 1+rng.Intn(3))
+		inst, err := QRPPFrom3SAT(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, got, err := relax.Decide(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sat.Satisfiable(c); got != want {
+			t.Fatalf("instance %d (%v): QRPP = %v, SAT = %v", i, c, got, want)
+		}
+		if got && rel.Gap != 1 {
+			t.Fatalf("instance %d: witness gap = %g, want 1 (flip V = 0 to V ≤ 1 flip)", i, rel.Gap)
+		}
+	}
+}
+
+func TestTheorem72QRPPOriginalQueryEmpty(t *testing.T) {
+	c := sat.Rand3CNF(rand.New(rand.NewSource(720)), 3, 2)
+	inst, err := QRPPFrom3SAT(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := inst.Problem.Q.Eval(inst.Problem.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 0 {
+		t.Fatalf("the unrelaxed query must be empty, got %d rows", ans.Len())
+	}
+}
+
+func TestTheorem81ARPPFromEFDNF(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < 10; i++ {
+		f := sat.RandEFDNF(rng, 2, 2, 1+rng.Intn(3))
+		inst := ARPPFromEFDNF(f)
+		delta, got, err := adjust.Decide(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := f.Decide(); got != want {
+			t.Fatalf("instance %d (%v): ARPP = %v, ∃∀DNF = %v", i, f.Psi, got, want)
+		}
+		if got {
+			// The minimum adjustment inserts both Boolean values.
+			if delta.Size() != 2 {
+				t.Fatalf("instance %d: |Δ| = %d, want 2 (%v)", i, delta.Size(), delta)
+			}
+			for _, e := range delta.Edits {
+				if !e.Insert {
+					t.Fatalf("instance %d: unexpected deletion in %v", i, delta)
+				}
+			}
+		}
+	}
+}
+
+func TestCorollary82ItemARPPFrom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for i := 0; i < 8; i++ {
+		// Compact so every variable occurs in ϕ — the reduction's
+		// precondition (see the ItemARPPFrom3SAT comment).
+		c := sat.Rand3CNF(rng, 3, 1+rng.Intn(2)).Compact()
+		inst, _ := ItemARPPFrom3SAT(c)
+		_, got, err := adjust.Decide(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sat.Satisfiable(c); got != want {
+			t.Fatalf("instance %d (%v): item ARPP = %v, SAT = %v", i, c, got, want)
+		}
+	}
+}
+
+func TestClauseRowsShape(t *testing.T) {
+	rows := clauseRows(1, sat.Clause{1, -2, 3}, xName)
+	if len(rows) != 7 {
+		t.Fatalf("a 3-literal clause has 7 satisfying rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != 7 {
+			t.Fatalf("row arity = %d, want 7", len(r))
+		}
+		if r[0].Int64() != 1 {
+			t.Fatalf("cid = %v, want 1", r[0])
+		}
+	}
+}
+
+func TestConsistencyCostCases(t *testing.T) {
+	cost := consistencyCost()
+	rows := clauseRows(1, sat.Clause{1, 2, 3}, xName)
+	rows2 := clauseRows(2, sat.Clause{-1, 2, 4}, xName)
+	// Single row: consistent.
+	if cost.Eval(core.NewPackage(rows[0])) != 1 {
+		t.Fatal("single row should be consistent")
+	}
+	// Two rows, same cid: cost 2.
+	if cost.Eval(core.NewPackage(rows[0], rows[1])) != 2 {
+		t.Fatal("duplicate cid should cost 2")
+	}
+	// Rows from different clauses agreeing on shared variables: find a
+	// consistent pair by brute force and a conflicting one too.
+	foundConsistent, foundConflict := false, false
+	for _, a := range rows {
+		for _, b := range rows2 {
+			v := cost.Eval(core.NewPackage(a, b))
+			if v == 1 {
+				foundConsistent = true
+			}
+			if v == 2 {
+				foundConflict = true
+			}
+		}
+	}
+	if !foundConsistent || !foundConflict {
+		t.Fatalf("expected both consistent and conflicting pairs (consistent=%v conflict=%v)",
+			foundConsistent, foundConflict)
+	}
+}

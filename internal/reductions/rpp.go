@@ -1,0 +1,160 @@
+package reductions
+
+import (
+	"repro/internal/boolenc"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// RPPFromSATUNSAT is the Theorem 4.5 reduction from SAT-UNSAT to RPP in the
+// absence of compatibility constraints (DP-hardness): over the Figure 4.1
+// gadgets,
+//
+//	Q(b, b′) = ∃x⃗ ∃y⃗ (QX(x⃗) ∧ Qϕ1(x⃗, b) ∧ QY(y⃗) ∧ Qϕ2(y⃗, b′))
+//
+// computes the pairs of truth values achievable by (ϕ1, ϕ2); singleton
+// packages are rated val{(1,0)} = 2, val{(1,1)} = val{(0,1)} = 3,
+// val{(0,0)} = 1, and the candidate selection N = {{(1, 0)}} is a top-1
+// package selection iff ϕ1 is satisfiable and ϕ2 is not.
+func RPPFromSATUNSAT(p sat.Pair) (*core.Problem, []core.Package) {
+	db := boolenc.NewDB()
+	xs := boolenc.VarNames("x", p.Phi1.NumVars)
+	ys := boolenc.VarNames("y", p.Phi2.NumVars)
+
+	comp := &boolenc.Compiler{}
+	b1 := comp.Compile(boolenc.CNFFormula(lits(p.Phi1.Clauses), xName))
+	comp2 := &boolenc.Compiler{Prefix: "_c"}
+	b2 := comp2.Compile(boolenc.CNFFormula(lits(p.Phi2.Clauses), yName))
+
+	var body []query.Atom
+	body = append(body, boolenc.AssignmentAtoms(xs)...)
+	body = append(body, comp.Atoms()...)
+	body = append(body, boolenc.AssignmentAtoms(ys)...)
+	body = append(body, comp2.Atoms()...)
+	q := query.NewCQ("RQ", []query.Term{query.V(b1), query.V(b2)}, body...)
+
+	val := core.Func("pairVal", func(pkg core.Package) float64 {
+		if pkg.Len() != 1 {
+			return 0
+		}
+		t := pkg.Tuples()[0]
+		switch [2]int64{t[0].Int64(), t[1].Int64()} {
+		case [2]int64{1, 0}:
+			return 2
+		case [2]int64{1, 1}, [2]int64{0, 1}:
+			return 3
+		default:
+			return 1
+		}
+	})
+	prob := &core.Problem{
+		DB:     db,
+		Q:      q,
+		Cost:   core.CountOrInf(),
+		Val:    val,
+		Budget: 1,
+		K:      1,
+	}
+	sel := []core.Package{core.NewPackage(relation.Ints(1, 0))}
+	return prob, sel
+}
+
+// MBPFromSATUNSAT is the Theorem 5.2 data-complexity reduction from
+// SAT-UNSAT to MBP with a fixed identity query: the clause relation holds
+// ϕ1's clauses (cids 1..r, variables x·) and ϕ2's clauses (cids r+1..r+s,
+// variables y·); cost 1 demands a consistent selection covering all of ϕ1
+// and, if any ϕ2 row is present, all of ϕ2; val(N) is 1 for X-only
+// packages, 2 when X and Y rows mix, 0 otherwise. B = 1 is the maximum
+// bound iff ϕ1 is satisfiable and ϕ2 is not.
+func MBPFromSATUNSAT(p sat.Pair) (*core.Problem, float64) {
+	r := len(p.Phi1.Clauses)
+	s := len(p.Phi2.Clauses)
+	rel := relation.NewRelation(clauseRelationSchema("RC"))
+	for i, cl := range p.Phi1.Clauses {
+		for _, row := range clauseRows(i+1, cl, xName) {
+			if err := rel.Insert(row); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for i, cl := range p.Phi2.Clauses {
+		for _, row := range clauseRows(r+i+1, cl, yName) {
+			if err := rel.Insert(row); err != nil {
+				panic(err)
+			}
+		}
+	}
+	db := relation.NewDatabase().Add(rel)
+
+	phi1Cids := make([]int64, r)
+	for i := range phi1Cids {
+		phi1Cids[i] = int64(i + 1)
+	}
+	phi2Cids := make([]int64, s)
+	for i := range phi2Cids {
+		phi2Cids[i] = int64(r + i + 1)
+	}
+	base := consistencyCost()
+	cost := core.Func("satunsatCost", func(pkg core.Package) float64 {
+		if base.Eval(pkg) != 1 {
+			return 2
+		}
+		have := map[int64]struct{}{}
+		anyPhi2 := false
+		for _, t := range pkg.Tuples() {
+			cid := t[0].Int64()
+			have[cid] = struct{}{}
+			if cid > int64(r) {
+				anyPhi2 = true
+			}
+		}
+		for _, cid := range phi1Cids {
+			if _, ok := have[cid]; !ok {
+				return 2
+			}
+		}
+		if anyPhi2 {
+			for _, cid := range phi2Cids {
+				if _, ok := have[cid]; !ok {
+					return 2
+				}
+			}
+		}
+		return 1
+	})
+	val := core.Func("blockVal", func(pkg core.Package) float64 {
+		hasX, hasY := false, false
+		for _, t := range pkg.Tuples() {
+			for i := 1; i+1 < len(t); i += 2 {
+				if len(t[i].Text()) > 0 {
+					switch t[i].Text()[0] {
+					case 'x':
+						hasX = true
+					case 'y':
+						hasY = true
+					}
+				}
+			}
+		}
+		switch {
+		case hasX && hasY:
+			return 2
+		case hasX:
+			return 1
+		default:
+			return 0
+		}
+	})
+	prob := &core.Problem{
+		DB:     db,
+		Q:      query.Identity("RQ", rel),
+		Cost:   cost,
+		Val:    val,
+		Budget: 1,
+		K:      1,
+		Prune:  consistencyPrune(),
+	}
+	return prob, 1
+}

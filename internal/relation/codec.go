@@ -1,0 +1,127 @@
+package relation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// jsonRelation is the wire form of a relation.
+type jsonRelation struct {
+	Name   string   `json:"name"`
+	Attrs  []string `json:"attrs"`
+	Tuples [][]any  `json:"tuples"`
+}
+
+// jsonDatabase is the wire form of a database.
+type jsonDatabase struct {
+	Relations []jsonRelation `json:"relations"`
+}
+
+// valueToJSON converts a Value to its JSON representation.
+func valueToJSON(v Value) any {
+	switch v.Kind() {
+	case KindInt:
+		return v.Int64()
+	case KindFloat:
+		return v.Float64()
+	default:
+		return v.Text()
+	}
+}
+
+// valueFromJSON converts a decoded JSON scalar to a Value. Numbers without a
+// fractional part decode as integers so that round-trips are stable.
+func valueFromJSON(x any) (Value, error) {
+	switch t := x.(type) {
+	case float64:
+		if t == math.Trunc(t) && math.Abs(t) < 1e15 {
+			return Int(int64(t)), nil
+		}
+		return Float(t), nil
+	case json.Number:
+		if i, err := t.Int64(); err == nil {
+			return Int(i), nil
+		}
+		f, err := t.Float64()
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: bad number %q", t)
+		}
+		return Float(f), nil
+	case string:
+		return Str(t), nil
+	case bool:
+		return Bool(t), nil
+	default:
+		return Value{}, fmt.Errorf("relation: unsupported JSON value %T", x)
+	}
+}
+
+// MarshalJSON encodes the database.
+func (d *Database) MarshalJSON() ([]byte, error) {
+	out := jsonDatabase{}
+	for _, name := range d.order {
+		r := d.rels[name]
+		jr := jsonRelation{Name: r.Name(), Attrs: append([]string(nil), r.Schema().Attrs...)}
+		for _, t := range r.Sorted().Tuples() {
+			row := make([]any, len(t))
+			for i, v := range t {
+				row[i] = valueToJSON(v)
+			}
+			jr.Tuples = append(jr.Tuples, row)
+		}
+		out.Relations = append(out.Relations, jr)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the database.
+func (d *Database) UnmarshalJSON(data []byte) error {
+	var in jsonDatabase
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*d = *NewDatabase()
+	for _, jr := range in.Relations {
+		r := NewRelation(NewSchema(jr.Name, jr.Attrs...))
+		for _, row := range jr.Tuples {
+			t := make(Tuple, len(row))
+			for i, x := range row {
+				v, err := valueFromJSON(x)
+				if err != nil {
+					return fmt.Errorf("relation %s: %w", jr.Name, err)
+				}
+				t[i] = v
+			}
+			if err := r.Insert(t); err != nil {
+				return err
+			}
+		}
+		d.Add(r)
+	}
+	return nil
+}
+
+// WriteJSON writes the database as indented JSON.
+func (d *Database) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// ReadJSON reads a database from JSON.
+func ReadJSON(r io.Reader) (*Database, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDatabase()
+	if err := json.Unmarshal(b, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

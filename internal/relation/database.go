@@ -1,0 +1,128 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Database is a named collection of relations: the item collection D of the
+// paper. The relation iteration order is the insertion order, kept explicit
+// so all algorithms are deterministic.
+type Database struct {
+	rels  map[string]*Relation
+	order []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Add registers a relation, replacing any previous relation with the same
+// name.
+func (d *Database) Add(r *Relation) *Database {
+	if _, ok := d.rels[r.Name()]; !ok {
+		d.order = append(d.order, r.Name())
+	}
+	d.rels[r.Name()] = r
+	return d
+}
+
+// Relation returns the named relation, or nil if absent.
+func (d *Database) Relation(name string) *Relation { return d.rels[name] }
+
+// Names returns the relation names in insertion order.
+func (d *Database) Names() []string { return d.order }
+
+// Size returns the total number of tuples, the |D| of the paper's
+// data-complexity statements.
+func (d *Database) Size() int {
+	n := 0
+	for _, name := range d.order {
+		n += d.rels[name].Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy (relations are cloned; tuples shared).
+func (d *Database) Clone() *Database {
+	c := NewDatabase()
+	for _, name := range d.order {
+		c.Add(d.rels[name].Clone())
+	}
+	return c
+}
+
+// WithRelation returns a shallow overlay of d in which r is added (or
+// replaces the relation of the same name). The original database is not
+// modified; all other relations are shared. This is how compatibility
+// constraints Qc are evaluated: Qc(N, D) is Qc over d.WithRelation(RQ := N).
+func (d *Database) WithRelation(r *Relation) *Database {
+	c := &Database{rels: make(map[string]*Relation, len(d.rels)+1)}
+	c.order = append(c.order, d.order...)
+	for k, v := range d.rels {
+		c.rels[k] = v
+	}
+	if _, ok := c.rels[r.Name()]; !ok {
+		c.order = append(c.order, r.Name())
+	}
+	c.rels[r.Name()] = r
+	return c
+}
+
+// ActiveDomain returns the sorted set of all values appearing in the
+// database. Query constants are added by the callers that need the full
+// adom(Q, D) of the paper.
+func (d *Database) ActiveDomain() []Value {
+	seen := make(map[Value]struct{})
+	var vals []Value
+	for _, name := range d.order {
+		for _, t := range d.rels[name].Tuples() {
+			for _, v := range t {
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					vals = append(vals, v)
+				}
+			}
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Less(vals[j]) })
+	return vals
+}
+
+// ActiveDomainOf returns the sorted set of values appearing in column attr
+// of relation name; it is used to bound the D-equivalent relaxation
+// thresholds of Section 7.
+func (d *Database) ActiveDomainOf(name, attr string) []Value {
+	r := d.rels[name]
+	if r == nil {
+		return nil
+	}
+	idx := r.Schema().AttrIndex(attr)
+	if idx < 0 {
+		return nil
+	}
+	seen := make(map[Value]struct{})
+	var vals []Value
+	for _, t := range r.Tuples() {
+		if _, ok := seen[t[idx]]; !ok {
+			seen[t[idx]] = struct{}{}
+			vals = append(vals, t[idx])
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Less(vals[j]) })
+	return vals
+}
+
+// String renders all relations.
+func (d *Database) String() string {
+	var b strings.Builder
+	for i, name := range d.order {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprint(&b, d.rels[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema describes a relation: its name and attribute names. Attribute
+// domains are implicit in the values stored; the distance functions of
+// Section 7 are keyed by "Relation.Attribute" strings derived from schemas.
+type Schema struct {
+	Name  string
+	Attrs []string
+}
+
+// NewSchema builds a schema.
+func NewSchema(name string, attrs ...string) *Schema {
+	return &Schema{Name: name, Attrs: attrs}
+}
+
+// AutoSchema builds a schema with attribute names c0..c{n-1}, used for query
+// answers and intensional (IDB) predicates whose attributes are positional.
+func AutoSchema(name string, arity int) *Schema {
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("c%d", i)
+	}
+	return &Schema{Name: name, Attrs: attrs}
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.Attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s *Schema) AttrIndex(attr string) int {
+	for i, a := range s.Attrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Qualified returns the "Name.Attr" key for attribute i, the key under which
+// Section 7 distance functions are registered.
+func (s *Schema) Qualified(i int) string { return s.Name + "." + s.Attrs[i] }
+
+// String renders the schema as Name(a1, ..., an).
+func (s *Schema) String() string {
+	return s.Name + "(" + strings.Join(s.Attrs, ", ") + ")"
+}
+
+// Relation is a set of tuples over a schema. Insertion deduplicates, so the
+// paper's set semantics hold by construction. The tuple order is insertion
+// order until Sort is called; Sorted returns a canonical copy.
+type Relation struct {
+	schema *Schema
+	tuples []Tuple
+	index  map[string]struct{}
+}
+
+// NewRelation creates an empty relation over schema.
+func NewRelation(schema *Schema) *Relation {
+	return &Relation{schema: schema, index: make(map[string]struct{})}
+}
+
+// FromTuples creates a relation over schema containing the given tuples
+// (deduplicated). It panics on arity mismatch, which indicates programmer
+// error in test fixtures or generators.
+func FromTuples(schema *Schema, tuples ...Tuple) *Relation {
+	r := NewRelation(schema)
+	for _, t := range tuples {
+		if err := r.Insert(t); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.schema.Name }
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.schema.Arity() }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds t to the relation, reporting an arity mismatch as an error.
+// Duplicate tuples are ignored.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("relation %s: inserting tuple of arity %d into schema of arity %d",
+			r.schema.Name, len(t), r.schema.Arity())
+	}
+	k := t.Key()
+	if _, ok := r.index[k]; ok {
+		return nil
+	}
+	r.index[k] = struct{}{}
+	r.tuples = append(r.tuples, t)
+	return nil
+}
+
+// Delete removes t if present and reports whether it was removed.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	if _, ok := r.index[k]; !ok {
+		return false
+	}
+	delete(r.index, k)
+	for i, u := range r.tuples {
+		if u.Key() == k {
+			r.tuples = append(r.tuples[:i], r.tuples[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Contains reports membership of t.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// Tuples returns the underlying tuple slice. Callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Sort orders the tuples canonically in place.
+func (r *Relation) Sort() {
+	sort.Slice(r.tuples, func(i, j int) bool { return r.tuples[i].Compare(r.tuples[j]) < 0 })
+}
+
+// Sorted returns a canonical (sorted) copy of the relation.
+func (r *Relation) Sorted() *Relation {
+	c := r.Clone()
+	c.Sort()
+	return c
+}
+
+// Clone returns a deep-enough copy (tuples are shared; they are immutable by
+// convention).
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.schema)
+	c.tuples = append([]Tuple(nil), r.tuples...)
+	for k := range r.index {
+		c.index[k] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports set equality of two relations (schemas must share arity;
+// names are ignored so query answers can be compared across engines).
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Len() != o.Len() || r.Arity() != o.Arity() {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !o.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation with its schema and sorted tuples.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.schema.String())
+	b.WriteString(" {")
+	s := r.Sorted()
+	for i, t := range s.tuples {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package relation
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleKeyUnambiguous(t *testing.T) {
+	// Pairs of distinct tuples that could collide under naive encodings.
+	pairs := [][2]Tuple{
+		{Ints(1, 2), Ints(12)},
+		{Strs("ab", "c"), Strs("a", "bc")},
+		{NewTuple(Int(1)), NewTuple(Str("1"))},
+		{NewTuple(Float(1)), NewTuple(Int(1))},
+		{Strs("a|b"), Strs("a", "b")},
+		{Ints(), Ints(0)},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("key collision: %v and %v both encode to %q", p[0], p[1], p[0].Key())
+		}
+	}
+}
+
+func TestTupleKeyAgreesWithEqual(t *testing.T) {
+	f := func(a, b []int64) bool {
+		ta := Ints(a...)
+		tb := Ints(b...)
+		return (ta.Key() == tb.Key()) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleCompareLexicographic(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{Ints(1, 2), Ints(1, 3), -1},
+		{Ints(1, 2), Ints(1, 2), 0},
+		{Ints(2), Ints(1, 9), 1},
+		{Ints(1), Ints(1, 0), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := NewRelation(NewSchema("R", "a", "b"))
+	for i := 0; i < 3; i++ {
+		if err := r.Insert(Ints(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 1 {
+		t.Fatalf("duplicate inserts: Len = %d, want 1", r.Len())
+	}
+	if err := r.Insert(Ints(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(Ints(1, 2)) || !r.Contains(Ints(3, 4)) || r.Contains(Ints(4, 3)) {
+		t.Fatal("Contains mismatch")
+	}
+	if !r.Delete(Ints(1, 2)) {
+		t.Fatal("Delete reported missing tuple")
+	}
+	if r.Delete(Ints(1, 2)) {
+		t.Fatal("Delete of absent tuple reported success")
+	}
+	if r.Len() != 1 || r.Contains(Ints(1, 2)) {
+		t.Fatal("Delete did not remove tuple")
+	}
+}
+
+func TestRelationArityMismatch(t *testing.T) {
+	r := NewRelation(NewSchema("R", "a"))
+	if err := r.Insert(Ints(1, 2)); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestRelationEqualIgnoresOrder(t *testing.T) {
+	s := NewSchema("R", "a")
+	r1 := FromTuples(s, Ints(1), Ints(2), Ints(3))
+	r2 := FromTuples(s, Ints(3), Ints(1), Ints(2))
+	if !r1.Equal(r2) {
+		t.Fatal("set equality should ignore order")
+	}
+	r3 := FromTuples(s, Ints(1), Ints(2))
+	if r1.Equal(r3) {
+		t.Fatal("relations of different cardinality compared equal")
+	}
+}
+
+func TestRelationCloneIndependence(t *testing.T) {
+	s := NewSchema("R", "a")
+	r := FromTuples(s, Ints(1))
+	c := r.Clone()
+	if err := c.Insert(Ints(2)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Contains(Ints(2)) {
+		t.Fatal("clone shares tuple storage with original")
+	}
+}
+
+func TestDatabaseOverlay(t *testing.T) {
+	d := NewDatabase()
+	d.Add(FromTuples(NewSchema("R", "a"), Ints(1)))
+	overlay := d.WithRelation(FromTuples(NewSchema("S", "b"), Ints(9)))
+	if overlay.Relation("S") == nil {
+		t.Fatal("overlay missing new relation")
+	}
+	if d.Relation("S") != nil {
+		t.Fatal("overlay mutated base database")
+	}
+	// Replacing an existing relation must not touch the base.
+	repl := d.WithRelation(FromTuples(NewSchema("R", "a"), Ints(7)))
+	if !repl.Relation("R").Contains(Ints(7)) || d.Relation("R").Contains(Ints(7)) {
+		t.Fatal("overlay replacement leaked into base")
+	}
+	if d.Size() != 1 || repl.Size() != 1 || overlay.Size() != 2 {
+		t.Fatalf("sizes: base=%d repl=%d overlay=%d", d.Size(), repl.Size(), overlay.Size())
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	d := NewDatabase()
+	d.Add(FromTuples(NewSchema("R", "a", "b"), Ints(3, 1), Ints(1, 2)))
+	d.Add(FromTuples(NewSchema("S", "c"), NewTuple(Str("x"))))
+	adom := d.ActiveDomain()
+	want := []Value{Int(1), Int(2), Int(3), Str("x")}
+	if len(adom) != len(want) {
+		t.Fatalf("adom = %v, want %v", adom, want)
+	}
+	for i := range want {
+		if !adom[i].Equal(want[i]) {
+			t.Fatalf("adom[%d] = %v, want %v", i, adom[i], want[i])
+		}
+	}
+	col := d.ActiveDomainOf("R", "b")
+	if len(col) != 2 || !col[0].Equal(Int(1)) || !col[1].Equal(Int(2)) {
+		t.Fatalf("column adom = %v", col)
+	}
+	if d.ActiveDomainOf("nope", "b") != nil || d.ActiveDomainOf("R", "nope") != nil {
+		t.Fatal("missing relation/attr should yield nil")
+	}
+}
+
+func TestDatabaseJSONRoundTrip(t *testing.T) {
+	d := NewDatabase()
+	d.Add(FromTuples(NewSchema("flight", "from", "to", "price"),
+		NewTuple(Str("edi"), Str("nyc"), Int(420)),
+		NewTuple(Str("edi"), Str("ewr"), Int(310))))
+	d.Add(FromTuples(NewSchema("score", "v"), NewTuple(Float(2.75))))
+
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != d.Size() {
+		t.Fatalf("round trip size %d, want %d", got.Size(), d.Size())
+	}
+	for _, name := range d.Names() {
+		if !got.Relation(name).Equal(d.Relation(name)) {
+			t.Fatalf("relation %s mismatch after round trip:\n%v\nvs\n%v", name, got.Relation(name), d.Relation(name))
+		}
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := NewSchema("R", "a", "b")
+	if s.Arity() != 2 || s.AttrIndex("b") != 1 || s.AttrIndex("z") != -1 {
+		t.Fatal("schema helpers broken")
+	}
+	if s.Qualified(0) != "R.a" {
+		t.Fatalf("Qualified = %q", s.Qualified(0))
+	}
+	auto := AutoSchema("Q", 3)
+	if auto.Arity() != 3 || auto.Attrs[2] != "c2" {
+		t.Fatalf("AutoSchema = %v", auto)
+	}
+}

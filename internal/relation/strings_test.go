@@ -1,0 +1,84 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRelationString(t *testing.T) {
+	r := FromTuples(NewSchema("R", "a", "b"), Ints(2, 3), Ints(1, 2))
+	got := r.String()
+	// Canonical (sorted) rendering regardless of insertion order.
+	if got != "R(a, b) {(1, 2), (2, 3)}" {
+		t.Fatalf("rendering = %q", got)
+	}
+}
+
+func TestDatabaseString(t *testing.T) {
+	db := NewDatabase()
+	db.Add(FromTuples(NewSchema("R", "a"), Ints(1)))
+	db.Add(FromTuples(NewSchema("S", "b"), NewTuple(Str("x"))))
+	got := db.String()
+	if !strings.Contains(got, "R(a) {(1)}") || !strings.Contains(got, `S(b) {("x")}`) {
+		t.Fatalf("rendering = %q", got)
+	}
+}
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	r := FromTuples(NewSchema("R", "a"), Ints(3), Ints(1))
+	s := r.Sorted()
+	if !s.Tuples()[0].Equal(Ints(1)) {
+		t.Fatal("Sorted did not sort")
+	}
+	if !r.Tuples()[0].Equal(Ints(3)) {
+		t.Fatal("Sorted mutated the receiver")
+	}
+	r.Sort()
+	if !r.Tuples()[0].Equal(Ints(1)) {
+		t.Fatal("Sort did not sort in place")
+	}
+}
+
+func TestNamesPreserveInsertionOrder(t *testing.T) {
+	db := NewDatabase()
+	db.Add(FromTuples(NewSchema("Z", "a"), Ints(1)))
+	db.Add(FromTuples(NewSchema("A", "a"), Ints(1)))
+	names := db.Names()
+	if names[0] != "Z" || names[1] != "A" {
+		t.Fatalf("names = %v, want insertion order", names)
+	}
+	// Replacing keeps the original position.
+	db.Add(FromTuples(NewSchema("Z", "a"), Ints(9)))
+	names = db.Names()
+	if len(names) != 2 || names[0] != "Z" {
+		t.Fatalf("names after replacement = %v", names)
+	}
+	if !db.Relation("Z").Contains(Ints(9)) {
+		t.Fatal("replacement did not take effect")
+	}
+}
+
+func TestTupleStringAndClone(t *testing.T) {
+	tp := NewTuple(Int(1), Str("a"), Float(2.5))
+	if tp.String() != `(1, "a", 2.5)` {
+		t.Fatalf("tuple rendering = %q", tp.String())
+	}
+	c := tp.Clone()
+	c[0] = Int(9)
+	if tp[0].Int64() != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindFloat.String() != "float" || KindString.String() != "string" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestStrsHelper(t *testing.T) {
+	tp := Strs("a", "b")
+	if len(tp) != 2 || tp[1].Text() != "b" {
+		t.Fatalf("Strs = %v", tp)
+	}
+}

@@ -1,0 +1,94 @@
+package relation
+
+import "strings"
+
+// Tuple is an ordered sequence of attribute values. Tuples are treated as
+// immutable once inserted into a Relation; callers who need to mutate should
+// Clone first.
+type Tuple []Value
+
+// NewTuple builds a tuple from values.
+func NewTuple(vs ...Value) Tuple { return Tuple(vs) }
+
+// Ints builds a tuple of integer values, a convenience for the Boolean
+// gadget relations of Figure 4.1 and for tests.
+func Ints(vs ...int64) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = Int(v)
+	}
+	return t
+}
+
+// Strs builds a tuple of string values.
+func Strs(vs ...string) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = Str(v)
+	}
+	return t
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically; shorter tuples come first among
+// tuples sharing a prefix.
+func (t Tuple) Compare(u Tuple) int {
+	n := min(len(t), len(u))
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Key returns a canonical string encoding of the tuple, unambiguous across
+// kinds and lengths; two tuples have equal keys iff they are Equal.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.Grow(len(t) * 8)
+	for _, v := range t {
+		v.appendKey(&b)
+	}
+	return b.String()
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,173 @@
+// Package relation implements the relational substrate of the package
+// recommendation model of Deng, Fan and Geerts (PODS 2012): typed values,
+// tuples, set-semantics relations, and databases with named relations.
+//
+// The paper assumes a database D specified by a relational schema
+// R = (R1, ..., Rn) whose attributes range over fixed domains. This package
+// realises that model with three value kinds (64-bit integers, 64-bit floats
+// and strings), canonical tuple encodings so that packages and answers can be
+// treated as sets, and an overlay mechanism (Database.WithRelation) used to
+// evaluate compatibility constraints Qc over D extended with the package
+// relation RQ.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. Integers and floats form a single numeric class
+// for the built-in comparison predicates (=, ≠, <, ≤, >, ≥); strings compare
+// lexicographically and are ordered after all numerics.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable attribute value. The zero Value is the integer 0.
+// Values are comparable with == (canonical representation: the unused scalar
+// fields are zero), so they can key maps directly.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value. NaN is rejected by normalising it to
+// zero so that Values remain totally ordered and usable as map keys.
+func Float(v float64) Value {
+	if math.IsNaN(v) {
+		v = 0
+	}
+	return Value{kind: KindFloat, f: v}
+}
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns the paper's Boolean-domain encoding of b: Int(1) for true and
+// Int(0) for false, matching the I01 relation of Figure 4.1.
+func Bool(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNumeric reports whether the value belongs to the numeric class.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Int64 returns the integer payload; it is 0 unless Kind is KindInt.
+func (v Value) Int64() int64 { return v.i }
+
+// Float64 returns the numeric payload as a float64 for either numeric kind.
+func (v Value) Float64() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Text returns the string payload; it is "" unless Kind is KindString.
+func (v Value) Text() string { return v.s }
+
+// Equal reports value equality under the built-in predicate "=": numeric
+// values compare numerically across kinds, strings compare byte-wise.
+func (v Value) Equal(w Value) bool { return v.Compare(w) == 0 }
+
+// Compare totally orders values: numerics first (by numeric value), then
+// strings (lexicographically). It returns -1, 0, or +1.
+func (v Value) Compare(w Value) int {
+	vn, wn := v.IsNumeric(), w.IsNumeric()
+	switch {
+	case vn && wn:
+		a, b := v.Float64(), w.Float64()
+		// Exact comparison for the int/int case avoids float rounding.
+		if v.kind == KindInt && w.kind == KindInt {
+			switch {
+			case v.i < w.i:
+				return -1
+			case v.i > w.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	case vn && !wn:
+		return -1
+	case !vn && wn:
+		return 1
+	default:
+		return strings.Compare(v.s, w.s)
+	}
+}
+
+// Less reports v < w under Compare.
+func (v Value) Less(w Value) bool { return v.Compare(w) < 0 }
+
+// String renders the value for human consumption.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return strconv.Quote(v.s)
+	}
+}
+
+// appendKey writes an unambiguous encoding of v to b, used for canonical
+// tuple keys. The encoding is kind tag + payload, length-prefixed for
+// strings so distinct tuples never collide.
+func (v Value) appendKey(b *strings.Builder) {
+	switch v.kind {
+	case KindInt:
+		b.WriteByte('i')
+		b.WriteString(strconv.FormatInt(v.i, 10))
+	case KindFloat:
+		b.WriteByte('f')
+		b.WriteString(strconv.FormatFloat(v.f, 'b', -1, 64))
+	default:
+		b.WriteByte('s')
+		b.WriteString(strconv.Itoa(len(v.s)))
+		b.WriteByte(':')
+		b.WriteString(v.s)
+	}
+	b.WriteByte('|')
+}

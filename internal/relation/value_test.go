@@ -1,0 +1,110 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Int(3), KindInt},
+		{Int(-9), KindInt},
+		{Float(2.5), KindFloat},
+		{Str("abc"), KindString},
+		{Str(""), KindString},
+		{Bool(true), KindInt},
+		{Bool(false), KindInt},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(5), Int(5), 0},
+		{Int(2), Float(2.0), 0},
+		{Float(1.5), Int(2), -1},
+		{Float(2.5), Int(2), 1},
+		{Int(7), Str("a"), -1},
+		{Str("a"), Int(7), 1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("a"), 1},
+		{Str("x"), Str("x"), 0},
+		{Int(math.MaxInt64), Int(math.MaxInt64 - 1), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Equal(c.b); got != (c.want == 0) {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want == 0)
+		}
+		if got := c.a.Less(c.b); got != (c.want < 0) {
+			t.Errorf("Less(%v, %v) = %v, want %v", c.a, c.b, got, c.want < 0)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Str(a).Compare(Str(b)) == -Str(b).Compare(Str(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueNaNNormalised(t *testing.T) {
+	v := Float(math.NaN())
+	if !v.Equal(Float(0)) {
+		t.Errorf("NaN should normalise to 0, got %v", v)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Int(-1), "-1"},
+		{Float(2.5), "2.5"},
+		{Str("hi"), `"hi"`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueMapKeyEquality(t *testing.T) {
+	m := map[Value]int{}
+	m[Int(1)] = 1
+	m[Str("1")] = 2
+	m[Float(1.5)] = 3
+	if len(m) != 3 {
+		t.Fatalf("expected 3 distinct keys, got %d", len(m))
+	}
+	if m[Int(1)] != 1 || m[Str("1")] != 2 || m[Float(1.5)] != 3 {
+		t.Fatal("map lookup mismatch")
+	}
+}

@@ -1,0 +1,91 @@
+// Package relax implements the query relaxation recommendations of
+// Section 7: distance functions Γ, relaxation points (the sets E of
+// constants and X of repeated variables that may be modified), construction
+// of relaxed queries QΓ with their level of relaxation gap(QΓ), and the
+// decision problem QRPP — does a relaxation with gap at most g admit k
+// distinct valid packages rated at least B?
+//
+// The relaxation rules follow Section 7.1:
+//
+//   - a constant c occurring in a relation atom is replaced by a fresh
+//     variable w constrained by dist(w, c) ≤ d (or kept, at gap 0);
+//   - an equality x = c is replaced by dist(x, c) ≤ d;
+//   - a repeated variable x has one occurrence replaced by a fresh variable
+//     u constrained by dist(u, x) ≤ d, turning an equijoin into a bounded
+//     near-join (d = 0 keeps the equijoin).
+//
+// Thresholds are searched up to D-equivalence (Theorem 7.2's upper-bound
+// argument): only distances realised between the constant and active-domain
+// values matter.
+package relax
+
+import (
+	"math"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Metric is a distance function over an attribute domain, an element of Γ.
+// Metrics must be positive definite (dist(a, a) = 0, dist(a, b) > 0 for
+// a ≠ b) for gap-0 relaxations to coincide with the original query.
+type Metric struct {
+	Name string
+	Fn   query.DistanceFunc
+}
+
+// AbsDiff is the numeric metric |a − b|; non-numeric operands are infinitely
+// far apart.
+func AbsDiff() Metric {
+	return Metric{Name: "absdiff", Fn: func(a, b relation.Value) float64 {
+		if !a.IsNumeric() || !b.IsNumeric() {
+			if a.Equal(b) {
+				return 0
+			}
+			return math.Inf(1)
+		}
+		return math.Abs(a.Float64() - b.Float64())
+	}}
+}
+
+// Discrete is the 0/∞ metric: no relaxation beyond exact equality.
+func Discrete() Metric {
+	return Metric{Name: "discrete", Fn: func(a, b relation.Value) float64 {
+		if a.Equal(b) {
+			return 0
+		}
+		return math.Inf(1)
+	}}
+}
+
+// Table builds a symmetric table-driven metric (for instance the city
+// distances of Example 7.1: dist(nyc, ewr) ≤ 15). Missing pairs are
+// infinitely far apart; dist(a, a) is always 0.
+func Table(name string, entries map[[2]string]float64) Metric {
+	return Metric{Name: name, Fn: func(a, b relation.Value) float64 {
+		if a.Equal(b) {
+			return 0
+		}
+		if a.Kind() != relation.KindString || b.Kind() != relation.KindString {
+			return math.Inf(1)
+		}
+		if d, ok := entries[[2]string{a.Text(), b.Text()}]; ok {
+			return d
+		}
+		if d, ok := entries[[2]string{b.Text(), a.Text()}]; ok {
+			return d
+		}
+		return math.Inf(1)
+	}}
+}
+
+// BoolFlip is the metric on the Boolean domain used by the hardness
+// reductions of Theorems 7.2 and 8.1: dist(0, 1) = dist(1, 0) = 1.
+func BoolFlip() Metric {
+	return Metric{Name: "boolflip", Fn: func(a, b relation.Value) float64 {
+		if a.Equal(b) {
+			return 0
+		}
+		return 1
+	}}
+}

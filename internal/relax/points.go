@@ -1,0 +1,332 @@
+package relax
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// PointKind distinguishes the relaxation rules of Section 7.1.
+type PointKind int
+
+// The three rewrite rules.
+const (
+	// ConstInAtom relaxes a constant argument of a relation atom: c becomes
+	// a fresh variable w with dist(w, c) ≤ d.
+	ConstInAtom PointKind = iota
+	// ConstInEquality relaxes an equality t = c into dist(t, c) ≤ d.
+	ConstInEquality
+	// SplitVariable splits one occurrence of a repeated variable x into a
+	// fresh variable u with dist(u, x) ≤ d (d = 0 keeps the equijoin).
+	SplitVariable
+)
+
+// String names the kind.
+func (k PointKind) String() string {
+	switch k {
+	case ConstInAtom:
+		return "const-in-atom"
+	case ConstInEquality:
+		return "const-in-equality"
+	case SplitVariable:
+		return "split-variable"
+	default:
+		return fmt.Sprintf("PointKind(%d)", int(k))
+	}
+}
+
+// Point identifies one relaxable parameter of a query — an element of the
+// sets E (constants) or X (repeated variables) — together with the distance
+// function used to bound its relaxation. Points are discovered by Points
+// and selected by the caller, who attaches a metric with WithMetric.
+type Point struct {
+	Path   string // stable locator within the query
+	Kind   PointKind
+	Const  relation.Value // the constant c (const kinds)
+	Var    string         // the repeated variable x (SplitVariable)
+	Pred   string         // enclosing relation atom's predicate, "" for equalities
+	Arg    int            // argument position within the atom
+	Metric Metric
+}
+
+// WithMetric attaches a distance function to the point.
+func (p Point) WithMetric(m Metric) Point {
+	p.Metric = m
+	return p
+}
+
+// String renders the point.
+func (p Point) String() string {
+	switch p.Kind {
+	case SplitVariable:
+		return fmt.Sprintf("%s[%s: split %s in %s.%d]", p.Path, p.Kind, p.Var, p.Pred, p.Arg)
+	default:
+		return fmt.Sprintf("%s[%s: %v]", p.Path, p.Kind, p.Const)
+	}
+}
+
+// Choice pairs a point with a chosen relaxation level d; d = 0 keeps the
+// parameter unmodified and contributes gap 0.
+type Choice struct {
+	Point Point
+	D     float64
+}
+
+// Relaxation is a relaxed query QΓ with its per-point levels and total
+// level of relaxation gap(QΓ).
+type Relaxation struct {
+	Query   query.Query
+	Choices []Choice
+	Gap     float64
+}
+
+// walker traverses a query deterministically, either collecting points
+// (discovery) or rewriting the chosen ones (application). Both modes visit
+// sites in the same order, so the sequential site identifiers line up.
+type walker struct {
+	nextSite int
+	choices  map[string]Choice // nil in discovery mode
+	points   []Point
+	fresh    int
+}
+
+func (w *walker) site() string {
+	id := fmt.Sprintf("p%d", w.nextSite)
+	w.nextSite++
+	return id
+}
+
+func (w *walker) freshVar() string {
+	w.fresh++
+	return fmt.Sprintf("_w%d", w.fresh)
+}
+
+// chosen returns the active choice for a site, if any (application mode,
+// d > 0).
+func (w *walker) chosen(id string) (Choice, bool) {
+	if w.choices == nil {
+		return Choice{}, false
+	}
+	c, ok := w.choices[id]
+	if !ok || c.D <= 0 {
+		return Choice{}, false
+	}
+	return c, true
+}
+
+// walkBody visits a rule body. In application mode it returns the rewritten
+// body; in discovery mode it returns the input unchanged.
+func (w *walker) walkBody(body []query.Atom) []query.Atom {
+	// Count variable occurrences among relation-atom arguments to find
+	// repeated variables (the set X of Section 7).
+	occ := map[string]int{}
+	for _, a := range body {
+		if ra, ok := a.(*query.RelAtom); ok {
+			for _, t := range ra.Args {
+				if t.IsVar {
+					occ[t.Var]++
+				}
+			}
+		}
+	}
+	split := map[string]int{} // how many occurrences of a var were split
+	var out []query.Atom
+	var extra []query.Atom
+	for _, a := range body {
+		switch at := a.(type) {
+		case *query.RelAtom:
+			newArgs := append([]query.Term(nil), at.Args...)
+			for j, t := range at.Args {
+				if !t.IsVar {
+					id := w.site()
+					if w.choices == nil {
+						w.points = append(w.points, Point{
+							Path: id, Kind: ConstInAtom, Const: t.Const, Pred: at.Pred, Arg: j})
+					} else if c, ok := w.chosen(id); ok {
+						fv := w.freshVar()
+						newArgs[j] = query.V(fv)
+						extra = append(extra, query.Dist(c.Point.Metric.Name, c.Point.Metric.Fn,
+							query.V(fv), query.C(t.Const), c.D))
+					}
+					continue
+				}
+				if occ[t.Var] >= 2 {
+					id := w.site()
+					if w.choices == nil {
+						w.points = append(w.points, Point{
+							Path: id, Kind: SplitVariable, Var: t.Var, Pred: at.Pred, Arg: j})
+					} else if c, ok := w.chosen(id); ok {
+						// Keep at least one original occurrence so the
+						// distance constraint stays ground.
+						if split[t.Var]+1 >= occ[t.Var] {
+							continue
+						}
+						split[t.Var]++
+						fv := w.freshVar()
+						newArgs[j] = query.V(fv)
+						extra = append(extra, query.Dist(c.Point.Metric.Name, c.Point.Metric.Fn,
+							query.V(fv), query.V(t.Var), c.D))
+					}
+				}
+			}
+			out = append(out, &query.RelAtom{Pred: at.Pred, Args: newArgs})
+		case *query.CmpAtom:
+			if at.Op == query.OpEq && at.Left.IsVar != at.Right.IsVar {
+				id := w.site()
+				varSide, constSide := at.Left, at.Right
+				if !varSide.IsVar {
+					varSide, constSide = constSide, varSide
+				}
+				if w.choices == nil {
+					w.points = append(w.points, Point{
+						Path: id, Kind: ConstInEquality, Const: constSide.Const})
+				} else if c, ok := w.chosen(id); ok {
+					out = append(out, query.Dist(c.Point.Metric.Name, c.Point.Metric.Fn,
+						varSide, constSide, c.D))
+					continue
+				}
+			}
+			out = append(out, at)
+		default:
+			out = append(out, a)
+		}
+	}
+	return append(out, extra...)
+}
+
+// walkFormula visits an FO/∃FO+ formula. Only constant relaxations are
+// supported inside formulas; variable splitting is a rule-body notion.
+func (w *walker) walkFormula(f query.Formula) query.Formula {
+	switch g := f.(type) {
+	case *query.FAtom:
+		switch at := g.A.(type) {
+		case *query.RelAtom:
+			newArgs := append([]query.Term(nil), at.Args...)
+			var freshVars []string
+			var dists []query.Formula
+			for j, t := range at.Args {
+				if t.IsVar {
+					continue
+				}
+				id := w.site()
+				if w.choices == nil {
+					w.points = append(w.points, Point{
+						Path: id, Kind: ConstInAtom, Const: t.Const, Pred: at.Pred, Arg: j})
+				} else if c, ok := w.chosen(id); ok {
+					fv := w.freshVar()
+					newArgs[j] = query.V(fv)
+					freshVars = append(freshVars, fv)
+					dists = append(dists, query.Atomf(query.Dist(c.Point.Metric.Name,
+						c.Point.Metric.Fn, query.V(fv), query.C(t.Const), c.D)))
+				}
+			}
+			if len(freshVars) == 0 {
+				return query.Atomf(&query.RelAtom{Pred: at.Pred, Args: newArgs})
+			}
+			subs := append([]query.Formula{query.Atomf(&query.RelAtom{Pred: at.Pred, Args: newArgs})}, dists...)
+			return query.Exists(freshVars, query.And(subs...))
+		case *query.CmpAtom:
+			if at.Op == query.OpEq && at.Left.IsVar != at.Right.IsVar {
+				id := w.site()
+				varSide, constSide := at.Left, at.Right
+				if !varSide.IsVar {
+					varSide, constSide = constSide, varSide
+				}
+				if w.choices == nil {
+					w.points = append(w.points, Point{
+						Path: id, Kind: ConstInEquality, Const: constSide.Const})
+				} else if c, ok := w.chosen(id); ok {
+					return query.Atomf(query.Dist(c.Point.Metric.Name, c.Point.Metric.Fn,
+						varSide, constSide, c.D))
+				}
+			}
+			return f
+		default:
+			return f
+		}
+	case *query.FAnd:
+		subs := make([]query.Formula, len(g.Subs))
+		for i, s := range g.Subs {
+			subs[i] = w.walkFormula(s)
+		}
+		return query.And(subs...)
+	case *query.FOr:
+		subs := make([]query.Formula, len(g.Subs))
+		for i, s := range g.Subs {
+			subs[i] = w.walkFormula(s)
+		}
+		return query.Or(subs...)
+	case *query.FNot:
+		return query.Not(w.walkFormula(g.Sub))
+	case *query.FExists:
+		return query.Exists(g.Vars, w.walkFormula(g.Sub))
+	case *query.FForall:
+		return query.Forall(g.Vars, w.walkFormula(g.Sub))
+	default:
+		return f
+	}
+}
+
+// walkQuery dispatches on the concrete query type, returning the (possibly
+// rewritten) query.
+func (w *walker) walkQuery(q query.Query) (query.Query, error) {
+	switch qt := q.(type) {
+	case *query.CQ:
+		c := qt.Clone().(*query.CQ)
+		c.Body = w.walkBody(c.Body)
+		return c, nil
+	case *query.UCQ:
+		u := qt.Clone().(*query.UCQ)
+		for _, d := range u.Disjuncts {
+			d.Body = w.walkBody(d.Body)
+		}
+		return u, nil
+	case *query.Datalog:
+		p := qt.Clone().(*query.Datalog)
+		for i := range p.Rules {
+			p.Rules[i].Body = w.walkBody(p.Rules[i].Body)
+		}
+		return p, nil
+	case *query.FOQuery:
+		f := qt.Clone().(*query.FOQuery)
+		f.Formula = w.walkFormula(f.Formula)
+		return f, nil
+	default:
+		return nil, fmt.Errorf("relax: unsupported query type %T", q)
+	}
+}
+
+// Points discovers every relaxable parameter of a query, in a deterministic
+// order. The caller selects the sets E and X by picking points (attaching
+// metrics with WithMetric) and leaving the rest alone.
+func Points(q query.Query) ([]Point, error) {
+	w := &walker{}
+	if _, err := w.walkQuery(q); err != nil {
+		return nil, err
+	}
+	return w.points, nil
+}
+
+// Apply constructs the relaxed query QΓ for the chosen levels and computes
+// gap(QΓ) = Σ d. Choices with d = 0 leave the parameter unchanged.
+func Apply(q query.Query, choices []Choice) (*Relaxation, error) {
+	m := make(map[string]Choice, len(choices))
+	var gap float64
+	for _, c := range choices {
+		if c.D < 0 {
+			return nil, fmt.Errorf("relax: negative relaxation level %g at %s", c.D, c.Point.Path)
+		}
+		if c.D > 0 && c.Point.Metric.Fn == nil {
+			return nil, fmt.Errorf("relax: point %s has no metric", c.Point.Path)
+		}
+		m[c.Point.Path] = c
+		gap += c.D
+	}
+	w := &walker{choices: m}
+	nq, err := w.walkQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Relaxation{Query: nq, Choices: choices, Gap: gap}, nil
+}

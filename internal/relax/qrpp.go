@@ -1,0 +1,181 @@
+package relax
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Instance is a QRPP instance: a recommendation problem whose selection
+// query found nothing useful, the relaxable points (E and X with their
+// metrics), the rating bound B, and the gap budget g.
+type Instance struct {
+	Problem   *core.Problem
+	Points    []Point
+	Bound     float64 // B: every recommended package must rate at least B
+	GapBudget float64 // g: gap(QΓ) ≤ g
+}
+
+// CandidateLevels returns the relaxation levels worth trying for a point,
+// up to D-equivalence (Theorem 7.2): 0 plus every finite distance from the
+// point's constant to an active-domain value, capped by gmax. For
+// SplitVariable points the candidate levels are the finite pairwise
+// distances between active-domain values.
+func CandidateLevels(db *relation.Database, p Point, gmax float64) []float64 {
+	adom := db.ActiveDomain()
+	seen := map[float64]struct{}{0: {}}
+	levels := []float64{0}
+	add := func(d float64) {
+		if math.IsInf(d, 0) || math.IsNaN(d) || d <= 0 || d > gmax {
+			return
+		}
+		if _, ok := seen[d]; ok {
+			return
+		}
+		seen[d] = struct{}{}
+		levels = append(levels, d)
+	}
+	switch p.Kind {
+	case SplitVariable:
+		for i := range adom {
+			for j := range adom {
+				if i != j {
+					add(p.Metric.Fn(adom[i], adom[j]))
+				}
+			}
+		}
+	default:
+		for _, v := range adom {
+			add(p.Metric.Fn(v, p.Const))
+		}
+	}
+	sort.Float64s(levels)
+	return levels
+}
+
+// Decide solves QRPP: is there a relaxation QΓ of Q with gap(QΓ) ≤ g such
+// that k distinct valid packages rated at least B exist for
+// (QΓ, D, Qc, cost, val, C)? It returns the minimum-gap witness relaxation,
+// so Decide doubles as the "minimal relaxation recommendation" the paper
+// motivates. Levels are searched in order of increasing total gap.
+func Decide(inst Instance) (*Relaxation, bool, error) {
+	assignments, err := enumerateAssignments(inst)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, choices := range assignments {
+		rel, err := Apply(inst.Problem.Q, choices)
+		if err != nil {
+			return nil, false, err
+		}
+		ok, err := feasiblePackages(inst, rel.Query)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return rel, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// DecideItems solves QRPP for item selections (Corollary 7.3): is there a
+// relaxation with gap ≤ g under which k distinct items rated at least B by
+// the utility function exist?
+func DecideItems(db *relation.Database, q query.Query, points []Point,
+	f core.Utility, bound float64, k int, gapBudget float64) (*Relaxation, bool, error) {
+	inst := Instance{
+		Problem:   core.ItemProblem(db, q, f, k),
+		Points:    points,
+		Bound:     bound,
+		GapBudget: gapBudget,
+	}
+	assignments, err := enumerateAssignments(inst)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, choices := range assignments {
+		rel, err := Apply(q, choices)
+		if err != nil {
+			return nil, false, err
+		}
+		ans, err := rel.Query.Eval(db)
+		if err != nil {
+			return nil, false, err
+		}
+		n := 0
+		for _, t := range ans.Tuples() {
+			if f(t) >= bound {
+				n++
+			}
+		}
+		if n >= k {
+			return rel, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// feasiblePackages checks whether the relaxed query admits k distinct valid
+// packages rated at least B, reusing the problem's other parameters.
+func feasiblePackages(inst Instance, relaxed query.Query) (bool, error) {
+	prob := *inst.Problem
+	prob.Q = relaxed
+	prob.InvalidateCache()
+	return prob.ExistsKValid(inst.Problem.K, inst.Bound)
+}
+
+// enumerateAssignments produces all level assignments with total gap within
+// budget, sorted by ascending total gap (then lexicographically by level
+// vector for determinism).
+func enumerateAssignments(inst Instance) ([][]Choice, error) {
+	levelSets := make([][]float64, len(inst.Points))
+	for i, p := range inst.Points {
+		if p.Metric.Fn == nil {
+			levelSets[i] = []float64{0}
+			continue
+		}
+		levelSets[i] = CandidateLevels(inst.Problem.DB, p, inst.GapBudget)
+	}
+	var out [][]Choice
+	cur := make([]Choice, len(inst.Points))
+	var rec func(i int, used float64)
+	rec = func(i int, used float64) {
+		if i == len(inst.Points) {
+			out = append(out, append([]Choice(nil), cur...))
+			return
+		}
+		for _, d := range levelSets[i] {
+			if used+d > inst.GapBudget {
+				break // levels ascend; the rest are over budget too
+			}
+			cur[i] = Choice{Point: inst.Points[i], D: d}
+			rec(i+1, used+d)
+		}
+	}
+	rec(0, 0)
+	sort.SliceStable(out, func(a, b int) bool {
+		ga, gb := totalGap(out[a]), totalGap(out[b])
+		if ga != gb {
+			return ga < gb
+		}
+		for i := range out[a] {
+			if out[a][i].D != out[b][i].D {
+				return out[a][i].D < out[b][i].D
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+func totalGap(cs []Choice) float64 {
+	var g float64
+	for _, c := range cs {
+		g += c.D
+	}
+	return g
+}

@@ -1,0 +1,174 @@
+package relax
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func TestApplyOnUCQ(t *testing.T) {
+	db := travelDB()
+	// Union: direct edi → nyc flights, or gla → nyc flights.
+	u := query.NewUCQ("Q",
+		query.NewCQ("Q1", []query.Term{query.V("p")},
+			query.Rel("flight", query.CS("edi"), query.CS("nyc"), query.V("p"))),
+		query.NewCQ("Q2", []query.Term{query.V("p")},
+			query.Rel("flight", query.CS("gla"), query.CS("nyc"), query.V("p"))))
+	orig, err := u.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Len() != 1 { // only gla → nyc exists
+		t.Fatalf("original UCQ answer = %v", orig)
+	}
+	pts, err := Points(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four constant points: edi, nyc, gla, nyc.
+	if len(pts) != 4 {
+		t.Fatalf("points = %v, want 4", pts)
+	}
+	// Relax the first disjunct's destination: edi → ewr now matches too.
+	rel, err := Apply(u, []Choice{{Point: pts[1].WithMetric(cityMetric()), D: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rel.Query.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("relaxed UCQ answer = %v, want gla flight + ewr flight", got)
+	}
+}
+
+func TestApplyInsideFONegationAndQuantifiers(t *testing.T) {
+	// Relaxation points inside FNot/FForall subformulas are still
+	// discovered and rewritten mechanically (the walker recurses
+	// everywhere); semantics under negation are the caller's concern.
+	db := travelDB()
+	q := query.NewFO("Q", []query.Term{query.V("p")},
+		query.And(
+			query.Exists([]string{"f", "t"},
+				query.And(
+					query.Atomf(query.Rel("flight", query.V("f"), query.V("t"), query.V("p"))),
+					query.Atomf(query.Eq(query.V("t"), query.CS("ewr"))))),
+			query.Not(query.Atomf(query.Eq(query.V("p"), query.CI(90))))))
+	pts, err := Points(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points: the constant "ewr" in the equality and 90 under the negation.
+	if len(pts) != 2 {
+		t.Fatalf("points = %v, want 2", pts)
+	}
+	orig, err := q.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Len() != 1 || !orig.Contains(relation.Ints(420)) {
+		t.Fatalf("original FO answer = %v", orig)
+	}
+	// Relax the equality under the negation by ±340: now 420 is "close to
+	// 90", so the negation excludes it and the answer becomes empty.
+	rel, err := Apply(q, []Choice{{Point: pts[1].WithMetric(AbsDiff()), D: 340}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rel.Query.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("negation-relaxed answer = %v, want empty", got)
+	}
+}
+
+func TestCandidateLevelsSplitVariable(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("R", "a"),
+		relation.Ints(1), relation.Ints(4), relation.Ints(9)))
+	p := Point{Kind: SplitVariable, Var: "y", Metric: AbsDiff()}
+	levels := CandidateLevels(db, p, 100)
+	// Pairwise distances: 3, 5, 8, plus 0.
+	want := []float64{0, 3, 5, 8}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v, want %v", levels, want)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", levels, want)
+		}
+	}
+}
+
+func TestSplitVariableKeepsOneOccurrence(t *testing.T) {
+	// Splitting every occurrence of a repeated variable would unground the
+	// distance atoms; the walker must keep at least one original.
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("R", "a", "b"),
+		relation.Ints(1, 10)))
+	db.Add(relation.FromTuples(relation.NewSchema("S", "b"),
+		relation.Ints(11)))
+	q := query.NewCQ("Q", []query.Term{query.V("a")},
+		query.Rel("R", query.V("a"), query.V("y")), query.Rel("S", query.V("y")))
+	pts, _ := Points(q)
+	var splits []Choice
+	for _, p := range pts {
+		if p.Kind == SplitVariable {
+			splits = append(splits, Choice{Point: p.WithMetric(AbsDiff()), D: 1})
+		}
+	}
+	if len(splits) != 2 {
+		t.Fatalf("want both split points, got %v", splits)
+	}
+	rel, err := Apply(q, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Query.Validate(); err != nil {
+		t.Fatalf("relaxed query invalid: %v", err)
+	}
+	got, err := rel.Query.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("near-join with capped splitting = %v", got)
+	}
+}
+
+func TestDecideReportsMinimalAcrossMultiplePoints(t *testing.T) {
+	// Two relaxable points with different candidate levels: Decide must
+	// return the cheapest feasible combination, not just any.
+	db := travelDB()
+	q := directQuery()
+	prob := &core.Problem{DB: db, Q: q, Cost: core.CountOrInf(), Val: core.Count(), Budget: 1, K: 1}
+	pts, _ := Points(q)
+	inst := Instance{
+		Problem: prob,
+		Points: []Point{
+			pts[0].WithMetric(cityMetric()), // edi: candidate 42 (gla)
+			pts[1].WithMetric(cityMetric()), // nyc: candidate 12 (ewr)
+		},
+		Bound:     1,
+		GapBudget: 100,
+	}
+	rel, ok, err := Decide(inst)
+	if err != nil || !ok {
+		t.Fatalf("Decide: ok=%v err=%v", ok, err)
+	}
+	// gap 12 (destination only) beats 42 (origin only, reaching gla → nyc).
+	if rel.Gap != 12 {
+		t.Fatalf("minimal gap = %g, want 12", rel.Gap)
+	}
+}
+
+func TestApplyUnsupportedQueryType(t *testing.T) {
+	if _, err := Points(nil); err == nil {
+		t.Fatal("nil query should error")
+	}
+}

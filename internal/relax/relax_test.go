@@ -1,0 +1,441 @@
+package relax
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// travelDB models Example 7.1: there is no direct edi → nyc flight, but
+// there is one to ewr, 12 miles from nyc.
+func travelDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("flight", "from", "to", "price"),
+		relation.NewTuple(relation.Str("edi"), relation.Str("ewr"), relation.Int(420)),
+		relation.NewTuple(relation.Str("edi"), relation.Str("lhr"), relation.Int(90)),
+		relation.NewTuple(relation.Str("gla"), relation.Str("nyc"), relation.Int(500))))
+	return db
+}
+
+// cityMetric measures distances between airports/cities.
+func cityMetric() Metric {
+	return Table("citydist", map[[2]string]float64{
+		{"nyc", "ewr"}: 12,
+		{"nyc", "jfk"}: 10,
+		{"edi", "gla"}: 42,
+	})
+}
+
+// directQuery selects direct edi → nyc flights.
+func directQuery() *query.CQ {
+	return query.NewCQ("Q", []query.Term{query.V("p")},
+		query.Rel("flight", query.CS("edi"), query.CS("nyc"), query.V("p")))
+}
+
+func TestMetrics(t *testing.T) {
+	ab := AbsDiff()
+	if ab.Fn(relation.Int(3), relation.Int(10)) != 7 {
+		t.Fatal("absdiff wrong")
+	}
+	if !math.IsInf(ab.Fn(relation.Str("a"), relation.Int(1)), 1) {
+		t.Fatal("absdiff across kinds should be infinite")
+	}
+	if ab.Fn(relation.Str("a"), relation.Str("a")) != 0 {
+		t.Fatal("absdiff of equal strings should be 0")
+	}
+	d := Discrete()
+	if d.Fn(relation.Int(1), relation.Int(1)) != 0 || !math.IsInf(d.Fn(relation.Int(1), relation.Int(2)), 1) {
+		t.Fatal("discrete metric wrong")
+	}
+	c := cityMetric()
+	if c.Fn(relation.Str("nyc"), relation.Str("ewr")) != 12 || c.Fn(relation.Str("ewr"), relation.Str("nyc")) != 12 {
+		t.Fatal("table metric should be symmetric")
+	}
+	if c.Fn(relation.Str("nyc"), relation.Str("nyc")) != 0 {
+		t.Fatal("table metric should be reflexive-zero")
+	}
+	if !math.IsInf(c.Fn(relation.Str("nyc"), relation.Str("tokyo")), 1) {
+		t.Fatal("missing table entries should be infinite")
+	}
+	b := BoolFlip()
+	if b.Fn(relation.Int(0), relation.Int(1)) != 1 || b.Fn(relation.Int(1), relation.Int(1)) != 0 {
+		t.Fatal("boolflip wrong")
+	}
+}
+
+func TestPointsDiscoveryCQ(t *testing.T) {
+	pts, err := Points(directQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two constants: "edi" and "nyc".
+	if len(pts) != 2 {
+		t.Fatalf("points = %v, want 2", pts)
+	}
+	if !pts[0].Const.Equal(relation.Str("edi")) || !pts[1].Const.Equal(relation.Str("nyc")) {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].Kind != ConstInAtom || pts[0].Pred != "flight" {
+		t.Fatalf("point 0 = %+v", pts[0])
+	}
+}
+
+func TestPointsDiscoveryRepeatedVariable(t *testing.T) {
+	// Equijoin: R(x, y), S(y) — y is repeated (2 sites), x is not.
+	q := query.NewCQ("Q", []query.Term{query.V("x")},
+		query.Rel("R", query.V("x"), query.V("y")), query.Rel("S", query.V("y")))
+	pts, err := Points(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits := 0
+	for _, p := range pts {
+		if p.Kind == SplitVariable {
+			splits++
+			if p.Var != "y" {
+				t.Fatalf("split point for wrong variable: %+v", p)
+			}
+		}
+	}
+	if splits != 2 {
+		t.Fatalf("split points = %d, want 2 (both occurrences of y)", splits)
+	}
+}
+
+func TestPointsDiscoveryEquality(t *testing.T) {
+	q := query.NewCQ("Q", []query.Term{query.V("x")},
+		query.Rel("R", query.V("x"), query.V("c")), query.Eq(query.V("c"), query.CI(0)))
+	pts, err := Points(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pts {
+		if p.Kind == ConstInEquality && p.Const.Equal(relation.Int(0)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("equality point not discovered: %v", pts)
+	}
+}
+
+func TestApplyGapZeroKeepsQuery(t *testing.T) {
+	q := directQuery()
+	pts, _ := Points(q)
+	choices := []Choice{{Point: pts[0].WithMetric(cityMetric()), D: 0},
+		{Point: pts[1].WithMetric(cityMetric()), D: 0}}
+	rel, err := Apply(q, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Gap != 0 {
+		t.Fatalf("gap = %g, want 0", rel.Gap)
+	}
+	db := travelDB()
+	orig, _ := q.Eval(db)
+	got, err := rel.Query.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Fatalf("gap-0 relaxation changed the answer: %v vs %v", got, orig)
+	}
+}
+
+func TestApplyRelaxesDestination(t *testing.T) {
+	// Example 7.1: relaxing To = nyc by 15 miles finds the edi → ewr flight.
+	q := directQuery()
+	pts, _ := Points(q)
+	choices := []Choice{{Point: pts[1].WithMetric(cityMetric()), D: 15}}
+	rel, err := Apply(q, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Gap != 15 {
+		t.Fatalf("gap = %g, want 15", rel.Gap)
+	}
+	got, err := rel.Query.Eval(travelDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Contains(relation.Ints(420)) {
+		t.Fatalf("relaxed answer = %v, want the 420 ewr flight", got)
+	}
+}
+
+func TestRelaxationIsMonotone(t *testing.T) {
+	// Property: for positive queries, QΓ(D) ⊇ Q(D) for any levels.
+	q := directQuery()
+	pts, _ := Points(q)
+	db := travelDB()
+	orig, _ := q.Eval(db)
+	for _, d0 := range []float64{0, 20, 50} {
+		for _, d1 := range []float64{0, 12, 15} {
+			rel, err := Apply(q, []Choice{
+				{Point: pts[0].WithMetric(cityMetric()), D: d0},
+				{Point: pts[1].WithMetric(cityMetric()), D: d1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rel.Query.Eval(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tup := range orig.Tuples() {
+				if !got.Contains(tup) {
+					t.Fatalf("relaxation (%g, %g) lost tuple %v", d0, d1, tup)
+				}
+			}
+		}
+	}
+}
+
+func TestApplySplitVariableTurnsJoinIntoNearJoin(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("R", "a", "b"),
+		relation.Ints(1, 10), relation.Ints(2, 20)))
+	db.Add(relation.FromTuples(relation.NewSchema("S", "b"),
+		relation.Ints(11), relation.Ints(25)))
+	q := query.NewCQ("Q", []query.Term{query.V("a")},
+		query.Rel("R", query.V("a"), query.V("y")), query.Rel("S", query.V("y")))
+	// Exact join is empty.
+	orig, _ := q.Eval(db)
+	if orig.Len() != 0 {
+		t.Fatalf("exact join should be empty: %v", orig)
+	}
+	pts, _ := Points(q)
+	var split *Point
+	for i := range pts {
+		if pts[i].Kind == SplitVariable {
+			split = &pts[i]
+			break
+		}
+	}
+	if split == nil {
+		t.Fatal("no split point found")
+	}
+	rel, err := Apply(q, []Choice{{Point: split.WithMetric(AbsDiff()), D: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rel.Query.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |10 − 11| = 1: the near-join finds a = 1.
+	if got.Len() != 1 || !got.Contains(relation.Ints(1)) {
+		t.Fatalf("near-join answer = %v, want {(1)}", got)
+	}
+}
+
+func TestApplyEqualityRelaxation(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("R", "v"),
+		relation.Ints(0), relation.Ints(1), relation.Ints(5)))
+	q := query.NewCQ("Q", []query.Term{query.V("v")},
+		query.Rel("R", query.V("v")), query.Eq(query.V("v"), query.CI(0)))
+	pts, _ := Points(q)
+	var eqPt *Point
+	for i := range pts {
+		if pts[i].Kind == ConstInEquality {
+			eqPt = &pts[i]
+		}
+	}
+	if eqPt == nil {
+		t.Fatal("equality point not found")
+	}
+	rel, err := Apply(q, []Choice{{Point: eqPt.WithMetric(AbsDiff()), D: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rel.Query.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || !got.Contains(relation.Ints(1)) {
+		t.Fatalf("relaxed equality answer = %v, want {0, 1}", got)
+	}
+}
+
+func TestApplyOnFOQuery(t *testing.T) {
+	db := travelDB()
+	q := query.NewFO("Q", []query.Term{query.V("p")},
+		query.Exists([]string{"f", "t"}, query.And(
+			query.Atomf(query.Rel("flight", query.V("f"), query.V("t"), query.V("p"))),
+			query.Atomf(query.Eq(query.V("f"), query.CS("edi"))),
+			query.Atomf(query.Eq(query.V("t"), query.CS("nyc"))))))
+	orig, err := q.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Len() != 0 {
+		t.Fatalf("original FO query should be empty, got %v", orig)
+	}
+	pts, err := Points(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nycPt *Point
+	for i := range pts {
+		if pts[i].Const.Equal(relation.Str("nyc")) {
+			nycPt = &pts[i]
+		}
+	}
+	if nycPt == nil {
+		t.Fatalf("nyc point not found among %v", pts)
+	}
+	rel, err := Apply(q, []Choice{{Point: nycPt.WithMetric(cityMetric()), D: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rel.Query.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Contains(relation.Ints(420)) {
+		t.Fatalf("relaxed FO answer = %v", got)
+	}
+}
+
+func TestApplyOnDatalog(t *testing.T) {
+	db := travelDB()
+	prog := query.NewDatalog("Q",
+		query.NewRule(query.Rel("Q", query.V("p")),
+			query.Rel("flight", query.CS("edi"), query.CS("nyc"), query.V("p"))))
+	pts, err := Points(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	rel, err := Apply(prog, []Choice{{Point: pts[1].WithMetric(cityMetric()), D: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rel.Query.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("relaxed datalog answer = %v", got)
+	}
+}
+
+func TestCandidateLevels(t *testing.T) {
+	db := travelDB()
+	pts, _ := Points(directQuery())
+	nyc := pts[1].WithMetric(cityMetric())
+	levels := CandidateLevels(db, nyc, 100)
+	// Finite distances from nyc into the active domain: ewr (12); edi/gla/
+	// lhr/prices are infinite or >100. Plus 0 and dist(nyc,nyc)=0.
+	if len(levels) != 2 || levels[0] != 0 || levels[1] != 12 {
+		t.Fatalf("levels = %v, want [0 12]", levels)
+	}
+	capped := CandidateLevels(db, nyc, 5)
+	if len(capped) != 1 || capped[0] != 0 {
+		t.Fatalf("capped levels = %v, want [0]", capped)
+	}
+}
+
+func TestQRPPDecideTravel(t *testing.T) {
+	// Package problem over the travel data: packages of direct edi → nyc
+	// flights, val = count, B = 1 (at least one flight), k = 1.
+	db := travelDB()
+	q := directQuery()
+	prob := &core.Problem{
+		DB: db, Q: q,
+		Cost: core.CountOrInf(), Val: core.Count(), Budget: 1, K: 1,
+	}
+	pts, _ := Points(q)
+	inst := Instance{
+		Problem: prob,
+		Points: []Point{
+			pts[0].WithMetric(cityMetric()),
+			pts[1].WithMetric(cityMetric()),
+		},
+		Bound:     1,
+		GapBudget: 15,
+	}
+	rel, ok, err := Decide(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("QRPP should find a relaxation (nyc → within 15 miles)")
+	}
+	// Minimal gap is 12 (relax destination to ewr only).
+	if rel.Gap != 12 {
+		t.Fatalf("gap = %g, want 12", rel.Gap)
+	}
+
+	// Budget below 12: infeasible.
+	inst.GapBudget = 10
+	_, ok, err = Decide(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("QRPP should fail with gap budget 10")
+	}
+}
+
+func TestQRPPDecideAlreadyFeasible(t *testing.T) {
+	// If Q already yields packages, the minimal relaxation is gap 0.
+	db := travelDB()
+	q := query.NewCQ("Q", []query.Term{query.V("p")},
+		query.Rel("flight", query.CS("edi"), query.CS("lhr"), query.V("p")))
+	prob := &core.Problem{DB: db, Q: q, Cost: core.CountOrInf(), Val: core.Count(), Budget: 1, K: 1}
+	pts, _ := Points(q)
+	inst := Instance{Problem: prob, Points: []Point{pts[1].WithMetric(cityMetric())},
+		Bound: 1, GapBudget: 50}
+	rel, ok, err := Decide(inst)
+	if err != nil || !ok {
+		t.Fatalf("Decide: ok=%v err=%v", ok, err)
+	}
+	if rel.Gap != 0 {
+		t.Fatalf("already-feasible instance should relax with gap 0, got %g", rel.Gap)
+	}
+}
+
+func TestQRPPDecideItems(t *testing.T) {
+	db := travelDB()
+	q := directQuery()
+	pts, _ := Points(q)
+	f := core.UtilityNegAttr(0) // cheaper flights rate higher
+	rel, ok, err := DecideItems(db, q, []Point{pts[1].WithMetric(cityMetric())},
+		f, -500, 1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("item QRPP should succeed via ewr")
+	}
+	if rel.Gap != 12 {
+		t.Fatalf("item relaxation gap = %g, want 12", rel.Gap)
+	}
+	// A rating bound no flight meets keeps it infeasible.
+	_, ok, err = DecideItems(db, q, []Point{pts[1].WithMetric(cityMetric())},
+		f, -100, 1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("no reachable flight is cheaper than 100")
+	}
+}
+
+func TestApplyRejectsBadChoices(t *testing.T) {
+	q := directQuery()
+	pts, _ := Points(q)
+	if _, err := Apply(q, []Choice{{Point: pts[0], D: -1}}); err == nil {
+		t.Fatal("negative level should error")
+	}
+	if _, err := Apply(q, []Choice{{Point: pts[0], D: 5}}); err == nil {
+		t.Fatal("missing metric should error")
+	}
+}

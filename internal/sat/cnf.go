@@ -1,0 +1,209 @@
+// Package sat implements the propositional substrate the paper's hardness
+// proofs reduce from: a DPLL SAT solver, model counting (#SAT), MAX-WEIGHT
+// SAT, the quantified problems ∃*∀*3DNF / ∀*∃*3CNF / QBF, the counting
+// problems #Σ1SAT and #Π1SAT, SAT-UNSAT pairs, the lexicographically-last
+// Σ2 witness of the maximum Σp2 problem (Theorem 5.1), and seeded random
+// instance generators. internal/reductions cross-validates the
+// recommendation engine against the solvers in this package.
+//
+// Literals use the DIMACS convention: literal v > 0 denotes variable v-1
+// (zero-based), v < 0 its negation. Assignments are []bool indexed by
+// variable.
+package sat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Clause is a disjunction of DIMACS literals (or a conjunction, when used as
+// a DNF term).
+type Clause []int
+
+// CNF is a conjunction of clauses over variables 0..NumVars-1.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// DNF is a disjunction of terms (conjunctions) over variables 0..NumVars-1.
+type DNF struct {
+	NumVars int
+	Terms   []Clause
+}
+
+// LitVar returns the zero-based variable of a DIMACS literal.
+func LitVar(lit int) int {
+	if lit < 0 {
+		return -lit - 1
+	}
+	return lit - 1
+}
+
+// LitSign reports whether the literal is positive.
+func LitSign(lit int) bool { return lit > 0 }
+
+// LitSatisfied reports whether the literal holds under the assignment.
+func LitSatisfied(lit int, assign []bool) bool {
+	return assign[LitVar(lit)] == LitSign(lit)
+}
+
+// Eval reports whether the CNF holds under a total assignment.
+func (c CNF) Eval(assign []bool) bool {
+	for _, cl := range c.Clauses {
+		sat := false
+		for _, lit := range cl {
+			if LitSatisfied(lit, assign) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval reports whether the DNF holds under a total assignment.
+func (d DNF) Eval(assign []bool) bool {
+	for _, tm := range d.Terms {
+		sat := true
+		for _, lit := range tm {
+			if !LitSatisfied(lit, assign) {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			return true
+		}
+	}
+	return false
+}
+
+// Negate returns the CNF ¬d: each DNF term becomes a clause of negated
+// literals.
+func (d DNF) Negate() CNF {
+	out := CNF{NumVars: d.NumVars}
+	for _, tm := range d.Terms {
+		cl := make(Clause, len(tm))
+		for i, lit := range tm {
+			cl[i] = -lit
+		}
+		out.Clauses = append(out.Clauses, cl)
+	}
+	return out
+}
+
+// Negate returns the DNF ¬c.
+func (c CNF) Negate() DNF {
+	out := DNF{NumVars: c.NumVars}
+	for _, cl := range c.Clauses {
+		tm := make(Clause, len(cl))
+		for i, lit := range cl {
+			tm[i] = -lit
+		}
+		out.Terms = append(out.Terms, tm)
+	}
+	return out
+}
+
+// Restrict substitutes fixed values for the variables in prefix (variables
+// 0..len(prefix)-1) and returns an equivalent CNF over the remaining
+// variables, renumbered to start at 0. Satisfied clauses disappear;
+// falsified literals are dropped; an empty clause marks unsatisfiability.
+func (c CNF) Restrict(prefix []bool) CNF {
+	k := len(prefix)
+	out := CNF{NumVars: c.NumVars - k}
+	for _, cl := range c.Clauses {
+		var reduced Clause
+		satisfied := false
+		for _, lit := range cl {
+			v := LitVar(lit)
+			if v < k {
+				if LitSatisfied(lit, prefix) {
+					satisfied = true
+					break
+				}
+				continue // falsified literal
+			}
+			if lit > 0 {
+				reduced = append(reduced, lit-k)
+			} else {
+				reduced = append(reduced, lit+k)
+			}
+		}
+		if satisfied {
+			continue
+		}
+		out.Clauses = append(out.Clauses, reduced)
+	}
+	return out
+}
+
+// String renders the CNF in a compact mathematical form.
+func (c CNF) String() string { return clausesString(c.Clauses, " & ", " | ") }
+
+// String renders the DNF.
+func (d DNF) String() string { return clausesString(d.Terms, " | ", " & ") }
+
+func clausesString(cs []Clause, outer, inner string) string {
+	parts := make([]string, len(cs))
+	for i, cl := range cs {
+		lits := make([]string, len(cl))
+		for j, lit := range cl {
+			if lit < 0 {
+				lits[j] = fmt.Sprintf("!x%d", -lit-1)
+			} else {
+				lits[j] = fmt.Sprintf("x%d", lit-1)
+			}
+		}
+		parts[i] = "(" + strings.Join(lits, inner) + ")"
+	}
+	return strings.Join(parts, outer)
+}
+
+// Compact renumbers variables so only occurring ones remain: the result has
+// NumVars equal to the number of distinct variables used. Model counts over
+// the compacted formula count assignments of occurring variables only, the
+// quantity the parsimonious reductions of Theorem 5.3 preserve.
+func (c CNF) Compact() CNF {
+	used := Vars(c.Clauses)
+	remap := make(map[int]int, len(used))
+	for i, v := range used {
+		remap[v] = i
+	}
+	out := CNF{NumVars: len(used)}
+	for _, cl := range c.Clauses {
+		ncl := make(Clause, len(cl))
+		for i, lit := range cl {
+			nv := remap[LitVar(lit)]
+			if lit > 0 {
+				ncl[i] = nv + 1
+			} else {
+				ncl[i] = -(nv + 1)
+			}
+		}
+		out.Clauses = append(out.Clauses, ncl)
+	}
+	return out
+}
+
+// Vars returns the sorted distinct variables occurring in the clauses.
+func Vars(cs []Clause) []int {
+	seen := map[int]struct{}{}
+	var out []int
+	for _, cl := range cs {
+		for _, lit := range cl {
+			v := LitVar(lit)
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

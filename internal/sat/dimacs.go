@@ -1,0 +1,95 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS serialises the CNF in the standard DIMACS cnf format.
+func WriteDIMACS(w io.Writer, c CNF) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", c.NumVars, len(c.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range c.Clauses {
+		for _, lit := range cl {
+			if _, err := fmt.Fprintf(bw, "%d ", lit); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseDIMACS reads a CNF in DIMACS format: a "p cnf <vars> <clauses>"
+// header, 'c' comment lines, and zero-terminated clauses (which may span
+// lines). Literals outside the declared variable range are rejected.
+func ParseDIMACS(r io.Reader) (CNF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var c CNF
+	headerSeen := false
+	declared := -1
+	var cur Clause
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if headerSeen {
+				return CNF{}, fmt.Errorf("sat: duplicate DIMACS header")
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return CNF{}, fmt.Errorf("sat: malformed DIMACS header %q", line)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return CNF{}, fmt.Errorf("sat: bad variable count %q", fields[2])
+			}
+			nc, err := strconv.Atoi(fields[3])
+			if err != nil || nc < 0 {
+				return CNF{}, fmt.Errorf("sat: bad clause count %q", fields[3])
+			}
+			c.NumVars = nv
+			declared = nc
+			headerSeen = true
+			continue
+		}
+		if !headerSeen {
+			return CNF{}, fmt.Errorf("sat: clause before DIMACS header: %q", line)
+		}
+		for _, tok := range strings.Fields(line) {
+			lit, err := strconv.Atoi(tok)
+			if err != nil {
+				return CNF{}, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if lit == 0 {
+				c.Clauses = append(c.Clauses, cur)
+				cur = nil
+				continue
+			}
+			if v := LitVar(lit); v >= c.NumVars {
+				return CNF{}, fmt.Errorf("sat: literal %d exceeds declared variable count %d", lit, c.NumVars)
+			}
+			cur = append(cur, lit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return CNF{}, err
+	}
+	if len(cur) > 0 {
+		c.Clauses = append(c.Clauses, cur)
+	}
+	if declared >= 0 && declared != len(c.Clauses) {
+		return CNF{}, fmt.Errorf("sat: header declares %d clauses, found %d", declared, len(c.Clauses))
+	}
+	return c, nil
+}

@@ -1,0 +1,82 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 50; i++ {
+		c := Rand3CNF(rng, 3+rng.Intn(8), 1+rng.Intn(12))
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if got.NumVars != c.NumVars || len(got.Clauses) != len(c.Clauses) {
+			t.Fatalf("instance %d: shape changed: %v vs %v", i, got, c)
+		}
+		for ci := range c.Clauses {
+			if len(got.Clauses[ci]) != len(c.Clauses[ci]) {
+				t.Fatalf("instance %d clause %d changed", i, ci)
+			}
+			for li := range c.Clauses[ci] {
+				if got.Clauses[ci][li] != c.Clauses[ci][li] {
+					t.Fatalf("instance %d clause %d literal %d changed", i, ci, li)
+				}
+			}
+		}
+	}
+}
+
+func TestParseDIMACSFeatures(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -2 0
+c mid-file comment
+2
+3 0`
+	c, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVars != 3 || len(c.Clauses) != 2 {
+		t.Fatalf("parsed %v", c)
+	}
+	if len(c.Clauses[1]) != 2 || c.Clauses[1][0] != 2 || c.Clauses[1][1] != 3 {
+		t.Fatalf("multi-line clause parsed wrong: %v", c.Clauses[1])
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	bad := []string{
+		"1 2 0",                     // clause before header
+		"p cnf x 2\n1 0",            // bad var count
+		"p cnf 2 1\np cnf 2 1\n1 0", // duplicate header
+		"p dnf 2 1\n1 0",            // wrong format tag
+		"p cnf 2 1\n5 0",            // literal out of range
+		"p cnf 2 2\n1 0",            // clause count mismatch
+		"p cnf 2 1\nfoo 0",          // bad literal token
+	}
+	for _, src := range bad {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseDIMACS(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDIMACSTrailingClauseWithoutZero(t *testing.T) {
+	c, err := ParseDIMACS(strings.NewReader("p cnf 2 1\n1 -2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clauses) != 1 || len(c.Clauses[0]) != 2 {
+		t.Fatalf("trailing clause parsed wrong: %v", c)
+	}
+}

@@ -1,0 +1,80 @@
+package sat
+
+import "math/rand"
+
+// Rand3CNF generates a random 3CNF with the given numbers of variables and
+// clauses. Each clause has three literals over distinct variables. The
+// generator is deterministic for a given rng state.
+func Rand3CNF(rng *rand.Rand, numVars, numClauses int) CNF {
+	c := CNF{NumVars: numVars}
+	for i := 0; i < numClauses; i++ {
+		c.Clauses = append(c.Clauses, randClause(rng, numVars, 0))
+	}
+	return c
+}
+
+// Rand3DNF generates a random 3DNF.
+func Rand3DNF(rng *rand.Rand, numVars, numTerms int) DNF {
+	d := DNF{NumVars: numVars}
+	for i := 0; i < numTerms; i++ {
+		d.Terms = append(d.Terms, randClause(rng, numVars, 0))
+	}
+	return d
+}
+
+// randClause draws three distinct variables from [lo, numVars) and random
+// signs.
+func randClause(rng *rand.Rand, numVars, lo int) Clause {
+	n := numVars - lo
+	width := 3
+	if n < width {
+		width = n
+	}
+	seen := map[int]struct{}{}
+	cl := make(Clause, 0, width)
+	for len(cl) < width {
+		v := lo + rng.Intn(n)
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		lit := v + 1
+		if rng.Intn(2) == 0 {
+			lit = -lit
+		}
+		cl = append(cl, lit)
+	}
+	return SortClause(cl)
+}
+
+// RandEFDNF generates a random ∃X∀Y 3DNF instance with nx X variables and
+// ny Y variables.
+func RandEFDNF(rng *rand.Rand, nx, ny, numTerms int) EFDNF {
+	return EFDNF{NX: nx, NY: ny, Psi: Rand3DNF(rng, nx+ny, numTerms)}
+}
+
+// RandPair generates a random SAT-UNSAT pair candidate (either side may or
+// may not be satisfiable; the decision is what is under test).
+func RandPair(rng *rand.Rand, nv1, nc1, nv2, nc2 int) Pair {
+	return Pair{Phi1: Rand3CNF(rng, nv1, nc1), Phi2: Rand3CNF(rng, nv2, nc2)}
+}
+
+// RandWeights generates positive clause weights up to maxW.
+func RandWeights(rng *rand.Rand, n int, maxW int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = 1 + rng.Int63n(maxW)
+	}
+	return out
+}
+
+// RandQBF generates a random QBF with alternating prefix starting from ∃.
+func RandQBF(rng *rand.Rand, numVars, numClauses int) QBF {
+	prefix := make([]Quantifier, numVars)
+	for i := range prefix {
+		if i%2 == 1 {
+			prefix[i] = QForall
+		}
+	}
+	return QBF{Prefix: prefix, Matrix: Rand3CNF(rng, numVars, numClauses)}
+}

@@ -1,0 +1,232 @@
+package sat
+
+// EFDNF is an ∃*∀*3DNF instance ϕ = ∃X ∀Y ψ(X, Y): X is the block of
+// variables 0..NX-1, Y the block NX..NX+NY-1, ψ a DNF. Deciding truth is
+// Σp2-complete (Stockmeyer); the paper reduces it to the compatibility
+// problem (Lemma 4.2), QRPP and ARPP.
+type EFDNF struct {
+	NX, NY int
+	Psi    DNF
+}
+
+// Decide reports whether ∃X ∀Y ψ holds.
+func (f EFDNF) Decide() bool {
+	_, ok := f.Witness()
+	return ok
+}
+
+// Witness returns an X assignment under which ∀Y ψ holds, searching in
+// lexicographic order (all-false first).
+func (f EFDNF) Witness() ([]bool, bool) {
+	x := make([]bool, f.NX)
+	for {
+		if f.ForallY(x) {
+			return append([]bool(nil), x...), true
+		}
+		if !increment(x) {
+			return nil, false
+		}
+	}
+}
+
+// LastWitness returns the lexicographically last X making ∀Y ψ true, the
+// maximum Σp2 problem of Theorem 5.1 (ordering on m-ary binary tuples with
+// variable 0 the most significant bit and true > false).
+func (f EFDNF) LastWitness() ([]bool, bool) {
+	x := make([]bool, f.NX)
+	for i := range x {
+		x[i] = true
+	}
+	for {
+		if f.ForallY(x) {
+			return append([]bool(nil), x...), true
+		}
+		if !decrement(x) {
+			return nil, false
+		}
+	}
+}
+
+// ForallY reports whether ψ(x, Y) holds for every Y assignment: the CNF ¬ψ
+// restricted by x must be unsatisfiable.
+func (f EFDNF) ForallY(x []bool) bool {
+	neg := f.Psi.Negate() // CNF over X ∪ Y
+	restricted := neg.Restrict(x)
+	return !Satisfiable(restricted)
+}
+
+// CountWitnesses counts the X assignments under which ∀Y ψ holds, used by
+// counting cross-checks.
+func (f EFDNF) CountWitnesses() int64 {
+	var n int64
+	x := make([]bool, f.NX)
+	for {
+		if f.ForallY(x) {
+			n++
+		}
+		if !increment(x) {
+			return n
+		}
+	}
+}
+
+// FECNF is a ∀*∃*3CNF instance ∀X ∃Y φ(X, Y) (Πp2-complete), the partner of
+// EFDNF in the Dp2-complete pair problem of Theorem 5.2.
+type FECNF struct {
+	NX, NY int
+	Phi    CNF
+}
+
+// Decide reports whether ∀X ∃Y φ holds.
+func (f FECNF) Decide() bool {
+	x := make([]bool, f.NX)
+	for {
+		restricted := f.Phi.Restrict(x)
+		if !Satisfiable(restricted) {
+			return false
+		}
+		if !increment(x) {
+			return true
+		}
+	}
+}
+
+// Pair is a SAT-UNSAT instance (ϕ1, ϕ2): the DP-complete problem of deciding
+// that ϕ1 is satisfiable while ϕ2 is not (Theorem 4.5).
+type Pair struct {
+	Phi1, Phi2 CNF
+}
+
+// Decide reports whether ϕ1 ∈ SAT and ϕ2 ∉ SAT.
+func (p Pair) Decide() bool { return Satisfiable(p.Phi1) && !Satisfiable(p.Phi2) }
+
+// Quantifier marks a QBF prefix block.
+type Quantifier int
+
+// Prefix quantifiers.
+const (
+	QExists Quantifier = iota
+	QForall
+)
+
+// QBF is a fully quantified Boolean formula Q1 x0 Q2 x1 ... Qn x{n-1} φ with
+// a CNF matrix (PSPACE-complete). The paper's DATALOGnr/FO bounds reduce
+// from Q3SAT, which is the special case of a 3CNF matrix.
+type QBF struct {
+	Prefix []Quantifier // Prefix[i] quantifies variable i
+	Matrix CNF
+}
+
+// Decide evaluates the QBF by recursive expansion.
+func (q QBF) Decide() bool {
+	if len(q.Prefix) != q.Matrix.NumVars {
+		panic("sat: QBF prefix length differs from variable count")
+	}
+	assign := make([]bool, q.Matrix.NumVars)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(q.Prefix) {
+			return q.Matrix.Eval(assign)
+		}
+		assign[i] = false
+		first := rec(i + 1)
+		if q.Prefix[i] == QExists && first {
+			return true
+		}
+		if q.Prefix[i] == QForall && !first {
+			return false
+		}
+		assign[i] = true
+		return rec(i + 1)
+	}
+	return rec(0)
+}
+
+// CountSigma1 counts, for ϕ(X, Y) = ∃X (C1 ∧ ... ∧ Cr) with X the block
+// 0..NX-1 and Y the block NX..NX+NY-1, the Y assignments making ϕ true:
+// the #Σ1SAT problem (#·NP-complete), reduced to CPP without compatibility
+// constraints in Theorem 5.3.
+func CountSigma1(phi CNF, nx, ny int) int64 {
+	var n int64
+	y := make([]bool, ny)
+	for {
+		// Substitute Y (the suffix block): move Y to the prefix by
+		// remapping literals, then restrict.
+		remapped := remapSuffixToPrefix(phi, nx, ny)
+		if Satisfiable(remapped.Restrict(y)) {
+			n++
+		}
+		if !increment(y) {
+			return n
+		}
+	}
+}
+
+// CountPi1 counts, for ϕ(X, Y) = ∀X (C1 ∨ ... ∨ Cr) with terms Ci
+// (conjunctions) over X ∪ Y, the Y assignments making ϕ true: the #Π1SAT
+// problem (#·coNP-complete), reduced to CPP with compatibility constraints
+// in Theorem 5.3.
+func CountPi1(psi DNF, nx, ny int) int64 {
+	var n int64
+	y := make([]bool, ny)
+	for {
+		neg := psi.Negate() // CNF over X ∪ Y; ∀X ψ ⟺ ¬∃X ¬ψ
+		remapped := remapSuffixToPrefix(neg, nx, ny)
+		if !Satisfiable(remapped.Restrict(y)) {
+			n++
+		}
+		if !increment(y) {
+			return n
+		}
+	}
+}
+
+// remapSuffixToPrefix reorders variables so the Y block (nx..nx+ny-1) comes
+// first, enabling Restrict on Y values.
+func remapSuffixToPrefix(c CNF, nx, ny int) CNF {
+	out := CNF{NumVars: c.NumVars}
+	for _, cl := range c.Clauses {
+		ncl := make(Clause, len(cl))
+		for i, lit := range cl {
+			v := LitVar(lit)
+			var nv int
+			if v >= nx {
+				nv = v - nx // Y block moves to the front
+			} else {
+				nv = v + ny // X block moves after it
+			}
+			if lit > 0 {
+				ncl[i] = nv + 1
+			} else {
+				ncl[i] = -(nv + 1)
+			}
+		}
+		out.Clauses = append(out.Clauses, ncl)
+	}
+	return out
+}
+
+// increment advances a binary counter (variable 0 most significant, false <
+// true); it reports false on wrap-around.
+func increment(bits []bool) bool {
+	for i := len(bits) - 1; i >= 0; i-- {
+		if !bits[i] {
+			bits[i] = true
+			return true
+		}
+		bits[i] = false
+	}
+	return false
+}
+
+// decrement steps the counter down; it reports false below all-false.
+func decrement(bits []bool) bool {
+	for i := len(bits) - 1; i >= 0; i-- {
+		if bits[i] {
+			bits[i] = false
+			return true
+		}
+		bits[i] = true
+	}
+	return false
+}

@@ -1,0 +1,246 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteEFDNF evaluates ∃X∀Y ψ by full enumeration.
+func bruteEFDNF(f EFDNF) bool {
+	x := make([]bool, f.NX)
+	for {
+		holds := true
+		y := make([]bool, f.NY)
+		for {
+			if !f.Psi.Eval(append(append([]bool(nil), x...), y...)) {
+				holds = false
+				break
+			}
+			if !increment(y) {
+				break
+			}
+		}
+		if holds {
+			return true
+		}
+		if !increment(x) {
+			return false
+		}
+	}
+}
+
+func TestEFDNFMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 200; i++ {
+		f := RandEFDNF(rng, 2+rng.Intn(3), 2+rng.Intn(3), 1+rng.Intn(6))
+		if got, want := f.Decide(), bruteEFDNF(f); got != want {
+			t.Fatalf("instance %d: Decide = %v, brute = %v (%v)", i, got, want, f.Psi)
+		}
+	}
+}
+
+func TestEFDNFWitnessIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		f := RandEFDNF(rng, 3, 3, 1+rng.Intn(5))
+		if x, ok := f.Witness(); ok {
+			if !f.ForallY(x) {
+				t.Fatalf("instance %d: witness %v does not satisfy ∀Y", i, x)
+			}
+		}
+	}
+}
+
+func TestEFDNFLastWitnessIsLexicographicallyLast(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 80; i++ {
+		f := RandEFDNF(rng, 3, 2, 1+rng.Intn(5))
+		last, ok := f.LastWitness()
+		if !ok {
+			continue
+		}
+		if !f.ForallY(last) {
+			t.Fatalf("instance %d: last witness invalid", i)
+		}
+		// No strictly larger witness may exist.
+		probe := append([]bool(nil), last...)
+		for increment(probe) {
+			if f.ForallY(probe) {
+				t.Fatalf("instance %d: %v is a witness beyond %v", i, probe, last)
+			}
+		}
+	}
+}
+
+func TestFECNFMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 150; i++ {
+		nx, ny := 2+rng.Intn(3), 2+rng.Intn(3)
+		f := FECNF{NX: nx, NY: ny, Phi: Rand3CNF(rng, nx+ny, 1+rng.Intn(6))}
+		// Brute force.
+		want := true
+		x := make([]bool, nx)
+		for {
+			found := false
+			y := make([]bool, ny)
+			for {
+				if f.Phi.Eval(append(append([]bool(nil), x...), y...)) {
+					found = true
+					break
+				}
+				if !increment(y) {
+					break
+				}
+			}
+			if !found {
+				want = false
+				break
+			}
+			if !increment(x) {
+				break
+			}
+		}
+		if got := f.Decide(); got != want {
+			t.Fatalf("instance %d: Decide = %v, brute = %v", i, got, want)
+		}
+	}
+}
+
+func TestPairDecide(t *testing.T) {
+	sat := CNF{NumVars: 1, Clauses: []Clause{{1}}}
+	unsat := CNF{NumVars: 1, Clauses: []Clause{{1}, {-1}}}
+	cases := []struct {
+		p    Pair
+		want bool
+	}{
+		{Pair{sat, unsat}, true},
+		{Pair{sat, sat}, false},
+		{Pair{unsat, unsat}, false},
+		{Pair{unsat, sat}, false},
+	}
+	for i, c := range cases {
+		if got := c.p.Decide(); got != c.want {
+			t.Errorf("case %d: Decide = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestQBFMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	brute := func(q QBF) bool {
+		assign := make([]bool, q.Matrix.NumVars)
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if i == len(q.Prefix) {
+				return q.Matrix.Eval(assign)
+			}
+			assign[i] = false
+			a := rec(i + 1)
+			assign[i] = true
+			b := rec(i + 1)
+			if q.Prefix[i] == QExists {
+				return a || b
+			}
+			return a && b
+		}
+		return rec(0)
+	}
+	for i := 0; i < 150; i++ {
+		q := RandQBF(rng, 3+rng.Intn(4), 1+rng.Intn(8))
+		if got, want := q.Decide(), brute(q); got != want {
+			t.Fatalf("instance %d: Decide = %v, brute = %v", i, got, want)
+		}
+	}
+}
+
+func TestCountSigma1MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 100; i++ {
+		nx, ny := 2+rng.Intn(3), 2+rng.Intn(3)
+		phi := Rand3CNF(rng, nx+ny, 1+rng.Intn(6))
+		// Brute: count Y assignments with ∃X φ.
+		var want int64
+		y := make([]bool, ny)
+		for {
+			found := false
+			x := make([]bool, nx)
+			for {
+				if phi.Eval(append(append([]bool(nil), x...), y...)) {
+					found = true
+					break
+				}
+				if !increment(x) {
+					break
+				}
+			}
+			if found {
+				want++
+			}
+			if !increment(y) {
+				break
+			}
+		}
+		if got := CountSigma1(phi, nx, ny); got != want {
+			t.Fatalf("instance %d: CountSigma1 = %d, brute = %d", i, got, want)
+		}
+	}
+}
+
+func TestCountPi1MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for i := 0; i < 100; i++ {
+		nx, ny := 2+rng.Intn(3), 2+rng.Intn(3)
+		psi := Rand3DNF(rng, nx+ny, 1+rng.Intn(6))
+		var want int64
+		y := make([]bool, ny)
+		for {
+			holds := true
+			x := make([]bool, nx)
+			for {
+				if !psi.Eval(append(append([]bool(nil), x...), y...)) {
+					holds = false
+					break
+				}
+				if !increment(x) {
+					break
+				}
+			}
+			if holds {
+				want++
+			}
+			if !increment(y) {
+				break
+			}
+		}
+		if got := CountPi1(psi, nx, ny); got != want {
+			t.Fatalf("instance %d: CountPi1 = %d, brute = %d", i, got, want)
+		}
+	}
+}
+
+func TestIncrementDecrementRoundTrip(t *testing.T) {
+	bits := make([]bool, 3)
+	seen := 0
+	for {
+		seen++
+		if !increment(bits) {
+			break
+		}
+	}
+	if seen != 8 {
+		t.Fatalf("increment visited %d states, want 8", seen)
+	}
+	for i := range bits {
+		bits[i] = true
+	}
+	seen = 0
+	for {
+		seen++
+		if !decrement(bits) {
+			break
+		}
+	}
+	if seen != 8 {
+		t.Fatalf("decrement visited %d states, want 8", seen)
+	}
+}

@@ -1,0 +1,275 @@
+package sat
+
+import "sort"
+
+// value is a three-valued assignment entry.
+type value int8
+
+const (
+	unassigned value = iota
+	vTrue
+	vFalse
+)
+
+// Solve decides satisfiability by DPLL with unit propagation and pure
+// literal elimination. It returns a satisfying assignment when one exists.
+// The solver is deterministic: branching follows variable order.
+func Solve(c CNF) ([]bool, bool) {
+	assign := make([]value, c.NumVars)
+	if ok := dpll(c.Clauses, assign); !ok {
+		return nil, false
+	}
+	out := make([]bool, c.NumVars)
+	for i, v := range assign {
+		out[i] = v == vTrue
+	}
+	return out, true
+}
+
+// Satisfiable reports whether the CNF has a model.
+func Satisfiable(c CNF) bool {
+	_, ok := Solve(c)
+	return ok
+}
+
+// clauseState classifies a clause under a partial assignment.
+type clauseState int
+
+const (
+	clauseSat clauseState = iota
+	clauseUnsat
+	clauseUnit
+	clauseOpen
+)
+
+func classify(cl Clause, assign []value) (clauseState, int) {
+	unassignedCount := 0
+	unitLit := 0
+	for _, lit := range cl {
+		switch assign[LitVar(lit)] {
+		case unassigned:
+			unassignedCount++
+			unitLit = lit
+		case vTrue:
+			if lit > 0 {
+				return clauseSat, 0
+			}
+		case vFalse:
+			if lit < 0 {
+				return clauseSat, 0
+			}
+		}
+	}
+	switch unassignedCount {
+	case 0:
+		return clauseUnsat, 0
+	case 1:
+		return clauseUnit, unitLit
+	default:
+		return clauseOpen, 0
+	}
+}
+
+// dpll searches for a model, mutating assign; on success assign holds a
+// (possibly partial) model whose unassigned variables are free.
+func dpll(clauses []Clause, assign []value) bool {
+	// Unit propagation to a fixed point.
+	var trail []int
+	undo := func() {
+		for _, v := range trail {
+			assign[v] = unassigned
+		}
+	}
+	for {
+		progress := false
+		for _, cl := range clauses {
+			state, lit := classify(cl, assign)
+			switch state {
+			case clauseUnsat:
+				undo()
+				return false
+			case clauseUnit:
+				v := LitVar(lit)
+				if lit > 0 {
+					assign[v] = vTrue
+				} else {
+					assign[v] = vFalse
+				}
+				trail = append(trail, v)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Find the first variable occurring in an unresolved clause.
+	branch := -1
+	allSat := true
+	for _, cl := range clauses {
+		state, _ := classify(cl, assign)
+		if state == clauseSat {
+			continue
+		}
+		allSat = false
+		for _, lit := range cl {
+			v := LitVar(lit)
+			if assign[v] == unassigned && (branch == -1 || v < branch) {
+				branch = v
+			}
+		}
+	}
+	if allSat {
+		return true
+	}
+	for _, val := range []value{vTrue, vFalse} {
+		assign[branch] = val
+		if dpll(clauses, assign) {
+			return true
+		}
+		assign[branch] = unassigned
+	}
+	undo()
+	return false
+}
+
+// CountModels counts the satisfying assignments of the CNF over all NumVars
+// variables (#SAT). Variables not constrained by any clause multiply the
+// count by two each.
+func CountModels(c CNF) int64 {
+	assign := make([]value, c.NumVars)
+	return countDPLL(c.Clauses, assign, c.NumVars)
+}
+
+// countDPLL counts models by exhaustive DPLL branching; free variables under
+// a satisfying partial assignment contribute 2^free.
+func countDPLL(clauses []Clause, assign []value, numVars int) int64 {
+	// Classify; a falsified clause kills the branch.
+	branch := -1
+	allSat := true
+	for _, cl := range clauses {
+		state, _ := classify(cl, assign)
+		switch state {
+		case clauseUnsat:
+			return 0
+		case clauseSat:
+			continue
+		default:
+			allSat = false
+			for _, lit := range cl {
+				v := LitVar(lit)
+				if assign[v] == unassigned && (branch == -1 || v < branch) {
+					branch = v
+				}
+			}
+		}
+	}
+	if allSat {
+		free := 0
+		for _, v := range assign {
+			if v == unassigned {
+				free++
+			}
+		}
+		return int64(1) << free
+	}
+	var total int64
+	for _, val := range []value{vTrue, vFalse} {
+		assign[branch] = val
+		total += countDPLL(clauses, assign, numVars)
+		assign[branch] = unassigned
+	}
+	return total
+}
+
+// EnumerateModels returns all satisfying assignments in lexicographic order
+// (false < true, variable 0 most significant). Intended for small instances
+// and for cross-validating the counting reductions.
+func EnumerateModels(c CNF) [][]bool {
+	var out [][]bool
+	assign := make([]bool, c.NumVars)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == c.NumVars {
+			if c.Eval(assign) {
+				out = append(out, append([]bool(nil), assign...))
+			}
+			return
+		}
+		assign[i] = false
+		rec(i + 1)
+		assign[i] = true
+		rec(i + 1)
+	}
+	rec(0)
+	return out
+}
+
+// MaxWeightSAT finds a total assignment maximising the summed weight of
+// satisfied clauses (the FPNP-complete problem of Theorem 5.1). It returns
+// the best assignment and its weight, branching with an admissible bound
+// (current weight + weight of clauses not yet falsified). Deterministic:
+// the lexicographically first optimal assignment wins ties.
+func MaxWeightSAT(clauses []Clause, weights []int64, numVars int) ([]bool, int64) {
+	if len(clauses) != len(weights) {
+		panic("sat: MaxWeightSAT: clauses and weights differ in length")
+	}
+	best := make([]bool, numVars)
+	var bestW int64 = -1
+	assign := make([]value, numVars)
+	var rec func(i int)
+	rec = func(i int) {
+		// Bound: weight of satisfied + undecided clauses.
+		var satW, ub int64
+		for ci, cl := range clauses {
+			state, _ := classify(cl, assign)
+			switch state {
+			case clauseSat:
+				satW += weights[ci]
+				ub += weights[ci]
+			case clauseUnsat:
+			default:
+				ub += weights[ci]
+			}
+		}
+		if ub <= bestW {
+			return
+		}
+		if i == numVars {
+			if satW > bestW {
+				bestW = satW
+				for v := 0; v < numVars; v++ {
+					best[v] = assign[v] == vTrue
+				}
+			}
+			return
+		}
+		for _, val := range []value{vFalse, vTrue} {
+			assign[i] = val
+			rec(i + 1)
+			assign[i] = unassigned
+		}
+	}
+	rec(0)
+	return best, bestW
+}
+
+// BestWeight returns just the optimal MAX-WEIGHT SAT value.
+func BestWeight(clauses []Clause, weights []int64, numVars int) int64 {
+	_, w := MaxWeightSAT(clauses, weights, numVars)
+	return w
+}
+
+// SortClause returns a canonical copy of a clause (sorted by variable then
+// sign), handy for deterministic generators.
+func SortClause(cl Clause) Clause {
+	out := append(Clause(nil), cl...)
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := LitVar(out[i]), LitVar(out[j])
+		if vi != vj {
+			return vi < vj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

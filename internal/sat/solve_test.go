@@ -1,0 +1,192 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteSat decides satisfiability by truth-table enumeration.
+func bruteSat(c CNF) bool {
+	assign := make([]bool, c.NumVars)
+	for {
+		if c.Eval(assign) {
+			return true
+		}
+		if !increment(assign) {
+			return false
+		}
+	}
+}
+
+// bruteCount counts models by truth-table enumeration.
+func bruteCount(c CNF) int64 {
+	var n int64
+	assign := make([]bool, c.NumVars)
+	for {
+		if c.Eval(assign) {
+			n++
+		}
+		if !increment(assign) {
+			return n
+		}
+	}
+}
+
+func TestSolveKnownInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		c    CNF
+		sat  bool
+	}{
+		{"empty", CNF{NumVars: 2}, true},
+		{"unit", CNF{NumVars: 1, Clauses: []Clause{{1}}}, true},
+		{"contradiction", CNF{NumVars: 1, Clauses: []Clause{{1}, {-1}}}, false},
+		{"chain", CNF{NumVars: 3, Clauses: []Clause{{1}, {-1, 2}, {-2, 3}}}, true},
+		{"pigeonhole-ish", CNF{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}}, false},
+	}
+	for _, c := range cases {
+		assign, ok := Solve(c.c)
+		if ok != c.sat {
+			t.Errorf("%s: Solve = %v, want %v", c.name, ok, c.sat)
+		}
+		if ok && !c.c.Eval(assign) {
+			t.Errorf("%s: returned assignment does not satisfy the formula", c.name)
+		}
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		c := Rand3CNF(rng, 3+rng.Intn(6), 1+rng.Intn(12))
+		if got, want := Satisfiable(c), bruteSat(c); got != want {
+			t.Fatalf("instance %d (%v): Solve = %v, brute = %v", i, c, got, want)
+		}
+	}
+}
+
+func TestCountModelsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		c := Rand3CNF(rng, 3+rng.Intn(5), 1+rng.Intn(10))
+		if got, want := CountModels(c), bruteCount(c); got != want {
+			t.Fatalf("instance %d (%v): CountModels = %d, brute = %d", i, c, got, want)
+		}
+	}
+}
+
+func TestCountModelsFreeVariables(t *testing.T) {
+	// x0 alone over 4 variables: 2^3 models.
+	c := CNF{NumVars: 4, Clauses: []Clause{{1}}}
+	if got := CountModels(c); got != 8 {
+		t.Fatalf("CountModels = %d, want 8", got)
+	}
+}
+
+func TestEnumerateModels(t *testing.T) {
+	c := CNF{NumVars: 2, Clauses: []Clause{{1, 2}}}
+	models := EnumerateModels(c)
+	if int64(len(models)) != CountModels(c) {
+		t.Fatalf("enumeration size %d disagrees with count %d", len(models), CountModels(c))
+	}
+	for _, m := range models {
+		if !c.Eval(m) {
+			t.Fatalf("enumerated non-model %v", m)
+		}
+	}
+}
+
+func TestMaxWeightSATMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		nv := 3 + rng.Intn(4)
+		nc := 1 + rng.Intn(8)
+		c := Rand3CNF(rng, nv, nc)
+		ws := RandWeights(rng, nc, 20)
+		_, got := MaxWeightSAT(c.Clauses, ws, nv)
+
+		// Brute force.
+		var want int64 = -1
+		assign := make([]bool, nv)
+		for {
+			var w int64
+			for ci, cl := range c.Clauses {
+				for _, lit := range cl {
+					if LitSatisfied(lit, assign) {
+						w += ws[ci]
+						break
+					}
+				}
+			}
+			if w > want {
+				want = w
+			}
+			if !increment(assign) {
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("instance %d: MaxWeightSAT = %d, brute = %d", i, got, want)
+		}
+	}
+}
+
+func TestMaxWeightSATAssignmentAchievesWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := Rand3CNF(rng, 6, 10)
+	ws := RandWeights(rng, 10, 50)
+	assign, w := MaxWeightSAT(c.Clauses, ws, 6)
+	var check int64
+	for ci, cl := range c.Clauses {
+		for _, lit := range cl {
+			if LitSatisfied(lit, assign) {
+				check += ws[ci]
+				break
+			}
+		}
+	}
+	if check != w {
+		t.Fatalf("reported weight %d but assignment achieves %d", w, check)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	// (x0 ∨ x1) ∧ (¬x0 ∨ x2): fixing x0=true gives (x2); x0=false gives (x1).
+	c := CNF{NumVars: 3, Clauses: []Clause{{1, 2}, {-1, 3}}}
+	rTrue := c.Restrict([]bool{true})
+	if len(rTrue.Clauses) != 1 || len(rTrue.Clauses[0]) != 1 || rTrue.Clauses[0][0] != 2 {
+		t.Fatalf("Restrict(true) = %v", rTrue)
+	}
+	rFalse := c.Restrict([]bool{false})
+	if len(rFalse.Clauses) != 1 || rFalse.Clauses[0][0] != 1 {
+		t.Fatalf("Restrict(false) = %v", rFalse)
+	}
+}
+
+func TestNegateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := Rand3DNF(rng, 5, 6)
+	n := d.Negate()
+	assign := make([]bool, 5)
+	for {
+		if d.Eval(assign) == n.Eval(assign) {
+			t.Fatalf("¬ DNF disagrees at %v", assign)
+		}
+		if !increment(assign) {
+			break
+		}
+	}
+}
+
+func TestVarsHelper(t *testing.T) {
+	vs := Vars([]Clause{{3, -1}, {2}})
+	want := []int{0, 1, 2}
+	if len(vs) != 3 {
+		t.Fatalf("Vars = %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vs, want)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package pkgrec is the public API of this reproduction of "On the
+// Complexity of Package Recommendation Problems" (Deng, Fan, Geerts; PODS
+// 2012). It re-exports the model types and offers one-call helpers for the
+// six problems the paper studies:
+//
+//   - RPP  — DecideTopK: is a set of packages a top-k package selection?
+//   - FRP  — FindTopK / (*Problem).FindTopKViaOracle: compute a top-k
+//     package selection;
+//   - MBP  — MaxBound / IsMaxBound: the maximum rating bound;
+//   - CPP  — CountValid: how many valid packages rate at least B;
+//   - QRPP — RelaxQuery: recommend a minimal query relaxation;
+//   - ARPP — AdjustItems: recommend a bounded adjustment of the item
+//     collection;
+//
+// plus top-k item recommendation (TopKItems) as the degenerate case of
+// Section 2. Queries are built programmatically (repro/internal/query
+// constructors re-exported here) or parsed from text with ParseQuery; see
+// the examples directory for complete programs.
+package pkgrec
+
+import (
+	"fmt"
+
+	"repro/internal/adjust"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/relax"
+)
+
+// Core model types, re-exported.
+type (
+	// Database is the item collection D.
+	Database = relation.Database
+	// Relation is a named set of tuples.
+	Relation = relation.Relation
+	// Schema names a relation and its attributes.
+	Schema = relation.Schema
+	// Tuple is an ordered list of values.
+	Tuple = relation.Tuple
+	// Value is an attribute value (int, float, or string).
+	Value = relation.Value
+	// Query is a selection query Q or compatibility constraint Qc.
+	Query = query.Query
+	// Package is a set of items from Q(D).
+	Package = core.Package
+	// Problem bundles (Q, D, Qc, cost, val, C, k).
+	Problem = core.Problem
+	// Aggregator is a PTIME package function (cost, val).
+	Aggregator = core.Aggregator
+	// Utility rates single items (the f() of item recommendations).
+	Utility = core.Utility
+	// Metric is a distance function from the relaxation set Γ.
+	Metric = relax.Metric
+	// RelaxPoint is a relaxable query parameter (the sets E and X).
+	RelaxPoint = relax.Point
+	// RelaxChoice pairs a point with a relaxation level.
+	RelaxChoice = relax.Choice
+	// Relaxation is a relaxed query QΓ with gap(QΓ).
+	Relaxation = relax.Relaxation
+	// RelaxInstance is a QRPP instance.
+	RelaxInstance = relax.Instance
+	// Delta is an adjustment set Δ(D, D′).
+	Delta = adjust.Delta
+	// AdjustInstance is an ARPP instance.
+	AdjustInstance = adjust.Instance
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = relation.Int
+	// Float builds a floating-point value.
+	Float = relation.Float
+	// Str builds a string value.
+	Str = relation.Str
+	// NewTuple builds a tuple.
+	NewTuple = relation.NewTuple
+	// NewSchema builds a schema.
+	NewSchema = relation.NewSchema
+	// NewRelation builds an empty relation.
+	NewRelation = relation.NewRelation
+	// FromTuples builds a populated relation.
+	FromTuples = relation.FromTuples
+	// NewDatabase builds an empty database.
+	NewDatabase = relation.NewDatabase
+	// NewPackage builds a package from tuples.
+	NewPackage = core.NewPackage
+)
+
+// Aggregator constructors.
+var (
+	// Count is cost(N) = |N|.
+	Count = core.Count
+	// CountOrInf is |N| with cost(∅) = ∞.
+	CountOrInf = core.CountOrInf
+	// SumAttr sums an attribute.
+	SumAttr = core.SumAttr
+	// NegSumAttr negates the attribute sum (lower totals rate higher).
+	NegSumAttr = core.NegSumAttr
+	// MinAttr takes the attribute minimum.
+	MinAttr = core.MinAttr
+	// MaxAttr takes the attribute maximum.
+	MaxAttr = core.MaxAttr
+	// AvgAttr takes the attribute mean.
+	AvgAttr = core.AvgAttr
+	// WeightedSum mixes attributes with weights.
+	WeightedSum = core.WeightedSum
+	// ConstAgg is a constant function.
+	ConstAgg = core.ConstAgg
+	// AggFunc wraps an arbitrary Go function as an aggregator.
+	AggFunc = core.Func
+)
+
+// ParseQuery parses the textual rule/formula syntax (see internal/parser)
+// and classifies the query into the paper's language lattice.
+func ParseQuery(src string) (Query, error) { return parser.Parse(src) }
+
+// FindTopK solves FRP: a top-k package selection, or ok = false when fewer
+// than k distinct valid packages exist.
+func FindTopK(p *Problem) ([]Package, bool, error) { return p.FindTopK() }
+
+// DecideTopK solves RPP: whether sel is a top-k package selection; when it
+// is not because an outside package out-rates a member, that witness is
+// returned.
+func DecideTopK(p *Problem, sel []Package) (bool, *Package, error) { return p.DecideTopK(sel) }
+
+// MaxBound solves the optimisation core of MBP: the maximum B admitting a
+// top-k selection rated at least B throughout.
+func MaxBound(p *Problem) (float64, bool, error) { return p.MaxBound() }
+
+// IsMaxBound decides MBP for a candidate bound.
+func IsMaxBound(p *Problem, b float64) (bool, error) { return p.IsMaxBound(b) }
+
+// CountValid solves CPP: the number of valid packages rated at least B.
+func CountValid(p *Problem, b float64) (int64, error) { return p.CountValid(b) }
+
+// CountValidParallel solves CPP with a worker pool (0 workers = GOMAXPROCS);
+// the result equals CountValid.
+func CountValidParallel(p *Problem, b float64, workers int) (int64, error) {
+	return p.CountValidParallel(b, workers)
+}
+
+// TopKItems solves the item recommendation problem for (Q, D, f).
+func TopKItems(db *Database, q Query, f Utility, k int) ([]Tuple, bool, error) {
+	return core.TopKItems(db, q, f, k)
+}
+
+// ItemProblem embeds item recommendation into the package model (Section 2).
+func ItemProblem(db *Database, q Query, f Utility, k int) *Problem {
+	return core.ItemProblem(db, q, f, k)
+}
+
+// RelaxPoints discovers the relaxable parameters of a query (Section 7).
+func RelaxPoints(q Query) ([]RelaxPoint, error) { return relax.Points(q) }
+
+// ApplyRelaxation builds the relaxed query QΓ for chosen levels.
+func ApplyRelaxation(q Query, choices []RelaxChoice) (*Relaxation, error) {
+	return relax.Apply(q, choices)
+}
+
+// RelaxQuery solves QRPP: the minimum-gap relaxation (within the instance's
+// gap budget) under which k distinct valid packages rated at least B exist.
+func RelaxQuery(inst RelaxInstance) (*Relaxation, bool, error) { return relax.Decide(inst) }
+
+// AdjustItems solves ARPP: a minimum-size adjustment Δ(D, D′) with
+// |Δ| ≤ k′ under which k distinct valid packages rated at least B exist.
+func AdjustItems(inst AdjustInstance) (*Delta, bool, error) { return adjust.Decide(inst) }
+
+// Metrics for query relaxation.
+var (
+	// AbsDiffMetric is |a − b| on numerics.
+	AbsDiffMetric = relax.AbsDiff
+	// DiscreteMetric allows no relaxation beyond equality.
+	DiscreteMetric = relax.Discrete
+	// TableMetric is a symmetric table-driven metric.
+	TableMetric = relax.Table
+)
+
+// AggSpec is the JSON wire form of an aggregator, used by cmd/pkgrec.
+type AggSpec struct {
+	Kind     string  `json:"kind"` // count, countOrInf, sum, negsum, min, max, avg, const
+	Attr     int     `json:"attr,omitempty"`
+	Value    float64 `json:"value,omitempty"`
+	Monotone bool    `json:"monotone,omitempty"`
+}
+
+// Build constructs the aggregator an AggSpec describes.
+func (s AggSpec) Build() (Aggregator, error) {
+	var a Aggregator
+	switch s.Kind {
+	case "count":
+		a = Count()
+	case "countOrInf":
+		a = CountOrInf()
+	case "sum":
+		a = SumAttr(s.Attr)
+	case "negsum":
+		a = NegSumAttr(s.Attr)
+	case "min":
+		a = MinAttr(s.Attr)
+	case "max":
+		a = MaxAttr(s.Attr)
+	case "avg":
+		a = AvgAttr(s.Attr)
+	case "const":
+		a = ConstAgg(s.Value)
+	default:
+		return Aggregator{}, fmt.Errorf("pkgrec: unknown aggregator kind %q", s.Kind)
+	}
+	if s.Monotone {
+		a = a.WithMonotone()
+	}
+	return a, nil
+}
+
+// ProblemSpec is the JSON wire form of a recommendation problem, used by
+// cmd/pkgrec: queries in the textual syntax, aggregators as AggSpecs.
+type ProblemSpec struct {
+	Query      string  `json:"query"`
+	Qc         string  `json:"qc,omitempty"`
+	Cost       AggSpec `json:"cost"`
+	Val        AggSpec `json:"val"`
+	Budget     float64 `json:"budget"`
+	K          int     `json:"k"`
+	MaxPkgSize int     `json:"maxPkgSize,omitempty"`
+	Bound      float64 `json:"bound,omitempty"`
+}
+
+// Build constructs the Problem a ProblemSpec describes over db.
+func (s ProblemSpec) Build(db *Database) (*Problem, error) {
+	q, err := ParseQuery(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	var qc Query
+	if s.Qc != "" {
+		qc, err = ParseQuery(s.Qc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cost, err := s.Cost.Build()
+	if err != nil {
+		return nil, err
+	}
+	val, err := s.Val.Build()
+	if err != nil {
+		return nil, err
+	}
+	p := &Problem{
+		DB: db, Q: q, Qc: qc,
+		Cost: cost, Val: val,
+		Budget: s.Budget, K: s.K, MaxPkgSize: s.MaxPkgSize,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

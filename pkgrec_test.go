@@ -1,0 +1,187 @@
+package pkgrec
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// facadeDB builds a small item store through the public API.
+func facadeDB() *Database {
+	db := NewDatabase()
+	db.Add(FromTuples(NewSchema("item", "id", "price", "rating"),
+		NewTuple(Int(1), Int(10), Int(5)),
+		NewTuple(Int(2), Int(20), Int(8)),
+		NewTuple(Int(3), Int(30), Int(9))))
+	return db
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	db := facadeDB()
+	q, err := ParseQuery(`RQ(id, price, rating) :- item(id, price, rating).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &Problem{
+		DB: db, Q: q,
+		Cost: SumAttr(1).WithMonotone(), Val: SumAttr(2),
+		Budget: 30, K: 2,
+	}
+	sel, ok, err := FindTopK(prob)
+	if err != nil || !ok {
+		t.Fatalf("FindTopK: ok=%v err=%v", ok, err)
+	}
+	accept, witness, err := DecideTopK(prob, sel)
+	if err != nil || !accept {
+		t.Fatalf("DecideTopK rejected its own optimum (witness %v, err %v)", witness, err)
+	}
+	b, ok, err := MaxBound(prob)
+	if err != nil || !ok {
+		t.Fatalf("MaxBound: ok=%v err=%v", ok, err)
+	}
+	isMax, err := IsMaxBound(prob, b)
+	if err != nil || !isMax {
+		t.Fatalf("IsMaxBound(%g) = %v, %v", b, isMax, err)
+	}
+	n, err := CountValid(prob, b)
+	if err != nil || n < int64(prob.K) {
+		t.Fatalf("CountValid(%g) = %d, want >= %d", b, n, prob.K)
+	}
+}
+
+func TestFacadeItems(t *testing.T) {
+	db := facadeDB()
+	q, err := ParseQuery(`RQ(id, price, rating) :- item(id, price, rating).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Utility(func(t Tuple) float64 { return t[2].Float64() })
+	items, ok, err := TopKItems(db, q, f, 2)
+	if err != nil || !ok {
+		t.Fatalf("TopKItems: ok=%v err=%v", ok, err)
+	}
+	if items[0][0].Int64() != 3 || items[1][0].Int64() != 2 {
+		t.Fatalf("top items = %v", items)
+	}
+	// The Section 2 embedding through the facade.
+	ip := ItemProblem(db, q, f, 2)
+	sel, ok, err := FindTopK(ip)
+	if err != nil || !ok {
+		t.Fatalf("embedded FindTopK: ok=%v err=%v", ok, err)
+	}
+	if !sel[0].Tuples()[0].Equal(items[0]) {
+		t.Fatalf("embedding mismatch: %v vs %v", sel[0], items[0])
+	}
+}
+
+func TestFacadeRelaxAndAdjust(t *testing.T) {
+	db := NewDatabase()
+	db.Add(FromTuples(NewSchema("flight", "from", "to", "price"),
+		NewTuple(Str("edi"), Str("ewr"), Int(420))))
+	q, err := ParseQuery(`RQ(p) :- flight("edi", "nyc", p).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &Problem{DB: db, Q: q, Cost: CountOrInf(), Val: Count(), Budget: 1, K: 1}
+
+	points, err := RelaxPoints(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	city := TableMetric("citydist", map[[2]string]float64{{"nyc", "ewr"}: 12})
+	var pts []RelaxPoint
+	for _, p := range points {
+		pts = append(pts, p.WithMetric(city))
+	}
+	rel, ok, err := RelaxQuery(RelaxInstance{Problem: prob, Points: pts, Bound: 1, GapBudget: 15})
+	if err != nil || !ok {
+		t.Fatalf("RelaxQuery: ok=%v err=%v", ok, err)
+	}
+	if rel.Gap != 12 {
+		t.Fatalf("relaxation gap = %g, want 12", rel.Gap)
+	}
+
+	extra := NewDatabase()
+	extra.Add(FromTuples(NewSchema("flight", "from", "to", "price"),
+		NewTuple(Str("edi"), Str("nyc"), Int(700))))
+	delta, ok, err := AdjustItems(AdjustInstance{Problem: prob, Extra: extra, Bound: 1, KPrime: 1})
+	if err != nil || !ok {
+		t.Fatalf("AdjustItems: ok=%v err=%v", ok, err)
+	}
+	if delta.Size() != 1 {
+		t.Fatalf("adjustment size = %d, want 1", delta.Size())
+	}
+}
+
+func TestAggSpecKinds(t *testing.T) {
+	pkg := NewPackage(NewTuple(Int(1), Int(4)), NewTuple(Int(2), Int(6)))
+	cases := []struct {
+		spec AggSpec
+		want float64
+	}{
+		{AggSpec{Kind: "count"}, 2},
+		{AggSpec{Kind: "countOrInf"}, 2},
+		{AggSpec{Kind: "sum", Attr: 1}, 10},
+		{AggSpec{Kind: "negsum", Attr: 1}, -10},
+		{AggSpec{Kind: "min", Attr: 1}, 4},
+		{AggSpec{Kind: "max", Attr: 1}, 6},
+		{AggSpec{Kind: "avg", Attr: 1}, 5},
+		{AggSpec{Kind: "const", Value: 7}, 7},
+	}
+	for _, c := range cases {
+		a, err := c.spec.Build()
+		if err != nil {
+			t.Fatalf("%+v: %v", c.spec, err)
+		}
+		if got := a.Eval(pkg); got != c.want {
+			t.Errorf("%+v: Eval = %g, want %g", c.spec, got, c.want)
+		}
+	}
+	if _, err := (AggSpec{Kind: "nope"}).Build(); err == nil {
+		t.Fatal("unknown aggregator kind should error")
+	}
+	mono, err := (AggSpec{Kind: "sum", Attr: 1, Monotone: true}).Build()
+	if err != nil || !mono.Monotone() {
+		t.Fatal("monotone flag not honoured")
+	}
+}
+
+func TestProblemSpecJSON(t *testing.T) {
+	raw := `{
+		"query": "RQ(id, price, rating) :- item(id, price, rating).",
+		"qc": "Qc() :- RQ(a, p1, r1), RQ(b, p2, r2), a != b, p1 = p2.",
+		"cost": {"kind": "sum", "attr": 1, "monotone": true},
+		"val": {"kind": "sum", "attr": 2},
+		"budget": 30,
+		"k": 1,
+		"bound": 5
+	}`
+	var spec ProblemSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	prob, err := spec.Build(facadeDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok, err := FindTopK(prob)
+	if err != nil || !ok {
+		t.Fatalf("FindTopK: ok=%v err=%v", ok, err)
+	}
+	if prob.Val.Eval(sel[0]) < spec.Bound {
+		t.Fatalf("top package rated %g, below the spec bound", prob.Val.Eval(sel[0]))
+	}
+}
+
+func TestProblemSpecErrors(t *testing.T) {
+	cases := []ProblemSpec{
+		{Query: "", Cost: AggSpec{Kind: "count"}, Val: AggSpec{Kind: "count"}},
+		{Query: "RQ(x) :- item(x).", Cost: AggSpec{Kind: "nope"}, Val: AggSpec{Kind: "count"}},
+		{Query: "RQ(x) :- item(x).", Qc: "broken(", Cost: AggSpec{Kind: "count"}, Val: AggSpec{Kind: "count"}},
+		{Query: "RQ(z) :- item(x, p, r).", Cost: AggSpec{Kind: "count"}, Val: AggSpec{Kind: "count"}}, // unsafe head
+	}
+	for i, spec := range cases {
+		if _, err := spec.Build(facadeDB()); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

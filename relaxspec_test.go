@@ -1,0 +1,124 @@
+package pkgrec
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestMetricSpecKinds(t *testing.T) {
+	abs, err := MetricSpec{Kind: "absdiff"}.Build()
+	if err != nil || abs.Fn(Int(3), Int(7)) != 4 {
+		t.Fatalf("absdiff: %v %v", abs, err)
+	}
+	disc, err := MetricSpec{Kind: "discrete"}.Build()
+	if err != nil || !math.IsInf(disc.Fn(Int(1), Int(2)), 1) {
+		t.Fatalf("discrete: %v", err)
+	}
+	flip, err := MetricSpec{Kind: "boolflip"}.Build()
+	if err != nil || flip.Fn(Int(0), Int(1)) != 1 {
+		t.Fatalf("boolflip: %v", err)
+	}
+	table, err := MetricSpec{Kind: "table", Entries: map[string]float64{"nyc|ewr": 12}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Fn(Str("nyc"), Str("ewr")) != 12 || table.Fn(Str("ewr"), Str("nyc")) != 12 {
+		t.Fatal("table metric not symmetric")
+	}
+	if _, err := (MetricSpec{Kind: "nope"}).Build(); err == nil {
+		t.Fatal("unknown metric kind should error")
+	}
+	if _, err := (MetricSpec{Kind: "table", Entries: map[string]float64{"nokey": 1}}).Build(); err == nil {
+		t.Fatal("malformed table key should error")
+	}
+}
+
+func TestRelaxSpecEndToEnd(t *testing.T) {
+	db := NewDatabase()
+	db.Add(FromTuples(NewSchema("flight", "from", "to", "price"),
+		NewTuple(Str("edi"), Str("ewr"), Int(420))))
+	q, err := ParseQuery(`RQ(p) :- flight("edi", "nyc", p).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &Problem{DB: db, Q: q, Cost: CountOrInf(), Val: Count(), Budget: 1, K: 1}
+
+	raw := `{
+		"points": [{"index": 1, "metric": {"kind": "table", "entries": {"nyc|ewr": 12}}}],
+		"bound": 1,
+		"gapBudget": 15
+	}`
+	var spec RelaxSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := spec.Build(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, ok, err := RelaxQuery(inst)
+	if err != nil || !ok {
+		t.Fatalf("RelaxQuery: ok=%v err=%v", ok, err)
+	}
+	if rel.Gap != 12 {
+		t.Fatalf("gap = %g, want 12", rel.Gap)
+	}
+}
+
+func TestRelaxSpecBadIndex(t *testing.T) {
+	db := NewDatabase()
+	db.Add(FromTuples(NewSchema("R", "a"), NewTuple(Int(1))))
+	q, err := ParseQuery(`RQ(x) :- R(x).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &Problem{DB: db, Q: q, Cost: Count(), Val: Count(), Budget: 1, K: 1}
+	spec := RelaxSpec{Points: []RelaxPointSpec{{Index: 9, Metric: MetricSpec{Kind: "absdiff"}}}}
+	if _, err := spec.Build(prob); err == nil {
+		t.Fatal("out-of-range point index should error")
+	}
+}
+
+func TestGroupFacade(t *testing.T) {
+	db := facadeDB()
+	q, err := ParseQuery(`RQ(id, price, rating) :- item(id, price, rating).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &Problem{DB: db, Q: q, Cost: CountOrInf(), Val: ConstAgg(0), Budget: 1, K: 1}
+	users := []Aggregator{SumAttr(2), NegSumAttr(1)}
+	for _, sem := range []GroupSemantics{LeastMisery, AverageSatisfaction, AverageMinusDisagreement} {
+		g, err := GroupProblem(base, users, sem, 0.2)
+		if err != nil {
+			t.Fatalf("%v: %v", sem, err)
+		}
+		if _, ok, err := FindTopK(g); err != nil || !ok {
+			t.Fatalf("%v: FindTopK ok=%v err=%v", sem, ok, err)
+		}
+	}
+	if _, err := GroupVal(nil, LeastMisery, 0); err == nil {
+		t.Fatal("empty group should error")
+	}
+}
+
+func TestAdjustSpecBuild(t *testing.T) {
+	db := facadeDB()
+	q, err := ParseQuery(`RQ(id, price, rating) :- item(id, price, rating).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &Problem{DB: db, Q: q, Cost: CountOrInf(), Val: ConstAgg(1), Budget: 1, K: 4}
+	extra := NewDatabase()
+	extra.Add(FromTuples(NewSchema("item", "id", "price", "rating"),
+		NewTuple(Int(9), Int(5), Int(7))))
+	inst := AdjustSpec{Bound: 1, KPrime: 1}.Build(prob, extra)
+	delta, ok, err := AdjustItems(inst)
+	if err != nil || !ok {
+		t.Fatalf("AdjustItems: ok=%v err=%v", ok, err)
+	}
+	// Three items exist; k = 4 singletons require inserting the extra item.
+	if delta.Size() != 1 {
+		t.Fatalf("delta = %v, want one insertion", delta)
+	}
+}
