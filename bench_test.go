@@ -119,6 +119,82 @@ func BenchmarkAblationParallelCPP(b *testing.B) {
 	}
 }
 
+// --- Engine comparison: serial vs parallel vs incremental ---
+//
+// Three-way ablation on two table families (the Table 8.1 #Σ1SAT CPP row
+// and the Table 8.2 travel FRP row): the serial engine with incremental
+// aggregator steppers (the default), the same engine forced into full
+// per-node recomputation by opaque Func aggregators (the seed's behaviour),
+// and the parallel engine at GOMAXPROCS. BENCHMARKS.md records a reference
+// run.
+
+// recomputeOnly strips the cost/val steppers so every DFS node pays the
+// seed's O(|N|) aggregator evaluation.
+func recomputeOnly(p *core.Problem) *core.Problem {
+	q := *p
+	cost := core.Func(p.Cost.Name(), p.Cost.Eval)
+	if p.Cost.Monotone() {
+		cost = cost.WithMonotone()
+	}
+	q.Cost = cost
+	q.Val = core.Func(p.Val.Name(), p.Val.Eval)
+	return &q
+}
+
+func benchCPPT81(b *testing.B, parallel, recompute bool) {
+	b.Helper()
+	p, bound := experiments.Sigma1CPPProblem(6)
+	if recompute {
+		p = recomputeOnly(p)
+	}
+	if _, err := p.Candidates(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if parallel {
+			_, err = p.CountValidParallel(bound, 0)
+		} else {
+			_, err = p.CountValid(bound)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineCPPT81Serial(b *testing.B)    { benchCPPT81(b, false, false) }
+func BenchmarkEngineCPPT81Recompute(b *testing.B) { benchCPPT81(b, false, true) }
+func BenchmarkEngineCPPT81Parallel(b *testing.B)  { benchCPPT81(b, true, false) }
+
+func benchFRPTravel(b *testing.B, parallel bool, recompute bool) {
+	b.Helper()
+	p := experiments.TravelProblem(320).WithMaxSize(2)
+	if recompute {
+		p = recomputeOnly(p)
+	}
+	if _, err := p.Candidates(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if parallel {
+			_, _, err = p.FindTopKParallel(0)
+		} else {
+			_, _, err = p.FindTopK()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineFRPTravelSerial(b *testing.B)    { benchFRPTravel(b, false, false) }
+func BenchmarkEngineFRPTravelRecompute(b *testing.B) { benchFRPTravel(b, false, true) }
+func BenchmarkEngineFRPTravelParallel(b *testing.B)  { benchFRPTravel(b, true, false) }
+
 // --- Figure 4.1: the Boolean gadget relations ---
 
 // BenchmarkFigure41Gadgets compiles and evaluates a gadget-encoded formula

@@ -4,7 +4,9 @@
 //
 //	recbench            # full run
 //	recbench -quick     # smaller parameters
-//	recbench -table 82  # one table only (81 | 82 | abl | all)
+//	recbench -table 82  # one table only (81 | 82 | abl | par | all)
+//	recbench -table par -workers 8
+//	                    # serial vs parallel engine on the same families
 //
 // Absolute times are machine-dependent; the reproduced signal is the growth
 // shape per row (exponential for the hard settings, polynomial for the
@@ -24,8 +26,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("recbench: ")
 	var (
-		quick = flag.Bool("quick", false, "use smaller instance parameters")
-		table = flag.String("table", "all", "which table to run: 81 | 82 | abl | all")
+		quick   = flag.Bool("quick", false, "use smaller instance parameters")
+		table   = flag.String("table", "all", "which table to run: 81 | 82 | abl | par | all")
+		workers = flag.Int("workers", 0, "worker goroutines for the parallel engine rows (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -45,10 +48,13 @@ func main() {
 		run("Table 8.2 — data complexity (measured scaling)", experiments.Table82(*quick))
 	case "abl":
 		run("Ablations (design choices)", experiments.Ablations(*quick))
+	case "par":
+		run("Engine comparison — serial vs parallel+incremental", experiments.EngineRows(*quick, *workers))
 	case "all":
 		run("Table 8.1 — combined complexity (measured scaling)", experiments.Table81(*quick))
 		run("Table 8.2 — data complexity (measured scaling)", experiments.Table82(*quick))
 		run("Ablations (design choices)", experiments.Ablations(*quick))
+		run("Engine comparison — serial vs parallel+incremental", experiments.EngineRows(*quick, *workers))
 	default:
 		log.Fatalf("unknown table %q", *table)
 	}

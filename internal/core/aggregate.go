@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/relation"
 )
@@ -19,9 +20,27 @@ import (
 // whose monotonicity is structural (Count, CountOrInf) or asserted by the
 // caller (WithMonotone).
 type Aggregator struct {
-	name string
-	fn   func(Package) float64
-	mono bool
+	name    string
+	fn      func(Package) float64
+	mono    bool
+	stepper func() Stepper
+}
+
+// Stepper is the incremental form of an aggregator: it maintains the
+// aggregate of a package that grows and shrinks in LIFO order, the exact
+// discipline of the subset-DFS enumeration engine. Push adds a tuple to the
+// tracked package, Pop removes the most recently pushed tuple, and Value
+// returns the aggregate of the current package in O(1).
+//
+// The enumeration engine pushes candidates in canonical tuple order, so the
+// stock steppers accumulate floating-point operations in exactly the order
+// Eval does over the materialised package — Value is bitwise-equal to Eval,
+// not merely approximately equal. A stepper is owned by a single DFS path
+// (one goroutine); the parallel engine creates one per worker.
+type Stepper interface {
+	Push(t relation.Tuple)
+	Pop()
+	Value() float64
 }
 
 // Func builds an aggregator from an arbitrary function.
@@ -46,10 +65,64 @@ func (a Aggregator) WithMonotone() Aggregator {
 	return a
 }
 
+// NewStepper returns a fresh incremental evaluator, or nil when the
+// aggregator has none (arbitrary Func aggregators); callers fall back to
+// full recomputation via Eval. All stock constructors provide steppers.
+func (a Aggregator) NewStepper() Stepper {
+	if a.stepper == nil {
+		return nil
+	}
+	return a.stepper()
+}
+
+// WithStepper returns a copy carrying an incremental evaluator factory. The
+// stepper must agree with Eval under the LIFO push/pop discipline; soundness
+// is the caller's obligation, as with WithMonotone.
+func (a Aggregator) WithStepper(newStepper func() Stepper) Aggregator {
+	a.stepper = newStepper
+	return a
+}
+
+// stackStepper is the shared stepper implementation: vals[i] holds the
+// accumulator after the first i+1 pushes, so Pop is an exact state restore
+// (no inverse floating-point operation is ever applied). step folds one
+// tuple into the accumulator; finish (optional) maps the raw accumulator and
+// package size to the aggregate (e.g. the mean's division); empty is the
+// aggregate of the empty package and seed the accumulator's identity.
+type stackStepper struct {
+	seed   float64
+	empty  float64
+	vals   []float64
+	step   func(acc float64, t relation.Tuple) float64
+	finish func(acc float64, n int) float64
+}
+
+func (s *stackStepper) Push(t relation.Tuple) {
+	acc := s.seed
+	if len(s.vals) > 0 {
+		acc = s.vals[len(s.vals)-1]
+	}
+	s.vals = append(s.vals, s.step(acc, t))
+}
+
+func (s *stackStepper) Pop() { s.vals = s.vals[:len(s.vals)-1] }
+
+func (s *stackStepper) Value() float64 {
+	if len(s.vals) == 0 {
+		return s.empty
+	}
+	top := s.vals[len(s.vals)-1]
+	if s.finish != nil {
+		return s.finish(top, len(s.vals))
+	}
+	return top
+}
+
 // Count returns cost(N) = |N|.
 func Count() Aggregator {
 	return Aggregator{name: "count", mono: true,
-		fn: func(p Package) float64 { return float64(p.Len()) }}
+		fn:      func(p Package) float64 { return float64(p.Len()) },
+		stepper: countStepper(0)}
 }
 
 // CountOrInf returns the paper's standard cost function: cost(N) = |N| for
@@ -61,7 +134,14 @@ func CountOrInf() Aggregator {
 			return math.Inf(1)
 		}
 		return float64(p.Len())
-	}}
+	}, stepper: countStepper(math.Inf(1))}
+}
+
+func countStepper(empty float64) func() Stepper {
+	return func() Stepper {
+		return &stackStepper{empty: empty,
+			step: func(acc float64, _ relation.Tuple) float64 { return acc + 1 }}
+	}
 }
 
 // SumAttr returns the sum of attribute i over the package's items. Combine
@@ -73,6 +153,9 @@ func SumAttr(i int) Aggregator {
 			s += t[i].Float64()
 		}
 		return s
+	}, stepper: func() Stepper {
+		return &stackStepper{
+			step: func(acc float64, t relation.Tuple) float64 { return acc + t[i].Float64() }}
 	}}
 }
 
@@ -85,10 +168,15 @@ func NegSumAttr(i int) Aggregator {
 			s -= t[i].Float64()
 		}
 		return s
+	}, stepper: func() Stepper {
+		return &stackStepper{
+			step: func(acc float64, t relation.Tuple) float64 { return acc - t[i].Float64() }}
 	}}
 }
 
-// MinAttr returns the minimum of attribute i (+∞ on the empty package).
+// MinAttr returns the minimum of attribute i (+∞ on the empty package). Its
+// stepper is a stack of prefix minima, so Pop restores the previous minimum
+// without rescanning.
 func MinAttr(i int) Aggregator {
 	return Aggregator{name: "min", fn: func(p Package) float64 {
 		m := math.Inf(1)
@@ -96,6 +184,9 @@ func MinAttr(i int) Aggregator {
 			m = math.Min(m, t[i].Float64())
 		}
 		return m
+	}, stepper: func() Stepper {
+		return &stackStepper{seed: math.Inf(1), empty: math.Inf(1),
+			step: func(acc float64, t relation.Tuple) float64 { return math.Min(acc, t[i].Float64()) }}
 	}}
 }
 
@@ -107,6 +198,9 @@ func MaxAttr(i int) Aggregator {
 			m = math.Max(m, t[i].Float64())
 		}
 		return m
+	}, stepper: func() Stepper {
+		return &stackStepper{seed: math.Inf(-1), empty: math.Inf(-1),
+			step: func(acc float64, t relation.Tuple) float64 { return math.Max(acc, t[i].Float64()) }}
 	}}
 }
 
@@ -121,27 +215,49 @@ func AvgAttr(i int) Aggregator {
 			s += t[i].Float64()
 		}
 		return s / float64(p.Len())
+	}, stepper: func() Stepper {
+		return &stackStepper{
+			step:   func(acc float64, t relation.Tuple) float64 { return acc + t[i].Float64() },
+			finish: func(acc float64, n int) float64 { return acc / float64(n) }}
 	}}
 }
 
 // WeightedSum returns Σ_i weights[i] · Σ_items attr_i, a multi-attribute
 // utility in the spirit of the airfare/duration weighting of Example 1.1.
+// Attributes are folded in ascending index order, so equal packages always
+// get bitwise-equal ratings regardless of map iteration order.
 func WeightedSum(weights map[int]float64) Aggregator {
+	attrs := make([]int, 0, len(weights))
+	for i := range weights {
+		attrs = append(attrs, i)
+	}
+	sort.Ints(attrs)
+	fold := func(acc float64, t relation.Tuple) float64 {
+		for _, i := range attrs {
+			acc += weights[i] * t[i].Float64()
+		}
+		return acc
+	}
 	return Aggregator{name: "weighted", fn: func(p Package) float64 {
 		var s float64
 		for _, t := range p.Tuples() {
-			for i, w := range weights {
-				s += w * t[i].Float64()
-			}
+			s = fold(s, t)
 		}
 		return s
+	}, stepper: func() Stepper {
+		return &stackStepper{step: fold}
 	}}
 }
 
 // ConstAgg returns the constant function v, used pervasively by the
 // reductions.
 func ConstAgg(v float64) Aggregator {
-	return Aggregator{name: "const", mono: true, fn: func(Package) float64 { return v }}
+	return Aggregator{name: "const", mono: true,
+		fn: func(Package) float64 { return v },
+		stepper: func() Stepper {
+			return &stackStepper{seed: v, empty: v,
+				step: func(float64, relation.Tuple) float64 { return v }}
+		}}
 }
 
 // Utility is a per-item rating function f(), the item-recommendation model
@@ -167,5 +283,14 @@ func SingletonVal(f Utility) Aggregator {
 			return math.Inf(-1)
 		}
 		return f(p.Tuples()[0])
+	}, stepper: func() Stepper {
+		return &stackStepper{empty: math.Inf(-1),
+			step: func(_ float64, t relation.Tuple) float64 { return f(t) },
+			finish: func(acc float64, n int) float64 {
+				if n != 1 {
+					return math.Inf(-1)
+				}
+				return acc
+			}}
 	}}
 }

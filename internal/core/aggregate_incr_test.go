@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// stockAggregators returns every stepper-carrying constructor over a
+// three-attribute tuple shape.
+func stockAggregators() map[string]Aggregator {
+	return map[string]Aggregator{
+		"count":      Count(),
+		"countOrInf": CountOrInf(),
+		"sum":        SumAttr(1),
+		"negsum":     NegSumAttr(1),
+		"min":        MinAttr(2),
+		"max":        MaxAttr(2),
+		"avg":        AvgAttr(1),
+		"weighted":   WeightedSum(map[int]float64{0: 0.25, 1: -1.5, 2: 3}),
+		"const":      ConstAgg(7),
+		"singleton":  SingletonVal(UtilityAttr(2)),
+	}
+}
+
+// TestStepperMatchesEval drives each stock stepper through random LIFO
+// push/pop walks over float-valued tuples in canonical order and demands
+// bitwise equality with a full Eval of the materialised package at every
+// step — the contract the incremental engine relies on.
+func TestStepperMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tuples := make([]relation.Tuple, 12)
+	for i := range tuples {
+		tuples[i] = relation.NewTuple(
+			relation.Float(rng.NormFloat64()*10),
+			relation.Float(rng.NormFloat64()*3),
+			relation.Float(float64(rng.Intn(100))/7))
+	}
+	// Canonical order, as Candidates guarantees.
+	for i := 0; i < len(tuples); i++ {
+		for j := i + 1; j < len(tuples); j++ {
+			if tuples[j].Compare(tuples[i]) < 0 {
+				tuples[i], tuples[j] = tuples[j], tuples[i]
+			}
+		}
+	}
+	for name, agg := range stockAggregators() {
+		st := agg.NewStepper()
+		if st == nil {
+			t.Fatalf("%s: stock aggregator without a stepper", name)
+		}
+		check := func(path []relation.Tuple) {
+			t.Helper()
+			got := st.Value()
+			want := agg.Eval(NewPackage(path...))
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("%s: path %v: stepper %v, eval %v", name, path, got, want)
+			}
+		}
+		var path []relation.Tuple
+		check(path)
+		for walk := 0; walk < 200; walk++ {
+			if len(path) == 0 || (rng.Intn(2) == 0 && len(path) < len(tuples)) {
+				// Push a tuple after the current path tail (canonical order).
+				lo := 0
+				if len(path) > 0 {
+					last := path[len(path)-1]
+					for lo < len(tuples) && tuples[lo].Compare(last) <= 0 {
+						lo++
+					}
+				}
+				if lo >= len(tuples) {
+					continue
+				}
+				next := tuples[lo+rng.Intn(len(tuples)-lo)]
+				path = append(path, next)
+				st.Push(next)
+			} else {
+				path = path[:len(path)-1]
+				st.Pop()
+			}
+			check(path)
+		}
+	}
+}
+
+// TestWeightedSumDeterministic asserts the satellite fix: equal packages get
+// bitwise-equal ratings however the weights map iterates.
+func TestWeightedSumDeterministic(t *testing.T) {
+	weights := map[int]float64{0: 0.1, 1: 0.3, 2: 0.7, 3: -0.2, 4: 1.9, 5: 0.05, 6: -3.3}
+	pkg := NewPackage(
+		relation.NewTuple(relation.Float(1.1), relation.Float(2.2), relation.Float(3.3),
+			relation.Float(4.4), relation.Float(5.5), relation.Float(6.6), relation.Float(7.7)),
+		relation.NewTuple(relation.Float(0.12), relation.Float(9.8), relation.Float(7.6),
+			relation.Float(5.4), relation.Float(3.2), relation.Float(1.0), relation.Float(0.9)))
+	want := WeightedSum(weights).Eval(pkg)
+	for trial := 0; trial < 50; trial++ {
+		// Rebuild the map so Go's randomised iteration order varies.
+		w := make(map[int]float64, len(weights))
+		for k, v := range weights {
+			w[k] = v
+		}
+		if got := WeightedSum(w).Eval(pkg); got != want {
+			t.Fatalf("trial %d: WeightedSum depends on map order: %v vs %v", trial, got, want)
+		}
+	}
+}
+
+// TestFuncAggregatorHasNoStepper pins the fallback contract: arbitrary
+// aggregators report no stepper and the engine recomputes.
+func TestFuncAggregatorHasNoStepper(t *testing.T) {
+	a := Func("custom", func(p Package) float64 { return float64(p.Len() * 2) })
+	if a.NewStepper() != nil {
+		t.Fatal("Func aggregator unexpectedly has a stepper")
+	}
+	withSt := a.WithStepper(func() Stepper {
+		return &stackStepper{step: func(acc float64, _ relation.Tuple) float64 { return acc + 2 }}
+	})
+	st := withSt.NewStepper()
+	if st == nil {
+		t.Fatal("WithStepper did not attach a stepper")
+	}
+	st.Push(relation.NewTuple(relation.Int(1)))
+	if st.Value() != 2 {
+		t.Fatalf("attached stepper value = %v, want 2", st.Value())
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// This file is the shared enumeration engine behind every exhaustive solver
+// in the package: a subset-DFS over the candidate list Q(D) with incremental
+// per-node evaluation (dfsPath), factored so that the serial entry point
+// (Problem.enumerateValidPath) and the parallel one (Problem.runParallel)
+// walk byte-for-byte the same tree. The parallel scheduler splits the DFS
+// forest at the first level — one subtree per smallest candidate index — and
+// distributes subtrees over a worker pool, with cooperative cancellation so
+// an early answer (a witness, the k-th valid package) or a context
+// cancellation stops all workers.
+
+// dfsPath is the mutable state of one depth-first walk: the tuples on the
+// current path in canonical order, the incrementally maintained package key,
+// and incremental cost/val aggregator state. Candidates are pushed in
+// canonical tuple order (Candidates sorts the list), so materialised
+// packages need no re-sorting and the steppers fold floating-point
+// operations in exactly the order a full Eval would — per-node cost/val drop
+// from O(|N|) recomputes to O(1) without changing a single bit of output.
+// A dfsPath belongs to one goroutine.
+type dfsPath struct {
+	tuples  []relation.Tuple
+	keyBuf  []byte
+	keyLens []int
+	costAgg Aggregator
+	valAgg  Aggregator
+	costSt  Stepper // nil → recompute via costAgg.Eval
+	valSt   Stepper // nil → recompute via valAgg.Eval
+}
+
+func newDFSPath(p *Problem) *dfsPath {
+	return &dfsPath{
+		costAgg: p.Cost, valAgg: p.Val,
+		costSt: p.Cost.NewStepper(), valSt: p.Val.NewStepper(),
+	}
+}
+
+// push extends the path by one tuple (which must follow the current tuples
+// in canonical order).
+func (d *dfsPath) push(t relation.Tuple) {
+	d.tuples = append(d.tuples, t)
+	d.keyLens = append(d.keyLens, len(d.keyBuf))
+	d.keyBuf = append(d.keyBuf, t.Key()...)
+	d.keyBuf = append(d.keyBuf, ';')
+	if d.costSt != nil {
+		d.costSt.Push(t)
+	}
+	if d.valSt != nil {
+		d.valSt.Push(t)
+	}
+}
+
+// pop removes the most recently pushed tuple.
+func (d *dfsPath) pop() {
+	n := len(d.tuples) - 1
+	d.keyBuf = d.keyBuf[:d.keyLens[n]]
+	d.keyLens = d.keyLens[:n]
+	d.tuples = d.tuples[:n]
+	if d.costSt != nil {
+		d.costSt.Pop()
+	}
+	if d.valSt != nil {
+		d.valSt.Pop()
+	}
+}
+
+func (d *dfsPath) len() int { return len(d.tuples) }
+
+// pkg materialises the current path as a Package. The path is already in
+// canonical order with the key precomputed, so this is a plain copy —
+// NewPackage's sort and dedup are skipped.
+func (d *dfsPath) pkg() Package {
+	ts := make([]relation.Tuple, len(d.tuples))
+	copy(ts, d.tuples)
+	return Package{tuples: ts, key: string(d.keyBuf)}
+}
+
+// cost returns cost(pkg) for the package at the current path.
+func (d *dfsPath) cost(pkg Package) float64 {
+	if d.costSt != nil {
+		return d.costSt.Value()
+	}
+	return d.costAgg.Eval(pkg)
+}
+
+// val returns val(pkg) for the package at the current path.
+func (d *dfsPath) val(pkg Package) float64 {
+	if d.valSt != nil {
+		return d.valSt.Value()
+	}
+	return d.valAgg.Eval(pkg)
+}
+
+// stepPair bundles nil-guarded cost/val steppers for walks that cannot use
+// a full dfsPath because their push order is not canonical — the oracle
+// walk of existsValidAboveExt seeds it with a base package and then pushes
+// candidates around it. Unlike dfsPath it materialises no packages; cost
+// and val fall back to a full Eval of the supplied package when the
+// aggregator has no stepper.
+type stepPair struct {
+	costAgg Aggregator
+	valAgg  Aggregator
+	costSt  Stepper
+	valSt   Stepper
+}
+
+func newStepPair(p *Problem, seed Package) stepPair {
+	s := stepPair{
+		costAgg: p.Cost, valAgg: p.Val,
+		costSt: p.Cost.NewStepper(), valSt: p.Val.NewStepper(),
+	}
+	for _, t := range seed.Tuples() {
+		s.push(t)
+	}
+	return s
+}
+
+func (s stepPair) push(t relation.Tuple) {
+	if s.costSt != nil {
+		s.costSt.Push(t)
+	}
+	if s.valSt != nil {
+		s.valSt.Push(t)
+	}
+}
+
+func (s stepPair) pop() {
+	if s.costSt != nil {
+		s.costSt.Pop()
+	}
+	if s.valSt != nil {
+		s.valSt.Pop()
+	}
+}
+
+func (s stepPair) cost(pkg Package) float64 {
+	if s.costSt != nil {
+		return s.costSt.Value()
+	}
+	return s.costAgg.Eval(pkg)
+}
+
+func (s stepPair) val(pkg Package) float64 {
+	if s.valSt != nil {
+		return s.valSt.Value()
+	}
+	return s.valAgg.Eval(pkg)
+}
+
+// pathYield receives each valid package together with the path state, whose
+// val method gives the package's rating in O(1). Returning false stops the
+// enumeration (in the parallel engine: all workers).
+type pathYield func(pkg Package, path *dfsPath) (bool, error)
+
+// walkSubtree enumerates the valid packages whose smallest candidate index
+// is root, in canonical DFS order, mirroring the validity and pruning rules
+// of EnumerateValid: the Prune hint cuts hereditarily-invalid branches,
+// over-budget packages are skipped (and their supersets too when cost is
+// monotone), and compatible within-budget packages are yielded. stop is the
+// engine-wide cancellation flag; path must be empty on entry and is empty
+// again on return.
+func (p *Problem) walkSubtree(path *dfsPath, root, maxSize int, yield pathYield, stop *atomic.Bool) (bool, error) {
+	cands := p.candList
+	visit := func() (descend, cont bool, err error) {
+		pkg := path.pkg()
+		if p.Prune != nil && p.Prune(pkg) {
+			return false, true, nil
+		}
+		if path.cost(pkg) <= p.Budget {
+			ok, err := p.Compatible(pkg)
+			if err != nil {
+				return false, false, err
+			}
+			if ok {
+				c, err := yield(pkg, path)
+				if err != nil || !c {
+					return false, c, err
+				}
+			}
+			return true, true, nil
+		}
+		if p.Cost.Monotone() {
+			// Supersets can only cost more: skip the whole branch.
+			return false, true, nil
+		}
+		return true, true, nil
+	}
+	var walk func(start int) (bool, error)
+	walk = func(start int) (bool, error) {
+		if path.len() >= maxSize {
+			return true, nil
+		}
+		for i := start; i < len(cands); i++ {
+			if stop.Load() {
+				return false, nil
+			}
+			path.push(cands[i])
+			descend, cont, err := visit()
+			if err == nil && cont && descend {
+				cont, err = walk(i + 1)
+			}
+			path.pop()
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	if stop.Load() {
+		return false, nil
+	}
+	path.push(cands[root])
+	defer path.pop()
+	descend, cont, err := visit()
+	if err != nil || !cont {
+		return cont, err
+	}
+	if descend {
+		return walk(root + 1)
+	}
+	return true, nil
+}
+
+// enumerateValidPath is the serial engine entry point: it enumerates every
+// valid non-empty package in canonical DFS order with incremental cost/val
+// evaluation. EnumerateValid and the solvers in solve.go are built on it.
+func (p *Problem) enumerateValidPath(yield pathYield) error {
+	if _, err := p.Candidates(); err != nil {
+		return err
+	}
+	ms, err := p.maxSize()
+	if err != nil {
+		return err
+	}
+	if ms < 1 {
+		return nil
+	}
+	path := newDFSPath(p)
+	var stop atomic.Bool
+	for root := range p.candList {
+		cont, err := p.walkSubtree(path, root, ms, yield, &stop)
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+// normWorkers resolves the worker-count convention shared by all parallel
+// solvers: non-positive means GOMAXPROCS.
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// runParallel is the shared root-splitting scheduler. The DFS forest is
+// split at the first level and the subtree roots distributed over workers
+// through a channel buffered to the full candidate list, so the feed never
+// blocks even when every worker bails out early. Each worker walks its
+// subtrees with a private dfsPath (steppers are single-goroutine) and its
+// own yield from makeYield; a yield returning false, an error, or a context
+// cancellation sets the stop flag, which all walks poll per node.
+//
+// makeYield(w) is called once per worker w ∈ [0, workers); yields on
+// distinct workers run concurrently, so they must only touch per-worker or
+// synchronised state. The Problem's aggregators, queries and hints must be
+// safe for concurrent reads — all stock constructors are. Workers is
+// normalised via normWorkers by the public wrappers before the call.
+func (p *Problem) runParallel(ctx context.Context, workers int, makeYield func(w int) pathYield) error {
+	if _, err := p.Candidates(); err != nil {
+		return err
+	}
+	ms, err := p.maxSize()
+	if err != nil {
+		return err
+	}
+	if ms < 1 || len(p.candList) == 0 {
+		return ctx.Err()
+	}
+	roots := make(chan int, len(p.candList))
+	for i := range p.candList {
+		roots <- i
+	}
+	close(roots)
+
+	var stop atomic.Bool
+	finished := make(chan struct{})
+	defer close(finished)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				stop.Store(true)
+			case <-finished:
+			}
+		}()
+	}
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			yield := makeYield(w)
+			path := newDFSPath(p)
+			for root := range roots {
+				if stop.Load() {
+					return
+				}
+				cont, err := p.walkSubtree(path, root, ms, yield, &stop)
+				if err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+				if !cont {
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return ctx.Err()
+}

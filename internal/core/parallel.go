@@ -1,122 +1,163 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
-	"repro/internal/relation"
+	"context"
+	"sort"
+	"sync/atomic"
 )
 
-// CountValidParallel solves CPP with a worker pool: the subset-enumeration
-// forest is split at the first level (one tree per smallest candidate
-// index) and the trees are counted concurrently. Counting is
-// order-independent, so the result is identical to CountValid; workers
-// default to GOMAXPROCS. Aggregators, the compatibility query and the
-// Prune hint must be safe for concurrent use — all stock constructors are
-// (they close over immutable state), and Qc evaluation builds a private
-// overlay per call.
+// This file holds the public parallel solvers, all thin clients of the
+// root-splitting scheduler in engine.go (Problem.runParallel). The
+// subset-enumeration forest is split at the first level — one subtree per
+// smallest candidate index — and the subtrees are walked concurrently, each
+// worker carrying its own incremental path state. Aggregators, the
+// compatibility query and the Prune hint must be safe for concurrent use —
+// all stock constructors are (they close over immutable state), and Qc
+// evaluation builds a private overlay per call.
+//
+// Every solver has a context-taking variant for early cancellation; the
+// plain forms use context.Background(). Workers ≤ 0 defaults to GOMAXPROCS.
+
+// paddedCount is a per-worker counter padded to a cache line so hot
+// concurrent counting does not false-share.
+type paddedCount struct {
+	n int64
+	_ [56]byte
+}
+
+// CountValidParallel solves CPP with the parallel engine. Counting is
+// order-independent, so the result is identical to CountValid.
 func (p *Problem) CountValidParallel(bound float64, workers int) (int64, error) {
-	if _, err := p.Candidates(); err != nil {
-		return 0, err
-	}
-	ms, err := p.maxSize()
+	return p.CountValidParallelCtx(context.Background(), bound, workers)
+}
+
+// CountValidParallelCtx is CountValidParallel with cancellation.
+func (p *Problem) CountValidParallelCtx(ctx context.Context, bound float64, workers int) (int64, error) {
+	workers = normWorkers(workers)
+	counts := make([]paddedCount, workers)
+	err := p.runParallel(ctx, workers, func(w int) pathYield {
+		return func(pkg Package, path *dfsPath) (bool, error) {
+			if path.val(pkg) >= bound {
+				counts[w].n++
+			}
+			return true, nil
+		}
+	})
 	if err != nil {
 		return 0, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	cands := p.candList
-	roots := make(chan int)
-	var wg sync.WaitGroup
-	counts := make([]int64, workers)
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for root := range roots {
-				n, err := p.countSubtree(root, cands, ms, bound)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				counts[w] += n
-			}
-		}(w)
-	}
-	for i := range cands {
-		roots <- i
-	}
-	close(roots)
-	wg.Wait()
 	var total int64
-	for _, c := range counts {
-		total += c
-	}
-	for _, err := range errs {
-		if err != nil {
-			return 0, err
-		}
+	for i := range counts {
+		total += counts[i].n
 	}
 	return total, nil
 }
 
-// countSubtree counts the valid packages whose smallest candidate index is
-// root, mirroring EnumerateValid's pruning (monotone cost, Prune hint).
-func (p *Problem) countSubtree(root int, cands []relation.Tuple, maxSize int, bound float64) (int64, error) {
-	var total int64
-	current := []relation.Tuple{cands[root]}
-	var walk func(pkg Package, start int) error
-	visit := func(pkg Package) (descend bool, err error) {
-		if p.Prune != nil && p.Prune(pkg) {
-			return false, nil
+// FindTopKParallel solves FRP with the parallel engine: each worker keeps a
+// private top-k buffer over its subtrees and the buffers are merged under
+// FindTopK's deterministic order (descending rating, ties by ascending
+// package key) once all workers finish. The order is strict and total on
+// distinct packages, so the merged selection is identical to the serial
+// FindTopK answer.
+func (p *Problem) FindTopKParallel(workers int) (sel []Package, ok bool, err error) {
+	return p.FindTopKParallelCtx(context.Background(), workers)
+}
+
+// FindTopKParallelCtx is FindTopKParallel with cancellation.
+func (p *Problem) FindTopKParallelCtx(ctx context.Context, workers int) (sel []Package, ok bool, err error) {
+	workers = normWorkers(workers)
+	bufs := make([]topkBuf, workers)
+	err = p.runParallel(ctx, workers, func(w int) pathYield {
+		bufs[w].k = p.K
+		return func(pkg Package, path *dfsPath) (bool, error) {
+			bufs[w].add(scoredPkg{pkg: pkg, val: path.val(pkg)})
+			return true, nil
 		}
-		cost := p.Cost.Eval(pkg)
-		if cost <= p.Budget {
-			ok, err := p.Compatible(pkg)
-			if err != nil {
-				return false, err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	var all []scoredPkg
+	for i := range bufs {
+		all = append(all, bufs[i].best...)
+	}
+	// Deterministic merge: each worker's buffer holds at least its subtrees'
+	// contribution to the global top-k, so sorting the union and cutting at
+	// k reproduces the serial selection exactly.
+	sort.Slice(all, func(i, j int) bool { return worseScored(all[j], all[i]) })
+	if len(all) < p.K {
+		return nil, false, nil
+	}
+	merged := topkBuf{k: p.K, best: all[:p.K]}
+	return merged.packages(), true, nil
+}
+
+// DecideTopKParallel solves RPP with the parallel engine: the membership
+// checks on sel run serially (they are |sel| cheap validations), then the
+// condition (5) witness search fans out over the enumeration forest with
+// early cancellation — the first worker to find a valid outside package
+// rating above the selection's minimum stops all others. The decision is
+// identical to DecideTopK's; when the answer is no with a witness, which
+// witness is returned depends on worker timing (any of them proves the
+// selection suboptimal).
+func (p *Problem) DecideTopKParallel(sel []Package, workers int) (ok bool, witness *Package, err error) {
+	return p.DecideTopKParallelCtx(context.Background(), sel, workers)
+}
+
+// DecideTopKParallelCtx is DecideTopKParallel with cancellation.
+func (p *Problem) DecideTopKParallelCtx(ctx context.Context, sel []Package, workers int) (ok bool, witness *Package, err error) {
+	seen, minVal, ok, err := p.checkSelection(sel)
+	if err != nil || !ok {
+		return false, nil, err
+	}
+	workers = normWorkers(workers)
+	found := make([]*Package, workers)
+	err = p.runParallel(ctx, workers, func(w int) pathYield {
+		return func(pkg Package, path *dfsPath) (bool, error) {
+			if _, inSel := seen[pkg.Key()]; inSel {
+				return true, nil
 			}
-			if ok && p.Val.Eval(pkg) >= bound {
-				total++
+			if path.val(pkg) > minVal {
+				found[w] = &pkg
+				return false, nil
 			}
-		} else if p.Cost.Monotone() {
-			return false, nil
+			return true, nil
 		}
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	for _, f := range found {
+		if f != nil {
+			return false, f, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// ExistsKValidParallel is the parallel form of ExistsKValid: workers count
+// qualifying packages into a shared tally and the search cancels as soon as
+// the k-th one is found anywhere in the forest.
+func (p *Problem) ExistsKValidParallel(k int, bound float64, workers int) (bool, error) {
+	return p.ExistsKValidParallelCtx(context.Background(), k, bound, workers)
+}
+
+// ExistsKValidParallelCtx is ExistsKValidParallel with cancellation.
+func (p *Problem) ExistsKValidParallelCtx(ctx context.Context, k int, bound float64, workers int) (bool, error) {
+	if k <= 0 {
 		return true, nil
 	}
-	walk = func(pkg Package, start int) error {
-		if pkg.Len() >= maxSize {
-			return nil
-		}
-		for i := start; i < len(cands); i++ {
-			current = append(current, cands[i])
-			next := NewPackage(current...)
-			descend, err := visit(next)
-			if err != nil {
-				current = current[:len(current)-1]
-				return err
+	var found atomic.Int64
+	err := p.runParallel(ctx, normWorkers(workers), func(int) pathYield {
+		return func(pkg Package, path *dfsPath) (bool, error) {
+			if path.val(pkg) >= bound && found.Add(1) >= int64(k) {
+				return false, nil // the k-th hit cancels all workers
 			}
-			if descend {
-				if err := walk(next, i+1); err != nil {
-					current = current[:len(current)-1]
-					return err
-				}
-			}
-			current = current[:len(current)-1]
+			return true, nil
 		}
-		return nil
-	}
-	rootPkg := NewPackage(cands[root])
-	descend, err := visit(rootPkg)
+	})
 	if err != nil {
-		return 0, err
+		return false, err
 	}
-	if descend {
-		if err := walk(rootPkg, root+1); err != nil {
-			return 0, err
-		}
-	}
-	return total, nil
+	return found.Load() >= int64(k), nil
 }

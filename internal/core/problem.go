@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -63,7 +64,9 @@ func (p *Problem) Validate() error {
 }
 
 // Candidates returns Q(D), memoised. Its tuples are the items packages are
-// built from.
+// built from; the memoised list is kept in canonical tuple order, the
+// invariant that lets the enumeration engine materialise packages and fold
+// aggregator state without re-sorting.
 func (p *Problem) Candidates() (*relation.Relation, error) {
 	if p.candidates == nil {
 		r, err := p.Q.Eval(p.DB)
@@ -71,7 +74,9 @@ func (p *Problem) Candidates() (*relation.Relation, error) {
 			return nil, err
 		}
 		p.candidates = r
-		p.candList = r.Tuples()
+		ts := append([]relation.Tuple(nil), r.Tuples()...)
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+		p.candList = ts
 	}
 	return p.candidates, nil
 }
@@ -168,63 +173,15 @@ func (p *Problem) ValidAbove(pkg Package, bound float64) (bool, error) {
 // deterministic order, invoking yield for each; yield returning false stops
 // the enumeration. The search walks subsets of Q(D) depth-first in
 // canonical tuple order, pruning over-budget branches when the cost
-// aggregator is monotone. This is the deterministic simulation of the
-// paper's oracle machines; its worst case is exponential in |Q(D)|, as the
-// complexity results require.
+// aggregator is monotone; cost is evaluated incrementally along the DFS
+// path when the cost aggregator provides a Stepper (all stock constructors
+// do). This is the deterministic simulation of the paper's oracle machines;
+// its worst case is exponential in |Q(D)|, as the complexity results
+// require.
 func (p *Problem) EnumerateValid(yield func(Package) (bool, error)) error {
-	if _, err := p.Candidates(); err != nil {
-		return err
-	}
-	ms, err := p.maxSize()
-	if err != nil {
-		return err
-	}
-	cands := p.candList
-	current := make([]relation.Tuple, 0, ms)
-	var walk func(start int) (bool, error)
-	walk = func(start int) (bool, error) {
-		if len(current) >= ms {
-			return true, nil
-		}
-		for i := start; i < len(cands); i++ {
-			current = append(current, cands[i])
-			pkg := NewPackage(current...)
-			if p.Prune != nil && p.Prune(pkg) {
-				current = current[:len(current)-1]
-				continue
-			}
-			cost := p.Cost.Eval(pkg)
-			prune := false
-			if cost <= p.Budget {
-				ok, err := p.Compatible(pkg)
-				if err != nil {
-					current = current[:len(current)-1]
-					return false, err
-				}
-				if ok {
-					cont, err := yield(pkg)
-					if err != nil || !cont {
-						current = current[:len(current)-1]
-						return cont, err
-					}
-				}
-			} else if p.Cost.Monotone() {
-				// Supersets can only cost more: skip the whole branch.
-				prune = true
-			}
-			if !prune {
-				cont, err := walk(i + 1)
-				if err != nil || !cont {
-					current = current[:len(current)-1]
-					return cont, err
-				}
-			}
-			current = current[:len(current)-1]
-		}
-		return true, nil
-	}
-	_, err = walk(0)
-	return err
+	return p.enumerateValidPath(func(pkg Package, _ *dfsPath) (bool, error) {
+		return yield(pkg)
+	})
 }
 
 // ExistsKValid reports whether k pairwise-distinct valid packages rated at
@@ -235,8 +192,8 @@ func (p *Problem) ExistsKValid(k int, bound float64) (bool, error) {
 		return true, nil
 	}
 	found := 0
-	err := p.EnumerateValid(func(pkg Package) (bool, error) {
-		if p.Val.Eval(pkg) >= bound {
+	err := p.enumerateValidPath(func(pkg Package, path *dfsPath) (bool, error) {
+		if path.val(pkg) >= bound {
 			found++
 			if found >= k {
 				return false, nil

@@ -5,39 +5,51 @@ import (
 	"math"
 )
 
+// checkSelection verifies the membership conditions of a top-k package
+// selection — k packages (size), pairwise distinct (condition (6)), each
+// valid (conditions (1)–(4)) — and returns the member key set plus the
+// minimum rating among members. ok is false when any condition fails; both
+// RPP deciders share it so the acceptance rules cannot drift apart.
+func (p *Problem) checkSelection(sel []Package) (seen map[string]struct{}, minVal float64, ok bool, err error) {
+	if len(sel) != p.K {
+		return nil, 0, false, nil
+	}
+	seen = make(map[string]struct{}, len(sel))
+	minVal = math.Inf(1)
+	for _, n := range sel {
+		if _, dup := seen[n.Key()]; dup {
+			return nil, 0, false, nil // condition (6): pairwise distinct
+		}
+		seen[n.Key()] = struct{}{}
+		valid, err := p.Valid(n)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if !valid {
+			return nil, 0, false, nil // conditions (1)–(4)
+		}
+		minVal = math.Min(minVal, p.Val.Eval(n))
+	}
+	return seen, minVal, true, nil
+}
+
 // DecideTopK decides RPP: whether sel is a top-k package selection for the
 // problem. When the answer is no, witness explains why — either a member
 // fails validity/distinctness (witness nil) or a valid package outside sel
 // out-rates some member (witness set to it).
 func (p *Problem) DecideTopK(sel []Package) (ok bool, witness *Package, err error) {
-	if len(sel) != p.K {
-		return false, nil, nil
-	}
-	seen := make(map[string]struct{}, len(sel))
-	minVal := math.Inf(1)
-	for _, n := range sel {
-		if _, dup := seen[n.Key()]; dup {
-			return false, nil, nil // condition (6): pairwise distinct
-		}
-		seen[n.Key()] = struct{}{}
-		valid, err := p.Valid(n)
-		if err != nil {
-			return false, nil, err
-		}
-		if !valid {
-			return false, nil, nil // conditions (1)–(4)
-		}
-		minVal = math.Min(minVal, p.Val.Eval(n))
+	seen, minVal, ok, err := p.checkSelection(sel)
+	if err != nil || !ok {
+		return false, nil, err
 	}
 	// Condition (5): no valid package outside sel rates above any member.
 	var found *Package
-	err = p.EnumerateValid(func(n Package) (bool, error) {
+	err = p.enumerateValidPath(func(n Package, path *dfsPath) (bool, error) {
 		if _, inSel := seen[n.Key()]; inSel {
 			return true, nil
 		}
-		if p.Val.Eval(n) > minVal {
-			cp := n
-			found = &cp
+		if path.val(n) > minVal {
+			found = &n
 			return false, nil
 		}
 		return true, nil
@@ -51,50 +63,72 @@ func (p *Problem) DecideTopK(sel []Package) (ok bool, witness *Package, err erro
 	return true, nil, nil
 }
 
+// scoredPkg pairs a package with its rating inside the top-k machinery.
+type scoredPkg struct {
+	pkg Package
+	val float64
+}
+
+// worseScored reports whether a ranks strictly below b under FindTopK's
+// deterministic order: descending rating, ties broken by ascending
+// canonical package key. It is a strict total order on distinct packages,
+// which is what makes the parallel merge reproduce the serial answer.
+func worseScored(a, b scoredPkg) bool {
+	if a.val != b.val {
+		return a.val < b.val
+	}
+	return a.pkg.Key() > b.pkg.Key()
+}
+
+// topkBuf keeps the k best packages seen so far under worseScored; k is
+// small, so linear insertion beats a heap. The serial FindTopK feeds one
+// buffer; the parallel variant feeds one per worker and merges.
+type topkBuf struct {
+	k    int
+	best []scoredPkg
+}
+
+func (b *topkBuf) add(s scoredPkg) {
+	pos := len(b.best)
+	for pos > 0 && worseScored(b.best[pos-1], s) {
+		pos--
+	}
+	if pos >= b.k {
+		return
+	}
+	b.best = append(b.best, scoredPkg{})
+	copy(b.best[pos+1:], b.best[pos:])
+	b.best[pos] = s
+	if len(b.best) > b.k {
+		b.best = b.best[:b.k]
+	}
+}
+
+// packages extracts the buffered selection in rank order.
+func (b *topkBuf) packages() []Package {
+	sel := make([]Package, len(b.best))
+	for i, s := range b.best {
+		sel[i] = s.pkg
+	}
+	return sel
+}
+
 // FindTopK solves FRP by exhaustive enumeration: it returns a top-k package
 // selection ordered by descending rating (ties broken by canonical package
 // key), or ok = false when fewer than k distinct valid packages exist.
 func (p *Problem) FindTopK() (sel []Package, ok bool, err error) {
-	type scored struct {
-		pkg Package
-		val float64
-	}
-	var best []scored
-	worse := func(a, b scored) bool { // a strictly worse than b
-		if a.val != b.val {
-			return a.val < b.val
-		}
-		return a.pkg.Key() > b.pkg.Key()
-	}
-	err = p.EnumerateValid(func(n Package) (bool, error) {
-		s := scored{pkg: n, val: p.Val.Eval(n)}
-		// Insert into the top-k buffer (k is small; linear insertion).
-		pos := len(best)
-		for pos > 0 && worse(best[pos-1], s) {
-			pos--
-		}
-		if pos >= p.K {
-			return true, nil
-		}
-		best = append(best, scored{})
-		copy(best[pos+1:], best[pos:])
-		best[pos] = s
-		if len(best) > p.K {
-			best = best[:p.K]
-		}
+	buf := topkBuf{k: p.K}
+	err = p.enumerateValidPath(func(n Package, path *dfsPath) (bool, error) {
+		buf.add(scoredPkg{pkg: n, val: path.val(n)})
 		return true, nil
 	})
 	if err != nil {
 		return nil, false, err
 	}
-	if len(best) < p.K {
+	if len(buf.best) < p.K {
 		return nil, false, nil
 	}
-	sel = make([]Package, len(best))
-	for i, s := range best {
-		sel[i] = s.pkg
-	}
-	return sel, true, nil
+	return buf.packages(), true, nil
 }
 
 // MaxBound solves the optimisation core of MBP: the maximum B such that a
@@ -126,8 +160,8 @@ func (p *Problem) IsMaxBound(b float64) (bool, error) {
 // CountValid solves CPP: the number of valid packages rated at least B.
 func (p *Problem) CountValid(bound float64) (int64, error) {
 	var n int64
-	err := p.EnumerateValid(func(pkg Package) (bool, error) {
-		if p.Val.Eval(pkg) >= bound {
+	err := p.enumerateValidPath(func(pkg Package, path *dfsPath) (bool, error) {
+		if path.val(pkg) >= bound {
 			n++
 		}
 		return true, nil
@@ -140,7 +174,8 @@ func (p *Problem) CountValid(bound float64) (int64, error) {
 // N ⊇ base? The deterministic simulation is a bounded exhaustive search
 // over supersets of base.
 func (p *Problem) existsValidAboveExt(bound float64, excl map[string]struct{}, base Package) (bool, error) {
-	if _, err := p.Candidates(); err != nil {
+	cands, err := p.Candidates()
+	if err != nil {
 		return false, err
 	}
 	ms, err := p.maxSize()
@@ -152,6 +187,37 @@ func (p *Problem) existsValidAboveExt(bound float64, excl map[string]struct{}, b
 		if ok, err := p.checkOracleHit(base, bound, excl); err != nil || ok {
 			return ok, err
 		}
+	}
+	// Every package the walk builds is a strict superset of base, so none
+	// can be valid if base already fills the size bound or strays outside
+	// the candidate set — Valid would reject them all.
+	if base.Len() >= ms {
+		return false, nil
+	}
+	for _, t := range base.Tuples() {
+		if !cands.Contains(t) {
+			return false, nil
+		}
+	}
+	// Cost and val are maintained incrementally along the walk: the steppers
+	// are seeded with base, then pushed/popped in DFS order. The walk never
+	// leaves the candidate set or the size bound, so a node is a hit iff it
+	// is fresh, within budget, compatible and rated at least bound. (With
+	// base non-empty the fold order differs from the canonical one, which is
+	// exact for the integer-valued aggregators FindTopKViaOracle requires.)
+	steps := newStepPair(p, base)
+	hitIncr := func(next Package, cost float64) (bool, error) {
+		if _, skip := excl[next.Key()]; skip {
+			return false, nil
+		}
+		if cost > p.Budget {
+			return false, nil
+		}
+		ok, err := p.Compatible(next)
+		if err != nil || !ok {
+			return ok, err
+		}
+		return steps.val(next) >= bound, nil
 	}
 	found := false
 	var walk func(start int, cur Package) (bool, error)
@@ -168,19 +234,25 @@ func (p *Problem) existsValidAboveExt(bound float64, excl map[string]struct{}, b
 			if p.Prune != nil && p.Prune(next) {
 				continue
 			}
-			hit, err := p.checkOracleHit(next, bound, excl)
+			steps.push(t)
+			cost := steps.cost(next)
+			hit, err := hitIncr(next, cost)
 			if err != nil {
+				steps.pop()
 				return false, err
 			}
 			if hit {
+				steps.pop()
 				found = true
 				return false, nil
 			}
 			// Monotone-cost pruning, as in EnumerateValid.
-			if p.Cost.Monotone() && p.Cost.Eval(next) > p.Budget {
+			if p.Cost.Monotone() && cost > p.Budget {
+				steps.pop()
 				continue
 			}
 			cont, err := walk(i+1, next)
+			steps.pop()
 			if err != nil || !cont {
 				return cont, err
 			}

@@ -609,6 +609,145 @@ func HardCPPProblem(r int) *core.Problem {
 	return prob
 }
 
+// Sigma1CPPProblem exposes the #Σ1SAT counting family (the Table 8.1 CPP
+// row without Qc) at parameter r, with its counting bound, for the engine
+// benchmarks and the serial/parallel comparison rows.
+func Sigma1CPPProblem(r int) (*core.Problem, float64) {
+	return reductions.CPPFromSigma1(seededCNF(2*r, r+1, int64(600+r)), r, r)
+}
+
+// TravelProblem exposes the fixed-query travel workload (the Table 8.2
+// data-complexity family) for the engine benchmarks.
+func TravelProblem(nPOI int) *core.Problem { return travelProblem(nPOI) }
+
+// EquivCase is one instance used by the serial/parallel equivalence tests
+// and the engine-comparison rows: a fresh problem constructor (memoised
+// candidate caches are per-instance) plus the CPP/ExistsKValid bound.
+type EquivCase struct {
+	Name  string
+	Prob  func() *core.Problem
+	Bound float64
+}
+
+// EquivCases draws one instance from each structurally distinct family the
+// tables exercise: SP reductions with a Prune hint, the Figure 4.1 CQ
+// machinery with and without Qc, the Datalog/FO language families, the
+// realistic travel workload (poly- and constant-bounded), and the item
+// embedding. The parallel engine must agree with the serial one on all of
+// them.
+func EquivCases(quick bool) []EquivCase {
+	r, d := 3, 8
+	travel := 40
+	if quick {
+		r, d = 2, 6
+	}
+	return []EquivCase{
+		{Name: "CPP-3SAT-SP", Prob: func() *core.Problem {
+			prob, _ := reductions.CPPFrom3SAT(seededCNF(r+2, r, int64(840+r)))
+			return prob
+		}, Bound: float64(r)},
+		{Name: "CPP-Sigma1-CQ", Prob: func() *core.Problem {
+			prob, _ := reductions.CPPFromSigma1(seededCNF(2*r, r+1, int64(600+r)), r, r)
+			return prob
+		}, Bound: 1},
+		{Name: "FRP-EFDNF-Qc", Prob: func() *core.Problem {
+			return reductions.CompatFromEFDNF(seededEFDNF(2)).Problem
+		}, Bound: 1},
+		{Name: "DATALOGnr", Prob: func() *core.Problem {
+			return datalogNRProblem(d)
+		}, Bound: 1},
+		{Name: "FO-alternation", Prob: func() *core.Problem {
+			return foProblem(2)
+		}, Bound: 1},
+		{Name: "travel-poly", Prob: func() *core.Problem {
+			p := travelProblem(travel)
+			p.MaxPkgSize = 3
+			return p
+		}, Bound: 0},
+		{Name: "travel-Bp2", Prob: func() *core.Problem {
+			return travelProblem(4 * travel).WithMaxSize(2)
+		}, Bound: 0},
+		{Name: "items", Prob: func() *core.Problem {
+			p := travelProblem(travel)
+			return core.ItemProblem(p.DB, p.Q, core.UtilityNegAttr(2), 3)
+		}, Bound: -100},
+	}
+}
+
+// EngineRows returns the solver-engine comparison rows behind the
+// `recbench -table par` run: the same Table 8.1/8.2 families solved by the
+// seed-style serial engine and by the parallel + incremental engine with
+// the given worker count (0 = GOMAXPROCS).
+func EngineRows(quick bool, workers int) []Family {
+	rs := []int{3, 4, 5}
+	travelSizes := []int{160, 320, 640}
+	if quick {
+		rs = []int{3, 4}
+		travelSizes = []int{160, 320}
+	}
+	cppProb := Sigma1CPPProblem
+	frpProb := func(n int) *core.Problem {
+		return travelProblem(n).WithMaxSize(2)
+	}
+	return []Family{
+		{
+			ID: "PAR-CPP-serial", Problem: "CPP", Language: "CQ/UCQ/∃FO+", Setting: "T81 #Σ1SAT, serial",
+			PaperClass: "#·NP-complete", Params: rs,
+			Run: func(r int) (string, error) {
+				prob, b := cppProb(r)
+				cnt, err := prob.CountValid(b)
+				return note(cnt), err
+			},
+		},
+		{
+			ID: "PAR-CPP-parallel", Problem: "CPP", Language: "CQ/UCQ/∃FO+", Setting: "T81 #Σ1SAT, parallel",
+			PaperClass: "#·NP-complete", Params: rs,
+			Run: func(r int) (string, error) {
+				prob, b := cppProb(r)
+				cnt, err := prob.CountValidParallel(b, workers)
+				return note(cnt), err
+			},
+		},
+		{
+			ID: "PAR-FRP-serial", Problem: "FRP", Language: "fixed Q (CQ)", Setting: "T82 travel Bp=2, serial",
+			PaperClass: "FP", Params: travelSizes,
+			Run: func(n int) (string, error) {
+				_, ok, err := frpProb(n).FindTopK()
+				return note(ok), err
+			},
+		},
+		{
+			ID: "PAR-FRP-parallel", Problem: "FRP", Language: "fixed Q (CQ)", Setting: "T82 travel Bp=2, parallel",
+			PaperClass: "FP", Params: travelSizes,
+			Run: func(n int) (string, error) {
+				_, ok, err := frpProb(n).FindTopKParallel(workers)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "PAR-RPP-parallel", Problem: "RPP", Language: "fixed Q (CQ)", Setting: "witness search, parallel",
+			PaperClass: "PTIME (Bp=2)", Params: travelSizes,
+			Run: func(n int) (string, error) {
+				prob := frpProb(n)
+				sel, ok, err := prob.FindTopKParallel(workers)
+				if err != nil || !ok {
+					return note(ok), err
+				}
+				ok, _, err = prob.DecideTopKParallel(sel, workers)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "PAR-EXISTS-parallel", Problem: "QRPP/ARPP core", Language: "fixed Q (CQ)", Setting: "∃k-valid, parallel",
+			PaperClass: "NP feasibility", Params: travelSizes,
+			Run: func(n int) (string, error) {
+				ok, err := frpProb(n).ExistsKValidParallel(2, -100, workers)
+				return note(ok), err
+			},
+		},
+	}
+}
+
 // travelProblem is the fixed-query data-complexity workload: nyc POI
 // packages over a growing travel database.
 func travelProblem(nPOI int) *core.Problem {

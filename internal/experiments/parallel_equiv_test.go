@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestParallelEnginesMatchSerial is the cross-family equivalence property:
+// on every EquivCases instance, FindTopKParallel, CountValidParallel,
+// DecideTopKParallel and ExistsKValidParallel agree with their serial
+// counterparts for several worker counts. Run with -race in CI to double as
+// a concurrency audit of the shared engine.
+func TestParallelEnginesMatchSerial(t *testing.T) {
+	for _, c := range EquivCases(testing.Short()) {
+		t.Run(c.Name, func(t *testing.T) {
+			p := c.Prob()
+
+			seqCount, err := p.CountValid(c.Bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqSel, seqOK, err := p.FindTopK()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqExists, err := p.ExistsKValid(p.K, c.Bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, workers := range []int{1, 4, 0} {
+				parCount, err := p.CountValidParallel(c.Bound, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parCount != seqCount {
+					t.Fatalf("workers=%d: CountValidParallel %d vs CountValid %d", workers, parCount, seqCount)
+				}
+
+				parSel, parOK, err := p.FindTopKParallel(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parOK != seqOK || len(parSel) != len(seqSel) {
+					t.Fatalf("workers=%d: FindTopKParallel ok=%v n=%d vs serial ok=%v n=%d",
+						workers, parOK, len(parSel), seqOK, len(seqSel))
+				}
+				for i := range seqSel {
+					if !seqSel[i].Equal(parSel[i]) {
+						t.Fatalf("workers=%d: rank %d: %v vs serial %v", workers, i, parSel[i], seqSel[i])
+					}
+				}
+
+				parExists, err := p.ExistsKValidParallel(p.K, c.Bound, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parExists != seqExists {
+					t.Fatalf("workers=%d: ExistsKValidParallel %v vs serial %v", workers, parExists, seqExists)
+				}
+			}
+
+			if !seqOK {
+				return
+			}
+			// RPP on the computed selection: both engines must accept it, and
+			// both must reject it once its best member is dropped for a worse
+			// valid package (when one exists).
+			decideBoth := func(sel []core.Package) {
+				t.Helper()
+				okS, _, err := p.DecideTopK(sel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 4} {
+					okP, wit, err := p.DecideTopKParallel(sel, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if okP != okS {
+						t.Fatalf("workers=%d: DecideTopKParallel %v vs serial %v", workers, okP, okS)
+					}
+					if wit != nil {
+						valid, err := p.Valid(*wit)
+						if err != nil {
+							t.Fatal(err)
+						}
+						min := math.Inf(1)
+						for _, s := range sel {
+							min = math.Min(min, p.Val.Eval(s))
+						}
+						if !valid || p.Val.Eval(*wit) <= min {
+							t.Fatalf("workers=%d: witness %v does not out-rate the selection", workers, *wit)
+						}
+					}
+				}
+			}
+			decideBoth(seqSel)
+			var spare *core.Package
+			err = p.EnumerateValid(func(pkg core.Package) (bool, error) {
+				for _, s := range seqSel {
+					if s.Equal(pkg) {
+						return true, nil
+					}
+				}
+				spare = &pkg
+				return false, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spare != nil && len(seqSel) > 0 {
+				sub := append([]core.Package{}, seqSel[1:]...)
+				sub = append(sub, *spare)
+				decideBoth(sub)
+			}
+		})
+	}
+}

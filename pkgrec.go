@@ -16,6 +16,23 @@
 // Section 2. Queries are built programmatically (repro/internal/query
 // constructors re-exported here) or parsed from text with ParseQuery; see
 // the examples directory for complete programs.
+//
+// # The parallel + incremental engine
+//
+// The exhaustive solvers share one subset-DFS enumeration engine with
+// incremental aggregator evaluation: every stock Aggregator constructor
+// carries a Stepper that folds cost/val along the DFS path in O(1) per node
+// instead of O(|N|) recomputes, bitwise-identically to a full evaluation.
+// The engine also has a root-splitting parallel scheduler behind
+// FindTopKParallel, CountValidParallel, DecideTopKParallel and
+// ExistsKValidParallel (workers ≤ 0 means GOMAXPROCS): the enumeration
+// forest is split at its first level and subtrees are walked concurrently,
+// with early cancellation — a found witness or the k-th qualifying package
+// stops all workers, and the Ctx variants on *Problem accept a
+// context.Context. Parallel results are identical to the serial ones
+// (FindTopK merges per-worker top-k buffers under its deterministic order;
+// counting is order-independent); only the choice of DecideTopK witness can
+// vary, and any returned witness is a genuine counterexample.
 package pkgrec
 
 import (
@@ -49,6 +66,9 @@ type (
 	Problem = core.Problem
 	// Aggregator is a PTIME package function (cost, val).
 	Aggregator = core.Aggregator
+	// Stepper evaluates an aggregator incrementally along a DFS path
+	// (LIFO push/pop of tuples); see Aggregator.NewStepper/WithStepper.
+	Stepper = core.Stepper
 	// Utility rates single items (the f() of item recommendations).
 	Utility = core.Utility
 	// Metric is a distance function from the relaxation set Γ.
@@ -136,10 +156,35 @@ func IsMaxBound(p *Problem, b float64) (bool, error) { return p.IsMaxBound(b) }
 // CountValid solves CPP: the number of valid packages rated at least B.
 func CountValid(p *Problem, b float64) (int64, error) { return p.CountValid(b) }
 
-// CountValidParallel solves CPP with a worker pool (0 workers = GOMAXPROCS);
-// the result equals CountValid.
+// CountValidParallel solves CPP with the parallel engine (0 workers =
+// GOMAXPROCS); the result equals CountValid.
 func CountValidParallel(p *Problem, b float64, workers int) (int64, error) {
 	return p.CountValidParallel(b, workers)
+}
+
+// FindTopKParallel solves FRP with the parallel engine; the selection is
+// identical to FindTopK's. See also (*Problem).FindTopKParallelCtx for
+// cancellation.
+func FindTopKParallel(p *Problem, workers int) ([]Package, bool, error) {
+	return p.FindTopKParallel(workers)
+}
+
+// DecideTopKParallel solves RPP with the parallel engine: the witness
+// search fans out over the enumeration forest and the first counterexample
+// found stops all workers. The decision matches DecideTopK; the particular
+// witness may differ.
+func DecideTopKParallel(p *Problem, sel []Package, workers int) (bool, *Package, error) {
+	return p.DecideTopKParallel(sel, workers)
+}
+
+// ExistsKValid reports whether k distinct valid packages rated at least B
+// exist — the feasibility core of QRPP and ARPP.
+func ExistsKValid(p *Problem, k int, b float64) (bool, error) { return p.ExistsKValid(k, b) }
+
+// ExistsKValidParallel is ExistsKValid on the parallel engine, cancelling
+// all workers as soon as the k-th qualifying package is found.
+func ExistsKValidParallel(p *Problem, k int, b float64, workers int) (bool, error) {
+	return p.ExistsKValidParallel(k, b, workers)
 }
 
 // TopKItems solves the item recommendation problem for (Q, D, f).

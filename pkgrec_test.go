@@ -48,6 +48,54 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeParallelEngine exercises the parallel entry points through the
+// public API and checks they agree with the serial ones.
+func TestFacadeParallelEngine(t *testing.T) {
+	db := facadeDB()
+	q, err := ParseQuery(`RQ(id, price, rating) :- item(id, price, rating).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &Problem{
+		DB: db, Q: q,
+		Cost: SumAttr(1).WithMonotone(), Val: SumAttr(2),
+		Budget: 30, K: 2,
+	}
+	sel, ok, err := FindTopK(prob)
+	if err != nil || !ok {
+		t.Fatalf("FindTopK: ok=%v err=%v", ok, err)
+	}
+	selP, okP, err := FindTopKParallel(prob, 3)
+	if err != nil || okP != ok || len(selP) != len(sel) {
+		t.Fatalf("FindTopKParallel: ok=%v n=%d err=%v", okP, len(selP), err)
+	}
+	for i := range sel {
+		if !sel[i].Equal(selP[i]) {
+			t.Fatalf("rank %d: parallel %v vs serial %v", i, selP[i], sel[i])
+		}
+	}
+	accept, witness, err := DecideTopKParallel(prob, sel, 3)
+	if err != nil || !accept {
+		t.Fatalf("DecideTopKParallel rejected the optimum (witness %v, err %v)", witness, err)
+	}
+	nSeq, err := CountValid(prob, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPar, err := CountValidParallel(prob, 0, 3)
+	if err != nil || nPar != nSeq {
+		t.Fatalf("CountValidParallel = %d, serial %d (err %v)", nPar, nSeq, err)
+	}
+	feas, err := ExistsKValid(prob, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasP, err := ExistsKValidParallel(prob, 2, 0, 3)
+	if err != nil || feasP != feas {
+		t.Fatalf("ExistsKValidParallel = %v, serial %v (err %v)", feasP, feas, err)
+	}
+}
+
 func TestFacadeItems(t *testing.T) {
 	db := facadeDB()
 	q, err := ParseQuery(`RQ(id, price, rating) :- item(id, price, rating).`)
