@@ -1,0 +1,104 @@
+// Command pkgrecd is the package recommendation daemon: it owns named item
+// collections and serves the six problems (RPP, FRP, MBP, CPP, QRPP, ARPP)
+// over JSON-over-HTTP with result caching, request coalescing and a bounded
+// parallel solve pool (internal/serve). See docs/serving.md for the API and
+// a copy-pasteable curl session.
+//
+//	pkgrecd -addr :8080 -load travel=travel.json -load courses=courses.json
+//
+// Collections load from the internal/relation JSON codec (the same files
+// cmd/pkgrec -db takes) and can be added or swapped at runtime with
+// PUT /v1/collections/{name}.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("pkgrecd: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheSize   = flag.Int("cache", 4096, "result cache entries")
+		maxInFlight = flag.Int("max-concurrent", 0, "max solves running at once (0 = GOMAXPROCS)")
+		engWorkers  = flag.Int("workers", 1, "engine workers per solve (requests may override)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default solve deadline (0 = none)")
+		loads       []string
+	)
+	flag.Func("load", "collection to serve, as name=dbfile.json (repeatable)", func(v string) error {
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Options{
+		CacheSize:      *cacheSize,
+		MaxConcurrent:  *maxInFlight,
+		EngineWorkers:  *engWorkers,
+		DefaultTimeout: *timeout,
+	})
+	for _, l := range loads {
+		name, path, ok := strings.Cut(l, "=")
+		if !ok || name == "" || path == "" {
+			log.Fatalf("-load %q: want name=dbfile.json", l)
+		}
+		info, err := loadCollection(srv, name, path)
+		if err != nil {
+			log.Fatalf("loading %q: %v", l, err)
+		}
+		log.Printf("collection %s: %d relations, %d tuples (version %d, fingerprint %s)",
+			info.Name, info.Relations, info.Tuples, info.Version, info.Fingerprint)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("served %d requests (%.0f%% cache hits, %d coalesced, %d errors)",
+		st.Requests, 100*st.HitRate, st.Coalesced, st.Errors)
+}
+
+func loadCollection(srv *serve.Server, name, path string) (serve.CollectionInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return serve.CollectionInfo{}, err
+	}
+	defer f.Close()
+	db, err := relation.ReadJSON(f)
+	if err != nil {
+		return serve.CollectionInfo{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return srv.SetCollection(name, db), nil
+}

@@ -11,7 +11,7 @@
 // Absolute times are machine-dependent; the reproduced signal is the growth
 // shape per row (exponential for the hard settings, polynomial for the
 // constant-bound and item settings), matching the paper's complexity
-// classes. EXPERIMENTS.md records a reference run.
+// classes. BENCHMARKS.md records a reference engine run.
 package main
 
 import (

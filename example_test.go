@@ -1,0 +1,144 @@
+package pkgrec_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	pkgrec "repro"
+)
+
+// shopDB is the tiny deterministic item collection the examples share: a
+// cheese-board shop with four items.
+func shopDB() *pkgrec.Database {
+	items := pkgrec.FromTuples(pkgrec.NewSchema("item", "name", "price", "rating"),
+		pkgrec.NewTuple(pkgrec.Str("brie"), pkgrec.Int(4), pkgrec.Int(3)),
+		pkgrec.NewTuple(pkgrec.Str("cheddar"), pkgrec.Int(3), pkgrec.Int(2)),
+		pkgrec.NewTuple(pkgrec.Str("fig"), pkgrec.Int(2), pkgrec.Int(3)),
+		pkgrec.NewTuple(pkgrec.Str("olive"), pkgrec.Int(1), pkgrec.Int(1)))
+	return pkgrec.NewDatabase().Add(items)
+}
+
+// shopProblem bundles the shared instance: boards of up to two items, cost
+// = total price within a budget of 6, rated by total rating.
+func shopProblem(k int) *pkgrec.Problem {
+	q, err := pkgrec.ParseQuery(`RQ(n, p, r) :- item(n, p, r).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &pkgrec.Problem{
+		DB:         shopDB(),
+		Q:          q,
+		Cost:       pkgrec.SumAttr(1).WithMonotone(),
+		Val:        pkgrec.SumAttr(2),
+		Budget:     6,
+		K:          k,
+		MaxPkgSize: 2,
+	}
+}
+
+// FindTopK solves FRP: the two best cheese boards within budget.
+func ExampleFindTopK() {
+	sel, ok, err := pkgrec.FindTopK(shopProblem(2))
+	if err != nil || !ok {
+		log.Fatal(err, ok)
+	}
+	prob := shopProblem(2)
+	for i, n := range sel {
+		names := make([]string, n.Len())
+		for j, t := range n.Tuples() {
+			names[j] = t[0].Text()
+		}
+		fmt.Printf("#%d val=%g cost=%g %v\n", i+1, prob.Val.Eval(n), prob.Cost.Eval(n), names)
+	}
+	// Output:
+	// #1 val=6 cost=6 [brie fig]
+	// #2 val=5 cost=5 [cheddar fig]
+}
+
+// CountValid solves CPP: how many valid boards rate at least 5?
+func ExampleCountValid() {
+	n, err := pkgrec.CountValid(shopProblem(2), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(n)
+	// Output:
+	// 2
+}
+
+// RelaxQuery solves QRPP: the query "items priced exactly 1" matches only
+// the olives, so no two boards exist; the minimal relaxation widens the
+// price by 1, reaching the figs too.
+func ExampleRelaxQuery() {
+	q, err := pkgrec.ParseQuery(`RQ(n, p, r) :- item(n, p, r), p = 1.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob := &pkgrec.Problem{
+		DB: shopDB(), Q: q,
+		Cost: pkgrec.CountOrInf(), Val: pkgrec.Count(), Budget: 1, K: 2,
+	}
+	points, err := pkgrec.RelaxPoints(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range points {
+		points[i] = points[i].WithMetric(pkgrec.AbsDiffMetric())
+	}
+	rel, ok, err := pkgrec.RelaxQuery(pkgrec.RelaxInstance{
+		Problem: prob, Points: points, Bound: 1, GapBudget: 2,
+	})
+	if err != nil || !ok {
+		log.Fatal(err, ok)
+	}
+	fmt.Printf("gap %g: %s\n", rel.Gap, rel.Query)
+	// Output:
+	// gap 1: RQ(n, p, r) :- item(n, p, r), absdiff(p, 1) <= 1.
+}
+
+// NewServeClient talks to a pkgrecd daemon: upload a collection, solve the
+// same CPP problem twice, and watch the second answer come from the result
+// cache.
+func ExampleNewServeClient() {
+	srv := pkgrec.NewServeServer(pkgrec.ServeOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	client := pkgrec.NewServeClient(ts.URL)
+	if _, err := client.PutCollection(ctx, "shop", shopDB()); err != nil {
+		log.Fatal(err)
+	}
+	req := pkgrec.ServeRequest{
+		Collection: "shop",
+		Op:         "count",
+		Spec: pkgrec.ProblemSpec{
+			Query:      `RQ(n, p, r) :- item(n, p, r).`,
+			Cost:       pkgrec.AggSpec{Kind: "sum", Attr: 1, Monotone: true},
+			Val:        pkgrec.AggSpec{Kind: "sum", Attr: 2},
+			Budget:     6,
+			K:          2,
+			MaxPkgSize: 2,
+			Bound:      5,
+		},
+	}
+	first, err := client.Solve(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := client.Solve(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("count=%d cached=%v,%v\n", *first.Count, first.Cached, second.Cached)
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hit rate %.0f%%\n", 100*stats.HitRate)
+	// Output:
+	// count=2 cached=false,true
+	// hit rate 50%
+}

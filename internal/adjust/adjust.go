@@ -8,6 +8,7 @@
 package adjust
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -131,11 +132,27 @@ func (inst Instance) extraSchemas() map[string]*relation.Schema {
 // returned witness is minimum; size 0 succeeds when D already satisfies the
 // users' requests.
 func Decide(inst Instance) (*Delta, bool, error) {
-	return decide(inst, func(db *relation.Database) (bool, error) {
+	return decide(context.Background(), inst, func(db *relation.Database) (bool, error) {
 		prob := *inst.Problem
 		prob.DB = db
 		prob.InvalidateCache()
 		return prob.ExistsKValid(inst.Problem.K, inst.Bound)
+	})
+}
+
+// DecideCtx is Decide with a deadline and a parallel feasibility core:
+// cancellation is checked before each candidate adjustment's feasibility
+// test, which itself runs on the root-splitting parallel engine with the
+// given worker count (≤ 0 means GOMAXPROCS). Adjustments are still searched
+// in ascending size, so the witness is the same minimum-size Δ that Decide
+// returns — the serving layer relies on this to answer ARPP identically to
+// the library.
+func DecideCtx(ctx context.Context, inst Instance, workers int) (*Delta, bool, error) {
+	return decide(ctx, inst, func(db *relation.Database) (bool, error) {
+		prob := *inst.Problem
+		prob.DB = db
+		prob.InvalidateCache()
+		return prob.ExistsKValidParallelCtx(ctx, inst.Problem.K, inst.Bound, workers)
 	})
 }
 
@@ -150,7 +167,7 @@ func DecideItems(db *relation.Database, extra *relation.Database, q query.Query,
 		Bound:   bound,
 		KPrime:  kPrime,
 	}
-	return decide(inst, func(adjusted *relation.Database) (bool, error) {
+	return decide(context.Background(), inst, func(adjusted *relation.Database) (bool, error) {
 		ans, err := q.Eval(adjusted)
 		if err != nil {
 			return false, err
@@ -166,8 +183,8 @@ func DecideItems(db *relation.Database, extra *relation.Database, q query.Query,
 }
 
 // decide enumerates adjustment sets of increasing size and tests each with
-// the supplied feasibility predicate.
-func decide(inst Instance, feasible func(*relation.Database) (bool, error)) (*Delta, bool, error) {
+// the supplied feasibility predicate, checking ctx before every test.
+func decide(ctx context.Context, inst Instance, feasible func(*relation.Database) (bool, error)) (*Delta, bool, error) {
 	universe := inst.universe()
 	schemas := inst.extraSchemas()
 	idx := make([]int, 0, inst.KPrime)
@@ -175,6 +192,9 @@ func decide(inst Instance, feasible func(*relation.Database) (bool, error)) (*De
 	var rec func(start, need int) (bool, error)
 	rec = func(start, need int) (bool, error) {
 		if need == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			edits := make([]Edit, len(idx))
 			for i, j := range idx {
 				edits[i] = universe[j]

@@ -156,6 +156,20 @@ func (s stepPair) val(pkg Package) float64 {
 	return s.valAgg.Eval(pkg)
 }
 
+// EngineCounters accumulates engine-side cost accounting for a solve: DFS
+// nodes visited and valid packages yielded. Attach one to Problem.Counters
+// to have every walk — serial or parallel — flush its tallies here; the
+// fields are atomics, so one counter set can be shared across workers and
+// read concurrently (the serving layer surfaces them in its stats). Workers
+// tally locally and flush once per subtree, so the accounting adds no
+// per-node synchronisation.
+type EngineCounters struct {
+	// Nodes is the number of DFS nodes visited (packages considered).
+	Nodes atomic.Int64
+	// Yielded is the number of valid packages passed to a solver's yield.
+	Yielded atomic.Int64
+}
+
 // pathYield receives each valid package together with the path state, whose
 // val method gives the package's rating in O(1). Returning false stops the
 // enumeration (in the parallel engine: all workers).
@@ -170,7 +184,15 @@ type pathYield func(pkg Package, path *dfsPath) (bool, error)
 // again on return.
 func (p *Problem) walkSubtree(path *dfsPath, root, maxSize int, yield pathYield, stop *atomic.Bool) (bool, error) {
 	cands := p.candList
+	var nodes, yields int64
+	if p.Counters != nil {
+		defer func() {
+			p.Counters.Nodes.Add(nodes)
+			p.Counters.Yielded.Add(yields)
+		}()
+	}
 	visit := func() (descend, cont bool, err error) {
+		nodes++
 		pkg := path.pkg()
 		if p.Prune != nil && p.Prune(pkg) {
 			return false, true, nil
@@ -181,6 +203,7 @@ func (p *Problem) walkSubtree(path *dfsPath, root, maxSize int, yield pathYield,
 				return false, false, err
 			}
 			if ok {
+				yields++
 				c, err := yield(pkg, path)
 				if err != nil || !c {
 					return false, c, err

@@ -24,6 +24,14 @@
 // deterministic simulations of the oracle machines in the paper's upper
 // bound proofs, and the benchmarks in the repository root measure exactly
 // this scaling.
+//
+// All of them share one subset-DFS enumeration engine (engine.go) with
+// incremental aggregator evaluation, and each has a parallel form on the
+// root-splitting scheduler — FindTopKParallel, CountValidParallel,
+// DecideTopKParallel, MaxBoundParallel and ExistsKValidParallel, with
+// ...Ctx variants for cancellation — whose results are identical to the
+// serial ones. EngineCounters exposes the engine's cost accounting to
+// callers such as the serving layer.
 package core
 
 import (

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"sort"
 	"sync/atomic"
 )
@@ -90,6 +91,27 @@ func (p *Problem) FindTopKParallelCtx(ctx context.Context, workers int) (sel []P
 	}
 	merged := topkBuf{k: p.K, best: all[:p.K]}
 	return merged.packages(), true, nil
+}
+
+// MaxBoundParallel solves the optimisation core of MBP on the parallel
+// engine: the selection search runs root-split (see FindTopKParallel), then
+// the bound is the minimum rating among the k members. The result is
+// identical to MaxBound.
+func (p *Problem) MaxBoundParallel(workers int) (bound float64, ok bool, err error) {
+	return p.MaxBoundParallelCtx(context.Background(), workers)
+}
+
+// MaxBoundParallelCtx is MaxBoundParallel with cancellation.
+func (p *Problem) MaxBoundParallelCtx(ctx context.Context, workers int) (bound float64, ok bool, err error) {
+	sel, ok, err := p.FindTopKParallelCtx(ctx, workers)
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	bound = math.Inf(1)
+	for _, n := range sel {
+		bound = math.Min(bound, p.Val.Eval(n))
+	}
+	return bound, true, nil
 }
 
 // DecideTopKParallel solves RPP with the parallel engine: the membership

@@ -39,6 +39,10 @@ type Problem struct {
 	// reductions use it for assignment-consistency checks, which are
 	// hereditary even when their cost functions are not monotone.
 	Prune func(Package) bool
+	// Counters, when non-nil, receives engine cost accounting (DFS nodes
+	// visited, packages yielded) from every walk over this problem; see
+	// EngineCounters.
+	Counters *EngineCounters
 
 	candidates *relation.Relation
 	candList   []relation.Tuple

@@ -4,8 +4,8 @@
 // Each row of the tables maps to a Family: a parameterised instance
 // generator plus the solver call whose growth the paper's complexity class
 // predicts. cmd/recbench prints the rows; the root bench_test.go exposes
-// the same families as testing.B benchmarks; EXPERIMENTS.md records the
-// paper-vs-measured comparison.
+// the same families as testing.B benchmarks; BENCHMARKS.md records a
+// reference run of the engine comparisons.
 package experiments
 
 import (
@@ -766,7 +766,8 @@ func travelProblem(nPOI int) *core.Problem {
 	}
 }
 
-// Ablations returns the design-choice ablation rows DESIGN.md calls out:
+// Ablations returns the design-choice ablation rows ARCHITECTURE.md's
+// Design notes call out:
 // oracle-based vs exhaustive FRP, Qc-as-query vs PTIME CompatFn
 // (Corollary 6.3), packages vs items (Theorem 6.4), and SP variable- vs
 // fixed-size (Corollary 6.2).

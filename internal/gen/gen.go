@@ -3,7 +3,8 @@
 // travel planning (flights and points of interest, Example 1.1), course
 // packages with prerequisites ([27, 28]), and team formation ([23]). The
 // paper's referenced systems use proprietary data; these seeded generators
-// exercise the same schemas and constraint shapes (see DESIGN.md).
+// exercise the same schemas and constraint shapes deterministically (see
+// the Design notes in ARCHITECTURE.md).
 package gen
 
 import (

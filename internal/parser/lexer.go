@@ -1,5 +1,7 @@
 // Package parser parses the textual query syntax used by the command-line
-// tools and tests. Two forms are supported, mirroring the paper's language
+// tools, the serving layer's wire format and the tests, and re-renders
+// parsed queries into a canonical form (Canonicalize) for cache
+// fingerprints. Two forms are supported, mirroring the paper's language
 // lattice:
 //
 // Rule form (CQ / UCQ / DATALOGnr / DATALOG, auto-classified):

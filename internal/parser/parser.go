@@ -54,6 +54,20 @@ func Parse(src string) (query.Query, error) {
 	return p.parseRuleQuery()
 }
 
+// Canonicalize parses src and re-renders it through the query's String
+// method, which lays atoms, rules and connectives out deterministically from
+// the parsed structure. Whitespace, line breaks and other formatting
+// differences vanish, so two sources with equal canonical text denote the
+// same query — the property the serving layer's result-cache keys rely on
+// (internal/spec builds its fingerprints from this form).
+func Canonicalize(src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return q.String(), nil
+}
+
 // detectForm scans ahead for the first ':-' or ':=' token.
 func (p *parser) detectForm() (tokenKind, error) {
 	for _, t := range p.toks {

@@ -70,7 +70,8 @@ func CompatFromEFDNF(f sat.EFDNF) CompatInstance {
 // compatibility problem to RPP: the candidate selection N = {∅} ("no
 // recommendation", rated val′(∅) = B) is a top-1 package selection iff no
 // non-empty valid package rates above B, i.e. iff ϕ is false. Following the
-// DESIGN.md note, cost′(∅) = 0 so the placeholder is itself admissible.
+// repair recorded in ARCHITECTURE.md's Design notes, cost′(∅) = 0 so the
+// placeholder is itself admissible.
 func RPPFromEFDNF(f sat.EFDNF) (*core.Problem, []core.Package) {
 	ci := CompatFromEFDNF(f)
 	prob := *ci.Problem

@@ -72,8 +72,8 @@ func ItemFRPFromMaxWeightSAT(c sat.CNF, weights []int64) (*relation.Database, qu
 // is 2 when the Y part satisfies ϕ2, otherwise 1 when the X part satisfies
 // ϕ1, otherwise 0. B = 1 is the maximum bound iff ϕ1 is satisfiable and ϕ2
 // is not. (The paper's case split rates "any other tuple" 2, under which
-// the stated equivalence cannot hold; this ordering repairs it — see
-// DESIGN.md.)
+// the stated equivalence cannot hold; this ordering repairs it — see the
+// Design notes in ARCHITECTURE.md.)
 func ItemMBPFromSATUNSAT(p sat.Pair) (*relation.Database, query.Query, core.Utility, float64) {
 	db := boolenc.NewDB()
 	m, n := p.Phi1.NumVars, p.Phi2.NumVars

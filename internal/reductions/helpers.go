@@ -17,7 +17,8 @@
 // The integration tests cross-validate every construction against the
 // direct solvers of internal/sat on streams of random instances, which is
 // the executable analogue of the paper's correctness arguments. Two
-// documented repairs to the paper's text are applied (see DESIGN.md): the
+// documented repairs to the paper's text are applied (see the Design notes
+// in ARCHITECTURE.md): the
 // RPP "no recommendation" placeholder gets cost(∅) = 0 so it can be a legal
 // selection member, and the item-MBP utility of Theorem 6.4 is ordered so
 // that a satisfiable ϕ2 forces rating 2 (the text's case split leaves the

@@ -19,6 +19,14 @@ type jsonDatabase struct {
 	Relations []jsonRelation `json:"relations"`
 }
 
+// ValueToJSON converts a Value to the scalar encoding/json renders it as;
+// it is the exported form used by the serving layer's wire types.
+func ValueToJSON(v Value) any { return valueToJSON(v) }
+
+// ValueFromJSON converts a decoded JSON scalar (float64, json.Number,
+// string, bool) to a Value, the inverse of ValueToJSON.
+func ValueFromJSON(x any) (Value, error) { return valueFromJSON(x) }
+
 // valueToJSON converts a Value to its JSON representation.
 func valueToJSON(v Value) any {
 	switch v.Kind() {

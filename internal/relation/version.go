@@ -1,0 +1,49 @@
+package relation
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"sort"
+	"strconv"
+)
+
+// Fingerprint returns a stable content hash of the database: relations are
+// visited in sorted-name order, each contributing its schema and its tuples
+// in canonical tuple order, so the fingerprint depends only on contents —
+// not on insertion order, tuple order, or how the database was built or
+// decoded. The serving layer uses it as the content-addressed half of a
+// collection's identity: reloading byte-identical data keeps cached solve
+// results valid, while any tuple-level change produces a new fingerprint.
+func (d *Database) Fingerprint() string {
+	h := sha256.New()
+	names := append([]string(nil), d.order...)
+	sort.Strings(names)
+	// Counts delimit every section, so the stream decodes unambiguously
+	// left-to-right: an attribute named like a tuple key (or a tuple key
+	// shaped like the next relation's name) cannot shift the boundaries
+	// and collide with different content.
+	hashString(h, strconv.Itoa(len(names)))
+	for _, name := range names {
+		r := d.rels[name]
+		hashString(h, r.Name())
+		attrs := r.Schema().Attrs
+		hashString(h, strconv.Itoa(len(attrs)))
+		for _, a := range attrs {
+			hashString(h, a)
+		}
+		tuples := r.Sorted().Tuples()
+		hashString(h, strconv.Itoa(len(tuples)))
+		for _, t := range tuples {
+			hashString(h, t.Key())
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashString writes s to h with a separator, so that concatenation
+// ambiguities ("ab"+"c" vs "a"+"bc") cannot collide.
+func hashString(h hash.Hash, s string) {
+	h.Write([]byte(s))
+	h.Write([]byte{0})
+}

@@ -1,0 +1,58 @@
+package relation
+
+import "testing"
+
+func fpDB(order []string) *Database {
+	r := FromTuples(NewSchema("r", "a", "b"),
+		NewTuple(Int(1), Str("x")), NewTuple(Int(2), Str("y")))
+	s := FromTuples(NewSchema("s", "c"), NewTuple(Float(1.5)))
+	db := NewDatabase()
+	for _, name := range order {
+		if name == "r" {
+			db.Add(r)
+		} else {
+			db.Add(s)
+		}
+	}
+	return db
+}
+
+func TestFingerprintIgnoresInsertionOrder(t *testing.T) {
+	a := fpDB([]string{"r", "s"})
+	b := fpDB([]string{"s", "r"})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on relation insertion order")
+	}
+	if a.Fingerprint() != a.Clone().Fingerprint() {
+		t.Fatal("clone changed the fingerprint")
+	}
+}
+
+func TestFingerprintSeesContent(t *testing.T) {
+	a := fpDB([]string{"r", "s"})
+	b := fpDB([]string{"r", "s"})
+	if err := b.Relation("r").Insert(NewTuple(Int(3), Str("z"))); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("tuple insertion did not change the fingerprint")
+	}
+	// Renaming a relation is a content change even with identical tuples.
+	c := NewDatabase().Add(FromTuples(NewSchema("t", "c"), NewTuple(Float(1.5))))
+	d := NewDatabase().Add(FromTuples(NewSchema("u", "c"), NewTuple(Float(1.5))))
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Fatal("relation name not part of the fingerprint")
+	}
+}
+
+// Section boundaries must be unambiguous: an attribute named exactly like a
+// tuple's key must not collide with the database that has that tuple
+// instead of the attribute.
+func TestFingerprintSectionBoundaries(t *testing.T) {
+	key := NewTuple(Str("x")).Key() // the wire shape of a one-string tuple
+	withAttr := NewDatabase().Add(NewRelation(NewSchema("r", "a", key)))
+	withTuple := NewDatabase().Add(FromTuples(NewSchema("r", "a"), NewTuple(Str("x"))))
+	if withAttr.Fingerprint() == withTuple.Fingerprint() {
+		t.Fatal("attr/tuple boundary ambiguity: distinct contents share a fingerprint")
+	}
+}

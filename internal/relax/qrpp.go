@@ -1,6 +1,7 @@
 package relax
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -62,16 +63,44 @@ func CandidateLevels(db *relation.Database, p Point, gmax float64) []float64 {
 // so Decide doubles as the "minimal relaxation recommendation" the paper
 // motivates. Levels are searched in order of increasing total gap.
 func Decide(inst Instance) (*Relaxation, bool, error) {
+	return decide(context.Background(), inst, func(relaxed query.Query) (bool, error) {
+		return feasiblePackages(inst, relaxed)
+	})
+}
+
+// DecideCtx is Decide with a deadline and a parallel feasibility core:
+// cancellation is checked between level assignments and inside each
+// feasibility search (which runs on the root-splitting parallel engine with
+// the given worker count; ≤ 0 means GOMAXPROCS). The witness relaxation is
+// identical to Decide's — assignments are still tried in ascending total
+// gap — so serving-layer QRPP answers match the library's.
+func DecideCtx(ctx context.Context, inst Instance, workers int) (*Relaxation, bool, error) {
+	return decide(ctx, inst, func(relaxed query.Query) (bool, error) {
+		prob := *inst.Problem
+		prob.Q = relaxed
+		prob.InvalidateCache()
+		return prob.ExistsKValidParallelCtx(ctx, inst.Problem.K, inst.Bound, workers)
+	})
+}
+
+// decide is the shared QRPP search: level assignments in ascending total
+// gap, each relaxed query tested with the supplied feasibility predicate,
+// ctx checked between assignments. Keeping one loop is what guarantees
+// Decide and DecideCtx return the same witness.
+func decide(ctx context.Context, inst Instance, feasible func(query.Query) (bool, error)) (*Relaxation, bool, error) {
 	assignments, err := enumerateAssignments(inst)
 	if err != nil {
 		return nil, false, err
 	}
 	for _, choices := range assignments {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		rel, err := Apply(inst.Problem.Q, choices)
 		if err != nil {
 			return nil, false, err
 		}
-		ok, err := feasiblePackages(inst, rel.Query)
+		ok, err := feasible(rel.Query)
 		if err != nil {
 			return nil, false, err
 		}

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkServeCachedVsCold measures what the serving layer buys on
+// repeat traffic: Cold forces a full engine run per request (NoCache), Warm
+// serves the same request from the LRU after one priming solve. The travel
+// instance matches the EngineFRPTravel benchmark family (BENCHMARKS.md), so
+// the Cold row is comparable to the raw engine numbers.
+func BenchmarkServeCachedVsCold(b *testing.B) {
+	s := NewServer(Options{})
+	s.SetCollection("travel", gen.Travel(7, 320, 24))
+	ps := travelSpec(3)
+	req := Request{Collection: "travel", Op: OpTopK, Spec: ps}
+	ctx := context.Background()
+
+	b.Run("Cold", func(b *testing.B) {
+		cold := req
+		cold.NoCache = true
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(ctx, cold); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		if _, err := s.Solve(ctx, req); err != nil { // prime
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := s.Solve(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("warm solve missed the cache")
+			}
+		}
+	})
+}

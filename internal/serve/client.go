@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Client speaks the pkgrecd JSON-over-HTTP protocol. The zero HTTPClient
+// means http.DefaultClient; BaseURL is the daemon root, e.g.
+// "http://localhost:8080".
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is a non-2xx daemon reply.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Message)
+}
+
+// Solve posts one solve request.
+func (c *Client) Solve(ctx context.Context, req Request) (*Response, error) {
+	var resp Response
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PutCollection loads or swaps a collection on the daemon.
+func (c *Client) PutCollection(ctx context.Context, name string, db *relation.Database) (CollectionInfo, error) {
+	var info CollectionInfo
+	err := c.do(ctx, http.MethodPut, "/v1/collections/"+url.PathEscape(name), db, &info)
+	return info, err
+}
+
+// GetCollection fetches one collection's description.
+func (c *Client) GetCollection(ctx context.Context, name string) (CollectionInfo, error) {
+	var info CollectionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/collections/"+url.PathEscape(name), nil, &info)
+	return info, err
+}
+
+// RemoveCollection drops a collection on the daemon.
+func (c *Client) RemoveCollection(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/collections/"+url.PathEscape(name), nil, nil)
+}
+
+// Collections lists the daemon's collections.
+func (c *Client) Collections(ctx context.Context) ([]CollectionInfo, error) {
+	var infos []CollectionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/collections", nil, &infos)
+	return infos, err
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// FlushCache drops the daemon's result cache.
+func (c *Client) FlushCache(ctx context.Context) error {
+	return c.do(ctx, http.MethodDelete, "/v1/cache", nil, nil)
+}
+
+// Health checks the liveness probe.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

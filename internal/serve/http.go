@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/relation"
+)
+
+// Handler returns the JSON-over-HTTP front end documented in
+// docs/serving.md:
+//
+//	POST   /v1/solve              solve a problem (body: Request)
+//	GET    /v1/stats              service counters (Stats)
+//	GET    /v1/collections        list collections
+//	GET    /v1/collections/{name} one collection's description
+//	PUT    /v1/collections/{name} load or swap a collection (body: database JSON)
+//	DELETE /v1/collections/{name} drop a collection
+//	DELETE /v1/cache              flush the result cache
+//	GET    /healthz               liveness probe
+//
+// Errors are JSON objects {"error": "..."} with status 400 (malformed
+// request), 404 (unknown collection or route), 504 (solve deadline
+// exceeded) or 500 (internal failure).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/collections", s.handleListCollections)
+	mux.HandleFunc("GET /v1/collections/{name}", s.handleGetCollection)
+	mux.HandleFunc("PUT /v1/collections/{name}", s.handlePutCollection)
+	mux.HandleFunc("DELETE /v1/collections/{name}", s.handleDeleteCollection)
+	mux.HandleFunc("DELETE /v1/cache", s.handleFlushCache)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	// Unmatched routes get the documented JSON error shape instead of
+	// net/http's plain-text default. (Method mismatches on matched routes
+	// still return ServeMux's standard plain-text 405.)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &NotFoundError{What: "route", Name: r.URL.Path})
+	})
+	return mux
+}
+
+// maxBodyBytes bounds request bodies (solve requests and collection
+// uploads): one oversized body must not be able to exhaust the daemon's
+// memory. Oversized requests get a 413.
+const maxBodyBytes = 64 << 20
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, &RequestError{Err: err})
+		return
+	}
+	resp, err := s.Solve(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleListCollections(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Collections())
+}
+
+func (s *Server) handleGetCollection(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, ok := s.Collection(name)
+	if !ok {
+		writeError(w, &NotFoundError{What: "collection", Name: name})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handlePutCollection(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	db := relation.NewDatabase()
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(db); err != nil {
+		writeError(w, &RequestError{Err: err})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.SetCollection(name, db))
+}
+
+func (s *Server) handleDeleteCollection(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.RemoveCollection(name) {
+		writeError(w, &NotFoundError{What: "collection", Name: name})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+func (s *Server) handleFlushCache(w http.ResponseWriter, r *http.Request) {
+	s.FlushCache()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var reqErr *RequestError
+	var nfErr *NotFoundError
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		status = http.StatusRequestEntityTooLarge
+	case errors.As(err, &reqErr):
+		status = http.StatusBadRequest
+	case errors.As(err, &nfErr):
+		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 is the de-facto convention.
+		status = 499
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

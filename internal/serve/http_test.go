@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// TestHTTPEquivalenceConcurrent is the serving-layer contract: concurrent
+// FRP and CPP requests through the daemon's HTTP front end return results
+// identical to direct library calls, cached or not.
+func TestHTTPEquivalenceConcurrent(t *testing.T) {
+	db := gen.Travel(7, 40, 30)
+	s := NewServer(Options{})
+	s.SetCollection("travel", db)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	// Direct library answers, computed once per variant.
+	type variant struct {
+		op    string
+		k     int
+		bound float64
+	}
+	variants := []variant{
+		{OpTopK, 2, 0}, {OpTopK, 3, 0}, {OpTopK, 5, 0},
+		{OpCount, 3, -50}, {OpCount, 3, -100}, {OpCount, 3, -150},
+	}
+	wantJSON := make(map[variant]string)
+	for _, v := range variants {
+		ps := travelSpec(v.k)
+		ps.Bound = v.bound
+		prob, err := ps.Build(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch v.op {
+		case OpTopK:
+			sel, ok, err := prob.FindTopK()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res Result
+			res.OK = ok
+			for _, n := range sel {
+				res.Packages = append(res.Packages, packageResult(prob, n))
+			}
+			wantJSON[v] = mustJSON(t, res.Packages)
+		case OpCount:
+			n, err := prob.CountValid(v.bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantJSON[v] = mustJSON(t, n)
+		}
+	}
+
+	// Hammer the daemon concurrently: every variant several times, so the
+	// runs mix cold solves, coalesced flights and cache hits.
+	const rounds = 4
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for _, v := range variants {
+			wg.Add(1)
+			go func(v variant) {
+				defer wg.Done()
+				ps := travelSpec(v.k)
+				ps.Bound = v.bound
+				resp, err := client.Solve(context.Background(),
+					Request{Collection: "travel", Op: v.op, Spec: ps})
+				if err != nil {
+					t.Errorf("%v: %v", v, err)
+					return
+				}
+				var got string
+				switch v.op {
+				case OpTopK:
+					if !resp.OK {
+						t.Errorf("%v: daemon found no selection", v)
+						return
+					}
+					got = mustJSON(t, resp.Packages)
+				case OpCount:
+					got = mustJSON(t, *resp.Count)
+				}
+				if got != wantJSON[v] {
+					t.Errorf("%v: daemon answer diverges from library:\n got %s\nwant %s", v, got, wantJSON[v])
+				}
+			}(v)
+		}
+	}
+	wg.Wait()
+
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != rounds*uint64(len(variants)) {
+		t.Fatalf("stats counted %d requests, want %d", st.Requests, rounds*len(variants))
+	}
+	// With 4 rounds of 6 distinct problems, at most 6 cold solves are
+	// needed; everything else must have been served by the cache or a
+	// shared flight.
+	if st.CacheHits+st.Coalesced < uint64((rounds-1)*len(variants)) {
+		t.Fatalf("cache did not short-circuit repeats: %+v", st)
+	}
+	if st.HitRate == 0 {
+		t.Fatal("hit rate not surfaced")
+	}
+}
+
+func TestHTTPCollectionLifecycle(t *testing.T) {
+	s := NewServer(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	db := gen.Travel(7, 20, 16)
+	info, err := client.PutCollection(ctx, "travel", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Tuples != db.Size() || info.Fingerprint != db.Fingerprint() {
+		t.Fatalf("put returned %+v", info)
+	}
+
+	infos, err := client.Collections(ctx)
+	if err != nil || len(infos) != 1 || infos[0].Name != "travel" {
+		t.Fatalf("list: %v %v", infos, err)
+	}
+
+	ps := travelSpec(2)
+	resp, err := client.Solve(ctx, Request{Collection: "travel", Op: OpTopK, Spec: ps})
+	if err != nil || !resp.OK {
+		t.Fatalf("solve over uploaded collection: resp=%+v err=%v", resp, err)
+	}
+
+	// Re-PUTting content-identical data is idempotent: version and cache
+	// survive. Swapping different contents bumps the version.
+	info2, err := client.PutCollection(ctx, "travel", db)
+	if err != nil || info2.Version != 1 || info2.Fingerprint != info.Fingerprint {
+		t.Fatalf("idempotent reload: %+v err=%v", info2, err)
+	}
+	if resp, err := client.Solve(ctx, Request{Collection: "travel", Op: OpTopK, Spec: ps}); err != nil || !resp.Cached {
+		t.Fatalf("identical reload dropped the cache: %+v err=%v", resp, err)
+	}
+	info3, err := client.PutCollection(ctx, "travel", gen.Travel(11, 24, 16))
+	if err != nil || info3.Version != 2 || info3.Fingerprint == info.Fingerprint {
+		t.Fatalf("content swap: %+v err=%v", info3, err)
+	}
+
+	if err := client.FlushCache(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := client.RemoveCollection(ctx, "travel"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	_, err = client.Solve(ctx, Request{Collection: "travel", Op: OpTopK, Spec: ps})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("solve after delete: %v, want 404 APIError", err)
+	}
+	if err := client.RemoveCollection(ctx, "travel"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestHTTPErrorCodes(t *testing.T) {
+	s := NewServer(Options{})
+	s.SetCollection("travel", gen.Travel(7, 20, 16))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		if resp.StatusCode/100 != 2 {
+			if json.NewDecoder(resp.Body).Decode(&e) != nil || e.Error == "" {
+				t.Errorf("error reply for %q carried no JSON error message", body)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	if got := post(`{"collection":"travel","op":"frobnicate"}`); got != http.StatusBadRequest {
+		t.Errorf("unknown op: %d, want 400", got)
+	}
+	if got := post(`not json`); got != http.StatusBadRequest {
+		t.Errorf("bad JSON: %d, want 400", got)
+	}
+	if got := post(`{"collection":"nope","op":"count","spec":{"query":"Q(x) :- r(x).","cost":{"kind":"count"},"val":{"kind":"count"}}}`); got != http.StatusNotFound {
+		t.Errorf("unknown collection: %d, want 404", got)
+	}
+	if got := post(`{"collection":"travel","op":"count","mystery":1}`); got != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", got)
+	}
+	resp, err := http.Get(ts.URL + "/v1/collections/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("get unknown collection: %d, want 404", resp.StatusCode)
+	}
+}
+
+// The wire selection decodes through relation.ValueFromJSON; a decide
+// round-trip over HTTP must agree with the library's DecideTopK.
+func TestHTTPDecideRoundTrip(t *testing.T) {
+	db := gen.Travel(7, 30, 24)
+	s := NewServer(Options{})
+	s.SetCollection("travel", db)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	ps := travelSpec(2)
+	prob, err := ps.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok, err := prob.FindTopK()
+	if err != nil || !ok {
+		t.Fatalf("fixture FindTopK: ok=%v err=%v", ok, err)
+	}
+	wire := make([][][]any, len(sel))
+	for i, p := range sel {
+		for _, tup := range p.Tuples() {
+			row := make([]any, len(tup))
+			for j, v := range tup {
+				row[j] = relation.ValueToJSON(v)
+			}
+			wire[i] = append(wire[i], row)
+		}
+	}
+	resp, err := client.Solve(context.Background(),
+		Request{Collection: "travel", Op: OpDecide, Spec: ps, Selection: wire})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("daemon rejected the library's own top-k selection (witness %+v)", resp.Witness)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,531 @@
+// Package serve is the serving layer: a long-lived, concurrent
+// recommendation service that owns a set of named item collections and
+// answers the paper's six problems (RPP, FRP, MBP, CPP, QRPP, ARPP) over
+// them, designed for streams of related queries rather than one-shot
+// library calls.
+//
+// Three mechanisms make repeated traffic cheap:
+//
+//   - a bounded-size LRU result cache keyed by a canonical fingerprint of
+//     (collection name, collection version, canonical problem spec,
+//     operation parameters) — see cacheKey — so a repeated solve is a map
+//     lookup. Swapping a collection bumps its version (new keys) and purges
+//     the old entries;
+//   - request coalescing: identical solves that are in flight at the same
+//     time share one engine run (a small singleflight group keyed like the
+//     cache), so a thundering herd of equal requests costs one solve;
+//   - a bounded worker pool: at most MaxConcurrent solves run at once, each
+//     on the internal/core root-splitting parallel engine with a
+//     per-request context deadline; excess requests queue on the pool.
+//
+// Results are identical to direct library calls: every operation dispatches
+// to the same solvers the public pkgrec API wraps, with the engine's
+// serial/parallel equivalence guarantees. The HTTP front end (Handler,
+// cmd/pkgrecd) and client live in http.go and client.go; docs/serving.md
+// documents the wire protocol.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/adjust"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/relax"
+	"repro/internal/spec"
+)
+
+// Options configures a Server. The zero value means: 1024 cache entries,
+// GOMAXPROCS concurrent solves, 1 engine worker per solve (so concurrent
+// requests, not intra-solve parallelism, saturate the cores — a loaded
+// server's sweet spot; raise EngineWorkers for low-traffic/large-solve
+// deployments), no default deadline, 1024-sample latency window.
+type Options struct {
+	// CacheSize is the maximum number of cached results; ≤ 0 means 1024.
+	CacheSize int
+	// MaxConcurrent bounds the number of solves running at once; ≤ 0 means
+	// GOMAXPROCS. Excess solves queue (respecting their context).
+	MaxConcurrent int
+	// EngineWorkers is the per-solve worker count handed to the parallel
+	// engine when a request does not set its own; ≤ 0 means 1.
+	EngineWorkers int
+	// DefaultTimeout applies to requests that carry no timeout; 0 means
+	// no deadline.
+	DefaultTimeout time.Duration
+	// LatencyWindow is the number of recent solve latencies kept for the
+	// percentile stats; ≤ 0 means 1024.
+	LatencyWindow int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if o.EngineWorkers <= 0 {
+		o.EngineWorkers = 1
+	}
+	if o.LatencyWindow <= 0 {
+		o.LatencyWindow = 1024
+	}
+	return o
+}
+
+// collection is an immutable snapshot of one named item collection. Solves
+// hold the snapshot, not the server lock, so a swap never blocks or races
+// in-flight requests — they finish against the version they started with.
+type collection struct {
+	name        string
+	version     uint64
+	fingerprint string
+	db          *relation.Database
+}
+
+// CollectionInfo describes a collection to clients.
+type CollectionInfo struct {
+	Name        string `json:"name"`
+	Version     uint64 `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Relations   int    `json:"relations"`
+	Tuples      int    `json:"tuples"`
+}
+
+func (c *collection) info() CollectionInfo {
+	return CollectionInfo{
+		Name:        c.name,
+		Version:     c.version,
+		Fingerprint: c.fingerprint,
+		Relations:   len(c.db.Names()),
+		Tuples:      c.db.Size(),
+	}
+}
+
+// Server is the recommendation service. Create one with NewServer; all
+// methods are safe for concurrent use.
+type Server struct {
+	opts   Options
+	sem    chan struct{}
+	cache  *lruCache
+	flight flightGroup
+	stats  statsRec
+	eng    core.EngineCounters
+
+	mu    sync.RWMutex
+	colls map[string]*collection
+}
+
+// NewServer builds a Server; see Options for the zero-value defaults.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxConcurrent),
+		cache: newLRU(opts.CacheSize),
+		colls: make(map[string]*collection),
+	}
+	s.stats.init(opts.LatencyWindow)
+	return s
+}
+
+// SetCollection registers db under name. Replacing a collection with
+// different contents bumps its version and purges its cached results;
+// reloading content-identical data (same Fingerprint) is idempotent — the
+// version and the cache entries survive, so routine reloads keep a warm
+// cache. The server stores a private clone, so the caller may keep mutating
+// its copy.
+func (s *Server) SetCollection(name string, db *relation.Database) CollectionInfo {
+	clone := db.Clone()
+	fp := clone.Fingerprint()
+	s.mu.Lock()
+	version := uint64(1)
+	if old, ok := s.colls[name]; ok {
+		if old.fingerprint == fp {
+			s.mu.Unlock()
+			return old.info()
+		}
+		version = old.version + 1
+	}
+	c := &collection{name: name, version: version, fingerprint: fp, db: clone}
+	s.colls[name] = c
+	s.mu.Unlock()
+	s.cache.purge(name)
+	return c.info()
+}
+
+// RemoveCollection drops a collection and purges its cached results; it
+// reports whether the collection existed.
+func (s *Server) RemoveCollection(name string) bool {
+	s.mu.Lock()
+	_, ok := s.colls[name]
+	delete(s.colls, name)
+	s.mu.Unlock()
+	s.cache.purge(name)
+	return ok
+}
+
+// Collections lists the registered collections sorted by name.
+func (s *Server) Collections() []CollectionInfo {
+	s.mu.RLock()
+	infos := make([]CollectionInfo, 0, len(s.colls))
+	for _, c := range s.colls {
+		infos = append(infos, c.info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Collection returns the named collection's description.
+func (s *Server) Collection(name string) (CollectionInfo, bool) {
+	s.mu.RLock()
+	c, ok := s.colls[name]
+	s.mu.RUnlock()
+	if !ok {
+		return CollectionInfo{}, false
+	}
+	return c.info(), true
+}
+
+// FlushCache drops every cached result.
+func (s *Server) FlushCache() { s.cache.flush() }
+
+// putIfCurrent stores a solve result only while its collection snapshot is
+// still the registered one. The check and the put share the server lock:
+// SetCollection replaces the collection under the write lock and purges
+// afterwards, so either this put sees the old snapshot gone (and skips), or
+// the swap's purge runs after the put and removes the entry — a stale
+// old-version key can never be left squatting an LRU slot.
+func (s *Server) putIfCurrent(c *collection, key string, res *Result) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.colls[c.name] == c {
+		s.cache.put(key, c.name, res)
+	}
+}
+
+// snapshot resolves the collection a request targets.
+func (s *Server) snapshot(name string) (*collection, error) {
+	s.mu.RLock()
+	c, ok := s.colls[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, &NotFoundError{What: "collection", Name: name}
+	}
+	return c, nil
+}
+
+// Solve answers one request: cache lookup, then a coalesced, pool-bounded
+// engine run with the request's deadline. The result is exactly what the
+// corresponding library call returns (see runSolve); Cached and ElapsedMS
+// describe how this particular call was served.
+func (s *Server) Solve(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	s.stats.requests.Add(1) // counted before validation, so Errors ≤ Requests
+
+	op, err := normalizeOp(req.Op)
+	if err != nil {
+		s.stats.errors.Add(1)
+		return nil, err
+	}
+	req.Op = op
+	s.stats.op(op)
+	coll, err := s.snapshot(req.Collection)
+	if err != nil {
+		s.stats.errors.Add(1)
+		return nil, err
+	}
+	var sel []core.Package // RPP candidate selection, decoded once
+	if req.Op == OpDecide {
+		if sel, err = decodeSelection(req.Selection); err != nil {
+			s.stats.errors.Add(1)
+			return nil, &RequestError{Err: err}
+		}
+	}
+	key, err := s.cacheKey(coll, req, sel)
+	if err != nil {
+		s.stats.errors.Add(1)
+		return nil, err
+	}
+
+	if !req.NoCache {
+		if res, ok := s.cache.get(key); ok {
+			s.stats.hits.Add(1)
+			s.stats.observe(time.Since(start))
+			return s.respond(res, coll, true, start), nil
+		}
+		// Only consulted lookups count toward the hit rate; NoCache
+		// traffic opted out and must not skew it.
+		s.stats.misses.Add(1)
+	}
+
+	// NoCache requests fly under a separate coalescing key: a caching
+	// request must never end up behind a leader whose result will not be
+	// stored (its waiters would lose the entry they asked for).
+	flightKey := key
+	if req.NoCache {
+		flightKey += "!nocache"
+	}
+	// The deadline starts here — before coalescing and pool admission — so
+	// time spent waiting on another request's flight or on a saturated
+	// pool counts against it: short-deadline requests shed load instead of
+	// piling up behind long solves.
+	solveCtx, cancel := s.withDeadline(ctx, req)
+	defer cancel()
+	res, shared, err := s.flight.do(solveCtx, flightKey, func() (*Result, error) {
+		if err := s.acquire(solveCtx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		r, err := s.runSolve(solveCtx, coll, req, sel)
+		if err == nil && !req.NoCache {
+			s.putIfCurrent(coll, key, r)
+		}
+		return r, err
+	})
+	if shared {
+		s.stats.coalesced.Add(1)
+	}
+	// Errored solves are observed too: deadline hits are exactly the slow
+	// tail the latency percentiles exist to expose.
+	s.stats.observe(time.Since(start))
+	if err != nil {
+		s.stats.errors.Add(1)
+		return nil, err
+	}
+	return s.respond(res, coll, false, start), nil
+}
+
+func (s *Server) respond(res *Result, coll *collection, cached bool, start time.Time) *Response {
+	return &Response{
+		Result:     *res,
+		Collection: coll.name,
+		Version:    coll.version,
+		Cached:     cached,
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	}
+}
+
+// acquire takes a slot on the bounded solve pool, abandoning the wait when
+// the request's context ends first.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// withDeadline applies the request's (or the server's default) timeout.
+func (s *Server) withDeadline(ctx context.Context, req Request) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// workers resolves the engine worker count for a request.
+func (s *Server) workers(req Request) int {
+	if req.Workers > 0 {
+		return req.Workers
+	}
+	return s.opts.EngineWorkers
+}
+
+// runSolve executes the request on the engine. Every arm calls exactly the
+// solver the public pkgrec API wraps, so daemon answers and library answers
+// cannot drift apart; the engine's serial/parallel equivalence guarantees
+// make the worker count invisible in results (only the choice of RPP
+// witness can vary, and any returned witness is genuine).
+func (s *Server) runSolve(ctx context.Context, coll *collection, req Request, sel []core.Package) (*Result, error) {
+	prob, err := req.Spec.Build(coll.db)
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	prob.Counters = &s.eng
+	workers := s.workers(req)
+	res := &Result{Op: req.Op}
+	switch req.Op {
+	case OpTopK:
+		sel, ok, err := prob.FindTopKParallelCtx(ctx, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+		for _, n := range sel {
+			res.Packages = append(res.Packages, packageResult(prob, n))
+		}
+	case OpDecide:
+		ok, wit, err := prob.DecideTopKParallelCtx(ctx, sel, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+		if wit != nil {
+			w := packageResult(prob, *wit)
+			res.Witness = &w
+		}
+	case OpMaxBound:
+		b, ok, err := prob.MaxBoundParallelCtx(ctx, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+		if ok {
+			res.Bound = &b
+		}
+	case OpCount:
+		n, err := prob.CountValidParallelCtx(ctx, req.Spec.Bound, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = true
+		res.Count = &n
+	case OpExists:
+		ok, err := prob.ExistsKValidParallelCtx(ctx, prob.K, req.Spec.Bound, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+	case OpRelax:
+		if req.Relax == nil {
+			return nil, &RequestError{Err: fmt.Errorf("op %q needs a relax spec", req.Op)}
+		}
+		inst, err := req.Relax.Build(prob)
+		if err != nil {
+			return nil, &RequestError{Err: err}
+		}
+		rel, ok, err := relax.DecideCtx(ctx, inst, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+		if ok {
+			res.Gap = &rel.Gap
+			res.RelaxedQuery = rel.Query.String()
+		}
+	case OpAdjust:
+		if req.Adjust == nil {
+			return nil, &RequestError{Err: fmt.Errorf("op %q needs an adjust spec", req.Op)}
+		}
+		inst := req.Adjust.Build(prob, req.Extra)
+		delta, ok, err := adjust.DecideCtx(ctx, inst, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+		if ok {
+			size := delta.Size()
+			res.DeltaSize = &size
+			for _, e := range delta.Edits {
+				res.Delta = append(res.Delta, e.String())
+			}
+		}
+	default:
+		return nil, &RequestError{Err: fmt.Errorf("unknown op %q", req.Op)}
+	}
+	return res, nil
+}
+
+func packageResult(p *core.Problem, n core.Package) PackageResult {
+	tuples := make([][]any, n.Len())
+	for i, t := range n.Tuples() {
+		row := make([]any, len(t))
+		for j, v := range t {
+			row[j] = relation.ValueToJSON(v)
+		}
+		tuples[i] = row
+	}
+	return PackageResult{Tuples: tuples, Val: p.Val.Eval(n), Cost: p.Cost.Eval(n)}
+}
+
+// decodeSelection converts the wire form of an RPP candidate selection
+// (packages as lists of tuples of JSON scalars) into packages.
+func decodeSelection(sel [][][]any) ([]core.Package, error) {
+	pkgs := make([]core.Package, len(sel))
+	for i, rows := range sel {
+		tuples := make([]relation.Tuple, len(rows))
+		for j, row := range rows {
+			t := make(relation.Tuple, len(row))
+			for k, x := range row {
+				v, err := relation.ValueFromJSON(x)
+				if err != nil {
+					return nil, fmt.Errorf("selection package %d tuple %d: %w", i, j, err)
+				}
+				t[k] = v
+			}
+			tuples[j] = t
+		}
+		pkgs[i] = core.NewPackage(tuples...)
+	}
+	return pkgs, nil
+}
+
+// cacheKey builds the canonical fingerprint a request's result is cached
+// under: collection identity (name, version, content fingerprint) plus the
+// canonical problem spec plus the operation and its parameters. Everything
+// execution-related (workers, timeout, NoCache) is deliberately excluded —
+// it cannot change the answer. Queries are canonicalized by parse +
+// re-render (internal/parser.Canonicalize via spec.Canonical), so
+// formatting-different but equal requests share an entry.
+func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package) (string, error) {
+	canon, err := req.Spec.Canonical()
+	if err != nil {
+		return "", &RequestError{Err: err}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%d:%s|%s|%s", spec.CanonString(coll.name), coll.version, coll.fingerprint, req.Op, canon)
+	switch req.Op {
+	case OpDecide:
+		keys := make([]string, len(sel))
+		for i, p := range sel {
+			keys[i] = p.Key()
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "|sel=%s", strings.Join(keys, "&"))
+	case OpRelax:
+		if req.Relax != nil {
+			fmt.Fprintf(&b, "|%s", req.Relax.Canonical())
+		}
+	case OpAdjust:
+		if req.Adjust != nil {
+			fmt.Fprintf(&b, "|%s", req.Adjust.Canonical())
+		}
+		if req.Extra != nil {
+			fmt.Fprintf(&b, "|extra=%s", req.Extra.Fingerprint())
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	colls := len(s.colls)
+	s.mu.RUnlock()
+	st := s.stats.snapshot()
+	st.Collections = colls
+	st.CacheEntries = s.cache.len()
+	st.EngineNodes = s.eng.Nodes.Load()
+	st.EnginePackages = s.eng.Yielded.Load()
+	return st
+}

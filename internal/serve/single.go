@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces identical in-flight solves: the first request for a
+// key becomes the leader and runs fn; requests arriving for the same key
+// while it runs wait for the leader's result instead of re-solving. The
+// leader runs under its own request's context — a follower whose context
+// ends first abandons the wait (the leader keeps going for the others), and
+// a follower with a longer deadline than the leader inherits the leader's
+// outcome, including a deadline error; this is the standard singleflight
+// trade-off and is documented in docs/serving.md.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// do runs fn once per key among concurrent callers. shared reports whether
+// this caller joined an existing flight.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Result, error)) (res *Result, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Cleanup is deferred so a panicking fn (recovered upstream by
+	// net/http) cannot leave the flight entry behind — that would wedge
+	// every later request for this key on a done channel that never
+	// closes.
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.res, c.err = fn()
+	return c.res, false, c.err
+}

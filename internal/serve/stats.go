@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of the service counters, served at GET /v1/stats.
+type Stats struct {
+	Collections  int     `json:"collections"`
+	CacheEntries int     `json:"cacheEntries"`
+	Requests     uint64  `json:"requests"`
+	CacheHits    uint64  `json:"cacheHits"`
+	CacheMisses  uint64  `json:"cacheMisses"`
+	Coalesced    uint64  `json:"coalesced"`
+	Errors       uint64  `json:"errors"`
+	InFlight     int64   `json:"inFlight"`
+	HitRate      float64 `json:"hitRate"`
+	// EngineNodes / EnginePackages are the engine's cost accounting
+	// (core.EngineCounters): DFS nodes visited and valid packages yielded
+	// across all solves since start.
+	EngineNodes    int64             `json:"engineNodes"`
+	EnginePackages int64             `json:"enginePackages"`
+	Latency        LatencySummary    `json:"latencyMs"`
+	PerOp          map[string]uint64 `json:"perOp,omitempty"`
+}
+
+// LatencySummary reports percentiles (in milliseconds) over the most recent
+// LatencyWindow requests — cache hits included (so a warming cache visibly
+// drags p50 down) and errored solves too (so deadline hits surface in the
+// tail instead of vanishing from it).
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// statsRec is the live, concurrently updated side of Stats: lock-free
+// counters plus a mutex-guarded latency ring.
+type statsRec struct {
+	requests  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	errors    atomic.Uint64
+	inFlight  atomic.Int64
+
+	mu    sync.Mutex
+	perOp map[string]uint64
+	ring  []float64 // latency samples in ms
+	next  int
+	full  bool
+}
+
+// init sizes the latency ring; called once by NewServer before any use.
+func (s *statsRec) init(window int) {
+	s.perOp = make(map[string]uint64)
+	s.ring = make([]float64, window)
+}
+
+// op tallies a validated operation into the per-op breakdown (the raw
+// request total is counted separately, before validation).
+func (s *statsRec) op(op string) {
+	s.mu.Lock()
+	s.perOp[op]++
+	s.mu.Unlock()
+}
+
+func (s *statsRec) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.mu.Lock()
+	s.ring[s.next] = ms
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+func (s *statsRec) snapshot() Stats {
+	st := Stats{
+		Requests:    s.requests.Load(),
+		CacheHits:   s.hits.Load(),
+		CacheMisses: s.misses.Load(),
+		Coalesced:   s.coalesced.Load(),
+		Errors:      s.errors.Load(),
+		InFlight:    s.inFlight.Load(),
+	}
+	if looked := st.CacheHits + st.CacheMisses; looked > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(looked)
+	}
+	s.mu.Lock()
+	st.PerOp = make(map[string]uint64, len(s.perOp))
+	for k, v := range s.perOp {
+		st.PerOp[k] = v
+	}
+	n := s.next
+	if s.full {
+		n = len(s.ring)
+	}
+	samples := append([]float64(nil), s.ring[:n]...)
+	s.mu.Unlock()
+
+	if len(samples) > 0 {
+		sort.Float64s(samples)
+		st.Latency = LatencySummary{
+			Count: len(samples),
+			P50:   percentile(samples, 0.50),
+			P90:   percentile(samples, 0.90),
+			P99:   percentile(samples, 0.99),
+			Max:   samples[len(samples)-1],
+		}
+	}
+	return st
+}
+
+// percentile reads the nearest-rank percentile from sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/spec"
+)
+
+// Operations. Each maps to one of the paper's six problems; OpExists
+// additionally exposes the ∃k-valid feasibility core shared by QRPP and
+// ARPP.
+const (
+	OpTopK     = "topk"     // FRP: compute a top-k package selection
+	OpDecide   = "decide"   // RPP: is Selection a top-k package selection?
+	OpMaxBound = "maxbound" // MBP: the maximum rating bound
+	OpCount    = "count"    // CPP: count valid packages rated ≥ Spec.Bound
+	OpExists   = "exists"   // do k valid packages rated ≥ Spec.Bound exist?
+	OpRelax    = "relax"    // QRPP: minimal query relaxation
+	OpAdjust   = "adjust"   // ARPP: minimal bounded item adjustment
+)
+
+// normalizeOp validates an operation name.
+func normalizeOp(op string) (string, error) {
+	switch op {
+	case OpTopK, OpDecide, OpMaxBound, OpCount, OpExists, OpRelax, OpAdjust:
+		return op, nil
+	}
+	return "", &RequestError{Err: fmt.Errorf("unknown op %q", op)}
+}
+
+// Request is one solve request. Collection names a registered collection;
+// Spec describes the problem over it (queries in the textual syntax, see
+// docs/serving.md); the remaining fields parameterise individual
+// operations. Workers, TimeoutMS and NoCache steer execution only and never
+// affect the answer (they are excluded from the cache key).
+type Request struct {
+	Collection string           `json:"collection"`
+	Op         string           `json:"op"`
+	Spec       spec.ProblemSpec `json:"spec"`
+	// Selection is the candidate top-k selection for op "decide": packages
+	// as lists of tuples of JSON scalars.
+	Selection [][][]any `json:"selection,omitempty"`
+	// Relax is the QRPP instance spec for op "relax".
+	Relax *spec.RelaxSpec `json:"relax,omitempty"`
+	// Adjust and Extra are the ARPP instance spec and the additional
+	// collection D′ for op "adjust".
+	Adjust *spec.AdjustSpec   `json:"adjust,omitempty"`
+	Extra  *relation.Database `json:"extra,omitempty"`
+	// Workers overrides the server's per-solve engine worker count (> 0).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS overrides the server's default solve deadline (> 0).
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+	// NoCache bypasses the result cache (the request still coalesces with
+	// identical in-flight solves).
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// PackageResult is a package on the wire, with its rating and cost.
+type PackageResult struct {
+	Tuples [][]any `json:"tuples"`
+	Val    float64 `json:"val"`
+	Cost   float64 `json:"cost"`
+}
+
+// Result is the operation-dependent answer; it is what the cache stores.
+// OK's meaning follows the operation: a selection exists (topk, maxbound),
+// the candidate selection is a top-k selection (decide), k valid packages
+// exist (exists), a relaxation/adjustment within budget exists
+// (relax/adjust); count always sets OK.
+type Result struct {
+	Op string `json:"op"`
+	OK bool   `json:"ok"`
+	// Packages is the top-k selection (op topk).
+	Packages []PackageResult `json:"packages,omitempty"`
+	// Witness is a counterexample package out-rating the candidate
+	// selection (op decide, when OK is false and a witness exists).
+	Witness *PackageResult `json:"witness,omitempty"`
+	// Count is the number of valid packages rated ≥ bound (op count).
+	Count *int64 `json:"count,omitempty"`
+	// Bound is the maximum rating bound (op maxbound).
+	Bound *float64 `json:"bound,omitempty"`
+	// Gap and RelaxedQuery describe the minimal relaxation (op relax).
+	Gap          *float64 `json:"gap,omitempty"`
+	RelaxedQuery string   `json:"relaxedQuery,omitempty"`
+	// Delta and DeltaSize describe the minimal adjustment (op adjust).
+	Delta     []string `json:"delta,omitempty"`
+	DeltaSize *int     `json:"deltaSize,omitempty"`
+}
+
+// Response wraps a Result with how this call was served.
+type Response struct {
+	Result
+	Collection string  `json:"collection"`
+	Version    uint64  `json:"version"`
+	Cached     bool    `json:"cached"`
+	ElapsedMS  float64 `json:"elapsedMs"`
+}
+
+// RequestError marks a client-side fault (malformed spec, unknown op,
+// unparsable query); the HTTP layer maps it to 400.
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// NotFoundError marks a missing resource; the HTTP layer maps it to 404.
+type NotFoundError struct{ What, Name string }
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("unknown %s %q", e.What, e.Name) }

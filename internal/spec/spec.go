@@ -1,0 +1,319 @@
+// Package spec defines the JSON wire forms of recommendation problems —
+// databases travel as the internal/relation codec; queries travel as the
+// textual syntax of internal/parser; aggregators, relaxations and
+// adjustments as the small structs below — together with their canonical
+// serialization, the deterministic fingerprint text the serving layer keys
+// its result cache on. The root pkgrec package re-exports these types, and
+// cmd/pkgrec, cmd/pkgrecd and internal/serve all speak exactly this format,
+// so a problem written once runs identically one-shot or against the daemon.
+// docs/serving.md documents the format field by field.
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/adjust"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/relax"
+)
+
+// AggSpec is the JSON wire form of an aggregator.
+type AggSpec struct {
+	Kind     string  `json:"kind"` // count, countOrInf, sum, negsum, min, max, avg, const
+	Attr     int     `json:"attr,omitempty"`
+	Value    float64 `json:"value,omitempty"`
+	Monotone bool    `json:"monotone,omitempty"`
+}
+
+// Build constructs the aggregator an AggSpec describes.
+func (s AggSpec) Build() (core.Aggregator, error) {
+	var a core.Aggregator
+	switch s.Kind {
+	case "count":
+		a = core.Count()
+	case "countOrInf":
+		a = core.CountOrInf()
+	case "sum":
+		a = core.SumAttr(s.Attr)
+	case "negsum":
+		a = core.NegSumAttr(s.Attr)
+	case "min":
+		a = core.MinAttr(s.Attr)
+	case "max":
+		a = core.MaxAttr(s.Attr)
+	case "avg":
+		a = core.AvgAttr(s.Attr)
+	case "const":
+		a = core.ConstAgg(s.Value)
+	default:
+		return core.Aggregator{}, fmt.Errorf("spec: unknown aggregator kind %q", s.Kind)
+	}
+	if s.Monotone {
+		a = a.WithMonotone()
+	}
+	return a, nil
+}
+
+// validate bound-checks the attribute index against the selection query's
+// output arity for the attribute-taking kinds. ProblemSpec.Build calls it
+// so that an out-of-range attr in untrusted input surfaces as an error
+// instead of an index panic inside the engine.
+func (s AggSpec) validate(arity int) error {
+	switch s.Kind {
+	case "sum", "negsum", "min", "max", "avg":
+		if s.Attr < 0 || s.Attr >= arity {
+			return fmt.Errorf("spec: aggregator %s attr %d out of range for query arity %d",
+				s.Kind, s.Attr, arity)
+		}
+	}
+	return nil
+}
+
+// Canonical renders the aggregator spec as a deterministic fingerprint
+// fragment. Fields the kind ignores are omitted (Attr only matters to the
+// attribute kinds, Value only to const), so two specs share the fragment
+// iff Build returns behaviourally identical aggregators — the property
+// that makes the fragment safe and maximally shareable in cache keys.
+func (s AggSpec) Canonical() string {
+	switch s.Kind {
+	case "sum", "negsum", "min", "max", "avg":
+		return fmt.Sprintf("%s(attr=%d,mono=%t)", s.Kind, s.Attr, s.Monotone)
+	case "const":
+		return fmt.Sprintf("%s(value=%s,mono=%t)", s.Kind, canonFloat(s.Value), s.Monotone)
+	default:
+		return fmt.Sprintf("%s(mono=%t)", s.Kind, s.Monotone)
+	}
+}
+
+// ProblemSpec is the JSON wire form of a recommendation problem: queries in
+// the textual syntax, aggregators as AggSpecs. Bound carries the rating
+// bound B of the operations that take one (CPP, the ∃k-valid feasibility
+// core, MBP candidates).
+type ProblemSpec struct {
+	Query      string  `json:"query"`
+	Qc         string  `json:"qc,omitempty"`
+	Cost       AggSpec `json:"cost"`
+	Val        AggSpec `json:"val"`
+	Budget     float64 `json:"budget"`
+	K          int     `json:"k"`
+	MaxPkgSize int     `json:"maxPkgSize,omitempty"`
+	Bound      float64 `json:"bound,omitempty"`
+}
+
+// Build constructs the Problem a ProblemSpec describes over db.
+func (s ProblemSpec) Build(db *relation.Database) (*core.Problem, error) {
+	q, err := parser.Parse(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	p := &core.Problem{
+		DB: db, Q: q,
+		Budget: s.Budget, K: s.K, MaxPkgSize: s.MaxPkgSize,
+	}
+	if s.Qc != "" {
+		p.Qc, err = parser.Parse(s.Qc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Cost.validate(q.Arity()); err != nil {
+		return nil, fmt.Errorf("cost: %w", err)
+	}
+	if err := s.Val.validate(q.Arity()); err != nil {
+		return nil, fmt.Errorf("val: %w", err)
+	}
+	p.Cost, err = s.Cost.Build()
+	if err != nil {
+		return nil, err
+	}
+	p.Val, err = s.Val.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Canonical returns the deterministic fingerprint text of the problem spec:
+// queries are parsed and re-rendered (so formatting differences — spacing,
+// newlines, comment placement — vanish), floats are rendered in shortest
+// round-trip form, and every field appears in a fixed order. Two specs with
+// equal canonical text describe the same problem, which is what lets the
+// serving layer share cached results between syntactically different
+// requests.
+func (s ProblemSpec) Canonical() (string, error) {
+	q, err := parser.Canonicalize(s.Query)
+	if err != nil {
+		return "", fmt.Errorf("spec: selection query: %w", err)
+	}
+	qc := ""
+	if s.Qc != "" {
+		qc, err = parser.Canonicalize(s.Qc)
+		if err != nil {
+			return "", fmt.Errorf("spec: compatibility query: %w", err)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "q=%s|qc=%s|cost=%s|val=%s|budget=%s|k=%d|maxPkgSize=%d|bound=%s",
+		q, qc, s.Cost.Canonical(), s.Val.Canonical(),
+		canonFloat(s.Budget), s.K, s.MaxPkgSize, canonFloat(s.Bound))
+	return b.String(), nil
+}
+
+// MetricSpec is the JSON wire form of a distance function.
+type MetricSpec struct {
+	Kind    string             `json:"kind"` // absdiff | discrete | boolflip | table
+	Name    string             `json:"name,omitempty"`
+	Entries map[string]float64 `json:"entries,omitempty"` // "a|b" -> distance
+}
+
+// Build constructs the metric a MetricSpec describes.
+func (s MetricSpec) Build() (relax.Metric, error) {
+	switch s.Kind {
+	case "absdiff":
+		return relax.AbsDiff(), nil
+	case "discrete":
+		return relax.Discrete(), nil
+	case "boolflip":
+		return relax.BoolFlip(), nil
+	case "table":
+		entries := map[[2]string]float64{}
+		for k, d := range s.Entries {
+			// Keys are "a|b".
+			var a, b string
+			for i := 0; i < len(k); i++ {
+				if k[i] == '|' {
+					a, b = k[:i], k[i+1:]
+					break
+				}
+			}
+			if a == "" || b == "" {
+				return relax.Metric{}, fmt.Errorf("spec: table key %q is not of the form \"a|b\"", k)
+			}
+			entries[[2]string{a, b}] = d
+		}
+		name := s.Name
+		if name == "" {
+			name = "table"
+		}
+		return relax.Table(name, entries), nil
+	default:
+		return relax.Metric{}, fmt.Errorf("spec: unknown metric kind %q", s.Kind)
+	}
+}
+
+// Canonical renders the metric spec deterministically: table entries in
+// sorted key order, with the free-form components (kind, name, entry keys)
+// length-prefixed so no choice of names or keys can make two different
+// metrics render identically.
+func (s MetricSpec) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%s{", CanonString(s.Kind), CanonString(s.Name))
+	keys := make([]string, 0, len(s.Entries))
+	for k := range s.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", CanonString(k), canonFloat(s.Entries[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// CanonString length-prefixes a free-form string for use inside canonical
+// fingerprint text, so concatenations cannot collide ("ab"+"c" vs
+// "a"+"bc"); the serving layer uses it for collection names too.
+func CanonString(s string) string { return fmt.Sprintf("%d:%s", len(s), s) }
+
+// RelaxSpec is the JSON wire form of a QRPP instance: which discovered
+// relaxation points to enable (by index into relax.Points' output) and with
+// which metric.
+type RelaxSpec struct {
+	Points    []RelaxPointSpec `json:"points"`
+	Bound     float64          `json:"bound"`
+	GapBudget float64          `json:"gapBudget"`
+}
+
+// RelaxPointSpec selects one relaxation point.
+type RelaxPointSpec struct {
+	Index  int        `json:"index"`
+	Metric MetricSpec `json:"metric"`
+}
+
+// Build resolves the spec against a problem's selection query.
+func (s RelaxSpec) Build(prob *core.Problem) (relax.Instance, error) {
+	points, err := relax.Points(prob.Q)
+	if err != nil {
+		return relax.Instance{}, err
+	}
+	var chosen []relax.Point
+	for _, ps := range s.Points {
+		if ps.Index < 0 || ps.Index >= len(points) {
+			return relax.Instance{}, fmt.Errorf("spec: relaxation point index %d out of range (query has %d points)",
+				ps.Index, len(points))
+		}
+		m, err := ps.Metric.Build()
+		if err != nil {
+			return relax.Instance{}, err
+		}
+		chosen = append(chosen, points[ps.Index].WithMetric(m))
+	}
+	return relax.Instance{
+		Problem:   prob,
+		Points:    chosen,
+		Bound:     s.Bound,
+		GapBudget: s.GapBudget,
+	}, nil
+}
+
+// Canonical renders the relaxation spec deterministically.
+func (s RelaxSpec) Canonical() string {
+	var b strings.Builder
+	b.WriteString("relax[")
+	for i, p := range s.Points {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d:%s", p.Index, p.Metric.Canonical())
+	}
+	fmt.Fprintf(&b, "]bound=%s,gap=%s", canonFloat(s.Bound), canonFloat(s.GapBudget))
+	return b.String()
+}
+
+// AdjustSpec is the JSON wire form of an ARPP instance; the extra
+// collection D′ is supplied separately (a file for the CLI, an inline
+// database for the daemon).
+type AdjustSpec struct {
+	Bound  float64 `json:"bound"`
+	KPrime int     `json:"kPrime"`
+}
+
+// Build pairs the spec with a problem and extra collection.
+func (s AdjustSpec) Build(prob *core.Problem, extra *relation.Database) adjust.Instance {
+	return adjust.Instance{
+		Problem: prob,
+		Extra:   extra,
+		Bound:   s.Bound,
+		KPrime:  s.KPrime,
+	}
+}
+
+// Canonical renders the adjustment spec deterministically.
+func (s AdjustSpec) Canonical() string {
+	return fmt.Sprintf("adjust[bound=%s,kPrime=%d]", canonFloat(s.Bound), s.KPrime)
+}
+
+// canonFloat renders a float in shortest exact round-trip form, so that
+// fingerprints are stable across encoders.
+func canonFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

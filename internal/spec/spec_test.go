@@ -1,0 +1,179 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+func baseSpec() ProblemSpec {
+	return ProblemSpec{
+		Query:  `RQ(x, y) :- r(x, y), x < y.`,
+		Qc:     `Qc() :- RQ(x1, y1), RQ(x2, y2), x1 != x2.`,
+		Cost:   AggSpec{Kind: "sum", Attr: 1, Monotone: true},
+		Val:    AggSpec{Kind: "negsum", Attr: 0},
+		Budget: 10, K: 2, MaxPkgSize: 3, Bound: -5,
+	}
+}
+
+// The canonical form must erase formatting and nothing else: cache keys
+// built from it share entries exactly between equal problems.
+func TestCanonicalErasesFormattingOnly(t *testing.T) {
+	a := baseSpec()
+	b := baseSpec()
+	b.Query = `RQ(x, y)
+		:- r(x,    y),
+		   x < y.`
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Fatalf("reformatted query changed the canonical form:\n%s\n%s", ca, cb)
+	}
+
+	for name, mutate := range map[string]func(*ProblemSpec){
+		"query":    func(s *ProblemSpec) { s.Query = `RQ(x, y) :- r(x, y), x > y.` },
+		"qc":       func(s *ProblemSpec) { s.Qc = "" },
+		"cost":     func(s *ProblemSpec) { s.Cost.Attr = 0 },
+		"val":      func(s *ProblemSpec) { s.Val.Kind = "sum" },
+		"monotone": func(s *ProblemSpec) { s.Cost.Monotone = false },
+		"budget":   func(s *ProblemSpec) { s.Budget = 11 },
+		"k":        func(s *ProblemSpec) { s.K = 3 },
+		"maxSize":  func(s *ProblemSpec) { s.MaxPkgSize = 4 },
+		"bound":    func(s *ProblemSpec) { s.Bound = -4.5 },
+	} {
+		m := baseSpec()
+		mutate(&m)
+		cm, err := m.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cm == ca {
+			t.Errorf("changing %s did not change the canonical form", name)
+		}
+	}
+}
+
+func TestCanonicalRejectsBadQueries(t *testing.T) {
+	s := baseSpec()
+	s.Query = "definitely not a query"
+	if _, err := s.Canonical(); err == nil {
+		t.Fatal("bad query canonicalized without error")
+	}
+}
+
+// Canonicalize is idempotent: the canonical form re-parses to itself, so a
+// request already in canonical form maps to the same cache key.
+func TestParserCanonicalizeIdempotent(t *testing.T) {
+	srcs := []string{
+		`RQ(x, y) :- r(x, y), x < y.`,
+		`Qc() :- RQ(x1, y1), RQ(x2, y2), x1 != x2.`,
+		`RQ(x) :- a(x). RQ(x) :- b(x).`,
+	}
+	for _, src := range srcs {
+		once, err := parser.Canonicalize(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		twice, err := parser.Canonicalize(once)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", once, err)
+		}
+		if once != twice {
+			t.Errorf("not idempotent:\n%s\n%s", once, twice)
+		}
+	}
+}
+
+func TestRelaxAndMetricCanonical(t *testing.T) {
+	r := RelaxSpec{
+		Points: []RelaxPointSpec{
+			{Index: 0, Metric: MetricSpec{Kind: "table", Entries: map[string]float64{"b|c": 2, "a|b": 1}}},
+		},
+		Bound: 1, GapBudget: 3,
+	}
+	c1 := r.Canonical()
+	// Map iteration order must not leak into the canonical form.
+	for i := 0; i < 16; i++ {
+		if got := r.Canonical(); got != c1 {
+			t.Fatalf("canonical form unstable: %s vs %s", got, c1)
+		}
+	}
+	if !strings.Contains(c1, "a|b=1") || strings.Index(c1, "a|b") > strings.Index(c1, "b|c") {
+		t.Fatalf("table entries not in sorted order: %s", c1)
+	}
+	r2 := r
+	r2.GapBudget = 4
+	if r2.Canonical() == c1 {
+		t.Fatal("gap budget not in canonical form")
+	}
+	if (AdjustSpec{Bound: 1, KPrime: 2}).Canonical() == (AdjustSpec{Bound: 1, KPrime: 3}).Canonical() {
+		t.Fatal("kPrime not in adjust canonical form")
+	}
+}
+
+// Fields a kind ignores must not split cache entries: count with a stray
+// attr builds the same aggregator as plain count, so the fragments match.
+func TestAggCanonicalIgnoresUnusedFields(t *testing.T) {
+	if (AggSpec{Kind: "count", Attr: 3, Value: 7}).Canonical() != (AggSpec{Kind: "count"}).Canonical() {
+		t.Fatal("count canonical depends on unused attr/value")
+	}
+	if (AggSpec{Kind: "sum", Attr: 1, Value: 7}).Canonical() != (AggSpec{Kind: "sum", Attr: 1}).Canonical() {
+		t.Fatal("sum canonical depends on unused value")
+	}
+	if (AggSpec{Kind: "sum", Attr: 1}).Canonical() == (AggSpec{Kind: "sum", Attr: 2}).Canonical() {
+		t.Fatal("sum canonical ignores attr")
+	}
+	if (AggSpec{Kind: "const", Value: 1}).Canonical() == (AggSpec{Kind: "const", Value: 2}).Canonical() {
+		t.Fatal("const canonical ignores value")
+	}
+}
+
+func TestAggSpecBuildRejectsUnknownKind(t *testing.T) {
+	if _, err := (AggSpec{Kind: "median"}).Build(); err == nil {
+		t.Fatal("unknown aggregator kind built without error")
+	}
+}
+
+// Out-of-range attribute indexes must fail at spec build time — untrusted
+// wire input would otherwise panic inside the engine's steppers.
+func TestProblemSpecRejectsOutOfRangeAttr(t *testing.T) {
+	db := relation.NewDatabase().Add(relation.FromTuples(
+		relation.NewSchema("r", "a", "b"), relation.NewTuple(relation.Int(1), relation.Int(2))))
+	s := baseSpec()
+	s.Cost = AggSpec{Kind: "sum", Attr: 99}
+	if _, err := s.Build(db); err == nil {
+		t.Fatal("out-of-range cost attr built without error")
+	}
+	s = baseSpec()
+	s.Val = AggSpec{Kind: "avg", Attr: -1}
+	if _, err := s.Build(db); err == nil {
+		t.Fatal("negative val attr built without error")
+	}
+	if _, err := baseSpec().Build(db); err != nil {
+		t.Fatalf("in-range spec rejected: %v", err)
+	}
+}
+
+// Free-form metric names and table keys must not be able to collide in the
+// canonical form (they feed cache keys).
+func TestMetricCanonicalResistsInjection(t *testing.T) {
+	a := MetricSpec{Kind: "table", Name: "x{a|b=1}", Entries: map[string]float64{"c|d": 2}}
+	b := MetricSpec{Kind: "table", Name: "x", Entries: map[string]float64{"a|b=1}{c|d": 2}}
+	if _, err := a.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() == b.Canonical() {
+		t.Fatalf("distinct metrics share a canonical form: %s", a.Canonical())
+	}
+}

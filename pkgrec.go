@@ -33,17 +33,25 @@
 // (FindTopK merges per-worker top-k buffers under its deterministic order;
 // counting is order-independent); only the choice of DecideTopK witness can
 // vary, and any returned witness is a genuine counterexample.
+//
+// # The serving layer
+//
+// NewServeServer / NewServeClient expose the daemon-grade serving layer
+// (internal/serve, cmd/pkgrecd): named versioned collections, an LRU result
+// cache keyed by canonical problem fingerprints, request coalescing, and a
+// bounded parallel solve pool with per-request deadlines. See
+// docs/serving.md and ExampleNewServeClient.
 package pkgrec
 
 import (
-	"fmt"
-
 	"repro/internal/adjust"
 	"repro/internal/core"
 	"repro/internal/parser"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/relax"
+	"repro/internal/serve"
+	"repro/internal/spec"
 )
 
 // Core model types, re-exported.
@@ -213,6 +221,34 @@ func RelaxQuery(inst RelaxInstance) (*Relaxation, bool, error) { return relax.De
 // |Δ| ≤ k′ under which k distinct valid packages rated at least B exist.
 func AdjustItems(inst AdjustInstance) (*Delta, bool, error) { return adjust.Decide(inst) }
 
+// Serving layer (internal/serve): a long-lived daemon-grade service owning
+// named, versioned item collections and answering the six problems over
+// HTTP with result caching, request coalescing and bounded parallel solves.
+// cmd/pkgrecd wraps it as a standalone daemon; see docs/serving.md.
+type (
+	// ServeServer is the recommendation service: collections + cache +
+	// solve scheduler.
+	ServeServer = serve.Server
+	// ServeOptions configures a ServeServer.
+	ServeOptions = serve.Options
+	// ServeClient is the JSON-over-HTTP client for a pkgrecd daemon.
+	ServeClient = serve.Client
+	// ServeRequest is one solve request (problem spec + operation).
+	ServeRequest = serve.Request
+	// ServeResponse is a solve response.
+	ServeResponse = serve.Response
+	// ServeStats is the service's runtime counters (hit rate, in-flight,
+	// latency percentiles).
+	ServeStats = serve.Stats
+)
+
+// NewServeServer builds a recommendation service; zero Options mean
+// defaults (GOMAXPROCS concurrent solves, 1024 cache entries).
+func NewServeServer(opts ServeOptions) *ServeServer { return serve.NewServer(opts) }
+
+// NewServeClient builds a client for a pkgrecd daemon at baseURL.
+func NewServeClient(baseURL string) *ServeClient { return serve.NewClient(baseURL) }
+
 // Metrics for query relaxation.
 var (
 	// AbsDiffMetric is |a − b| on numerics.
@@ -223,84 +259,15 @@ var (
 	TableMetric = relax.Table
 )
 
-// AggSpec is the JSON wire form of an aggregator, used by cmd/pkgrec.
-type AggSpec struct {
-	Kind     string  `json:"kind"` // count, countOrInf, sum, negsum, min, max, avg, const
-	Attr     int     `json:"attr,omitempty"`
-	Value    float64 `json:"value,omitempty"`
-	Monotone bool    `json:"monotone,omitempty"`
-}
-
-// Build constructs the aggregator an AggSpec describes.
-func (s AggSpec) Build() (Aggregator, error) {
-	var a Aggregator
-	switch s.Kind {
-	case "count":
-		a = Count()
-	case "countOrInf":
-		a = CountOrInf()
-	case "sum":
-		a = SumAttr(s.Attr)
-	case "negsum":
-		a = NegSumAttr(s.Attr)
-	case "min":
-		a = MinAttr(s.Attr)
-	case "max":
-		a = MaxAttr(s.Attr)
-	case "avg":
-		a = AvgAttr(s.Attr)
-	case "const":
-		a = ConstAgg(s.Value)
-	default:
-		return Aggregator{}, fmt.Errorf("pkgrec: unknown aggregator kind %q", s.Kind)
-	}
-	if s.Monotone {
-		a = a.WithMonotone()
-	}
-	return a, nil
-}
-
-// ProblemSpec is the JSON wire form of a recommendation problem, used by
-// cmd/pkgrec: queries in the textual syntax, aggregators as AggSpecs.
-type ProblemSpec struct {
-	Query      string  `json:"query"`
-	Qc         string  `json:"qc,omitempty"`
-	Cost       AggSpec `json:"cost"`
-	Val        AggSpec `json:"val"`
-	Budget     float64 `json:"budget"`
-	K          int     `json:"k"`
-	MaxPkgSize int     `json:"maxPkgSize,omitempty"`
-	Bound      float64 `json:"bound,omitempty"`
-}
-
-// Build constructs the Problem a ProblemSpec describes over db.
-func (s ProblemSpec) Build(db *Database) (*Problem, error) {
-	q, err := ParseQuery(s.Query)
-	if err != nil {
-		return nil, err
-	}
-	var qc Query
-	if s.Qc != "" {
-		qc, err = ParseQuery(s.Qc)
-		if err != nil {
-			return nil, err
-		}
-	}
-	cost, err := s.Cost.Build()
-	if err != nil {
-		return nil, err
-	}
-	val, err := s.Val.Build()
-	if err != nil {
-		return nil, err
-	}
-	p := &Problem{
-		DB: db, Q: q, Qc: qc,
-		Cost: cost, Val: val,
-		Budget: s.Budget, K: s.K, MaxPkgSize: s.MaxPkgSize,
-	}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	return p, nil
-}
+// Wire formats (JSON specs for problems, aggregators, relaxations and
+// adjustments) live in internal/spec and are re-exported here; cmd/pkgrec,
+// cmd/pkgrecd and the serving layer all speak them. Each spec carries a
+// Canonical method producing the deterministic fingerprint text the serving
+// layer's result cache is keyed on.
+type (
+	// AggSpec is the JSON wire form of an aggregator.
+	AggSpec = spec.AggSpec
+	// ProblemSpec is the JSON wire form of a recommendation problem:
+	// queries in the textual syntax, aggregators as AggSpecs.
+	ProblemSpec = spec.ProblemSpec
+)

@@ -1,10 +1,8 @@
 package pkgrec
 
 import (
-	"fmt"
-
 	"repro/internal/core"
-	"repro/internal/relax"
+	"repro/internal/spec"
 )
 
 // GroupSemantics selects how a group combines individual ratings
@@ -32,102 +30,17 @@ func GroupProblem(base *Problem, users []Aggregator, sem GroupSemantics, disagre
 	return core.GroupProblem(base, users, sem, disagreementWeight)
 }
 
-// MetricSpec is the JSON wire form of a distance function.
-type MetricSpec struct {
-	Kind    string             `json:"kind"` // absdiff | discrete | boolflip | table
-	Name    string             `json:"name,omitempty"`
-	Entries map[string]float64 `json:"entries,omitempty"` // "a|b" -> distance
-}
-
-// Build constructs the metric a MetricSpec describes.
-func (s MetricSpec) Build() (Metric, error) {
-	switch s.Kind {
-	case "absdiff":
-		return relax.AbsDiff(), nil
-	case "discrete":
-		return relax.Discrete(), nil
-	case "boolflip":
-		return relax.BoolFlip(), nil
-	case "table":
-		entries := map[[2]string]float64{}
-		for k, d := range s.Entries {
-			// Keys are "a|b".
-			var a, b string
-			for i := 0; i < len(k); i++ {
-				if k[i] == '|' {
-					a, b = k[:i], k[i+1:]
-					break
-				}
-			}
-			if a == "" || b == "" {
-				return Metric{}, fmt.Errorf("pkgrec: table key %q is not of the form \"a|b\"", k)
-			}
-			entries[[2]string{a, b}] = d
-		}
-		name := s.Name
-		if name == "" {
-			name = "table"
-		}
-		return relax.Table(name, entries), nil
-	default:
-		return Metric{}, fmt.Errorf("pkgrec: unknown metric kind %q", s.Kind)
-	}
-}
-
-// RelaxSpec is the JSON wire form of a QRPP instance: which discovered
-// relaxation points to enable (by index into RelaxPoints' output) and with
-// which metric.
-type RelaxSpec struct {
-	Points    []RelaxPointSpec `json:"points"`
-	Bound     float64          `json:"bound"`
-	GapBudget float64          `json:"gapBudget"`
-}
-
-// RelaxPointSpec selects one relaxation point.
-type RelaxPointSpec struct {
-	Index  int        `json:"index"`
-	Metric MetricSpec `json:"metric"`
-}
-
-// Build resolves the spec against a problem's selection query.
-func (s RelaxSpec) Build(prob *Problem) (RelaxInstance, error) {
-	points, err := relax.Points(prob.Q)
-	if err != nil {
-		return RelaxInstance{}, err
-	}
-	var chosen []RelaxPoint
-	for _, ps := range s.Points {
-		if ps.Index < 0 || ps.Index >= len(points) {
-			return RelaxInstance{}, fmt.Errorf("pkgrec: relaxation point index %d out of range (query has %d points)",
-				ps.Index, len(points))
-		}
-		m, err := ps.Metric.Build()
-		if err != nil {
-			return RelaxInstance{}, err
-		}
-		chosen = append(chosen, points[ps.Index].WithMetric(m))
-	}
-	return RelaxInstance{
-		Problem:   prob,
-		Points:    chosen,
-		Bound:     s.Bound,
-		GapBudget: s.GapBudget,
-	}, nil
-}
-
-// AdjustSpec is the JSON wire form of an ARPP instance; the extra
-// collection D′ is loaded separately by the CLI.
-type AdjustSpec struct {
-	Bound  float64 `json:"bound"`
-	KPrime int     `json:"kPrime"`
-}
-
-// Build pairs the spec with a problem and extra collection.
-func (s AdjustSpec) Build(prob *Problem, extra *Database) AdjustInstance {
-	return AdjustInstance{
-		Problem: prob,
-		Extra:   extra,
-		Bound:   s.Bound,
-		KPrime:  s.KPrime,
-	}
-}
+// Relaxation and adjustment wire formats, re-exported from internal/spec.
+type (
+	// MetricSpec is the JSON wire form of a distance function.
+	MetricSpec = spec.MetricSpec
+	// RelaxSpec is the JSON wire form of a QRPP instance: which discovered
+	// relaxation points to enable (by index into RelaxPoints' output) and
+	// with which metric.
+	RelaxSpec = spec.RelaxSpec
+	// RelaxPointSpec selects one relaxation point.
+	RelaxPointSpec = spec.RelaxPointSpec
+	// AdjustSpec is the JSON wire form of an ARPP instance; the extra
+	// collection D′ is loaded separately by the CLI.
+	AdjustSpec = spec.AdjustSpec
+)
