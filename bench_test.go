@@ -195,6 +195,55 @@ func BenchmarkEngineFRPTravelSerial(b *testing.B)    { benchFRPTravel(b, false, 
 func BenchmarkEngineFRPTravelRecompute(b *testing.B) { benchFRPTravel(b, false, true) }
 func BenchmarkEngineFRPTravelParallel(b *testing.B)  { benchFRPTravel(b, true, false) }
 
+// --- Branch-and-bound vs exhaustive ---
+//
+// The same instance solved with the bound layer on (the default) and off
+// (Problem.Exhaustive), isolating what the aggregator bounds + search floor
+// buy on top of the incremental steppers. `recbench -table bb` prints the
+// scaling series with nodes-visited/pruned columns; BENCHMARKS.md records
+// the reference run.
+
+func benchFRPTravelBB(b *testing.B, exhaustive bool) {
+	b.Helper()
+	p := experiments.TravelProblem(640).WithMaxSize(2)
+	p.Exhaustive = exhaustive
+	if _, err := p.Candidates(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.FindTopK(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineFRPTravelBB(b *testing.B)         { benchFRPTravelBB(b, false) }
+func BenchmarkEngineFRPTravelExhaustive(b *testing.B) { benchFRPTravelBB(b, true) }
+
+// benchCPPTravelBB counts the travel packages of up to three POIs with
+// ticket total at most 10 (rating bound B = −10): the counting threshold is
+// a static floor, so the bound layer cuts every subtree that cannot stay
+// that cheap — the family where branch-and-bound pays off most.
+func benchCPPTravelBB(b *testing.B, exhaustive bool) {
+	b.Helper()
+	p := experiments.TravelProblem(640)
+	p.MaxPkgSize = 3
+	p.Exhaustive = exhaustive
+	if _, err := p.Candidates(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CountValid(-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineCPPTravelBB(b *testing.B)         { benchCPPTravelBB(b, false) }
+func BenchmarkEngineCPPTravelExhaustive(b *testing.B) { benchCPPTravelBB(b, true) }
+
 // --- Figure 4.1: the Boolean gadget relations ---
 
 // BenchmarkFigure41Gadgets compiles and evaluates a gadget-encoded formula

@@ -4,9 +4,13 @@
 //
 //	recbench            # full run
 //	recbench -quick     # smaller parameters
-//	recbench -table 82  # one table only (81 | 82 | abl | par | all)
+//	recbench -table 82  # one table only (81 | 82 | abl | par | bb | all)
 //	recbench -table par -workers 8
 //	                    # serial vs parallel engine on the same families
+//	recbench -table bb  # branch-and-bound vs exhaustive engine
+//	recbench -quick -json > BENCH_quick.json
+//	                    # machine-readable results (family, ns/op, nodes
+//	                    # visited/pruned); CI archives this artifact
 //
 // Absolute times are machine-dependent; the reproduced signal is the growth
 // shape per row (exponential for the hard settings, polynomial for the
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/experiments"
 )
@@ -27,35 +32,72 @@ func main() {
 	log.SetPrefix("recbench: ")
 	var (
 		quick   = flag.Bool("quick", false, "use smaller instance parameters")
-		table   = flag.String("table", "all", "which table to run: 81 | 82 | abl | par | all")
+		table   = flag.String("table", "all", "which table to run: 81 | 82 | abl | par | bb | all")
 		workers = flag.Int("workers", 0, "worker goroutines for the parallel engine rows (0 = GOMAXPROCS)")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON results on stdout instead of text tables")
 	)
 	flag.Parse()
 
+	// Row failures are recorded, not fatal mid-run: in -json mode the
+	// report (with its Error fields populated) must still reach stdout
+	// before the non-zero exit, so CI archives the partial artifact
+	// instead of an empty file.
+	var reports []experiments.JSONReport
+	failed := false
 	run := func(title string, fams []experiments.Family) {
 		rows := experiments.RunAll(fams)
-		fmt.Println(experiments.Render(title, rows))
+		if *jsonOut {
+			reports = append(reports, experiments.ReportJSON(title, rows))
+		} else {
+			fmt.Println(experiments.Render(title, rows))
+		}
 		for _, r := range rows {
 			if r.Err != nil {
-				log.Fatalf("row %s failed: %v", r.Family.ID, r.Err)
+				failed = true
+				log.Printf("row %s failed: %v", r.Family.ID, r.Err)
 			}
 		}
 	}
+	tables := map[string]func(){
+		"81": func() {
+			run("Table 8.1 — combined complexity (measured scaling)", experiments.Table81(*quick))
+		},
+		"82": func() {
+			run("Table 8.2 — data complexity (measured scaling)", experiments.Table82(*quick))
+		},
+		"abl": func() {
+			run("Ablations (design choices)", experiments.Ablations(*quick))
+		},
+		"par": func() {
+			run("Engine comparison — serial vs parallel+incremental", experiments.EngineRows(*quick, *workers))
+		},
+		"bb": func() {
+			run("Engine comparison — branch-and-bound vs exhaustive", experiments.BoundRows(*quick))
+		},
+	}
 	switch *table {
-	case "81":
-		run("Table 8.1 — combined complexity (measured scaling)", experiments.Table81(*quick))
-	case "82":
-		run("Table 8.2 — data complexity (measured scaling)", experiments.Table82(*quick))
-	case "abl":
-		run("Ablations (design choices)", experiments.Ablations(*quick))
-	case "par":
-		run("Engine comparison — serial vs parallel+incremental", experiments.EngineRows(*quick, *workers))
 	case "all":
-		run("Table 8.1 — combined complexity (measured scaling)", experiments.Table81(*quick))
-		run("Table 8.2 — data complexity (measured scaling)", experiments.Table82(*quick))
-		run("Ablations (design choices)", experiments.Ablations(*quick))
-		run("Engine comparison — serial vs parallel+incremental", experiments.EngineRows(*quick, *workers))
+		for _, id := range []string{"81", "82", "abl", "par", "bb"} {
+			tables[id]()
+		}
 	default:
-		log.Fatalf("unknown table %q", *table)
+		f, ok := tables[*table]
+		if !ok {
+			log.Fatalf("unknown table %q", *table)
+		}
+		f()
+	}
+	if *jsonOut {
+		out, err := experiments.MarshalReports(reports)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, '\n')
+		if _, err := os.Stdout.Write(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

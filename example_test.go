@@ -98,6 +98,29 @@ func ExampleRelaxQuery() {
 	// gap 1: RQ(n, p, r) :- item(n, p, r), absdiff(p, 1) <= 1.
 }
 
+// EngineCounters watches the branch-and-bound engine work: solving the
+// same FRP instance with pruning (the default) and exhaustively, the
+// counters show the bound layer cutting subtrees that cannot beat the best
+// board found so far — without changing the answer.
+func ExampleEngineCounters() {
+	for _, exhaustive := range []bool{false, true} {
+		prob := shopProblem(1)
+		var c pkgrec.EngineCounters
+		prob.Counters = &c
+		prob.Exhaustive = exhaustive
+		sel, ok, err := pkgrec.FindTopK(prob)
+		if err != nil || !ok {
+			log.Fatal(err, ok)
+		}
+		fmt.Printf("exhaustive=%v best val=%g: visited=%d yielded=%d pruned=%d boundEvals=%d\n",
+			exhaustive, prob.Val.Eval(sel[0]),
+			c.Nodes.Load(), c.Yielded.Load(), c.Pruned.Load(), c.BoundEvals.Load())
+	}
+	// Output:
+	// exhaustive=false best val=6: visited=7 yielded=6 pruned=2 boundEvals=6
+	// exhaustive=true best val=6: visited=10 yielded=9 pruned=0 boundEvals=0
+}
+
 // NewServeClient talks to a pkgrecd daemon: upload a collection, solve the
 // same CPP problem twice, and watch the second answer come from the result
 // cache.

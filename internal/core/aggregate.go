@@ -24,6 +24,7 @@ type Aggregator struct {
 	fn      func(Package) float64
 	mono    bool
 	stepper func() Stepper
+	bounds  func(cands []relation.Tuple) Bounder
 }
 
 // Stepper is the incremental form of an aggregator: it maintains the
@@ -83,6 +84,26 @@ func (a Aggregator) WithStepper(newStepper func() Stepper) Aggregator {
 	return a
 }
 
+// NewBounder builds the aggregator's extension-bound tables over the
+// canonically sorted candidate list, or returns nil when the aggregator has
+// none (arbitrary Func aggregators); the branch-and-bound engine then skips
+// the corresponding prune. All stock constructors except AvgAttr (whose
+// mean is neither monotone nor suffix-decomposable) provide bounders.
+func (a Aggregator) NewBounder(cands []relation.Tuple) Bounder {
+	if a.bounds == nil {
+		return nil
+	}
+	return a.bounds(cands)
+}
+
+// WithBounder returns a copy carrying an extension-bound factory. The
+// bounder must be admissible with respect to Eval (see Bounder); soundness
+// is the caller's obligation, as with WithMonotone and WithStepper.
+func (a Aggregator) WithBounder(newBounder func(cands []relation.Tuple) Bounder) Aggregator {
+	a.bounds = newBounder
+	return a
+}
+
 // stackStepper is the shared stepper implementation: vals[i] holds the
 // accumulator after the first i+1 pushes, so Pop is an exact state restore
 // (no inverse floating-point operation is ever applied). step folds one
@@ -118,11 +139,14 @@ func (s *stackStepper) Value() float64 {
 	return top
 }
 
+// countBounder is the shared bound factory of Count and CountOrInf.
+func countBounder(cands []relation.Tuple) Bounder { return countBounds{n: len(cands)} }
+
 // Count returns cost(N) = |N|.
 func Count() Aggregator {
 	return Aggregator{name: "count", mono: true,
 		fn:      func(p Package) float64 { return float64(p.Len()) },
-		stepper: countStepper(0)}
+		stepper: countStepper(0), bounds: countBounder}
 }
 
 // CountOrInf returns the paper's standard cost function: cost(N) = |N| for
@@ -134,7 +158,7 @@ func CountOrInf() Aggregator {
 			return math.Inf(1)
 		}
 		return float64(p.Len())
-	}, stepper: countStepper(math.Inf(1))}
+	}, stepper: countStepper(math.Inf(1)), bounds: countBounder}
 }
 
 func countStepper(empty float64) func() Stepper {
@@ -156,6 +180,8 @@ func SumAttr(i int) Aggregator {
 	}, stepper: func() Stepper {
 		return &stackStepper{
 			step: func(acc float64, t relation.Tuple) float64 { return acc + t[i].Float64() }}
+	}, bounds: func(cands []relation.Tuple) Bounder {
+		return newSumBounds(cands, 1, func(t relation.Tuple) float64 { return t[i].Float64() })
 	}}
 }
 
@@ -171,6 +197,8 @@ func NegSumAttr(i int) Aggregator {
 	}, stepper: func() Stepper {
 		return &stackStepper{
 			step: func(acc float64, t relation.Tuple) float64 { return acc - t[i].Float64() }}
+	}, bounds: func(cands []relation.Tuple) Bounder {
+		return newSumBounds(cands, 1, func(t relation.Tuple) float64 { return -t[i].Float64() })
 	}}
 }
 
@@ -187,6 +215,8 @@ func MinAttr(i int) Aggregator {
 	}, stepper: func() Stepper {
 		return &stackStepper{seed: math.Inf(1), empty: math.Inf(1),
 			step: func(acc float64, t relation.Tuple) float64 { return math.Min(acc, t[i].Float64()) }}
+	}, bounds: func(cands []relation.Tuple) Bounder {
+		return newMinMaxBounds(cands, i, true)
 	}}
 }
 
@@ -201,6 +231,8 @@ func MaxAttr(i int) Aggregator {
 	}, stepper: func() Stepper {
 		return &stackStepper{seed: math.Inf(-1), empty: math.Inf(-1),
 			step: func(acc float64, t relation.Tuple) float64 { return math.Max(acc, t[i].Float64()) }}
+	}, bounds: func(cands []relation.Tuple) Bounder {
+		return newMinMaxBounds(cands, i, false)
 	}}
 }
 
@@ -246,6 +278,11 @@ func WeightedSum(weights map[int]float64) Aggregator {
 		return s
 	}, stepper: func() Stepper {
 		return &stackStepper{step: fold}
+	}, bounds: func(cands []relation.Tuple) Bounder {
+		// The stepper folds |attrs| terms per tuple into the running
+		// accumulator; the per-tuple weight here re-associates them, which
+		// the bounder's rounding margin (sized by terms) accounts for.
+		return newSumBounds(cands, len(attrs), func(t relation.Tuple) float64 { return fold(0, t) })
 	}}
 }
 
@@ -257,7 +294,8 @@ func ConstAgg(v float64) Aggregator {
 		stepper: func() Stepper {
 			return &stackStepper{seed: v, empty: v,
 				step: func(float64, relation.Tuple) float64 { return v }}
-		}}
+		},
+		bounds: func([]relation.Tuple) Bounder { return constBounds{v: v} }}
 }
 
 // Utility is a per-item rating function f(), the item-recommendation model
@@ -292,5 +330,5 @@ func SingletonVal(f Utility) Aggregator {
 				}
 				return acc
 			}}
-	}}
+	}, bounds: func([]relation.Tuple) Bounder { return singletonBounds{} }}
 }

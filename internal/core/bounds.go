@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// This file is the bound layer of the branch-and-bound engine: admissible
+// extension bounds for the stock aggregators (Bounder and its suffix-table
+// implementations), the live pruning floor shared by all walkers of one
+// solve (searchFloor), and the per-solve strategy object that bundles both
+// for the serial and parallel engines. The engine stays bitwise-equal to the
+// exhaustive enumeration because every cut subtree is *provably* free of
+// packages that could change the answer: the cost lower bound exceeding the
+// budget means no extension is valid, and the val upper bound falling below
+// the floor means no extension can beat the current answer (the k-th best
+// rating, an RPP selection's minimum, or a counting/feasibility threshold).
+
+// Bounder yields admissible bounds for the subset-DFS over the canonically
+// sorted candidate list. All queries concern the strict extensions of the
+// current path P: packages P ∪ E with E a non-empty subset of
+// cands[start:] and |E| ≤ rem. cur is the aggregate of P itself (the
+// incremental stepper value) and pathLen = |P| ≥ 1.
+//
+// Upper must over-approximate (≥ the true aggregate of every such
+// extension) and Lower must under-approximate; equality is allowed. The
+// stock bounders are admissible for floating-point evaluation, not just in
+// exact arithmetic: the additive bounders fold their suffix tables in a
+// different association than the engine's steppers, so they widen every
+// bound by an explicit rounding margin (fpMargin) covering the worst-case
+// error of both folds; min/max/count/const bounds involve no rounding at
+// all. A NaN anywhere in the suffix poisons the bound into NaN, which
+// never prunes (all floor and budget comparisons are written to fail on
+// NaN).
+//
+// A Bounder is built once per solve from the memoised candidate list and is
+// read-only afterwards, so one instance is shared by all parallel workers.
+type Bounder interface {
+	// Upper returns an optimistic upper bound on agg(P ∪ E).
+	Upper(cur float64, pathLen, start, rem int) float64
+	// Lower returns a pessimistic lower bound on agg(P ∪ E).
+	Lower(cur float64, pathLen, start, rem int) float64
+}
+
+// ---------------------------------------------------------------------------
+// Stock bounder implementations: O(n) suffix tables, O(1) queries.
+// ---------------------------------------------------------------------------
+
+// sumBounds serves the per-tuple-additive aggregators (SumAttr, NegSumAttr,
+// WeightedSum): agg(P ∪ E) = cur + Σ_{t∈E} w(t). Suffix tables over the
+// canonical candidate order give the extremal achievable gain/loss:
+//
+//	max Σ over non-empty E, |E| ≤ rem  ≤  min(posSum, rem·maxW)  (or maxW
+//	when the suffix has no positive weight: the best move is the single
+//	largest element), and symmetrically for the minimum.
+//
+// The engine's steppers fold the same terms left-to-right along the DFS
+// path, while these tables fold them right-to-left per suffix — two
+// floating-point results that can differ by accumulated rounding even
+// though they sum the same multiset. Every query therefore widens its
+// bound by fpMargin over the total term magnitude (absSum), making the
+// bounds admissible for the value the engine will actually compute, not
+// merely for the exact sum.
+type sumBounds struct {
+	terms  int       // fl additions per tuple (1 for attr sums, |attrs| for WeightedSum)
+	posSum []float64 // posSum[i] = Σ max(w_j, 0) for j ≥ i
+	negSum []float64 // negSum[i] = Σ min(w_j, 0) for j ≥ i
+	absSum []float64 // absSum[i] = Σ |w_j| for j ≥ i (rounding-margin magnitude)
+	maxW   []float64 // max single weight in cands[i:]
+	minW   []float64 // min single weight in cands[i:]
+}
+
+func newSumBounds(cands []relation.Tuple, terms int, w func(relation.Tuple) float64) *sumBounds {
+	n := len(cands)
+	b := &sumBounds{
+		terms:  terms,
+		posSum: make([]float64, n+1), negSum: make([]float64, n+1),
+		absSum: make([]float64, n+1),
+		maxW:   make([]float64, n+1), minW: make([]float64, n+1),
+	}
+	b.maxW[n], b.minW[n] = math.Inf(-1), math.Inf(1)
+	for i := n - 1; i >= 0; i-- {
+		wi := w(cands[i])
+		b.posSum[i], b.negSum[i] = b.posSum[i+1], b.negSum[i+1]
+		switch {
+		case wi > 0:
+			b.posSum[i] += wi
+		case wi < 0:
+			b.negSum[i] += wi
+		case math.IsNaN(wi): // poison both sums: NaN bounds never prune
+			b.posSum[i] += wi
+			b.negSum[i] += wi
+		}
+		b.absSum[i] = b.absSum[i+1] + math.Abs(wi)
+		b.maxW[i] = math.Max(b.maxW[i+1], wi)
+		b.minW[i] = math.Min(b.minW[i+1], wi)
+	}
+	return b
+}
+
+// ulp is the distance from 1.0 to the next float64 (2^−52), the unit the
+// rounding margins are denominated in.
+const ulp = 2.220446049250313e-16
+
+// margin over-approximates the worst-case rounding gap between any two
+// fold orders of the involved terms: cur plus at most rem tuples'
+// contributions from cands[start:]. Standard error analysis bounds each
+// fold's deviation from the exact sum by ~m·u·Σ|terms| for m additions;
+// 4·(m+2) ulps of the total magnitude generously covers both folds and
+// the min(·, rem·maxW) product. A NaN or ±Inf magnitude yields a NaN/∞
+// margin, which (by design) disables the prune.
+func (b *sumBounds) margin(cur float64, start, rem int) float64 {
+	if avail := len(b.posSum) - 1 - start; rem > avail {
+		rem = avail
+	}
+	m := b.terms*rem + 2
+	return float64(m) * (4 * ulp) * (math.Abs(cur) + b.absSum[start])
+}
+
+func (b *sumBounds) Upper(cur float64, _, start, rem int) float64 {
+	gain := b.maxW[start] // best single extension; covers all-negative suffixes
+	if ps := b.posSum[start]; ps > 0 {
+		gain = ps
+		if c := float64(rem) * b.maxW[start]; c < gain {
+			gain = c
+		}
+	} else if math.IsNaN(b.posSum[start]) {
+		gain = b.posSum[start]
+	}
+	return cur + gain + b.margin(cur, start, rem)
+}
+
+func (b *sumBounds) Lower(cur float64, _, start, rem int) float64 {
+	loss := b.minW[start]
+	if ns := b.negSum[start]; ns < 0 {
+		loss = ns
+		if c := float64(rem) * b.minW[start]; c > loss {
+			loss = c
+		}
+	} else if math.IsNaN(b.negSum[start]) {
+		loss = b.negSum[start]
+	}
+	return cur + loss - b.margin(cur, start, rem)
+}
+
+// countBounds serves Count and CountOrInf: every strict extension has
+// between pathLen+1 and pathLen+min(rem, |suffix|) tuples. (The empty
+// package's ∞ cost is irrelevant here — extensions are never empty.)
+type countBounds struct{ n int }
+
+func (b countBounds) Upper(_ float64, pathLen, start, rem int) float64 {
+	avail := b.n - start
+	if rem < avail {
+		avail = rem
+	}
+	return float64(pathLen + avail)
+}
+
+func (b countBounds) Lower(_ float64, pathLen, _, _ int) float64 {
+	return float64(pathLen + 1)
+}
+
+// minMaxBounds serves MinAttr and MaxAttr via suffix attribute extrema:
+// min(P ∪ E) lies in [min(cur, sufMin), min(cur, sufMax)] and
+// max(P ∪ E) in [max(cur, sufMin), max(cur, sufMax)].
+type minMaxBounds struct {
+	isMin  bool
+	sufMin []float64 // min attribute value in cands[i:]
+	sufMax []float64 // max attribute value in cands[i:]
+}
+
+func newMinMaxBounds(cands []relation.Tuple, attr int, isMin bool) *minMaxBounds {
+	n := len(cands)
+	b := &minMaxBounds{
+		isMin:  isMin,
+		sufMin: make([]float64, n+1), sufMax: make([]float64, n+1),
+	}
+	b.sufMin[n], b.sufMax[n] = math.Inf(1), math.Inf(-1)
+	for i := n - 1; i >= 0; i-- {
+		v := cands[i][attr].Float64()
+		b.sufMin[i] = math.Min(b.sufMin[i+1], v)
+		b.sufMax[i] = math.Max(b.sufMax[i+1], v)
+	}
+	return b
+}
+
+func (b *minMaxBounds) Upper(cur float64, _, start, _ int) float64 {
+	if b.isMin {
+		return math.Min(cur, b.sufMax[start])
+	}
+	return math.Max(cur, b.sufMax[start])
+}
+
+func (b *minMaxBounds) Lower(cur float64, _, start, _ int) float64 {
+	if b.isMin {
+		return math.Min(cur, b.sufMin[start])
+	}
+	return math.Max(cur, b.sufMin[start])
+}
+
+// constBounds serves ConstAgg: every package aggregates to v.
+type constBounds struct{ v float64 }
+
+func (b constBounds) Upper(float64, int, int, int) float64 { return b.v }
+func (b constBounds) Lower(float64, int, int, int) float64 { return b.v }
+
+// singletonBounds serves SingletonVal: the path already holds at least one
+// tuple, so every strict extension is a non-singleton and aggregates to
+// exactly −∞. Under any finite floor this cuts the whole forest below depth
+// one — the item embedding's search space collapses to the candidate list.
+type singletonBounds struct{}
+
+func (singletonBounds) Upper(float64, int, int, int) float64 { return math.Inf(-1) }
+func (singletonBounds) Lower(float64, int, int, int) float64 { return math.Inf(-1) }
+
+// ---------------------------------------------------------------------------
+// The live pruning floor.
+// ---------------------------------------------------------------------------
+
+// searchFloor is the live val floor of one solve: subtrees whose optimistic
+// val bound cannot reach it are cut. The floor starts at a solver-chosen
+// threshold (−∞ for top-k searches, B for counting/feasibility, the
+// selection minimum for RPP) and only ever rises; raise is an atomic
+// float64 max, so the parallel workers tighten one shared floor
+// cooperatively and every tightening immediately benefits all subtrees
+// still being walked.
+//
+// Soundness of a raise: the caller must guarantee that k packages rated at
+// least the new floor already exist (for top-k floors) or that packages
+// below it cannot affect the answer (static thresholds). Cutting is strict
+// — a subtree survives when its bound ties the floor — except for
+// exclusive floors (DecideTopK's "strictly above" witness condition), where
+// a tie can be cut too.
+type searchFloor struct {
+	bits atomic.Uint64 // math.Float64bits of the current floor
+	excl bool          // packages must rate strictly above the floor
+}
+
+// newFloor builds a floor starting at v; excl marks "strictly above"
+// semantics (prune when bound ≤ floor rather than bound < floor).
+func newFloor(v float64, excl bool) *searchFloor {
+	f := &searchFloor{excl: excl}
+	f.bits.Store(math.Float64bits(v))
+	return f
+}
+
+// value returns the current floor.
+func (f *searchFloor) value() float64 {
+	return math.Float64frombits(f.bits.Load())
+}
+
+// raise lifts the floor to v when v is higher (atomic max; NaN ignored).
+func (f *searchFloor) raise(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	for {
+		old := f.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// cuts reports whether an optimistic val bound ub rules out a subtree. NaN
+// bounds never cut (both comparisons fail), so unbounded aggregates degrade
+// to exhaustive search instead of unsound pruning.
+func (f *searchFloor) cuts(ub float64) bool {
+	v := f.value()
+	if f.excl {
+		return ub <= v
+	}
+	return ub < v
+}
+
+// ---------------------------------------------------------------------------
+// The per-solve strategy.
+// ---------------------------------------------------------------------------
+
+// strategy is the pruning configuration of one solve, threaded through the
+// serial walker and every parallel worker alike (the "strategy layer"): the
+// cost aggregator's pessimistic bounder gating on the budget, and the val
+// aggregator's optimistic bounder gating on the live floor. Either side is
+// nil when the aggregator has no bounder (opaque Func aggregators) or the
+// solver has no threshold (plain enumeration), in which case that check
+// degrades to the seed behaviour — the monotone-cost budget test only.
+//
+// The upper layers need no code of their own to benefit: relax.Decide(Ctx)
+// and adjust.Decide(Ctx) run on ExistsKValid(ParallelCtx) and the serving
+// layer on the parallel solvers, so their feasibility searches inherit the
+// same cuts.
+type strategy struct {
+	costLB Bounder
+	valUB  Bounder
+	floor  *searchFloor
+}
+
+// active reports whether any bound check can fire.
+func (st *strategy) active() bool {
+	return st.costLB != nil || (st.valUB != nil && st.floor != nil)
+}
+
+// cutBelow evaluates both bound gates for the subtree of strict extensions
+// below the current node — packages drawing at most rem more tuples from
+// cands[next:]. cost and val are the current path's aggregates (val is
+// only read when a floor is installed, so callers may pass 0 without
+// one). The serial walker, the parallel workers and the oracle walk all
+// share this one method, tallying into caller-local counters that are
+// flushed per walk.
+func (st *strategy) cutBelow(cost, val float64, pathLen, next, rem int, budget float64, boundEvals, prunes *int64) bool {
+	if st.costLB != nil {
+		*boundEvals++
+		if st.costLB.Lower(cost, pathLen, next, rem) > budget {
+			*prunes++
+			return true
+		}
+	}
+	if st.floor != nil {
+		*boundEvals++
+		if st.floor.cuts(st.valUB.Upper(val, pathLen, next, rem)) {
+			*prunes++
+			return true
+		}
+	}
+	return false
+}
+
+// newStrategy assembles the solve's pruning state; call after
+// Candidates(). The per-aggregator bound tables depend only on the
+// memoised candidate list, so they are built once per Problem and reused
+// across solves (InvalidateCache drops them together with the candidate
+// cache — call it after mutating DB, Q, Cost or Val). A nil floor
+// disables val pruning; Problem.Exhaustive disables the bound layer
+// entirely (the escape hatch the Pruned-vs-Exhaustive benchmarks and
+// equivalence tests flip).
+func (p *Problem) newStrategy(floor *searchFloor) strategy {
+	if p.Exhaustive {
+		return strategy{}
+	}
+	if !p.boundsReady {
+		p.costBounds = p.Cost.NewBounder(p.candList)
+		p.valBounds = p.Val.NewBounder(p.candList)
+		p.boundsReady = true
+	}
+	st := strategy{costLB: p.costBounds}
+	if floor != nil && p.valBounds != nil {
+		st.valUB = p.valBounds
+		st.floor = floor
+	}
+	return st
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// boundedAggregators returns every bounder-carrying stock constructor over
+// the three-attribute tuple shape the tests share.
+func boundedAggregators() map[string]Aggregator {
+	m := map[string]Aggregator{}
+	for name, agg := range stockAggregators() {
+		if name == "avg" { // AvgAttr deliberately has no bounder
+			continue
+		}
+		m[name] = agg
+	}
+	return m
+}
+
+// sortCanonical sorts tuples into the canonical order Candidates guarantees
+// and drops duplicates — candidate lists are sets, as Q(D) is a relation.
+func sortCanonical(tuples []relation.Tuple) []relation.Tuple {
+	for i := 0; i < len(tuples); i++ {
+		for j := i + 1; j < len(tuples); j++ {
+			if tuples[j].Compare(tuples[i]) < 0 {
+				tuples[i], tuples[j] = tuples[j], tuples[i]
+			}
+		}
+	}
+	out := tuples[:0]
+	for i, t := range tuples {
+		if i == 0 || t.Key() != tuples[i-1].Key() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// admissibleOn drives one bounder through every (path, extension) pair of a
+// candidate list and fails on any bound violation. The assertions are
+// written in "never prune wrongly" form — a NaN bound compares false and
+// passes, matching the engine's NaN-never-cuts contract.
+func admissibleOn(t *testing.T, name string, agg Aggregator, cands []relation.Tuple) {
+	t.Helper()
+	b := agg.NewBounder(cands)
+	if b == nil {
+		t.Fatalf("%s: stock aggregator without a bounder", name)
+	}
+	n := len(cands)
+	// Paths and extensions as index bitmasks; n stays small enough for 2^n.
+	for pm := 1; pm < 1<<n; pm++ {
+		path := subset(cands, pm)
+		cur := agg.Eval(NewPackage(path...))
+		for start := 0; start < n; start++ {
+			for em := 1; em < 1<<n; em++ {
+				if em&pm != 0 || em&((1<<start)-1) != 0 {
+					continue // extensions are disjoint from the path, drawn from cands[start:]
+				}
+				ext := subset(cands, em)
+				full := agg.Eval(NewPackage(append(append([]relation.Tuple{}, path...), ext...)...))
+				for rem := len(ext); rem <= n; rem++ {
+					if ub := b.Upper(cur, len(path), start, rem); ub < full {
+						t.Fatalf("%s: Upper(%v, %d, %d, %d) = %v < actual %v (path %v ext %v)",
+							name, cur, len(path), start, rem, ub, full, path, ext)
+					}
+					if lb := b.Lower(cur, len(path), start, rem); lb > full {
+						t.Fatalf("%s: Lower(%v, %d, %d, %d) = %v > actual %v (path %v ext %v)",
+							name, cur, len(path), start, rem, lb, full, path, ext)
+					}
+				}
+			}
+		}
+	}
+}
+
+func subset(cands []relation.Tuple, mask int) []relation.Tuple {
+	var out []relation.Tuple
+	for i := range cands {
+		if mask&(1<<i) != 0 {
+			out = append(out, cands[i])
+		}
+	}
+	return out
+}
+
+// TestBoundersAdmissible checks every stock bounder against exhaustive
+// enumeration of all path/extension pairs over random integer-valued
+// candidates (exact float arithmetic, so admissibility must hold exactly).
+func TestBoundersAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		tuples := make([]relation.Tuple, 6)
+		for i := range tuples {
+			tuples[i] = relation.NewTuple(
+				relation.Int(int64(rng.Intn(21)-10)),
+				relation.Int(int64(rng.Intn(21)-10)),
+				relation.Int(int64(rng.Intn(15))))
+		}
+		tuples = sortCanonical(tuples)
+		for name, agg := range boundedAggregators() {
+			admissibleOn(t, name, agg, tuples)
+		}
+	}
+}
+
+// TestBoundersAdmissibleSpecials repeats the admissibility check with
+// NaN/±Inf attribute values mixed in: bounds must either stay admissible or
+// degrade to NaN, never claim a cut that the true value contradicts.
+func TestBoundersAdmissibleSpecials(t *testing.T) {
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, 3, -4}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		tuples := make([]relation.Tuple, 5)
+		for i := range tuples {
+			tuples[i] = relation.NewTuple(
+				relation.Float(specials[rng.Intn(len(specials))]),
+				relation.Float(specials[rng.Intn(len(specials))]),
+				relation.Float(specials[rng.Intn(len(specials))]))
+		}
+		tuples = sortCanonical(tuples)
+		for name, agg := range boundedAggregators() {
+			admissibleOn(t, name, agg, tuples)
+		}
+	}
+}
+
+// TestBoundersAdmissibleFloatNoise repeats the admissibility check with
+// attribute values spread across sixteen orders of magnitude — the regime
+// where floating-point fold order matters. The additive bounders fold
+// their suffix tables in a different association than Eval, so without the
+// explicit rounding margin an "upper" bound can land ulps below an
+// achievable value; this pins the margin keeping every bound admissible.
+func TestBoundersAdmissibleFloatNoise(t *testing.T) {
+	noise := []float64{1e-16, 2e-16, 3e-16, 1, 1 + 2.220446049250313e-16, -1e-16, -1, 0.1, 1e16, -1e16}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		tuples := make([]relation.Tuple, 6)
+		for i := range tuples {
+			tuples[i] = relation.NewTuple(
+				relation.Float(noise[rng.Intn(len(noise))]),
+				relation.Float(noise[rng.Intn(len(noise))]),
+				relation.Float(noise[rng.Intn(len(noise))]))
+		}
+		tuples = sortCanonical(tuples)
+		for name, agg := range boundedAggregators() {
+			admissibleOn(t, name, agg, tuples)
+		}
+	}
+}
+
+// TestFuncAggregatorHasNoBounder pins the opaque-aggregator contract: no
+// bounder by default, attachable via WithBounder.
+func TestFuncAggregatorHasNoBounder(t *testing.T) {
+	a := Func("custom", func(p Package) float64 { return float64(p.Len()) })
+	if a.NewBounder(nil) != nil {
+		t.Fatal("Func aggregator unexpectedly has a bounder")
+	}
+	withB := a.WithBounder(func(cands []relation.Tuple) Bounder {
+		return countBounds{n: len(cands)}
+	})
+	if withB.NewBounder(make([]relation.Tuple, 3)) == nil {
+		t.Fatal("WithBounder did not attach a bounder")
+	}
+}
+
+// TestSearchFloor exercises the atomic floor: raises are monotone maxima,
+// NaN raises are ignored, cuts respect the strict/exclusive distinction and
+// never fire on NaN bounds.
+func TestSearchFloor(t *testing.T) {
+	f := newFloor(math.Inf(-1), false)
+	if f.cuts(-1e300) {
+		t.Fatal("-∞ floor must not cut")
+	}
+	f.raise(2)
+	f.raise(1) // lower raise is a no-op
+	if got := f.value(); got != 2 {
+		t.Fatalf("floor = %v, want 2", got)
+	}
+	f.raise(math.NaN())
+	if got := f.value(); got != 2 {
+		t.Fatalf("NaN raise moved the floor to %v", got)
+	}
+	if f.cuts(2) {
+		t.Fatal("inclusive floor cut a tie")
+	}
+	if !f.cuts(1.5) {
+		t.Fatal("inclusive floor kept a strictly lower bound")
+	}
+	if f.cuts(math.NaN()) {
+		t.Fatal("NaN bound was cut")
+	}
+	ex := newFloor(2, true)
+	if !ex.cuts(2) {
+		t.Fatal("exclusive floor kept a tie")
+	}
+	if ex.cuts(2.5) {
+		t.Fatal("exclusive floor cut a beating bound")
+	}
+}
+
+// TestPrunedMatchesExhaustiveRandom is the core-level equivalence property:
+// on random instances, every solver returns bit-identical results with the
+// bound layer on (default) and off (Exhaustive), serially and in parallel.
+func TestPrunedMatchesExhaustiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	costs := []func() Aggregator{
+		func() Aggregator { return SumAttr(1).WithMonotone() },
+		func() Aggregator { return SumAttr(1) }, // attr 1 may be negative: non-monotone
+		func() Aggregator { return Count() },
+		func() Aggregator { return CountOrInf() },
+		func() Aggregator { return MaxAttr(2) },
+	}
+	vals := []func() Aggregator{
+		func() Aggregator { return NegSumAttr(1) },
+		func() Aggregator { return SumAttr(2) },
+		func() Aggregator { return MinAttr(2) },
+		func() Aggregator { return WeightedSum(map[int]float64{1: -1, 2: 2}) },
+		func() Aggregator { return SingletonVal(UtilityAttr(2)) },
+	}
+	var counters EngineCounters
+	for trial := 0; trial < 60; trial++ {
+		nItems := 5 + rng.Intn(4)
+		rel := relation.NewRelation(relation.NewSchema("item", "id", "a", "b"))
+		for i := 0; i < nItems; i++ {
+			if err := rel.Insert(relation.Ints(int64(i), int64(rng.Intn(13)-4), int64(rng.Intn(9)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v := query.V
+		q := query.NewCQ("RQ", []query.Term{v("id"), v("a"), v("b")},
+			query.Rel("item", v("id"), v("a"), v("b")))
+		prob := &Problem{
+			DB:         relation.NewDatabase().Add(rel),
+			Q:          q,
+			Cost:       costs[trial%len(costs)](),
+			Val:        vals[trial%len(vals)](),
+			Budget:     float64(rng.Intn(16)),
+			K:          1 + rng.Intn(3),
+			MaxPkgSize: 1 + rng.Intn(3),
+			Counters:   &counters,
+		}
+		exh := *prob
+		exh.Exhaustive = true
+		exh.InvalidateCache()
+		bound := float64(rng.Intn(11) - 5)
+
+		wantCount, err := exh.CountValid(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCount, err := prob.CountValid(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotCount != wantCount {
+			t.Fatalf("trial %d: CountValid pruned %d vs exhaustive %d", trial, gotCount, wantCount)
+		}
+		parCount, err := prob.CountValidParallel(bound, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parCount != wantCount {
+			t.Fatalf("trial %d: CountValidParallel pruned %d vs exhaustive %d", trial, parCount, wantCount)
+		}
+
+		wantSel, wantOK, err := exh.FindTopK()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for variant, find := range map[string]func() ([]Package, bool, error){
+			"serial":   prob.FindTopK,
+			"parallel": func() ([]Package, bool, error) { return prob.FindTopKParallel(3) },
+		} {
+			gotSel, gotOK, err := find()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOK != wantOK || len(gotSel) != len(wantSel) {
+				t.Fatalf("trial %d: FindTopK %s ok=%v n=%d vs exhaustive ok=%v n=%d",
+					trial, variant, gotOK, len(gotSel), wantOK, len(wantSel))
+			}
+			for i := range wantSel {
+				if !gotSel[i].Equal(wantSel[i]) {
+					t.Fatalf("trial %d: FindTopK %s rank %d: %v vs exhaustive %v",
+						trial, variant, i, gotSel[i], wantSel[i])
+				}
+			}
+		}
+
+		wantMB, wantMBOK, err := exh.MaxBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMB, gotMBOK, err := prob.MaxBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotMBOK != wantMBOK || (wantMBOK && math.Float64bits(gotMB) != math.Float64bits(wantMB)) {
+			t.Fatalf("trial %d: MaxBound pruned (%v,%v) vs exhaustive (%v,%v)",
+				trial, gotMB, gotMBOK, wantMB, wantMBOK)
+		}
+
+		wantEx, err := exh.ExistsKValid(prob.K, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEx, err := prob.ExistsKValid(prob.K, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotEx != wantEx {
+			t.Fatalf("trial %d: ExistsKValid pruned %v vs exhaustive %v", trial, gotEx, wantEx)
+		}
+
+		if wantOK {
+			wantDec, wantWit, err := exh.DecideTopK(wantSel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotDec, gotWit, err := prob.DecideTopK(wantSel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotDec != wantDec {
+				t.Fatalf("trial %d: DecideTopK pruned %v vs exhaustive %v", trial, gotDec, wantDec)
+			}
+			// The serial witness is the first in canonical DFS order on both
+			// engines: pruned subtrees hold no witness, so it must coincide.
+			if (gotWit == nil) != (wantWit == nil) ||
+				(gotWit != nil && !gotWit.Equal(*wantWit)) {
+				t.Fatalf("trial %d: DecideTopK witness pruned %v vs exhaustive %v", trial, gotWit, wantWit)
+			}
+		}
+	}
+	if counters.Pruned.Load() == 0 {
+		t.Fatal("bound layer never pruned across all random trials")
+	}
+	if counters.BoundEvals.Load() == 0 {
+		t.Fatal("bound layer never evaluated a bound")
+	}
+}
+
+// TestExhaustiveFlagDisablesPruning pins the escape hatch: with
+// Problem.Exhaustive set, no bound is evaluated and nothing is pruned.
+func TestExhaustiveFlagDisablesPruning(t *testing.T) {
+	rel := relation.NewRelation(relation.NewSchema("item", "id", "a", "b"))
+	for i := 0; i < 6; i++ {
+		if err := rel.Insert(relation.Ints(int64(i), int64(i), int64(6-i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := query.V
+	var counters EngineCounters
+	prob := &Problem{
+		DB: relation.NewDatabase().Add(rel),
+		Q: query.NewCQ("RQ", []query.Term{v("id"), v("a"), v("b")},
+			query.Rel("item", v("id"), v("a"), v("b"))),
+		Cost:       SumAttr(1).WithMonotone(),
+		Val:        NegSumAttr(1),
+		Budget:     8,
+		K:          2,
+		MaxPkgSize: 3,
+		Counters:   &counters,
+		Exhaustive: true,
+	}
+	if _, _, err := prob.FindTopK(); err != nil {
+		t.Fatal(err)
+	}
+	if n := counters.BoundEvals.Load(); n != 0 {
+		t.Fatalf("Exhaustive solve evaluated %d bounds", n)
+	}
+	if n := counters.Pruned.Load(); n != 0 {
+		t.Fatalf("Exhaustive solve pruned %d subtrees", n)
+	}
+}

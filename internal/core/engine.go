@@ -9,15 +9,24 @@ import (
 	"repro/internal/relation"
 )
 
-// This file is the shared enumeration engine behind every exhaustive solver
-// in the package: a subset-DFS over the candidate list Q(D) with incremental
-// per-node evaluation (dfsPath), factored so that the serial entry point
-// (Problem.enumerateValidPath) and the parallel one (Problem.runParallel)
-// walk byte-for-byte the same tree. The parallel scheduler splits the DFS
-// forest at the first level — one subtree per smallest candidate index — and
-// distributes subtrees over a worker pool, with cooperative cancellation so
-// an early answer (a witness, the k-th valid package) or a context
-// cancellation stops all workers.
+// This file is the shared enumeration engine behind every solver in the
+// package: a branch-and-bound subset-DFS over the candidate list Q(D) with
+// incremental per-node evaluation (dfsPath), factored so that the serial
+// entry point (Problem.enumerateValidPath) and the parallel one
+// (Problem.runParallel) walk byte-for-byte the same tree. The parallel
+// scheduler splits the DFS forest at the first level — one subtree per
+// smallest candidate index — and distributes subtrees over a worker pool,
+// with cooperative cancellation so an early answer (a witness, the k-th
+// valid package) or a context cancellation stops all workers.
+//
+// Pruning happens at two independent gates, both driven by the per-solve
+// strategy (bounds.go): a subtree is cut when the cost lower bound of every
+// extension exceeds the budget (generalising the monotone-cost check to any
+// aggregator with a Bounder), or when the val upper bound of every
+// extension falls below the live search floor — the k-th best rating so
+// far, an RPP selection's minimum, or a counting/feasibility threshold.
+// Both cuts are answer-preserving by construction, so the bound-driven
+// engine returns results identical to the exhaustive one.
 
 // dfsPath is the mutable state of one depth-first walk: the tuples on the
 // current path in canonical order, the incrementally maintained package key,
@@ -100,6 +109,23 @@ func (d *dfsPath) val(pkg Package) float64 {
 	return d.valAgg.Eval(pkg)
 }
 
+// curCost returns the cost of the current path for bound queries,
+// materialising a package only when the aggregator has no stepper.
+func (d *dfsPath) curCost() float64 {
+	if d.costSt != nil {
+		return d.costSt.Value()
+	}
+	return d.costAgg.Eval(d.pkg())
+}
+
+// curVal is curCost's val counterpart.
+func (d *dfsPath) curVal() float64 {
+	if d.valSt != nil {
+		return d.valSt.Value()
+	}
+	return d.valAgg.Eval(d.pkg())
+}
+
 // stepPair bundles nil-guarded cost/val steppers for walks that cannot use
 // a full dfsPath because their push order is not canonical — the oracle
 // walk of existsValidAboveExt seeds it with a base package and then pushes
@@ -168,6 +194,14 @@ type EngineCounters struct {
 	Nodes atomic.Int64
 	// Yielded is the number of valid packages passed to a solver's yield.
 	Yielded atomic.Int64
+	// Pruned is the number of subtrees cut by the bound layer (cost lower
+	// bound over budget, or val upper bound under the search floor). Each
+	// cut skips every node below the current one, so a small Pruned count
+	// can stand for an arbitrarily large saving in Nodes.
+	Pruned atomic.Int64
+	// BoundEvals is the number of bound evaluations performed; the pruning
+	// overhead is BoundEvals O(1) table lookups per solve.
+	BoundEvals atomic.Int64
 }
 
 // pathYield receives each valid package together with the path state, whose
@@ -179,17 +213,36 @@ type pathYield func(pkg Package, path *dfsPath) (bool, error)
 // is root, in canonical DFS order, mirroring the validity and pruning rules
 // of EnumerateValid: the Prune hint cuts hereditarily-invalid branches,
 // over-budget packages are skipped (and their supersets too when cost is
-// monotone), and compatible within-budget packages are yielded. stop is the
-// engine-wide cancellation flag; path must be empty on entry and is empty
-// again on return.
-func (p *Problem) walkSubtree(path *dfsPath, root, maxSize int, yield pathYield, stop *atomic.Bool) (bool, error) {
+// monotone), and compatible within-budget packages are yielded. On top of
+// those, the strategy's bound gates cut subtrees that provably hold no
+// answer-relevant package (see bounds.go). stop is the engine-wide
+// cancellation flag; path must be empty on entry and is empty again on
+// return.
+func (p *Problem) walkSubtree(path *dfsPath, root, maxSize int, st strategy, yield pathYield, stop *atomic.Bool) (bool, error) {
 	cands := p.candList
-	var nodes, yields int64
+	var nodes, yields, prunes, boundEvals int64
 	if p.Counters != nil {
 		defer func() {
 			p.Counters.Nodes.Add(nodes)
 			p.Counters.Yielded.Add(yields)
+			p.Counters.Pruned.Add(prunes)
+			p.Counters.BoundEvals.Add(boundEvals)
 		}()
+	}
+	bounded := st.active()
+	// cutBelow reports whether the subtree below the current node — every
+	// strict extension drawing from cands[next:], at most rem more tuples —
+	// can be skipped. Called only when children exist (next < len(cands) and
+	// the path is below maxSize), after the node itself has been handled.
+	cutBelow := func(next int) bool {
+		var cost, val float64
+		if st.costLB != nil {
+			cost = path.curCost()
+		}
+		if st.floor != nil {
+			val = path.curVal()
+		}
+		return st.cutBelow(cost, val, path.len(), next, maxSize-path.len(), p.Budget, &boundEvals, &prunes)
 	}
 	visit := func() (descend, cont bool, err error) {
 		nodes++
@@ -228,7 +281,8 @@ func (p *Problem) walkSubtree(path *dfsPath, root, maxSize int, yield pathYield,
 			}
 			path.push(cands[i])
 			descend, cont, err := visit()
-			if err == nil && cont && descend {
+			if err == nil && cont && descend &&
+				!(bounded && i+1 < len(cands) && path.len() < maxSize && cutBelow(i+1)) {
 				cont, err = walk(i + 1)
 			}
 			path.pop()
@@ -247,16 +301,25 @@ func (p *Problem) walkSubtree(path *dfsPath, root, maxSize int, yield pathYield,
 	if err != nil || !cont {
 		return cont, err
 	}
-	if descend {
+	if descend && !(bounded && root+1 < len(cands) && path.len() < maxSize && cutBelow(root+1)) {
 		return walk(root + 1)
 	}
 	return true, nil
 }
 
-// enumerateValidPath is the serial engine entry point: it enumerates every
-// valid non-empty package in canonical DFS order with incremental cost/val
-// evaluation. EnumerateValid and the solvers in solve.go are built on it.
+// enumerateValidPath is the serial engine entry point without a val floor:
+// it enumerates every valid non-empty package in canonical DFS order with
+// incremental cost/val evaluation and cost-bound pruning. EnumerateValid is
+// built on it; solvers with a rating threshold use enumerateValidFloor.
 func (p *Problem) enumerateValidPath(yield pathYield) error {
+	return p.enumerateValidFloor(nil, yield)
+}
+
+// enumerateValidFloor is enumerateValidPath with a live val floor: subtrees
+// whose optimistic val bound cannot reach the floor are cut, which is
+// answer-preserving exactly when the caller ignores (or never sees) valid
+// packages rated below the floor.
+func (p *Problem) enumerateValidFloor(floor *searchFloor, yield pathYield) error {
 	if _, err := p.Candidates(); err != nil {
 		return err
 	}
@@ -267,10 +330,11 @@ func (p *Problem) enumerateValidPath(yield pathYield) error {
 	if ms < 1 {
 		return nil
 	}
+	st := p.newStrategy(floor)
 	path := newDFSPath(p)
 	var stop atomic.Bool
 	for root := range p.candList {
-		cont, err := p.walkSubtree(path, root, ms, yield, &stop)
+		cont, err := p.walkSubtree(path, root, ms, st, yield, &stop)
 		if err != nil || !cont {
 			return err
 		}
@@ -300,7 +364,12 @@ func normWorkers(workers int) int {
 // synchronised state. The Problem's aggregators, queries and hints must be
 // safe for concurrent reads — all stock constructors are. Workers is
 // normalised via normWorkers by the public wrappers before the call.
-func (p *Problem) runParallel(ctx context.Context, workers int, makeYield func(w int) pathYield) error {
+//
+// floor, when non-nil, is the shared pruning floor: bounders are read-only
+// and the floor is atomic, so one strategy value serves all workers, and a
+// raise by any worker (e.g. FindTopKParallel publishing a full local top-k
+// buffer's k-th rating) immediately tightens every other worker's cuts.
+func (p *Problem) runParallel(ctx context.Context, workers int, floor *searchFloor, makeYield func(w int) pathYield) error {
 	if _, err := p.Candidates(); err != nil {
 		return err
 	}
@@ -311,6 +380,7 @@ func (p *Problem) runParallel(ctx context.Context, workers int, makeYield func(w
 	if ms < 1 || len(p.candList) == 0 {
 		return ctx.Err()
 	}
+	st := p.newStrategy(floor)
 	roots := make(chan int, len(p.candList))
 	for i := range p.candList {
 		roots <- i
@@ -342,7 +412,7 @@ func (p *Problem) runParallel(ctx context.Context, workers int, makeYield func(w
 				if stop.Load() {
 					return
 				}
-				cont, err := p.walkSubtree(path, root, ms, yield, &stop)
+				cont, err := p.walkSubtree(path, root, ms, st, yield, &stop)
 				if err != nil {
 					errs[w] = err
 					stop.Store(true)

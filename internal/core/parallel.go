@@ -32,11 +32,12 @@ func (p *Problem) CountValidParallel(bound float64, workers int) (int64, error) 
 	return p.CountValidParallelCtx(context.Background(), bound, workers)
 }
 
-// CountValidParallelCtx is CountValidParallel with cancellation.
+// CountValidParallelCtx is CountValidParallel with cancellation. As in
+// CountValid, B is a static pruning floor.
 func (p *Problem) CountValidParallelCtx(ctx context.Context, bound float64, workers int) (int64, error) {
 	workers = normWorkers(workers)
 	counts := make([]paddedCount, workers)
-	err := p.runParallel(ctx, workers, func(w int) pathYield {
+	err := p.runParallel(ctx, workers, newFloor(bound, false), func(w int) pathYield {
 		return func(pkg Package, path *dfsPath) (bool, error) {
 			if path.val(pkg) >= bound {
 				counts[w].n++
@@ -66,12 +67,34 @@ func (p *Problem) FindTopKParallel(workers int) (sel []Package, ok bool, err err
 
 // FindTopKParallelCtx is FindTopKParallel with cancellation.
 func (p *Problem) FindTopKParallelCtx(ctx context.Context, workers int) (sel []Package, ok bool, err error) {
+	scored, ok, err := p.findTopKScoredParallelCtx(ctx, workers)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	merged := topkBuf{k: p.K, best: scored}
+	return merged.packages(), true, nil
+}
+
+// findTopKScoredParallelCtx is the parallel FRP core: the top-k selection
+// with the ratings the workers computed incrementally. Workers share one
+// pruning floor and tighten it cooperatively — whenever a worker's private
+// buffer is full, its k-th rating is published as an atomic-max raise: k
+// packages rated at least it exist globally, so any subtree whose val upper
+// bound falls strictly below holds no member of the global top-k. Each
+// buffer therefore still holds its subtrees' entire contribution to the
+// global answer, and the deterministic merge reproduces the serial
+// selection exactly.
+func (p *Problem) findTopKScoredParallelCtx(ctx context.Context, workers int) (scored []scoredPkg, ok bool, err error) {
 	workers = normWorkers(workers)
 	bufs := make([]topkBuf, workers)
-	err = p.runParallel(ctx, workers, func(w int) pathYield {
+	floor := newFloor(math.Inf(-1), false)
+	err = p.runParallel(ctx, workers, floor, func(w int) pathYield {
 		bufs[w].k = p.K
 		return func(pkg Package, path *dfsPath) (bool, error) {
 			bufs[w].add(scoredPkg{pkg: pkg, val: path.val(pkg)})
+			if v, full := bufs[w].floorVal(); full {
+				floor.raise(v)
+			}
 			return true, nil
 		}
 	})
@@ -82,15 +105,11 @@ func (p *Problem) FindTopKParallelCtx(ctx context.Context, workers int) (sel []P
 	for i := range bufs {
 		all = append(all, bufs[i].best...)
 	}
-	// Deterministic merge: each worker's buffer holds at least its subtrees'
-	// contribution to the global top-k, so sorting the union and cutting at
-	// k reproduces the serial selection exactly.
 	sort.Slice(all, func(i, j int) bool { return worseScored(all[j], all[i]) })
 	if len(all) < p.K {
 		return nil, false, nil
 	}
-	merged := topkBuf{k: p.K, best: all[:p.K]}
-	return merged.packages(), true, nil
+	return all[:p.K], true, nil
 }
 
 // MaxBoundParallel solves the optimisation core of MBP on the parallel
@@ -101,17 +120,15 @@ func (p *Problem) MaxBoundParallel(workers int) (bound float64, ok bool, err err
 	return p.MaxBoundParallelCtx(context.Background(), workers)
 }
 
-// MaxBoundParallelCtx is MaxBoundParallel with cancellation.
+// MaxBoundParallelCtx is MaxBoundParallel with cancellation. Like the
+// serial MaxBound it reuses the ratings of the scored selection instead of
+// re-evaluating Val over the members.
 func (p *Problem) MaxBoundParallelCtx(ctx context.Context, workers int) (bound float64, ok bool, err error) {
-	sel, ok, err := p.FindTopKParallelCtx(ctx, workers)
+	scored, ok, err := p.findTopKScoredParallelCtx(ctx, workers)
 	if err != nil || !ok {
 		return 0, false, err
 	}
-	bound = math.Inf(1)
-	for _, n := range sel {
-		bound = math.Min(bound, p.Val.Eval(n))
-	}
-	return bound, true, nil
+	return minScored(scored), true, nil
 }
 
 // DecideTopKParallel solves RPP with the parallel engine: the membership
@@ -134,7 +151,8 @@ func (p *Problem) DecideTopKParallelCtx(ctx context.Context, sel []Package, work
 	}
 	workers = normWorkers(workers)
 	found := make([]*Package, workers)
-	err = p.runParallel(ctx, workers, func(w int) pathYield {
+	// As in DecideTopK, the selection minimum is a static exclusive floor.
+	err = p.runParallel(ctx, workers, newFloor(minVal, true), func(w int) pathYield {
 		return func(pkg Package, path *dfsPath) (bool, error) {
 			if _, inSel := seen[pkg.Key()]; inSel {
 				return true, nil
@@ -170,7 +188,7 @@ func (p *Problem) ExistsKValidParallelCtx(ctx context.Context, k int, bound floa
 		return true, nil
 	}
 	var found atomic.Int64
-	err := p.runParallel(ctx, normWorkers(workers), func(int) pathYield {
+	err := p.runParallel(ctx, normWorkers(workers), newFloor(bound, false), func(int) pathYield {
 		return func(pkg Package, path *dfsPath) (bool, error) {
 			if path.val(pkg) >= bound && found.Add(1) >= int64(k) {
 				return false, nil // the k-th hit cancels all workers

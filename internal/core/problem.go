@@ -40,12 +40,23 @@ type Problem struct {
 	// hereditary even when their cost functions are not monotone.
 	Prune func(Package) bool
 	// Counters, when non-nil, receives engine cost accounting (DFS nodes
-	// visited, packages yielded) from every walk over this problem; see
-	// EngineCounters.
+	// visited, packages yielded, subtrees pruned, bound evaluations) from
+	// every walk over this problem; see EngineCounters.
 	Counters *EngineCounters
+	// Exhaustive disables the branch-and-bound layer: no bounders are
+	// consulted and every solver degrades to the plain enumeration with
+	// only the monotone-cost budget check. Results are identical either
+	// way — the flag exists for the Pruned-vs-Exhaustive benchmarks and
+	// the equivalence tests that prove exactly that.
+	Exhaustive bool
 
 	candidates *relation.Relation
 	candList   []relation.Tuple
+	// Memoised bound tables over candList (see newStrategy); rebuilt after
+	// InvalidateCache.
+	costBounds  Bounder
+	valBounds   Bounder
+	boundsReady bool
 }
 
 // Validate checks the instance is well-formed.
@@ -85,10 +96,14 @@ func (p *Problem) Candidates() (*relation.Relation, error) {
 	return p.candidates, nil
 }
 
-// InvalidateCache drops the memoised answer, for callers that mutate DB.
+// InvalidateCache drops the memoised candidate answer and the bound
+// tables built over it, for callers that mutate DB, Q or the aggregators.
 func (p *Problem) InvalidateCache() {
 	p.candidates = nil
 	p.candList = nil
+	p.costBounds = nil
+	p.valBounds = nil
+	p.boundsReady = false
 }
 
 // maxSize resolves the package size bound.
@@ -109,8 +124,7 @@ func (p *Problem) maxSize() (int, error) {
 func (p *Problem) WithMaxSize(bp int) *Problem {
 	c := *p
 	c.MaxPkgSize = bp
-	c.candidates = nil
-	c.candList = nil
+	c.InvalidateCache()
 	return &c
 }
 
@@ -177,11 +191,12 @@ func (p *Problem) ValidAbove(pkg Package, bound float64) (bool, error) {
 // deterministic order, invoking yield for each; yield returning false stops
 // the enumeration. The search walks subsets of Q(D) depth-first in
 // canonical tuple order, pruning over-budget branches when the cost
-// aggregator is monotone; cost is evaluated incrementally along the DFS
-// path when the cost aggregator provides a Stepper (all stock constructors
-// do). This is the deterministic simulation of the paper's oracle machines;
-// its worst case is exponential in |Q(D)|, as the complexity results
-// require.
+// aggregator is monotone or carries a Bounder (all stock constructors do);
+// cost is evaluated incrementally along the DFS path when the cost
+// aggregator provides a Stepper. No val floor applies here — every valid
+// package is enumerated. This is the deterministic simulation of the
+// paper's oracle machines; its worst case is exponential in |Q(D)|, as the
+// complexity results require.
 func (p *Problem) EnumerateValid(yield func(Package) (bool, error)) error {
 	return p.enumerateValidPath(func(pkg Package, _ *dfsPath) (bool, error) {
 		return yield(pkg)
@@ -190,13 +205,14 @@ func (p *Problem) EnumerateValid(yield func(Package) (bool, error)) error {
 
 // ExistsKValid reports whether k pairwise-distinct valid packages rated at
 // least B exist, the feasibility check shared by the query-relaxation and
-// adjustment problems (Sections 7 and 8).
+// adjustment problems (Sections 7 and 8). B is a static floor for the
+// bound layer: subtrees that cannot reach it hold no qualifying package.
 func (p *Problem) ExistsKValid(k int, bound float64) (bool, error) {
 	if k <= 0 {
 		return true, nil
 	}
 	found := 0
-	err := p.enumerateValidPath(func(pkg Package, path *dfsPath) (bool, error) {
+	err := p.enumerateValidFloor(newFloor(bound, false), func(pkg Package, path *dfsPath) (bool, error) {
 		if path.val(pkg) >= bound {
 			found++
 			if found >= k {

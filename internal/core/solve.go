@@ -43,8 +43,10 @@ func (p *Problem) DecideTopK(sel []Package) (ok bool, witness *Package, err erro
 		return false, nil, err
 	}
 	// Condition (5): no valid package outside sel rates above any member.
+	// The selection minimum is a static exclusive floor: subtrees whose val
+	// upper bound cannot rate strictly above it hold no witness.
 	var found *Package
-	err = p.enumerateValidPath(func(n Package, path *dfsPath) (bool, error) {
+	err = p.enumerateValidFloor(newFloor(minVal, true), func(n Package, path *dfsPath) (bool, error) {
 		if _, inSel := seen[n.Key()]; inSel {
 			return true, nil
 		}
@@ -113,13 +115,32 @@ func (b *topkBuf) packages() []Package {
 	return sel
 }
 
-// FindTopK solves FRP by exhaustive enumeration: it returns a top-k package
-// selection ordered by descending rating (ties broken by canonical package
-// key), or ok = false when fewer than k distinct valid packages exist.
-func (p *Problem) FindTopK() (sel []Package, ok bool, err error) {
+// floorVal returns the buffer's k-th best rating once the buffer is full —
+// a sound raise for the search floor: k packages rated at least it already
+// exist, so no package rated strictly below can enter the final selection.
+// ok is false while the buffer is not yet full (or k = 0).
+func (b *topkBuf) floorVal() (float64, bool) {
+	if b.k <= 0 || len(b.best) < b.k {
+		return 0, false
+	}
+	return b.best[b.k-1].val, true
+}
+
+// findTopKScored is the shared FRP core: the top-k selection together with
+// the ratings the enumeration already computed incrementally, so MaxBound
+// needs no re-evaluation. The search runs branch-and-bound: once k packages
+// are buffered, the k-th rating becomes the live floor and every subtree
+// that cannot beat it is cut — the selection is still exactly the
+// exhaustive one, because cut subtrees hold only packages that buf.add
+// would have rejected.
+func (p *Problem) findTopKScored() (scored []scoredPkg, ok bool, err error) {
 	buf := topkBuf{k: p.K}
-	err = p.enumerateValidPath(func(n Package, path *dfsPath) (bool, error) {
+	floor := newFloor(math.Inf(-1), false)
+	err = p.enumerateValidFloor(floor, func(n Package, path *dfsPath) (bool, error) {
 		buf.add(scoredPkg{pkg: n, val: path.val(n)})
+		if v, full := buf.floorVal(); full {
+			floor.raise(v)
+		}
 		return true, nil
 	})
 	if err != nil {
@@ -128,23 +149,43 @@ func (p *Problem) FindTopK() (sel []Package, ok bool, err error) {
 	if len(buf.best) < p.K {
 		return nil, false, nil
 	}
+	return buf.best, true, nil
+}
+
+// FindTopK solves FRP: it returns a top-k package selection ordered by
+// descending rating (ties broken by canonical package key), or ok = false
+// when fewer than k distinct valid packages exist.
+func (p *Problem) FindTopK() (sel []Package, ok bool, err error) {
+	scored, ok, err := p.findTopKScored()
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	buf := topkBuf{k: p.K, best: scored}
 	return buf.packages(), true, nil
+}
+
+// minScored returns the minimum rating of a scored selection (+∞ when
+// empty), reusing the values the enumeration computed.
+func minScored(scored []scoredPkg) float64 {
+	bound := math.Inf(1)
+	for _, s := range scored {
+		bound = math.Min(bound, s.val)
+	}
+	return bound
 }
 
 // MaxBound solves the optimisation core of MBP: the maximum B such that a
 // top-k package selection exists with val(Ni) ≥ B for all i — equivalently
 // the k-th highest rating among valid packages. ok is false when no top-k
-// selection exists.
+// selection exists. The ratings come from the scored selection FindTopK's
+// core already computed (bitwise-equal to Val.Eval by the Stepper
+// contract), not from a re-evaluation.
 func (p *Problem) MaxBound() (bound float64, ok bool, err error) {
-	sel, ok, err := p.FindTopK()
+	scored, ok, err := p.findTopKScored()
 	if err != nil || !ok {
 		return 0, false, err
 	}
-	bound = math.Inf(1)
-	for _, n := range sel {
-		bound = math.Min(bound, p.Val.Eval(n))
-	}
-	return bound, true, nil
+	return minScored(scored), true, nil
 }
 
 // IsMaxBound decides MBP: whether B is the maximum bound for
@@ -158,9 +199,11 @@ func (p *Problem) IsMaxBound(b float64) (bool, error) {
 }
 
 // CountValid solves CPP: the number of valid packages rated at least B.
+// B is a static floor: subtrees whose val upper bound stays below it
+// contribute zero to the count and are cut.
 func (p *Problem) CountValid(bound float64) (int64, error) {
 	var n int64
-	err := p.enumerateValidPath(func(pkg Package, path *dfsPath) (bool, error) {
+	err := p.enumerateValidFloor(newFloor(bound, false), func(pkg Package, path *dfsPath) (bool, error) {
 		if path.val(pkg) >= bound {
 			n++
 		}
@@ -205,6 +248,19 @@ func (p *Problem) existsValidAboveExt(bound float64, excl map[string]struct{}, b
 	// is fresh, within budget, compatible and rated at least bound. (With
 	// base non-empty the fold order differs from the canonical one, which is
 	// exact for the integer-valued aggregators FindTopKViaOracle requires.)
+	//
+	// The oracle inherits the bound layer too: the rating bound is a static
+	// floor, and the suffix bounders stay admissible even though the walk
+	// skips base tuples — bounds over a superset of the actually available
+	// suffix can only be looser.
+	st := p.newStrategy(newFloor(bound, false))
+	var prunes, boundEvals int64
+	if p.Counters != nil {
+		defer func() {
+			p.Counters.Pruned.Add(prunes)
+			p.Counters.BoundEvals.Add(boundEvals)
+		}()
+	}
 	steps := newStepPair(p, base)
 	hitIncr := func(next Package, cost float64) (bool, error) {
 		if _, skip := excl[next.Key()]; skip {
@@ -250,6 +306,19 @@ func (p *Problem) existsValidAboveExt(bound float64, excl map[string]struct{}, b
 			if p.Cost.Monotone() && cost > p.Budget {
 				steps.pop()
 				continue
+			}
+			// Bound-driven pruning of the subtree below next (strict
+			// extensions drawn from p.candList[i+1:], at most rem more
+			// tuples), through the same strategy gate as walkSubtree.
+			if rem := ms - next.Len(); st.active() && i+1 < len(p.candList) && rem > 0 {
+				var val float64
+				if st.floor != nil {
+					val = steps.val(next)
+				}
+				if st.cutBelow(cost, val, next.Len(), i+1, rem, p.Budget, &boundEvals, &prunes) {
+					steps.pop()
+					continue
+				}
 			}
 			cont, err := walk(i+1, next)
 			steps.pop()

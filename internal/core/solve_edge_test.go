@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// sameFloat is bitwise agreement modulo NaN payloads: both NaN, or ==.
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestStepperEmptyPackage pins every stock stepper against a full Eval on
+// the empty package — before any push and again after a complete
+// push…pop unwinding.
+func TestStepperEmptyPackage(t *testing.T) {
+	ts := []relation.Tuple{
+		relation.NewTuple(relation.Int(1), relation.Int(2), relation.Int(3)),
+		relation.NewTuple(relation.Int(4), relation.Int(5), relation.Int(6)),
+	}
+	for name, agg := range stockAggregators() {
+		want := agg.Eval(NewPackage())
+		st := agg.NewStepper()
+		if got := st.Value(); !sameFloat(got, want) {
+			t.Errorf("%s: fresh stepper %v, Eval(∅) %v", name, got, want)
+		}
+		for _, tu := range ts {
+			st.Push(tu)
+		}
+		for range ts {
+			st.Pop()
+		}
+		if got := st.Value(); !sameFloat(got, want) {
+			t.Errorf("%s: unwound stepper %v, Eval(∅) %v", name, got, want)
+		}
+	}
+}
+
+// TestStepperSpecialValues drives every stock stepper over tuples holding
+// NaN and ±Inf attributes, in canonical order, demanding agreement with the
+// full Eval at every prefix and after every pop — the engine must not lose
+// bitwise equality when the data turns adversarial.
+func TestStepperSpecialValues(t *testing.T) {
+	specials := []relation.Tuple{
+		relation.NewTuple(relation.Float(math.Inf(-1)), relation.Float(math.NaN()), relation.Float(0)),
+		relation.NewTuple(relation.Float(0), relation.Float(math.Inf(1)), relation.Float(math.Inf(-1))),
+		relation.NewTuple(relation.Float(1), relation.Float(-2), relation.Float(math.NaN())),
+		relation.NewTuple(relation.Float(math.NaN()), relation.Float(3), relation.Float(math.Inf(1))),
+	}
+	specials = sortCanonical(specials)
+	for name, agg := range stockAggregators() {
+		st := agg.NewStepper()
+		for i, tu := range specials {
+			st.Push(tu)
+			want := agg.Eval(NewPackage(specials[:i+1]...))
+			if got := st.Value(); !sameFloat(got, want) {
+				t.Errorf("%s: prefix %d: stepper %v, eval %v", name, i+1, got, want)
+			}
+		}
+		for i := len(specials) - 1; i >= 0; i-- {
+			st.Pop()
+			want := agg.Eval(NewPackage(specials[:i]...))
+			if got := st.Value(); !sameFloat(got, want) {
+				t.Errorf("%s: after pop to %d: stepper %v, eval %v", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestTopkBufInsertionOrderIndependent pins the determinism property the
+// parallel merge relies on: the selected packages (and their order) do not
+// depend on the order equal-valued packages arrive in. Every permutation of
+// a pool with heavy rating ties must produce the same buffer.
+func TestTopkBufInsertionOrderIndependent(t *testing.T) {
+	pool := []scoredPkg{
+		{pkg: NewPackage(relation.NewTuple(relation.Int(1))), val: 5},
+		{pkg: NewPackage(relation.NewTuple(relation.Int(2))), val: 5},
+		{pkg: NewPackage(relation.NewTuple(relation.Int(3))), val: 5},
+		{pkg: NewPackage(relation.NewTuple(relation.Int(4))), val: 7},
+		{pkg: NewPackage(relation.NewTuple(relation.Int(5))), val: 5},
+		{pkg: NewPackage(relation.NewTuple(relation.Int(6))), val: 3},
+	}
+	for k := 1; k <= len(pool); k++ {
+		var want []Package
+		perm := make([]int, len(pool))
+		for i := range perm {
+			perm[i] = i
+		}
+		var visit func(n int)
+		visit = func(n int) {
+			if n == 1 {
+				buf := topkBuf{k: k}
+				for _, i := range perm {
+					buf.add(pool[i])
+				}
+				got := buf.packages()
+				if want == nil {
+					want = got
+					return
+				}
+				if len(got) != len(want) {
+					t.Fatalf("k=%d: selection size %d vs %d for order %v", k, len(got), len(want), perm)
+				}
+				for i := range want {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("k=%d: rank %d differs for order %v: %v vs %v", k, i, perm, got[i], want[i])
+					}
+				}
+				return
+			}
+			for i := 0; i < n; i++ {
+				visit(n - 1)
+				if n%2 == 0 {
+					perm[i], perm[n-1] = perm[n-1], perm[i]
+				} else {
+					perm[0], perm[n-1] = perm[n-1], perm[0]
+				}
+			}
+		}
+		visit(len(perm))
+	}
+}

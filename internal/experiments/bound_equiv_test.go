@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBoundEngineMatchesExhaustive is the branch-and-bound equivalence
+// property across every structurally distinct experiment family: with the
+// bound layer on (the default) the solvers must return exactly what the
+// exhaustive engine returns — same packages in the same order, same counts,
+// same bounds, same decisions — serially and in parallel. Run with -race in
+// CI, this doubles as a concurrency audit of the shared pruning floor.
+func TestBoundEngineMatchesExhaustive(t *testing.T) {
+	for _, c := range EquivCases(testing.Short()) {
+		t.Run(c.Name, func(t *testing.T) {
+			exh := c.Prob()
+			exh.Exhaustive = true
+			pruned := c.Prob()
+			var counters core.EngineCounters
+			pruned.Counters = &counters
+
+			wantCount, err := exh.CountValid(c.Bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSel, wantOK, err := exh.FindTopK()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMB, wantMBOK, err := exh.MaxBound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantExists, err := exh.ExistsKValid(exh.K, c.Bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			gotCount, err := pruned.CountValid(c.Bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCount != wantCount {
+				t.Fatalf("CountValid pruned %d vs exhaustive %d", gotCount, wantCount)
+			}
+			gotSel, gotOK, err := pruned.FindTopK()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOK != wantOK || len(gotSel) != len(wantSel) {
+				t.Fatalf("FindTopK pruned ok=%v n=%d vs exhaustive ok=%v n=%d",
+					gotOK, len(gotSel), wantOK, len(wantSel))
+			}
+			for i := range wantSel {
+				if !gotSel[i].Equal(wantSel[i]) {
+					t.Fatalf("FindTopK rank %d: pruned %v vs exhaustive %v", i, gotSel[i], wantSel[i])
+				}
+			}
+			gotMB, gotMBOK, err := pruned.MaxBound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotMBOK != wantMBOK || (wantMBOK && math.Float64bits(gotMB) != math.Float64bits(wantMB)) {
+				t.Fatalf("MaxBound pruned (%v,%v) vs exhaustive (%v,%v)", gotMB, gotMBOK, wantMB, wantMBOK)
+			}
+			gotExists, err := pruned.ExistsKValid(pruned.K, c.Bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotExists != wantExists {
+				t.Fatalf("ExistsKValid pruned %v vs exhaustive %v", gotExists, wantExists)
+			}
+
+			for _, workers := range []int{1, 4} {
+				parCount, err := pruned.CountValidParallel(c.Bound, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parCount != wantCount {
+					t.Fatalf("workers=%d: CountValidParallel pruned %d vs exhaustive %d",
+						workers, parCount, wantCount)
+				}
+				parSel, parOK, err := pruned.FindTopKParallel(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parOK != wantOK || len(parSel) != len(wantSel) {
+					t.Fatalf("workers=%d: FindTopKParallel pruned ok=%v n=%d vs exhaustive ok=%v n=%d",
+						workers, parOK, len(parSel), wantOK, len(wantSel))
+				}
+				for i := range wantSel {
+					if !parSel[i].Equal(wantSel[i]) {
+						t.Fatalf("workers=%d: FindTopKParallel rank %d: %v vs exhaustive %v",
+							workers, i, parSel[i], wantSel[i])
+					}
+				}
+				parMB, parMBOK, err := pruned.MaxBoundParallel(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parMBOK != wantMBOK || (wantMBOK && math.Float64bits(parMB) != math.Float64bits(wantMB)) {
+					t.Fatalf("workers=%d: MaxBoundParallel pruned (%v,%v) vs exhaustive (%v,%v)",
+						workers, parMB, parMBOK, wantMB, wantMBOK)
+				}
+				parExists, err := pruned.ExistsKValidParallel(pruned.K, c.Bound, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parExists != wantExists {
+					t.Fatalf("workers=%d: ExistsKValidParallel pruned %v vs exhaustive %v",
+						workers, parExists, wantExists)
+				}
+			}
+
+			if !wantOK {
+				return
+			}
+			// RPP: decision and (serial) witness agree on the computed
+			// selection, and on a deliberately suboptimal one when a spare
+			// valid package exists.
+			decideBoth := func(sel []core.Package) {
+				t.Helper()
+				wantDec, wantWit, err := exh.DecideTopK(sel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotDec, gotWit, err := pruned.DecideTopK(sel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotDec != wantDec {
+					t.Fatalf("DecideTopK pruned %v vs exhaustive %v", gotDec, wantDec)
+				}
+				if (gotWit == nil) != (wantWit == nil) ||
+					(gotWit != nil && !gotWit.Equal(*wantWit)) {
+					t.Fatalf("DecideTopK witness pruned %v vs exhaustive %v", gotWit, wantWit)
+				}
+				for _, workers := range []int{1, 4} {
+					parDec, parWit, err := pruned.DecideTopKParallel(sel, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if parDec != wantDec {
+						t.Fatalf("workers=%d: DecideTopKParallel pruned %v vs exhaustive %v",
+							workers, parDec, wantDec)
+					}
+					if parWit != nil {
+						valid, err := pruned.Valid(*parWit)
+						if err != nil {
+							t.Fatal(err)
+						}
+						min := math.Inf(1)
+						for _, s := range sel {
+							min = math.Min(min, pruned.Val.Eval(s))
+						}
+						if !valid || pruned.Val.Eval(*parWit) <= min {
+							t.Fatalf("workers=%d: witness %v does not out-rate the selection", workers, *parWit)
+						}
+					}
+				}
+			}
+			decideBoth(wantSel)
+			var spare *core.Package
+			err = exh.EnumerateValid(func(pkg core.Package) (bool, error) {
+				for _, s := range wantSel {
+					if s.Equal(pkg) {
+						return true, nil
+					}
+				}
+				spare = &pkg
+				return false, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spare != nil && len(wantSel) > 0 {
+				sub := append([]core.Package{}, wantSel[1:]...)
+				sub = append(sub, *spare)
+				decideBoth(sub)
+			}
+		})
+	}
+}

@@ -121,6 +121,22 @@ func cycleDB(n int) *relation.Database {
 	return relation.NewDatabase().Add(r)
 }
 
+// BenchCounters is the engine-counter sink the instrumented recbench rows
+// (EngineRows, BoundRows) attach to their problems: Run snapshots it
+// around each sample, so those rows and the `-json` output report DFS
+// nodes visited and subtrees pruned per solve. The shared problem
+// constructors deliberately do NOT attach it — the go-bench engine
+// benchmarks reuse them and must not pay (or measure) counter-flush
+// overhead. The fields are atomics, so the sink is safe to share across
+// concurrently running tests.
+var BenchCounters core.EngineCounters
+
+// instrument attaches the recbench counter sink to a problem.
+func instrument(p *core.Problem) *core.Problem {
+	p.Counters = &BenchCounters
+	return p
+}
+
 // languageProblem wraps a query family into a minimal package problem:
 // singleton packages (cost |N|, C = 1), constant rating, k = 1. All four
 // POI problems over it are dominated by the query evaluation cost, which is
@@ -685,9 +701,12 @@ func EngineRows(quick bool, workers int) []Family {
 		rs = []int{3, 4}
 		travelSizes = []int{160, 320}
 	}
-	cppProb := Sigma1CPPProblem
+	cppProb := func(r int) (*core.Problem, float64) {
+		prob, b := Sigma1CPPProblem(r)
+		return instrument(prob), b
+	}
 	frpProb := func(n int) *core.Problem {
-		return travelProblem(n).WithMaxSize(2)
+		return instrument(travelProblem(n).WithMaxSize(2))
 	}
 	return []Family{
 		{
@@ -745,6 +764,85 @@ func EngineRows(quick bool, workers int) []Family {
 				return note(ok), err
 			},
 		},
+	}
+}
+
+// BoundRows returns the Pruned-vs-Exhaustive comparison rows behind
+// `recbench -table bb`: the same instance solved by the branch-and-bound
+// engine (the default) and with the bound layer disabled
+// (Problem.Exhaustive), on families where a live floor exists — FRP's k-th
+// best rating, MBP's bound, CPP's counting threshold, and the item
+// embedding's depth-one collapse. Both variants are instrumented, so the
+// rendered rows (and the -json artifact) carry nodes-visited and
+// subtrees-pruned per sample; the per-family speedup is the pruning story
+// BENCHMARKS.md records.
+func BoundRows(quick bool) []Family {
+	travelSizes := []int{160, 320, 640}
+	if quick {
+		travelSizes = []int{160, 320}
+	}
+	frp := func(n int, exhaustive bool) *core.Problem {
+		p := instrument(travelProblem(n).WithMaxSize(2))
+		p.Exhaustive = exhaustive
+		return p
+	}
+	poly := func(n int, exhaustive bool) *core.Problem {
+		p := instrument(travelProblem(n))
+		p.MaxPkgSize = 3
+		p.Exhaustive = exhaustive
+		return p
+	}
+	items := func(n int, exhaustive bool) *core.Problem {
+		p := travelProblem(n)
+		ip := instrument(core.ItemProblem(p.DB, p.Q, core.UtilityNegAttr(2), 3))
+		ip.Exhaustive = exhaustive
+		return ip
+	}
+	variant := func(id, problem, setting string, run func(n int) (string, error)) Family {
+		return Family{
+			ID: id, Problem: problem, Language: "fixed Q (CQ)", Setting: setting,
+			PaperClass: "FP / #·P", Params: travelSizes, Run: run,
+		}
+	}
+	return []Family{
+		variant("BB-FRP-pruned", "FRP", "travel Bp=2, branch-and-bound", func(n int) (string, error) {
+			_, ok, err := frp(n, false).FindTopK()
+			return note(ok), err
+		}),
+		variant("BB-FRP-exhaustive", "FRP", "travel Bp=2, exhaustive", func(n int) (string, error) {
+			_, ok, err := frp(n, true).FindTopK()
+			return note(ok), err
+		}),
+		variant("BB-MBP-pruned", "MBP", "travel Bp=2, branch-and-bound", func(n int) (string, error) {
+			b, ok, err := frp(n, false).MaxBound()
+			if err != nil || !ok {
+				return note(ok), err
+			}
+			return note(b), nil
+		}),
+		variant("BB-MBP-exhaustive", "MBP", "travel Bp=2, exhaustive", func(n int) (string, error) {
+			b, ok, err := frp(n, true).MaxBound()
+			if err != nil || !ok {
+				return note(ok), err
+			}
+			return note(b), nil
+		}),
+		variant("BB-CPP-pruned", "CPP", "travel ≤3 POIs, B=-10, branch-and-bound", func(n int) (string, error) {
+			cnt, err := poly(n, false).CountValid(-10)
+			return note(cnt), err
+		}),
+		variant("BB-CPP-exhaustive", "CPP", "travel ≤3 POIs, B=-10, exhaustive", func(n int) (string, error) {
+			cnt, err := poly(n, true).CountValid(-10)
+			return note(cnt), err
+		}),
+		variant("BB-items-pruned", "FRP", "item embedding, branch-and-bound", func(n int) (string, error) {
+			_, ok, err := items(n, false).FindTopK()
+			return note(ok), err
+		}),
+		variant("BB-items-exhaustive", "FRP", "item embedding, exhaustive", func(n int) (string, error) {
+			_, ok, err := items(n, true).FindTopK()
+			return note(ok), err
+		}),
 	}
 }
 

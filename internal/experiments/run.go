@@ -1,17 +1,27 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
 	"time"
 )
 
-// Sample is one timed solve.
+// Sample is one timed solve, together with the engine-counter deltas the
+// run produced (zero when the family's problems are not wired to
+// BenchCounters).
 type Sample struct {
 	Param   int
 	Seconds float64
 	Note    string
+	// Engine cost accounting for this sample: DFS nodes visited, valid
+	// packages yielded, subtrees cut by the bound layer, and bound
+	// evaluations (see core.EngineCounters).
+	Nodes      int64
+	Yielded    int64
+	Pruned     int64
+	BoundEvals int64
 }
 
 // Row is a completed experiment row: the family plus its measurements.
@@ -21,10 +31,13 @@ type Row struct {
 	Err     error
 }
 
-// Run measures a family: one timed solve per parameter.
+// Run measures a family: one timed solve per parameter, snapshotting
+// BenchCounters around each solve so the sample carries the engine's
+// nodes/pruned accounting.
 func Run(f Family) Row {
 	row := Row{Family: f}
 	for _, n := range f.Params {
+		before := counterSnapshot()
 		start := time.Now()
 		note, err := f.Run(n)
 		el := time.Since(start).Seconds()
@@ -32,9 +45,25 @@ func Run(f Family) Row {
 			row.Err = fmt.Errorf("param %d: %w", n, err)
 			return row
 		}
-		row.Samples = append(row.Samples, Sample{Param: n, Seconds: el, Note: note})
+		after := counterSnapshot()
+		row.Samples = append(row.Samples, Sample{
+			Param: n, Seconds: el, Note: note,
+			Nodes:      after[0] - before[0],
+			Yielded:    after[1] - before[1],
+			Pruned:     after[2] - before[2],
+			BoundEvals: after[3] - before[3],
+		})
 	}
 	return row
+}
+
+func counterSnapshot() [4]int64 {
+	return [4]int64{
+		BenchCounters.Nodes.Load(),
+		BenchCounters.Yielded.Load(),
+		BenchCounters.Pruned.Load(),
+		BenchCounters.BoundEvals.Load(),
+	}
 }
 
 // RunAll measures a list of families.
@@ -82,6 +111,64 @@ func (r Row) LogLogSlope() float64 {
 	return (n*sxy - sx*sy) / den
 }
 
+// JSONReport is the machine-readable form of one rendered table, the shape
+// `recbench -json` emits (and CI archives as a BENCH_*.json artifact).
+type JSONReport struct {
+	Title string    `json:"title"`
+	Rows  []JSONRow `json:"rows"`
+}
+
+// JSONRow is one family's results in machine-readable form.
+type JSONRow struct {
+	ID         string       `json:"id"`
+	Problem    string       `json:"problem"`
+	Language   string       `json:"language"`
+	Setting    string       `json:"setting"`
+	PaperClass string       `json:"paperClass"`
+	Error      string       `json:"error,omitempty"`
+	Samples    []JSONSample `json:"samples,omitempty"`
+}
+
+// JSONSample is one timed solve in machine-readable form; NsPerOp is the
+// wall time of the single solve in nanoseconds, and the counter fields are
+// the engine deltas of Sample (zero when the family is not instrumented).
+type JSONSample struct {
+	Param      int     `json:"param"`
+	NsPerOp    float64 `json:"nsPerOp"`
+	Note       string  `json:"note"`
+	Nodes      int64   `json:"nodes,omitempty"`
+	Yielded    int64   `json:"yielded,omitempty"`
+	Pruned     int64   `json:"pruned,omitempty"`
+	BoundEvals int64   `json:"boundEvals,omitempty"`
+}
+
+// ReportJSON converts measured rows into the machine-readable report form.
+func ReportJSON(title string, rows []Row) JSONReport {
+	rep := JSONReport{Title: title}
+	for _, r := range rows {
+		jr := JSONRow{
+			ID: r.Family.ID, Problem: r.Family.Problem, Language: r.Family.Language,
+			Setting: r.Family.Setting, PaperClass: r.Family.PaperClass,
+		}
+		if r.Err != nil {
+			jr.Error = r.Err.Error()
+		}
+		for _, s := range r.Samples {
+			jr.Samples = append(jr.Samples, JSONSample{
+				Param: s.Param, NsPerOp: s.Seconds * 1e9, Note: s.Note,
+				Nodes: s.Nodes, Yielded: s.Yielded, Pruned: s.Pruned, BoundEvals: s.BoundEvals,
+			})
+		}
+		rep.Rows = append(rep.Rows, jr)
+	}
+	return rep
+}
+
+// MarshalReports renders a list of reports as indented JSON.
+func MarshalReports(reports []JSONReport) ([]byte, error) {
+	return json.MarshalIndent(reports, "", "  ")
+}
+
 // Render formats rows as an aligned text table, one block per row, in the
 // shape of the paper's Tables 8.1/8.2 annotated with measurements.
 func Render(title string, rows []Row) string {
@@ -98,7 +185,11 @@ func Render(title string, rows []Row) string {
 			continue
 		}
 		for _, s := range r.Samples {
-			fmt.Fprintf(&b, "    n=%-5d %10.4fs   result=%s\n", s.Param, s.Seconds, s.Note)
+			fmt.Fprintf(&b, "    n=%-5d %10.4fs   result=%s", s.Param, s.Seconds, s.Note)
+			if s.Nodes > 0 || s.Pruned > 0 {
+				fmt.Fprintf(&b, "   nodes=%d pruned=%d", s.Nodes, s.Pruned)
+			}
+			b.WriteByte('\n')
 		}
 		ratios := r.GrowthRatios()
 		if len(ratios) > 0 {

@@ -527,5 +527,7 @@ func (s *Server) Stats() Stats {
 	st.CacheEntries = s.cache.len()
 	st.EngineNodes = s.eng.Nodes.Load()
 	st.EnginePackages = s.eng.Yielded.Load()
+	st.EnginePruned = s.eng.Pruned.Load()
+	st.EngineBoundEvals = s.eng.BoundEvals.Load()
 	return st
 }

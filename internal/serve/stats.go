@@ -18,13 +18,18 @@ type Stats struct {
 	Errors       uint64  `json:"errors"`
 	InFlight     int64   `json:"inFlight"`
 	HitRate      float64 `json:"hitRate"`
-	// EngineNodes / EnginePackages are the engine's cost accounting
-	// (core.EngineCounters): DFS nodes visited and valid packages yielded
-	// across all solves since start.
-	EngineNodes    int64             `json:"engineNodes"`
-	EnginePackages int64             `json:"enginePackages"`
-	Latency        LatencySummary    `json:"latencyMs"`
-	PerOp          map[string]uint64 `json:"perOp,omitempty"`
+	// EngineNodes / EnginePackages / EnginePruned / EngineBoundEvals are
+	// the engine's cost accounting (core.EngineCounters): DFS nodes
+	// visited, valid packages yielded, subtrees cut by the branch-and-bound
+	// layer, and bound evaluations across all solves since start. A high
+	// EnginePruned relative to EngineNodes means the bound layer is doing
+	// the serving fleet's work for it.
+	EngineNodes      int64             `json:"engineNodes"`
+	EnginePackages   int64             `json:"enginePackages"`
+	EnginePruned     int64             `json:"enginePruned"`
+	EngineBoundEvals int64             `json:"engineBoundEvals"`
+	Latency          LatencySummary    `json:"latencyMs"`
+	PerOp            map[string]uint64 `json:"perOp,omitempty"`
 }
 
 // LatencySummary reports percentiles (in milliseconds) over the most recent

@@ -17,12 +17,21 @@
 // constructors re-exported here) or parsed from text with ParseQuery; see
 // the examples directory for complete programs.
 //
-// # The parallel + incremental engine
+// # The branch-and-bound parallel engine
 //
-// The exhaustive solvers share one subset-DFS enumeration engine with
-// incremental aggregator evaluation: every stock Aggregator constructor
-// carries a Stepper that folds cost/val along the DFS path in O(1) per node
-// instead of O(|N|) recomputes, bitwise-identically to a full evaluation.
+// The solvers share one subset-DFS enumeration engine with incremental
+// aggregator evaluation: every stock Aggregator constructor carries a
+// Stepper that folds cost/val along the DFS path in O(1) per node instead
+// of O(|N|) recomputes, bitwise-identically to a full evaluation. On top of
+// that the engine runs branch-and-bound: stock aggregators also carry a
+// Bounder — precomputed suffix bounds over the candidate list — and every
+// solver with a rating threshold (the k-th best value for FindTopK/
+// MaxBound, an RPP selection's minimum, CPP/ExistsKValid's bound B) prunes
+// subtrees whose optimistic value bound cannot reach it, or whose
+// pessimistic cost bound already exceeds the budget. Pruning is
+// answer-preserving — results are identical to the exhaustive enumeration,
+// which Problem.Exhaustive restores for comparison — and its effect is
+// visible in EngineCounters (attach one via Problem.Counters).
 // The engine also has a root-splitting parallel scheduler behind
 // FindTopKParallel, CountValidParallel, DecideTopKParallel and
 // ExistsKValidParallel (workers ≤ 0 means GOMAXPROCS): the enumeration
@@ -77,6 +86,13 @@ type (
 	// Stepper evaluates an aggregator incrementally along a DFS path
 	// (LIFO push/pop of tuples); see Aggregator.NewStepper/WithStepper.
 	Stepper = core.Stepper
+	// Bounder yields admissible extension bounds for the branch-and-bound
+	// engine; see Aggregator.NewBounder/WithBounder.
+	Bounder = core.Bounder
+	// EngineCounters accumulates engine cost accounting (DFS nodes visited,
+	// packages yielded, subtrees pruned, bound evaluations); attach one via
+	// Problem.Counters. See ExampleEngineCounters.
+	EngineCounters = core.EngineCounters
 	// Utility rates single items (the f() of item recommendations).
 	Utility = core.Utility
 	// Metric is a distance function from the relaxation set Γ.
