@@ -1,8 +1,11 @@
 // Command pkgrecd is the package recommendation daemon: it owns named item
 // collections and serves the six problems (RPP, FRP, MBP, CPP, QRPP, ARPP)
-// over JSON-over-HTTP with result caching, request coalescing and a bounded
-// parallel solve pool (internal/serve). See docs/serving.md for the API and
-// a copy-pasteable curl session.
+// over JSON-over-HTTP with result caching, request coalescing, a bounded
+// parallel solve pool, and batched evaluation over shared collection
+// snapshots at POST /v1/batch (internal/serve). See docs/serving.md for
+// the API with a copy-pasteable curl session, and docs/operations.md for
+// the operator's guide (flags, /v1/stats counter semantics, cache and
+// deadline tuning, load measurement with cmd/recload).
 //
 //	pkgrecd -addr :8080 -load travel=travel.json -load courses=courses.json
 //

@@ -1,0 +1,353 @@
+// Command recload is the serving-layer traffic generator: it replays a
+// mixed recommendation workload (topk / count / exists / maxbound / decide
+// / relax requests drawn from the experiment families) against a live
+// pkgrecd and reports throughput and latency percentiles — the measured
+// baseline every serving-layer change is judged against.
+//
+//	recload                          # spawn an in-process daemon and load it
+//	recload -addr http://host:8080   # drive an external pkgrecd
+//	recload -batch 32 -c 8 -n 2048   # /v1/batch with 32 items per call, 8 workers
+//	recload -batch 1                 # one /v1/solve per item (no batching)
+//	recload -hit 0.9                 # ~90% of items repeat an earlier one
+//	recload -json > BENCH_load.json  # machine-readable report (CI archives it)
+//
+// recload always generates its own collection (experiments.WorkloadDB) and
+// uploads it to the daemon under -collection before the run, so decide
+// selections computed locally stay valid remotely and runs are
+// reproducible across machines. With -addr unset it spawns the serving
+// stack in-process behind a real HTTP listener — the same Server, Handler
+// and Client pkgrecd wires together — so a single command measures the
+// full wire path with zero setup.
+//
+// The -hit flag steers the *offered* repeat ratio: each item repeats an
+// already-issued request with probability -hit, and draws a fresh one from
+// the distinct pool otherwise. The pool auto-sizes to min(-n, the variant
+// space) so fresh draws stay distinct; an explicit -distinct caps it, and
+// once fresh draws exhaust the pool they cycle — so the *realised* offered
+// repeat ratio (reported as offeredRepeatRatio) can exceed -hit. The
+// daemon's realised hit rate (from /v1/stats) tracks the offered ratio
+// from below — first occurrences always miss, and only cache-consulting
+// items count.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("recload: ")
+	var (
+		addr       = flag.String("addr", "", "daemon base URL (empty = spawn an in-process daemon)")
+		collection = flag.String("collection", "recload", "collection name to upload the workload database under")
+		n          = flag.Int("n", 256, "total items (requests) to issue")
+		batch      = flag.Int("batch", 8, "items per /v1/batch call (1 = one /v1/solve per item)")
+		conc       = flag.Int("c", 4, "concurrent client connections")
+		hit        = flag.Float64("hit", 0.5, "offered cache-hit ratio in [0, 1): probability an item repeats an earlier one")
+		distinct   = flag.Int("distinct", 0, "distinct request pool size (0 = auto: min(-n, variant space))")
+		nPOI       = flag.Int("npoi", 60, "workload database size (points of interest)")
+		opsFlag    = flag.String("ops", "", "comma-separated op filter (default: all of topk,count,exists,maxbound,decide,relax)")
+		seed       = flag.Int64("seed", 1, "workload and repetition seed")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-call (whole-batch) deadline")
+		noCache    = flag.Bool("nocache", false, "bypass the daemon's result cache (cold-path measurement; batch dedup still applies)")
+		jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report on stdout instead of text")
+	)
+	flag.Parse()
+	if *batch < 1 || *n < 1 || *conc < 1 || *hit < 0 || *hit >= 1 {
+		log.Fatal("want -batch >= 1, -n >= 1, -c >= 1 and 0 <= -hit < 1")
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	db := experiments.WorkloadDB(*nPOI)
+	ops := experiments.WorkloadOps
+	if *opsFlag != "" {
+		ops = strings.Split(*opsFlag, ",")
+	}
+	poolSize := *distinct
+	if poolSize <= 0 {
+		poolSize = min(*n, experiments.WorkloadVariants*len(ops))
+	}
+	pool, err := experiments.SampleWorkload(rng, poolSize, db, ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := *addr
+	if base == "" {
+		srv, stop, err := spawn()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		base = srv
+		if !*jsonOut {
+			log.Printf("spawned in-process daemon at %s", base)
+		}
+	}
+	ctx := context.Background()
+	client := serve.NewClient(strings.TrimRight(base, "/"))
+	if _, err := client.PutCollection(ctx, *collection, db); err != nil {
+		log.Fatalf("uploading workload collection: %v", err)
+	}
+
+	// The replay stream: pool indices, repeats injected per -hit; fresh
+	// draws cycle a capped pool (realised repeats then exceed -hit, and
+	// the report says so). Built up front so every worker draws from one
+	// deterministic schedule.
+	stream := make([]int, *n)
+	issued := make([]int, 0, *n)
+	seen := make(map[int]bool, len(pool))
+	next := 0
+	for i := range stream {
+		if len(issued) > 0 && rng.Float64() < *hit {
+			stream[i] = issued[rng.Intn(len(issued))]
+		} else {
+			stream[i] = next % len(pool)
+			next++
+		}
+		issued = append(issued, stream[i])
+		seen[stream[i]] = true
+	}
+	offeredRepeats := float64(*n-len(seen)) / float64(*n)
+
+	rep, err := run(ctx, client, *collection, pool, stream, *batch, *conc, *timeout, *noCache)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Config = config{
+		Addr: base, Collection: *collection, N: *n, Batch: *batch,
+		Concurrency: *conc, HitRatio: *hit, Distinct: poolSize,
+		NPOI: *nPOI, Ops: ops, Seed: *seed, NoCache: *noCache,
+	}
+	rep.Summary.OfferedRepeatRatio = offeredRepeats
+	if st, err := client.Stats(ctx); err == nil {
+		rep.Server = st
+	}
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, '\n')
+		if _, err := os.Stdout.Write(out); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		render(rep)
+	}
+	if rep.Summary.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// spawn starts the serving stack in-process on a loopback listener: the
+// same Server + Handler pkgrecd runs, behind a real HTTP server, so the
+// measured path includes the full wire protocol.
+func spawn() (base string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{
+		Handler:           serve.NewServer(serve.Options{}).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = hs.Close() }, nil
+}
+
+// config echoes the run parameters into the report.
+type config struct {
+	Addr        string   `json:"addr"`
+	Collection  string   `json:"collection"`
+	N           int      `json:"n"`
+	Batch       int      `json:"batch"`
+	Concurrency int      `json:"concurrency"`
+	HitRatio    float64  `json:"hitRatio"`
+	Distinct    int      `json:"distinct"`
+	NPOI        int      `json:"npoi"`
+	Ops         []string `json:"ops,omitempty"`
+	Seed        int64    `json:"seed"`
+	NoCache     bool     `json:"noCache,omitempty"`
+}
+
+// latency is the percentile summary over per-call latencies, in
+// milliseconds (nearest-rank over all HTTP calls of the run).
+type latency struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// summary is the run's aggregate outcome. OfferedRepeatRatio is the
+// realised fraction of stream items that repeated an earlier one — it
+// meets -hit when the pool is large enough and exceeds it when fresh
+// draws had to cycle a capped pool.
+type summary struct {
+	HTTPRequests       int     `json:"httpRequests"`
+	Items              int     `json:"items"`
+	Errors             int     `json:"errors"`
+	Seconds            float64 `json:"seconds"`
+	ItemsPerSec        float64 `json:"itemsPerSec"`
+	ReqPerSec          float64 `json:"reqPerSec"`
+	OfferedRepeatRatio float64 `json:"offeredRepeatRatio"`
+	LatencyMS          latency `json:"latencyMs"`
+}
+
+// report is the machine-readable shape `recload -json` emits — the serving
+// counterpart of recbench's BENCH_*.json artifacts, archived by CI as
+// BENCH_load.json.
+type report struct {
+	Title   string       `json:"title"`
+	Config  config       `json:"config"`
+	Summary summary      `json:"summary"`
+	Server  *serve.Stats `json:"server,omitempty"`
+}
+
+// run replays the stream: conc workers issue calls of batchSize items each
+// (batchSize 1 → /v1/solve) and record per-call latency.
+func run(ctx context.Context, client *serve.Client, collection string,
+	pool []experiments.WorkloadItem, stream []int, batchSize, conc int,
+	timeout time.Duration, noCache bool) (*report, error) {
+
+	type call struct{ idxs []int }
+	calls := make([]call, 0, (len(stream)+batchSize-1)/batchSize)
+	for at := 0; at < len(stream); at += batchSize {
+		end := min(at+batchSize, len(stream))
+		calls = append(calls, call{idxs: stream[at:end]})
+	}
+
+	item := func(i int) serve.BatchItem {
+		w := pool[i]
+		return serve.BatchItem{Op: w.Op, Spec: w.Spec, Selection: w.Selection, Relax: w.Relax}
+	}
+
+	jobs := make(chan call)
+	durs := make([]time.Duration, len(calls))
+	var pos int
+	var mu sync.Mutex
+	var items, errs int
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				callStart := time.Now()
+				var okItems, badItems int
+				if batchSize == 1 {
+					req := item(c.idxs[0]).Request(collection)
+					req.TimeoutMS = timeout.Milliseconds()
+					req.NoCache = noCache
+					if _, err := client.Solve(ctx, req); err != nil {
+						badItems = 1
+					} else {
+						okItems = 1
+					}
+				} else {
+					breq := serve.BatchRequest{Collection: collection, TimeoutMS: timeout.Milliseconds(), NoCache: noCache}
+					for _, i := range c.idxs {
+						breq.Items = append(breq.Items, item(i))
+					}
+					resp, err := client.SolveBatch(ctx, breq)
+					if err != nil {
+						badItems = len(c.idxs)
+					} else {
+						for _, ir := range resp.Items {
+							if ir.Error != "" {
+								badItems++
+							} else {
+								okItems++
+							}
+						}
+					}
+				}
+				d := time.Since(callStart)
+				mu.Lock()
+				durs[pos] = d
+				pos++
+				items += okItems
+				errs += badItems
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range calls {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	ms := make([]float64, len(durs))
+	for i, d := range durs {
+		ms[i] = float64(d) / float64(time.Millisecond)
+	}
+	sort.Float64s(ms)
+	rep := &report{
+		Title: "recload",
+		Summary: summary{
+			HTTPRequests: len(calls),
+			Items:        items,
+			Errors:       errs,
+			Seconds:      wall,
+			ItemsPerSec:  float64(items) / wall,
+			ReqPerSec:    float64(len(calls)) / wall,
+			LatencyMS: latency{
+				Count: len(ms),
+				P50:   pct(ms, 0.50),
+				P95:   pct(ms, 0.95),
+				P99:   pct(ms, 0.99),
+				Max:   ms[len(ms)-1],
+			},
+		},
+	}
+	return rep, nil
+}
+
+// pct reads the nearest-rank percentile from sorted samples.
+func pct(sorted []float64, p float64) float64 {
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func render(rep *report) {
+	s := rep.Summary
+	fmt.Printf("recload: %d items in %.2fs over %d HTTP calls (batch=%d, c=%d, offered repeats=%.2f): %.0f items/s, %.0f req/s, %d errors\n",
+		s.Items+s.Errors, s.Seconds, s.HTTPRequests, rep.Config.Batch,
+		rep.Config.Concurrency, s.OfferedRepeatRatio, s.ItemsPerSec, s.ReqPerSec, s.Errors)
+	fmt.Printf("latency per HTTP call (ms): p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		s.LatencyMS.P50, s.LatencyMS.P95, s.LatencyMS.P99, s.LatencyMS.Max)
+	if st := rep.Server; st != nil {
+		fmt.Printf("server: hitRate=%.2f coalesced=%d batches=%d batchItems=%d batchDeduped=%d errors=%d\n",
+			st.HitRate, st.Coalesced, st.Batches, st.BatchItems, st.BatchDeduped, st.Errors)
+		fmt.Printf("engine: nodes=%d packages=%d pruned=%d boundEvals=%d; server p50=%.2fms p99=%.2fms\n",
+			st.EngineNodes, st.EnginePackages, st.EnginePruned, st.EngineBoundEvals,
+			st.Latency.P50, st.Latency.P99)
+	}
+}

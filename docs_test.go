@@ -1,0 +1,174 @@
+package pkgrec_test
+
+// Documentation link and symbol checker, run by `go test` and by the CI
+// docs job: every relative markdown link in the top-level documents and
+// docs/ must resolve to an existing file, and every backtick-quoted
+// `pkg.Symbol` reference must name a declaration that actually exists in
+// that package — so the prose cannot silently drift from the code it
+// describes.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown files under the checker's contract.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "ARCHITECTURE.md", "BENCHMARKS.md"}
+	more, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, more...)
+}
+
+// mdLink matches [text](target); targets with a URL scheme or pure
+// fragments are skipped.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	for _, md := range docFiles(t) {
+		body, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatalf("%s: %v", md, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link %q does not resolve (%s)", md, m[1], resolved)
+			}
+		}
+	}
+}
+
+// docPackages maps the package names documentation prose uses to their
+// source directories.
+var docPackages = map[string]string{
+	"pkgrec":      ".",
+	"core":        "internal/core",
+	"relation":    "internal/relation",
+	"query":       "internal/query",
+	"parser":      "internal/parser",
+	"relax":       "internal/relax",
+	"adjust":      "internal/adjust",
+	"spec":        "internal/spec",
+	"serve":       "internal/serve",
+	"boolenc":     "internal/boolenc",
+	"sat":         "internal/sat",
+	"reductions":  "internal/reductions",
+	"experiments": "internal/experiments",
+	"gen":         "internal/gen",
+}
+
+// codeSpan matches inline code spans; symbol references are only checked
+// inside them (prose like "Deng, Fan and Geerts" stays out of scope).
+var (
+	codeSpan = regexp.MustCompile("`[^`\n]+`")
+	// symbolRef matches pkg.Ident or pkg.Ident.Ident with exported idents.
+	symbolRef = regexp.MustCompile(`\b([a-z][a-z0-9]*)\.([A-Z][A-Za-z0-9_]*)(?:\.([A-Z][A-Za-z0-9_]*))?`)
+)
+
+// packageDecls collects the exported top-level identifiers of one package
+// directory, plus its method and struct-field names (matched loosely:
+// documentation writes `serve.Options.CacheSize` and
+// `core.Problem.DecideTopK`).
+func packageDecls(t *testing.T, dir string) (decls, members map[string]bool) {
+	t.Helper()
+	decls, members = map[string]bool{}, map[string]bool{}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					if d.Recv != nil {
+						members[d.Name.Name] = true
+					} else {
+						decls[d.Name.Name] = true
+					}
+				case *ast.GenDecl:
+					for _, sp := range d.Specs {
+						switch sp := sp.(type) {
+						case *ast.TypeSpec:
+							decls[sp.Name.Name] = true
+							if st, ok := sp.Type.(*ast.StructType); ok {
+								for _, fld := range st.Fields.List {
+									for _, name := range fld.Names {
+										members[name.Name] = true
+									}
+								}
+							}
+						case *ast.ValueSpec:
+							for _, name := range sp.Names {
+								decls[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return decls, members
+}
+
+func TestDocsGoSymbolsExist(t *testing.T) {
+	type table struct{ decls, members map[string]bool }
+	cache := map[string]table{}
+	lookup := func(pkg string) (table, bool) {
+		dir, ok := docPackages[pkg]
+		if !ok {
+			return table{}, false
+		}
+		tb, ok := cache[pkg]
+		if !ok {
+			d, m := packageDecls(t, dir)
+			tb = table{decls: d, members: m}
+			cache[pkg] = tb
+		}
+		return tb, true
+	}
+
+	for _, md := range docFiles(t) {
+		body, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatalf("%s: %v", md, err)
+		}
+		for _, span := range codeSpan.FindAllString(string(body), -1) {
+			for _, m := range symbolRef.FindAllStringSubmatch(span, -1) {
+				pkg, sym, member := m[1], m[2], m[3]
+				tb, known := lookup(pkg)
+				if !known {
+					continue // not a package reference (e.g. a filename)
+				}
+				if !tb.decls[sym] {
+					t.Errorf("%s: %s references %s.%s, but package %s declares no %s",
+						md, span, pkg, sym, pkg, sym)
+					continue
+				}
+				if member != "" && !tb.members[member] && !tb.decls[member] {
+					t.Errorf("%s: %s references %s.%s.%s, but nothing in %s is named %s",
+						md, span, pkg, sym, member, pkg, member)
+				}
+			}
+		}
+	}
+}

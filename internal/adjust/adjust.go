@@ -5,6 +5,17 @@
 // admits k distinct valid packages rated at least B. ARPP asks whether such
 // a Δ with |Δ| ≤ k′ exists; Decide answers it and returns a minimum-size
 // witness.
+//
+// ARPP is Σp2-complete in combined complexity for CQ and NP-complete for
+// item selections with a fixed query (Corollary 8.2, DecideItems); Decide
+// realises the upper bounds deterministically by enumerating adjustment
+// sets in ascending size over the edit universe and testing each through
+// the core ∃k-valid feasibility search. DecideCtx is the serving-layer
+// variant (parallel feasibility core plus deadline) with identical
+// answers. The public facade exposes the package as pkgrec.AdjustItems;
+// docs/complexity.md maps the paper's ARPP results onto it, and
+// internal/reductions (ARPPFromEFDNF, ItemARPPFrom3SAT) holds the
+// matching hardness witnesses.
 package adjust
 
 import (

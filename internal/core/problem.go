@@ -96,6 +96,22 @@ func (p *Problem) Candidates() (*relation.Relation, error) {
 	return p.candidates, nil
 }
 
+// Prepare forces the lazily memoised per-Problem state — the candidate
+// answer Q(D) in canonical order and the aggregator bound tables — to be
+// built now. Solvers build this state on first use, but that first use is
+// a write: a Problem may be shared by concurrent solves only after Prepare
+// (or one completed solve) has run, when the engine touches the problem
+// read-only. The serving layer's batch pipeline uses this to evaluate a
+// spec's candidates once and share the bounders across every sub-solve of
+// the batch.
+func (p *Problem) Prepare() error {
+	if _, err := p.Candidates(); err != nil {
+		return err
+	}
+	p.newStrategy(nil) // memoises the cost/val bound tables
+	return nil
+}
+
 // InvalidateCache drops the memoised candidate answer and the bound
 // tables built over it, for callers that mutate DB, Q or the aggregators.
 func (p *Problem) InvalidateCache() {

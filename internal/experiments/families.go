@@ -5,7 +5,14 @@
 // generator plus the solver call whose growth the paper's complexity class
 // predicts. cmd/recbench prints the rows; the root bench_test.go exposes
 // the same families as testing.B benchmarks; BENCHMARKS.md records a
-// reference run of the engine comparisons.
+// reference run of the engine comparisons, and docs/complexity.md indexes
+// the rows by theorem.
+//
+// Beyond the single-solve families, the package samples serving-layer
+// traffic: SampleWorkload draws reproducible streams of mixed wire-form
+// requests (topk/count/exists/maxbound/decide/relax over the travel
+// family) that cmd/recload replays against a live pkgrecd to measure
+// throughput and latency under load.
 package experiments
 
 import (

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/relax"
+	"repro/internal/spec"
+)
+
+// This file is the serving-workload side of the harness: where the table
+// families measure single solves, SampleWorkload draws streams of wire-form
+// requests — the mixed topk/count/exists/maxbound/decide/relax traffic a
+// production deployment of the Table 8.2 travel family would see — for the
+// cmd/recload traffic generator to replay against a live pkgrecd.
+
+// WorkloadOps are the operation kinds SampleWorkload draws from, each
+// mapping to a serving op (and through it to one of the paper's problems).
+var WorkloadOps = []string{"topk", "count", "exists", "maxbound", "decide", "relax"}
+
+// WorkloadVariants is the number of distinct problem variants per op: the
+// period of workloadSpec's parameter cycle. A sample of more than
+// WorkloadVariants × len(ops) items necessarily repeats earlier items.
+const WorkloadVariants = 96
+
+// WorkloadItem is one sampled request in wire form: the operation, the
+// problem spec, and the op-specific parameters (an RPP candidate selection
+// for decide, a QRPP relaxation spec for relax). The caller owns wrapping
+// it into its transport's request type.
+type WorkloadItem struct {
+	Op        string
+	Spec      spec.ProblemSpec
+	Selection [][][]any
+	Relax     *spec.RelaxSpec
+}
+
+// WorkloadDB builds the collection a sampled workload runs over: the
+// Table 8.2 travel database with nPOI points of interest (seeded, so every
+// run regenerates the identical collection — what lets recload compute
+// decide selections locally that remain valid on the daemon).
+func WorkloadDB(nPOI int) *relation.Database {
+	return gen.Travel(9, 20, nPOI)
+}
+
+// workloadSpec is variant v of the fixed-query travel problem: packages of
+// up to two nyc POIs, cost = total visiting time within a varying budget,
+// rated by negated total ticket price, with varying k and rating bound.
+// Variants canonicalize distinctly for v in [0, 96) — the budget steps
+// alone separate them — so within that period a daemon's realised
+// cache-hit rate is governed purely by how often the traffic generator
+// repeats a variant.
+func workloadSpec(v int) spec.ProblemSpec {
+	return spec.ProblemSpec{
+		Query: `RQ(name, type, ticket, time) :-
+			poi(name, city, type, ticket, time), city = "nyc".`,
+		Cost:       spec.AggSpec{Kind: "sum", Attr: 3, Monotone: true},
+		Val:        spec.AggSpec{Kind: "negsum", Attr: 2},
+		Budget:     float64(240 + 5*(v%WorkloadVariants)),
+		K:          1 + v%3,
+		MaxPkgSize: 2,
+		Bound:      float64(-40 - 5*(v%8)),
+	}
+}
+
+// SampleWorkload draws n distinct workload items over db (a WorkloadDB
+// clone), cycling through the requested ops (a subset of WorkloadOps; nil
+// means all of them) and through problem variants, in an order shuffled by
+// rng. Decide selections are computed locally with the library solver —
+// the daemon must agree they are top-k selections — and relax items ask
+// for the minimal relaxation of a type-filtered query under the discrete
+// metric.
+func SampleWorkload(rng *rand.Rand, n int, db *relation.Database, ops []string) ([]WorkloadItem, error) {
+	if len(ops) == 0 {
+		ops = WorkloadOps
+	}
+	for _, op := range ops {
+		found := false
+		for _, known := range WorkloadOps {
+			found = found || op == known
+		}
+		if !found {
+			return nil, fmt.Errorf("experiments: unknown workload op %q (have %v)", op, WorkloadOps)
+		}
+	}
+	items := make([]WorkloadItem, 0, n)
+	// skipped counts consecutive variant skips: the variant space has
+	// period WorkloadVariants per op, so that many skips in a row mean
+	// every remaining draw is a deterministic repeat of one that already
+	// failed — without the bound, a database admitting no decide
+	// selections would loop forever.
+	skipped := 0
+	for i := 0; len(items) < n; i++ {
+		if skipped > WorkloadVariants+len(ops) {
+			return nil, fmt.Errorf("experiments: workload stuck after %d items: no variant admits a decide selection over this database", len(items))
+		}
+		op := ops[i%len(ops)]
+		v := i / len(ops)
+		it := WorkloadItem{Op: op, Spec: workloadSpec(v)}
+		switch op {
+		case "decide":
+			sel, err := decideSelection(db, it.Spec)
+			if err != nil {
+				return nil, err
+			}
+			if sel == nil {
+				skipped++
+				continue // no top-k selection exists for this variant
+			}
+			it.Selection = sel
+		case "relax":
+			// Relax the POI type filter: the paper's rewrite rule for a
+			// constant in an equality, under the discrete metric (any
+			// other type at distance 1). Varying gap budgets keep the
+			// variants distinct.
+			it.Spec.Query = `RQ(name, type, ticket, time) :-
+				poi(name, city, type, ticket, time), city = "nyc", type = "museum".`
+			it.Spec.K = 1 + v%2
+			idx, err := pointIndex(it.Spec.Query, relation.Str("museum"))
+			if err != nil {
+				return nil, err
+			}
+			it.Relax = &spec.RelaxSpec{
+				Points:    []spec.RelaxPointSpec{{Index: idx, Metric: spec.MetricSpec{Kind: "discrete"}}},
+				Bound:     it.Spec.Bound,
+				GapBudget: float64(v % 2),
+			}
+		}
+		items = append(items, it)
+		skipped = 0
+	}
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return items, nil
+}
+
+// pointIndex finds the discovered relaxation point holding the given
+// constant — the index a RelaxSpec selects points by (discovery order, the
+// same order pkgrec.RelaxPoints reports).
+func pointIndex(q string, c relation.Value) (int, error) {
+	parsed, err := parser.Parse(q)
+	if err != nil {
+		return 0, err
+	}
+	points, err := relax.Points(parsed)
+	if err != nil {
+		return 0, err
+	}
+	for i, p := range points {
+		if p.Kind != relax.SplitVariable && p.Const.Equal(c) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: no relaxation point holds constant %v", c)
+}
+
+// decideSelection computes a top-k selection for the variant with the
+// library solver and encodes it in wire form; nil means the variant admits
+// no selection.
+func decideSelection(db *relation.Database, ps spec.ProblemSpec) ([][][]any, error) {
+	prob, err := ps.Build(db)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok, err := prob.FindTopK()
+	if err != nil || !ok {
+		return nil, err
+	}
+	wire := make([][][]any, len(sel))
+	for i, p := range sel {
+		for _, tup := range p.Tuples() {
+			row := make([]any, len(tup))
+			for j, v := range tup {
+				row[j] = relation.ValueToJSON(v)
+			}
+			wire[i] = append(wire[i], row)
+		}
+	}
+	return wire, nil
+}

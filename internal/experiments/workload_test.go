@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Every sampled workload item must be servable: the spec builds over the
+// workload database, decide items carry a selection the library itself
+// computed, and relax items carry a resolvable point spec.
+func TestSampleWorkloadItemsAreServable(t *testing.T) {
+	db := WorkloadDB(40)
+	items, err := SampleWorkload(rand.New(rand.NewSource(1)), 30, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 30 {
+		t.Fatalf("sampled %d items, want 30", len(items))
+	}
+	seenOp := map[string]bool{}
+	for i, it := range items {
+		seenOp[it.Op] = true
+		prob, err := it.Spec.Build(db)
+		if err != nil {
+			t.Fatalf("item %d (%s): spec does not build: %v", i, it.Op, err)
+		}
+		switch it.Op {
+		case "decide":
+			if len(it.Selection) != it.Spec.K {
+				t.Fatalf("item %d: decide selection has %d packages, k=%d", i, len(it.Selection), it.Spec.K)
+			}
+		case "relax":
+			if it.Relax == nil {
+				t.Fatalf("item %d: relax item without relax spec", i)
+			}
+			if _, err := it.Relax.Build(prob); err != nil {
+				t.Fatalf("item %d: relax spec does not resolve: %v", i, err)
+			}
+		}
+	}
+	for _, op := range WorkloadOps {
+		if !seenOp[op] {
+			t.Fatalf("op %s never sampled: %v", op, seenOp)
+		}
+	}
+}
+
+// Distinct items must canonicalize distinctly — the property recload's
+// cache-hit control relies on: repeats, not collisions, drive the daemon's
+// hit rate.
+func TestSampleWorkloadItemsAreDistinct(t *testing.T) {
+	db := WorkloadDB(40)
+	items, err := SampleWorkload(rand.New(rand.NewSource(2)), 48, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i, it := range items {
+		canon, err := it.Spec.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := it.Op + "|" + canon
+		if it.Relax != nil {
+			key += "|" + it.Relax.Canonical()
+		}
+		if seen[key] {
+			t.Fatalf("item %d duplicates an earlier item: %s", i, key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSampleWorkloadOpsFilter(t *testing.T) {
+	db := WorkloadDB(20)
+	items, err := SampleWorkload(rand.New(rand.NewSource(3)), 10, db, []string{"topk", "count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if it.Op != "topk" && it.Op != "count" {
+			t.Fatalf("filtered sample drew op %s", it.Op)
+		}
+	}
+	if _, err := SampleWorkload(rand.New(rand.NewSource(4)), 4, db, []string{"solveharder"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}

@@ -17,6 +17,18 @@
 // Thresholds are searched up to D-equivalence (Theorem 7.2's upper-bound
 // argument): only distances realised between the constant and active-domain
 // values matter.
+//
+// QRPP is Σp2-complete in combined complexity with compatibility
+// constraints and NP-complete without (and in data complexity); Decide
+// realises the upper bounds deterministically — level assignments in
+// ascending total gap, each tested through the core ∃k-valid feasibility
+// search — so the returned Relaxation is always a minimal-gap witness.
+// DecideCtx is the serving-layer variant (parallel feasibility core plus
+// deadline) with identical answers. The public facade exposes the package
+// as pkgrec.RelaxQuery / pkgrec.RelaxPoints / pkgrec.ApplyRelaxation;
+// docs/complexity.md maps the paper's QRPP results onto it, and
+// internal/reductions (QRPPFromEFDNF, QRPPFrom3SAT) holds the matching
+// hardness witnesses.
 package relax
 
 import (

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/spec"
+)
+
+// BatchRequest is N solve requests against one collection, answered as a
+// unit: the collection is snapshotted once, identical sub-requests are
+// deduplicated through the same canonical fingerprints the result cache
+// keys on, sub-requests with equal problem specs share one prepared
+// Problem (candidates evaluated and bound tables built once), and the
+// sub-solves are scheduled on the bounded pool under a single whole-batch
+// deadline. Items fail independently: one malformed spec or one timed-out
+// solve never fails the batch.
+type BatchRequest struct {
+	Collection string      `json:"collection"`
+	Items      []BatchItem `json:"items"`
+	// TimeoutMS is the whole-batch deadline (> 0 overrides the server's
+	// default timeout). Every sub-solve, including its wait for a pool
+	// slot, counts against it.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+	// NoCache makes every item bypass the result cache (deduplication
+	// still applies, among the batch's NoCache items).
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// BatchItem is one sub-request of a batch: a Request without the
+// collection (the batch names it once) and without a timeout (the batch
+// carries one whole-batch deadline).
+type BatchItem struct {
+	Op        string             `json:"op"`
+	Spec      spec.ProblemSpec   `json:"spec"`
+	Selection [][][]any          `json:"selection,omitempty"`
+	Relax     *spec.RelaxSpec    `json:"relax,omitempty"`
+	Adjust    *spec.AdjustSpec   `json:"adjust,omitempty"`
+	Extra     *relation.Database `json:"extra,omitempty"`
+	Workers   int                `json:"workers,omitempty"`
+	NoCache   bool               `json:"noCache,omitempty"`
+}
+
+// Request lifts the item to the single-solve Request form — the form the
+// cache-key and solver machinery operate on, and the request a client
+// would send to /v1/solve to ask the same question outside a batch.
+func (it BatchItem) Request(collection string) Request {
+	return Request{
+		Collection: collection,
+		Op:         it.Op,
+		Spec:       it.Spec,
+		Selection:  it.Selection,
+		Relax:      it.Relax,
+		Adjust:     it.Adjust,
+		Extra:      it.Extra,
+		Workers:    it.Workers,
+		NoCache:    it.NoCache,
+	}
+}
+
+// ItemResponse is one item's outcome. Exactly one of Result and Error is
+// set; Cached and Deduped say how the item was served. A deduplicated item
+// inherits the leading duplicate's successful result (cached or solved);
+// a duplicate of a failed lead reports the inherited error instead, with
+// Deduped unset.
+type ItemResponse struct {
+	Result    *Result `json:"result,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+	Deduped   bool    `json:"deduped,omitempty"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// BatchResponse summarises a batch: per-item outcomes in request order
+// plus how much work the batch actually performed.
+type BatchResponse struct {
+	Collection string         `json:"collection"`
+	Version    uint64         `json:"version"`
+	Items      []ItemResponse `json:"items"`
+	// Solves counts the items answered by an engine run — their own, or
+	// an identical outside in-flight solve they joined (the latter also
+	// surfaces in the Coalesced stat); CacheHits and Deduped count the
+	// items served without one (from the result cache, or from an
+	// identical item in the same batch). Errors counts failed items.
+	Solves    int     `json:"solves"`
+	CacheHits int     `json:"cacheHits"`
+	Deduped   int     `json:"deduped"`
+	Errors    int     `json:"errors"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// sharedProblem lazily builds and prepares one problem spec's Problem,
+// shared by every sub-solve of the batch whose spec canonicalizes
+// identically. Build (spec parse, aggregator construction) and Prepare
+// (candidate evaluation, bound tables) run exactly once, under the Once,
+// inside the first user's pool slot — so a fully cache-served batch never
+// pays them — after which the engine reads the problem read-only and
+// concurrent sub-solves are safe. Build and prepare failures surface as
+// that item's (and its spec-sharers') solve error.
+type sharedProblem struct {
+	build func() (*core.Problem, error)
+	once  sync.Once
+	prob  *core.Problem
+	err   error
+}
+
+func (sp *sharedProblem) get() (*core.Problem, error) {
+	sp.once.Do(func() {
+		sp.prob, sp.err = sp.build()
+		if sp.err == nil {
+			sp.err = sp.prob.Prepare()
+		}
+	})
+	return sp.prob, sp.err
+}
+
+// batchItem is the resolved execution state of one batch item.
+type batchItem struct {
+	req    Request
+	sel    []core.Package
+	key    string // result-cache key (canonical fingerprint)
+	shared *sharedProblem
+	lead   int // index of the first identical item; == own index for leads
+}
+
+// SolveBatch answers a batch of solve requests over one collection
+// snapshot. Items are validated and fingerprinted up front; identical
+// items (equal canonical cache keys) collapse onto one underlying solve;
+// items whose problem specs agree share one prepared Problem; distinct
+// items run concurrently, each taking a slot on the bounded solve pool,
+// all under one whole-batch deadline. Item failures are isolated — the
+// batch-level error is non-nil only when the collection is unknown or the
+// context is already dead at entry.
+func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchResponse, error) {
+	start := time.Now()
+	s.stats.batches.Add(1)
+	if err := ctx.Err(); err != nil {
+		s.stats.errors.Add(1)
+		return nil, err
+	}
+	coll, err := s.snapshot(breq.Collection)
+	if err != nil {
+		s.stats.errors.Add(1)
+		return nil, err
+	}
+	resp := &BatchResponse{
+		Collection: coll.name,
+		Version:    coll.version,
+		Items:      make([]ItemResponse, len(breq.Items)),
+	}
+	if len(breq.Items) == 0 {
+		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		return resp, nil
+	}
+	s.stats.batchItems.Add(uint64(len(breq.Items)))
+
+	// Phase 1 (serial, cheap): admit each item through the shared
+	// validation pipeline and wire up sharing — duplicates point at their
+	// lead item, distinct items with equal specs share one Problem.
+	// Deduplication keys carry the NoCache bit exactly like flight keys
+	// do: a NoCache item must never be answered through a cached twin,
+	// and a caching item must never collapse onto a lead whose result is
+	// not stored.
+	items := make([]*batchItem, len(breq.Items))
+	leads := map[string]int{}            // dedup key -> lead item index
+	probs := map[string]*sharedProblem{} // canonical spec -> shared problem
+	fail := func(i int, err error) {
+		resp.Items[i] = ItemResponse{Error: err.Error()}
+		s.stats.errors.Add(1)
+	}
+	for i, bit := range breq.Items {
+		req := bit.Request(breq.Collection)
+		req.NoCache = req.NoCache || breq.NoCache
+		v, err := s.validateRequest(coll, req)
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		it := &batchItem{req: v.req, sel: v.sel, key: v.key, lead: i}
+		dedupKey := flightKey(v.key, v.req.NoCache)
+		if lead, ok := leads[dedupKey]; ok {
+			it.lead = lead
+		} else {
+			leads[dedupKey] = i
+			sp, ok := probs[v.canon]
+			if !ok {
+				ps := v.req.Spec
+				sp = &sharedProblem{build: func() (*core.Problem, error) {
+					return s.buildProblem(coll, ps)
+				}}
+				probs[v.canon] = sp
+			}
+			it.shared = sp
+		}
+		items[i] = it
+	}
+
+	// Phase 2: run the lead items concurrently on the bounded pool under
+	// the whole-batch deadline.
+	bctx, cancel := s.withDeadline(ctx, Request{TimeoutMS: breq.TimeoutMS})
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, it := range items {
+		if it == nil || it.lead != i {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, it *batchItem) {
+			defer wg.Done()
+			itemStart := time.Now()
+			s.stats.inFlight.Add(1)
+			defer s.stats.inFlight.Add(-1)
+			res, cached, err := s.solveBatchItem(bctx, coll, it)
+			s.stats.observe(time.Since(itemStart))
+			ir := ItemResponse{
+				Cached:    cached,
+				ElapsedMS: float64(time.Since(itemStart)) / float64(time.Millisecond),
+			}
+			if err != nil {
+				s.stats.errors.Add(1)
+				ir.Error = err.Error()
+			} else {
+				ir.Result = res
+			}
+			resp.Items[i] = ir
+		}(i, it)
+	}
+	wg.Wait()
+
+	// Phase 3: fan lead outcomes out to their duplicates. Results are
+	// immutable and shared by pointer, exactly as cache hits are. Only a
+	// successful share counts as deduplication (here and in the stats); a
+	// duplicate of a failed lead reports the inherited error and counts
+	// as an error, so batch-response tallies and /v1/stats agree.
+	for i, it := range items {
+		if it == nil || it.lead == i {
+			continue
+		}
+		lead := resp.Items[it.lead]
+		if lead.Error != "" {
+			resp.Items[i] = ItemResponse{Error: lead.Error}
+			s.stats.errors.Add(1)
+			continue
+		}
+		resp.Items[i] = ItemResponse{
+			Result:  lead.Result,
+			Cached:  lead.Cached,
+			Deduped: true,
+		}
+		s.stats.batchDeduped.Add(1)
+	}
+	for _, ir := range resp.Items {
+		switch {
+		case ir.Error != "":
+			resp.Errors++
+		case ir.Deduped:
+			resp.Deduped++
+		case ir.Cached:
+			resp.CacheHits++
+		default:
+			resp.Solves++
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+// solveBatchItem serves one lead item: result-cache lookup, then a
+// coalesced, pool-bounded run of the shared prepared problem. The flight
+// key is the same one single solves use, so a batch item also coalesces
+// with identical /v1/solve traffic in flight at the same time.
+func (s *Server) solveBatchItem(ctx context.Context, coll *collection, it *batchItem) (*Result, bool, error) {
+	if !it.req.NoCache {
+		if res, ok := s.cache.get(it.key); ok {
+			s.stats.hits.Add(1)
+			return res, true, nil
+		}
+		s.stats.misses.Add(1)
+	}
+	res, shared, err := s.flight.do(ctx, flightKey(it.key, it.req.NoCache), func() (*Result, error) {
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		prob, err := it.shared.get()
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.solveOp(ctx, prob, it.req, it.sel)
+		if err == nil && !it.req.NoCache {
+			s.putIfCurrent(coll, it.key, r)
+		}
+		return r, err
+	})
+	if shared {
+		s.stats.coalesced.Add(1)
+	}
+	return res, false, err
+}

@@ -45,6 +45,18 @@ func (c *Client) Solve(ctx context.Context, req Request) (*Response, error) {
 	return &resp, nil
 }
 
+// SolveBatch posts a batch of solve requests against one collection; see
+// BatchRequest for the batching semantics. The returned error covers the
+// batch as a whole (transport failure, unknown collection, malformed
+// body); per-item failures come back inside the response items.
+func (c *Client) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", breq, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // PutCollection loads or swaps a collection on the daemon.
 func (c *Client) PutCollection(ctx context.Context, name string, db *relation.Database) (CollectionInfo, error) {
 	var info CollectionInfo

@@ -1,0 +1,71 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/internal/relation"
+	"repro/internal/serve"
+	"repro/internal/spec"
+)
+
+// ExampleClient_batch sends one /v1/batch request carrying four
+// sub-requests — two of them identical — against a single collection. The
+// daemon snapshots the collection once, answers the duplicate from its
+// twin without a second solve, and isolates the malformed item's error
+// from the rest of the batch.
+func ExampleClient_batch() {
+	items := relation.NewRelation(relation.NewSchema("item", "name", "price", "rating"))
+	for _, row := range [][]any{
+		{"brie", int64(4), int64(3)}, {"cheddar", int64(3), int64(2)},
+		{"fig", int64(2), int64(3)}, {"olive", int64(1), int64(1)},
+	} {
+		t := relation.NewTuple(relation.Str(row[0].(string)),
+			relation.Int(row[1].(int64)), relation.Int(row[2].(int64)))
+		if err := items.Insert(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db := relation.NewDatabase().Add(items)
+
+	srv := serve.NewServer(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	client := serve.NewClient(ts.URL)
+	if _, err := client.PutCollection(ctx, "shop", db); err != nil {
+		log.Fatal(err)
+	}
+
+	boards := spec.ProblemSpec{
+		Query:      `RQ(n, p, r) :- item(n, p, r).`,
+		Cost:       spec.AggSpec{Kind: "sum", Attr: 1, Monotone: true},
+		Val:        spec.AggSpec{Kind: "sum", Attr: 2},
+		Budget:     6,
+		K:          2,
+		MaxPkgSize: 2,
+		Bound:      5,
+	}
+	resp, err := client.SolveBatch(ctx, serve.BatchRequest{
+		Collection: "shop",
+		Items: []serve.BatchItem{
+			{Op: "count", Spec: boards},
+			{Op: "count", Spec: boards}, // identical: deduplicated
+			{Op: "maxbound", Spec: boards},
+			{Op: "count"}, // malformed: empty spec, isolated error
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solves=%d deduped=%d errors=%d\n", resp.Solves, resp.Deduped, resp.Errors)
+	fmt.Printf("count=%d (deduped twin=%d) maxbound=%g\n",
+		*resp.Items[0].Result.Count, *resp.Items[1].Result.Count, *resp.Items[2].Result.Bound)
+	fmt.Printf("bad item failed alone: %v\n", resp.Items[3].Error != "")
+	// Output:
+	// solves=2 deduped=1 errors=1
+	// count=2 (deduped twin=2) maxbound=5
+	// bad item failed alone: true
+}

@@ -13,6 +13,7 @@ import (
 // docs/serving.md:
 //
 //	POST   /v1/solve              solve a problem (body: Request)
+//	POST   /v1/batch              solve a batch over one collection (body: BatchRequest)
 //	GET    /v1/stats              service counters (Stats)
 //	GET    /v1/collections        list collections
 //	GET    /v1/collections/{name} one collection's description
@@ -27,6 +28,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/collections", s.handleListCollections)
 	mux.HandleFunc("GET /v1/collections/{name}", s.handleGetCollection)
@@ -59,6 +61,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.Solve(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch serves POST /v1/batch. Item failures are part of a 200
+// response (each item carries its own result or error); only a malformed
+// body or an unknown collection fails the batch as a whole.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		writeError(w, &RequestError{Err: err})
+		return
+	}
+	resp, err := s.SolveBatch(r.Context(), breq)
 	if err != nil {
 		writeError(w, err)
 		return

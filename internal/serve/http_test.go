@@ -113,8 +113,11 @@ func TestHTTPEquivalenceConcurrent(t *testing.T) {
 	if st.CacheHits+st.Coalesced < uint64((rounds-1)*len(variants)) {
 		t.Fatalf("cache did not short-circuit repeats: %+v", st)
 	}
-	if st.HitRate == 0 {
-		t.Fatal("hit rate not surfaced")
+	// The hits/coalesced split is timing-dependent (on a busy one-core run
+	// every repeat can join a flight before any result lands in the
+	// cache), so only assert the rate is consistent with the hits.
+	if (st.CacheHits > 0) != (st.HitRate > 0) {
+		t.Fatalf("hit rate inconsistent with cache hits: %+v", st)
 	}
 }
 

@@ -4,7 +4,7 @@
 // them, designed for streams of related queries rather than one-shot
 // library calls.
 //
-// Three mechanisms make repeated traffic cheap:
+// Four mechanisms make repeated traffic cheap:
 //
 //   - a bounded-size LRU result cache keyed by a canonical fingerprint of
 //     (collection name, collection version, canonical problem spec,
@@ -16,7 +16,14 @@
 //     cache), so a thundering herd of equal requests costs one solve;
 //   - a bounded worker pool: at most MaxConcurrent solves run at once, each
 //     on the internal/core root-splitting parallel engine with a
-//     per-request context deadline; excess requests queue on the pool.
+//     per-request context deadline; excess requests queue on the pool;
+//   - batched evaluation: SolveBatch (HTTP: POST /v1/batch) answers N
+//     requests against one collection snapshot, deduplicating identical
+//     sub-requests through the cache keys, sharing one prepared Problem
+//     (candidates + bound tables) between sub-solves with equal specs, and
+//     isolating per-item failures under a whole-batch deadline — the
+//     per-request setup overhead is paid once per batch, not once per
+//     query.
 //
 // Results are identical to direct library calls: every operation dispatches
 // to the same solvers the public pkgrec API wraps, with the engine's
@@ -224,6 +231,40 @@ func (s *Server) snapshot(name string) (*collection, error) {
 	return c, nil
 }
 
+// validated is a request that passed the shared admission pipeline: op
+// normalized and tallied, RPP selection decoded, spec canonicalized, and
+// the result-cache key built over the collection snapshot. Solve and
+// SolveBatch both admit requests through validateRequest, so the two
+// paths cannot drift.
+type validated struct {
+	req   Request
+	sel   []core.Package // RPP candidate selection, decoded once
+	canon string         // canonical problem spec (problem-sharing key)
+	key   string         // result-cache key
+}
+
+// validateRequest runs the admission pipeline for one request against a
+// resolved collection snapshot. Errors are client faults (RequestError).
+func (s *Server) validateRequest(coll *collection, req Request) (validated, error) {
+	op, err := normalizeOp(req.Op)
+	if err != nil {
+		return validated{}, err
+	}
+	req.Op = op
+	s.stats.op(op)
+	var sel []core.Package
+	if op == OpDecide {
+		if sel, err = decodeSelection(req.Selection); err != nil {
+			return validated{}, &RequestError{Err: err}
+		}
+	}
+	canon, err := req.Spec.Canonical()
+	if err != nil {
+		return validated{}, &RequestError{Err: err}
+	}
+	return validated{req: req, sel: sel, canon: canon, key: s.cacheKey(coll, req, sel, canon)}, nil
+}
+
 // Solve answers one request: cache lookup, then a coalesced, pool-bounded
 // engine run with the request's deadline. The result is exactly what the
 // corresponding library call returns (see runSolve); Cached and ElapsedMS
@@ -232,32 +273,19 @@ func (s *Server) Solve(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	s.stats.inFlight.Add(1)
 	defer s.stats.inFlight.Add(-1)
-	s.stats.requests.Add(1) // counted before validation, so Errors ≤ Requests
+	s.stats.requests.Add(1) // counted before validation, so single-solve errors never outnumber Requests
 
-	op, err := normalizeOp(req.Op)
-	if err != nil {
-		s.stats.errors.Add(1)
-		return nil, err
-	}
-	req.Op = op
-	s.stats.op(op)
 	coll, err := s.snapshot(req.Collection)
 	if err != nil {
 		s.stats.errors.Add(1)
 		return nil, err
 	}
-	var sel []core.Package // RPP candidate selection, decoded once
-	if req.Op == OpDecide {
-		if sel, err = decodeSelection(req.Selection); err != nil {
-			s.stats.errors.Add(1)
-			return nil, &RequestError{Err: err}
-		}
-	}
-	key, err := s.cacheKey(coll, req, sel)
+	v, err := s.validateRequest(coll, req)
 	if err != nil {
 		s.stats.errors.Add(1)
 		return nil, err
 	}
+	req, sel, key := v.req, v.sel, v.key
 
 	if !req.NoCache {
 		if res, ok := s.cache.get(key); ok {
@@ -270,20 +298,14 @@ func (s *Server) Solve(ctx context.Context, req Request) (*Response, error) {
 		s.stats.misses.Add(1)
 	}
 
-	// NoCache requests fly under a separate coalescing key: a caching
-	// request must never end up behind a leader whose result will not be
-	// stored (its waiters would lose the entry they asked for).
-	flightKey := key
-	if req.NoCache {
-		flightKey += "!nocache"
-	}
+	fkey := flightKey(key, req.NoCache)
 	// The deadline starts here — before coalescing and pool admission — so
 	// time spent waiting on another request's flight or on a saturated
 	// pool counts against it: short-deadline requests shed load instead of
 	// piling up behind long solves.
 	solveCtx, cancel := s.withDeadline(ctx, req)
 	defer cancel()
-	res, shared, err := s.flight.do(solveCtx, flightKey, func() (*Result, error) {
+	res, shared, err := s.flight.do(solveCtx, fkey, func() (*Result, error) {
 		if err := s.acquire(solveCtx); err != nil {
 			return nil, err
 		}
@@ -315,6 +337,19 @@ func (s *Server) respond(res *Result, coll *collection, cached bool, start time.
 		Cached:     cached,
 		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
 	}
+}
+
+// flightKey derives the coalescing (and batch-dedup) key from a cache
+// key: NoCache requests fly under a separate key, because a caching
+// request must never end up behind a leader whose result will not be
+// stored (its waiters would lose the entry they asked for), and — in a
+// batch — a NoCache item must never be answered through a cached twin.
+// Every site that groups identical requests must use this one helper.
+func flightKey(key string, noCache bool) string {
+	if noCache {
+		return key + "!nocache"
+	}
+	return key
 }
 
 // acquire takes a slot on the bounded solve pool, abandoning the wait when
@@ -350,17 +385,35 @@ func (s *Server) workers(req Request) int {
 	return s.opts.EngineWorkers
 }
 
-// runSolve executes the request on the engine. Every arm calls exactly the
-// solver the public pkgrec API wraps, so daemon answers and library answers
-// cannot drift apart; the engine's serial/parallel equivalence guarantees
-// make the worker count invisible in results (only the choice of RPP
-// witness can vary, and any returned witness is genuine).
-func (s *Server) runSolve(ctx context.Context, coll *collection, req Request, sel []core.Package) (*Result, error) {
-	prob, err := req.Spec.Build(coll.db)
+// buildProblem constructs (and instruments) the Problem a request's spec
+// describes over a collection snapshot.
+func (s *Server) buildProblem(coll *collection, ps spec.ProblemSpec) (*core.Problem, error) {
+	prob, err := ps.Build(coll.db)
 	if err != nil {
 		return nil, &RequestError{Err: err}
 	}
 	prob.Counters = &s.eng
+	return prob, nil
+}
+
+// runSolve executes the request on the engine: a fresh Problem from the
+// spec, then the operation dispatch.
+func (s *Server) runSolve(ctx context.Context, coll *collection, req Request, sel []core.Package) (*Result, error) {
+	prob, err := s.buildProblem(coll, req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.solveOp(ctx, prob, req, sel)
+}
+
+// solveOp executes the request's operation on a prebuilt problem. Every arm
+// calls exactly the solver the public pkgrec API wraps, so daemon answers
+// and library answers cannot drift apart; the engine's serial/parallel
+// equivalence guarantees make the worker count invisible in results (only
+// the choice of RPP witness can vary, and any returned witness is genuine).
+// The batch pipeline calls it directly with a problem shared (read-only,
+// after Prepare) across sub-solves.
+func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, sel []core.Package) (*Result, error) {
 	workers := s.workers(req)
 	res := &Result{Op: req.Op}
 	switch req.Op {
@@ -481,16 +534,13 @@ func decodeSelection(sel [][][]any) ([]core.Package, error) {
 
 // cacheKey builds the canonical fingerprint a request's result is cached
 // under: collection identity (name, version, content fingerprint) plus the
-// canonical problem spec plus the operation and its parameters. Everything
-// execution-related (workers, timeout, NoCache) is deliberately excluded —
-// it cannot change the answer. Queries are canonicalized by parse +
-// re-render (internal/parser.Canonicalize via spec.Canonical), so
+// canonical problem spec (canon, the caller's req.Spec.Canonical()) plus
+// the operation and its parameters. Everything execution-related (workers,
+// timeout, NoCache) is deliberately excluded — it cannot change the
+// answer. Queries are canonicalized by parse + re-render
+// (internal/parser.Canonicalize via spec.Canonical), so
 // formatting-different but equal requests share an entry.
-func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package) (string, error) {
-	canon, err := req.Spec.Canonical()
-	if err != nil {
-		return "", &RequestError{Err: err}
-	}
+func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package, canon string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s@%d:%s|%s|%s", spec.CanonString(coll.name), coll.version, coll.fingerprint, req.Op, canon)
 	switch req.Op {
@@ -514,7 +564,7 @@ func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package) (st
 		}
 	}
 	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:]), nil
+	return hex.EncodeToString(sum[:])
 }
 
 // Stats returns a snapshot of the service counters.

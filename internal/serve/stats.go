@@ -18,6 +18,16 @@ type Stats struct {
 	Errors       uint64  `json:"errors"`
 	InFlight     int64   `json:"inFlight"`
 	HitRate      float64 `json:"hitRate"`
+	// Batches / BatchItems / BatchDeduped describe the batch pipeline:
+	// SolveBatch calls, sub-requests across them, and sub-requests
+	// answered by an identical item of the same batch instead of their
+	// own solve (successful shares only — a duplicate of a failed item
+	// counts into Errors). Requests counts single solves only; batch
+	// items surface here and in the shared hit/miss/coalesced/latency
+	// counters.
+	Batches      uint64 `json:"batches"`
+	BatchItems   uint64 `json:"batchItems"`
+	BatchDeduped uint64 `json:"batchDeduped"`
 	// EngineNodes / EnginePackages / EnginePruned / EngineBoundEvals are
 	// the engine's cost accounting (core.EngineCounters): DFS nodes
 	// visited, valid packages yielded, subtrees cut by the branch-and-bound
@@ -47,12 +57,15 @@ type LatencySummary struct {
 // statsRec is the live, concurrently updated side of Stats: lock-free
 // counters plus a mutex-guarded latency ring.
 type statsRec struct {
-	requests  atomic.Uint64
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	coalesced atomic.Uint64
-	errors    atomic.Uint64
-	inFlight  atomic.Int64
+	requests     atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	coalesced    atomic.Uint64
+	errors       atomic.Uint64
+	inFlight     atomic.Int64
+	batches      atomic.Uint64
+	batchItems   atomic.Uint64
+	batchDeduped atomic.Uint64
 
 	mu    sync.Mutex
 	perOp map[string]uint64
@@ -95,6 +108,10 @@ func (s *statsRec) snapshot() Stats {
 		Coalesced:   s.coalesced.Load(),
 		Errors:      s.errors.Load(),
 		InFlight:    s.inFlight.Load(),
+
+		Batches:      s.batches.Load(),
+		BatchItems:   s.batchItems.Load(),
+		BatchDeduped: s.batchDeduped.Load(),
 	}
 	if looked := st.CacheHits + st.CacheMisses; looked > 0 {
 		st.HitRate = float64(st.CacheHits) / float64(looked)

@@ -47,9 +47,11 @@
 //
 // NewServeServer / NewServeClient expose the daemon-grade serving layer
 // (internal/serve, cmd/pkgrecd): named versioned collections, an LRU result
-// cache keyed by canonical problem fingerprints, request coalescing, and a
-// bounded parallel solve pool with per-request deadlines. See
-// docs/serving.md and ExampleNewServeClient.
+// cache keyed by canonical problem fingerprints, request coalescing, a
+// bounded parallel solve pool with per-request deadlines, and batched
+// evaluation (ServeBatchRequest: N sub-requests over one collection
+// snapshot, deduplicated and solved with shared per-spec state). See
+// docs/serving.md, docs/operations.md and ExampleNewServeClient.
 package pkgrec
 
 import (
@@ -253,6 +255,14 @@ type (
 	ServeRequest = serve.Request
 	// ServeResponse is a solve response.
 	ServeResponse = serve.Response
+	// ServeBatchRequest is N solve requests against one collection,
+	// answered over a single snapshot with sub-request deduplication.
+	ServeBatchRequest = serve.BatchRequest
+	// ServeBatchItem is one sub-request of a batch.
+	ServeBatchItem = serve.BatchItem
+	// ServeBatchResponse is a batch response: per-item outcomes plus the
+	// batch's dedup/cache/solve tally.
+	ServeBatchResponse = serve.BatchResponse
 	// ServeStats is the service's runtime counters (hit rate, in-flight,
 	// latency percentiles).
 	ServeStats = serve.Stats
