@@ -10,8 +10,11 @@
 //	pkgrecd -addr :8080 -load travel=travel.json -load courses=courses.json
 //
 // Collections load from the internal/relation JSON codec (the same files
-// cmd/pkgrec -db takes) and can be added or swapped at runtime with
-// PUT /v1/collections/{name}.
+// cmd/pkgrec -db takes), can be added or swapped at runtime with
+// PUT /v1/collections/{name}, and mutated incrementally with
+// POST /v1/collections/{name}/delta — tuple upserts and deletes that keep
+// cached results and warmed problem state over unaffected relations valid
+// while readers keep solving against their pinned snapshot.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		cacheSize   = flag.Int("cache", 4096, "result cache entries")
+		probCache   = flag.Int("problem-cache", 0, "prepared problems kept per collection version (0 = 256)")
 		maxInFlight = flag.Int("max-concurrent", 0, "max solves running at once (0 = GOMAXPROCS)")
 		engWorkers  = flag.Int("workers", 1, "engine workers per solve (requests may override)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default solve deadline (0 = none)")
@@ -49,10 +53,11 @@ func main() {
 	flag.Parse()
 
 	srv := serve.NewServer(serve.Options{
-		CacheSize:      *cacheSize,
-		MaxConcurrent:  *maxInFlight,
-		EngineWorkers:  *engWorkers,
-		DefaultTimeout: *timeout,
+		CacheSize:        *cacheSize,
+		ProblemCacheSize: *probCache,
+		MaxConcurrent:    *maxInFlight,
+		EngineWorkers:    *engWorkers,
+		DefaultTimeout:   *timeout,
 	})
 	for _, l := range loads {
 		name, path, ok := strings.Cut(l, "=")

@@ -9,6 +9,9 @@
 //	recload -batch 32 -c 8 -n 2048   # /v1/batch with 32 items per call, 8 workers
 //	recload -batch 1                 # one /v1/solve per item (no batching)
 //	recload -hit 0.9                 # ~90% of items repeat an earlier one
+//	recload -churn 32                # one delta install per 32 items
+//	recload -churn 32 -churnrel poi  # churn the relation the queries read
+//	recload -churn 32 -churnswap     # same mutations as full collection swaps
 //	recload -json > BENCH_load.json  # machine-readable report (CI archives it)
 //
 // recload always generates its own collection (experiments.WorkloadDB) and
@@ -24,10 +27,22 @@
 // the distinct pool otherwise. The pool auto-sizes to min(-n, the variant
 // space) so fresh draws stay distinct; an explicit -distinct caps it, and
 // once fresh draws exhaust the pool they cycle — so the *realised* offered
-// repeat ratio (reported as offeredRepeatRatio) can exceed -hit. The
-// daemon's realised hit rate (from /v1/stats) tracks the offered ratio
-// from below — first occurrences always miss, and only cache-consulting
-// items count.
+// repeat ratio (reported as offeredRepeatRatio in both the text and JSON
+// reports) can exceed -hit. The daemon's realised hit rate (from
+// /v1/stats) tracks the offered ratio from below — first occurrences
+// always miss, and only cache-consulting items count.
+//
+// The -churn flag interleaves collection mutations into the replay: after
+// every -churn items one experiments.ChurnDelta installs (alternating
+// upsert/delete of a synthetic tuple) through POST
+// /v1/collections/{name}/delta — or, with -churnswap, as a full PUT of the
+// evolving collection, the pre-delta way. -churnrel picks the mutated
+// relation: "flight" (default) churns a relation the sampled queries never
+// read, so warm cache entries and prepared problems survive every install;
+// "poi" churns the relation they all read, invalidating the warm state
+// each time. The report carries install counts and latencies next to the
+// serve-side deltas/deltaItems/hitRate counters, so one run quantifies
+// delta installs against full swaps.
 package main
 
 import (
@@ -46,6 +61,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/relation"
 	"repro/internal/serve"
 )
 
@@ -65,11 +81,17 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload and repetition seed")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-call (whole-batch) deadline")
 		noCache    = flag.Bool("nocache", false, "bypass the daemon's result cache (cold-path measurement; batch dedup still applies)")
+		churn      = flag.Int("churn", 0, "interleave one collection mutation per this many items (0 = no churn)")
+		churnRel   = flag.String("churnrel", "flight", "relation the churn mutates (flight = unread by the queries, poi = read by all)")
+		churnSwap  = flag.Bool("churnswap", false, "install churn as full collection PUT swaps instead of deltas")
 		jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report on stdout instead of text")
 	)
 	flag.Parse()
 	if *batch < 1 || *n < 1 || *conc < 1 || *hit < 0 || *hit >= 1 {
 		log.Fatal("want -batch >= 1, -n >= 1, -c >= 1 and 0 <= -hit < 1")
+	}
+	if *churn < 0 {
+		log.Fatal("want -churn >= 0")
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -125,7 +147,15 @@ func main() {
 	}
 	offeredRepeats := float64(*n-len(seen)) / float64(*n)
 
-	rep, err := run(ctx, client, *collection, pool, stream, *batch, *conc, *timeout, *noCache)
+	var ch *churner
+	if *churn > 0 {
+		if _, err := experiments.ChurnDelta(*churnRel, 0); err != nil {
+			log.Fatal(err)
+		}
+		ch = &churner{client: client, coll: *collection, rel: *churnRel, swap: *churnSwap, mirror: db}
+	}
+
+	rep, err := run(ctx, client, *collection, pool, stream, *batch, *conc, *timeout, *noCache, *churn, ch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -133,8 +163,12 @@ func main() {
 		Addr: base, Collection: *collection, N: *n, Batch: *batch,
 		Concurrency: *conc, HitRatio: *hit, Distinct: poolSize,
 		NPOI: *nPOI, Ops: ops, Seed: *seed, NoCache: *noCache,
+		Churn: *churn, ChurnRel: *churnRel, ChurnSwap: *churnSwap,
 	}
 	rep.Summary.OfferedRepeatRatio = offeredRepeats
+	if ch != nil {
+		rep.Summary.Churn = ch.summary()
+	}
 	if st, err := client.Stats(ctx); err == nil {
 		rep.Server = st
 	}
@@ -151,7 +185,7 @@ func main() {
 	} else {
 		render(rep)
 	}
-	if rep.Summary.Errors > 0 {
+	if rep.Summary.Errors > 0 || (rep.Summary.Churn != nil && rep.Summary.Churn.Errors > 0) {
 		os.Exit(1)
 	}
 }
@@ -185,6 +219,95 @@ type config struct {
 	Ops         []string `json:"ops,omitempty"`
 	Seed        int64    `json:"seed"`
 	NoCache     bool     `json:"noCache,omitempty"`
+	Churn       int      `json:"churn,omitempty"`
+	ChurnRel    string   `json:"churnRel,omitempty"`
+	ChurnSwap   bool     `json:"churnSwap,omitempty"`
+}
+
+// churner installs the churn mutations: one experiments.ChurnDelta per
+// install, as a delta (POST .../delta) or — swap mode — applied to the
+// local mirror and PUT wholesale. Installs serialize on the mutex so the
+// upsert/delete alternation stays ordered no matter which worker draws the
+// install; the lock also guards the mirror and the accounting.
+type churner struct {
+	client *serve.Client
+	coll   string
+	rel    string
+	swap   bool
+
+	mu     sync.Mutex
+	mirror *relation.Database
+	next   int
+	errs   int
+	durs   []time.Duration
+}
+
+func (ch *churner) install(ctx context.Context) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	i := ch.next
+	ch.next++
+	start := time.Now()
+	err := func() error {
+		d, err := experiments.ChurnDelta(ch.rel, i)
+		if err != nil {
+			return err
+		}
+		if ch.swap {
+			res, err := ch.mirror.ApplyDelta(d)
+			if err != nil {
+				return err
+			}
+			ch.mirror = res.DB
+			_, err = ch.client.PutCollection(ctx, ch.coll, ch.mirror)
+			return err
+		}
+		_, err = ch.client.ApplyDelta(ctx, ch.coll, d)
+		return err
+	}()
+	ch.durs = append(ch.durs, time.Since(start))
+	if err != nil {
+		ch.errs++
+	}
+}
+
+// churnSummary reports the install side of a churn run.
+type churnSummary struct {
+	Installs  int     `json:"installs"`
+	Mode      string  `json:"mode"` // delta | swap
+	Relation  string  `json:"relation"`
+	Errors    int     `json:"errors"`
+	LatencyMS latency `json:"latencyMs"`
+}
+
+func (ch *churner) summary() *churnSummary {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	mode := "delta"
+	if ch.swap {
+		mode = "swap"
+	}
+	return &churnSummary{Installs: len(ch.durs), Mode: mode, Relation: ch.rel,
+		Errors: ch.errs, LatencyMS: summarize(ch.durs)}
+}
+
+// summarize reduces call durations to the report's percentile summary.
+func summarize(durs []time.Duration) latency {
+	if len(durs) == 0 {
+		return latency{}
+	}
+	ms := make([]float64, len(durs))
+	for i, d := range durs {
+		ms[i] = float64(d) / float64(time.Millisecond)
+	}
+	sort.Float64s(ms)
+	return latency{
+		Count: len(ms),
+		P50:   pct(ms, 0.50),
+		P95:   pct(ms, 0.95),
+		P99:   pct(ms, 0.99),
+		Max:   ms[len(ms)-1],
+	}
 }
 
 // latency is the percentile summary over per-call latencies, in
@@ -202,14 +325,15 @@ type latency struct {
 // meets -hit when the pool is large enough and exceeds it when fresh
 // draws had to cycle a capped pool.
 type summary struct {
-	HTTPRequests       int     `json:"httpRequests"`
-	Items              int     `json:"items"`
-	Errors             int     `json:"errors"`
-	Seconds            float64 `json:"seconds"`
-	ItemsPerSec        float64 `json:"itemsPerSec"`
-	ReqPerSec          float64 `json:"reqPerSec"`
-	OfferedRepeatRatio float64 `json:"offeredRepeatRatio"`
-	LatencyMS          latency `json:"latencyMs"`
+	HTTPRequests       int           `json:"httpRequests"`
+	Items              int           `json:"items"`
+	Errors             int           `json:"errors"`
+	Seconds            float64       `json:"seconds"`
+	ItemsPerSec        float64       `json:"itemsPerSec"`
+	ReqPerSec          float64       `json:"reqPerSec"`
+	OfferedRepeatRatio float64       `json:"offeredRepeatRatio"`
+	LatencyMS          latency       `json:"latencyMs"`
+	Churn              *churnSummary `json:"churn,omitempty"`
 }
 
 // report is the machine-readable shape `recload -json` emits — the serving
@@ -223,16 +347,31 @@ type report struct {
 }
 
 // run replays the stream: conc workers issue calls of batchSize items each
-// (batchSize 1 → /v1/solve) and record per-call latency.
+// (batchSize 1 → /v1/solve) and record per-call latency. With churn > 0 a
+// mutation install is enqueued after every churn items, drawn by whichever
+// worker gets there (installs serialize inside the churner, solve traffic
+// keeps flowing around them — the mutate-while-solving shape the serving
+// layer is built for).
 func run(ctx context.Context, client *serve.Client, collection string,
 	pool []experiments.WorkloadItem, stream []int, batchSize, conc int,
-	timeout time.Duration, noCache bool) (*report, error) {
+	timeout time.Duration, noCache bool, churn int, ch *churner) (*report, error) {
 
-	type call struct{ idxs []int }
+	type call struct {
+		idxs   []int
+		mutate bool
+	}
 	calls := make([]call, 0, (len(stream)+batchSize-1)/batchSize)
+	sinceChurn := 0
 	for at := 0; at < len(stream); at += batchSize {
 		end := min(at+batchSize, len(stream))
 		calls = append(calls, call{idxs: stream[at:end]})
+		if ch != nil {
+			sinceChurn += end - at
+			for sinceChurn >= churn {
+				sinceChurn -= churn
+				calls = append(calls, call{mutate: true})
+			}
+		}
 	}
 
 	item := func(i int) serve.BatchItem {
@@ -241,8 +380,7 @@ func run(ctx context.Context, client *serve.Client, collection string,
 	}
 
 	jobs := make(chan call)
-	durs := make([]time.Duration, len(calls))
-	var pos int
+	durs := make([]time.Duration, 0, len(calls))
 	var mu sync.Mutex
 	var items, errs int
 	var wg sync.WaitGroup
@@ -252,6 +390,10 @@ func run(ctx context.Context, client *serve.Client, collection string,
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
+				if c.mutate {
+					ch.install(ctx)
+					continue
+				}
 				callStart := time.Now()
 				var okItems, badItems int
 				if batchSize == 1 {
@@ -283,8 +425,7 @@ func run(ctx context.Context, client *serve.Client, collection string,
 				}
 				d := time.Since(callStart)
 				mu.Lock()
-				durs[pos] = d
-				pos++
+				durs = append(durs, d)
 				items += okItems
 				errs += badItems
 				mu.Unlock()
@@ -298,27 +439,16 @@ func run(ctx context.Context, client *serve.Client, collection string,
 	wg.Wait()
 	wall := time.Since(start).Seconds()
 
-	ms := make([]float64, len(durs))
-	for i, d := range durs {
-		ms[i] = float64(d) / float64(time.Millisecond)
-	}
-	sort.Float64s(ms)
 	rep := &report{
 		Title: "recload",
 		Summary: summary{
-			HTTPRequests: len(calls),
+			HTTPRequests: len(durs),
 			Items:        items,
 			Errors:       errs,
 			Seconds:      wall,
 			ItemsPerSec:  float64(items) / wall,
-			ReqPerSec:    float64(len(calls)) / wall,
-			LatencyMS: latency{
-				Count: len(ms),
-				P50:   pct(ms, 0.50),
-				P95:   pct(ms, 0.95),
-				P99:   pct(ms, 0.99),
-				Max:   ms[len(ms)-1],
-			},
+			ReqPerSec:    float64(len(durs)) / wall,
+			LatencyMS:    summarize(durs),
 		},
 	}
 	return rep, nil
@@ -338,14 +468,21 @@ func pct(sorted []float64, p float64) float64 {
 
 func render(rep *report) {
 	s := rep.Summary
-	fmt.Printf("recload: %d items in %.2fs over %d HTTP calls (batch=%d, c=%d, offered repeats=%.2f): %.0f items/s, %.0f req/s, %d errors\n",
+	fmt.Printf("recload: %d items in %.2fs over %d HTTP calls (batch=%d, c=%d, offeredRepeatRatio=%.2f): %.0f items/s, %.0f req/s, %d errors\n",
 		s.Items+s.Errors, s.Seconds, s.HTTPRequests, rep.Config.Batch,
 		rep.Config.Concurrency, s.OfferedRepeatRatio, s.ItemsPerSec, s.ReqPerSec, s.Errors)
 	fmt.Printf("latency per HTTP call (ms): p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 		s.LatencyMS.P50, s.LatencyMS.P95, s.LatencyMS.P99, s.LatencyMS.Max)
+	if c := s.Churn; c != nil {
+		fmt.Printf("churn: %d %s installs on %s (%d errors), install ms: p50=%.2f p95=%.2f max=%.2f\n",
+			c.Installs, c.Mode, c.Relation, c.Errors,
+			c.LatencyMS.P50, c.LatencyMS.P95, c.LatencyMS.Max)
+	}
 	if st := rep.Server; st != nil {
 		fmt.Printf("server: hitRate=%.2f coalesced=%d batches=%d batchItems=%d batchDeduped=%d errors=%d\n",
 			st.HitRate, st.Coalesced, st.Batches, st.BatchItems, st.BatchDeduped, st.Errors)
+		fmt.Printf("server: deltas=%d deltaItems=%d snapshotsLive=%d prepares=%d\n",
+			st.Deltas, st.DeltaItems, st.SnapshotsLive, st.EnginePrepares)
 		fmt.Printf("engine: nodes=%d packages=%d pruned=%d boundEvals=%d; server p50=%.2fms p99=%.2fms\n",
 			st.EngineNodes, st.EnginePackages, st.EnginePruned, st.EngineBoundEvals,
 			st.Latency.P50, st.Latency.P99)

@@ -202,6 +202,12 @@ type EngineCounters struct {
 	// BoundEvals is the number of bound evaluations performed; the pruning
 	// overhead is BoundEvals O(1) table lookups per solve.
 	BoundEvals atomic.Int64
+	// Prepares counts candidate-list evaluations: how many times a Problem
+	// actually ran its selection query and rebuilt the memoised state that
+	// Prepare warms (bound tables included). The serving layer carries
+	// prepared problems across collection deltas, so a warm server's
+	// Prepares should grow only for specs whose relations actually mutated.
+	Prepares atomic.Int64
 }
 
 // pathYield receives each valid package together with the path state, whose

@@ -92,6 +92,9 @@ func (p *Problem) Candidates() (*relation.Relation, error) {
 		ts := append([]relation.Tuple(nil), r.Tuples()...)
 		sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
 		p.candList = ts
+		if p.Counters != nil {
+			p.Counters.Prepares.Add(1)
+		}
 	}
 	return p.candidates, nil
 }

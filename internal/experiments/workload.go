@@ -45,6 +45,35 @@ func WorkloadDB(nPOI int) *relation.Database {
 	return gen.Travel(9, 20, nPOI)
 }
 
+// ChurnRelations are the workload relations ChurnDelta can mutate. The
+// sampled queries read only poi, so poi churn invalidates the warm state
+// they depend on while flight churn leaves it untouched — the two ends of
+// the delta-awareness spectrum a churn measurement wants to compare.
+var ChurnRelations = []string{"flight", "poi"}
+
+// ChurnDelta returns the i-th churn mutation against a WorkloadDB
+// collection: even i upserts a synthetic tuple into rel, odd i deletes the
+// tuple upsert i-1 added, so the collection oscillates one tuple around its
+// base content and every step changes it (no delta is a no-op). The
+// synthetic tuples live outside the generated value ranges and never match
+// the sampled queries' filters.
+func ChurnDelta(rel string, i int) (relation.Delta, error) {
+	var row []any
+	switch rel {
+	case "flight":
+		row = []any{90000 + i/2, "chu", "rnx", 1, 500, 500}
+	case "poi":
+		row = []any{fmt.Sprintf("churn%06d", i/2), "chu", "pavilion", 7, 45}
+	default:
+		return relation.Delta{}, fmt.Errorf("experiments: unknown churn relation %q (have %v)", rel, ChurnRelations)
+	}
+	rd := []relation.RelationDelta{{Name: rel, Tuples: [][]any{row}}}
+	if i%2 == 0 {
+		return relation.Delta{Upserts: rd}, nil
+	}
+	return relation.Delta{Deletes: rd}, nil
+}
+
 // workloadSpec is variant v of the fixed-query travel problem: packages of
 // up to two nyc POIs, cost = total visiting time within a varying budget,
 // rated by negated total ticket price, with varying k and rating bound.

@@ -86,3 +86,34 @@ func TestSampleWorkloadOpsFilter(t *testing.T) {
 		t.Fatal("unknown op accepted")
 	}
 }
+
+// Churn deltas must alternate upsert/delete of one tuple: applying a full
+// up/down cycle returns the collection to its base content, and every
+// single step changes it.
+func TestChurnDeltaCycle(t *testing.T) {
+	for _, rel := range ChurnRelations {
+		db := WorkloadDB(12)
+		base := db.Fingerprint()
+		cur := db
+		for i := 0; i < 4; i++ {
+			d, err := ChurnDelta(rel, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cur.ApplyDelta(d)
+			if err != nil {
+				t.Fatalf("%s churn %d: %v", rel, i, err)
+			}
+			if len(res.Mutated) != 1 || res.Mutated[0] != rel {
+				t.Fatalf("%s churn %d mutated %v", rel, i, res.Mutated)
+			}
+			cur = res.DB
+		}
+		if cur.Fingerprint() != base {
+			t.Fatalf("%s: two full churn cycles did not return to base content", rel)
+		}
+	}
+	if _, err := ChurnDelta("ghost", 0); err == nil {
+		t.Fatal("unknown churn relation accepted")
+	}
+}

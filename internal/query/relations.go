@@ -1,0 +1,76 @@
+package query
+
+import "sort"
+
+// Relations returns the extensional relation names q reads, sorted and
+// deduplicated, together with whether that list is exhaustive. For CQ, UCQ
+// and datalog queries it is: their evaluation only ever scans the relations
+// their bodies mention (datalog IDB predicates are excluded — they are
+// derived, not read). FO-language queries evaluate under active-domain
+// semantics, where quantifiers range over values drawn from every relation
+// of the database, so their answers may depend on relations the formula
+// never names: for them exhaustive is false and callers tracking data
+// dependencies must treat the whole database as read. The serving layer
+// uses this to key cached results by the content a request actually
+// depends on, so deltas to unrelated relations leave them valid.
+func Relations(q Query) (names []string, exhaustive bool) {
+	set := make(map[string]struct{})
+	exhaustive = true
+	switch g := q.(type) {
+	case *CQ:
+		atomsRelations(g.Body, set)
+	case *UCQ:
+		for _, d := range g.Disjuncts {
+			atomsRelations(d.Body, set)
+		}
+	case *FOQuery:
+		formulaRelations(g.Formula, set)
+		exhaustive = false
+	case *Datalog:
+		idb := g.idbPreds()
+		for _, r := range g.Rules {
+			atomsRelations(r.Body, set)
+		}
+		for pred := range idb {
+			delete(set, pred)
+		}
+	default:
+		// An unknown Query implementation could read anything.
+		exhaustive = false
+	}
+	names = make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, exhaustive
+}
+
+func atomsRelations(atoms []Atom, set map[string]struct{}) {
+	for _, a := range atoms {
+		if ra, ok := a.(*RelAtom); ok {
+			set[ra.Pred] = struct{}{}
+		}
+	}
+}
+
+func formulaRelations(f Formula, set map[string]struct{}) {
+	switch g := f.(type) {
+	case *FAtom:
+		atomsRelations([]Atom{g.A}, set)
+	case *FAnd:
+		for _, s := range g.Subs {
+			formulaRelations(s, set)
+		}
+	case *FOr:
+		for _, s := range g.Subs {
+			formulaRelations(s, set)
+		}
+	case *FNot:
+		formulaRelations(g.Sub, set)
+	case *FExists:
+		formulaRelations(g.Sub, set)
+	case *FForall:
+		formulaRelations(g.Sub, set)
+	}
+}

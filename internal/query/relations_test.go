@@ -1,0 +1,47 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRelationsCQAndUCQ(t *testing.T) {
+	cq := NewCQ("Q", []Term{V("x")}, Rel("b", V("x")), Rel("a", V("x"), V("y")), Rel("b", V("y")))
+	names, ex := Relations(cq)
+	if !ex || !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Fatalf("CQ: names=%v exhaustive=%v", names, ex)
+	}
+	ucq := NewUCQ("Q",
+		NewCQ("Q1", []Term{V("x")}, Rel("a", V("x"), V("y"))),
+		NewCQ("Q2", []Term{V("x")}, Rel("c", V("x"))))
+	names, ex = Relations(ucq)
+	if !ex || !reflect.DeepEqual(names, []string{"a", "c"}) {
+		t.Fatalf("UCQ: names=%v exhaustive=%v", names, ex)
+	}
+}
+
+// FO queries quantify over the whole active domain, so the mentioned
+// relations are not the whole dependency story.
+func TestRelationsFONotExhaustive(t *testing.T) {
+	fo := NewFO("Q", []Term{V("x")},
+		Exists([]string{"y"}, And(Atomf(Rel("a", V("x"), V("y"))), Not(Atomf(Rel("b", V("y")))))))
+	names, ex := Relations(fo)
+	if ex {
+		t.Fatal("FO query reported an exhaustive dependency list")
+	}
+	if !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Fatalf("FO names=%v", names)
+	}
+}
+
+// Datalog IDB predicates are derived, not read: only EDB relations are
+// dependencies.
+func TestRelationsDatalogExcludesIDB(t *testing.T) {
+	prog := NewDatalog("reach",
+		NewRule(Rel("reach", V("x"), V("y")), Rel("edge", V("x"), V("y"))),
+		NewRule(Rel("reach", V("x"), V("z")), Rel("reach", V("x"), V("y")), Rel("edge", V("y"), V("z"))))
+	names, ex := Relations(prog)
+	if !ex || !reflect.DeepEqual(names, []string{"edge"}) {
+		t.Fatalf("datalog: names=%v exhaustive=%v", names, ex)
+	}
+}

@@ -40,9 +40,15 @@ func valueToJSON(v Value) any {
 }
 
 // valueFromJSON converts a decoded JSON scalar to a Value. Numbers without a
-// fractional part decode as integers so that round-trips are stable.
+// fractional part decode as integers so that round-trips are stable. Go int
+// and int64 are accepted too, for callers that build wire rows
+// programmatically (delta construction in tests and traffic generators).
 func valueFromJSON(x any) (Value, error) {
 	switch t := x.(type) {
+	case int:
+		return Int(int64(t)), nil
+	case int64:
+		return Int(t), nil
 	case float64:
 		if t == math.Trunc(t) && math.Abs(t) < 1e15 {
 			return Int(int64(t)), nil

@@ -45,7 +45,11 @@ func (d *Database) Size() int {
 	return n
 }
 
-// Clone returns a deep copy (relations are cloned; tuples shared).
+// Clone returns an independent copy. Relations are copy-on-write clones
+// (see Relation.Clone), so cloning a large collection is O(relations):
+// tuple storage stays shared until one side mutates a relation, at which
+// point that side copies first. The serving layer snapshots whole
+// collections this way.
 func (d *Database) Clone() *Database {
 	c := NewDatabase()
 	for _, name := range d.order {

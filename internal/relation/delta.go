@@ -1,0 +1,183 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta is the wire form of an incremental collection mutation: tuples to
+// upsert and tuples to delete, grouped by relation. Upserts are applied
+// before deletes. A delta is a statement about membership, not an edit
+// script: upserting a tuple that is already present and deleting a tuple
+// that is absent are both no-ops, so replaying a delta is idempotent.
+type Delta struct {
+	Upserts []RelationDelta `json:"upserts,omitempty"`
+	Deletes []RelationDelta `json:"deletes,omitempty"`
+}
+
+// RelationDelta addresses one relation's tuples within a Delta. Tuples use
+// the same JSON scalar rows as the database codec. Attrs is only consulted
+// when an upsert targets a relation the database does not have yet — it
+// then supplies the new relation's schema — or, when present on an
+// existing relation, is validated against its schema so a delta computed
+// against a different schema fails instead of silently corrupting.
+type RelationDelta struct {
+	Name   string   `json:"name"`
+	Attrs  []string `json:"attrs,omitempty"`
+	Tuples [][]any  `json:"tuples"`
+}
+
+// DeltaResult reports what ApplyDelta produced: the new database version,
+// the names of relations whose content actually changed (sorted), and how
+// many tuples were inserted and removed. Mutated tracks net content, not
+// applied operations: an empty Mutated means DB is content-identical to
+// the receiver — either nothing applied (Upserted and Deleted zero), or a
+// self-canceling delta whose steps undid each other.
+type DeltaResult struct {
+	DB       *Database
+	Mutated  []string
+	Upserted int
+	Deleted  int
+}
+
+// ApplyDelta returns a new database with the delta applied, leaving the
+// receiver untouched: relations the delta does not change are shared by
+// pointer with the receiver (copy-on-write), mutated relations are cloned
+// before their first change, and the per-relation set hashes keep the new
+// version's Fingerprint an O(relations) combine instead of a full rehash.
+// Readers holding the old database keep an immutable snapshot.
+//
+// Errors (unknown relation on delete, missing Attrs for a new relation,
+// schema or arity mismatch, undecodable value) leave no observable effect:
+// the receiver is never modified either way.
+func (d *Database) ApplyDelta(delta Delta) (DeltaResult, error) {
+	next := &Database{rels: make(map[string]*Relation, len(d.rels)), order: append([]string(nil), d.order...)}
+	for k, v := range d.rels {
+		next.rels[k] = v
+	}
+	res := DeltaResult{DB: next}
+	// changed tracks per-relation effect; created relations count as
+	// changed even when no tuple lands (the schema itself is new content).
+	changed := make(map[string]bool)
+	// owned maps relations already cloned for this delta, so several
+	// RelationDelta entries against one relation mutate one clone.
+	owned := make(map[string]*Relation)
+
+	target := func(rd RelationDelta, forDelete bool) (*Relation, error) {
+		if r, ok := owned[rd.Name]; ok {
+			if err := checkAttrs(r, rd.Attrs); err != nil {
+				return nil, err
+			}
+			return r, nil
+		}
+		r := next.rels[rd.Name]
+		switch {
+		case r == nil && forDelete:
+			return nil, fmt.Errorf("relation: delta deletes from unknown relation %q", rd.Name)
+		case r == nil && len(rd.Attrs) == 0:
+			return nil, fmt.Errorf("relation: delta upserts into unknown relation %q (attrs required to create it)", rd.Name)
+		case r == nil:
+			r = NewRelation(NewSchema(rd.Name, append([]string(nil), rd.Attrs...)...))
+			changed[rd.Name] = true
+		default:
+			if err := checkAttrs(r, rd.Attrs); err != nil {
+				return nil, err
+			}
+			r = r.Clone()
+		}
+		owned[rd.Name] = r
+		next.Add(r)
+		return r, nil
+	}
+
+	for _, rd := range delta.Upserts {
+		r, err := target(rd, false)
+		if err != nil {
+			return DeltaResult{}, err
+		}
+		for _, row := range rd.Tuples {
+			t, err := decodeRow(rd.Name, row)
+			if err != nil {
+				return DeltaResult{}, err
+			}
+			before := r.Len()
+			if err := r.Insert(t); err != nil {
+				return DeltaResult{}, err
+			}
+			if r.Len() != before {
+				res.Upserted++
+				changed[rd.Name] = true
+			}
+		}
+	}
+	for _, rd := range delta.Deletes {
+		r, err := target(rd, true)
+		if err != nil {
+			return DeltaResult{}, err
+		}
+		for _, row := range rd.Tuples {
+			t, err := decodeRow(rd.Name, row)
+			if err != nil {
+				return DeltaResult{}, err
+			}
+			if r.Delete(t) {
+				res.Deleted++
+				changed[rd.Name] = true
+			}
+		}
+	}
+
+	// Relations whose content ended up identical to the receiver's keep
+	// the receiver's pointer, so sharing (and pointer identity for
+	// downstream caches) is preserved — both for pure no-op entries and
+	// for self-canceling deltas (upsert X, delete X) whose intermediate
+	// steps changed the relation but whose net effect is nothing. The
+	// digest comparison is O(schema) thanks to the incremental set hash.
+	for name := range owned {
+		orig := d.rels[name]
+		if orig != nil && changed[name] && owned[name].fingerprintDigest() == orig.fingerprintDigest() {
+			changed[name] = false
+		}
+		if !changed[name] && orig != nil {
+			next.rels[name] = orig
+		}
+	}
+	for name, ch := range changed {
+		if ch {
+			res.Mutated = append(res.Mutated, name)
+		}
+	}
+	sort.Strings(res.Mutated)
+	return res, nil
+}
+
+// checkAttrs validates a RelationDelta's optional schema claim against the
+// relation it addresses.
+func checkAttrs(r *Relation, attrs []string) error {
+	if len(attrs) == 0 {
+		return nil
+	}
+	have := r.Schema().Attrs
+	if len(attrs) != len(have) {
+		return fmt.Errorf("relation: delta schema for %q has %d attrs, relation has %d", r.Name(), len(attrs), len(have))
+	}
+	for i, a := range attrs {
+		if a != have[i] {
+			return fmt.Errorf("relation: delta schema for %q names attr %d %q, relation has %q", r.Name(), i, a, have[i])
+		}
+	}
+	return nil
+}
+
+// decodeRow converts one wire tuple row of a RelationDelta.
+func decodeRow(name string, row []any) (Tuple, error) {
+	t := make(Tuple, len(row))
+	for i, x := range row {
+		v, err := valueFromJSON(x)
+		if err != nil {
+			return nil, fmt.Errorf("relation %s: %w", name, err)
+		}
+		t[i] = v
+	}
+	return t, nil
+}

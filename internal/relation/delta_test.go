@@ -1,0 +1,237 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func deltaDB() *Database {
+	r := FromTuples(NewSchema("r", "a", "b"),
+		NewTuple(Int(1), Str("x")), NewTuple(Int(2), Str("y")))
+	s := FromTuples(NewSchema("s", "c"), NewTuple(Float(1.5)))
+	return NewDatabase().Add(r).Add(s)
+}
+
+// A delta-applied database must be indistinguishable — fingerprint and
+// content — from one built from scratch with the same tuples, and the
+// receiver must be untouched.
+func TestApplyDeltaMatchesRebuild(t *testing.T) {
+	db := deltaDB()
+	before := db.Fingerprint()
+	res, err := db.ApplyDelta(Delta{
+		Upserts: []RelationDelta{{Name: "r", Tuples: [][]any{{3, "z"}}}},
+		Deletes: []RelationDelta{{Name: "r", Tuples: [][]any{{1, "x"}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Upserted != 1 || res.Deleted != 1 {
+		t.Fatalf("upserted=%d deleted=%d, want 1/1", res.Upserted, res.Deleted)
+	}
+	if len(res.Mutated) != 1 || res.Mutated[0] != "r" {
+		t.Fatalf("mutated=%v, want [r]", res.Mutated)
+	}
+	if db.Fingerprint() != before {
+		t.Fatal("ApplyDelta mutated the receiver")
+	}
+	want := NewDatabase().
+		Add(FromTuples(NewSchema("r", "a", "b"), NewTuple(Int(2), Str("y")), NewTuple(Int(3), Str("z")))).
+		Add(FromTuples(NewSchema("s", "c"), NewTuple(Float(1.5))))
+	if res.DB.Fingerprint() != want.Fingerprint() {
+		t.Fatal("delta-applied fingerprint differs from a from-scratch build")
+	}
+	if !res.DB.Relation("r").Contains(NewTuple(Int(3), Str("z"))) ||
+		res.DB.Relation("r").Contains(NewTuple(Int(1), Str("x"))) {
+		t.Fatal("delta content not applied")
+	}
+}
+
+// Unmutated relations must be shared by pointer between the versions, and
+// no-op entries (upserting present tuples, deleting absent ones) must not
+// break the sharing or bump the fingerprint.
+func TestApplyDeltaSharesUnmutatedRelations(t *testing.T) {
+	db := deltaDB()
+	res, err := db.ApplyDelta(Delta{
+		Upserts: []RelationDelta{{Name: "r", Tuples: [][]any{{3, "z"}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DB.Relation("s") != db.Relation("s") {
+		t.Fatal("unmutated relation was copied")
+	}
+	if res.DB.Relation("r") == db.Relation("r") {
+		t.Fatal("mutated relation is shared with the receiver")
+	}
+
+	noop, err := db.ApplyDelta(Delta{
+		Upserts: []RelationDelta{{Name: "r", Tuples: [][]any{{1, "x"}}}},
+		Deletes: []RelationDelta{{Name: "s", Tuples: [][]any{{99.0}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noop.Mutated) != 0 || noop.Upserted != 0 || noop.Deleted != 0 {
+		t.Fatalf("no-op delta reported changes: %+v", noop)
+	}
+	if noop.DB.Relation("r") != db.Relation("r") || noop.DB.Relation("s") != db.Relation("s") {
+		t.Fatal("no-op delta copied relations")
+	}
+	if noop.DB.Fingerprint() != db.Fingerprint() {
+		t.Fatal("no-op delta changed the fingerprint")
+	}
+}
+
+// A self-canceling delta (upsert X then delete X) applies operations but
+// changes nothing net: Mutated must be empty and sharing preserved, so an
+// at-least-once change feed delivering collapsed add+remove pairs never
+// triggers spurious invalidation downstream.
+func TestApplyDeltaSelfCancelingIsNoop(t *testing.T) {
+	db := deltaDB()
+	res, err := db.ApplyDelta(Delta{
+		Upserts: []RelationDelta{{Name: "r", Tuples: [][]any{{9, "q"}}}},
+		Deletes: []RelationDelta{{Name: "r", Tuples: [][]any{{9, "q"}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Upserted != 1 || res.Deleted != 1 {
+		t.Fatalf("upserted=%d deleted=%d, want 1/1 (operations did apply)", res.Upserted, res.Deleted)
+	}
+	if len(res.Mutated) != 0 {
+		t.Fatalf("mutated=%v, want none: net content is unchanged", res.Mutated)
+	}
+	if res.DB.Relation("r") != db.Relation("r") {
+		t.Fatal("net-unchanged relation was not re-shared")
+	}
+	if res.DB.Fingerprint() != db.Fingerprint() {
+		t.Fatal("self-canceling delta changed the fingerprint")
+	}
+}
+
+func TestApplyDeltaCreatesRelations(t *testing.T) {
+	db := deltaDB()
+	res, err := db.ApplyDelta(Delta{
+		Upserts: []RelationDelta{{Name: "t", Attrs: []string{"k", "v"}, Tuples: [][]any{{1, "one"}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("t") != nil {
+		t.Fatal("creation leaked into the receiver")
+	}
+	r := res.DB.Relation("t")
+	if r == nil || r.Len() != 1 || r.Schema().Attrs[1] != "v" {
+		t.Fatalf("created relation wrong: %v", r)
+	}
+	if len(res.Mutated) != 1 || res.Mutated[0] != "t" {
+		t.Fatalf("mutated=%v, want [t]", res.Mutated)
+	}
+}
+
+func TestApplyDeltaErrors(t *testing.T) {
+	db := deltaDB()
+	cases := []struct {
+		name string
+		d    Delta
+		want string
+	}{
+		{"delete unknown relation", Delta{Deletes: []RelationDelta{{Name: "nope", Tuples: [][]any{{1}}}}}, "unknown relation"},
+		{"upsert unknown relation without attrs", Delta{Upserts: []RelationDelta{{Name: "nope", Tuples: [][]any{{1}}}}}, "attrs required"},
+		{"schema attr mismatch", Delta{Upserts: []RelationDelta{{Name: "r", Attrs: []string{"a", "WRONG"}, Tuples: nil}}}, "names attr"},
+		{"schema arity mismatch", Delta{Upserts: []RelationDelta{{Name: "r", Attrs: []string{"a"}, Tuples: nil}}}, "attrs"},
+		{"tuple arity mismatch", Delta{Upserts: []RelationDelta{{Name: "r", Tuples: [][]any{{1}}}}}, "arity"},
+		{"bad value", Delta{Upserts: []RelationDelta{{Name: "r", Tuples: [][]any{{1, []any{"nested"}}}}}}, "unsupported"},
+	}
+	before := db.Fingerprint()
+	for _, tc := range cases {
+		if _, err := db.ApplyDelta(tc.d); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err=%v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if db.Fingerprint() != before {
+		t.Fatal("failed deltas left a trace on the receiver")
+	}
+}
+
+// Copy-on-write: mutating either side of a Clone must not leak into the
+// other, in both directions and after repeated clones.
+func TestRelationCloneCopyOnWrite(t *testing.T) {
+	orig := FromTuples(NewSchema("r", "a"), NewTuple(Int(1)), NewTuple(Int(2)))
+	snap := orig.Clone()
+	if err := orig.Insert(NewTuple(Int(3))); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 2 || snap.Contains(NewTuple(Int(3))) {
+		t.Fatal("insert on the original leaked into the clone")
+	}
+	snap2 := orig.Clone()
+	if !snap2.Delete(NewTuple(Int(1))) {
+		t.Fatal("delete on clone failed")
+	}
+	if !orig.Contains(NewTuple(Int(1))) {
+		t.Fatal("delete on the clone leaked into the original")
+	}
+	// Sort is a mutation too: a shared clone must copy before reordering.
+	snap3 := orig.Clone()
+	snap3.Sort()
+	if orig.Tuples()[0].Compare(NewTuple(Int(1))) != 0 {
+		t.Fatal("sort on the clone reordered the original")
+	}
+	if snap3.Fingerprint() != orig.Fingerprint() {
+		t.Fatal("sort changed the content fingerprint")
+	}
+}
+
+func TestFingerprintOf(t *testing.T) {
+	db := deltaDB()
+	rOnly := db.FingerprintOf("r")
+	if rOnly != db.FingerprintOf("r", "r") {
+		t.Fatal("duplicate names change the subset fingerprint")
+	}
+	res, err := db.ApplyDelta(Delta{Upserts: []RelationDelta{{Name: "s", Tuples: [][]any{{2.5}}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DB.FingerprintOf("r") != rOnly {
+		t.Fatal("mutating s changed the r-subset fingerprint")
+	}
+	if res.DB.FingerprintOf("s") == db.FingerprintOf("s") {
+		t.Fatal("mutating s did not change the s-subset fingerprint")
+	}
+	// Absence is content: the subset fingerprint must distinguish a missing
+	// relation from any present one, and react when it appears.
+	if db.FingerprintOf("ghost") == db.FingerprintOf("other") {
+		t.Fatal("two absent names share a fingerprint")
+	}
+	created, err := db.ApplyDelta(Delta{Upserts: []RelationDelta{{Name: "ghost", Attrs: []string{"x"}, Tuples: nil}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.DB.FingerprintOf("ghost") == db.FingerprintOf("ghost") {
+		t.Fatal("creating a relation did not change its subset fingerprint")
+	}
+}
+
+// The incrementally maintained set hash must agree with a from-scratch
+// build after arbitrary insert/delete interleavings.
+func TestIncrementalFingerprintAgreesWithRebuild(t *testing.T) {
+	r := NewRelation(NewSchema("r", "a"))
+	for i := 0; i < 20; i++ {
+		if err := r.Insert(NewTuple(Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i += 2 {
+		r.Delete(NewTuple(Int(int64(i))))
+	}
+	want := NewRelation(NewSchema("r", "a"))
+	for i := 1; i < 20; i += 2 {
+		if err := want.Insert(NewTuple(Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Fingerprint() != want.Fingerprint() {
+		t.Fatal("incremental fingerprint diverged from rebuild")
+	}
+}

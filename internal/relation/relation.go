@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Schema describes a relation: its name and attribute names. Attribute
@@ -54,10 +55,31 @@ func (s *Schema) String() string {
 // Relation is a set of tuples over a schema. Insertion deduplicates, so the
 // paper's set semantics hold by construction. The tuple order is insertion
 // order until Sort is called; Sorted returns a canonical copy.
+//
+// Relations are copy-on-write: Clone shares the tuple storage with the
+// receiver, and whichever side mutates first (Insert, Delete, Sort) copies
+// its slice and index before touching them. Cloning a large catalog is
+// therefore O(1), which is what lets the serving layer snapshot whole
+// collections per request and apply deltas without duplicating unmutated
+// relations.
 type Relation struct {
 	schema *Schema
 	tuples []Tuple
 	index  map[string]struct{}
+	// acc is the order-independent set hash of the tuple keys, maintained
+	// incrementally by Insert and Delete; see Fingerprint in version.go.
+	acc fpAcc
+	// digest memoises the completed relation fingerprint so concurrent
+	// readers (the serving layer keys every request on subset
+	// fingerprints) pay the sha256 once per content version: mutations
+	// clear it, lazy recomputes race benignly (the value is
+	// content-determined).
+	digest atomic.Pointer[[32]byte]
+	// shared marks the storage as referenced by at least one clone; the
+	// next mutation copies first. Atomic so concurrent Clones of one
+	// relation are safe (mutation itself requires external serialization,
+	// as before).
+	shared atomic.Bool
 }
 
 // NewRelation creates an empty relation over schema.
@@ -90,6 +112,23 @@ func (r *Relation) Arity() int { return r.schema.Arity() }
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.tuples) }
 
+// ensureOwned gives the relation private tuple storage before a mutation:
+// a no-op unless the storage is shared with a clone, in which case the
+// slice and index are copied first so every clone keeps seeing the state it
+// was taken at.
+func (r *Relation) ensureOwned() {
+	if !r.shared.Load() {
+		return
+	}
+	r.tuples = append([]Tuple(nil), r.tuples...)
+	idx := make(map[string]struct{}, len(r.index))
+	for k := range r.index {
+		idx[k] = struct{}{}
+	}
+	r.index = idx
+	r.shared.Store(false)
+}
+
 // Insert adds t to the relation, reporting an arity mismatch as an error.
 // Duplicate tuples are ignored.
 func (r *Relation) Insert(t Tuple) error {
@@ -101,8 +140,11 @@ func (r *Relation) Insert(t Tuple) error {
 	if _, ok := r.index[k]; ok {
 		return nil
 	}
+	r.ensureOwned()
 	r.index[k] = struct{}{}
 	r.tuples = append(r.tuples, t)
+	r.acc.toggle(k)
+	r.digest.Store(nil)
 	return nil
 }
 
@@ -112,6 +154,7 @@ func (r *Relation) Delete(t Tuple) bool {
 	if _, ok := r.index[k]; !ok {
 		return false
 	}
+	r.ensureOwned()
 	delete(r.index, k)
 	for i, u := range r.tuples {
 		if u.Key() == k {
@@ -119,6 +162,8 @@ func (r *Relation) Delete(t Tuple) bool {
 			break
 		}
 	}
+	r.acc.toggle(k)
+	r.digest.Store(nil)
 	return true
 }
 
@@ -133,6 +178,7 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 
 // Sort orders the tuples canonically in place.
 func (r *Relation) Sort() {
+	r.ensureOwned()
 	sort.Slice(r.tuples, func(i, j int) bool { return r.tuples[i].Compare(r.tuples[j]) < 0 })
 }
 
@@ -143,14 +189,14 @@ func (r *Relation) Sorted() *Relation {
 	return c
 }
 
-// Clone returns a deep-enough copy (tuples are shared; they are immutable by
-// convention).
+// Clone returns a copy-on-write copy: the tuple storage is shared until
+// either side mutates (tuples themselves are immutable by convention, so
+// they are always shared). Cloning is O(1).
 func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.schema)
-	c.tuples = append([]Tuple(nil), r.tuples...)
-	for k := range r.index {
-		c.index[k] = struct{}{}
-	}
+	r.shared.Store(true)
+	c := &Relation{schema: r.schema, tuples: r.tuples, index: r.index, acc: r.acc}
+	c.digest.Store(r.digest.Load()) // same content, same memoised digest
+	c.shared.Store(true)
 	return c
 }
 

@@ -8,34 +8,103 @@ import (
 	"strconv"
 )
 
-// Fingerprint returns a stable content hash of the database: relations are
-// visited in sorted-name order, each contributing its schema and its tuples
-// in canonical tuple order, so the fingerprint depends only on contents —
-// not on insertion order, tuple order, or how the database was built or
-// decoded. The serving layer uses it as the content-addressed half of a
-// collection's identity: reloading byte-identical data keeps cached solve
-// results valid, while any tuple-level change produces a new fingerprint.
-func (d *Database) Fingerprint() string {
+// fpAcc is an order-independent set hash: the XOR of the sha256 digests of
+// the member tuple keys. Insert and Delete both toggle the member's digest
+// in, so the accumulator is maintained in O(1) per mutation and two
+// relations hold equal accumulators iff they hold equal tuple sets (up to
+// sha256 collisions; relations deduplicate, so no member ever appears
+// twice and even-multiplicity cancellation cannot occur). A client could in
+// principle search for colliding tuple sets within its own collection, but
+// the only thing that buys is serving that client its own stale cache
+// entries, so the construction is not required to resist it.
+type fpAcc [sha256.Size]byte
+
+// toggle flips tuple key k in or out of the set hash.
+func (a *fpAcc) toggle(k string) {
+	d := sha256.Sum256([]byte(k))
+	for i := range a {
+		a[i] ^= d[i]
+	}
+}
+
+// Fingerprint returns a stable content hash of one relation: its name,
+// schema, cardinality and tuple-set hash. Because the set hash is
+// maintained incrementally by Insert and Delete, computing the fingerprint
+// is O(|schema|) regardless of how many tuples the relation holds.
+func (r *Relation) Fingerprint() string {
+	sum := r.fingerprintDigest()
+	return hex.EncodeToString(sum[:])
+}
+
+func (r *Relation) fingerprintDigest() [sha256.Size]byte {
+	if p := r.digest.Load(); p != nil {
+		return *p
+	}
 	h := sha256.New()
+	// Counts delimit every section, so the stream decodes unambiguously
+	// left-to-right: an attribute named like a tuple key cannot shift the
+	// boundaries and collide with different content.
+	hashString(h, r.schema.Name)
+	hashString(h, strconv.Itoa(len(r.schema.Attrs)))
+	for _, a := range r.schema.Attrs {
+		hashString(h, a)
+	}
+	hashString(h, strconv.Itoa(len(r.tuples)))
+	h.Write(r.acc[:])
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	r.digest.Store(&sum)
+	return sum
+}
+
+// Fingerprint returns a stable content hash of the database: relations are
+// visited in sorted-name order, each contributing its relation-level
+// fingerprint, so the result depends only on contents — not on insertion
+// order, tuple order, or how the database was built or decoded. The serving
+// layer uses it as the content-addressed half of a collection's identity:
+// reloading byte-identical data keeps cached solve results valid, while any
+// tuple-level change produces a new fingerprint. Per-relation set hashes
+// are maintained incrementally, so the whole-database fingerprint costs
+// O(relations), not O(tuples) — ApplyDelta relies on this to version
+// mutations without a full rehash.
+func (d *Database) Fingerprint() string {
 	names := append([]string(nil), d.order...)
 	sort.Strings(names)
-	// Counts delimit every section, so the stream decodes unambiguously
-	// left-to-right: an attribute named like a tuple key (or a tuple key
-	// shaped like the next relation's name) cannot shift the boundaries
-	// and collide with different content.
+	return combineFingerprints(names, func(name string) *Relation { return d.rels[name] })
+}
+
+// FingerprintOf returns the content hash of the named subset of the
+// database: the names are deduplicated and sorted, and a name with no
+// relation contributes an explicit absence marker (so adding or dropping a
+// whole relation changes the subset fingerprint that mentions it). The
+// serving layer keys cached results on the subset a request actually
+// reads, which is what lets entries survive deltas to unrelated relations.
+func (d *Database) FingerprintOf(names ...string) string {
+	uniq := append([]string(nil), names...)
+	sort.Strings(uniq)
+	w := 0
+	for i, n := range uniq {
+		if i == 0 || n != uniq[i-1] {
+			uniq[w] = n
+			w++
+		}
+	}
+	return combineFingerprints(uniq[:w], func(name string) *Relation { return d.rels[name] })
+}
+
+// combineFingerprints hashes the relation-level fingerprints for names (in
+// the given order) into one digest, with explicit present/absent markers.
+func combineFingerprints(names []string, lookup func(string) *Relation) string {
+	h := sha256.New()
 	hashString(h, strconv.Itoa(len(names)))
 	for _, name := range names {
-		r := d.rels[name]
-		hashString(h, r.Name())
-		attrs := r.Schema().Attrs
-		hashString(h, strconv.Itoa(len(attrs)))
-		for _, a := range attrs {
-			hashString(h, a)
-		}
-		tuples := r.Sorted().Tuples()
-		hashString(h, strconv.Itoa(len(tuples)))
-		for _, t := range tuples {
-			hashString(h, t.Key())
+		if r := lookup(name); r != nil {
+			hashString(h, "1")
+			sum := r.fingerprintDigest()
+			h.Write(sum[:])
+		} else {
+			hashString(h, "0")
+			hashString(h, name)
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/spec"
 )
@@ -92,37 +91,13 @@ type BatchResponse struct {
 	ElapsedMS float64 `json:"elapsedMs"`
 }
 
-// sharedProblem lazily builds and prepares one problem spec's Problem,
-// shared by every sub-solve of the batch whose spec canonicalizes
-// identically. Build (spec parse, aggregator construction) and Prepare
-// (candidate evaluation, bound tables) run exactly once, under the Once,
-// inside the first user's pool slot — so a fully cache-served batch never
-// pays them — after which the engine reads the problem read-only and
-// concurrent sub-solves are safe. Build and prepare failures surface as
-// that item's (and its spec-sharers') solve error.
-type sharedProblem struct {
-	build func() (*core.Problem, error)
-	once  sync.Once
-	prob  *core.Problem
-	err   error
-}
-
-func (sp *sharedProblem) get() (*core.Problem, error) {
-	sp.once.Do(func() {
-		sp.prob, sp.err = sp.build()
-		if sp.err == nil {
-			sp.err = sp.prob.Prepare()
-		}
-	})
-	return sp.prob, sp.err
-}
-
-// batchItem is the resolved execution state of one batch item.
+// batchItem is the resolved execution state of one batch item. shared is
+// the collection's prepared problem for the item's spec (see
+// preparedProblem): batch items share it with each other, with single
+// solves, and across deltas that leave their relations untouched.
 type batchItem struct {
-	req    Request
-	sel    []core.Package
-	key    string // result-cache key (canonical fingerprint)
-	shared *sharedProblem
+	v      validated
+	shared *preparedProblem
 	lead   int // index of the first identical item; == own index for leads
 }
 
@@ -136,16 +111,17 @@ type batchItem struct {
 // context is already dead at entry.
 func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchResponse, error) {
 	start := time.Now()
-	s.stats.batches.Add(1)
+	s.stats.startBatch()
 	if err := ctx.Err(); err != nil {
-		s.stats.errors.Add(1)
+		s.stats.addError()
 		return nil, err
 	}
 	coll, err := s.snapshot(breq.Collection)
 	if err != nil {
-		s.stats.errors.Add(1)
+		s.stats.addError()
 		return nil, err
 	}
+	defer s.unpin(coll)
 	resp := &BatchResponse{
 		Collection: coll.name,
 		Version:    coll.version,
@@ -155,21 +131,20 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 		return resp, nil
 	}
-	s.stats.batchItems.Add(uint64(len(breq.Items)))
+	s.stats.addBatchItems(len(breq.Items))
 
 	// Phase 1 (serial, cheap): admit each item through the shared
 	// validation pipeline and wire up sharing — duplicates point at their
-	// lead item, distinct items with equal specs share one Problem.
-	// Deduplication keys carry the NoCache bit exactly like flight keys
-	// do: a NoCache item must never be answered through a cached twin,
-	// and a caching item must never collapse onto a lead whose result is
-	// not stored.
+	// lead item, distinct items with equal specs share the collection's
+	// prepared Problem. Deduplication keys carry the NoCache bit exactly
+	// like flight keys do: a NoCache item must never be answered through
+	// a cached twin, and a caching item must never collapse onto a lead
+	// whose result is not stored.
 	items := make([]*batchItem, len(breq.Items))
-	leads := map[string]int{}            // dedup key -> lead item index
-	probs := map[string]*sharedProblem{} // canonical spec -> shared problem
+	leads := map[string]int{} // dedup key -> lead item index
 	fail := func(i int, err error) {
 		resp.Items[i] = ItemResponse{Error: err.Error()}
-		s.stats.errors.Add(1)
+		s.stats.addError()
 	}
 	for i, bit := range breq.Items {
 		req := bit.Request(breq.Collection)
@@ -179,21 +154,13 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 			fail(i, err)
 			continue
 		}
-		it := &batchItem{req: v.req, sel: v.sel, key: v.key, lead: i}
+		it := &batchItem{v: v, lead: i}
 		dedupKey := flightKey(v.key, v.req.NoCache)
 		if lead, ok := leads[dedupKey]; ok {
 			it.lead = lead
 		} else {
 			leads[dedupKey] = i
-			sp, ok := probs[v.canon]
-			if !ok {
-				ps := v.req.Spec
-				sp = &sharedProblem{build: func() (*core.Problem, error) {
-					return s.buildProblem(coll, ps)
-				}}
-				probs[v.canon] = sp
-			}
-			it.shared = sp
+			it.shared = s.sharedProblem(coll, v)
 		}
 		items[i] = it
 	}
@@ -211,8 +178,8 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 		go func(i int, it *batchItem) {
 			defer wg.Done()
 			itemStart := time.Now()
-			s.stats.inFlight.Add(1)
-			defer s.stats.inFlight.Add(-1)
+			s.stats.itemStart()
+			defer s.stats.itemEnd()
 			res, cached, err := s.solveBatchItem(bctx, coll, it)
 			s.stats.observe(time.Since(itemStart))
 			ir := ItemResponse{
@@ -220,7 +187,7 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 				ElapsedMS: float64(time.Since(itemStart)) / float64(time.Millisecond),
 			}
 			if err != nil {
-				s.stats.errors.Add(1)
+				s.stats.addError()
 				ir.Error = err.Error()
 			} else {
 				ir.Result = res
@@ -242,7 +209,7 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 		lead := resp.Items[it.lead]
 		if lead.Error != "" {
 			resp.Items[i] = ItemResponse{Error: lead.Error}
-			s.stats.errors.Add(1)
+			s.stats.addError()
 			continue
 		}
 		resp.Items[i] = ItemResponse{
@@ -250,7 +217,7 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 			Cached:  lead.Cached,
 			Deduped: true,
 		}
-		s.stats.batchDeduped.Add(1)
+		s.stats.addDeduped()
 	}
 	for _, ir := range resp.Items {
 		switch {
@@ -273,14 +240,15 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 // key is the same one single solves use, so a batch item also coalesces
 // with identical /v1/solve traffic in flight at the same time.
 func (s *Server) solveBatchItem(ctx context.Context, coll *collection, it *batchItem) (*Result, bool, error) {
-	if !it.req.NoCache {
-		if res, ok := s.cache.get(it.key); ok {
-			s.stats.hits.Add(1)
+	v := it.v
+	if !v.req.NoCache {
+		if res, ok := s.cache.get(v.key); ok {
+			s.stats.lookup(true)
 			return res, true, nil
 		}
-		s.stats.misses.Add(1)
+		s.stats.lookup(false)
 	}
-	res, shared, err := s.flight.do(ctx, flightKey(it.key, it.req.NoCache), func() (*Result, error) {
+	res, shared, err := s.flight.do(ctx, flightKey(v.key, v.req.NoCache), func() (*Result, error) {
 		if err := s.acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -289,14 +257,14 @@ func (s *Server) solveBatchItem(ctx context.Context, coll *collection, it *batch
 		if err != nil {
 			return nil, err
 		}
-		r, err := s.solveOp(ctx, prob, it.req, it.sel)
-		if err == nil && !it.req.NoCache {
-			s.putIfCurrent(coll, it.key, r)
+		r, err := s.solveOp(ctx, prob, v.req, v.sel)
+		if err == nil && !v.req.NoCache {
+			s.putIfCurrent(coll, v, r)
 		}
 		return r, err
 	})
 	if shared {
-		s.stats.coalesced.Add(1)
+		s.stats.addCoalesced()
 	}
 	return res, false, err
 }

@@ -5,82 +5,176 @@ import (
 	"sync"
 )
 
-// lruCache is the bounded result cache: a classic map + intrusive-list LRU
-// under one mutex. Entries remember their collection so a swap can purge
-// exactly the results it invalidated (version-tagged keys alone would only
-// let stale entries age out, holding cache slots hostage in the meantime).
-// Stored Results are shared across readers and must be treated as
-// immutable.
-type lruCache struct {
+// lruMap is the bounded map + intrusive-list LRU core under one mutex,
+// shared by the result cache and the per-collection prepared-problem
+// cache: get refreshes recency, inserts evict from the cold end past
+// capacity, removeIf supports targeted purges.
+type lruMap[V any] struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 }
 
-type lruEntry struct {
-	key  string
-	coll string
-	res  *Result
+type lruSlot[V any] struct {
+	key string
+	val V
 }
 
-func newLRU(capacity int) *lruCache {
-	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+func newLRUMap[V any](capacity int) *lruMap[V] {
+	return &lruMap[V]{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// get returns the cached result for key, refreshing its recency.
-func (c *lruCache) get(key string) (*Result, bool) {
+// get returns the value for key, refreshing its recency.
+func (c *lruMap[V]) get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
+	return el.Value.(*lruSlot[V]).val, true
 }
 
-// put stores res under key, evicting from the cold end past capacity.
-func (c *lruCache) put(key, coll string, res *Result) {
+// set stores v under key (updating in place if present), evicting from the
+// cold end past capacity.
+func (c *lruMap[V]) set(key string, v V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).res = res
+		el.Value.(*lruSlot[V]).val = v
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, coll: coll, res: res})
+	c.insert(key, v)
+}
+
+// getOrCreate returns the value for key, creating it with mk on a miss. mk
+// runs under the lock and must not block.
+func (c *lruMap[V]) getOrCreate(key string, mk func() V) V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruSlot[V]).val
+	}
+	v := mk()
+	c.insert(key, v)
+	return v
+}
+
+// insert adds a fresh entry; the caller holds the lock.
+func (c *lruMap[V]) insert(key string, v V) {
+	c.items[key] = c.ll.PushFront(&lruSlot[V]{key: key, val: v})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		delete(c.items, oldest.Value.(*lruSlot[V]).key)
 	}
 }
 
-// purge drops every entry belonging to the named collection.
-func (c *lruCache) purge(coll string) {
+// removeIf drops every entry the predicate matches.
+func (c *lruMap[V]) removeIf(pred func(V) bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
-		if e := el.Value.(*lruEntry); e.coll == coll {
+		if s := el.Value.(*lruSlot[V]); pred(s.val) {
 			c.ll.Remove(el)
-			delete(c.items, e.key)
+			delete(c.items, s.key)
 		}
 		el = next
 	}
 }
 
+// entries snapshots the contents oldest-first (so re-inserting in order
+// preserves recency).
+func (c *lruMap[V]) entries() []lruSlot[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]lruSlot[V], 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*lruSlot[V]))
+	}
+	return out
+}
+
 // flush drops everything.
-func (c *lruCache) flush() {
+func (c *lruMap[V]) flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[string]*list.Element)
 }
 
-func (c *lruCache) len() int {
+func (c *lruMap[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// lruCache is the bounded result cache. Entries remember their collection
+// and relation dependencies so a swap or delta can purge exactly the
+// results it invalidated (content-addressed keys alone would only let
+// stale entries age out, holding cache slots hostage in the meantime).
+// Stored Results are shared across readers and must be treated as
+// immutable.
+type lruCache struct {
+	*lruMap[*lruEntry]
+}
+
+type lruEntry struct {
+	coll string
+	// deps / depsAll mirror the request's relation dependencies, so a
+	// collection delta can purge exactly the entries it invalidated
+	// (purgeDeps); unaffected entries keep their content-addressed keys
+	// and stay reachable.
+	deps    []string
+	depsAll bool
+	res     *Result
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{lruMap: newLRUMap[*lruEntry](capacity)}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *lruCache) get(key string) (*Result, bool) {
+	e, ok := c.lruMap.get(key)
+	if !ok {
+		return nil, false
+	}
+	return e.res, true
+}
+
+// put stores res under key.
+func (c *lruCache) put(key, coll string, deps []string, depsAll bool, res *Result) {
+	c.set(key, &lruEntry{coll: coll, deps: deps, depsAll: depsAll, res: res})
+}
+
+// purge drops every entry belonging to the named collection.
+func (c *lruCache) purge(coll string) {
+	c.removeIf(func(e *lruEntry) bool { return e.coll == coll })
+}
+
+// purgeDeps drops the named collection's entries whose dependency set
+// intersects the mutated relations (or that depend on the whole database).
+// Entries over untouched relations survive — the point of delta-aware
+// caching.
+func (c *lruCache) purgeDeps(coll string, mutated map[string]struct{}) {
+	c.removeIf(func(e *lruEntry) bool { return e.coll == coll && dependsOn(e, mutated) })
+}
+
+func dependsOn(e *lruEntry, mutated map[string]struct{}) bool {
+	if e.depsAll {
+		return true
+	}
+	for _, d := range e.deps {
+		if _, ok := mutated[d]; ok {
+			return true
+		}
+	}
+	return false
 }

@@ -64,6 +64,16 @@ func (c *Client) PutCollection(ctx context.Context, name string, db *relation.Da
 	return info, err
 }
 
+// ApplyDelta applies an incremental mutation to a collection on the
+// daemon: tuples upserted and deleted in place of a full reload, keeping
+// unaffected cached results and prepared problems warm. The returned
+// DeltaInfo reports the new collection state and what actually changed.
+func (c *Client) ApplyDelta(ctx context.Context, name string, delta relation.Delta) (DeltaInfo, error) {
+	var info DeltaInfo
+	err := c.do(ctx, http.MethodPost, "/v1/collections/"+url.PathEscape(name)+"/delta", delta, &info)
+	return info, err
+}
+
 // GetCollection fetches one collection's description.
 func (c *Client) GetCollection(ctx context.Context, name string) (CollectionInfo, error) {
 	var info CollectionInfo

@@ -1,0 +1,454 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/relation"
+	"repro/internal/relax"
+	"repro/internal/spec"
+)
+
+// poiSpec reads only the poi relation; flightSpec reads only flight. The
+// two give every test a mutated group and an untouched group.
+func poiSpec(budget float64) spec.ProblemSpec {
+	return spec.ProblemSpec{
+		Query: `RQ(name, type, ticket, time) :-
+			poi(name, city, type, ticket, time), city = "nyc".`,
+		Cost:       spec.AggSpec{Kind: "sum", Attr: 3, Monotone: true},
+		Val:        spec.AggSpec{Kind: "negsum", Attr: 2},
+		Budget:     budget,
+		K:          2,
+		MaxPkgSize: 2,
+		Bound:      -100,
+	}
+}
+
+func flightSpec(budget float64) spec.ProblemSpec {
+	return spec.ProblemSpec{
+		Query:      `RQ(f, price, dur) :- flight(f, "edi", city, d, price, dur).`,
+		Cost:       spec.AggSpec{Kind: "sum", Attr: 2, Monotone: true},
+		Val:        spec.AggSpec{Kind: "negsum", Attr: 1},
+		Budget:     budget,
+		K:          1,
+		MaxPkgSize: 2,
+		Bound:      -1000,
+	}
+}
+
+// flightDelta upserts one synthetic flight tuple (i keeps them distinct).
+func flightDelta(i int) relation.Delta {
+	return relation.Delta{Upserts: []relation.RelationDelta{{
+		Name:   "flight",
+		Tuples: [][]any{{90000 + i, "edi", "nyc", 1, 500, 500}},
+	}}}
+}
+
+func poiDelta(i int) relation.Delta {
+	return relation.Delta{Upserts: []relation.RelationDelta{{
+		Name:   "poi",
+		Tuples: [][]any{{fmt.Sprintf("churn%03d", i), "nyc", "museum", 7, 45}},
+	}}}
+}
+
+// The acceptance-criteria core: after a 1-item delta to a warm collection,
+// an unaffected cached request is still a cache hit (its content-addressed
+// key did not move), while requests over the mutated relation re-solve.
+func TestDeltaKeepsUnaffectedCacheEntries(t *testing.T) {
+	s := travelServer(t, Options{}, 30, 24)
+	poiReq := Request{Collection: "travel", Op: OpCount, Spec: poiSpec(240)}
+	flightReq := Request{Collection: "travel", Op: OpCount, Spec: flightSpec(2000)}
+	poiCold := mustSolve(t, s, poiReq)
+	flightCold := mustSolve(t, s, flightReq)
+	if s.cache.len() != 2 {
+		t.Fatalf("cache entries %d, want 2", s.cache.len())
+	}
+
+	info, err := s.MutateCollection("travel", flightDelta(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.Upserted != 1 || len(info.Mutated) != 1 || info.Mutated[0] != "flight" {
+		t.Fatalf("delta info: %+v", info)
+	}
+	if s.cache.len() != 1 {
+		t.Fatalf("after delta: cache entries %d, want 1 (flight entry purged, poi entry kept)", s.cache.len())
+	}
+
+	poiWarm := mustSolve(t, s, poiReq)
+	if !poiWarm.Cached {
+		t.Fatal("unaffected request missed the cache after an unrelated delta")
+	}
+	if poiWarm.Version != 2 {
+		t.Fatalf("cached response reports version %d, want 2", poiWarm.Version)
+	}
+	if *poiWarm.Count != *poiCold.Count {
+		t.Fatalf("cached count changed: %d != %d", *poiWarm.Count, *poiCold.Count)
+	}
+	flightWarm := mustSolve(t, s, flightReq)
+	if flightWarm.Cached {
+		t.Fatal("request over the mutated relation served a stale cached result")
+	}
+	if *flightWarm.Count == *flightCold.Count {
+		t.Fatal("flight count unchanged by an upserted in-budget flight; delta not visible")
+	}
+}
+
+// The other acceptance half: prepared problems (warmed candidates + bound
+// tables) survive deltas to unrelated relations — EnginePrepares grows only
+// for the mutated group. NoCache requests force engine runs so the shared
+// problem, not the result cache, is what's exercised.
+func TestDeltaCarriesPreparedProblemsOver(t *testing.T) {
+	s := travelServer(t, Options{}, 30, 24)
+	poiReq := Request{Collection: "travel", Op: OpCount, Spec: poiSpec(240), NoCache: true}
+	flightReq := Request{Collection: "travel", Op: OpCount, Spec: flightSpec(2000), NoCache: true}
+	mustSolve(t, s, poiReq)
+	mustSolve(t, s, flightReq)
+	if got := s.Stats().EnginePrepares; got != 2 {
+		t.Fatalf("cold prepares = %d, want 2", got)
+	}
+	// Re-solving warm must not prepare again: the problem is shared across
+	// requests, not just within a batch.
+	mustSolve(t, s, poiReq)
+	if got := s.Stats().EnginePrepares; got != 2 {
+		t.Fatalf("warm re-solve re-prepared: prepares = %d, want 2", got)
+	}
+
+	if _, err := s.MutateCollection("travel", flightDelta(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.RLock()
+	carried := s.colls["travel"].probs.len()
+	s.mu.RUnlock()
+	if carried != 1 {
+		t.Fatalf("new version carried %d prepared problems, want 1 (poi only)", carried)
+	}
+	// Unmutated group: carried over, no rebuild.
+	mustSolve(t, s, poiReq)
+	if got := s.Stats().EnginePrepares; got != 2 {
+		t.Fatalf("delta to flight re-prepared the poi problem: prepares = %d, want 2", got)
+	}
+	// Mutated group: must rebuild (a cheap delta must not serve stale
+	// candidates).
+	mustSolve(t, s, flightReq)
+	if got := s.Stats().EnginePrepares; got != 3 {
+		t.Fatalf("flight problem not rebuilt after its relation mutated: prepares = %d, want 3", got)
+	}
+}
+
+// A content no-op delta is fully idempotent: same version, nothing purged,
+// no delta counted.
+func TestDeltaNoopIsIdempotent(t *testing.T) {
+	s := travelServer(t, Options{}, 30, 24)
+	if _, err := s.MutateCollection("travel", flightDelta(0)); err != nil {
+		t.Fatal(err)
+	}
+	mustSolve(t, s, Request{Collection: "travel", Op: OpCount, Spec: flightSpec(2000)})
+	cached := s.cache.len()
+	info, err := s.MutateCollection("travel", flightDelta(0)) // same tuple again
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || len(info.Mutated) != 0 || info.Upserted != 0 {
+		t.Fatalf("no-op delta not idempotent: %+v", info)
+	}
+	if s.cache.len() != cached {
+		t.Fatal("no-op delta purged cache entries")
+	}
+	st := s.Stats()
+	if st.Deltas != 1 || st.DeltaItems != 1 {
+		t.Fatalf("deltas=%d deltaItems=%d, want 1/1 (no-op not counted)", st.Deltas, st.DeltaItems)
+	}
+	if _, err := s.MutateCollection("nope", flightDelta(0)); !errors.As(err, new(*NotFoundError)) {
+		t.Fatalf("unknown collection: got %v, want NotFoundError", err)
+	}
+	if _, err := s.MutateCollection("travel", relation.Delta{
+		Deletes: []relation.RelationDelta{{Name: "ghost", Tuples: [][]any{{1}}}},
+	}); !errors.As(err, new(*RequestError)) {
+		t.Fatalf("bad delta: got %v, want RequestError", err)
+	}
+}
+
+// FO specs depend on the whole database (active-domain semantics), so any
+// delta must invalidate their entries — even over relations the formula
+// never mentions.
+func TestDeltaInvalidatesFOEntries(t *testing.T) {
+	s := travelServer(t, Options{}, 30, 24)
+	fo := spec.ProblemSpec{
+		Query:      `RQ(name) := exists pt, pk, pm (poi(name, "nyc", pt, pk, pm)).`,
+		Cost:       spec.AggSpec{Kind: "count", Monotone: true},
+		Val:        spec.AggSpec{Kind: "count"},
+		Budget:     2,
+		K:          1,
+		MaxPkgSize: 1,
+	}
+	req := Request{Collection: "travel", Op: OpCount, Spec: fo}
+	mustSolve(t, s, req)
+	if !mustSolve(t, s, req).Cached {
+		t.Fatal("FO request did not cache at all")
+	}
+	// The delta touches flight; the FO query mentions only poi — but its
+	// active domain includes flight values, so the entry must die.
+	if _, err := s.MutateCollection("travel", flightDelta(0)); err != nil {
+		t.Fatal(err)
+	}
+	if mustSolve(t, s, req).Cached {
+		t.Fatal("whole-database-dependent entry survived a delta")
+	}
+}
+
+// Relax answers discretize their gap levels over the whole active domain
+// (relax.CandidateLevels), so any delta must invalidate relax entries —
+// even over relations the spec never reads.
+func TestDeltaInvalidatesRelaxEntries(t *testing.T) {
+	s := travelServer(t, Options{}, 30, 24)
+	ps := poiSpec(240)
+	ps.Query = `RQ(name, type, ticket, time) :-
+		poi(name, city, type, ticket, time), city = "nyc", type = "museum".`
+	req := Request{Collection: "travel", Op: OpRelax, Spec: ps,
+		Relax: &spec.RelaxSpec{
+			Points:    []spec.RelaxPointSpec{{Index: 1, Metric: spec.MetricSpec{Kind: "discrete"}}},
+			Bound:     -40,
+			GapBudget: 1,
+		}}
+	mustSolve(t, s, req)
+	if !mustSolve(t, s, req).Cached {
+		t.Fatal("relax request did not cache at all")
+	}
+	if _, err := s.MutateCollection("travel", flightDelta(0)); err != nil {
+		t.Fatal(err)
+	}
+	if mustSolve(t, s, req).Cached {
+		t.Fatal("relax entry survived a delta; its gap levels depend on the whole active domain")
+	}
+}
+
+// SnapshotsLive tracks superseded versions pinned by in-flight solves.
+func TestSnapshotsLiveGauge(t *testing.T) {
+	s := travelServer(t, Options{}, 30, 24)
+	if got := s.Stats().SnapshotsLive; got != 1 {
+		t.Fatalf("snapshotsLive = %d, want 1", got)
+	}
+	// Hold a pin the way Solve does while a delta lands.
+	coll, err := s.snapshot("travel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MutateCollection("travel", flightDelta(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().SnapshotsLive; got != 2 {
+		t.Fatalf("snapshotsLive = %d, want 2 (old version still pinned)", got)
+	}
+	s.unpin(coll)
+	if got := s.Stats().SnapshotsLive; got != 1 {
+		t.Fatalf("snapshotsLive = %d, want 1 after release", got)
+	}
+	if !s.RemoveCollection("travel") {
+		t.Fatal("remove failed")
+	}
+	if got := s.Stats().SnapshotsLive; got != 0 {
+		t.Fatalf("snapshotsLive = %d, want 0 after removal", got)
+	}
+}
+
+// The mutate-while-solving satellite: writers stream deltas while readers
+// run topk/count/relax, and every response must match a library solve
+// against the database state of the snapshot version it reports. Run with
+// -race (CI does).
+func TestConcurrentMutateWhileSolving(t *testing.T) {
+	base := experiments.WorkloadDB(24)
+	s := NewServer(Options{MaxConcurrent: 8})
+	info := s.SetCollection("live", base)
+
+	// versions mirrors the server's database content per version. The
+	// writer stores the mirror before installing the version, so readers
+	// can never observe a version without its mirror.
+	var versions sync.Map
+	versions.Store(info.Version, base)
+
+	relaxPS := poiSpec(240)
+	relaxPS.Query = `RQ(name, type, ticket, time) :-
+		poi(name, city, type, ticket, time), city = "nyc", type = "museum".`
+	relaxReq := Request{Collection: "live", Op: OpRelax, Spec: relaxPS,
+		Relax: &spec.RelaxSpec{
+			Points:    []spec.RelaxPointSpec{{Index: 1, Metric: spec.MetricSpec{Kind: "discrete"}}},
+			Bound:     -40,
+			GapBudget: 1,
+		}}
+	requests := []Request{
+		{Collection: "live", Op: OpTopK, Spec: poiSpec(240)},
+		{Collection: "live", Op: OpCount, Spec: poiSpec(300)},
+		{Collection: "live", Op: OpTopK, Spec: flightSpec(2000)},
+		relaxReq,
+	}
+
+	const deltas = 10
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the writer
+		defer wg.Done()
+		cur := base
+		version := info.Version
+		for i := 0; i < deltas; i++ {
+			d := flightDelta(i)
+			if i%2 == 1 {
+				d = poiDelta(i)
+			}
+			res, err := cur.ApplyDelta(d)
+			if err != nil {
+				t.Errorf("mirror delta: %v", err)
+				return
+			}
+			cur, version = res.DB, version+1
+			versions.Store(version, cur)
+			dinfo, err := s.MutateCollection("live", d)
+			if err != nil {
+				t.Errorf("MutateCollection: %v", err)
+				return
+			}
+			if dinfo.Version != version {
+				t.Errorf("installed version %d, want %d", dinfo.Version, version)
+				return
+			}
+		}
+	}()
+
+	verify := func(req Request, resp *Response) error {
+		dbAny, ok := versions.Load(resp.Version)
+		if !ok {
+			return fmt.Errorf("response reports unknown version %d", resp.Version)
+		}
+		prob, err := req.Spec.Build(dbAny.(*relation.Database))
+		if err != nil {
+			return err
+		}
+		switch req.Op {
+		case OpCount:
+			want, err := prob.CountValid(req.Spec.Bound)
+			if err != nil {
+				return err
+			}
+			if *resp.Count != want {
+				return fmt.Errorf("count %d, library says %d at version %d", *resp.Count, want, resp.Version)
+			}
+		case OpTopK:
+			sel, ok, err := prob.FindTopK()
+			if err != nil {
+				return err
+			}
+			if ok != resp.OK {
+				return fmt.Errorf("topk ok=%v, library says %v at version %d", resp.OK, ok, resp.Version)
+			}
+			if !ok {
+				return nil
+			}
+			if len(sel) != len(resp.Packages) {
+				return fmt.Errorf("topk size %d, library says %d", len(resp.Packages), len(sel))
+			}
+			// Selections may differ in ties; ratings may not.
+			got := make([]float64, len(resp.Packages))
+			want := make([]float64, len(sel))
+			for i := range sel {
+				got[i] = resp.Packages[i].Val
+				want[i] = prob.Val.Eval(sel[i])
+			}
+			sort.Float64s(got)
+			sort.Float64s(want)
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					return fmt.Errorf("topk ratings %v, library says %v at version %d", got, want, resp.Version)
+				}
+			}
+		case OpRelax:
+			inst, err := req.Relax.Build(prob)
+			if err != nil {
+				return err
+			}
+			rel, ok, err := relax.Decide(inst)
+			if err != nil {
+				return err
+			}
+			if ok != resp.OK {
+				return fmt.Errorf("relax ok=%v, library says %v at version %d", resp.OK, ok, resp.Version)
+			}
+			if ok && math.Abs(*resp.Gap-rel.Gap) > 1e-9 {
+				return fmt.Errorf("relax gap %g, library says %g at version %d", *resp.Gap, rel.Gap, resp.Version)
+			}
+		}
+		return nil
+	}
+
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				req := requests[(r+i)%len(requests)]
+				req.NoCache = i%3 == 0 // mix cached and engine-run paths
+				resp, err := s.Solve(context.Background(), req)
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if err := verify(req, resp); err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// The /v1/stats tearing fix: a scrape taken mid-traffic is one consistent
+// cut — consulted lookups can never outnumber admitted work, and the
+// reported hit rate must be exactly the ratio of the captured counters.
+func TestStatsSnapshotConsistencyUnderLoad(t *testing.T) {
+	s := travelServer(t, Options{MaxConcurrent: 4}, 30, 24)
+	reqs := []Request{
+		{Collection: "travel", Op: OpCount, Spec: poiSpec(240)},
+		{Collection: "travel", Op: OpCount, Spec: poiSpec(300)},
+		{Collection: "travel", Op: OpCount, Spec: flightSpec(2000)},
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _ = s.Solve(context.Background(), reqs[(w+i)%len(reqs)])
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		st := s.Stats()
+		looked := st.CacheHits + st.CacheMisses
+		if looked > st.Requests+st.BatchItems {
+			t.Fatalf("torn snapshot: %d consulted lookups > %d admitted requests", looked, st.Requests+st.BatchItems)
+		}
+		if looked > 0 && st.HitRate != float64(st.CacheHits)/float64(looked) {
+			t.Fatalf("hit rate %g inconsistent with captured hits=%d misses=%d", st.HitRate, st.CacheHits, st.CacheMisses)
+		}
+		if st.InFlight < 0 {
+			t.Fatalf("negative inFlight %d", st.InFlight)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

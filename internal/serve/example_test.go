@@ -11,6 +11,46 @@ import (
 	"repro/internal/spec"
 )
 
+// ExampleClient_applyDelta mutates a live collection incrementally: one
+// upsert-and-delete delta instead of a full reload. The version bumps, the
+// fingerprint moves, and a repeated delta is idempotent — nothing mutated,
+// same version, warm caches untouched.
+func ExampleClient_applyDelta() {
+	items := relation.FromTuples(relation.NewSchema("item", "name", "price", "rating"),
+		relation.NewTuple(relation.Str("brie"), relation.Int(4), relation.Int(3)),
+		relation.NewTuple(relation.Str("fig"), relation.Int(2), relation.Int(3)))
+	db := relation.NewDatabase().Add(items)
+
+	srv := serve.NewServer(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	client := serve.NewClient(ts.URL)
+	if _, err := client.PutCollection(ctx, "shop", db); err != nil {
+		log.Fatal(err)
+	}
+
+	delta := relation.Delta{
+		Upserts: []relation.RelationDelta{{Name: "item", Tuples: [][]any{{"olive", 1, 1}}}},
+		Deletes: []relation.RelationDelta{{Name: "item", Tuples: [][]any{{"brie", 4, 3}}}},
+	}
+	info, err := client.ApplyDelta(ctx, "shop", delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("version=%d tuples=%d mutated=%v upserted=%d deleted=%d\n",
+		info.Version, info.Tuples, info.Mutated, info.Upserted, info.Deleted)
+
+	again, err := client.ApplyDelta(ctx, "shop", delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replay: version=%d mutated=%v\n", again.Version, again.Mutated)
+	// Output:
+	// version=2 tuples=2 mutated=[item] upserted=1 deleted=1
+	// replay: version=2 mutated=[]
+}
+
 // ExampleClient_batch sends one /v1/batch request carrying four
 // sub-requests — two of them identical — against a single collection. The
 // daemon snapshots the collection once, answers the duplicate from its

@@ -18,6 +18,7 @@ import (
 //	GET    /v1/collections        list collections
 //	GET    /v1/collections/{name} one collection's description
 //	PUT    /v1/collections/{name} load or swap a collection (body: database JSON)
+//	POST   /v1/collections/{name}/delta  apply an incremental mutation (body: relation.Delta)
 //	DELETE /v1/collections/{name} drop a collection
 //	DELETE /v1/cache              flush the result cache
 //	GET    /healthz               liveness probe
@@ -33,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/collections", s.handleListCollections)
 	mux.HandleFunc("GET /v1/collections/{name}", s.handleGetCollection)
 	mux.HandleFunc("PUT /v1/collections/{name}", s.handlePutCollection)
+	mux.HandleFunc("POST /v1/collections/{name}/delta", s.handleDeltaCollection)
 	mux.HandleFunc("DELETE /v1/collections/{name}", s.handleDeleteCollection)
 	mux.HandleFunc("DELETE /v1/cache", s.handleFlushCache)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -113,6 +115,27 @@ func (s *Server) handlePutCollection(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.SetCollection(name, db))
+}
+
+// handleDeltaCollection serves POST /v1/collections/{name}/delta: an
+// incremental mutation of a live collection. Readers keep solving against
+// their pinned snapshot while the new version installs; cached results and
+// prepared problems over unaffected relations stay warm.
+func (s *Server) handleDeltaCollection(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var delta relation.Delta
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&delta); err != nil {
+		writeError(w, &RequestError{Err: err})
+		return
+	}
+	info, err := s.MutateCollection(name, delta)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleDeleteCollection(w http.ResponseWriter, r *http.Request) {

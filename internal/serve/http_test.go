@@ -182,6 +182,72 @@ func TestHTTPCollectionLifecycle(t *testing.T) {
 	}
 }
 
+// TestHTTPDeltaEndpoint drives POST /v1/collections/{name}/delta over the
+// wire: a delta mutates the collection in place, a stale cached answer
+// over the mutated relation is not served, the delta counters surface in
+// /v1/stats, and errors map to the documented status codes.
+func TestHTTPDeltaEndpoint(t *testing.T) {
+	s := NewServer(Options{})
+	s.SetCollection("travel", gen.Travel(7, 20, 16))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	ps := travelSpec(2)
+	ps.Bound = -100
+	before, err := client.Solve(ctx, Request{Collection: "travel", Op: OpCount, Spec: ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := relation.Delta{Upserts: []relation.RelationDelta{{
+		Name:   "poi",
+		Tuples: [][]any{{"delta-poi", "ewr", "museum", 5, 30}},
+	}}}
+	info, err := client.ApplyDelta(ctx, "travel", delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.Upserted != 1 || len(info.Mutated) != 1 || info.Mutated[0] != "poi" {
+		t.Fatalf("delta info over the wire: %+v", info)
+	}
+	after, err := client.Solve(ctx, Request{Collection: "travel", Op: OpCount, Spec: ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("stale cached result served after a delta to a read relation")
+	}
+	if *after.Count <= *before.Count {
+		t.Fatalf("count %d after upsert, want > %d", *after.Count, *before.Count)
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deltas != 1 || st.DeltaItems != 1 || st.SnapshotsLive != 1 {
+		t.Fatalf("delta counters: deltas=%d deltaItems=%d snapshotsLive=%d", st.Deltas, st.DeltaItems, st.SnapshotsLive)
+	}
+
+	var apiErr *APIError
+	if _, err := client.ApplyDelta(ctx, "ghost", delta); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("delta to unknown collection: %v, want 404", err)
+	}
+	bad := relation.Delta{Deletes: []relation.RelationDelta{{Name: "ghost", Tuples: [][]any{{1}}}}}
+	if _, err := client.ApplyDelta(ctx, "travel", bad); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("malformed delta: %v, want 400", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/collections/travel/delta", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-JSON delta body: %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestHTTPErrorCodes(t *testing.T) {
 	s := NewServer(Options{})
 	s.SetCollection("travel", gen.Travel(7, 20, 16))

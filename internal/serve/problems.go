@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// preparedProblem lazily builds and prepares one problem spec's Problem,
+// shared by every solve — single, batch, or across requests — whose spec
+// canonicalizes identically over one collection snapshot. Build (spec
+// parse, aggregator construction) and Prepare (candidate evaluation, bound
+// tables) run exactly once, under the Once, inside the first user's pool
+// slot — so a fully cache-served workload never pays them — after which the
+// engine reads the problem read-only and concurrent solves are safe. Build
+// and prepare failures are memoised too: a deterministic bad spec fails
+// once, not per request.
+type preparedProblem struct {
+	// deps are the extensional relations the spec reads (depsAll when the
+	// list is not exhaustive, i.e. the spec depends on the whole
+	// database); collection deltas use them to decide which prepared
+	// problems survive a mutation.
+	deps    []string
+	depsAll bool
+	build   func() (*core.Problem, error)
+	once    sync.Once
+	done    atomic.Bool
+	prob    *core.Problem
+	err     error
+}
+
+func (sp *preparedProblem) get() (*core.Problem, error) {
+	sp.once.Do(func() {
+		sp.prob, sp.err = sp.build()
+		if sp.err == nil {
+			sp.err = sp.prob.Prepare()
+		}
+		sp.build = nil // release the closure (it captures a collection snapshot)
+		sp.done.Store(true)
+	})
+	return sp.prob, sp.err
+}
+
+// ready reports a successfully built-and-prepared problem — the only state
+// worth carrying across a collection delta.
+func (sp *preparedProblem) ready() bool { return sp.done.Load() && sp.err == nil }
+
+// rebind returns a carried copy of a ready prepared problem whose Problem
+// points at db instead of the snapshot it was built on. The memoised state
+// (candidates, bound tables) stays shared and stays valid — rebinding is
+// only ever done when every relation the spec reads is pointer-identical
+// between the two versions — while the old version's Database (and with it
+// the superseded copies of mutated relations) becomes collectable instead
+// of being pinned for as long as the spec stays warm.
+func (sp *preparedProblem) rebind(db *relation.Database) *preparedProblem {
+	prob := *sp.prob
+	prob.DB = db
+	out := &preparedProblem{deps: sp.deps, depsAll: sp.depsAll, prob: &prob}
+	out.once.Do(func() {})
+	out.done.Store(true)
+	return out
+}
+
+// problemCache is the per-collection-snapshot LRU of prepared problems,
+// keyed by canonical spec text. It bounds the warmed state a collection
+// holds (candidate lists and bound tables are O(|Q(D)|) each); eviction is
+// safe at any time because in-flight solves hold the *preparedProblem
+// pointer, not the cache slot. getOrCreate's mk runs under the cache lock
+// and must not block — it only wires the lazy build closure; the expensive
+// work happens in preparedProblem.get.
+type problemCache struct {
+	*lruMap[*preparedProblem]
+}
+
+func newProblemCache(capacity int) *problemCache {
+	return &problemCache{lruMap: newLRUMap[*preparedProblem](capacity)}
+}
+
+// carryOver seeds the cache with from's entries that survive a delta
+// mutating the named relations: entries that finished building, succeeded,
+// and whose dependency set is exhaustive and disjoint from the mutation.
+// Carried problems are rebound to db, the new version's database — sound
+// because every relation they read is pointer-shared, unmutated, between
+// the versions (see relation.Database.ApplyDelta) — so the superseded
+// snapshot is not pinned by warm specs.
+func (pc *problemCache) carryOver(from *problemCache, mutated map[string]struct{}, db *relation.Database) {
+	// entries returns oldest-first, so re-inserting preserves recency.
+	for _, e := range from.entries() {
+		if !e.val.ready() || e.val.depsAll {
+			continue
+		}
+		affected := false
+		for _, dep := range e.val.deps {
+			if _, ok := mutated[dep]; ok {
+				affected = true
+				break
+			}
+		}
+		if affected {
+			continue
+		}
+		carried := e.val.rebind(db)
+		pc.getOrCreate(e.key, func() *preparedProblem { return carried })
+	}
+}

@@ -4,13 +4,15 @@
 // them, designed for streams of related queries rather than one-shot
 // library calls.
 //
-// Four mechanisms make repeated traffic cheap:
+// Five mechanisms make repeated traffic cheap:
 //
 //   - a bounded-size LRU result cache keyed by a canonical fingerprint of
-//     (collection name, collection version, canonical problem spec,
-//     operation parameters) — see cacheKey — so a repeated solve is a map
-//     lookup. Swapping a collection bumps its version (new keys) and purges
-//     the old entries;
+//     (collection name, content fingerprint of the relations the request
+//     reads, canonical problem spec, operation parameters) — see cacheKey —
+//     so a repeated solve is a map lookup. Because the key is
+//     content-addressed at relation granularity, a delta to one relation
+//     (MutateCollection) leaves every entry over unaffected relations
+//     valid and reachable; only dependent entries are purged;
 //   - request coalescing: identical solves that are in flight at the same
 //     time share one engine run (a small singleflight group keyed like the
 //     cache), so a thundering herd of equal requests costs one solve;
@@ -19,11 +21,20 @@
 //     per-request context deadline; excess requests queue on the pool;
 //   - batched evaluation: SolveBatch (HTTP: POST /v1/batch) answers N
 //     requests against one collection snapshot, deduplicating identical
-//     sub-requests through the cache keys, sharing one prepared Problem
-//     (candidates + bound tables) between sub-solves with equal specs, and
-//     isolating per-item failures under a whole-batch deadline — the
-//     per-request setup overhead is paid once per batch, not once per
-//     query.
+//     sub-requests through the cache keys and isolating per-item failures
+//     under a whole-batch deadline — the per-request setup overhead is paid
+//     once per batch, not once per query;
+//   - a per-collection prepared-problem cache: sub-solves and requests with
+//     equal canonical specs share one built-and-prepared core.Problem
+//     (candidates evaluated and bound tables warmed once), and a delta
+//     carries every prepared problem over unaffected relations into the
+//     next collection version, so warm-path solves after a small mutation
+//     skip the rebuild entirely.
+//
+// Collections are copy-on-write snapshots (relation.Database.Clone shares
+// tuple storage): readers keep solving against the version they resolved
+// while a writer installs the next one, and the SnapshotsLive stat counts
+// versions still pinned.
 //
 // Results are identical to direct library calls: every operation dispatches
 // to the same solvers the public pkgrec API wraps, with the engine's
@@ -41,6 +52,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adjust"
@@ -51,13 +63,17 @@ import (
 )
 
 // Options configures a Server. The zero value means: 1024 cache entries,
-// GOMAXPROCS concurrent solves, 1 engine worker per solve (so concurrent
-// requests, not intra-solve parallelism, saturate the cores — a loaded
-// server's sweet spot; raise EngineWorkers for low-traffic/large-solve
-// deployments), no default deadline, 1024-sample latency window.
+// 256 prepared problems per collection, GOMAXPROCS concurrent solves, 1
+// engine worker per solve (so concurrent requests, not intra-solve
+// parallelism, saturate the cores — a loaded server's sweet spot; raise
+// EngineWorkers for low-traffic/large-solve deployments), no default
+// deadline, 1024-sample latency window.
 type Options struct {
 	// CacheSize is the maximum number of cached results; ≤ 0 means 1024.
 	CacheSize int
+	// ProblemCacheSize bounds the prepared problems (warmed candidate
+	// lists and bound tables) kept per collection version; ≤ 0 means 256.
+	ProblemCacheSize int
 	// MaxConcurrent bounds the number of solves running at once; ≤ 0 means
 	// GOMAXPROCS. Excess solves queue (respecting their context).
 	MaxConcurrent int
@@ -76,6 +92,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheSize <= 0 {
 		o.CacheSize = 1024
 	}
+	if o.ProblemCacheSize <= 0 {
+		o.ProblemCacheSize = 256
+	}
 	if o.MaxConcurrent <= 0 {
 		o.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
@@ -89,13 +108,29 @@ func (o Options) withDefaults() Options {
 }
 
 // collection is an immutable snapshot of one named item collection. Solves
-// hold the snapshot, not the server lock, so a swap never blocks or races
-// in-flight requests — they finish against the version they started with.
+// pin the snapshot, not the server lock, so a swap or delta never blocks or
+// races in-flight requests — they finish against the version they started
+// with. refs counts the registry's reference plus one per pinned solve;
+// when it drops to zero the version is gone and the SnapshotsLive gauge
+// falls.
 type collection struct {
 	name        string
 	version     uint64
 	fingerprint string
 	db          *relation.Database
+	probs       *problemCache
+	refs        atomic.Int64
+}
+
+// relevant returns the content fingerprint of the part of this snapshot a
+// request with the given dependency set reads: the whole-database
+// fingerprint when the set is not exhaustive, the subset fingerprint of the
+// named relations otherwise.
+func (c *collection) relevant(deps []string, depsAll bool) string {
+	if depsAll {
+		return c.fingerprint
+	}
+	return c.db.FingerprintOf(deps...)
 }
 
 // CollectionInfo describes a collection to clients.
@@ -127,8 +162,13 @@ type Server struct {
 	stats  statsRec
 	eng    core.EngineCounters
 
-	mu    sync.RWMutex
-	colls map[string]*collection
+	// writeMu serializes collection writers (SetCollection,
+	// MutateCollection, RemoveCollection) so delta application and
+	// fingerprinting run outside mu — readers are only blocked for the
+	// pointer install.
+	writeMu sync.Mutex
+	mu      sync.RWMutex
+	colls   map[string]*collection
 }
 
 // NewServer builds a Server; see Options for the zero-value defaults.
@@ -144,40 +184,111 @@ func NewServer(opts Options) *Server {
 	return s
 }
 
+// newCollection wires a fresh snapshot with the registry's reference.
+func (s *Server) newCollection(name string, version uint64, fp string, db *relation.Database) *collection {
+	c := &collection{name: name, version: version, fingerprint: fp, db: db,
+		probs: newProblemCache(s.opts.ProblemCacheSize)}
+	c.refs.Store(1)
+	s.stats.snapshots(1)
+	return c
+}
+
+// pin takes a reference on a snapshot resolved under mu.
+func (c *collection) pin() { c.refs.Add(1) }
+
+// unpin drops a reference; the last one retires the snapshot.
+func (s *Server) unpin(c *collection) {
+	if c != nil && c.refs.Add(-1) == 0 {
+		s.stats.snapshots(-1)
+	}
+}
+
 // SetCollection registers db under name. Replacing a collection with
 // different contents bumps its version and purges its cached results;
 // reloading content-identical data (same Fingerprint) is idempotent — the
 // version and the cache entries survive, so routine reloads keep a warm
-// cache. The server stores a private clone, so the caller may keep mutating
-// its copy.
+// cache. The server stores a private copy-on-write clone, so the caller may
+// keep mutating its copy. For incremental changes prefer MutateCollection,
+// which keeps unaffected cache entries and prepared problems warm.
 func (s *Server) SetCollection(name string, db *relation.Database) CollectionInfo {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	clone := db.Clone()
 	fp := clone.Fingerprint()
 	s.mu.Lock()
+	old := s.colls[name]
+	if old != nil && old.fingerprint == fp {
+		s.mu.Unlock()
+		return old.info()
+	}
 	version := uint64(1)
-	if old, ok := s.colls[name]; ok {
-		if old.fingerprint == fp {
-			s.mu.Unlock()
-			return old.info()
-		}
+	if old != nil {
 		version = old.version + 1
 	}
-	c := &collection{name: name, version: version, fingerprint: fp, db: clone}
+	c := s.newCollection(name, version, fp, clone)
 	s.colls[name] = c
 	s.mu.Unlock()
+	s.unpin(old)
 	s.cache.purge(name)
 	return c.info()
+}
+
+// MutateCollection applies an incremental delta to a collection: the new
+// version shares every unmutated relation with the old one (copy-on-write),
+// its fingerprint is combined from incrementally maintained per-relation
+// hashes rather than rehashed, cached results whose relations were not
+// touched stay valid (their content-addressed keys do not move), and
+// prepared problems over unaffected relations carry over warm. In-flight
+// solves keep their pinned snapshot. A delta that changes nothing is
+// idempotent: same version, nothing purged.
+func (s *Server) MutateCollection(name string, delta relation.Delta) (DeltaInfo, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.RLock()
+	old := s.colls[name]
+	s.mu.RUnlock()
+	if old == nil {
+		return DeltaInfo{}, &NotFoundError{What: "collection", Name: name}
+	}
+	// Writers are serialized by writeMu, so old cannot be replaced from
+	// under us; apply the delta outside mu so readers keep resolving.
+	res, err := old.db.ApplyDelta(delta)
+	if err != nil {
+		return DeltaInfo{}, &RequestError{Err: err}
+	}
+	info := DeltaInfo{Mutated: res.Mutated, Upserted: res.Upserted, Deleted: res.Deleted}
+	if len(res.Mutated) == 0 {
+		info.CollectionInfo = old.info()
+		return info, nil
+	}
+	c := s.newCollection(name, old.version+1, res.DB.Fingerprint(), res.DB)
+	mutated := make(map[string]struct{}, len(res.Mutated))
+	for _, n := range res.Mutated {
+		mutated[n] = struct{}{}
+	}
+	c.probs.carryOver(old.probs, mutated, res.DB)
+	s.mu.Lock()
+	s.colls[name] = c
+	s.mu.Unlock()
+	s.unpin(old)
+	s.cache.purgeDeps(name, mutated)
+	s.stats.delta(res.Upserted + res.Deleted)
+	info.CollectionInfo = c.info()
+	return info, nil
 }
 
 // RemoveCollection drops a collection and purges its cached results; it
 // reports whether the collection existed.
 func (s *Server) RemoveCollection(name string) bool {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.mu.Lock()
-	_, ok := s.colls[name]
+	old := s.colls[name]
 	delete(s.colls, name)
 	s.mu.Unlock()
+	s.unpin(old)
 	s.cache.purge(name)
-	return ok
+	return old != nil
 }
 
 // Collections lists the registered collections sorted by name.
@@ -206,24 +317,36 @@ func (s *Server) Collection(name string) (CollectionInfo, bool) {
 // FlushCache drops every cached result.
 func (s *Server) FlushCache() { s.cache.flush() }
 
-// putIfCurrent stores a solve result only while its collection snapshot is
-// still the registered one. The check and the put share the server lock:
-// SetCollection replaces the collection under the write lock and purges
-// afterwards, so either this put sees the old snapshot gone (and skips), or
-// the swap's purge runs after the put and removes the entry — a stale
-// old-version key can never be left squatting an LRU slot.
-func (s *Server) putIfCurrent(c *collection, key string, res *Result) {
+// putIfCurrent stores a solve result only while it is valid for the
+// currently registered collection: either the snapshot it was computed on
+// is still installed, or the installed version's relevant-relation
+// fingerprint matches the one the key was built over (the solve straddled
+// a delta that did not touch its relations). The check and the put share
+// the server lock with the writers' install step, so a stale key can never
+// be left squatting an LRU slot: either this put sees the old snapshot gone
+// and its fingerprint moved (and skips), or the writer's purge runs after
+// the put and removes the entry.
+func (s *Server) putIfCurrent(c *collection, v validated, res *Result) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.colls[c.name] == c {
-		s.cache.put(key, c.name, res)
+	cur := s.colls[c.name]
+	if cur == nil {
+		return
 	}
+	if cur != c && cur.relevant(v.deps, v.keyAll) != v.relFP {
+		return
+	}
+	s.cache.put(v.key, c.name, v.deps, v.keyAll, res)
 }
 
-// snapshot resolves the collection a request targets.
+// snapshot resolves and pins the collection a request targets; the caller
+// must unpin it when the request completes.
 func (s *Server) snapshot(name string) (*collection, error) {
 	s.mu.RLock()
 	c, ok := s.colls[name]
+	if ok {
+		c.pin()
+	}
 	s.mu.RUnlock()
 	if !ok {
 		return nil, &NotFoundError{What: "collection", Name: name}
@@ -232,15 +355,27 @@ func (s *Server) snapshot(name string) (*collection, error) {
 }
 
 // validated is a request that passed the shared admission pipeline: op
-// normalized and tallied, RPP selection decoded, spec canonicalized, and
-// the result-cache key built over the collection snapshot. Solve and
-// SolveBatch both admit requests through validateRequest, so the two
-// paths cannot drift.
+// normalized and tallied, RPP selection decoded, spec canonicalized with
+// its relation dependencies, and the result-cache key built over the
+// content the request reads. Solve and SolveBatch both admit requests
+// through validateRequest, so the two paths cannot drift.
+//
+// Two dependency scopes coexist: deps/depsAll describe what the *problem*
+// (candidates, bound tables) reads — the carry-over test for prepared
+// problems — while keyAll widens the *result's* identity to the whole
+// database for operations whose answers depend on more than the problem
+// state: relax discretizes its gap levels over the full active domain
+// (relax.CandidateLevels), so a delta anywhere can change its answer even
+// when the spec's relations are untouched.
 type validated struct {
-	req   Request
-	sel   []core.Package // RPP candidate selection, decoded once
-	canon string         // canonical problem spec (problem-sharing key)
-	key   string         // result-cache key
+	req     Request
+	sel     []core.Package // RPP candidate selection, decoded once
+	canon   string         // canonical problem spec (problem-sharing key)
+	deps    []string       // extensional relations the spec reads
+	depsAll bool           // the spec may read the whole database (FO)
+	keyAll  bool           // the result depends on the whole database
+	relFP   string         // content fingerprint the result is keyed on
+	key     string         // result-cache key
 }
 
 // validateRequest runs the admission pipeline for one request against a
@@ -258,11 +393,15 @@ func (s *Server) validateRequest(coll *collection, req Request) (validated, erro
 			return validated{}, &RequestError{Err: err}
 		}
 	}
-	canon, err := req.Spec.Canonical()
+	canon, deps, exhaustive, err := req.Spec.CanonicalAndDeps()
 	if err != nil {
 		return validated{}, &RequestError{Err: err}
 	}
-	return validated{req: req, sel: sel, canon: canon, key: s.cacheKey(coll, req, sel, canon)}, nil
+	v := validated{req: req, sel: sel, canon: canon, deps: deps, depsAll: !exhaustive}
+	v.keyAll = v.depsAll || op == OpRelax
+	v.relFP = coll.relevant(v.deps, v.keyAll)
+	v.key = s.cacheKey(coll, req, sel, canon, v.relFP)
+	return v, nil
 }
 
 // Solve answers one request: cache lookup, then a coalesced, pool-bounded
@@ -271,31 +410,31 @@ func (s *Server) validateRequest(coll *collection, req Request) (validated, erro
 // describe how this particular call was served.
 func (s *Server) Solve(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
-	s.stats.inFlight.Add(1)
-	defer s.stats.inFlight.Add(-1)
-	s.stats.requests.Add(1) // counted before validation, so single-solve errors never outnumber Requests
+	s.stats.startRequest()
+	defer s.stats.endRequest()
 
 	coll, err := s.snapshot(req.Collection)
 	if err != nil {
-		s.stats.errors.Add(1)
+		s.stats.addError()
 		return nil, err
 	}
+	defer s.unpin(coll)
 	v, err := s.validateRequest(coll, req)
 	if err != nil {
-		s.stats.errors.Add(1)
+		s.stats.addError()
 		return nil, err
 	}
-	req, sel, key := v.req, v.sel, v.key
+	req, key := v.req, v.key
 
 	if !req.NoCache {
 		if res, ok := s.cache.get(key); ok {
-			s.stats.hits.Add(1)
+			s.stats.lookup(true)
 			s.stats.observe(time.Since(start))
 			return s.respond(res, coll, true, start), nil
 		}
 		// Only consulted lookups count toward the hit rate; NoCache
 		// traffic opted out and must not skew it.
-		s.stats.misses.Add(1)
+		s.stats.lookup(false)
 	}
 
 	fkey := flightKey(key, req.NoCache)
@@ -310,20 +449,20 @@ func (s *Server) Solve(ctx context.Context, req Request) (*Response, error) {
 			return nil, err
 		}
 		defer s.release()
-		r, err := s.runSolve(solveCtx, coll, req, sel)
+		r, err := s.runSolve(solveCtx, coll, v)
 		if err == nil && !req.NoCache {
-			s.putIfCurrent(coll, key, r)
+			s.putIfCurrent(coll, v, r)
 		}
 		return r, err
 	})
 	if shared {
-		s.stats.coalesced.Add(1)
+		s.stats.addCoalesced()
 	}
 	// Errored solves are observed too: deadline hits are exactly the slow
 	// tail the latency percentiles exist to expose.
 	s.stats.observe(time.Since(start))
 	if err != nil {
-		s.stats.errors.Add(1)
+		s.stats.addError()
 		return nil, err
 	}
 	return s.respond(res, coll, false, start), nil
@@ -396,14 +535,29 @@ func (s *Server) buildProblem(coll *collection, ps spec.ProblemSpec) (*core.Prob
 	return prob, nil
 }
 
-// runSolve executes the request on the engine: a fresh Problem from the
-// spec, then the operation dispatch.
-func (s *Server) runSolve(ctx context.Context, coll *collection, req Request, sel []core.Package) (*Result, error) {
-	prob, err := s.buildProblem(coll, req.Spec)
+// sharedProblem resolves the prepared problem a validated request solves
+// on: the collection's cache keyed by canonical spec, so equal specs —
+// within a batch, across batches, across single solves, and across deltas
+// that left their relations untouched — share one warmed Problem.
+func (s *Server) sharedProblem(coll *collection, v validated) *preparedProblem {
+	ps := v.req.Spec
+	return coll.probs.getOrCreate(v.canon, func() *preparedProblem {
+		return &preparedProblem{
+			deps:    v.deps,
+			depsAll: v.depsAll,
+			build:   func() (*core.Problem, error) { return s.buildProblem(coll, ps) },
+		}
+	})
+}
+
+// runSolve executes the request on the engine: the collection's shared
+// prepared Problem for the spec, then the operation dispatch.
+func (s *Server) runSolve(ctx context.Context, coll *collection, v validated) (*Result, error) {
+	prob, err := s.sharedProblem(coll, v).get()
 	if err != nil {
 		return nil, err
 	}
-	return s.solveOp(ctx, prob, req, sel)
+	return s.solveOp(ctx, prob, v.req, v.sel)
 }
 
 // solveOp executes the request's operation on a prebuilt problem. Every arm
@@ -411,8 +565,7 @@ func (s *Server) runSolve(ctx context.Context, coll *collection, req Request, se
 // and library answers cannot drift apart; the engine's serial/parallel
 // equivalence guarantees make the worker count invisible in results (only
 // the choice of RPP witness can vary, and any returned witness is genuine).
-// The batch pipeline calls it directly with a problem shared (read-only,
-// after Prepare) across sub-solves.
+// The problem is shared (read-only, after Prepare) across solves.
 func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, sel []core.Package) (*Result, error) {
 	workers := s.workers(req)
 	res := &Result{Op: req.Op}
@@ -533,16 +686,19 @@ func decodeSelection(sel [][][]any) ([]core.Package, error) {
 }
 
 // cacheKey builds the canonical fingerprint a request's result is cached
-// under: collection identity (name, version, content fingerprint) plus the
-// canonical problem spec (canon, the caller's req.Spec.Canonical()) plus
-// the operation and its parameters. Everything execution-related (workers,
-// timeout, NoCache) is deliberately excluded — it cannot change the
-// answer. Queries are canonicalized by parse + re-render
-// (internal/parser.Canonicalize via spec.Canonical), so
+// under: the collection name, the content fingerprint of the relations the
+// request reads (relFP — the whole-database fingerprint for FO specs), the
+// canonical problem spec (canon, the caller's spec canonicalization) plus
+// the operation and its parameters. The collection version is deliberately
+// absent: identity is content-addressed, so a delta that does not touch a
+// request's relations leaves its key — and its cached entry — valid.
+// Everything execution-related (workers, timeout, NoCache) is excluded
+// too — it cannot change the answer. Queries are canonicalized by parse +
+// re-render (internal/parser.Canonicalize via spec.Canonical), so
 // formatting-different but equal requests share an entry.
-func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package, canon string) string {
+func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package, canon, relFP string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s@%d:%s|%s|%s", spec.CanonString(coll.name), coll.version, coll.fingerprint, req.Op, canon)
+	fmt.Fprintf(&b, "%s:%s|%s|%s", spec.CanonString(coll.name), relFP, req.Op, canon)
 	switch req.Op {
 	case OpDecide:
 		keys := make([]string, len(sel))
@@ -567,7 +723,10 @@ func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package, can
 	return hex.EncodeToString(sum[:])
 }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a consistent snapshot of the service counters: everything
+// statsRec guards is captured under one lock (see Stats), with the
+// collection count, cache size and lock-free engine counters read around
+// it.
 func (s *Server) Stats() Stats {
 	s.mu.RLock()
 	colls := len(s.colls)
@@ -579,5 +738,6 @@ func (s *Server) Stats() Stats {
 	st.EnginePackages = s.eng.Yielded.Load()
 	st.EnginePruned = s.eng.Pruned.Load()
 	st.EngineBoundEvals = s.eng.BoundEvals.Load()
+	st.EnginePrepares = s.eng.Prepares.Load()
 	return st
 }

@@ -3,11 +3,16 @@ package serve
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
 // Stats is a snapshot of the service counters, served at GET /v1/stats.
+// Every field except the Engine* group is captured atomically under one
+// lock, so the numbers of one snapshot are mutually consistent — a scrape
+// can never observe, say, more consulted cache lookups than admitted
+// requests because the counters were read at different instants. The
+// Engine* counters are written lock-free by running engine workers and are
+// only individually consistent.
 type Stats struct {
 	Collections  int     `json:"collections"`
 	CacheEntries int     `json:"cacheEntries"`
@@ -28,16 +33,29 @@ type Stats struct {
 	Batches      uint64 `json:"batches"`
 	BatchItems   uint64 `json:"batchItems"`
 	BatchDeduped uint64 `json:"batchDeduped"`
+	// Deltas / DeltaItems / SnapshotsLive describe live collection
+	// mutation: delta installs that actually changed content, tuples
+	// upserted+deleted across them, and how many collection snapshots are
+	// currently reachable — the registered versions plus superseded ones
+	// still pinned by in-flight solves. A SnapshotsLive persistently above
+	// Collections means long solves are straddling mutations.
+	Deltas        uint64 `json:"deltas"`
+	DeltaItems    uint64 `json:"deltaItems"`
+	SnapshotsLive int64  `json:"snapshotsLive"`
 	// EngineNodes / EnginePackages / EnginePruned / EngineBoundEvals are
 	// the engine's cost accounting (core.EngineCounters): DFS nodes
 	// visited, valid packages yielded, subtrees cut by the branch-and-bound
 	// layer, and bound evaluations across all solves since start. A high
 	// EnginePruned relative to EngineNodes means the bound layer is doing
-	// the serving fleet's work for it.
+	// the serving fleet's work for it. EnginePrepares counts candidate
+	// evaluations (problem warm-ups): after a delta it should grow only
+	// for specs whose relations mutated, the observable face of the
+	// prepared-problem carry-over.
 	EngineNodes      int64             `json:"engineNodes"`
 	EnginePackages   int64             `json:"enginePackages"`
 	EnginePruned     int64             `json:"enginePruned"`
 	EngineBoundEvals int64             `json:"engineBoundEvals"`
+	EnginePrepares   int64             `json:"enginePrepares"`
 	Latency          LatencySummary    `json:"latencyMs"`
 	PerOp            map[string]uint64 `json:"perOp,omitempty"`
 }
@@ -54,20 +72,26 @@ type LatencySummary struct {
 	Max   float64 `json:"max"`
 }
 
-// statsRec is the live, concurrently updated side of Stats: lock-free
-// counters plus a mutex-guarded latency ring.
+// statsRec is the live side of Stats. All counters sit behind one mutex:
+// updates are a few nanoseconds each and the solve path already took this
+// lock for the per-op tally and the latency ring, while the payoff is that
+// snapshot() returns one consistent cut of every counter (the /v1/stats
+// tearing fix). Methods must stay tiny and never call out while holding mu.
 type statsRec struct {
-	requests     atomic.Uint64
-	hits         atomic.Uint64
-	misses       atomic.Uint64
-	coalesced    atomic.Uint64
-	errors       atomic.Uint64
-	inFlight     atomic.Int64
-	batches      atomic.Uint64
-	batchItems   atomic.Uint64
-	batchDeduped atomic.Uint64
+	mu           sync.Mutex
+	requests     uint64
+	hits         uint64
+	misses       uint64
+	coalesced    uint64
+	errors       uint64
+	inFlight     int64
+	batches      uint64
+	batchItems   uint64
+	batchDeduped uint64
+	deltas       uint64
+	deltaItems   uint64
+	snapsLive    int64
 
-	mu    sync.Mutex
 	perOp map[string]uint64
 	ring  []float64 // latency samples in ms
 	next  int
@@ -78,6 +102,94 @@ type statsRec struct {
 func (s *statsRec) init(window int) {
 	s.perOp = make(map[string]uint64)
 	s.ring = make([]float64, window)
+}
+
+// startRequest admits one single-solve request: counted before validation,
+// so solve errors never outnumber Requests.
+func (s *statsRec) startRequest() {
+	s.mu.Lock()
+	s.requests++
+	s.inFlight++
+	s.mu.Unlock()
+}
+
+// startBatch admits one batch call; items are tallied separately once the
+// batch shape is known.
+func (s *statsRec) startBatch() {
+	s.mu.Lock()
+	s.batches++
+	s.mu.Unlock()
+}
+
+func (s *statsRec) addBatchItems(n int) {
+	s.mu.Lock()
+	s.batchItems += uint64(n)
+	s.mu.Unlock()
+}
+
+func (s *statsRec) endRequest() {
+	s.mu.Lock()
+	s.inFlight--
+	s.mu.Unlock()
+}
+
+func (s *statsRec) itemStart() {
+	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+}
+
+func (s *statsRec) itemEnd() {
+	s.mu.Lock()
+	s.inFlight--
+	s.mu.Unlock()
+}
+
+// lookup tallies a consulted cache lookup. NoCache traffic never calls it:
+// it opted out and must not skew the hit rate.
+func (s *statsRec) lookup(hit bool) {
+	s.mu.Lock()
+	if hit {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+}
+
+func (s *statsRec) addCoalesced() {
+	s.mu.Lock()
+	s.coalesced++
+	s.mu.Unlock()
+}
+
+func (s *statsRec) addError() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+func (s *statsRec) addDeduped() {
+	s.mu.Lock()
+	s.batchDeduped++
+	s.mu.Unlock()
+}
+
+// delta records one content-changing delta install and its tuple count.
+func (s *statsRec) delta(items int) {
+	s.mu.Lock()
+	s.deltas++
+	s.deltaItems += uint64(items)
+	s.mu.Unlock()
+}
+
+// snapshots moves the live-snapshot gauge: +1 when a collection version is
+// installed, -1 when the last reference (registry or in-flight solve) to a
+// version drops.
+func (s *statsRec) snapshots(d int64) {
+	s.mu.Lock()
+	s.snapsLive += d
+	s.mu.Unlock()
 }
 
 // op tallies a validated operation into the per-op breakdown (the raw
@@ -100,23 +212,26 @@ func (s *statsRec) observe(d time.Duration) {
 	s.mu.Unlock()
 }
 
+// snapshot captures every counter under one lock acquisition, so the
+// returned Stats is a single consistent point in the counter history.
 func (s *statsRec) snapshot() Stats {
-	st := Stats{
-		Requests:    s.requests.Load(),
-		CacheHits:   s.hits.Load(),
-		CacheMisses: s.misses.Load(),
-		Coalesced:   s.coalesced.Load(),
-		Errors:      s.errors.Load(),
-		InFlight:    s.inFlight.Load(),
-
-		Batches:      s.batches.Load(),
-		BatchItems:   s.batchItems.Load(),
-		BatchDeduped: s.batchDeduped.Load(),
-	}
-	if looked := st.CacheHits + st.CacheMisses; looked > 0 {
-		st.HitRate = float64(st.CacheHits) / float64(looked)
-	}
 	s.mu.Lock()
+	st := Stats{
+		Requests:    s.requests,
+		CacheHits:   s.hits,
+		CacheMisses: s.misses,
+		Coalesced:   s.coalesced,
+		Errors:      s.errors,
+		InFlight:    s.inFlight,
+
+		Batches:      s.batches,
+		BatchItems:   s.batchItems,
+		BatchDeduped: s.batchDeduped,
+
+		Deltas:        s.deltas,
+		DeltaItems:    s.deltaItems,
+		SnapshotsLive: s.snapsLive,
+	}
 	st.PerOp = make(map[string]uint64, len(s.perOp))
 	for k, v := range s.perOp {
 		st.PerOp[k] = v
@@ -128,6 +243,9 @@ func (s *statsRec) snapshot() Stats {
 	samples := append([]float64(nil), s.ring[:n]...)
 	s.mu.Unlock()
 
+	if looked := st.CacheHits + st.CacheMisses; looked > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(looked)
+	}
 	if len(samples) > 0 {
 		sort.Float64s(samples)
 		st.Latency = LatencySummary{

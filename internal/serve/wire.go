@@ -97,6 +97,17 @@ type Response struct {
 	ElapsedMS  float64 `json:"elapsedMs"`
 }
 
+// DeltaInfo describes the outcome of a collection delta
+// (POST /v1/collections/{name}/delta): the resulting collection state plus
+// what the delta changed. An empty Mutated means the delta was a no-op —
+// the version did not move and every cached result stayed valid.
+type DeltaInfo struct {
+	CollectionInfo
+	Mutated  []string `json:"mutatedRelations,omitempty"`
+	Upserted int      `json:"upserted"`
+	Deleted  int      `json:"deleted"`
+}
+
 // RequestError marks a client-side fault (malformed spec, unknown op,
 // unparsable query); the HTTP layer maps it to 400.
 type RequestError struct{ Err error }

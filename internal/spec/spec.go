@@ -18,6 +18,7 @@ import (
 	"repro/internal/adjust"
 	"repro/internal/core"
 	"repro/internal/parser"
+	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/relax"
 )
@@ -149,22 +150,56 @@ func (s ProblemSpec) Build(db *relation.Database) (*core.Problem, error) {
 // serving layer share cached results between syntactically different
 // requests.
 func (s ProblemSpec) Canonical() (string, error) {
-	q, err := parser.Canonicalize(s.Query)
+	canon, _, _, err := s.CanonicalAndDeps()
+	return canon, err
+}
+
+// CanonicalAndDeps returns the canonical fingerprint text together with the
+// spec's data dependencies: the sorted extensional relation names its
+// queries read (see query.Relations). When exhaustive is false the answer
+// may depend on relations beyond the listed ones (FO active-domain
+// semantics) and dependency-tracking callers must assume the whole
+// database. The compatibility query's reference to the selection query's
+// output name is excluded — Qc evaluates against the candidate package
+// under that name, never against a stored relation. Both queries are
+// parsed once, so callers that need the canonical text and the
+// dependencies pay one parse.
+func (s ProblemSpec) CanonicalAndDeps() (canon string, deps []string, exhaustive bool, err error) {
+	q, err := parser.Parse(s.Query)
 	if err != nil {
-		return "", fmt.Errorf("spec: selection query: %w", err)
+		return "", nil, false, fmt.Errorf("spec: selection query: %w", err)
 	}
-	qc := ""
+	qRels, qEx := query.Relations(q)
+	qcText := ""
+	qcEx := true
+	set := make(map[string]struct{}, len(qRels))
+	for _, n := range qRels {
+		set[n] = struct{}{}
+	}
 	if s.Qc != "" {
-		qc, err = parser.Canonicalize(s.Qc)
+		qc, err := parser.Parse(s.Qc)
 		if err != nil {
-			return "", fmt.Errorf("spec: compatibility query: %w", err)
+			return "", nil, false, fmt.Errorf("spec: compatibility query: %w", err)
+		}
+		qcText = qc.String()
+		var qcRels []string
+		qcRels, qcEx = query.Relations(qc)
+		for _, n := range qcRels {
+			if n != q.OutName() {
+				set[n] = struct{}{}
+			}
 		}
 	}
+	deps = make([]string, 0, len(set))
+	for n := range set {
+		deps = append(deps, n)
+	}
+	sort.Strings(deps)
 	var b strings.Builder
 	fmt.Fprintf(&b, "q=%s|qc=%s|cost=%s|val=%s|budget=%s|k=%d|maxPkgSize=%d|bound=%s",
-		q, qc, s.Cost.Canonical(), s.Val.Canonical(),
+		q.String(), qcText, s.Cost.Canonical(), s.Val.Canonical(),
 		canonFloat(s.Budget), s.K, s.MaxPkgSize, canonFloat(s.Bound))
-	return b.String(), nil
+	return b.String(), deps, qEx && qcEx, nil
 }
 
 // MetricSpec is the JSON wire form of a distance function.

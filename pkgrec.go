@@ -46,11 +46,14 @@
 // # The serving layer
 //
 // NewServeServer / NewServeClient expose the daemon-grade serving layer
-// (internal/serve, cmd/pkgrecd): named versioned collections, an LRU result
-// cache keyed by canonical problem fingerprints, request coalescing, a
-// bounded parallel solve pool with per-request deadlines, and batched
-// evaluation (ServeBatchRequest: N sub-requests over one collection
-// snapshot, deduplicated and solved with shared per-spec state). See
+// (internal/serve, cmd/pkgrecd): named versioned collections held as
+// copy-on-write snapshots, an LRU result cache keyed by content-addressed
+// canonical fingerprints, request coalescing, a bounded parallel solve
+// pool with per-request deadlines, batched evaluation (ServeBatchRequest:
+// N sub-requests over one collection snapshot, deduplicated and solved
+// with shared per-spec state), and incremental collection mutation
+// (CollectionDelta: tuple upserts/deletes that keep cached results and
+// warmed solve state over unaffected relations valid). See
 // docs/serving.md, docs/operations.md and ExampleNewServeClient.
 package pkgrec
 
@@ -266,6 +269,16 @@ type (
 	// ServeStats is the service's runtime counters (hit rate, in-flight,
 	// latency percentiles).
 	ServeStats = serve.Stats
+	// CollectionDelta is an incremental collection mutation (tuple
+	// upserts + deletes), applied in place of a full reload with
+	// ServeServer.MutateCollection or ServeClient.ApplyDelta. (Distinct
+	// from Delta, ARPP's adjustment set.)
+	CollectionDelta = relation.Delta
+	// CollectionRelationDelta addresses one relation's tuples within a
+	// CollectionDelta.
+	CollectionRelationDelta = relation.RelationDelta
+	// ServeDeltaInfo reports what a collection delta changed.
+	ServeDeltaInfo = serve.DeltaInfo
 )
 
 // NewServeServer builds a recommendation service; zero Options mean

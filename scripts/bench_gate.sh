@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# bench_gate.sh — the CI benchmark-regression gate.
+#
+# Compares the engine's visited-node counts in a fresh `recbench -quick
+# -json` run against the committed baseline, per (family, param) sample,
+# and fails when any family's node count regresses by more than 5%. Node
+# and pruned counts are deterministic for the serial families — they count
+# algorithmic work, not wall time — so the gate is machine-independent;
+# `PAR-*-parallel` rows are excluded because the parallel engine's
+# cooperative floor-tightening makes their counts timing-dependent.
+#
+#   go run ./cmd/recbench -quick -json > BENCH_quick.json
+#   scripts/bench_gate.sh BENCH_baseline.json BENCH_quick.json
+#
+# To refresh the baseline after an intentional engine change (and only
+# then), regenerate it and commit the result:
+#
+#   go run ./cmd/recbench -quick -json > BENCH_baseline.json
+#
+# See BENCHMARKS.md ("Benchmark-regression gate") for the policy.
+set -euo pipefail
+
+baseline=${1:-BENCH_baseline.json}
+current=${2:-BENCH_quick.json}
+
+jq -n --slurpfile base "$baseline" --slurpfile cur "$current" '
+  def rows(doc):
+    doc[0][] | .rows[]
+    | select((.id | endswith("-parallel")) | not)
+    | . as $r
+    | (.samples // [])[]
+    | select((.nodes // 0) > 0)
+    | {key: ($r.id + "@n=" + (.param | tostring)), nodes: .nodes, pruned: (.pruned // 0)};
+
+  [rows($base)] as $b
+  | [rows($cur)] as $c
+  | ($c | map({(.key): .}) | add // {}) as $cmap
+  | [ $b[]
+      | . as $row
+      | $cmap[$row.key] as $now
+      | if $now == null then
+          {key: $row.key, fail: "sample missing from current run"}
+        elif $now.nodes > ($row.nodes * 1.05) then
+          {key: $row.key,
+           fail: ("visited nodes regressed >5%: " + ($row.nodes | tostring)
+                  + " -> " + ($now.nodes | tostring)
+                  + " (pruned " + ($row.pruned | tostring)
+                  + " -> " + ($now.pruned | tostring) + ")")}
+        else
+          empty
+        end ]
+  | if ($b | length) == 0 then
+      "bench gate: no instrumented samples in baseline" | halt_error(1)
+    elif length > 0 then
+      ("bench gate: FAIL\n" + (map("  " + .key + ": " + .fail) | join("\n")) + "\n")
+        | halt_error(1)
+    else
+      "bench gate: OK (" + ($b | length | tostring) + " deterministic samples within 5% of baseline)"
+    end
+'
