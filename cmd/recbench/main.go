@@ -4,10 +4,13 @@
 //
 //	recbench            # full run
 //	recbench -quick     # smaller parameters
-//	recbench -table 82  # one table only (81 | 82 | abl | par | bb | all)
+//	recbench -table 82  # one table only (81 | 82 | abl | par | bb | relax | all)
 //	recbench -table par -workers 8
 //	                    # serial vs parallel engine on the same families
 //	recbench -table bb  # branch-and-bound vs exhaustive engine
+//	recbench -table relax
+//	                    # QRPP per-assignment re-solve loop vs the
+//	                    # incremental solve-session engine (nodes + resumes)
 //	recbench -quick -json > BENCH_quick.json
 //	                    # machine-readable results (family, ns/op, nodes
 //	                    # visited/pruned); CI archives this artifact
@@ -74,10 +77,13 @@ func main() {
 		"bb": func() {
 			run("Engine comparison — branch-and-bound vs exhaustive", experiments.BoundRows(*quick))
 		},
+		"relax": func() {
+			run("Engine comparison — QRPP re-solve loop vs incremental session", experiments.RelaxRows(*quick))
+		},
 	}
 	switch *table {
 	case "all":
-		for _, id := range []string{"81", "82", "abl", "par", "bb"} {
+		for _, id := range []string{"81", "82", "abl", "par", "bb", "relax"} {
 			tables[id]()
 		}
 	default:

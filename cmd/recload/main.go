@@ -12,6 +12,7 @@
 //	recload -churn 32                # one delta install per 32 items
 //	recload -churn 32 -churnrel poi  # churn the relation the queries read
 //	recload -churn 32 -churnswap     # same mutations as full collection swaps
+//	recload -relax 0.5               # half the pool is relax/relaxplan traffic
 //	recload -json > BENCH_load.json  # machine-readable report (CI archives it)
 //
 // recload always generates its own collection (experiments.WorkloadDB) and
@@ -43,6 +44,17 @@
 // each time. The report carries install counts and latencies next to the
 // serve-side deltas/deltaItems/hitRate counters, so one run quantifies
 // delta installs against full swaps.
+//
+// The -relax flag reshapes the traffic profile toward relaxation: that
+// fraction of the distinct pool is drawn from the relaxation ops (op
+// "relax" and the ranked op "relaxplan", experiments.WorkloadRelaxOps)
+// and the rest from the remaining mix. The report then carries a separate
+// client-observed relaxation hit rate (relaxItems/relaxHits in JSON) —
+// the fraction of relaxation answers served from the daemon's cache,
+// which under churn measures directly whether relax entries survive
+// deltas to relations their gap levels never read. With -relax 0 (the
+// default) the pool is the unweighted mix and reports stay comparable
+// with earlier versions.
 package main
 
 import (
@@ -81,6 +93,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload and repetition seed")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-call (whole-batch) deadline")
 		noCache    = flag.Bool("nocache", false, "bypass the daemon's result cache (cold-path measurement; batch dedup still applies)")
+		relaxFrac  = flag.Float64("relax", 0, "fraction of the distinct pool drawn from relaxation ops (relax + relaxplan) in [0, 1]; 0 = unweighted mix")
 		churn      = flag.Int("churn", 0, "interleave one collection mutation per this many items (0 = no churn)")
 		churnRel   = flag.String("churnrel", "flight", "relation the churn mutates (flight = unread by the queries, poi = read by all)")
 		churnSwap  = flag.Bool("churnswap", false, "install churn as full collection PUT swaps instead of deltas")
@@ -93,6 +106,9 @@ func main() {
 	if *churn < 0 {
 		log.Fatal("want -churn >= 0")
 	}
+	if *relaxFrac < 0 || *relaxFrac > 1 {
+		log.Fatal("want 0 <= -relax <= 1")
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	db := experiments.WorkloadDB(*nPOI)
@@ -104,7 +120,7 @@ func main() {
 	if poolSize <= 0 {
 		poolSize = min(*n, experiments.WorkloadVariants*len(ops))
 	}
-	pool, err := experiments.SampleWorkload(rng, poolSize, db, ops)
+	pool, err := samplePool(rng, poolSize, db, ops, *relaxFrac)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -163,7 +179,8 @@ func main() {
 		Addr: base, Collection: *collection, N: *n, Batch: *batch,
 		Concurrency: *conc, HitRatio: *hit, Distinct: poolSize,
 		NPOI: *nPOI, Ops: ops, Seed: *seed, NoCache: *noCache,
-		Churn: *churn, ChurnRel: *churnRel, ChurnSwap: *churnSwap,
+		RelaxFrac: *relaxFrac,
+		Churn:     *churn, ChurnRel: *churnRel, ChurnSwap: *churnSwap,
 	}
 	rep.Summary.OfferedRepeatRatio = offeredRepeats
 	if ch != nil {
@@ -206,6 +223,67 @@ func spawn() (base string, stop func(), err error) {
 	return "http://" + ln.Addr().String(), func() { _ = hs.Close() }, nil
 }
 
+// samplePool draws the distinct request pool. With relaxFrac zero it is
+// exactly one SampleWorkload call over ops — the historical pool, item for
+// item. Otherwise that fraction of the pool comes from the relaxation ops
+// and the rest from the remaining mix, shuffled together so the replay
+// stream interleaves the two profiles.
+func samplePool(rng *rand.Rand, poolSize int, db *relation.Database,
+	ops []string, relaxFrac float64) ([]experiments.WorkloadItem, error) {
+
+	if relaxFrac == 0 {
+		return experiments.SampleWorkload(rng, poolSize, db, ops)
+	}
+	baseOps := make([]string, 0, len(ops))
+	for _, op := range ops {
+		if !isRelaxOp(op) {
+			baseOps = append(baseOps, op)
+		}
+	}
+	nRelax := int(float64(poolSize)*relaxFrac + 0.5)
+	if nRelax < 1 {
+		nRelax = 1
+	}
+	// Each sub-pool is capped by its own variant space so fresh draws stay
+	// distinct (the same cap the auto pool size applies to the whole mix).
+	if limit := experiments.WorkloadVariants * len(experiments.WorkloadRelaxOps); nRelax > limit {
+		nRelax = limit
+	}
+	if nRelax > poolSize || len(baseOps) == 0 {
+		nRelax = poolSize
+	}
+	nBase := poolSize - nRelax
+	if limit := experiments.WorkloadVariants * len(baseOps); nBase > limit {
+		nBase = limit
+	}
+	pool := make([]experiments.WorkloadItem, 0, nBase+nRelax)
+	if nBase > 0 {
+		base, err := experiments.SampleWorkload(rng, nBase, db, baseOps)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, base...)
+	}
+	relaxed, err := experiments.SampleWorkload(rng, nRelax, db, experiments.WorkloadRelaxOps)
+	if err != nil {
+		return nil, err
+	}
+	pool = append(pool, relaxed...)
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool, nil
+}
+
+// isRelaxOp says whether an op belongs to the relaxation profile — the
+// items the separate relax hit rate counts.
+func isRelaxOp(op string) bool {
+	for _, r := range experiments.WorkloadRelaxOps {
+		if op == r {
+			return true
+		}
+	}
+	return false
+}
+
 // config echoes the run parameters into the report.
 type config struct {
 	Addr        string   `json:"addr"`
@@ -219,6 +297,7 @@ type config struct {
 	Ops         []string `json:"ops,omitempty"`
 	Seed        int64    `json:"seed"`
 	NoCache     bool     `json:"noCache,omitempty"`
+	RelaxFrac   float64  `json:"relax,omitempty"`
 	Churn       int      `json:"churn,omitempty"`
 	ChurnRel    string   `json:"churnRel,omitempty"`
 	ChurnSwap   bool     `json:"churnSwap,omitempty"`
@@ -323,7 +402,11 @@ type latency struct {
 // summary is the run's aggregate outcome. OfferedRepeatRatio is the
 // realised fraction of stream items that repeated an earlier one — it
 // meets -hit when the pool is large enough and exceeds it when fresh
-// draws had to cycle a capped pool.
+// draws had to cycle a capped pool. RelaxItems/RelaxHits split out the
+// relaxation traffic (op relax + relaxplan): how many such items were
+// answered and how many of those answers the wire reported as
+// cache-served, with RelaxHitRate their ratio — the client-observed
+// measure of whether relax cache entries survive across the run.
 type summary struct {
 	HTTPRequests       int           `json:"httpRequests"`
 	Items              int           `json:"items"`
@@ -332,6 +415,9 @@ type summary struct {
 	ItemsPerSec        float64       `json:"itemsPerSec"`
 	ReqPerSec          float64       `json:"reqPerSec"`
 	OfferedRepeatRatio float64       `json:"offeredRepeatRatio"`
+	RelaxItems         int           `json:"relaxItems,omitempty"`
+	RelaxHits          int           `json:"relaxHits,omitempty"`
+	RelaxHitRate       float64       `json:"relaxHitRate,omitempty"`
 	LatencyMS          latency       `json:"latencyMs"`
 	Churn              *churnSummary `json:"churn,omitempty"`
 }
@@ -376,13 +462,14 @@ func run(ctx context.Context, client *serve.Client, collection string,
 
 	item := func(i int) serve.BatchItem {
 		w := pool[i]
-		return serve.BatchItem{Op: w.Op, Spec: w.Spec, Selection: w.Selection, Relax: w.Relax}
+		return serve.BatchItem{Op: w.Op, Spec: w.Spec, Selection: w.Selection,
+			Relax: w.Relax, MaxSuggestions: w.MaxSuggestions}
 	}
 
 	jobs := make(chan call)
 	durs := make([]time.Duration, 0, len(calls))
 	var mu sync.Mutex
-	var items, errs int
+	var items, errs, relaxItems, relaxHits int
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < conc; w++ {
@@ -395,15 +482,26 @@ func run(ctx context.Context, client *serve.Client, collection string,
 					continue
 				}
 				callStart := time.Now()
-				var okItems, badItems int
+				// rxItems/rxHits tally the relaxation items among the
+				// answered ones: offered count and how many the wire
+				// reported as cache-served (deduped items inherit their
+				// lead's cached flag, so they count the way the lead was
+				// answered).
+				var okItems, badItems, rxItems, rxHits int
 				if batchSize == 1 {
 					req := item(c.idxs[0]).Request(collection)
 					req.TimeoutMS = timeout.Milliseconds()
 					req.NoCache = noCache
-					if _, err := client.Solve(ctx, req); err != nil {
+					if resp, err := client.Solve(ctx, req); err != nil {
 						badItems = 1
 					} else {
 						okItems = 1
+						if isRelaxOp(req.Op) {
+							rxItems = 1
+							if resp.Cached {
+								rxHits = 1
+							}
+						}
 					}
 				} else {
 					breq := serve.BatchRequest{Collection: collection, TimeoutMS: timeout.Milliseconds(), NoCache: noCache}
@@ -414,11 +512,17 @@ func run(ctx context.Context, client *serve.Client, collection string,
 					if err != nil {
 						badItems = len(c.idxs)
 					} else {
-						for _, ir := range resp.Items {
+						for j, ir := range resp.Items {
 							if ir.Error != "" {
 								badItems++
-							} else {
-								okItems++
+								continue
+							}
+							okItems++
+							if isRelaxOp(pool[c.idxs[j]].Op) {
+								rxItems++
+								if ir.Cached {
+									rxHits++
+								}
 							}
 						}
 					}
@@ -428,6 +532,8 @@ func run(ctx context.Context, client *serve.Client, collection string,
 				durs = append(durs, d)
 				items += okItems
 				errs += badItems
+				relaxItems += rxItems
+				relaxHits += rxHits
 				mu.Unlock()
 			}
 		}()
@@ -449,7 +555,12 @@ func run(ctx context.Context, client *serve.Client, collection string,
 			ItemsPerSec:  float64(items) / wall,
 			ReqPerSec:    float64(len(durs)) / wall,
 			LatencyMS:    summarize(durs),
+			RelaxItems:   relaxItems,
+			RelaxHits:    relaxHits,
 		},
+	}
+	if relaxItems > 0 {
+		rep.Summary.RelaxHitRate = float64(relaxHits) / float64(relaxItems)
 	}
 	return rep, nil
 }
@@ -473,6 +584,10 @@ func render(rep *report) {
 		rep.Config.Concurrency, s.OfferedRepeatRatio, s.ItemsPerSec, s.ReqPerSec, s.Errors)
 	fmt.Printf("latency per HTTP call (ms): p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 		s.LatencyMS.P50, s.LatencyMS.P95, s.LatencyMS.P99, s.LatencyMS.Max)
+	if s.RelaxItems > 0 {
+		fmt.Printf("relax traffic: %d items, %d cache-served (relaxHitRate=%.2f)\n",
+			s.RelaxItems, s.RelaxHits, s.RelaxHitRate)
+	}
 	if c := s.Churn; c != nil {
 		fmt.Printf("churn: %d %s installs on %s (%d errors), install ms: p50=%.2f p95=%.2f max=%.2f\n",
 			c.Installs, c.Mode, c.Relation, c.Errors,
@@ -483,8 +598,8 @@ func render(rep *report) {
 			st.HitRate, st.Coalesced, st.Batches, st.BatchItems, st.BatchDeduped, st.Errors)
 		fmt.Printf("server: deltas=%d deltaItems=%d snapshotsLive=%d prepares=%d\n",
 			st.Deltas, st.DeltaItems, st.SnapshotsLive, st.EnginePrepares)
-		fmt.Printf("engine: nodes=%d packages=%d pruned=%d boundEvals=%d; server p50=%.2fms p99=%.2fms\n",
+		fmt.Printf("engine: nodes=%d packages=%d pruned=%d boundEvals=%d sessionResumes=%d; server p50=%.2fms p99=%.2fms\n",
 			st.EngineNodes, st.EnginePackages, st.EnginePruned, st.EngineBoundEvals,
-			st.Latency.P50, st.Latency.P99)
+			st.EngineSessionResumes, st.Latency.P50, st.Latency.P99)
 	}
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// samplePool with -relax 0 must be the historical pool, item for item:
+// the weighting flag cannot perturb default runs (CI replays them and
+// compares reports across versions).
+func TestSamplePoolDefaultIsUnweighted(t *testing.T) {
+	db := experiments.WorkloadDB(24)
+	got, err := samplePool(rand.New(rand.NewSource(7)), 24, db, experiments.WorkloadOps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.SampleWorkload(rand.New(rand.NewSource(7)), 24, db, experiments.WorkloadOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pool sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Op != want[i].Op {
+			t.Fatalf("item %d differs: %s vs %s", i, got[i].Op, want[i].Op)
+		}
+	}
+}
+
+// A weighted pool must hold the requested relaxation fraction, drawn from
+// the relaxation ops, with the remainder from the rest of the mix.
+func TestSamplePoolRelaxFraction(t *testing.T) {
+	db := experiments.WorkloadDB(24)
+	pool, err := samplePool(rand.New(rand.NewSource(8)), 40, db, experiments.WorkloadOps, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 40 {
+		t.Fatalf("pool size %d, want 40", len(pool))
+	}
+	relaxed := 0
+	for _, it := range pool {
+		if isRelaxOp(it.Op) {
+			relaxed++
+		}
+	}
+	if relaxed != 20 {
+		t.Fatalf("%d relaxation items, want 20", relaxed)
+	}
+
+	// An ops filter of only relaxation ops degenerates cleanly: the whole
+	// pool is relaxation traffic regardless of the fraction.
+	pool, err = samplePool(rand.New(rand.NewSource(9)), 10, db, experiments.WorkloadRelaxOps, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range pool {
+		if !isRelaxOp(it.Op) {
+			t.Fatalf("item %d: op %s in a relax-only pool", i, it.Op)
+		}
+	}
+}
+
+func TestIsRelaxOp(t *testing.T) {
+	for _, op := range experiments.WorkloadRelaxOps {
+		if !isRelaxOp(op) {
+			t.Errorf("isRelaxOp(%q) = false", op)
+		}
+	}
+	for _, op := range []string{"topk", "count", "exists", "maxbound", "decide", ""} {
+		if isRelaxOp(op) {
+			t.Errorf("isRelaxOp(%q) = true", op)
+		}
+	}
+}
+
+// summarize/pct back every latency line in the report: nearest-rank
+// percentiles over the sorted samples, empty input summarizing to zero.
+func TestSummarizePercentiles(t *testing.T) {
+	if got := summarize(nil); got.Count != 0 || got.Max != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+	durs := make([]time.Duration, 100)
+	for i := range durs {
+		durs[i] = time.Duration(i+1) * time.Millisecond
+	}
+	got := summarize(durs)
+	if got.Count != 100 || got.P50 != 50 || got.P95 != 95 || got.P99 != 99 || got.Max != 100 {
+		t.Fatalf("summarize(1..100ms) = %+v", got)
+	}
+}

@@ -10,7 +10,11 @@
 // item selections with a fixed query (Corollary 8.2, DecideItems); Decide
 // realises the upper bounds deterministically by enumerating adjustment
 // sets in ascending size over the edit universe and testing each through
-// the core ∃k-valid feasibility search. DecideCtx is the serving-layer
+// the core ∃k-valid feasibility search. Successive tests share one
+// core.SolveSession: edits that leave the selected candidate set unchanged
+// — most of them, since the selection query admits few tuples — resume
+// from a memoised verdict instead of a fresh engine walk (see probeSalt
+// for when a memo entry may be shared). DecideCtx is the serving-layer
 // variant (parallel feasibility core plus deadline) with identical
 // answers. The public facade exposes the package as pkgrec.AdjustItems;
 // docs/complexity.md maps the paper's ARPP results onto it, and
@@ -143,11 +147,13 @@ func (inst Instance) extraSchemas() map[string]*relation.Schema {
 // returned witness is minimum; size 0 succeeds when D already satisfies the
 // users' requests.
 func Decide(inst Instance) (*Delta, bool, error) {
-	return decide(context.Background(), inst, func(db *relation.Database) (bool, error) {
+	sess := core.NewSolveSession(inst.Problem.K, inst.Bound)
+	return decide(context.Background(), inst, func(db *relation.Database, d Delta) (bool, error) {
 		prob := *inst.Problem
 		prob.DB = db
 		prob.InvalidateCache()
-		return prob.ExistsKValid(inst.Problem.K, inst.Bound)
+		ok, _, err := sess.Probe(&prob, inst.probeSalt(d))
+		return ok, err
 	})
 }
 
@@ -159,12 +165,28 @@ func Decide(inst Instance) (*Delta, bool, error) {
 // returns — the serving layer relies on this to answer ARPP identically to
 // the library.
 func DecideCtx(ctx context.Context, inst Instance, workers int) (*Delta, bool, error) {
-	return decide(ctx, inst, func(db *relation.Database) (bool, error) {
+	sess := core.NewSolveSession(inst.Problem.K, inst.Bound)
+	return decide(ctx, inst, func(db *relation.Database, d Delta) (bool, error) {
 		prob := *inst.Problem
 		prob.DB = db
 		prob.InvalidateCache()
-		return prob.ExistsKValidParallelCtx(ctx, inst.Problem.K, inst.Bound, workers)
+		ok, _, err := sess.ProbeParallel(ctx, &prob, inst.probeSalt(d), workers)
+		return ok, err
 	})
+}
+
+// probeSalt scopes a session memo entry to one adjusted database when the
+// feasibility verdict can read the database beyond the candidate list: Qc
+// and CompatFn both take the adjusted D ⊕ Δ, so two deltas producing equal
+// candidate lists may still disagree. Without them, feasibility is a
+// function of the candidate list alone and every delta that selects the
+// same candidates may share one verdict — the common case, since most
+// edits touch tuples the selection query never admits.
+func (inst Instance) probeSalt(d Delta) string {
+	if inst.Problem.Qc == nil && inst.Problem.CompatFn == nil {
+		return ""
+	}
+	return d.String()
 }
 
 // DecideItems solves ARPP for item selections (Corollary 8.2): does an
@@ -178,7 +200,7 @@ func DecideItems(db *relation.Database, extra *relation.Database, q query.Query,
 		Bound:   bound,
 		KPrime:  kPrime,
 	}
-	return decide(context.Background(), inst, func(adjusted *relation.Database) (bool, error) {
+	return decide(context.Background(), inst, func(adjusted *relation.Database, _ Delta) (bool, error) {
 		ans, err := q.Eval(adjusted)
 		if err != nil {
 			return false, err
@@ -194,8 +216,10 @@ func DecideItems(db *relation.Database, extra *relation.Database, q query.Query,
 }
 
 // decide enumerates adjustment sets of increasing size and tests each with
-// the supplied feasibility predicate, checking ctx before every test.
-func decide(ctx context.Context, inst Instance, feasible func(*relation.Database) (bool, error)) (*Delta, bool, error) {
+// the supplied feasibility predicate, checking ctx before every test. The
+// predicate receives the Delta alongside the adjusted database so
+// session-backed predicates can scope their memo entries (see probeSalt).
+func decide(ctx context.Context, inst Instance, feasible func(*relation.Database, Delta) (bool, error)) (*Delta, bool, error) {
 	universe := inst.universe()
 	schemas := inst.extraSchemas()
 	idx := make([]int, 0, inst.KPrime)
@@ -215,7 +239,7 @@ func decide(ctx context.Context, inst Instance, feasible func(*relation.Database
 			if err != nil {
 				return false, err
 			}
-			ok, err := feasible(db)
+			ok, err := feasible(db, d)
 			if err != nil {
 				return false, err
 			}

@@ -208,6 +208,30 @@ type EngineCounters struct {
 	// prepared problems across collection deltas, so a warm server's
 	// Prepares should grow only for specs whose relations actually mutated.
 	Prepares atomic.Int64
+	// SessionResumes counts feasibility probes a SolveSession answered from
+	// its memo instead of walking the enumeration forest again — the reuse
+	// the relaxation and adjustment searches get from probing many problem
+	// variants that share a candidate list (see SolveSession).
+	SessionResumes atomic.Int64
+	// SessionNodesSaved accumulates, per resumed probe, the DFS nodes the
+	// probe's original walk visited — the work each resume skipped. Together
+	// with Nodes it bounds what the same probe sequence would have cost
+	// without the session.
+	SessionNodesSaved atomic.Int64
+}
+
+// addTo adds c's tallies into dst (both may be shared; fields are atomics).
+func (c *EngineCounters) addTo(dst *EngineCounters) {
+	if dst == nil {
+		return
+	}
+	dst.Nodes.Add(c.Nodes.Load())
+	dst.Yielded.Add(c.Yielded.Load())
+	dst.Pruned.Add(c.Pruned.Load())
+	dst.BoundEvals.Add(c.BoundEvals.Load())
+	dst.Prepares.Add(c.Prepares.Load())
+	dst.SessionResumes.Add(c.SessionResumes.Load())
+	dst.SessionNodesSaved.Add(c.SessionNodesSaved.Load())
 }
 
 // pathYield receives each valid package together with the path state, whose

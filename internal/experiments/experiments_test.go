@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // TestAllFamiliesRunAtSmallestParam smoke-tests every experiment row at its
@@ -108,6 +110,98 @@ func TestRunAndRender(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("render output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestComparisonTablesWellFormed smoke-checks the engine-comparison table
+// constructors (the recbench -table par/bb/relax rows) and the exported
+// benchmark problem builders: unique IDs, parameters present, problems
+// that yield candidates.
+func TestComparisonTablesWellFormed(t *testing.T) {
+	var fams []Family
+	fams = append(fams, EngineRows(true, 2)...)
+	fams = append(fams, BoundRows(true)...)
+	fams = append(fams, RelaxRows(true)...)
+	seen := map[string]bool{}
+	for _, f := range fams {
+		if f.ID == "" || seen[f.ID] {
+			t.Errorf("missing or duplicate family id %q", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.Params) == 0 {
+			t.Errorf("%s: no parameters", f.ID)
+		}
+	}
+	for name, prob := range map[string]*core.Problem{
+		"HardCPPProblem": HardCPPProblem(3),
+		"TravelProblem":  TravelProblem(24),
+	} {
+		cands, err := prob.Candidates()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cands.Len() == 0 {
+			t.Errorf("%s: no candidates", name)
+		}
+	}
+	if prob, bound := Sigma1CPPProblem(3); prob == nil || bound == 0 {
+		t.Error("Sigma1CPPProblem returned an empty instance")
+	}
+}
+
+// TestRelaxRowsSessionBeatsLoop runs the QRPP engine-comparison table and
+// pins its reason to exist: on the travel relax family — whose gap levels
+// discretize over the whole ticket column while only nyc tuples can
+// qualify, so outer levels repeat candidate lists — the incremental
+// solve-session engine must agree with the reference re-solve loop on
+// every answer while visiting strictly fewer engine nodes, and its memo
+// must actually resume (Resumes > 0). The JSON report plumbing rides
+// along: resumes survive the round through ReportJSON/MarshalReports.
+func TestRelaxRowsSessionBeatsLoop(t *testing.T) {
+	rows := RunAll(RelaxRows(true))
+	byID := map[string]Row{}
+	for _, r := range rows {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Family.ID, r.Err)
+		}
+		byID[r.Family.ID] = r
+	}
+	loop, ok := byID["RELAX-travel-loop"]
+	if !ok {
+		t.Fatal("RELAX-travel-loop family missing")
+	}
+	sess, ok := byID["RELAX-travel-session"]
+	if !ok {
+		t.Fatal("RELAX-travel-session family missing")
+	}
+	if len(loop.Samples) != len(sess.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(loop.Samples), len(sess.Samples))
+	}
+	var resumes int64
+	for i, ls := range loop.Samples {
+		ss := sess.Samples[i]
+		if ls.Note != ss.Note {
+			t.Fatalf("n=%d: answers differ: loop=%s session=%s", ls.Param, ls.Note, ss.Note)
+		}
+		if ls.Resumes != 0 {
+			t.Errorf("n=%d: reference loop reported %d session resumes", ls.Param, ls.Resumes)
+		}
+		if ss.Nodes >= ls.Nodes {
+			t.Errorf("n=%d: session visited %d nodes, loop %d — no saving", ls.Param, ss.Nodes, ls.Nodes)
+		}
+		resumes += ss.Resumes
+	}
+	if resumes == 0 {
+		t.Error("session never resumed from its memo")
+	}
+
+	rep := ReportJSON("relax", rows)
+	out, err := MarshalReports([]JSONReport{rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"resumes"`) {
+		t.Errorf("JSON report lost the resumes counter:\n%s", out)
 	}
 }
 

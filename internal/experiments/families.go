@@ -774,6 +774,85 @@ func EngineRows(quick bool, workers int) []Family {
 	}
 }
 
+// travelRelaxInstance is the QRPP workload behind `recbench -table relax`:
+// packages of nyc POIs with ticket price exactly 7, the price relaxable
+// under the absolute-difference metric. The gap levels discretize over the
+// whole ticket column — every city's prices — but only nyc tuples can ever
+// enter the candidate set, so levels minted by tickets that exist only
+// outside nyc admit nothing new: the candidate list repeats, and the
+// incremental session answers those probes from its memo where the
+// reference loop re-solves each one. The rating bound is unreachable
+// (NegSum of non-negative tickets never exceeds 0), so the whole lattice
+// is probed — the loop's worst case.
+func travelRelaxInstance(nPOI int) (relax.Instance, error) {
+	db := gen.Travel(9, 20, nPOI)
+	v := query.V
+	q := query.NewCQ("RQ",
+		[]query.Term{v("name"), v("type"), v("ticket"), v("time")},
+		query.Rel("poi", v("name"), v("city"), v("type"), v("ticket"), v("time")),
+		query.Eq(v("city"), query.CS("nyc")),
+		query.Eq(v("ticket"), query.CI(7)))
+	prob := instrument(&core.Problem{
+		DB: db, Q: q,
+		Cost:   core.SumAttr(3).WithMonotone(),
+		Val:    core.NegSumAttr(2),
+		Budget: 400,
+		K:      2,
+	})
+	pts, err := relax.Points(q)
+	if err != nil {
+		return relax.Instance{}, err
+	}
+	return relax.Instance{
+		Problem:   prob,
+		Points:    []relax.Point{pts[1].WithMetric(relax.AbsDiff())},
+		Bound:     0.5,
+		GapBudget: 12,
+	}, nil
+}
+
+// RelaxRows returns the QRPP engine comparison rows behind
+// `recbench -table relax`: the same relaxation workload answered by the
+// reference per-assignment loop (relax.DecideLoop — one fresh ∃k-valid
+// solve per lattice assignment) and by the incremental suggestion engine
+// (relax.Decide — one core.SolveSession shared across the lattice, see
+// internal/relax/suggest.go). Answers are bit-identical; the session row
+// visits strictly fewer engine nodes, and its resumes column counts the
+// probes answered from the session memo — the numbers BENCHMARKS.md's
+// relaxation section records, guarded by scripts/bench_gate.sh.
+func RelaxRows(quick bool) []Family {
+	travelSizes := []int{160, 320, 640}
+	if quick {
+		travelSizes = []int{160, 320}
+	}
+	return []Family{
+		{
+			ID: "RELAX-travel-loop", Problem: "QRPP", Language: "fixed Q (CQ)", Setting: "reference re-solve loop",
+			PaperClass: "NP (no Qc)", Params: travelSizes,
+			Run: func(n int) (string, error) {
+				inst, err := travelRelaxInstance(n)
+				if err != nil {
+					return "", err
+				}
+				_, ok, err := relax.DecideLoop(inst)
+				return note(ok), err
+			},
+		},
+		{
+			ID: "RELAX-travel-session", Problem: "QRPP", Language: "fixed Q (CQ)", Setting: "incremental session",
+			PaperClass: "NP (no Qc)", Params: travelSizes,
+			Run: func(n int) (string, error) {
+				inst, err := travelRelaxInstance(n)
+				if err != nil {
+					return "", err
+				}
+				_, ok, err := relax.Decide(inst)
+				return note(ok), err
+			},
+		},
+	}
+}
+
 // BoundRows returns the Pruned-vs-Exhaustive comparison rows behind
 // `recbench -table bb`: the same instance solved by the branch-and-bound
 // engine (the default) and with the bound layer disabled

@@ -16,12 +16,14 @@ type Sample struct {
 	Seconds float64
 	Note    string
 	// Engine cost accounting for this sample: DFS nodes visited, valid
-	// packages yielded, subtrees cut by the bound layer, and bound
-	// evaluations (see core.EngineCounters).
+	// packages yielded, subtrees cut by the bound layer, bound
+	// evaluations, and solve-session probes answered from memo instead of
+	// a fresh walk (see core.EngineCounters).
 	Nodes      int64
 	Yielded    int64
 	Pruned     int64
 	BoundEvals int64
+	Resumes    int64
 }
 
 // Row is a completed experiment row: the family plus its measurements.
@@ -52,17 +54,19 @@ func Run(f Family) Row {
 			Yielded:    after[1] - before[1],
 			Pruned:     after[2] - before[2],
 			BoundEvals: after[3] - before[3],
+			Resumes:    after[4] - before[4],
 		})
 	}
 	return row
 }
 
-func counterSnapshot() [4]int64 {
-	return [4]int64{
+func counterSnapshot() [5]int64 {
+	return [5]int64{
 		BenchCounters.Nodes.Load(),
 		BenchCounters.Yielded.Load(),
 		BenchCounters.Pruned.Load(),
 		BenchCounters.BoundEvals.Load(),
+		BenchCounters.SessionResumes.Load(),
 	}
 }
 
@@ -140,6 +144,7 @@ type JSONSample struct {
 	Yielded    int64   `json:"yielded,omitempty"`
 	Pruned     int64   `json:"pruned,omitempty"`
 	BoundEvals int64   `json:"boundEvals,omitempty"`
+	Resumes    int64   `json:"resumes,omitempty"`
 }
 
 // ReportJSON converts measured rows into the machine-readable report form.
@@ -157,6 +162,7 @@ func ReportJSON(title string, rows []Row) JSONReport {
 			jr.Samples = append(jr.Samples, JSONSample{
 				Param: s.Param, NsPerOp: s.Seconds * 1e9, Note: s.Note,
 				Nodes: s.Nodes, Yielded: s.Yielded, Pruned: s.Pruned, BoundEvals: s.BoundEvals,
+				Resumes: s.Resumes,
 			})
 		}
 		rep.Rows = append(rep.Rows, jr)
@@ -188,6 +194,9 @@ func Render(title string, rows []Row) string {
 			fmt.Fprintf(&b, "    n=%-5d %10.4fs   result=%s", s.Param, s.Seconds, s.Note)
 			if s.Nodes > 0 || s.Pruned > 0 {
 				fmt.Fprintf(&b, "   nodes=%d pruned=%d", s.Nodes, s.Pruned)
+			}
+			if s.Resumes > 0 {
+				fmt.Fprintf(&b, " resumes=%d", s.Resumes)
 			}
 			b.WriteByte('\n')
 		}

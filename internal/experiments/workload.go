@@ -17,9 +17,17 @@ import (
 // production deployment of the Table 8.2 travel family would see — for the
 // cmd/recload traffic generator to replay against a live pkgrecd.
 
-// WorkloadOps are the operation kinds SampleWorkload draws from, each
-// mapping to a serving op (and through it to one of the paper's problems).
+// WorkloadOps are the operation kinds SampleWorkload draws from by
+// default, each mapping to a serving op (and through it to one of the
+// paper's problems).
 var WorkloadOps = []string{"topk", "count", "exists", "maxbound", "decide", "relax"}
+
+// WorkloadRelaxOps are the relaxation-only op kinds: the subset a
+// relaxation-heavy traffic profile over-weights (cmd/recload's -relax
+// flag). "relaxplan" — the ranked-suggestions op — is sampled only through
+// this list or an explicit ops filter, never by the default mix, so
+// default workload measurements stay comparable across versions.
+var WorkloadRelaxOps = []string{"relax", "relaxplan"}
 
 // WorkloadVariants is the number of distinct problem variants per op: the
 // period of workloadSpec's parameter cycle. A sample of more than
@@ -35,6 +43,8 @@ type WorkloadItem struct {
 	Spec      spec.ProblemSpec
 	Selection [][][]any
 	Relax     *spec.RelaxSpec
+	// MaxSuggestions caps a relaxplan item's ranking (0 = server default).
+	MaxSuggestions int
 }
 
 // WorkloadDB builds the collection a sampled workload runs over: the
@@ -95,23 +105,24 @@ func workloadSpec(v int) spec.ProblemSpec {
 }
 
 // SampleWorkload draws n distinct workload items over db (a WorkloadDB
-// clone), cycling through the requested ops (a subset of WorkloadOps; nil
-// means all of them) and through problem variants, in an order shuffled by
-// rng. Decide selections are computed locally with the library solver —
-// the daemon must agree they are top-k selections — and relax items ask
-// for the minimal relaxation of a type-filtered query under the discrete
-// metric.
+// clone), cycling through the requested ops (a subset of WorkloadOps plus
+// WorkloadRelaxOps; nil means the WorkloadOps default) and through problem
+// variants, in an order shuffled by rng. Decide selections are computed
+// locally with the library solver — the daemon must agree they are top-k
+// selections — and relax/relaxplan items ask for the minimal relaxation
+// (respectively the ranked minimal relaxations) of a type-filtered query
+// under the discrete metric.
 func SampleWorkload(rng *rand.Rand, n int, db *relation.Database, ops []string) ([]WorkloadItem, error) {
 	if len(ops) == 0 {
 		ops = WorkloadOps
 	}
 	for _, op := range ops {
 		found := false
-		for _, known := range WorkloadOps {
+		for _, known := range append(WorkloadOps, WorkloadRelaxOps...) {
 			found = found || op == known
 		}
 		if !found {
-			return nil, fmt.Errorf("experiments: unknown workload op %q (have %v)", op, WorkloadOps)
+			return nil, fmt.Errorf("experiments: unknown workload op %q (have %v + %v)", op, WorkloadOps, WorkloadRelaxOps)
 		}
 	}
 	items := make([]WorkloadItem, 0, n)
@@ -139,11 +150,12 @@ func SampleWorkload(rng *rand.Rand, n int, db *relation.Database, ops []string) 
 				continue // no top-k selection exists for this variant
 			}
 			it.Selection = sel
-		case "relax":
+		case "relax", "relaxplan":
 			// Relax the POI type filter: the paper's rewrite rule for a
 			// constant in an equality, under the discrete metric (any
 			// other type at distance 1). Varying gap budgets keep the
-			// variants distinct.
+			// variants distinct; relaxplan items additionally vary their
+			// suggestion cap, exercising the server's cap normalization.
 			it.Spec.Query = `RQ(name, type, ticket, time) :-
 				poi(name, city, type, ticket, time), city = "nyc", type = "museum".`
 			it.Spec.K = 1 + v%2
@@ -155,6 +167,9 @@ func SampleWorkload(rng *rand.Rand, n int, db *relation.Database, ops []string) 
 				Points:    []spec.RelaxPointSpec{{Index: idx, Metric: spec.MetricSpec{Kind: "discrete"}}},
 				Bound:     it.Spec.Bound,
 				GapBudget: float64(v % 2),
+			}
+			if op == "relaxplan" {
+				it.MaxSuggestions = 1 + v%3
 			}
 		}
 		items = append(items, it)

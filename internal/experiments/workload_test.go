@@ -71,6 +71,52 @@ func TestSampleWorkloadItemsAreDistinct(t *testing.T) {
 	}
 }
 
+// The relaxation profile (WorkloadRelaxOps) must sample servable relaxplan
+// items: a relax spec that resolves plus a suggestion cap, with caps (and
+// gap budgets) varying so the pool stays distinct.
+func TestSampleWorkloadRelaxProfile(t *testing.T) {
+	db := WorkloadDB(40)
+	items, err := SampleWorkload(rand.New(rand.NewSource(5)), 12, db, WorkloadRelaxOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := map[int]bool{}
+	sawPlan := false
+	for i, it := range items {
+		if !(it.Op == "relax" || it.Op == "relaxplan") {
+			t.Fatalf("relax profile drew op %s", it.Op)
+		}
+		if it.Relax == nil {
+			t.Fatalf("item %d: relaxation item without relax spec", i)
+		}
+		prob, err := it.Spec.Build(db)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if _, err := it.Relax.Build(prob); err != nil {
+			t.Fatalf("item %d: relax spec does not resolve: %v", i, err)
+		}
+		switch it.Op {
+		case "relaxplan":
+			sawPlan = true
+			if it.MaxSuggestions < 1 {
+				t.Fatalf("item %d: relaxplan without a suggestion cap", i)
+			}
+			caps[it.MaxSuggestions] = true
+		case "relax":
+			if it.MaxSuggestions != 0 {
+				t.Fatalf("item %d: relax item carries a suggestion cap %d", i, it.MaxSuggestions)
+			}
+		}
+	}
+	if !sawPlan {
+		t.Fatal("relax profile never sampled relaxplan")
+	}
+	if len(caps) < 2 {
+		t.Fatalf("relaxplan caps do not vary: %v", caps)
+	}
+}
+
 func TestSampleWorkloadOpsFilter(t *testing.T) {
 	db := WorkloadDB(20)
 	items, err := SampleWorkload(rand.New(rand.NewSource(3)), 10, db, []string{"topk", "count"})

@@ -1,0 +1,203 @@
+package relax_test
+
+// The incremental suggestion engine (Suggest / Decide) must answer QRPP
+// bit-identically to the reference per-assignment loop it replaced
+// (DecideLoop): same feasibility verdict, same minimal gap, same relaxed
+// query, same per-point levels, on every structurally distinct instance
+// family — the experiment reductions (3SAT data complexity, ∃∀-DNF
+// combined complexity with Qc) and the travel workload. The parallel pair
+// (DecideCtx vs DecideLoopCtx) must agree on verdict and minimal
+// relaxation for every worker count; CI runs this file under -race, which
+// also exercises the session's counter plumbing across engine workers.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/query"
+	"repro/internal/reductions"
+	"repro/internal/relax"
+	"repro/internal/sat"
+)
+
+// equivInstances draws one instance per family, seeded for repeatability.
+func equivInstances(t *testing.T) map[string]relax.Instance {
+	t.Helper()
+	insts := map[string]relax.Instance{}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 3; i++ {
+		inst, err := reductions.QRPPFrom3SAT(sat.Rand3CNF(rng, 3, 4+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[tname("3sat", i)] = inst
+	}
+	for i := 0; i < 2; i++ {
+		inst, err := reductions.QRPPFromEFDNF(sat.RandEFDNF(rng, 2, 2, 3+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[tname("efdnf", i)] = inst
+	}
+	for i, budget := range []float64{0, 5, 15} {
+		insts[tname("travel", i)] = travelEquivInstance(t, budget)
+	}
+	return insts
+}
+
+// travelEquivInstance relaxes nyc-museum packages over the generated
+// travel data: a table metric over the city column and an absolute
+// difference on ticket price give a multi-level lattice.
+func travelEquivInstance(t *testing.T, gapBudget float64) relax.Instance {
+	t.Helper()
+	db := gen.Travel(9, 12, 18)
+	v := query.V
+	q := query.NewCQ("RQ",
+		[]query.Term{v("name"), v("type"), v("ticket"), v("time")},
+		query.Rel("poi", v("name"), v("city"), v("type"), v("ticket"), v("time")),
+		query.Eq(v("city"), query.CS("nyc")),
+		query.Eq(v("type"), query.CS("opera")))
+	prob := &core.Problem{
+		DB: db, Q: q,
+		Cost:   core.SumAttr(3).WithMonotone(),
+		Val:    core.NegSumAttr(2),
+		Budget: 400,
+		K:      1,
+	}
+	pts, err := relax.Points(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := relax.Table("citydist", map[[2]string]float64{
+		{"nyc", "sfo"}: 5,
+		{"nyc", "par"}: 8,
+	})
+	types := relax.Table("typedist", map[[2]string]float64{
+		{"opera", "museum"}: 3,
+		{"opera", "park"}:   9,
+	})
+	return relax.Instance{
+		Problem:   prob,
+		Points:    []relax.Point{pts[0].WithMetric(cities), pts[1].WithMetric(types)},
+		Bound:     -100,
+		GapBudget: gapBudget,
+	}
+}
+
+func tname(family string, i int) string {
+	return family + string(rune('A'+i))
+}
+
+func sameRelaxation(t *testing.T, name string, got, want *relax.Relaxation) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("%s: relaxation presence differs: got %v, want %v", name, got, want)
+	}
+	if got == nil {
+		return
+	}
+	if got.Gap != want.Gap {
+		t.Fatalf("%s: gap = %g, want %g", name, got.Gap, want.Gap)
+	}
+	if got.Query.String() != want.Query.String() {
+		t.Fatalf("%s: relaxed query = %s, want %s", name, got.Query.String(), want.Query.String())
+	}
+	if len(got.Choices) != len(want.Choices) {
+		t.Fatalf("%s: %d choices, want %d", name, len(got.Choices), len(want.Choices))
+	}
+	for i := range got.Choices {
+		if got.Choices[i].D != want.Choices[i].D {
+			t.Fatalf("%s: choice %d level = %g, want %g", name, i, got.Choices[i].D, want.Choices[i].D)
+		}
+	}
+}
+
+func TestDecideMatchesReferenceLoop(t *testing.T) {
+	for name, inst := range equivInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			relLoop, okLoop, err := relax.DecideLoop(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relNew, okNew, err := relax.Decide(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if okNew != okLoop {
+				t.Fatalf("verdict: incremental %v, reference loop %v", okNew, okLoop)
+			}
+			sameRelaxation(t, "serial", relNew, relLoop)
+
+			ctx := context.Background()
+			for _, workers := range []int{1, 2, 4} {
+				relP, okP, err := relax.DecideCtx(ctx, inst, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if okP != okLoop {
+					t.Fatalf("workers=%d: verdict %v, want %v", workers, okP, okLoop)
+				}
+				sameRelaxation(t, "parallel", relP, relLoop)
+				relLP, okLP, err := relax.DecideLoopCtx(ctx, inst, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if okLP != okLoop {
+					t.Fatalf("workers=%d: loop-parallel verdict %v, want %v", workers, okLP, okLoop)
+				}
+				sameRelaxation(t, "loop-parallel", relLP, relLoop)
+			}
+		})
+	}
+}
+
+// Suggest's first suggestion IS the Decide answer, and ranked suggestions
+// ascend in (gap, level vector) order with no dominated entries.
+func TestSuggestFirstIsDecide(t *testing.T) {
+	for name, inst := range equivInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			rel, ok, err := relax.Decide(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sugs, err := relax.Suggest(inst, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != (len(sugs) > 0) {
+				t.Fatalf("Decide ok=%v but %d suggestions", ok, len(sugs))
+			}
+			if !ok {
+				return
+			}
+			sameRelaxation(t, "first suggestion", sugs[0].Relaxation, rel)
+			for i := 1; i < len(sugs); i++ {
+				if sugs[i].Gap < sugs[i-1].Gap {
+					t.Fatalf("suggestions out of gap order at %d: %g after %g", i, sugs[i].Gap, sugs[i-1].Gap)
+				}
+			}
+			for i, sg := range sugs {
+				if sg.Witness == nil {
+					t.Fatalf("suggestion %d lacks a witness", i)
+				}
+				for j := 0; j < i; j++ {
+					if dominates(sg.Relaxation.Choices, sugs[j].Relaxation.Choices) {
+						t.Fatalf("suggestion %d dominates-and-follows %d: not an antichain", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func dominates(a, b []relax.Choice) bool {
+	for i := range b {
+		if a[i].D < b[i].D {
+			return false
+		}
+	}
+	return true
+}

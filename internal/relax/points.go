@@ -36,6 +36,13 @@ func (k PointKind) String() string {
 	}
 }
 
+// ColumnRef names one relation column — the unit of data dependency a
+// relaxation point carries.
+type ColumnRef struct {
+	Rel  string
+	Attr int
+}
+
 // Point identifies one relaxable parameter of a query — an element of the
 // sets E (constants) or X (repeated variables) — together with the distance
 // function used to bound its relaxation. Points are discovered by Points
@@ -48,6 +55,17 @@ type Point struct {
 	Pred   string         // enclosing relation atom's predicate, "" for equalities
 	Arg    int            // argument position within the atom
 	Metric Metric
+	// Cols are the relation columns whose stored values can feed this
+	// point's relaxed position: the relaxed atom's own column for
+	// ConstInAtom, the columns binding the compared variable for
+	// ConstInEquality, every occurrence column of the split variable for
+	// SplitVariable. CandidateLevels discretizes over exactly these columns
+	// when they all resolve against the database, which is what lets the
+	// serving layer key relax results on the relations the query reads
+	// instead of the whole database. Empty means unknown (a hand-built
+	// point, or a formula position whose variable active-domain semantics
+	// lets range anywhere): levels then fall back to the full active domain.
+	Cols []ColumnRef
 }
 
 // WithMetric attaches a distance function to the point.
@@ -79,6 +97,17 @@ type Relaxation struct {
 	Query   query.Query
 	Choices []Choice
 	Gap     float64
+}
+
+// addCol appends a column reference if not already present, keeping the
+// slice in first-occurrence order (deterministic discovery output).
+func addCol(cols []ColumnRef, c ColumnRef) []ColumnRef {
+	for _, have := range cols {
+		if have == c {
+			return cols
+		}
+	}
+	return append(cols, c)
 }
 
 // walker traverses a query deterministically, either collecting points
@@ -119,13 +148,16 @@ func (w *walker) chosen(id string) (Choice, bool) {
 // body; in discovery mode it returns the input unchanged.
 func (w *walker) walkBody(body []query.Atom) []query.Atom {
 	// Count variable occurrences among relation-atom arguments to find
-	// repeated variables (the set X of Section 7).
+	// repeated variables (the set X of Section 7), and record which columns
+	// bind each variable — the data dependencies discovered points carry.
 	occ := map[string]int{}
+	varCols := map[string][]ColumnRef{}
 	for _, a := range body {
 		if ra, ok := a.(*query.RelAtom); ok {
-			for _, t := range ra.Args {
+			for j, t := range ra.Args {
 				if t.IsVar {
 					occ[t.Var]++
+					varCols[t.Var] = addCol(varCols[t.Var], ColumnRef{Rel: ra.Pred, Attr: j})
 				}
 			}
 		}
@@ -142,7 +174,8 @@ func (w *walker) walkBody(body []query.Atom) []query.Atom {
 					id := w.site()
 					if w.choices == nil {
 						w.points = append(w.points, Point{
-							Path: id, Kind: ConstInAtom, Const: t.Const, Pred: at.Pred, Arg: j})
+							Path: id, Kind: ConstInAtom, Const: t.Const, Pred: at.Pred, Arg: j,
+							Cols: []ColumnRef{{Rel: at.Pred, Attr: j}}})
 					} else if c, ok := w.chosen(id); ok {
 						fv := w.freshVar()
 						newArgs[j] = query.V(fv)
@@ -155,7 +188,8 @@ func (w *walker) walkBody(body []query.Atom) []query.Atom {
 					id := w.site()
 					if w.choices == nil {
 						w.points = append(w.points, Point{
-							Path: id, Kind: SplitVariable, Var: t.Var, Pred: at.Pred, Arg: j})
+							Path: id, Kind: SplitVariable, Var: t.Var, Pred: at.Pred, Arg: j,
+							Cols: varCols[t.Var]})
 					} else if c, ok := w.chosen(id); ok {
 						// Keep at least one original occurrence so the
 						// distance constraint stays ground.
@@ -180,7 +214,8 @@ func (w *walker) walkBody(body []query.Atom) []query.Atom {
 				}
 				if w.choices == nil {
 					w.points = append(w.points, Point{
-						Path: id, Kind: ConstInEquality, Const: constSide.Const})
+						Path: id, Kind: ConstInEquality, Const: constSide.Const,
+						Cols: varCols[varSide.Var]})
 				} else if c, ok := w.chosen(id); ok {
 					out = append(out, query.Dist(c.Point.Metric.Name, c.Point.Metric.Fn,
 						varSide, constSide, c.D))
@@ -211,8 +246,13 @@ func (w *walker) walkFormula(f query.Formula) query.Formula {
 				}
 				id := w.site()
 				if w.choices == nil {
+					// The fresh variable stays conjoined with the positive
+					// atom inside the rewrite's Exists, so even under FO
+					// active-domain semantics its satisfying values come
+					// from this column.
 					w.points = append(w.points, Point{
-						Path: id, Kind: ConstInAtom, Const: t.Const, Pred: at.Pred, Arg: j})
+						Path: id, Kind: ConstInAtom, Const: t.Const, Pred: at.Pred, Arg: j,
+						Cols: []ColumnRef{{Rel: at.Pred, Attr: j}}})
 				} else if c, ok := w.chosen(id); ok {
 					fv := w.freshVar()
 					newArgs[j] = query.V(fv)
@@ -304,6 +344,25 @@ func Points(q query.Query) ([]Point, error) {
 	w := &walker{}
 	if _, err := w.walkQuery(q); err != nil {
 		return nil, err
+	}
+	if _, ok := q.(*query.Datalog); ok {
+		// Rule bodies may mention derived (IDB) predicates, whose values are
+		// computed rather than stored: a column over one carries no stored
+		// dependency, so drop the column info and let CandidateLevels fall
+		// back to the whole active domain for such points.
+		read, _ := query.Relations(q)
+		stored := make(map[string]struct{}, len(read))
+		for _, r := range read {
+			stored[r] = struct{}{}
+		}
+		for i := range w.points {
+			for _, c := range w.points[i].Cols {
+				if _, ok := stored[c.Rel]; !ok {
+					w.points[i].Cols = nil
+					break
+				}
+			}
+		}
 	}
 	return w.points, nil
 }

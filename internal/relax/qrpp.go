@@ -22,11 +22,23 @@ type Instance struct {
 
 // CandidateLevels returns the relaxation levels worth trying for a point,
 // up to D-equivalence (Theorem 7.2): 0 plus every finite distance from the
-// point's constant to an active-domain value, capped by gmax. For
-// SplitVariable points the candidate levels are the finite pairwise
-// distances between active-domain values.
+// point's constant to a value the relaxed position can actually take,
+// capped by gmax. For SplitVariable points the candidate levels are the
+// finite pairwise distances between those values.
+//
+// The position's value set is read from the point's recorded columns
+// (Point.Cols) when they all resolve against db — the relaxed argument, or
+// the compared/split variable, only ever binds to values stored in those
+// columns, so distances to values outside them separate no two relaxed
+// queries. A point without column information (hand-built, or a formula
+// position whose variable ranges under active-domain semantics) falls back
+// to the whole active domain. Either way the level set indexes exactly the
+// distinct relaxed queries: the two discretizations agree on every level at
+// which the relaxed answer changes, which is why the dependency-precise set
+// preserves minimal witnesses bit for bit while letting the serving layer
+// key relax results on just the relations the query reads.
 func CandidateLevels(db *relation.Database, p Point, gmax float64) []float64 {
-	adom := db.ActiveDomain()
+	vals, _ := levelValues(db, p)
 	seen := map[float64]struct{}{0: {}}
 	levels := []float64{0}
 	add := func(d float64) {
@@ -41,15 +53,15 @@ func CandidateLevels(db *relation.Database, p Point, gmax float64) []float64 {
 	}
 	switch p.Kind {
 	case SplitVariable:
-		for i := range adom {
-			for j := range adom {
+		for i := range vals {
+			for j := range vals {
 				if i != j {
-					add(p.Metric.Fn(adom[i], adom[j]))
+					add(p.Metric.Fn(vals[i], vals[j]))
 				}
 			}
 		}
 	default:
-		for _, v := range adom {
+		for _, v := range vals {
 			add(p.Metric.Fn(v, p.Const))
 		}
 	}
@@ -57,15 +69,81 @@ func CandidateLevels(db *relation.Database, p Point, gmax float64) []float64 {
 	return levels
 }
 
+// levelValues resolves the stored values the point's relaxed position can
+// take: the sorted union of its recorded columns when every column resolves
+// against db, the whole active domain otherwise. The boolean reports which
+// case applied (precise column reads vs. whole-database fallback).
+func levelValues(db *relation.Database, p Point) ([]relation.Value, bool) {
+	if !preciseCols(db, p) {
+		return db.ActiveDomain(), false
+	}
+	seen := make(map[relation.Value]struct{})
+	var vals []relation.Value
+	for _, c := range p.Cols {
+		r := db.Relation(c.Rel)
+		for _, t := range r.Tuples() {
+			if _, ok := seen[t[c.Attr]]; !ok {
+				seen[t[c.Attr]] = struct{}{}
+				vals = append(vals, t[c.Attr])
+			}
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Less(vals[j]) })
+	return vals, true
+}
+
+// preciseCols reports whether every recorded column of the point resolves
+// against db (non-empty column list, relation present, argument within its
+// arity) — the condition under which CandidateLevels stays within the
+// columns instead of falling back to the whole active domain.
+func preciseCols(db *relation.Database, p Point) bool {
+	if len(p.Cols) == 0 {
+		return false
+	}
+	for _, c := range p.Cols {
+		r := db.Relation(c.Rel)
+		if r == nil || c.Attr < 0 || c.Attr >= r.Schema().Arity() {
+			return false
+		}
+	}
+	return true
+}
+
+// LevelDeps reports the data dependencies of CandidateLevels for the point
+// over db: the sorted relation names its levels are computed from, and
+// whether that list is precise. precise = true means the levels read only
+// those relations — mutations elsewhere cannot change them — which is what
+// lets a cache key a relax answer on the relations the query reads.
+// precise = false means the levels discretize over the whole active domain
+// and depend on every relation of the database.
+func LevelDeps(db *relation.Database, p Point) (rels []string, precise bool) {
+	if !preciseCols(db, p) {
+		return append([]string(nil), db.Names()...), false
+	}
+	seen := make(map[string]struct{})
+	for _, c := range p.Cols {
+		if _, ok := seen[c.Rel]; !ok {
+			seen[c.Rel] = struct{}{}
+			rels = append(rels, c.Rel)
+		}
+	}
+	sort.Strings(rels)
+	return rels, true
+}
+
 // Decide solves QRPP: is there a relaxation QΓ of Q with gap(QΓ) ≤ g such
 // that k distinct valid packages rated at least B exist for
 // (QΓ, D, Qc, cost, val, C)? It returns the minimum-gap witness relaxation,
 // so Decide doubles as the "minimal relaxation recommendation" the paper
-// motivates. Levels are searched in order of increasing total gap.
+// motivates. Levels are searched in order of increasing total gap, through
+// the incremental session engine (see Suggest) — the probe sequence, and
+// with it the witness, is identical to the reference DecideLoop.
 func Decide(inst Instance) (*Relaxation, bool, error) {
-	return decide(context.Background(), inst, func(relaxed query.Query) (bool, error) {
-		return feasiblePackages(inst, relaxed)
-	})
+	sugs, err := Suggest(inst, 1)
+	if err != nil || len(sugs) == 0 {
+		return nil, false, err
+	}
+	return sugs[0].Relaxation, true, nil
 }
 
 // DecideCtx is Decide with a deadline and a parallel feasibility core:
@@ -75,7 +153,28 @@ func Decide(inst Instance) (*Relaxation, bool, error) {
 // identical to Decide's — assignments are still tried in ascending total
 // gap — so serving-layer QRPP answers match the library's.
 func DecideCtx(ctx context.Context, inst Instance, workers int) (*Relaxation, bool, error) {
-	return decide(ctx, inst, func(relaxed query.Query) (bool, error) {
+	sugs, err := SuggestCtx(ctx, inst, 1, workers)
+	if err != nil || len(sugs) == 0 {
+		return nil, false, err
+	}
+	return sugs[0].Relaxation, true, nil
+}
+
+// DecideLoop is the pre-session reference implementation of Decide: one
+// fresh feasibility solve per level assignment, no state shared between
+// probes. It is retained as the independent oracle the equivalence tests
+// and the relax benchmark family compare the incremental engine against —
+// Decide must return bit-identical results while visiting fewer nodes.
+func DecideLoop(inst Instance) (*Relaxation, bool, error) {
+	return decideLoop(context.Background(), inst, func(relaxed query.Query) (bool, error) {
+		return feasiblePackages(inst, relaxed)
+	})
+}
+
+// DecideLoopCtx is DecideLoop's parallel-core form, the pre-session
+// reference for DecideCtx.
+func DecideLoopCtx(ctx context.Context, inst Instance, workers int) (*Relaxation, bool, error) {
+	return decideLoop(ctx, inst, func(relaxed query.Query) (bool, error) {
 		prob := *inst.Problem
 		prob.Q = relaxed
 		prob.InvalidateCache()
@@ -83,11 +182,10 @@ func DecideCtx(ctx context.Context, inst Instance, workers int) (*Relaxation, bo
 	})
 }
 
-// decide is the shared QRPP search: level assignments in ascending total
-// gap, each relaxed query tested with the supplied feasibility predicate,
-// ctx checked between assignments. Keeping one loop is what guarantees
-// Decide and DecideCtx return the same witness.
-func decide(ctx context.Context, inst Instance, feasible func(query.Query) (bool, error)) (*Relaxation, bool, error) {
+// decideLoop is the shared reference search: level assignments in ascending
+// total gap, each relaxed query tested with the supplied feasibility
+// predicate, ctx checked between assignments.
+func decideLoop(ctx context.Context, inst Instance, feasible func(query.Query) (bool, error)) (*Relaxation, bool, error) {
 	assignments, err := enumerateAssignments(inst)
 	if err != nil {
 		return nil, false, err

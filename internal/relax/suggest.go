@@ -1,0 +1,126 @@
+package relax
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// This file is the incremental half of the QRPP solver: instead of
+// answering one yes/no question per gap assignment with a fresh solve, the
+// lattice of level assignments is searched once through a core.SolveSession
+// and the minimal feasible assignments come back as ranked suggestions.
+// Two mechanisms make the search cheaper than the reference loop
+// (DecideLoop) without changing any answer:
+//
+//   - session reuse: neighbouring assignments frequently relax a point past
+//     values the query's other conjuncts reject, so their relaxed queries
+//     select identical candidate lists; the session memoises each probe by
+//     candidate-list fingerprint and resumes from the recorded verdict
+//     (EngineCounters.SessionResumes / SessionNodesSaved account for it);
+//   - dominance pruning: once an assignment is known feasible, every
+//     assignment pointwise ≥ it is feasible too but strictly more relaxed,
+//     so it can never be a minimal suggestion and is skipped outright.
+//     Nothing is pruned before the first feasible assignment, which is why
+//     Decide — "stop at the first hit" — probes exactly the sequence the
+//     reference loop does.
+
+// Suggestion is one ranked relaxation recommendation: a minimal feasible
+// relaxed query, its gap, and a package witnessing its feasibility. The
+// suggestions Suggest returns are the minimal feasible antichain of the
+// gap lattice in ascending (total gap, level vector) order — no suggestion
+// dominates another, and the first is the minimum-gap relaxation Decide
+// reports.
+type Suggestion struct {
+	Relaxation *Relaxation
+	Gap        float64
+	// Witness is a valid package rated at least B under the relaxed query:
+	// the first qualifying package in canonical order for serial searches,
+	// any qualifying package for parallel ones (the RPP witness precedent).
+	Witness *core.Package
+}
+
+// Suggest searches the gap lattice with the serial engine and returns up
+// to max ranked suggestions (max ≤ 0 means all minimal feasible
+// assignments within the gap budget).
+func Suggest(inst Instance, max int) ([]Suggestion, error) {
+	return suggest(context.Background(), inst, max, 0, false)
+}
+
+// SuggestCtx is Suggest with a deadline and the parallel feasibility core
+// (workers ≤ 0 means GOMAXPROCS); cancellation is checked between lattice
+// assignments and inside each probe. Ranking and gaps are identical to
+// Suggest's — only witnesses may differ, as in the other parallel solvers.
+func SuggestCtx(ctx context.Context, inst Instance, max, workers int) ([]Suggestion, error) {
+	return suggest(ctx, inst, max, workers, true)
+}
+
+// suggest is the shared lattice search: assignments ascend in (total gap,
+// level vector) order, dominated assignments are skipped, the rest are
+// probed through one SolveSession over variants of the instance's problem.
+func suggest(ctx context.Context, inst Instance, max, workers int, parallel bool) ([]Suggestion, error) {
+	assignments, err := enumerateAssignments(inst)
+	if err != nil {
+		return nil, err
+	}
+	sess := core.NewSolveSession(inst.Problem.K, inst.Bound)
+	var out []Suggestion
+	var minimal [][]Choice // the feasible antichain found so far
+	for _, choices := range assignments {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if dominatesAny(choices, minimal) {
+			continue
+		}
+		rel, err := Apply(inst.Problem.Q, choices)
+		if err != nil {
+			return nil, err
+		}
+		// The variant shares everything with the base problem except the
+		// relaxed selection query; the database is common to all probes, so
+		// equal candidate lists imply equal verdicts and the session needs
+		// no extra salt.
+		variant := *inst.Problem
+		variant.Q = rel.Query
+		variant.InvalidateCache()
+		var ok bool
+		var wit *core.Package
+		if parallel {
+			ok, wit, err = sess.ProbeParallel(ctx, &variant, "", workers)
+		} else {
+			ok, wit, err = sess.Probe(&variant, "")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Suggestion{Relaxation: rel, Gap: rel.Gap, Witness: wit})
+		minimal = append(minimal, choices)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out, nil
+}
+
+// dominatesAny reports whether the assignment relaxes every point at least
+// as far as some already-feasible assignment — in which case it is feasible
+// but not minimal, and skipping it is ranking-preserving.
+func dominatesAny(choices []Choice, minimal [][]Choice) bool {
+	for _, m := range minimal {
+		dom := true
+		for i := range m {
+			if choices[i].D < m[i].D {
+				dom = false
+				break
+			}
+		}
+		if dom {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package relax
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// symmetricMetric prices both relaxations of the travel query at 12 miles,
+// so two distinct gap-12 assignments tie on total gap.
+func symmetricMetric() Metric {
+	return Table("symdist", map[[2]string]float64{
+		{"nyc", "ewr"}: 12,
+		{"edi", "gla"}: 12,
+	})
+}
+
+func travelInstance(t *testing.T, m Metric, gapBudget float64) Instance {
+	t.Helper()
+	db := travelDB()
+	q := directQuery()
+	prob := &core.Problem{
+		DB: db, Q: q,
+		Cost: core.CountOrInf(), Val: core.Count(), Budget: 1, K: 1,
+	}
+	pts, err := Points(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Instance{
+		Problem:   prob,
+		Points:    []Point{pts[0].WithMetric(m), pts[1].WithMetric(m)},
+		Bound:     1,
+		GapBudget: gapBudget,
+	}
+}
+
+// An instance with no relaxation points has a one-assignment lattice — the
+// unrelaxed query at gap 0 — so the answer is exactly base feasibility.
+func TestSuggestEmptyRelaxationSpace(t *testing.T) {
+	db := travelDB()
+	feasibleQ := query.NewCQ("Q", []query.Term{query.V("p")},
+		query.Rel("flight", query.CS("edi"), query.CS("lhr"), query.V("p")))
+	prob := &core.Problem{DB: db, Q: feasibleQ,
+		Cost: core.CountOrInf(), Val: core.Count(), Budget: 1, K: 1}
+	sugs, err := Suggest(Instance{Problem: prob, Bound: 1, GapBudget: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) != 1 || sugs[0].Gap != 0 || sugs[0].Witness == nil {
+		t.Fatalf("feasible pointless instance: got %+v, want one gap-0 suggestion with witness", sugs)
+	}
+	if len(sugs[0].Relaxation.Choices) != 0 {
+		t.Fatalf("pointless suggestion carries choices: %v", sugs[0].Relaxation.Choices)
+	}
+
+	infeasibleProb := &core.Problem{DB: db, Q: directQuery(),
+		Cost: core.CountOrInf(), Val: core.Count(), Budget: 1, K: 1}
+	sugs, err = Suggest(Instance{Problem: infeasibleProb, Bound: 1, GapBudget: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) != 0 {
+		t.Fatalf("infeasible pointless instance: got %d suggestions, want none", len(sugs))
+	}
+	if _, ok, err := Decide(Instance{Problem: infeasibleProb, Bound: 1, GapBudget: 10}); err != nil || ok {
+		t.Fatalf("Decide on infeasible pointless instance: ok=%v err=%v", ok, err)
+	}
+}
+
+// Gap ties rank deterministically: equal total gaps order by the lexical
+// level vector, and repeated runs return the identical ranking.
+func TestSuggestRanksTiesDeterministically(t *testing.T) {
+	inst := travelInstance(t, symmetricMetric(), 20)
+	want := [][]float64{{0, 12}, {12, 0}}
+	var prev []Suggestion
+	for run := 0; run < 3; run++ {
+		sugs, err := Suggest(inst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sugs) != 2 {
+			t.Fatalf("run %d: %d suggestions, want 2 (both gap-12 relaxations)", run, len(sugs))
+		}
+		for i, sg := range sugs {
+			if sg.Gap != 12 {
+				t.Fatalf("run %d: suggestion %d gap = %g, want 12", run, i, sg.Gap)
+			}
+			levels := []float64{sg.Relaxation.Choices[0].D, sg.Relaxation.Choices[1].D}
+			if !reflect.DeepEqual(levels, want[i]) {
+				t.Fatalf("run %d: suggestion %d levels = %v, want %v (lex tie-break)", run, i, levels, want[i])
+			}
+			if sg.Witness == nil {
+				t.Fatalf("run %d: suggestion %d has no witness", run, i)
+			}
+		}
+		if prev != nil {
+			for i := range sugs {
+				if sugs[i].Relaxation.Query.String() != prev[i].Relaxation.Query.String() {
+					t.Fatalf("run %d: ranking not stable across runs", run)
+				}
+			}
+		}
+		prev = sugs
+	}
+}
+
+// Neither gap-12 relaxation dominates the other, but the gap-24 assignment
+// relaxing both points dominates each and must not be suggested.
+func TestSuggestPrunesDominatedAssignments(t *testing.T) {
+	inst := travelInstance(t, symmetricMetric(), 30)
+	sugs, err := Suggest(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) != 2 {
+		t.Fatalf("%d suggestions, want 2 — the (12,12) assignment is dominated", len(sugs))
+	}
+	for _, sg := range sugs {
+		if sg.Gap != 12 {
+			t.Fatalf("dominated assignment surfaced: gap %g", sg.Gap)
+		}
+	}
+}
+
+// Cancellation is honoured between lattice assignments.
+func TestSuggestCtxCancelled(t *testing.T) {
+	inst := travelInstance(t, cityMetric(), 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SuggestCtx(ctx, inst, 0, 2); err != context.Canceled {
+		t.Fatalf("SuggestCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := DecideCtx(ctx, inst, 2); err != context.Canceled {
+		t.Fatalf("DecideCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := DecideLoopCtx(ctx, inst, 2); err != context.Canceled {
+		t.Fatalf("DecideLoopCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}

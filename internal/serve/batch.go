@@ -33,14 +33,16 @@ type BatchRequest struct {
 // collection (the batch names it once) and without a timeout (the batch
 // carries one whole-batch deadline).
 type BatchItem struct {
-	Op        string             `json:"op"`
-	Spec      spec.ProblemSpec   `json:"spec"`
-	Selection [][][]any          `json:"selection,omitempty"`
-	Relax     *spec.RelaxSpec    `json:"relax,omitempty"`
-	Adjust    *spec.AdjustSpec   `json:"adjust,omitempty"`
-	Extra     *relation.Database `json:"extra,omitempty"`
-	Workers   int                `json:"workers,omitempty"`
-	NoCache   bool               `json:"noCache,omitempty"`
+	Op        string           `json:"op"`
+	Spec      spec.ProblemSpec `json:"spec"`
+	Selection [][][]any        `json:"selection,omitempty"`
+	Relax     *spec.RelaxSpec  `json:"relax,omitempty"`
+	// MaxSuggestions caps op "relaxplan" output, as in Request.
+	MaxSuggestions int                `json:"maxSuggestions,omitempty"`
+	Adjust         *spec.AdjustSpec   `json:"adjust,omitempty"`
+	Extra          *relation.Database `json:"extra,omitempty"`
+	Workers        int                `json:"workers,omitempty"`
+	NoCache        bool               `json:"noCache,omitempty"`
 }
 
 // Request lifts the item to the single-solve Request form — the form the
@@ -48,15 +50,16 @@ type BatchItem struct {
 // would send to /v1/solve to ask the same question outside a batch.
 func (it BatchItem) Request(collection string) Request {
 	return Request{
-		Collection: collection,
-		Op:         it.Op,
-		Spec:       it.Spec,
-		Selection:  it.Selection,
-		Relax:      it.Relax,
-		Adjust:     it.Adjust,
-		Extra:      it.Extra,
-		Workers:    it.Workers,
-		NoCache:    it.NoCache,
+		Collection:     collection,
+		Op:             it.Op,
+		Spec:           it.Spec,
+		Selection:      it.Selection,
+		Relax:          it.Relax,
+		MaxSuggestions: it.MaxSuggestions,
+		Adjust:         it.Adjust,
+		Extra:          it.Extra,
+		Workers:        it.Workers,
+		NoCache:        it.NoCache,
 	}
 }
 

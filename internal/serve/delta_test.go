@@ -204,29 +204,38 @@ func TestDeltaInvalidatesFOEntries(t *testing.T) {
 	}
 }
 
-// Relax answers discretize their gap levels over the whole active domain
-// (relax.CandidateLevels), so any delta must invalidate relax entries —
-// even over relations the spec never reads.
-func TestDeltaInvalidatesRelaxEntries(t *testing.T) {
+// Relax answers over a CQ discretize their gap levels from the columns the
+// selected points touch (relax.LevelDeps) — here a poi column — so a delta
+// to flight, which no relax point reads, must leave the entry valid, while
+// a delta to poi must still kill it.
+func TestDeltaKeepsPreciseRelaxEntries(t *testing.T) {
 	s := travelServer(t, Options{}, 30, 24)
 	ps := poiSpec(240)
 	ps.Query = `RQ(name, type, ticket, time) :-
 		poi(name, city, type, ticket, time), city = "nyc", type = "museum".`
-	req := Request{Collection: "travel", Op: OpRelax, Spec: ps,
-		Relax: &spec.RelaxSpec{
-			Points:    []spec.RelaxPointSpec{{Index: 1, Metric: spec.MetricSpec{Kind: "discrete"}}},
-			Bound:     -40,
-			GapBudget: 1,
-		}}
-	mustSolve(t, s, req)
-	if !mustSolve(t, s, req).Cached {
-		t.Fatal("relax request did not cache at all")
-	}
-	if _, err := s.MutateCollection("travel", flightDelta(0)); err != nil {
-		t.Fatal(err)
-	}
-	if mustSolve(t, s, req).Cached {
-		t.Fatal("relax entry survived a delta; its gap levels depend on the whole active domain")
+	for i, op := range []string{OpRelax, OpRelaxPlan} {
+		req := Request{Collection: "travel", Op: op, Spec: ps,
+			Relax: &spec.RelaxSpec{
+				Points:    []spec.RelaxPointSpec{{Index: 1, Metric: spec.MetricSpec{Kind: "discrete"}}},
+				Bound:     -40,
+				GapBudget: 1,
+			}}
+		mustSolve(t, s, req)
+		if !mustSolve(t, s, req).Cached {
+			t.Fatalf("%s request did not cache at all", op)
+		}
+		if _, err := s.MutateCollection("travel", flightDelta(i)); err != nil {
+			t.Fatal(err)
+		}
+		if !mustSolve(t, s, req).Cached {
+			t.Fatalf("%s entry died on a flight delta; its points read only poi columns", op)
+		}
+		if _, err := s.MutateCollection("travel", poiDelta(900+i)); err != nil {
+			t.Fatal(err)
+		}
+		if mustSolve(t, s, req).Cached {
+			t.Fatalf("%s entry survived a poi delta; its gap levels read poi columns", op)
+		}
 	}
 }
 

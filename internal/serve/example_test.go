@@ -51,6 +51,64 @@ func ExampleClient_applyDelta() {
 	// replay: version=2 mutated=[]
 }
 
+// ExampleClient_relaxPlan asks op "relaxplan" for the ranked minimal
+// relaxations of an infeasible query: the nyc-museum filter admits only an
+// over-budget museum, so the daemon walks the gap lattice once (one
+// incremental solve-session) and returns every incomparable minimal
+// relaxation within the gap budget, each with a witness package — the
+// cheapest relaxation first, mirrored into the top-level gap/relaxedQuery
+// fields so the answer subsumes op "relax".
+func ExampleClient_relaxPlan() {
+	pois := relation.FromTuples(relation.NewSchema("poi", "name", "city", "type", "ticket", "time"),
+		relation.NewTuple(relation.Str("m1"), relation.Str("nyc"), relation.Str("museum"), relation.Int(50), relation.Int(30)),
+		relation.NewTuple(relation.Str("m2"), relation.Str("bos"), relation.Str("museum"), relation.Int(1), relation.Int(30)),
+		relation.NewTuple(relation.Str("m3"), relation.Str("nyc"), relation.Str("park"), relation.Int(2), relation.Int(30)))
+	db := relation.NewDatabase().Add(pois)
+
+	srv := serve.NewServer(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	client := serve.NewClient(ts.URL)
+	if _, err := client.PutCollection(ctx, "pois", db); err != nil {
+		log.Fatal(err)
+	}
+
+	resp, err := client.Solve(ctx, serve.Request{
+		Collection: "pois",
+		Op:         serve.OpRelaxPlan,
+		Spec: spec.ProblemSpec{
+			Query: `RQ(name, type, ticket, time) :-
+				poi(name, city, type, ticket, time), city = "nyc", type = "museum".`,
+			Cost:       spec.AggSpec{Kind: "count", Monotone: true},
+			Val:        spec.AggSpec{Kind: "negsum", Attr: 2},
+			Budget:     2,
+			K:          1,
+			MaxPkgSize: 1,
+		},
+		Relax: &spec.RelaxSpec{
+			Points: []spec.RelaxPointSpec{
+				{Index: 0, Metric: spec.MetricSpec{Kind: "table", Entries: map[string]float64{"nyc|bos": 2}}},
+				{Index: 1, Metric: spec.MetricSpec{Kind: "table", Entries: map[string]float64{"museum|park": 3}}},
+			},
+			Bound:     -5,
+			GapBudget: 5,
+		},
+		MaxSuggestions: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ok=%v suggestions=%d firstGap=%g\n", resp.OK, len(resp.Suggestions), *resp.Gap)
+	for _, sg := range resp.Suggestions {
+		fmt.Printf("gap=%g choices=%v witness=%v\n", sg.Gap, sg.Choices, sg.Witness.Tuples[0][0])
+	}
+	// Output:
+	// ok=true suggestions=2 firstGap=2
+	// gap=2 choices=[p0[const-in-equality: "nyc"] d=2] witness=m2
+	// gap=3 choices=[p1[const-in-equality: "museum"] d=3] witness=m3
+}
+
 // ExampleClient_batch sends one /v1/batch request carrying four
 // sub-requests — two of them identical — against a single collection. The
 // daemon snapshots the collection once, answers the duplicate from its

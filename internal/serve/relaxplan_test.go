@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/spec"
+)
+
+// suggestDB is a three-POI collection engineered so the relaxation lattice
+// has two incomparable minimal suggestions: the base nyc-museum query only
+// admits an over-budget ticket, relaxing the city (gap 2) reaches a cheap
+// bos museum, and relaxing the type (gap 3) reaches a cheap nyc park.
+func suggestDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("poi", "name", "city", "type", "ticket", "time"),
+		relation.NewTuple(relation.Str("m1"), relation.Str("nyc"), relation.Str("museum"), relation.Int(50), relation.Int(30)),
+		relation.NewTuple(relation.Str("m2"), relation.Str("bos"), relation.Str("museum"), relation.Int(1), relation.Int(30)),
+		relation.NewTuple(relation.Str("m3"), relation.Str("nyc"), relation.Str("park"), relation.Int(2), relation.Int(30)),
+		// A cdg park: puts "cdg" in the city column (so city metrics can
+		// price it as a gap level) while the museum conjunct rejects it —
+		// relaxing the city out to cdg repeats the candidate list.
+		relation.NewTuple(relation.Str("x1"), relation.Str("cdg"), relation.Str("park"), relation.Int(1), relation.Int(30))))
+	return db
+}
+
+func suggestSpec() spec.ProblemSpec {
+	return spec.ProblemSpec{
+		Query: `RQ(name, type, ticket, time) :-
+			poi(name, city, type, ticket, time), city = "nyc", type = "museum".`,
+		Cost:       spec.AggSpec{Kind: "count", Monotone: true},
+		Val:        spec.AggSpec{Kind: "negsum", Attr: 2},
+		Budget:     2,
+		K:          1,
+		MaxPkgSize: 1,
+	}
+}
+
+// suggestRelax relaxes the city constant (point 0) and the type constant
+// (point 1); order is the caller's choice — canonicalization erases it.
+func suggestRelax(order ...int) *spec.RelaxSpec {
+	pts := map[int]spec.RelaxPointSpec{
+		0: {Index: 0, Metric: spec.MetricSpec{Kind: "table", Entries: map[string]float64{"nyc|bos": 2}}},
+		1: {Index: 1, Metric: spec.MetricSpec{Kind: "table", Entries: map[string]float64{"museum|park": 3}}},
+	}
+	r := &spec.RelaxSpec{Bound: -5, GapBudget: 5}
+	for _, i := range order {
+		r.Points = append(r.Points, pts[i])
+	}
+	return r
+}
+
+func TestRelaxPlanRanksSuggestions(t *testing.T) {
+	s := NewServer(Options{})
+	s.SetCollection("pois", suggestDB())
+	req := Request{Collection: "pois", Op: OpRelaxPlan, Spec: suggestSpec(), Relax: suggestRelax(0, 1)}
+	resp := mustSolve(t, s, req)
+	if !resp.OK {
+		t.Fatal("relaxplan found no suggestions")
+	}
+	if len(resp.Suggestions) != 2 {
+		t.Fatalf("%d suggestions, want 2 (city gap 2, type gap 3)", len(resp.Suggestions))
+	}
+	if resp.Suggestions[0].Gap != 2 || resp.Suggestions[1].Gap != 3 {
+		t.Fatalf("suggestion gaps = %g, %g; want 2, 3", resp.Suggestions[0].Gap, resp.Suggestions[1].Gap)
+	}
+	if resp.Gap == nil || *resp.Gap != 2 || resp.RelaxedQuery != resp.Suggestions[0].RelaxedQuery {
+		t.Fatalf("Gap/RelaxedQuery do not mirror the first suggestion: %+v", resp.Result)
+	}
+	for i, sg := range resp.Suggestions {
+		if sg.Witness == nil || len(sg.Witness.Tuples) == 0 {
+			t.Fatalf("suggestion %d lacks a witness package", i)
+		}
+		if len(sg.Choices) != 1 {
+			t.Fatalf("suggestion %d choices = %v, want exactly the one relaxed point", i, sg.Choices)
+		}
+	}
+
+	// The first suggestion is exactly the op "relax" answer.
+	relaxResp := mustSolve(t, s, Request{Collection: "pois", Op: OpRelax, Spec: suggestSpec(), Relax: suggestRelax(0, 1)})
+	if !relaxResp.OK || *relaxResp.Gap != 2 || relaxResp.RelaxedQuery != resp.RelaxedQuery {
+		t.Fatalf("op relax disagrees with relaxplan's first suggestion: %+v", relaxResp.Result)
+	}
+
+	// MaxSuggestions caps the ranking; an explicit cap equal to the default
+	// shares the cache entry of the uncapped request.
+	capped := req
+	capped.MaxSuggestions = 1
+	cresp := mustSolve(t, s, capped)
+	if len(cresp.Suggestions) != 1 || cresp.Cached {
+		t.Fatalf("maxSuggestions=1: %d suggestions, cached=%v", len(cresp.Suggestions), cresp.Cached)
+	}
+	asDefault := req
+	asDefault.MaxSuggestions = defaultMaxSuggestions
+	if !mustSolve(t, s, asDefault).Cached {
+		t.Fatal("explicit default cap did not share the unset-cap cache entry")
+	}
+}
+
+// Two relax requests naming the same points in different spec order must
+// share one cache entry and return byte-identical results (the spec
+// canonicalizer sorts point specs; suggestion choices render in canonical
+// point order).
+func TestRelaxPointOrderSharesCacheEntry(t *testing.T) {
+	s := NewServer(Options{})
+	s.SetCollection("pois", suggestDB())
+	for _, op := range []string{OpRelax, OpRelaxPlan} {
+		a := Request{Collection: "pois", Op: op, Spec: suggestSpec(), Relax: suggestRelax(1, 0)}
+		b := Request{Collection: "pois", Op: op, Spec: suggestSpec(), Relax: suggestRelax(0, 1)}
+		ra := mustSolve(t, s, a)
+		rb := mustSolve(t, s, b)
+		if !rb.Cached {
+			t.Fatalf("%s: reordered point specs missed the cache", op)
+		}
+		ja, err := json.Marshal(ra.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := json.Marshal(rb.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ja) != string(jb) {
+			t.Fatalf("%s: equivalent requests returned different results:\n%s\n%s", op, ja, jb)
+		}
+	}
+}
+
+// An infeasible lattice whose outer levels admit no new tuples probes the
+// same candidate list repeatedly; the solve session must resume from its
+// memo instead of re-walking, and the stats must surface it.
+func TestRelaxPlanSessionResumes(t *testing.T) {
+	s := NewServer(Options{})
+	s.SetCollection("pois", suggestDB())
+	req := Request{Collection: "pois", Op: OpRelaxPlan, Spec: suggestSpec(),
+		Relax: &spec.RelaxSpec{
+			Points: []spec.RelaxPointSpec{
+				// Level 4 (cdg) admits no tuple beyond level 2 (bos): the
+				// candidate list repeats and the probe must resume.
+				{Index: 0, Metric: spec.MetricSpec{Kind: "table", Entries: map[string]float64{"nyc|bos": 2, "nyc|cdg": 4}}},
+			},
+			Bound:     -0.5, // unreachable: every ticket costs at least 1
+			GapBudget: 4,
+		}}
+	resp := mustSolve(t, s, req)
+	if resp.OK || len(resp.Suggestions) != 0 {
+		t.Fatalf("infeasible relaxplan reported suggestions: %+v", resp.Result)
+	}
+	st := s.Stats()
+	if st.EngineSessionResumes < 1 {
+		t.Fatalf("engineSessionResumes = %d, want ≥ 1 (repeated candidate list)", st.EngineSessionResumes)
+	}
+	if st.PerOp[OpRelaxPlan] == 0 {
+		t.Fatal("relaxplan missing from per-op stats")
+	}
+}
+
+// relaxplan flows through the batch pipeline: items carry MaxSuggestions,
+// and identical items deduplicate through the same canonical keys.
+func TestRelaxPlanInBatch(t *testing.T) {
+	s := NewServer(Options{})
+	s.SetCollection("pois", suggestDB())
+	item := BatchItem{Op: OpRelaxPlan, Spec: suggestSpec(), Relax: suggestRelax(0, 1), MaxSuggestions: 1}
+	resp, err := s.SolveBatch(t.Context(), BatchRequest{
+		Collection: "pois",
+		Items:      []BatchItem{item, item},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Solves != 1 || resp.Deduped != 1 {
+		t.Fatalf("solves=%d deduped=%d, want 1/1", resp.Solves, resp.Deduped)
+	}
+	for i, ir := range resp.Items {
+		if ir.Error != "" {
+			t.Fatalf("item %d failed: %s", i, ir.Error)
+		}
+		if len(ir.Result.Suggestions) != 1 {
+			t.Fatalf("item %d: %d suggestions, want 1", i, len(ir.Result.Suggestions))
+		}
+	}
+}

@@ -2,7 +2,9 @@
 // recommendation service that owns a set of named item collections and
 // answers the paper's six problems (RPP, FRP, MBP, CPP, QRPP, ARPP) over
 // them, designed for streams of related queries rather than one-shot
-// library calls.
+// library calls. QRPP is served in two forms: op "relax" (the minimal
+// relaxation) and op "relaxplan" (the ranked minimal-relaxation
+// suggestions, each with a witness package).
 //
 // Five mechanisms make repeated traffic cheap:
 //
@@ -57,6 +59,7 @@ import (
 
 	"repro/internal/adjust"
 	"repro/internal/core"
+	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/relax"
 	"repro/internal/spec"
@@ -363,10 +366,14 @@ func (s *Server) snapshot(name string) (*collection, error) {
 // Two dependency scopes coexist: deps/depsAll describe what the *problem*
 // (candidates, bound tables) reads — the carry-over test for prepared
 // problems — while keyAll widens the *result's* identity to the whole
-// database for operations whose answers depend on more than the problem
-// state: relax discretizes its gap levels over the full active domain
-// (relax.CandidateLevels), so a delta anywhere can change its answer even
-// when the spec's relations are untouched.
+// database when the answer can depend on more than those relations. For
+// most operations the scopes agree. The relax ops discretize their gap
+// levels over the columns the selected relaxation points touch
+// (relax.CandidateLevels), which the query's own relations cover, so they
+// are keyed precisely too — except when a point falls back to the whole
+// active domain (a formula position under active-domain semantics, a
+// derived-predicate column), where keyAll widens the key so a delta
+// anywhere invalidates the entry, exactly as correctness requires.
 type validated struct {
 	req     Request
 	sel     []core.Package // RPP candidate selection, decoded once
@@ -398,10 +405,60 @@ func (s *Server) validateRequest(coll *collection, req Request) (validated, erro
 		return validated{}, &RequestError{Err: err}
 	}
 	v := validated{req: req, sel: sel, canon: canon, deps: deps, depsAll: !exhaustive}
-	v.keyAll = v.depsAll || op == OpRelax
+	v.keyAll = v.depsAll
+	if (op == OpRelax || op == OpRelaxPlan) && !v.depsAll {
+		precise, err := relaxDepsPrecise(coll.db, req, v.deps)
+		if err != nil {
+			return validated{}, err
+		}
+		if !precise {
+			v.keyAll = true
+		}
+	}
 	v.relFP = coll.relevant(v.deps, v.keyAll)
 	v.key = s.cacheKey(coll, req, sel, canon, v.relFP)
 	return v, nil
+}
+
+// relaxDepsPrecise reports whether every relaxation point a relax request
+// selects resolves its gap levels from columns of the spec's own relations
+// (relax.LevelDeps), so the request can be content-addressed on deps alone.
+// A point that falls back to the whole active domain — or reads a relation
+// outside the dependency set, which current discovery never produces but is
+// checked defensively — forces whole-database keying. Out-of-range point
+// indices are reported precise here; Build rejects them at solve time with
+// a proper client error.
+func relaxDepsPrecise(db *relation.Database, req Request, deps []string) (bool, error) {
+	if req.Relax == nil {
+		return true, nil
+	}
+	q, err := parser.Parse(req.Spec.Query)
+	if err != nil {
+		return false, &RequestError{Err: err}
+	}
+	points, err := relax.Points(q)
+	if err != nil {
+		return false, &RequestError{Err: err}
+	}
+	depSet := make(map[string]struct{}, len(deps))
+	for _, d := range deps {
+		depSet[d] = struct{}{}
+	}
+	for _, ps := range req.Relax.Points {
+		if ps.Index < 0 || ps.Index >= len(points) {
+			continue
+		}
+		rels, precise := relax.LevelDeps(db, points[ps.Index])
+		if !precise {
+			return false, nil
+		}
+		for _, r := range rels {
+			if _, ok := depSet[r]; !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
 }
 
 // Solve answers one request: cache lookup, then a coalesced, pool-bounded
@@ -628,6 +685,37 @@ func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, s
 			res.Gap = &rel.Gap
 			res.RelaxedQuery = rel.Query.String()
 		}
+	case OpRelaxPlan:
+		if req.Relax == nil {
+			return nil, &RequestError{Err: fmt.Errorf("op %q needs a relax spec", req.Op)}
+		}
+		inst, err := req.Relax.Build(prob)
+		if err != nil {
+			return nil, &RequestError{Err: err}
+		}
+		sugs, err := relax.SuggestCtx(ctx, inst, maxSuggestions(req), workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = len(sugs) > 0
+		for _, sg := range sugs {
+			sr := SuggestionResult{Gap: sg.Gap, RelaxedQuery: sg.Relaxation.Query.String()}
+			for _, c := range sg.Relaxation.Choices {
+				if c.D == 0 {
+					continue
+				}
+				sr.Choices = append(sr.Choices, fmt.Sprintf("%s d=%s", c.Point.String(), spec.CanonFloat(c.D)))
+			}
+			if sg.Witness != nil {
+				w := packageResult(prob, *sg.Witness)
+				sr.Witness = &w
+			}
+			res.Suggestions = append(res.Suggestions, sr)
+		}
+		if res.OK {
+			res.Gap = &res.Suggestions[0].Gap
+			res.RelaxedQuery = res.Suggestions[0].RelaxedQuery
+		}
 	case OpAdjust:
 		if req.Adjust == nil {
 			return nil, &RequestError{Err: fmt.Errorf("op %q needs an adjust spec", req.Op)}
@@ -649,6 +737,20 @@ func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, s
 		return nil, &RequestError{Err: fmt.Errorf("unknown op %q", req.Op)}
 	}
 	return res, nil
+}
+
+// defaultMaxSuggestions caps op "relaxplan" output when the request does
+// not choose its own limit.
+const defaultMaxSuggestions = 5
+
+// maxSuggestions normalizes the relaxplan suggestion cap; the normalized
+// value is what the cache key carries, so "unset" and an explicit 5 share
+// an entry.
+func maxSuggestions(req Request) int {
+	if req.MaxSuggestions > 0 {
+		return req.MaxSuggestions
+	}
+	return defaultMaxSuggestions
 }
 
 func packageResult(p *core.Problem, n core.Package) PackageResult {
@@ -711,6 +813,11 @@ func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package, can
 		if req.Relax != nil {
 			fmt.Fprintf(&b, "|%s", req.Relax.Canonical())
 		}
+	case OpRelaxPlan:
+		if req.Relax != nil {
+			fmt.Fprintf(&b, "|%s", req.Relax.Canonical())
+		}
+		fmt.Fprintf(&b, "|max=%d", maxSuggestions(req))
 	case OpAdjust:
 		if req.Adjust != nil {
 			fmt.Fprintf(&b, "|%s", req.Adjust.Canonical())
@@ -739,5 +846,7 @@ func (s *Server) Stats() Stats {
 	st.EnginePruned = s.eng.Pruned.Load()
 	st.EngineBoundEvals = s.eng.BoundEvals.Load()
 	st.EnginePrepares = s.eng.Prepares.Load()
+	st.EngineSessionResumes = s.eng.SessionResumes.Load()
+	st.EngineSessionNodesSaved = s.eng.SessionNodesSaved.Load()
 	return st
 }

@@ -51,13 +51,20 @@ type Stats struct {
 	// evaluations (problem warm-ups): after a delta it should grow only
 	// for specs whose relations mutated, the observable face of the
 	// prepared-problem carry-over.
-	EngineNodes      int64             `json:"engineNodes"`
-	EnginePackages   int64             `json:"enginePackages"`
-	EnginePruned     int64             `json:"enginePruned"`
-	EngineBoundEvals int64             `json:"engineBoundEvals"`
-	EnginePrepares   int64             `json:"enginePrepares"`
-	Latency          LatencySummary    `json:"latencyMs"`
-	PerOp            map[string]uint64 `json:"perOp,omitempty"`
+	EngineNodes      int64 `json:"engineNodes"`
+	EnginePackages   int64 `json:"enginePackages"`
+	EnginePruned     int64 `json:"enginePruned"`
+	EngineBoundEvals int64 `json:"engineBoundEvals"`
+	EnginePrepares   int64 `json:"enginePrepares"`
+	// EngineSessionResumes / EngineSessionNodesSaved are the relaxation
+	// session-reuse accounting: lattice probes answered from a
+	// core.SolveSession memo instead of a fresh engine walk, and the DFS
+	// nodes those walks would have visited. They grow with relax/relaxplan
+	// traffic whose gap levels collapse to repeated candidate lists.
+	EngineSessionResumes    int64             `json:"engineSessionResumes"`
+	EngineSessionNodesSaved int64             `json:"engineSessionNodesSaved"`
+	Latency                 LatencySummary    `json:"latencyMs"`
+	PerOp                   map[string]uint64 `json:"perOp,omitempty"`
 }
 
 // LatencySummary reports percentiles (in milliseconds) over the most recent

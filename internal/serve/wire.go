@@ -17,13 +17,18 @@ const (
 	OpCount    = "count"    // CPP: count valid packages rated ≥ Spec.Bound
 	OpExists   = "exists"   // do k valid packages rated ≥ Spec.Bound exist?
 	OpRelax    = "relax"    // QRPP: minimal query relaxation
-	OpAdjust   = "adjust"   // ARPP: minimal bounded item adjustment
+	// OpRelaxPlan is QRPP's ranked form: the minimal feasible relaxations
+	// within the gap budget as ordered suggestions (gap, relaxed query,
+	// witness package), up to Request.MaxSuggestions of them. The first
+	// suggestion is exactly the op "relax" answer.
+	OpRelaxPlan = "relaxplan"
+	OpAdjust    = "adjust" // ARPP: minimal bounded item adjustment
 )
 
 // normalizeOp validates an operation name.
 func normalizeOp(op string) (string, error) {
 	switch op {
-	case OpTopK, OpDecide, OpMaxBound, OpCount, OpExists, OpRelax, OpAdjust:
+	case OpTopK, OpDecide, OpMaxBound, OpCount, OpExists, OpRelax, OpRelaxPlan, OpAdjust:
 		return op, nil
 	}
 	return "", &RequestError{Err: fmt.Errorf("unknown op %q", op)}
@@ -41,8 +46,12 @@ type Request struct {
 	// Selection is the candidate top-k selection for op "decide": packages
 	// as lists of tuples of JSON scalars.
 	Selection [][][]any `json:"selection,omitempty"`
-	// Relax is the QRPP instance spec for op "relax".
+	// Relax is the QRPP instance spec for ops "relax" and "relaxplan".
 	Relax *spec.RelaxSpec `json:"relax,omitempty"`
+	// MaxSuggestions caps the ranked suggestions op "relaxplan" returns;
+	// ≤ 0 means the server default (5). Unlike Workers or TimeoutMS it
+	// shapes the answer, so it participates in the cache key.
+	MaxSuggestions int `json:"maxSuggestions,omitempty"`
 	// Adjust and Extra are the ARPP instance spec and the additional
 	// collection D′ for op "adjust".
 	Adjust *spec.AdjustSpec   `json:"adjust,omitempty"`
@@ -80,12 +89,30 @@ type Result struct {
 	Count *int64 `json:"count,omitempty"`
 	// Bound is the maximum rating bound (op maxbound).
 	Bound *float64 `json:"bound,omitempty"`
-	// Gap and RelaxedQuery describe the minimal relaxation (op relax).
+	// Gap and RelaxedQuery describe the minimal relaxation (ops relax and
+	// relaxplan — for relaxplan they mirror the first suggestion).
 	Gap          *float64 `json:"gap,omitempty"`
 	RelaxedQuery string   `json:"relaxedQuery,omitempty"`
+	// Suggestions are the ranked minimal relaxations (op relaxplan), in
+	// ascending (gap, level vector) order.
+	Suggestions []SuggestionResult `json:"suggestions,omitempty"`
 	// Delta and DeltaSize describe the minimal adjustment (op adjust).
 	Delta     []string `json:"delta,omitempty"`
 	DeltaSize *int     `json:"deltaSize,omitempty"`
+}
+
+// SuggestionResult is one ranked relaxation suggestion on the wire. Choices
+// render the non-zero relaxation levels in the canonical point order (by
+// discovery index, levels in spec.CanonFloat form), so two equivalent
+// requests — however they ordered their point specs — receive byte-identical
+// suggestion output.
+type SuggestionResult struct {
+	Gap          float64  `json:"gap"`
+	Choices      []string `json:"choices,omitempty"`
+	RelaxedQuery string   `json:"relaxedQuery"`
+	// Witness is a valid package rated at least the bound under the relaxed
+	// query — proof the suggestion is feasible.
+	Witness *PackageResult `json:"witness,omitempty"`
 }
 
 // Response wraps a Result with how this call was served.

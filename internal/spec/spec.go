@@ -286,14 +286,33 @@ type RelaxPointSpec struct {
 	Metric MetricSpec `json:"metric"`
 }
 
-// Build resolves the spec against a problem's selection query.
+// sortedPoints returns the point selections in canonical order — by index,
+// ties by metric fingerprint. Build and Canonical both work from this
+// order, so two specs selecting the same points differently ordered build
+// the same instance and render the same fingerprint (and therefore share a
+// cache entry in the serving layer).
+func (s RelaxSpec) sortedPoints() []RelaxPointSpec {
+	ps := append([]RelaxPointSpec(nil), s.Points...)
+	sort.SliceStable(ps, func(i, j int) bool {
+		if ps[i].Index != ps[j].Index {
+			return ps[i].Index < ps[j].Index
+		}
+		return ps[i].Metric.Canonical() < ps[j].Metric.Canonical()
+	})
+	return ps
+}
+
+// Build resolves the spec against a problem's selection query. Points are
+// resolved in canonical order (see sortedPoints), so the instance — and
+// with it the relaxation search — is independent of the order the request
+// listed them in.
 func (s RelaxSpec) Build(prob *core.Problem) (relax.Instance, error) {
 	points, err := relax.Points(prob.Q)
 	if err != nil {
 		return relax.Instance{}, err
 	}
 	var chosen []relax.Point
-	for _, ps := range s.Points {
+	for _, ps := range s.sortedPoints() {
 		if ps.Index < 0 || ps.Index >= len(points) {
 			return relax.Instance{}, fmt.Errorf("spec: relaxation point index %d out of range (query has %d points)",
 				ps.Index, len(points))
@@ -312,11 +331,12 @@ func (s RelaxSpec) Build(prob *core.Problem) (relax.Instance, error) {
 	}, nil
 }
 
-// Canonical renders the relaxation spec deterministically.
+// Canonical renders the relaxation spec deterministically, with the point
+// selections in canonical order — the same order Build resolves them in.
 func (s RelaxSpec) Canonical() string {
 	var b strings.Builder
 	b.WriteString("relax[")
-	for i, p := range s.Points {
+	for i, p := range s.sortedPoints() {
 		if i > 0 {
 			b.WriteByte(';')
 		}
@@ -352,3 +372,8 @@ func (s AdjustSpec) Canonical() string {
 // canonFloat renders a float in shortest exact round-trip form, so that
 // fingerprints are stable across encoders.
 func canonFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CanonFloat is the canonical float rendering used throughout fingerprint
+// text, exported for layers that emit values which must compare equal to
+// canonical fragments (the serving layer's suggestion output uses it).
+func CanonFloat(v float64) string { return canonFloat(v) }

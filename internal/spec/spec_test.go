@@ -119,6 +119,61 @@ func TestRelaxAndMetricCanonical(t *testing.T) {
 	}
 }
 
+// Point-spec order is presentation, not meaning: two relax specs naming
+// the same (index, metric) set in different orders must canonicalize — and
+// build — identically, so syntactically different but equivalent relax
+// requests share one cache entry and one instance.
+func TestRelaxCanonicalIgnoresPointOrder(t *testing.T) {
+	a := RelaxSpec{
+		Points: []RelaxPointSpec{
+			{Index: 1, Metric: MetricSpec{Kind: "discrete"}},
+			{Index: 0, Metric: MetricSpec{Kind: "absdiff"}},
+		},
+		Bound: 1, GapBudget: 3,
+	}
+	b := RelaxSpec{
+		Points: []RelaxPointSpec{
+			{Index: 0, Metric: MetricSpec{Kind: "absdiff"}},
+			{Index: 1, Metric: MetricSpec{Kind: "discrete"}},
+		},
+		Bound: 1, GapBudget: 3,
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("point order leaked into canonical form:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("r", "x", "y"),
+		relation.NewTuple(relation.Int(1), relation.Int(2)),
+		relation.NewTuple(relation.Int(3), relation.Int(4))))
+	ps := ProblemSpec{
+		Query:  `RQ(x, y) :- r(x, y), x = 1, y = 2.`,
+		Cost:   AggSpec{Kind: "count", Monotone: true},
+		Val:    AggSpec{Kind: "count"},
+		Budget: 2, K: 1, MaxPkgSize: 1, Bound: 1,
+	}
+	prob, err := ps.Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, err := a.Build(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := b.Build(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ia.Points) != len(ib.Points) {
+		t.Fatalf("built point counts differ: %d vs %d", len(ia.Points), len(ib.Points))
+	}
+	for i := range ia.Points {
+		if ia.Points[i].Path != ib.Points[i].Path || ia.Points[i].Metric.Name != ib.Points[i].Metric.Name {
+			t.Fatalf("built instances differ at point %d: %v vs %v", i, ia.Points[i], ib.Points[i])
+		}
+	}
+}
+
 // Fields a kind ignores must not split cache entries: count with a stray
 // attr builds the same aggregator as plain count, so the fragments match.
 func TestAggCanonicalIgnoresUnusedFields(t *testing.T) {
