@@ -4,13 +4,16 @@
 //
 //	recbench            # full run
 //	recbench -quick     # smaller parameters
-//	recbench -table 82  # one table only (81 | 82 | abl | par | bb | relax | all)
+//	recbench -table 82  # one table only (81 | 82 | abl | par | bb | relax | solver | all)
 //	recbench -table par -workers 8
 //	                    # serial vs parallel engine on the same families
 //	recbench -table bb  # branch-and-bound vs exhaustive engine
 //	recbench -table relax
 //	                    # QRPP per-assignment re-solve loop vs the
 //	                    # incremental solve-session engine (nodes + resumes)
+//	recbench -table solver
+//	                    # branch-and-bound engine vs the pseudo-Boolean
+//	                    # backend (DFS nodes vs PB decisions/conflicts)
 //	recbench -quick -json > BENCH_quick.json
 //	                    # machine-readable results (family, ns/op, nodes
 //	                    # visited/pruned); CI archives this artifact
@@ -35,7 +38,7 @@ func main() {
 	log.SetPrefix("recbench: ")
 	var (
 		quick   = flag.Bool("quick", false, "use smaller instance parameters")
-		table   = flag.String("table", "all", "which table to run: 81 | 82 | abl | par | bb | all")
+		table   = flag.String("table", "all", "which table to run: 81 | 82 | abl | par | bb | relax | solver | all")
 		workers = flag.Int("workers", 0, "worker goroutines for the parallel engine rows (0 = GOMAXPROCS)")
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON results on stdout instead of text tables")
 	)
@@ -80,10 +83,13 @@ func main() {
 		"relax": func() {
 			run("Engine comparison — QRPP re-solve loop vs incremental session", experiments.RelaxRows(*quick))
 		},
+		"solver": func() {
+			run("Engine comparison — branch-and-bound vs pseudo-Boolean backend", experiments.SolverRows(*quick))
+		},
 	}
 	switch *table {
 	case "all":
-		for _, id := range []string{"81", "82", "abl", "par", "bb", "relax"} {
+		for _, id := range []string{"81", "82", "abl", "par", "bb", "relax", "solver"} {
 			tables[id]()
 		}
 	default:

@@ -13,6 +13,7 @@
 //	recload -churn 32 -churnrel poi  # churn the relation the queries read
 //	recload -churn 32 -churnswap     # same mutations as full collection swaps
 //	recload -relax 0.5               # half the pool is relax/relaxplan traffic
+//	recload -pbo 0.5                 # half the eligible pool runs backend "pbo"
 //	recload -json > BENCH_load.json  # machine-readable report (CI archives it)
 //
 // recload always generates its own collection (experiments.WorkloadDB) and
@@ -55,6 +56,18 @@
 // deltas to relations their gap levels never read. With -relax 0 (the
 // default) the pool is the unweighted mix and reports stay comparable
 // with earlier versions.
+//
+// The -pbo flag routes traffic to the pseudo-Boolean backend: each pool
+// item on a pbo-capable op (topk / count / exists / maxbound / decide —
+// the relaxation ops have no PB form) is tagged `"backend":"pbo"` with
+// that probability. Tagging happens once, at pool construction, so a
+// repeated item repeats with its backend — backend participates in the
+// daemon's cache key, and per-request flapping would make every repeat a
+// miss. The report then carries the offered pbo item count next to the
+// daemon's pboSolves/pboConflicts/pboPropagations counters, so one run
+// compares the two backends under an identical mixed workload. With
+// -pbo 0 (the default) no item is tagged and reports stay comparable
+// with earlier versions.
 package main
 
 import (
@@ -94,6 +107,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-call (whole-batch) deadline")
 		noCache    = flag.Bool("nocache", false, "bypass the daemon's result cache (cold-path measurement; batch dedup still applies)")
 		relaxFrac  = flag.Float64("relax", 0, "fraction of the distinct pool drawn from relaxation ops (relax + relaxplan) in [0, 1]; 0 = unweighted mix")
+		pboFrac    = flag.Float64("pbo", 0, `probability a pbo-capable pool item (topk/count/exists/maxbound/decide) is tagged backend "pbo", in [0, 1]`)
 		churn      = flag.Int("churn", 0, "interleave one collection mutation per this many items (0 = no churn)")
 		churnRel   = flag.String("churnrel", "flight", "relation the churn mutates (flight = unread by the queries, poi = read by all)")
 		churnSwap  = flag.Bool("churnswap", false, "install churn as full collection PUT swaps instead of deltas")
@@ -109,6 +123,9 @@ func main() {
 	if *relaxFrac < 0 || *relaxFrac > 1 {
 		log.Fatal("want 0 <= -relax <= 1")
 	}
+	if *pboFrac < 0 || *pboFrac > 1 {
+		log.Fatal("want 0 <= -pbo <= 1")
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	db := experiments.WorkloadDB(*nPOI)
@@ -123,6 +140,17 @@ func main() {
 	pool, err := samplePool(rng, poolSize, db, ops, *relaxFrac)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Backend tags are part of the pool, not the stream: a repeated item
+	// must repeat with its backend, because backend is part of the daemon's
+	// cache key. The -pbo 0 default draws nothing from rng, keeping default
+	// replay streams identical to earlier versions.
+	if *pboFrac > 0 {
+		for i := range pool {
+			if pboCapable(pool[i].Op) && rng.Float64() < *pboFrac {
+				pool[i].Backend = serve.BackendPBO
+			}
+		}
 	}
 
 	base := *addr
@@ -179,10 +207,15 @@ func main() {
 		Addr: base, Collection: *collection, N: *n, Batch: *batch,
 		Concurrency: *conc, HitRatio: *hit, Distinct: poolSize,
 		NPOI: *nPOI, Ops: ops, Seed: *seed, NoCache: *noCache,
-		RelaxFrac: *relaxFrac,
-		Churn:     *churn, ChurnRel: *churnRel, ChurnSwap: *churnSwap,
+		RelaxFrac: *relaxFrac, PBOFrac: *pboFrac,
+		Churn: *churn, ChurnRel: *churnRel, ChurnSwap: *churnSwap,
 	}
 	rep.Summary.OfferedRepeatRatio = offeredRepeats
+	for _, i := range stream {
+		if pool[i].Backend == serve.BackendPBO {
+			rep.Summary.PBOItems++
+		}
+	}
 	if ch != nil {
 		rep.Summary.Churn = ch.summary()
 	}
@@ -273,6 +306,17 @@ func samplePool(rng *rand.Rand, poolSize int, db *relation.Database,
 	return pool, nil
 }
 
+// pboCapable says whether an op can be served by the pseudo-Boolean
+// backend — the ops -pbo may tag (the same set serve.normalizeBackend
+// admits for backend "pbo").
+func pboCapable(op string) bool {
+	switch op {
+	case serve.OpTopK, serve.OpDecide, serve.OpMaxBound, serve.OpCount, serve.OpExists:
+		return true
+	}
+	return false
+}
+
 // isRelaxOp says whether an op belongs to the relaxation profile — the
 // items the separate relax hit rate counts.
 func isRelaxOp(op string) bool {
@@ -298,6 +342,7 @@ type config struct {
 	Seed        int64    `json:"seed"`
 	NoCache     bool     `json:"noCache,omitempty"`
 	RelaxFrac   float64  `json:"relax,omitempty"`
+	PBOFrac     float64  `json:"pbo,omitempty"`
 	Churn       int      `json:"churn,omitempty"`
 	ChurnRel    string   `json:"churnRel,omitempty"`
 	ChurnSwap   bool     `json:"churnSwap,omitempty"`
@@ -407,6 +452,9 @@ type latency struct {
 // answered and how many of those answers the wire reported as
 // cache-served, with RelaxHitRate their ratio — the client-observed
 // measure of whether relax cache entries survive across the run.
+// PBOItems counts the stream items tagged backend "pbo" (-pbo flag);
+// the solve-side accounting for them is the daemon's pboSolves /
+// pboConflicts / pboPropagations counters in the Server block.
 type summary struct {
 	HTTPRequests       int           `json:"httpRequests"`
 	Items              int           `json:"items"`
@@ -418,6 +466,7 @@ type summary struct {
 	RelaxItems         int           `json:"relaxItems,omitempty"`
 	RelaxHits          int           `json:"relaxHits,omitempty"`
 	RelaxHitRate       float64       `json:"relaxHitRate,omitempty"`
+	PBOItems           int           `json:"pboItems,omitempty"`
 	LatencyMS          latency       `json:"latencyMs"`
 	Churn              *churnSummary `json:"churn,omitempty"`
 }
@@ -462,8 +511,8 @@ func run(ctx context.Context, client *serve.Client, collection string,
 
 	item := func(i int) serve.BatchItem {
 		w := pool[i]
-		return serve.BatchItem{Op: w.Op, Spec: w.Spec, Selection: w.Selection,
-			Relax: w.Relax, MaxSuggestions: w.MaxSuggestions}
+		return serve.BatchItem{Op: w.Op, Spec: w.Spec, Backend: w.Backend,
+			Selection: w.Selection, Relax: w.Relax, MaxSuggestions: w.MaxSuggestions}
 	}
 
 	jobs := make(chan call)
@@ -587,6 +636,14 @@ func render(rep *report) {
 	if s.RelaxItems > 0 {
 		fmt.Printf("relax traffic: %d items, %d cache-served (relaxHitRate=%.2f)\n",
 			s.RelaxItems, s.RelaxHits, s.RelaxHitRate)
+	}
+	if s.PBOItems > 0 {
+		fmt.Printf("pbo traffic: %d items", s.PBOItems)
+		if st := rep.Server; st != nil {
+			fmt.Printf("; server pboSolves=%d pboConflicts=%d pboPropagations=%d",
+				st.PBOSolves, st.PBOConflicts, st.PBOPropagations)
+		}
+		fmt.Println()
 	}
 	if c := s.Churn; c != nil {
 		fmt.Printf("churn: %d %s installs on %s (%d errors), install ms: p50=%.2f p95=%.2f max=%.2f\n",

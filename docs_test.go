@@ -68,6 +68,7 @@ var docPackages = map[string]string{
 	"serve":       "internal/serve",
 	"boolenc":     "internal/boolenc",
 	"sat":         "internal/sat",
+	"pbo":         "internal/pbo",
 	"reductions":  "internal/reductions",
 	"experiments": "internal/experiments",
 	"gen":         "internal/gen",

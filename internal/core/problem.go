@@ -99,6 +99,20 @@ func (p *Problem) Candidates() (*relation.Relation, error) {
 	return p.candidates, nil
 }
 
+// CandidateList returns the memoised candidate answer Q(D) as a list in
+// canonical tuple order — the exact item order the enumeration engine walks
+// and the order dfsPath materialises packages in. Alternative backends
+// (internal/pbo) number their decision variables from this list, so their
+// item numbering, package keys and tie-breaking agree with the engine's
+// canonical order. The returned slice is the memoised state itself: callers
+// must treat it as read-only.
+func (p *Problem) CandidateList() ([]relation.Tuple, error) {
+	if _, err := p.Candidates(); err != nil {
+		return nil, err
+	}
+	return p.candList, nil
+}
+
 // Prepare forces the lazily memoised per-Problem state — the candidate
 // answer Q(D) in canonical order and the aggregator bound tables — to be
 // built now. Solvers build this state on first use, but that first use is

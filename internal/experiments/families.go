@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/boolenc"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/pbo"
 	"repro/internal/query"
 	"repro/internal/reductions"
 	"repro/internal/relation"
@@ -143,6 +145,14 @@ func instrument(p *core.Problem) *core.Problem {
 	p.Counters = &BenchCounters
 	return p
 }
+
+// PBOCounters is the pseudo-Boolean backend's counter sink, the pbo
+// analogue of BenchCounters: SolverRows compiles its pbo variants against
+// it, and Run folds its deltas into each sample — decisions into the nodes
+// column (so scripts/bench_gate.sh gates both engines through one metric),
+// conflicts and propagations into their own columns. The differential tests
+// share it too; the fields are atomics, so concurrent use is safe.
+var PBOCounters pbo.Counters
 
 // languageProblem wraps a query family into a minimal package problem:
 // singleton packages (cost |N|, C = 1), constant rating, k = 1. All four
@@ -929,6 +939,86 @@ func BoundRows(quick bool) []Family {
 			_, ok, err := items(n, true).FindTopK()
 			return note(ok), err
 		}),
+	}
+}
+
+// SolverRows returns the backend comparison rows behind
+// `recbench -table solver`: the same instance solved by the default
+// branch-and-bound engine and by the pseudo-Boolean backend (pbo.Compile),
+// on the travel FRP/CPP data-complexity families and the Σ1-reduction CPP
+// family. Both variants are instrumented — the bb rows report DFS nodes and
+// prunes, the pbo rows report PB decisions (in the same nodes column) plus
+// conflicts and propagations — so BENCH_baseline.json carries a gateable
+// per-backend cost series and the rendered table is a direct
+// search-discipline comparison.
+func SolverRows(quick bool) []Family {
+	rs := []int{3, 4, 5}
+	travelSizes := []int{160, 320, 640}
+	if quick {
+		rs = []int{3, 4}
+		travelSizes = []int{160, 320}
+	}
+	frp := func(n int) *core.Problem { return travelProblem(n).WithMaxSize(2) }
+	poly := func(n int) *core.Problem {
+		p := travelProblem(n)
+		p.MaxPkgSize = 3
+		return p
+	}
+	row := func(id, problem, setting, class string, params []int, run func(n int) (string, error)) Family {
+		lang := "fixed Q (CQ)"
+		if params[0] == rs[0] {
+			lang = "CQ/UCQ/∃FO+"
+		}
+		return Family{
+			ID: id, Problem: problem, Language: lang, Setting: setting,
+			PaperClass: class, Params: params, Run: run,
+		}
+	}
+	return []Family{
+		row("SOLVER-FRP-TRAVEL-bb", "FRP", "travel Bp=2, branch-and-bound", "FP", travelSizes,
+			func(n int) (string, error) {
+				_, ok, err := instrument(frp(n)).FindTopK()
+				return note(ok), err
+			}),
+		row("SOLVER-FRP-TRAVEL-pbo", "FRP", "travel Bp=2, pseudo-Boolean", "FP", travelSizes,
+			func(n int) (string, error) {
+				comp, err := pbo.Compile(frp(n), &PBOCounters)
+				if err != nil {
+					return "", err
+				}
+				_, ok, err := comp.FindTopKCtx(context.Background())
+				return note(ok), err
+			}),
+		row("SOLVER-CPP-TRAVEL-bb", "CPP", "travel ≤3 POIs, B=-10, branch-and-bound", "#·P", travelSizes,
+			func(n int) (string, error) {
+				cnt, err := instrument(poly(n)).CountValid(-10)
+				return note(cnt), err
+			}),
+		row("SOLVER-CPP-TRAVEL-pbo", "CPP", "travel ≤3 POIs, B=-10, pseudo-Boolean", "#·P", travelSizes,
+			func(n int) (string, error) {
+				comp, err := pbo.Compile(poly(n), &PBOCounters)
+				if err != nil {
+					return "", err
+				}
+				cnt, err := comp.CountValidCtx(context.Background(), -10)
+				return note(cnt), err
+			}),
+		row("SOLVER-CPP-3SAT-bb", "CPP", "T81 #Σ1SAT, branch-and-bound", "#·NP-complete", rs,
+			func(r int) (string, error) {
+				prob, b := Sigma1CPPProblem(r)
+				cnt, err := instrument(prob).CountValid(b)
+				return note(cnt), err
+			}),
+		row("SOLVER-CPP-3SAT-pbo", "CPP", "T81 #Σ1SAT, pseudo-Boolean", "#·NP-complete", rs,
+			func(r int) (string, error) {
+				prob, b := Sigma1CPPProblem(r)
+				comp, err := pbo.Compile(prob, &PBOCounters)
+				if err != nil {
+					return "", err
+				}
+				cnt, err := comp.CountValidCtx(context.Background(), b)
+				return note(cnt), err
+			}),
 	}
 }
 

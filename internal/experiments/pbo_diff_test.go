@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pbo"
+)
+
+// assertPBOEquivalent is the cross-engine identity oracle: it builds four
+// independent solvers over the same instance — the exhaustive engine (the
+// reference), the serial branch-and-bound engine, the parallel engine with
+// four workers, and the pseudo-Boolean backend — and requires result
+// identity on every operation. Witnesses from the parallel and PB backends
+// are allowed to be different packages than the serial ones, but must be
+// genuine: valid and strictly out-rating the rejected selection.
+func assertPBOEquivalent(t *testing.T, mk func() *core.Problem, bound float64) {
+	t.Helper()
+	ctx := context.Background()
+
+	exh := mk()
+	exh.Exhaustive = true
+	bb := mk()
+	comp, err := pbo.Compile(mk(), &PBOCounters)
+	if err != nil {
+		t.Fatalf("pbo.Compile: %v", err)
+	}
+
+	wantCount, err := exh.CountValid(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSel, wantOK, err := exh.FindTopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMB, wantMBOK, err := exh.MaxBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExists, err := exh.ExistsKValid(exh.K, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type backend struct {
+		name   string
+		count  func() (int64, error)
+		topk   func() ([]core.Package, bool, error)
+		maxb   func() (float64, bool, error)
+		exists func() (bool, error)
+		decide func(sel []core.Package) (bool, *core.Package, error)
+		// exactWitness: the backend promises the serial engine's witness,
+		// not just a genuine one.
+		exactWitness bool
+	}
+	backends := []backend{
+		{
+			name:         "bb-serial",
+			count:        func() (int64, error) { return bb.CountValid(bound) },
+			topk:         bb.FindTopK,
+			maxb:         bb.MaxBound,
+			exists:       func() (bool, error) { return bb.ExistsKValid(bb.K, bound) },
+			decide:       bb.DecideTopK,
+			exactWitness: true,
+		},
+		{
+			name:   "bb-parallel",
+			count:  func() (int64, error) { return bb.CountValidParallel(bound, 4) },
+			topk:   func() ([]core.Package, bool, error) { return bb.FindTopKParallel(4) },
+			maxb:   func() (float64, bool, error) { return bb.MaxBoundParallel(4) },
+			exists: func() (bool, error) { return bb.ExistsKValidParallel(bb.K, bound, 4) },
+			decide: func(sel []core.Package) (bool, *core.Package, error) {
+				return bb.DecideTopKParallel(sel, 4)
+			},
+		},
+		{
+			name:   "pbo",
+			count:  func() (int64, error) { return comp.CountValidCtx(ctx, bound) },
+			topk:   func() ([]core.Package, bool, error) { return comp.FindTopKCtx(ctx) },
+			maxb:   func() (float64, bool, error) { return comp.MaxBoundCtx(ctx) },
+			exists: func() (bool, error) { return comp.ExistsKValidCtx(ctx, exh.K, bound) },
+			decide: func(sel []core.Package) (bool, *core.Package, error) {
+				return comp.DecideTopKCtx(ctx, sel)
+			},
+		},
+	}
+
+	for _, be := range backends {
+		gotCount, err := be.count()
+		if err != nil {
+			t.Fatalf("%s: CountValid: %v", be.name, err)
+		}
+		if gotCount != wantCount {
+			t.Fatalf("%s: CountValid %d, exhaustive %d", be.name, gotCount, wantCount)
+		}
+		gotSel, gotOK, err := be.topk()
+		if err != nil {
+			t.Fatalf("%s: FindTopK: %v", be.name, err)
+		}
+		if gotOK != wantOK || len(gotSel) != len(wantSel) {
+			t.Fatalf("%s: FindTopK ok=%v n=%d, exhaustive ok=%v n=%d",
+				be.name, gotOK, len(gotSel), wantOK, len(wantSel))
+		}
+		for i := range wantSel {
+			if !gotSel[i].Equal(wantSel[i]) {
+				t.Fatalf("%s: FindTopK rank %d: %v, exhaustive %v", be.name, i, gotSel[i], wantSel[i])
+			}
+		}
+		gotMB, gotMBOK, err := be.maxb()
+		if err != nil {
+			t.Fatalf("%s: MaxBound: %v", be.name, err)
+		}
+		if gotMBOK != wantMBOK || (wantMBOK && math.Float64bits(gotMB) != math.Float64bits(wantMB)) {
+			t.Fatalf("%s: MaxBound (%v,%v), exhaustive (%v,%v)", be.name, gotMB, gotMBOK, wantMB, wantMBOK)
+		}
+		gotExists, err := be.exists()
+		if err != nil {
+			t.Fatalf("%s: ExistsKValid: %v", be.name, err)
+		}
+		if gotExists != wantExists {
+			t.Fatalf("%s: ExistsKValid %v, exhaustive %v", be.name, gotExists, wantExists)
+		}
+	}
+
+	if !wantOK {
+		return
+	}
+
+	// Decision problem: every backend must agree with the exhaustive engine
+	// on accept/reject for the optimal selection, a deliberately suboptimal
+	// one (when a spare valid package exists), and a truncated one.
+	decideAll := func(sel []core.Package) {
+		t.Helper()
+		wantDec, wantWit, err := exh.DecideTopK(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, be := range backends {
+			gotDec, gotWit, err := be.decide(sel)
+			if err != nil {
+				t.Fatalf("%s: DecideTopK: %v", be.name, err)
+			}
+			if gotDec != wantDec {
+				t.Fatalf("%s: DecideTopK %v, exhaustive %v", be.name, gotDec, wantDec)
+			}
+			if be.exactWitness {
+				if (gotWit == nil) != (wantWit == nil) ||
+					(gotWit != nil && !gotWit.Equal(*wantWit)) {
+					t.Fatalf("%s: DecideTopK witness %v, exhaustive %v", be.name, gotWit, wantWit)
+				}
+				continue
+			}
+			if gotDec && gotWit != nil {
+				t.Fatalf("%s: DecideTopK accepted but returned witness %v", be.name, *gotWit)
+			}
+			if gotWit != nil {
+				valid, err := bb.Valid(*gotWit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				min := math.Inf(1)
+				for _, s := range sel {
+					min = math.Min(min, bb.Val.Eval(s))
+				}
+				if !valid || bb.Val.Eval(*gotWit) <= min {
+					t.Fatalf("%s: witness %v does not out-rate the selection", be.name, *gotWit)
+				}
+			}
+		}
+	}
+	decideAll(wantSel)
+	if len(wantSel) > 0 {
+		decideAll(wantSel[:len(wantSel)-1])
+		var spare *core.Package
+		err = exh.EnumerateValid(func(pkg core.Package) (bool, error) {
+			for _, s := range wantSel {
+				if s.Equal(pkg) {
+					return true, nil
+				}
+			}
+			spare = &pkg
+			return false, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spare != nil {
+			sub := append([]core.Package{}, wantSel[1:]...)
+			sub = append(sub, *spare)
+			decideAll(sub)
+		}
+	}
+}
+
+// TestPBOMatchesEnginesOnFamilies pins the PB backend against the exhaustive,
+// serial branch-and-bound and parallel engines on one instance of every
+// structurally distinct experiment family — the same corpus the bound-layer
+// equivalence test uses, so a pbo divergence cannot hide behind an engine
+// divergence.
+func TestPBOMatchesEnginesOnFamilies(t *testing.T) {
+	for _, c := range EquivCases(testing.Short()) {
+		t.Run(c.Name, func(t *testing.T) {
+			assertPBOEquivalent(t, c.Prob, c.Bound)
+		})
+	}
+}
+
+// TestPBODifferentialRandom is the randomized differential harness: seeded
+// random instances drawn from NewRandomEquivInstance, each cross-checked by
+// assertPBOEquivalent across all four backends. Seeds are fixed, so any
+// failure is reproducible from the subtest name alone. The shards run under
+// t.Parallel, which together with -race in CI audits the PB store's
+// concurrent-compile and the parallel engine's shared pruning state.
+func TestPBODifferentialRandom(t *testing.T) {
+	shards, perShard := 8, 125
+	if testing.Short() {
+		perShard = 16
+	}
+	for s := 0; s < shards; s++ {
+		t.Run(fmt.Sprintf("shard%02d", s), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < perShard; i++ {
+				seed := int64(s)*1000 + int64(i)
+				t.Run(fmt.Sprintf("seed%04d", seed), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(0x5eed0000 + seed))
+					inst := NewRandomEquivInstance(rng)
+					mk := func() *core.Problem {
+						p, err := inst.Spec.Build(inst.DB)
+						if err != nil {
+							t.Fatalf("building %+v: %v", inst.Spec, err)
+						}
+						return p
+					}
+					assertPBOEquivalent(t, mk, inst.Bound)
+				})
+			}
+		})
+	}
+}

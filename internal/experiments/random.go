@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+	"repro/internal/spec"
+)
+
+// RandomEquivInstance is one seeded random cross-backend test instance: a
+// small database, a wire-form problem spec over it, and the rating bound
+// its count/exists probes use. Instances are sized to stay brute-forceable
+// — at most 9 candidates with packages of at most 3 — so the differential
+// suite can afford exhaustive cross-checks on thousands of them.
+type RandomEquivInstance struct {
+	DB    *relation.Database
+	Spec  spec.ProblemSpec
+	Bound float64
+}
+
+// NewRandomEquivInstance draws one instance from rng. The space deliberately
+// crosses every compiler path of the pbo backend: linear and non-linear
+// cost/val aggregators, monotone and plain costs, constant aggregators,
+// tight/loose/degenerate budgets, selective and empty selection queries,
+// and an optional compatibility query forbidding same-group pairs.
+func NewRandomEquivInstance(rng *rand.Rand) RandomEquivInstance {
+	n := 4 + rng.Intn(6) // 4..9 items
+	groups := []string{"a", "b"}
+	db := relation.NewDatabase()
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{
+			relation.Int(int64(i + 1)),
+			relation.Str(groups[rng.Intn(len(groups))]),
+			relation.Int(int64(rng.Intn(16))),     // price 0..15
+			relation.Int(int64(rng.Intn(21) - 8)), // rating -8..12
+		}
+	}
+	db.Add(relation.FromTuples(relation.NewSchema("item", "id", "grp", "price", "rating"), tuples...))
+
+	queries := []string{
+		`RQ(id, grp, price, rating) :- item(id, grp, price, rating).`,
+		`RQ(id, grp, price, rating) :- item(id, grp, price, rating), grp = "a".`,
+		fmt.Sprintf(`RQ(id, grp, price, rating) :- item(id, grp, price, rating), price < %d.`, 3+rng.Intn(14)),
+		fmt.Sprintf(`RQ(id, grp, price, rating) :- item(id, grp, price, rating), rating > %d.`, rng.Intn(8)-6),
+	}
+	costs := []spec.AggSpec{
+		{Kind: "sum", Attr: 2, Monotone: true},
+		{Kind: "sum", Attr: 2}, // same totals, no monotone cut: the descend-anyway path
+		{Kind: "count", Monotone: true},
+		{Kind: "max", Attr: 2, Monotone: true}, // monotone but non-linear: hook-cut path
+		{Kind: "const", Value: float64(rng.Intn(4))},
+	}
+	vals := []spec.AggSpec{
+		{Kind: "sum", Attr: 3},
+		{Kind: "negsum", Attr: 2},
+		{Kind: "count"},
+		{Kind: "min", Attr: 3}, // non-linear: filter-only floor
+		{Kind: "avg", Attr: 3}, // non-linear and fractional
+	}
+	ps := spec.ProblemSpec{
+		Query:      queries[rng.Intn(len(queries))],
+		Cost:       costs[rng.Intn(len(costs))],
+		Val:        vals[rng.Intn(len(vals))],
+		Budget:     float64(rng.Intn(36)), // 0 (nothing fits) .. 35 (loose)
+		K:          rng.Intn(4),           // 0..3
+		MaxPkgSize: 1 + rng.Intn(3),       // 1..3
+	}
+	if rng.Intn(4) == 0 {
+		// No two distinct selected items may share a group.
+		ps.Qc = `Bad(g) :- RQ(i1, g, p1, r1), RQ(i2, g, p2, r2), i1 != i2.`
+	}
+	bound := float64(rng.Intn(25) - 10)
+	if rng.Intn(8) == 0 {
+		bound = float64(rng.Intn(200) - 100) // occasionally far outside the value range
+	}
+	ps.Bound = bound
+	return RandomEquivInstance{DB: db, Spec: ps, Bound: bound}
+}

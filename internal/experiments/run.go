@@ -18,12 +18,18 @@ type Sample struct {
 	// Engine cost accounting for this sample: DFS nodes visited, valid
 	// packages yielded, subtrees cut by the bound layer, bound
 	// evaluations, and solve-session probes answered from memo instead of
-	// a fresh walk (see core.EngineCounters).
-	Nodes      int64
-	Yielded    int64
-	Pruned     int64
-	BoundEvals int64
-	Resumes    int64
+	// a fresh walk (see core.EngineCounters). For families solved by the
+	// pseudo-Boolean backend, Nodes additionally includes PB search
+	// decisions (the backend's analogue of DFS nodes, so the bench gate
+	// compares the two engines in one column) and Conflicts/Propagations
+	// carry its constraint-level accounting (see pbo.Counters).
+	Nodes        int64
+	Yielded      int64
+	Pruned       int64
+	BoundEvals   int64
+	Resumes      int64
+	Conflicts    int64
+	Propagations int64
 }
 
 // Row is a completed experiment row: the family plus its measurements.
@@ -50,23 +56,29 @@ func Run(f Family) Row {
 		after := counterSnapshot()
 		row.Samples = append(row.Samples, Sample{
 			Param: n, Seconds: el, Note: note,
-			Nodes:      after[0] - before[0],
-			Yielded:    after[1] - before[1],
-			Pruned:     after[2] - before[2],
-			BoundEvals: after[3] - before[3],
-			Resumes:    after[4] - before[4],
+			Nodes:        (after[0] - before[0]) + (after[5] - before[5]),
+			Yielded:      after[1] - before[1],
+			Pruned:       after[2] - before[2],
+			BoundEvals:   after[3] - before[3],
+			Resumes:      after[4] - before[4],
+			Conflicts:    after[6] - before[6],
+			Propagations: after[7] - before[7],
 		})
 	}
 	return row
 }
 
-func counterSnapshot() [5]int64 {
-	return [5]int64{
+func counterSnapshot() [8]int64 {
+	_, pboDec, pboProp, pboConf, _, _ := PBOCounters.Snapshot()
+	return [8]int64{
 		BenchCounters.Nodes.Load(),
 		BenchCounters.Yielded.Load(),
 		BenchCounters.Pruned.Load(),
 		BenchCounters.BoundEvals.Load(),
 		BenchCounters.SessionResumes.Load(),
+		pboDec,
+		pboConf,
+		pboProp,
 	}
 }
 
@@ -137,14 +149,16 @@ type JSONRow struct {
 // wall time of the single solve in nanoseconds, and the counter fields are
 // the engine deltas of Sample (zero when the family is not instrumented).
 type JSONSample struct {
-	Param      int     `json:"param"`
-	NsPerOp    float64 `json:"nsPerOp"`
-	Note       string  `json:"note"`
-	Nodes      int64   `json:"nodes,omitempty"`
-	Yielded    int64   `json:"yielded,omitempty"`
-	Pruned     int64   `json:"pruned,omitempty"`
-	BoundEvals int64   `json:"boundEvals,omitempty"`
-	Resumes    int64   `json:"resumes,omitempty"`
+	Param        int     `json:"param"`
+	NsPerOp      float64 `json:"nsPerOp"`
+	Note         string  `json:"note"`
+	Nodes        int64   `json:"nodes,omitempty"`
+	Yielded      int64   `json:"yielded,omitempty"`
+	Pruned       int64   `json:"pruned,omitempty"`
+	BoundEvals   int64   `json:"boundEvals,omitempty"`
+	Resumes      int64   `json:"resumes,omitempty"`
+	Conflicts    int64   `json:"conflicts,omitempty"`
+	Propagations int64   `json:"propagations,omitempty"`
 }
 
 // ReportJSON converts measured rows into the machine-readable report form.
@@ -162,7 +176,7 @@ func ReportJSON(title string, rows []Row) JSONReport {
 			jr.Samples = append(jr.Samples, JSONSample{
 				Param: s.Param, NsPerOp: s.Seconds * 1e9, Note: s.Note,
 				Nodes: s.Nodes, Yielded: s.Yielded, Pruned: s.Pruned, BoundEvals: s.BoundEvals,
-				Resumes: s.Resumes,
+				Resumes: s.Resumes, Conflicts: s.Conflicts, Propagations: s.Propagations,
 			})
 		}
 		rep.Rows = append(rep.Rows, jr)
@@ -197,6 +211,9 @@ func Render(title string, rows []Row) string {
 			}
 			if s.Resumes > 0 {
 				fmt.Fprintf(&b, " resumes=%d", s.Resumes)
+			}
+			if s.Conflicts > 0 || s.Propagations > 0 {
+				fmt.Fprintf(&b, " conflicts=%d props=%d", s.Conflicts, s.Propagations)
 			}
 			b.WriteByte('\n')
 		}

@@ -45,6 +45,11 @@ type WorkloadItem struct {
 	Relax     *spec.RelaxSpec
 	// MaxSuggestions caps a relaxplan item's ranking (0 = server default).
 	MaxSuggestions int
+	// Backend pins the item's solver backend (the wire "backend" field);
+	// empty leaves the server default. SampleWorkload never sets it — a
+	// traffic profile (cmd/recload's -pbo flag) tags items after sampling,
+	// so the same pool can be replayed against either backend.
+	Backend string
 }
 
 // WorkloadDB builds the collection a sampled workload runs over: the

@@ -19,7 +19,7 @@ package parser
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 	"unicode"
 )
 
@@ -180,23 +180,30 @@ lexStart:
 		l.lexNumberTail()
 		return mk(tokNumber), nil
 	case c == '"':
+		// Literals decode with strconv.Unquote — the exact inverse of the
+		// strconv.Quote rendering canonicalization emits — so every
+		// canonical form re-parses to the same value (Canonicalize is a
+		// fixpoint even for strings holding non-printable or non-UTF-8
+		// bytes, which Quote writes as \xNN escapes).
 		l.pos++
-		var b strings.Builder
 		for l.pos < len(l.src) && l.src[l.pos] != '"' {
 			if l.src[l.pos] == '\n' {
 				return token{}, l.errf("unterminated string literal")
 			}
-			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) && l.src[l.pos+1] != '\n' {
 				l.pos++
 			}
-			b.WriteByte(l.src[l.pos])
 			l.pos++
 		}
 		if l.pos >= len(l.src) {
 			return token{}, l.errf("unterminated string literal")
 		}
 		l.pos++ // closing quote
-		return token{kind: tokString, text: b.String(), pos: start, line: l.line}, nil
+		s, err := strconv.Unquote(l.src[start:l.pos])
+		if err != nil {
+			return token{}, l.errf("invalid string literal %s", l.src[start:l.pos])
+		}
+		return token{kind: tokString, text: s, pos: start, line: l.line}, nil
 	case isDigit(c):
 		l.lexNumberTail()
 		return mk(tokNumber), nil

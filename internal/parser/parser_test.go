@@ -1,6 +1,8 @@
 package parser
 
 import (
+	"fmt"
+	"strconv"
 	"testing"
 
 	"repro/internal/query"
@@ -135,6 +137,32 @@ func TestParseStringEscapes(t *testing.T) {
 	arg := q.(*query.CQ).Body[0].(*query.RelAtom).Args[1]
 	if arg.Const.Text() != `a"b` {
 		t.Fatalf("escaped string = %q", arg.Const.Text())
+	}
+}
+
+// String literals decode with the full Go escape syntax — the inverse of
+// the strconv.Quote rendering canonical forms use — so canonicalization
+// is a fixpoint even for strings holding control or non-UTF-8 bytes
+// (found by FuzzCanonicalSpec: "\xbc" used to re-parse as "xbc").
+func TestParseStringEscapesRoundTrip(t *testing.T) {
+	for _, s := range []string{"a\"b", "a\\b", "tab\tand\nnewline", "\xbc", "\x00", "π"} {
+		src := fmt.Sprintf(`Q(x) :- R(x, %s).`, strconv.Quote(s))
+		q := parseOK(t, src)
+		arg := q.(*query.CQ).Body[0].(*query.RelAtom).Args[1]
+		if arg.Const.Text() != s {
+			t.Fatalf("literal %s decoded to %q, want %q", strconv.Quote(s), arg.Const.Text(), s)
+		}
+		c1, err := Canonicalize(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Canonicalize(c1)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", c1, err)
+		}
+		if c1 != c2 {
+			t.Fatalf("canonicalization not a fixpoint: %q -> %q", c1, c2)
+		}
 	}
 }
 

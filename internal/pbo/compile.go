@@ -1,0 +1,479 @@
+package pbo
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// degClamp bounds encoded degrees so slack arithmetic cannot overflow int64:
+// coefficients are capped well below it, so sums and shifted degrees stay
+// within ±2^62.
+const degClamp = int64(1) << 60
+
+// maxCoef is the largest per-item weight the linearizer accepts; larger
+// magnitudes fall back to filter-only handling rather than risk overflow.
+const maxCoef = int64(1) << 40
+
+// linForm is a linear view of an aggregator over the candidate list:
+// val(N) ≈ base + Σ_{t_i ∈ N} w_i, exact up to slop. slop is the soundness
+// margin: encoded thresholds are relaxed by it, so float rounding in the
+// aggregator can never make the PB constraints exclude a package the exact
+// predicates accept — the exact predicates run again on every model.
+type linForm struct {
+	ok   bool
+	w    []int64
+	base float64
+	slop float64
+}
+
+// linearize probes an aggregator for a linear form. Stock linear
+// aggregators are recognised by name: count/countOrInf (unit weights —
+// countOrInf's +∞-on-empty never fires because the compiler always asserts
+// non-emptiness), sum/negsum/weighted (per-item weights probed on singleton
+// packages, accepted only when near-integer and small enough for exact
+// int64 arithmetic), and const (weights zero). Everything else — min, max,
+// avg, singleton ratings, custom Func aggregators — is handled filter-only.
+func linearize(a core.Aggregator, cands []relation.Tuple) linForm {
+	n := len(cands)
+	switch a.Name() {
+	case "count", "countOrInf":
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = 1
+		}
+		return linForm{ok: true, w: w}
+	case "const":
+		return linForm{ok: true, w: make([]int64, n), base: a.Eval(core.NewPackage())}
+	case "sum", "negsum", "weighted":
+		w := make([]int64, n)
+		var sumAbs float64
+		for i, t := range cands {
+			v := a.Eval(core.NewPackage(t))
+			r := math.Round(v)
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v-r) > 1e-9*(1+math.Abs(v)) {
+				return linForm{}
+			}
+			if math.Abs(r) > float64(maxCoef) {
+				return linForm{}
+			}
+			w[i] = int64(r)
+			sumAbs += math.Abs(r)
+		}
+		// Absorbs both the per-weight rounding above and the float
+		// re-association of Eval over whole packages.
+		return linForm{ok: true, w: w, slop: 1e-6 + 1e-9*sumAbs}
+	}
+	return linForm{}
+}
+
+// terms renders the weights as PB terms over the candidate variables
+// (variable i+1 ⇔ candidate i), dropping zero coefficients.
+func (f linForm) terms() []Term {
+	ts := make([]Term, 0, len(f.w))
+	for i, w := range f.w {
+		if w != 0 {
+			ts = append(ts, Term{Coef: w, Lit: i + 1})
+		}
+	}
+	return ts
+}
+
+// Compiled is a core.Problem lowered to PB form: one Boolean variable per
+// candidate tuple (numbered in the problem's canonical candidate order, so
+// package keys and tie-breaking agree with the B&B engine), hard constraints
+// for the always-sound structure (non-emptiness, the package size bound, and
+// the cost budget when the cost aggregator is linear), and linear forms for
+// the dynamic val floor. Constraints are sound relaxations — they never
+// exclude a package the engine would yield — and every enumerated model is
+// round-tripped to a core.Package and re-checked against the problem's exact
+// predicates (canonical-prefix pruning, budget, compatibility), so the op
+// results are identical to the engine's by construction. A Compiled is
+// immutable and safe for concurrent ops once Compile returns.
+type Compiled struct {
+	prob          *core.Problem
+	cands         []relation.Tuple
+	ms            int
+	st            *Store
+	cost          linForm
+	val           linForm
+	budgetEncoded bool
+}
+
+// Compile prepares p (forcing its memoised candidate and bound state) and
+// lowers it to PB form. ctr, when non-nil, receives the accounting of every
+// op run over the result.
+func Compile(p *core.Problem, ctr *Counters) (*Compiled, error) {
+	if err := p.Prepare(); err != nil {
+		return nil, err
+	}
+	cands, err := p.CandidateList()
+	if err != nil {
+		return nil, err
+	}
+	n := len(cands)
+	ms := p.MaxPkgSize
+	if ms <= 0 {
+		ms = n
+	}
+	st := NewStore(n)
+	st.Counters = ctr
+	// Packages are non-empty; with no candidates this is the empty clause,
+	// matching the engine's walk over zero roots.
+	lits := make([]int, n)
+	for i := range lits {
+		lits[i] = i + 1
+	}
+	st.AddClause(lits...)
+	if ms < n {
+		// |N| ≤ ms  ⇔  Σ ¬x_i ≥ n − ms. Integer-exact: no slop needed.
+		neg := make([]Term, n)
+		for i := range neg {
+			neg[i] = Term{Coef: 1, Lit: -(i + 1)}
+		}
+		st.AddGE(neg, int64(n-ms))
+	}
+	c := &Compiled{prob: p, cands: cands, ms: ms, st: st}
+	c.cost = linearize(p.Cost, cands)
+	if c.cost.ok && !math.IsNaN(p.Budget) && !math.IsInf(p.Budget, 0) {
+		rhs := math.Floor(p.Budget - c.cost.base + c.cost.slop)
+		if math.Abs(rhs) < float64(degClamp) {
+			st.AddLE(c.cost.terms(), int64(rhs))
+			c.budgetEncoded = true
+		}
+	}
+	c.val = linearize(p.Val, cands)
+	return c, nil
+}
+
+// Store exposes the compiled constraint store, so callers can run raw
+// satisfiability probes (pbo.Session assumption reuse) over the same
+// encoding the ops use.
+func (c *Compiled) Store() *Store { return c.st }
+
+// floorDegree maps a float rating bound onto a PB degree for the linear val
+// form, relaxed by slop so the floor only ever cuts packages the exact
+// predicate would reject too. active is false when the bound cuts nothing
+// (−∞, NaN, or a non-linear val).
+func (c *Compiled) floorDegree(bound float64) (deg int64, active bool) {
+	if !c.val.ok || math.IsNaN(bound) || math.IsInf(bound, -1) {
+		return 0, false
+	}
+	t := math.Ceil(bound - c.val.base - c.val.slop)
+	switch {
+	case t >= float64(degClamp): // +∞ or absurd: no finite linear val qualifies
+		return degClamp, true
+	case t <= -float64(degClamp):
+		return -degClamp, true
+	}
+	return int64(t), true
+}
+
+// searchWithFloor starts a search whose objective floor is fixed at bound.
+func (c *Compiled) searchWithFloor(bound float64) *search {
+	s := newSearch(c.st)
+	if deg, active := c.floorDegree(bound); active {
+		s.installFloor(c.val.terms(), deg)
+	}
+	return s
+}
+
+// searchRaisable starts a search with an initially-inactive floor that
+// raise can tighten as better selections are buffered (objective-bound
+// tightening, the pbo analogue of the engine's live floor).
+func (c *Compiled) searchRaisable() *search {
+	s := newSearch(c.st)
+	if c.val.ok {
+		s.installFloor(c.val.terms(), -degClamp)
+	}
+	return s
+}
+
+// raise tightens s's floor to the degree encoding bound.
+func (c *Compiled) raise(s *search, bound float64) {
+	if deg, active := c.floorDegree(bound); active {
+		s.raiseFloorTo(deg)
+	}
+}
+
+// hookFor builds the subtree-cut hook for a search: canonical-prefix
+// pruning and the monotone-cost budget cut, the two engine cuts the PB
+// constraints cannot express when the aggregators are not linear. Both cuts
+// are filter-consistent — they only remove models admit would reject — so
+// they change cost, never results. The hook fires only in "clean" states
+// where every true variable precedes every unassigned one; then the true
+// set is a canonical prefix of every completion below the node, which is
+// exactly when the engine would have applied the same cut.
+func (c *Compiled) hookFor(s *search) func() bool {
+	needPrune := c.prob.Prune != nil
+	needCost := c.prob.Cost.Monotone() && !c.budgetEncoded
+	if !needPrune && !needCost {
+		return nil
+	}
+	buf := make([]relation.Tuple, 0, c.ms)
+	return func() bool {
+		buf = buf[:0]
+		firstUnassigned := 0
+		for v := 1; v <= c.st.nvars; v++ {
+			switch {
+			case s.assign[v] == 0:
+				if firstUnassigned == 0 {
+					firstUnassigned = v
+				}
+			case s.assign[v] > 0:
+				if firstUnassigned != 0 {
+					return true // a forced inclusion beyond the frontier: not a clean prefix
+				}
+				buf = append(buf, c.cands[v-1])
+			}
+		}
+		if firstUnassigned == 0 || len(buf) == 0 {
+			return true // total assignment (admit decides) or empty prefix
+		}
+		pfx := core.NewPackage(buf...)
+		if needPrune && c.prob.Prune(pfx) {
+			return false
+		}
+		if needCost && c.prob.Cost.Eval(pfx) > c.prob.Budget {
+			return false
+		}
+		return true
+	}
+}
+
+// admit round-trips a total model to a core.Package and applies the exact
+// acceptance predicates the engine applies along its DFS path: no canonical
+// prefix is pruned, cost within budget, compatibility holds. It returns the
+// package with its exact rating.
+func (c *Compiled) admit(assign []int8) (pkg core.Package, val float64, ok bool, err error) {
+	ts := make([]relation.Tuple, 0, c.ms)
+	for i := range c.cands {
+		if assign[i+1] > 0 {
+			ts = append(ts, c.cands[i])
+		}
+	}
+	if len(ts) == 0 {
+		return core.Package{}, 0, false, nil
+	}
+	if c.prob.Prune != nil {
+		for j := 1; j <= len(ts); j++ {
+			if c.prob.Prune(core.NewPackage(ts[:j]...)) {
+				return core.Package{}, 0, false, nil
+			}
+		}
+	}
+	pkg = core.NewPackage(ts...)
+	if c.prob.Cost.Eval(pkg) > c.prob.Budget {
+		return core.Package{}, 0, false, nil
+	}
+	compat, err := c.prob.Compatible(pkg)
+	if err != nil || !compat {
+		return core.Package{}, 0, false, err
+	}
+	return pkg, c.prob.Val.Eval(pkg), true, nil
+}
+
+// run enumerates the admitted packages of the compiled instance under s,
+// calling yield with each package and its exact rating. It mirrors the
+// engine's enumerateValidFloor gating: a size bound below one, or an empty
+// candidate set, enumerates nothing.
+func (c *Compiled) run(ctx context.Context, s *search, yield func(core.Package, float64) (bool, error)) error {
+	if ctr := c.st.Counters; ctr != nil {
+		ctr.Solves.Add(1)
+	}
+	defer s.fold()
+	if c.ms < 1 || len(c.cands) == 0 {
+		return nil
+	}
+	return s.enumerate(ctx, c.hookFor(s), func(assign []int8) (bool, error) {
+		pkg, val, ok, err := c.admit(assign)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		return yield(pkg, val)
+	})
+}
+
+// scored and topk replicate core's scoredPkg/topkBuf ordering exactly —
+// descending rating, ties broken by ascending canonical package key — so the
+// pbo backend returns bit-identical selections.
+type scored struct {
+	pkg core.Package
+	val float64
+}
+
+func worse(a, b scored) bool {
+	if a.val != b.val {
+		return a.val < b.val
+	}
+	return a.pkg.Key() > b.pkg.Key()
+}
+
+type topk struct {
+	k    int
+	best []scored
+}
+
+func (b *topk) add(s scored) {
+	pos := len(b.best)
+	for pos > 0 && worse(b.best[pos-1], s) {
+		pos--
+	}
+	if pos >= b.k {
+		return
+	}
+	b.best = append(b.best, scored{})
+	copy(b.best[pos+1:], b.best[pos:])
+	b.best[pos] = s
+	if len(b.best) > b.k {
+		b.best = b.best[:b.k]
+	}
+}
+
+func (b *topk) floorVal() (float64, bool) {
+	if b.k <= 0 || len(b.best) < b.k {
+		return 0, false
+	}
+	return b.best[b.k-1].val, true
+}
+
+// findTopKScored is the FRP core over the PB search: every admitted package
+// feeds the top-k buffer, and once the buffer fills, the k-th rating raises
+// the objective floor — the same branch-and-bound contraction the engine's
+// live floor performs.
+func (c *Compiled) findTopKScored(ctx context.Context) ([]scored, bool, error) {
+	buf := topk{k: c.prob.K}
+	s := c.searchRaisable()
+	err := c.run(ctx, s, func(pkg core.Package, val float64) (bool, error) {
+		buf.add(scored{pkg: pkg, val: val})
+		if v, full := buf.floorVal(); full {
+			c.raise(s, v)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if len(buf.best) < c.prob.K {
+		return nil, false, nil
+	}
+	return buf.best, true, nil
+}
+
+// FindTopKCtx solves FRP on the compiled instance: a top-k package
+// selection in descending rating order (ties by canonical key), identical
+// to core.Problem.FindTopK. ok is false when fewer than k distinct valid
+// packages exist.
+func (c *Compiled) FindTopKCtx(ctx context.Context) ([]core.Package, bool, error) {
+	best, ok, err := c.findTopKScored(ctx)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	sel := make([]core.Package, len(best))
+	for i, s := range best {
+		sel[i] = s.pkg
+	}
+	return sel, true, nil
+}
+
+// MaxBoundCtx solves MBP: the k-th highest rating among valid packages
+// (+∞ when k = 0), identical to core.Problem.MaxBound.
+func (c *Compiled) MaxBoundCtx(ctx context.Context) (float64, bool, error) {
+	best, ok, err := c.findTopKScored(ctx)
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	bound := math.Inf(1)
+	for _, s := range best {
+		bound = math.Min(bound, s.val)
+	}
+	return bound, true, nil
+}
+
+// CountValidCtx solves CPP: the number of valid packages rated at least
+// bound, identical to core.Problem.CountValid. The bound doubles as the
+// static objective floor when val is linear.
+func (c *Compiled) CountValidCtx(ctx context.Context, bound float64) (int64, error) {
+	var n int64
+	s := c.searchWithFloor(bound)
+	err := c.run(ctx, s, func(_ core.Package, val float64) (bool, error) {
+		if val >= bound {
+			n++
+		}
+		return true, nil
+	})
+	return n, err
+}
+
+// ExistsKValidCtx reports whether k pairwise-distinct valid packages rated
+// at least bound exist, identical to core.Problem.ExistsKValid.
+func (c *Compiled) ExistsKValidCtx(ctx context.Context, k int, bound float64) (bool, error) {
+	if k <= 0 {
+		return true, nil
+	}
+	found := 0
+	s := c.searchWithFloor(bound)
+	err := c.run(ctx, s, func(_ core.Package, val float64) (bool, error) {
+		if val >= bound {
+			found++
+			if found >= k {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
+	return found >= k, err
+}
+
+// DecideTopKCtx decides RPP for a claimed selection, identical in
+// accept/reject behaviour to core.Problem.DecideTopK. On rejection by
+// out-rating, the witness is a genuine counterexample — a valid package
+// outside the selection rated strictly above its minimum — but not
+// necessarily the same package the serial engine reports, matching the
+// contract of the engine's own parallel variant.
+func (c *Compiled) DecideTopKCtx(ctx context.Context, sel []core.Package) (bool, *core.Package, error) {
+	if len(sel) != c.prob.K {
+		return false, nil, nil
+	}
+	seen := make(map[string]struct{}, len(sel))
+	minVal := math.Inf(1)
+	for _, n := range sel {
+		if _, dup := seen[n.Key()]; dup {
+			return false, nil, nil
+		}
+		seen[n.Key()] = struct{}{}
+		valid, err := c.prob.Valid(n)
+		if err != nil {
+			return false, nil, err
+		}
+		if !valid {
+			return false, nil, nil
+		}
+		minVal = math.Min(minVal, c.prob.Val.Eval(n))
+	}
+	var found *core.Package
+	s := c.searchWithFloor(minVal)
+	err := c.run(ctx, s, func(pkg core.Package, val float64) (bool, error) {
+		if _, in := seen[pkg.Key()]; in {
+			return true, nil
+		}
+		if val > minVal {
+			p := pkg
+			found = &p
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	if found != nil {
+		return false, found, nil
+	}
+	return true, nil, nil
+}

@@ -1,0 +1,283 @@
+package pbo
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// itemsDB mirrors core's test store: item(id, price, rating).
+func itemsDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("item", "id", "price", "rating"),
+		relation.Ints(1, 10, 5),
+		relation.Ints(2, 20, 8),
+		relation.Ints(3, 30, 9),
+		relation.Ints(4, 5, 3)))
+	return db
+}
+
+func basicProblem(budget float64, k int) *core.Problem {
+	db := itemsDB()
+	return &core.Problem{
+		DB:     db,
+		Q:      query.Identity("RQ", db.Relation("item")),
+		Cost:   core.SumAttr(1).WithMonotone(),
+		Val:    core.SumAttr(2),
+		Budget: budget,
+		K:      k,
+	}
+}
+
+// checkAgainstCore runs all five ops through both backends and requires
+// result identity (decide witnesses: genuineness, as for the parallel
+// engine). bound parameterises count/exists.
+func checkAgainstCore(t *testing.T, p *core.Problem, bound float64) {
+	t.Helper()
+	c, err := Compile(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	wantSel, wantOK, err := p.FindTopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSel, gotOK, err := c.FindTopKCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOK != wantOK || len(gotSel) != len(wantSel) {
+		t.Fatalf("FindTopK: pbo ok=%v |sel|=%d, engine ok=%v |sel|=%d", gotOK, len(gotSel), wantOK, len(wantSel))
+	}
+	for i := range wantSel {
+		if !gotSel[i].Equal(wantSel[i]) {
+			t.Fatalf("FindTopK slot %d: pbo %v, engine %v", i, gotSel[i], wantSel[i])
+		}
+	}
+
+	wantMB, wantMBOK, err := p.MaxBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMB, gotMBOK, err := c.MaxBoundCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMBOK != wantMBOK || (wantMBOK && gotMB != wantMB) {
+		t.Fatalf("MaxBound: pbo (%g, %v), engine (%g, %v)", gotMB, gotMBOK, wantMB, wantMBOK)
+	}
+
+	wantN, err := p.CountValid(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotN, err := c.CountValidCtx(ctx, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != wantN {
+		t.Fatalf("CountValid(%g): pbo %d, engine %d", bound, gotN, wantN)
+	}
+
+	for _, k := range []int{0, 1, p.K, int(wantN), int(wantN) + 1} {
+		wantEx, err := p.ExistsKValid(k, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEx, err := c.ExistsKValidCtx(ctx, k, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotEx != wantEx {
+			t.Fatalf("ExistsKValid(%d, %g): pbo %v, engine %v", k, bound, gotEx, wantEx)
+		}
+	}
+
+	// Decide on the engine's own answer (accept), and on perturbations.
+	if wantOK {
+		ok, witness, err := c.DecideTopKCtx(ctx, wantSel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || witness != nil {
+			t.Fatalf("DecideTopK must accept the engine's top-k; got ok=%v witness=%v", ok, witness)
+		}
+		checkDecideRejection(t, p, c, wantSel[:max(0, len(wantSel)-1)])
+	}
+	checkDecideRejection(t, p, c, nil)
+}
+
+// checkDecideRejection compares accept/reject and witness genuineness.
+func checkDecideRejection(t *testing.T, p *core.Problem, c *Compiled, sel []core.Package) {
+	t.Helper()
+	wantOK, _, err := p.DecideTopK(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOK, witness, err := c.DecideTopKCtx(context.Background(), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOK != wantOK {
+		t.Fatalf("DecideTopK(%v): pbo %v, engine %v", sel, gotOK, wantOK)
+	}
+	if witness != nil {
+		valid, err := p.Valid(*witness)
+		if err != nil || !valid {
+			t.Fatalf("witness %v not valid (err=%v)", *witness, err)
+		}
+		minVal := math.Inf(1)
+		for _, n := range sel {
+			minVal = math.Min(minVal, p.Val.Eval(n))
+		}
+		if !(p.Val.Eval(*witness) > minVal) {
+			t.Fatalf("witness %v does not out-rate the selection minimum %g", *witness, minVal)
+		}
+	}
+}
+
+func TestCompiledMatchesCoreBasic(t *testing.T) {
+	for _, budget := range []float64{5, 15, 35, 60, 1000} {
+		for k := 0; k <= 4; k++ {
+			p := basicProblem(budget, k)
+			checkAgainstCore(t, p, 10)
+		}
+	}
+}
+
+func TestCompiledMatchesCoreBounds(t *testing.T) {
+	for _, bound := range []float64{math.Inf(-1), 0, 13, 22, math.Inf(1)} {
+		p := basicProblem(40, 2)
+		checkAgainstCore(t, p, bound)
+	}
+}
+
+func TestCompiledMaxSize(t *testing.T) {
+	for _, ms := range []int{0, 1, 2, 3} {
+		p := basicProblem(1000, 2).WithMaxSize(ms)
+		checkAgainstCore(t, p, 8)
+	}
+}
+
+func TestCompiledCompatFn(t *testing.T) {
+	p := basicProblem(1000, 2)
+	// Items 1 and 2 conflict.
+	p.CompatFn = func(pkg core.Package, _ *relation.Database) (bool, error) {
+		has := func(id int64) bool {
+			for _, tt := range pkg.Tuples() {
+				if tt[0].Int64() == id {
+					return true
+				}
+			}
+			return false
+		}
+		return !(has(1) && has(2)), nil
+	}
+	checkAgainstCore(t, p, 8)
+}
+
+func TestCompiledPruneHint(t *testing.T) {
+	p := basicProblem(1000, 2)
+	// Hereditary hint: no package may contain item 3.
+	p.Prune = func(pkg core.Package) bool {
+		for _, tt := range pkg.Tuples() {
+			if tt[0].Int64() == 3 {
+				return true
+			}
+		}
+		return false
+	}
+	checkAgainstCore(t, p, 8)
+}
+
+func TestCompiledNonLinearAggregators(t *testing.T) {
+	p := basicProblem(1000, 2)
+	p.Val = core.MinAttr(2) // filter-only val: no floor encoding
+	checkAgainstCore(t, p, 5)
+	p2 := basicProblem(45, 2)
+	p2.Cost = core.MaxAttr(1).WithMonotone() // monotone non-linear cost: hook cut
+	checkAgainstCore(t, p2, 8)
+}
+
+func TestCompiledConstAggregators(t *testing.T) {
+	p := basicProblem(1000, 1)
+	p.Cost = core.ConstAgg(7)
+	p.Val = core.ConstAgg(3)
+	checkAgainstCore(t, p, 3)
+	p.Budget = 5 // const cost over budget: nothing is valid
+	p.InvalidateCache()
+	checkAgainstCore(t, p, 3)
+}
+
+func TestCompiledEmptyCandidates(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("item", "id", "price", "rating")))
+	p := &core.Problem{
+		DB:     db,
+		Q:      query.Identity("RQ", db.Relation("item")),
+		Cost:   core.SumAttr(1).WithMonotone(),
+		Val:    core.SumAttr(2),
+		Budget: 100,
+		K:      1,
+	}
+	checkAgainstCore(t, p, 0)
+}
+
+func TestCompiledCounters(t *testing.T) {
+	var ctr Counters
+	p := basicProblem(40, 2)
+	c, err := Compile(p, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.FindTopKCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	solves, decisions, _, _, _, _ := ctr.Snapshot()
+	if solves != 1 || decisions == 0 {
+		t.Fatalf("counters: solves=%d decisions=%d, want 1 solve and nonzero decisions", solves, decisions)
+	}
+}
+
+func TestCompiledContextCancel(t *testing.T) {
+	p := basicProblem(1000, 2)
+	c, err := Compile(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.CountValidCtx(ctx, 0); err == nil {
+		t.Fatal("cancelled context should abort the count")
+	}
+}
+
+func TestLinearizeRejectsFractionalWeights(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.FromTuples(relation.NewSchema("item", "id", "price", "rating"),
+		relation.Tuple{relation.Int(1), relation.Float(1.5), relation.Int(2)},
+		relation.Tuple{relation.Int(2), relation.Float(2.25), relation.Int(3)}))
+	p := &core.Problem{
+		DB:     db,
+		Q:      query.Identity("RQ", db.Relation("item")),
+		Cost:   core.SumAttr(1).WithMonotone(),
+		Val:    core.SumAttr(2),
+		Budget: 2.5,
+		K:      1,
+	}
+	c, err := Compile(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cost.ok {
+		t.Fatal("fractional per-item costs must fall back to filter-only handling")
+	}
+	// Still correct, just unencoded.
+	checkAgainstCore(t, p, 0)
+}

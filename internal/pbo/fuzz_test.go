@@ -1,0 +1,74 @@
+package pbo
+
+import (
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// decodeCNF maps arbitrary fuzz bytes onto a small CNF: the first byte picks
+// the variable count (1..6), each following byte contributes one literal
+// (low bits: variable, bit 3: sign, bit 4: clause terminator). Sizes are
+// capped so the cross-check below stays brute-forceable.
+func decodeCNF(data []byte) sat.CNF {
+	if len(data) == 0 {
+		return sat.CNF{}
+	}
+	nv := int(data[0])%6 + 1
+	cnf := sat.CNF{NumVars: nv}
+	var cl sat.Clause
+	for _, b := range data[1:] {
+		if len(cnf.Clauses) >= 16 {
+			break
+		}
+		v := int(b&0x07)%nv + 1
+		if b&0x08 != 0 {
+			v = -v
+		}
+		cl = append(cl, v)
+		if b&0x10 != 0 || len(cl) >= 4 {
+			cnf.Clauses = append(cnf.Clauses, cl)
+			cl = nil
+		}
+	}
+	if len(cl) > 0 {
+		cnf.Clauses = append(cnf.Clauses, cl)
+	}
+	return cnf
+}
+
+// FuzzPBOAgreesWithSolve pins the PB search against the DPLL solver on
+// arbitrary small CNFs: satisfiability must agree, any model returned must
+// actually satisfy the formula, and full model enumeration must agree with
+// sat.CountModels.
+func FuzzPBOAgreesWithSolve(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x02, 0x11, 0x19})                   // (x1) ∧ (¬x1): unsat units
+	f.Add([]byte{0x04, 0x01, 0x12, 0x0a, 0x13})       // two small clauses
+	f.Add([]byte{0x05, 0x01, 0x02, 0x03, 0x04, 0x15}) // one wide clause
+	f.Add([]byte{0x03, 0x10, 0x18, 0x11, 0x19})       // unit conflict chain
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cnf := decodeCNF(data)
+		st := FromCNF(cnf)
+		model, ok := st.Solve()
+		_, wantOK := sat.Solve(cnf)
+		if ok != wantOK {
+			t.Fatalf("pbo sat=%v, sat.Solve=%v on %v", ok, wantOK, cnf)
+		}
+		if ok && !cnf.Eval(model) {
+			t.Fatalf("pbo model %v does not satisfy %v", model, cnf)
+		}
+		s := newSearch(st)
+		var got int64
+		if err := s.enumerate(nil, nil, func([]int8) (bool, error) {
+			got++
+			return true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if want := sat.CountModels(cnf); got != want {
+			t.Fatalf("pbo models=%d, sat.CountModels=%d on %v", got, want, cnf)
+		}
+	})
+}

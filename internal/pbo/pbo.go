@@ -1,0 +1,233 @@
+// Package pbo is a native pseudo-Boolean optimization backend: a DPLL-style
+// search over normalized pseudo-Boolean (PB) constraints with counter-based
+// ("watched sum") propagation, objective-bound tightening, and incremental
+// assumption reuse mirroring core.SolveSession. It is the repo's second
+// solver engine: where internal/boolenc compiles package-recommendation
+// instances *to* Boolean formulas to exhibit the paper's hardness reductions,
+// pbo runs the promotion in the other direction — compiling a prepared
+// core.Problem into PB form and solving it natively (PAPERS.md: "Comparison
+// of PBO solvers in a dependency solving domain", "Handling software
+// upgradeability problems with MILP solvers").
+//
+// Correctness story: every PB constraint emitted by the compiler is a sound
+// relaxation — it never excludes a package the branch-and-bound engine would
+// yield — and every enumerated model is round-tripped to a core.Package and
+// re-checked against the Problem's exact predicates (prefix pruning, budget,
+// compatibility, val floor). The differential suite in internal/experiments
+// pins result-identity between pbo, the B&B engine, and brute force on every
+// experiment family and a seeded random corpus.
+//
+// Literal convention follows DIMACS: literal v > 0 denotes variable v
+// (1-based), -v its negation — the textual convention internal/sat's DIMACS
+// layer reads and writes.
+package pbo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sat"
+)
+
+// Term is one coefficient–literal product of a pseudo-Boolean constraint.
+type Term struct {
+	Coef int64
+	Lit  int
+}
+
+// Constraint is a normalized PB constraint
+//
+//	Σ_i Coef_i · Lit_i  ≥  Degree
+//
+// with every coefficient positive, at most one term per variable,
+// coefficients saturated at the degree, and terms sorted by descending
+// coefficient (the order the propagator scans, so the forced-literal scan
+// can stop at the first coefficient ≤ slack).
+type Constraint struct {
+	Terms  []Term
+	Degree int64
+}
+
+// conState classifies the outcome of normalization.
+type conState int
+
+const (
+	conOK      conState = iota // a real constraint
+	conTrivial                 // degree ≤ 0 after normalization: always satisfied
+	conUnsat                   // Σ coefficients < degree: no assignment satisfies it
+)
+
+// normalizeGE rewrites Σ terms ≥ degree into the canonical form described on
+// Constraint: duplicate literals of one variable are merged, a net-negative
+// coefficient c·x is replaced by (-c)·¬x with the degree shifted by -c, and
+// surviving coefficients are saturated at the degree (a coefficient larger
+// than the degree behaves identically to one equal to it).
+func normalizeGE(terms []Term, degree int64) (Constraint, conState) {
+	acc := make(map[int]int64, len(terms)) // 1-based var → net coefficient on the positive literal
+	for _, t := range terms {
+		if t.Coef == 0 {
+			continue
+		}
+		if t.Lit == 0 {
+			panic("pbo: zero literal in constraint")
+		}
+		v := varOf(t.Lit)
+		if t.Lit > 0 {
+			acc[v] += t.Coef
+		} else {
+			// c·¬x = c - c·x
+			acc[v] -= t.Coef
+			degree -= t.Coef
+		}
+	}
+	out := make([]Term, 0, len(acc))
+	for v, a := range acc {
+		switch {
+		case a > 0:
+			out = append(out, Term{Coef: a, Lit: v})
+		case a < 0:
+			// a·x = a - a·(1-x) = a + (-a)·¬x
+			out = append(out, Term{Coef: -a, Lit: -v})
+			degree -= a
+		}
+	}
+	if degree <= 0 {
+		return Constraint{}, conTrivial
+	}
+	var sum int64
+	for i := range out {
+		if out[i].Coef > degree {
+			out[i].Coef = degree
+		}
+		sum += out[i].Coef
+	}
+	if sum < degree {
+		return Constraint{}, conUnsat
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Coef != out[j].Coef {
+			return out[i].Coef > out[j].Coef
+		}
+		return litIndex(out[i].Lit) < litIndex(out[j].Lit)
+	})
+	return Constraint{Terms: out, Degree: degree}, conOK
+}
+
+// litIndex maps a non-zero literal to a dense index in [0, 2·nvars):
+// 2·(v-1) for the positive literal of variable v, 2·(v-1)+1 for the negative.
+func litIndex(lit int) int {
+	v := varOf(lit) - 1
+	if lit > 0 {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+// indexLit is the inverse of litIndex.
+func indexLit(idx int) int {
+	v := idx/2 + 1
+	if idx%2 == 0 {
+		return v
+	}
+	return -v
+}
+
+// occRef locates one term inside the constraint store: cons[Con].Terms[Term].
+type occRef struct {
+	Con  int32
+	Term int32
+}
+
+// Store is an immutable-after-construction set of normalized PB constraints
+// over a fixed variable range, with per-literal occurrence lists. A Store
+// carries no search state: any number of searches (and any number of
+// goroutines) may solve over one Store concurrently, which is how the
+// serving layer shares a compiled problem across requests.
+type Store struct {
+	nvars int
+	cons  []Constraint
+	occs  [][]occRef // indexed by litIndex; constraints containing that literal
+	unsat bool       // some added constraint is unsatisfiable on its own
+
+	// Counters, when non-nil, receives search accounting (decisions,
+	// propagations, conflicts, session resumes) from every solve over this
+	// store; the fields are atomics, so concurrent searches may share one
+	// sink. Mirrors core.Problem.Counters.
+	Counters *Counters
+}
+
+// NewStore returns an empty store over variables 1..nvars.
+func NewStore(nvars int) *Store {
+	if nvars < 0 {
+		nvars = 0
+	}
+	return &Store{nvars: nvars, occs: make([][]occRef, 2*nvars)}
+}
+
+// NumVars returns the variable range the store was built over.
+func (st *Store) NumVars() int { return st.nvars }
+
+// NumConstraints returns the number of (non-trivial) constraints held.
+func (st *Store) NumConstraints() int { return len(st.cons) }
+
+// Unsat reports whether some added constraint was unsatisfiable on its own
+// (e.g. an empty clause); searches over such a store enumerate nothing.
+func (st *Store) Unsat() bool { return st.unsat }
+
+// AddGE adds Σ terms ≥ degree. Terms may repeat variables and carry negative
+// coefficients; normalization handles both. Trivially-true constraints are
+// dropped; trivially-false ones mark the whole store unsatisfiable.
+func (st *Store) AddGE(terms []Term, degree int64) {
+	for _, t := range terms {
+		if t.Lit != 0 {
+			if v := varOf(t.Lit); v < 1 || v > st.nvars {
+				panic(fmt.Sprintf("pbo: literal %d out of range 1..%d", t.Lit, st.nvars))
+			}
+		}
+	}
+	c, state := normalizeGE(terms, degree)
+	switch state {
+	case conTrivial:
+		return
+	case conUnsat:
+		st.unsat = true
+		return
+	}
+	idx := int32(len(st.cons))
+	st.cons = append(st.cons, c)
+	for ti, t := range c.Terms {
+		li := litIndex(t.Lit)
+		st.occs[li] = append(st.occs[li], occRef{Con: idx, Term: int32(ti)})
+	}
+}
+
+// AddLE adds Σ terms ≤ degree by negating both sides into ≥ form.
+func (st *Store) AddLE(terms []Term, degree int64) {
+	neg := make([]Term, len(terms))
+	for i, t := range terms {
+		neg[i] = Term{Coef: -t.Coef, Lit: t.Lit}
+	}
+	st.AddGE(neg, -degree)
+}
+
+// AddClause adds the disjunction of lits as the cardinality constraint
+// Σ lits ≥ 1. An empty clause marks the store unsatisfiable, matching CNF
+// semantics.
+func (st *Store) AddClause(lits ...int) {
+	terms := make([]Term, len(lits))
+	for i, l := range lits {
+		terms[i] = Term{Coef: 1, Lit: l}
+	}
+	st.AddGE(terms, 1)
+}
+
+// FromCNF builds a store holding cnf's clauses as cardinality-1 constraints,
+// the degenerate PB case. It is the bridge the fuzz harness uses to check
+// the PB search against sat.Solve on arbitrary CNF inputs.
+func FromCNF(cnf sat.CNF) *Store {
+	st := NewStore(cnf.NumVars)
+	for _, cl := range cnf.Clauses {
+		st.AddClause(cl...)
+	}
+	return st
+}

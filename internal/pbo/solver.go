@@ -1,0 +1,430 @@
+package pbo
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Counters accumulates pbo engine cost accounting across searches. All
+// fields are atomics so concurrent solves can share one sink; the serving
+// layer reads them lock-free for /v1/stats, mirroring core.EngineCounters.
+type Counters struct {
+	// Solves counts entry-point solves (one per compiled op or Solve call).
+	Solves atomic.Int64
+	// Decisions counts search-tree decision nodes (assumptions included) —
+	// the pbo analogue of the B&B engine's DFS node count.
+	Decisions atomic.Int64
+	// Propagations counts literals forced by constraint propagation.
+	Propagations atomic.Int64
+	// Conflicts counts dead ends: a constraint's slack (or the objective
+	// floor's) went negative and the search backtracked.
+	Conflicts atomic.Int64
+	// SessionResumes counts Session.Probe calls answered from the memo,
+	// mirroring core.EngineCounters' session fields.
+	SessionResumes atomic.Int64
+	// SessionDecisionsSaved sums the recorded decision counts of resumed
+	// probes — an estimate of the search work each resume avoided.
+	SessionDecisionsSaved atomic.Int64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (c *Counters) Snapshot() (solves, decisions, propagations, conflicts, resumes, saved int64) {
+	return c.Solves.Load(), c.Decisions.Load(), c.Propagations.Load(),
+		c.Conflicts.Load(), c.SessionResumes.Load(), c.SessionDecisionsSaved.Load()
+}
+
+// search is the per-solve mutable state: an assignment stack over an
+// immutable Store. One search is single-goroutine; concurrency comes from
+// running independent searches over the shared store.
+type search struct {
+	st     *Store
+	assign []int8  // per 1-based var (index 0 unused): +1 true, -1 false, 0 unassigned
+	slack  []int64 // per constraint: Σ coefs of non-false terms − degree
+	trail  []int   // literals made true, in assignment order
+	lims   []int   // trail length at each decision level
+	qhead  int     // propagation frontier into trail
+
+	// Objective floor: a single ≥-constraint kept outside the store because
+	// its degree is raised mid-search (objective-bound tightening). It is
+	// check-only — it cuts branches whose floorSlack goes negative but never
+	// forces literals, so raising the degree stays sound at any point.
+	hasFloor   bool
+	floorCoefs []int64 // per litIndex; 0 = literal absent from the floor
+	floorSlack int64
+	floorDeg   int64
+
+	decisions    int64
+	propagations int64
+	conflicts    int64
+	steps        int64 // context-poll pacing
+}
+
+func newSearch(st *Store) *search {
+	s := &search{
+		st:     st,
+		assign: make([]int8, st.nvars+1),
+		slack:  make([]int64, len(st.cons)),
+	}
+	for i := range st.cons {
+		var sum int64
+		for _, t := range st.cons[i].Terms {
+			sum += t.Coef
+		}
+		s.slack[i] = sum - st.cons[i].Degree
+	}
+	return s
+}
+
+// fold adds this search's tallies into the store's counter sink, if any.
+func (s *search) fold() {
+	if c := s.st.Counters; c != nil {
+		c.Decisions.Add(s.decisions)
+		c.Propagations.Add(s.propagations)
+		c.Conflicts.Add(s.conflicts)
+	}
+}
+
+// installFloor sets the objective floor Σ terms ≥ degree. Must be called on
+// a fresh search (empty trail). Terms may carry negative coefficients; they
+// are flipped onto the negated literal with the degree shifted, as in
+// normalizeGE, but without saturation — the degree moves during the search.
+func (s *search) installFloor(terms []Term, degree int64) {
+	s.hasFloor = true
+	s.floorCoefs = make([]int64, 2*s.st.nvars)
+	var sum int64
+	for _, t := range terms {
+		switch {
+		case t.Coef > 0:
+			s.floorCoefs[litIndex(t.Lit)] += t.Coef
+		case t.Coef < 0:
+			s.floorCoefs[litIndex(-t.Lit)] += -t.Coef
+			degree -= t.Coef
+		}
+	}
+	for _, c := range s.floorCoefs {
+		sum += c
+	}
+	s.floorDeg = degree
+	s.floorSlack = sum - degree
+}
+
+// raiseFloorTo tightens the objective floor to at least degree (in the same
+// shifted coordinates installFloor left it in; compiled ops only ever go
+// through Compiled.raise, which handles the shift). Raising mid-search is
+// sound because the floor only ever cuts, never propagates.
+func (s *search) raiseFloorTo(degree int64) {
+	if !s.hasFloor || degree <= s.floorDeg {
+		return
+	}
+	s.floorSlack -= degree - s.floorDeg
+	s.floorDeg = degree
+}
+
+// setLit makes lit true: records it on the trail and pays its slack out of
+// every constraint containing ¬lit. Returns false if any slack (or the
+// floor's) went negative — the caller must still backtrack through the
+// trail entry, which setLit always pushes.
+func (s *search) setLit(lit int) bool {
+	v := lit
+	val := int8(1)
+	if lit < 0 {
+		v = -lit
+		val = -1
+	}
+	s.assign[v] = val
+	s.trail = append(s.trail, lit)
+	fi := litIndex(-lit)
+	ok := true
+	for _, o := range s.st.occs[fi] {
+		s.slack[o.Con] -= s.st.cons[o.Con].Terms[o.Term].Coef
+		if s.slack[o.Con] < 0 {
+			ok = false
+		}
+	}
+	if s.hasFloor {
+		if c := s.floorCoefs[fi]; c != 0 {
+			s.floorSlack -= c
+			if s.floorSlack < 0 {
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// propagate drains the trail frontier, forcing every literal whose
+// coefficient exceeds its constraint's slack (in a ≥-constraint, a non-false
+// literal with Coef > slack must be true). Terms are sorted by descending
+// coefficient, so each scan stops at the first coefficient ≤ slack. Returns
+// false on conflict.
+func (s *search) propagate() bool {
+	for s.qhead < len(s.trail) {
+		lit := s.trail[s.qhead]
+		s.qhead++
+		fi := litIndex(-lit)
+		for _, o := range s.st.occs[fi] {
+			con := &s.st.cons[o.Con]
+			sl := s.slack[o.Con]
+			if sl < 0 {
+				return false
+			}
+			for _, t := range con.Terms {
+				if t.Coef <= sl {
+					break
+				}
+				if s.assign[varOf(t.Lit)] == 0 {
+					s.propagations++
+					if !s.setLit(t.Lit) {
+						return false
+					}
+				}
+			}
+		}
+		if s.hasFloor && s.floorSlack < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// initProp runs the root-level propagation pass: constraints can force
+// literals before any decision is made (Coef > initial slack), which the
+// trail-driven propagate never revisits. Returns false if the store is
+// unsatisfiable at the root.
+func (s *search) initProp() bool {
+	if s.st.unsat {
+		return false
+	}
+	for ci := range s.st.cons {
+		sl := s.slack[ci]
+		if sl < 0 {
+			return false
+		}
+		for _, t := range s.st.cons[ci].Terms {
+			if t.Coef <= sl {
+				break
+			}
+			if s.assign[varOf(t.Lit)] == 0 {
+				s.propagations++
+				if !s.setLit(t.Lit) {
+					s.conflicts++
+					return false
+				}
+			}
+		}
+	}
+	if s.hasFloor && s.floorSlack < 0 {
+		s.conflicts++
+		return false
+	}
+	if !s.propagate() {
+		s.conflicts++
+		return false
+	}
+	return true
+}
+
+// assume opens a decision level, makes lit true and propagates. On conflict
+// it returns false with the level still open — the caller cancels it.
+func (s *search) assume(lit int) bool {
+	s.lims = append(s.lims, len(s.trail))
+	s.decisions++
+	if !s.setLit(lit) || !s.propagate() {
+		s.conflicts++
+		return false
+	}
+	return true
+}
+
+// cancel pops one decision level, refunding slack along the trail suffix.
+func (s *search) cancel() {
+	mark := s.lims[len(s.lims)-1]
+	s.lims = s.lims[:len(s.lims)-1]
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		lit := s.trail[i]
+		fi := litIndex(-lit)
+		for _, o := range s.st.occs[fi] {
+			s.slack[o.Con] += s.st.cons[o.Con].Terms[o.Term].Coef
+		}
+		if s.hasFloor {
+			s.floorSlack += s.floorCoefs[fi]
+		}
+		s.assign[varOf(lit)] = 0
+	}
+	s.trail = s.trail[:mark]
+	s.qhead = mark
+}
+
+func varOf(lit int) int {
+	if lit < 0 {
+		return -lit
+	}
+	return lit
+}
+
+// enumerate walks the full search tree depth-first in ascending variable
+// order, include-branch first, and calls yield on every total model that
+// satisfies all constraints and the current floor. yield returning false
+// stops the enumeration; a non-nil error aborts it. The walk is
+// deterministic, which the differential harness relies on. hook, when
+// non-nil, is consulted after each successful decision and may cut the
+// subtree (used by the compiler for prefix-prune and monotone-cost cuts).
+func (s *search) enumerate(ctx context.Context, hook func() bool, yield func(assign []int8) (bool, error)) error {
+	if ctx != nil {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	if !s.initProp() {
+		return nil
+	}
+	if hook != nil && !hook() {
+		return nil
+	}
+	_, err := s.dfs(ctx, 1, hook, yield)
+	return err
+}
+
+func (s *search) dfs(ctx context.Context, from int, hook func() bool, yield func(assign []int8) (bool, error)) (bool, error) {
+	s.steps++
+	if ctx != nil && s.steps&255 == 0 {
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+		default:
+		}
+	}
+	v := from
+	for v <= s.st.nvars && s.assign[v] != 0 {
+		v++
+	}
+	if v > s.st.nvars {
+		// Total model. Constraints hold: every slack is non-negative and no
+		// literal is unassigned, so each Σ over true terms meets its degree.
+		return yield(s.assign)
+	}
+	for _, lit := range [2]int{v, -v} {
+		ok := s.assume(lit)
+		if ok && hook != nil {
+			ok = hook()
+		}
+		if ok {
+			cont, err := s.dfs(ctx, v+1, hook, yield)
+			if err != nil || !cont {
+				s.cancel()
+				return false, err
+			}
+		}
+		s.cancel()
+	}
+	return true, nil
+}
+
+// Solve searches for a model of the store's constraints. It returns the
+// model as a per-variable truth assignment (index 0 = variable 1) and
+// whether one exists. Deterministic: the model returned is the first in the
+// enumeration order.
+func (st *Store) Solve() ([]bool, bool) {
+	return st.SolveAssume(nil)
+}
+
+// SolveAssume is Solve under assumptions: each literal in assume is fixed
+// before the search starts. Contradictory assumptions yield ok = false.
+func (st *Store) SolveAssume(assume []int) ([]bool, bool) {
+	model, _, ok := st.solveAssume(assume)
+	return model, ok
+}
+
+// solveAssume also reports the decisions spent, for the session memo.
+func (st *Store) solveAssume(assume []int) ([]bool, int64, bool) {
+	if st.Counters != nil {
+		st.Counters.Solves.Add(1)
+	}
+	s := newSearch(st)
+	defer s.fold()
+	for _, lit := range assume {
+		v := varOf(lit)
+		if v < 1 || v > st.nvars {
+			return nil, s.decisions, false
+		}
+		want := int8(1)
+		if lit < 0 {
+			want = -1
+		}
+		if s.assign[v] == want {
+			continue
+		}
+		if s.assign[v] == -want || !s.setLit(lit) {
+			s.conflicts++
+			return nil, s.decisions, false
+		}
+	}
+	var model []bool
+	err := s.enumerate(nil, nil, func(assign []int8) (bool, error) {
+		model = make([]bool, st.nvars)
+		for v := 1; v <= st.nvars; v++ {
+			model[v-1] = assign[v] > 0
+		}
+		return false, nil
+	})
+	_ = err // no ctx, no erroring yields
+	return model, s.decisions, model != nil
+}
+
+// Session memoises SolveAssume outcomes across a sequence of related probes,
+// mirroring core.SolveSession: callers exploring a neighbourhood of
+// assumption sets (the relaxation loop's per-suggestion feasibility checks)
+// resume already-solved variants instead of re-searching. The memo key is
+// the salt plus the canonicalised assumption set, so logically identical
+// probes hit regardless of assumption order. A Session is not safe for
+// concurrent use; the underlying Store is.
+type Session struct {
+	st   *Store
+	memo map[string]sessionRec
+}
+
+type sessionRec struct {
+	model     []bool
+	ok        bool
+	decisions int64
+}
+
+// NewSession returns an empty session over st.
+func NewSession(st *Store) *Session {
+	return &Session{st: st, memo: make(map[string]sessionRec)}
+}
+
+// Probe solves the store under the given assumptions, answering from the
+// session memo when an identical (salt, assumptions) probe already ran.
+// Resumed probes bump SessionResumes / SessionDecisionsSaved on the store's
+// counter sink instead of re-searching.
+func (s *Session) Probe(assume []int, salt string) ([]bool, bool) {
+	key := probeKey(assume, salt)
+	if rec, hit := s.memo[key]; hit {
+		if c := s.st.Counters; c != nil {
+			c.SessionResumes.Add(1)
+			c.SessionDecisionsSaved.Add(rec.decisions)
+		}
+		return rec.model, rec.ok
+	}
+	model, decisions, ok := s.st.solveAssume(assume)
+	s.memo[key] = sessionRec{model: model, ok: ok, decisions: decisions}
+	return model, ok
+}
+
+func probeKey(assume []int, salt string) string {
+	lits := append([]int(nil), assume...)
+	sort.Ints(lits)
+	var b strings.Builder
+	b.WriteString(salt)
+	for _, l := range lits {
+		b.WriteByte(0x1e)
+		b.WriteString(strconv.Itoa(l))
+	}
+	return b.String()
+}

@@ -1,0 +1,290 @@
+package pbo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// countModels enumerates a store's total models over all variables.
+func countModels(t *testing.T, st *Store) int64 {
+	t.Helper()
+	s := newSearch(st)
+	var n int64
+	if err := s.enumerate(nil, nil, func([]int8) (bool, error) {
+		n++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNormalizeGE(t *testing.T) {
+	cases := []struct {
+		name   string
+		terms  []Term
+		degree int64
+		state  conState
+		deg    int64
+		nterms int
+	}{
+		{"plain clause", []Term{{1, 1}, {1, 2}}, 1, conOK, 1, 2},
+		{"merge duplicates", []Term{{1, 1}, {2, 1}}, 3, conOK, 3, 1},
+		{"cancel to trivial", []Term{{1, 1}, {1, -1}}, 1, conTrivial, 0, 0},
+		{"negative coef flips", []Term{{-2, 1}, {3, 2}}, 1, conOK, 3, 2},
+		{"saturation", []Term{{10, 1}, {1, 2}}, 2, conOK, 2, 2},
+		{"trivial", []Term{{1, 1}}, 0, conTrivial, 0, 0},
+		{"unsat", []Term{{1, 1}, {1, 2}}, 3, conUnsat, 0, 0},
+		{"empty unsat", nil, 1, conUnsat, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, state := normalizeGE(tc.terms, tc.degree)
+			if state != tc.state {
+				t.Fatalf("state = %v, want %v", state, tc.state)
+			}
+			if state != conOK {
+				return
+			}
+			if c.Degree != tc.deg || len(c.Terms) != tc.nterms {
+				t.Fatalf("got %+v, want degree %d with %d terms", c, tc.deg, tc.nterms)
+			}
+			for i := 1; i < len(c.Terms); i++ {
+				if c.Terms[i-1].Coef < c.Terms[i].Coef {
+					t.Fatal("terms not sorted by descending coefficient")
+				}
+			}
+			for _, tm := range c.Terms {
+				if tm.Coef <= 0 || tm.Coef > c.Degree {
+					t.Fatalf("coefficient %d outside (0, degree]", tm.Coef)
+				}
+			}
+		})
+	}
+}
+
+func TestCardinalityModelCounts(t *testing.T) {
+	// Over 4 variables: Σx ≥ 2 has C(4,2)+C(4,3)+C(4,4) = 11 models,
+	// Σx ≤ 2 has 1+4+6 = 11, and both together have 6.
+	atLeast := NewStore(4)
+	atLeast.AddGE([]Term{{1, 1}, {1, 2}, {1, 3}, {1, 4}}, 2)
+	if n := countModels(t, atLeast); n != 11 {
+		t.Fatalf("Σx ≥ 2 models = %d, want 11", n)
+	}
+	atMost := NewStore(4)
+	atMost.AddLE([]Term{{1, 1}, {1, 2}, {1, 3}, {1, 4}}, 2)
+	if n := countModels(t, atMost); n != 11 {
+		t.Fatalf("Σx ≤ 2 models = %d, want 11", n)
+	}
+	exactly := NewStore(4)
+	exactly.AddGE([]Term{{1, 1}, {1, 2}, {1, 3}, {1, 4}}, 2)
+	exactly.AddLE([]Term{{1, 1}, {1, 2}, {1, 3}, {1, 4}}, 2)
+	if n := countModels(t, exactly); n != 6 {
+		t.Fatalf("Σx = 2 models = %d, want 6", n)
+	}
+}
+
+func TestWeightedConstraint(t *testing.T) {
+	// 3a + 2b + c ≥ 4: models are exactly those with a ∧ (b ∨ c) or b ∧ c...
+	// enumerate by hand: a=1: need 2b+c ≥ 1 → (b,c) ≠ (0,0) → 3; a=0: 2b+c ≥ 4
+	// is impossible (max 3) → 0. Total 3.
+	st := NewStore(3)
+	st.AddGE([]Term{{3, 1}, {2, 2}, {1, 3}}, 4)
+	if n := countModels(t, st); n != 3 {
+		t.Fatalf("models = %d, want 3", n)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	st := NewStore(2)
+	st.AddClause()
+	if !st.Unsat() {
+		t.Fatal("empty clause should mark the store unsatisfiable")
+	}
+	if _, ok := st.Solve(); ok {
+		t.Fatal("unsat store should have no model")
+	}
+	if n := countModels(t, st); n != 0 {
+		t.Fatal("unsat store should enumerate nothing")
+	}
+}
+
+func TestFromCNFMatchesSatOnFixed(t *testing.T) {
+	cases := []sat.CNF{
+		{NumVars: 0, Clauses: nil},                     // empty formula: trivially sat
+		{NumVars: 2, Clauses: []sat.Clause{{1}, {-1}}}, // contradictory units
+		{NumVars: 3, Clauses: []sat.Clause{{1, 2}, {-1, 3}, {-2, -3}}},
+		{NumVars: 4, Clauses: []sat.Clause{{1}, {-1, 2}, {-2, 3}, {-3, 4}}}, // unit chain
+	}
+	for i, cnf := range cases {
+		st := FromCNF(cnf)
+		model, ok := st.Solve()
+		_, wantOK := sat.Solve(cnf)
+		if ok != wantOK {
+			t.Fatalf("case %d: pbo sat = %v, sat.Solve = %v", i, ok, wantOK)
+		}
+		if ok && !cnf.Eval(model) {
+			t.Fatalf("case %d: pbo model does not satisfy the CNF", i)
+		}
+	}
+}
+
+func TestFromCNFModelCountsMatchSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		cnf := sat.Rand3CNF(rng, 1+rng.Intn(7), rng.Intn(12))
+		st := FromCNF(cnf)
+		got := countModels(t, st)
+		want := sat.CountModels(cnf)
+		if got != want {
+			t.Fatalf("cnf %d (%v): pbo models = %d, sat.CountModels = %d", i, cnf, got, want)
+		}
+	}
+}
+
+func TestSolveAssume(t *testing.T) {
+	st := NewStore(3)
+	st.AddClause(1, 2)
+	model, ok := st.SolveAssume([]int{-1})
+	if !ok || model[1] != true {
+		t.Fatalf("assuming ¬x1 should force x2: model=%v ok=%v", model, ok)
+	}
+	if _, ok := st.SolveAssume([]int{1, -1}); ok {
+		t.Fatal("contradictory assumptions should be unsat")
+	}
+	if _, ok := st.SolveAssume([]int{9}); ok {
+		t.Fatal("out-of-range assumption should be unsat")
+	}
+	if _, ok := st.SolveAssume([]int{1, 1}); !ok {
+		t.Fatal("repeated assumption should be harmless")
+	}
+}
+
+func TestObjectiveFloor(t *testing.T) {
+	// Maximize 3a + 2b + c by enumeration with a rising floor: after seeing
+	// the all-true model (value 6), raising the floor to 6 must cut every
+	// other branch.
+	st := NewStore(3)
+	terms := []Term{{3, 1}, {2, 2}, {1, 3}}
+	s := newSearch(st)
+	s.installFloor(terms, -degClamp)
+	var seen int
+	var best int64
+	err := s.enumerate(nil, nil, func(assign []int8) (bool, error) {
+		seen++
+		var v int64
+		for _, tm := range terms {
+			if assign[tm.Lit] > 0 {
+				v += tm.Coef
+			}
+		}
+		if v > best {
+			best = v
+			s.raiseFloorTo(v)
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 6 {
+		t.Fatalf("best = %d, want 6", best)
+	}
+	if seen >= 8 {
+		t.Fatalf("floor raised to the optimum should cut branches; saw all %d models", seen)
+	}
+}
+
+func TestFloorWithNegativeCoefficients(t *testing.T) {
+	// Floor on -a - b ≥ -1 ⇔ at most one of a, b: 3 of 4 models qualify.
+	st := NewStore(2)
+	s := newSearch(st)
+	s.installFloor([]Term{{-1, 1}, {-1, 2}}, -1)
+	var n int
+	if err := s.enumerate(nil, nil, func([]int8) (bool, error) {
+		n++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("models under floor = %d, want 3", n)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	var ctr Counters
+	st := FromCNF(sat.CNF{NumVars: 3, Clauses: []sat.Clause{{1, 2}, {-1, 3}, {-2, -3}}})
+	st.Counters = &ctr
+	if _, ok := st.Solve(); !ok {
+		t.Fatal("expected sat")
+	}
+	solves, decisions, _, _, _, _ := ctr.Snapshot()
+	if solves != 1 {
+		t.Fatalf("solves = %d, want 1", solves)
+	}
+	if decisions == 0 {
+		t.Fatal("expected at least one decision")
+	}
+}
+
+func TestSessionResumes(t *testing.T) {
+	var ctr Counters
+	st := FromCNF(sat.CNF{NumVars: 4, Clauses: []sat.Clause{{1, 2}, {3, 4}, {-1, -3}}})
+	st.Counters = &ctr
+	sess := NewSession(st)
+	m1, ok1 := sess.Probe([]int{1}, "s")
+	if !ok1 {
+		t.Fatal("probe should be sat")
+	}
+	// Same probe: must resume, not re-solve.
+	m2, ok2 := sess.Probe([]int{1}, "s")
+	if !ok2 || !boolsEqual(m1, m2) {
+		t.Fatal("resumed probe should return the memoised outcome")
+	}
+	if got := ctr.SessionResumes.Load(); got != 1 {
+		t.Fatalf("resumes = %d, want 1", got)
+	}
+	if ctr.SessionDecisionsSaved.Load() == 0 {
+		t.Fatal("resume should record saved decisions")
+	}
+	// A different salt is a different probe.
+	if _, ok := sess.Probe([]int{1}, "other"); !ok {
+		t.Fatal("salted probe should be sat")
+	}
+	if got := ctr.SessionResumes.Load(); got != 1 {
+		t.Fatalf("salted probe must not resume; resumes = %d", got)
+	}
+	// Unsatisfiable probes memoise too.
+	if _, ok := sess.Probe([]int{1, 3}, "s"); ok {
+		t.Fatal("1 ∧ 3 violates the conflict clause")
+	}
+	if _, ok := sess.Probe([]int{3, 1}, "s"); ok {
+		t.Fatal("assumption order must not matter")
+	}
+	if got := ctr.SessionResumes.Load(); got != 2 {
+		t.Fatalf("resumes = %d, want 2", got)
+	}
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLitIndexRoundTrip(t *testing.T) {
+	for _, lit := range []int{1, -1, 2, -2, 17, -17} {
+		if got := indexLit(litIndex(lit)); got != lit {
+			t.Fatalf("indexLit(litIndex(%d)) = %d", lit, got)
+		}
+	}
+}

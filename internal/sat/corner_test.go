@@ -1,0 +1,72 @@
+package sat
+
+import "testing"
+
+// TestSolveCorners drives the DPLL solver through its degenerate branches:
+// empty formulas, empty clauses, unit-propagation chains, contradictory
+// units and pure literals, each with the model count cross-checked.
+func TestSolveCorners(t *testing.T) {
+	cases := []struct {
+		name   string
+		cnf    CNF
+		sat    bool
+		models int64
+	}{
+		{"empty formula no vars", CNF{}, true, 1},
+		{"empty formula free vars", CNF{NumVars: 3}, true, 8},
+		{"empty clause", CNF{NumVars: 2, Clauses: []Clause{{}}}, false, 0},
+		{"empty clause among others", CNF{NumVars: 2, Clauses: []Clause{{1, 2}, {}}}, false, 0},
+		{"single unit", CNF{NumVars: 1, Clauses: []Clause{{1}}}, true, 1},
+		{"contradictory units", CNF{NumVars: 1, Clauses: []Clause{{1}, {-1}}}, false, 0},
+		{"unit chain", CNF{NumVars: 4, Clauses: []Clause{{1}, {-1, 2}, {-2, 3}, {-3, 4}}}, true, 1},
+		{"unit chain to conflict", CNF{NumVars: 3, Clauses: []Clause{{1}, {-1, 2}, {-2, 3}, {-3, -1}}}, false, 0},
+		{"pure positive literal", CNF{NumVars: 2, Clauses: []Clause{{1, 2}, {1, -2}}}, true, 2},
+		{"pure negative literal", CNF{NumVars: 2, Clauses: []Clause{{-1, 2}, {-1, -2}}}, true, 2},
+		{"tautological clause", CNF{NumVars: 1, Clauses: []Clause{{1, -1}}}, true, 2},
+		{"duplicate literals in clause", CNF{NumVars: 2, Clauses: []Clause{{1, 1}, {2, 2, 2}}}, true, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			model, ok := Solve(tc.cnf)
+			if ok != tc.sat {
+				t.Fatalf("Solve sat = %v, want %v", ok, tc.sat)
+			}
+			if ok && !tc.cnf.Eval(model) {
+				t.Fatalf("returned model %v does not satisfy the formula", model)
+			}
+			if got := Satisfiable(tc.cnf); got != tc.sat {
+				t.Fatalf("Satisfiable = %v, want %v", got, tc.sat)
+			}
+			if got := CountModels(tc.cnf); got != tc.models {
+				t.Fatalf("CountModels = %d, want %d", got, tc.models)
+			}
+			if got := int64(len(EnumerateModels(tc.cnf))); got != tc.models {
+				t.Fatalf("EnumerateModels returned %d models, want %d", got, tc.models)
+			}
+		})
+	}
+}
+
+// TestCountModelsDegenerate covers the counting recursion's boundary inputs
+// beyond plain satisfiability: zero-variable formulas with satisfied or
+// empty clauses, and variables mentioned by no clause.
+func TestCountModelsDegenerate(t *testing.T) {
+	cases := []struct {
+		name   string
+		cnf    CNF
+		models int64
+	}{
+		{"no vars no clauses", CNF{NumVars: 0}, 1},
+		{"no vars empty clause", CNF{NumVars: 0, Clauses: []Clause{{}}}, 0},
+		{"one free one constrained", CNF{NumVars: 2, Clauses: []Clause{{1}}}, 2},
+		{"all vars free", CNF{NumVars: 10}, 1024},
+		{"unsat leaves zero", CNF{NumVars: 5, Clauses: []Clause{{1}, {-1}}}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CountModels(tc.cnf); got != tc.models {
+				t.Fatalf("CountModels = %d, want %d", got, tc.models)
+			}
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package sat
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseDIMACS pins the DIMACS parser on arbitrary input: it must never
+// panic, and any CNF it accepts must survive a WriteDIMACS → ParseDIMACS
+// round trip unchanged — the writer emits only canonical text, so the
+// second parse is exact.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("")
+	f.Add("p cnf 0 0\n")
+	f.Add("c comment\np cnf 2 1\n1 -2 0\n")
+	f.Add("p cnf 3 2\n1 2 3 0\n-1\n-2 0\n")
+	f.Add("p cnf 2 2\n1 0\n-1 0")
+	f.Add("p cnf 1 1\n1")     // trailing clause without terminator
+	f.Add("p cnf 2 9\n1 0\n") // declared/found mismatch
+	f.Add("p cnf 2 1\n5 0\n") // out-of-range literal
+	f.Add("p cnf a b\n")      // malformed header
+	f.Add("1 0\np cnf 1 1\n") // clause before header
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ParseDIMACS(bytes.NewReader([]byte(input)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, c); err != nil {
+			t.Fatalf("WriteDIMACS failed on accepted CNF %v: %v", c, err)
+		}
+		again, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written CNF failed: %v\ntext:\n%s", err, buf.String())
+		}
+		if again.NumVars != c.NumVars || len(again.Clauses) != len(c.Clauses) {
+			t.Fatalf("round trip changed shape: %v → %v", c, again)
+		}
+		if len(c.Clauses) > 0 && !reflect.DeepEqual(again.Clauses, c.Clauses) {
+			t.Fatalf("round trip changed clauses: %v → %v", c.Clauses, again.Clauses)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBackendPBOMatchesBB is the serving-layer face of the backend identity
+// guarantee: every package-problem op answered by backend "pbo" must carry
+// exactly the payload backend "bb" computes — same packages in the same
+// order, same count, same bound, same decisions — and the pbo solve
+// counters must move in the stats.
+func TestBackendPBOMatchesBB(t *testing.T) {
+	s := travelServer(t, Options{}, 30, 24)
+	ps := travelSpec(2)
+	ps.Bound = -100
+
+	solve := func(backend, op string, sel [][][]any) *Response {
+		t.Helper()
+		return mustSolve(t, s, Request{
+			Collection: "travel", Op: op, Spec: ps, Backend: backend, Selection: sel,
+		})
+	}
+
+	bbTopK := solve(BackendBB, OpTopK, nil)
+	pboTopK := solve(BackendPBO, OpTopK, nil)
+	if pboTopK.Cached {
+		t.Fatal("pbo topk was served from the bb cache entry")
+	}
+	if mustJSON(t, pboTopK.Result) != mustJSON(t, bbTopK.Result) {
+		t.Fatalf("topk diverges:\n pbo %s\n bb  %s", mustJSON(t, pboTopK.Result), mustJSON(t, bbTopK.Result))
+	}
+	for _, op := range []string{OpCount, OpMaxBound, OpExists} {
+		bb := solve(BackendBB, op, nil)
+		pbo := solve(BackendPBO, op, nil)
+		if mustJSON(t, pbo.Result) != mustJSON(t, bb.Result) {
+			t.Fatalf("%s diverges:\n pbo %s\n bb  %s", op, mustJSON(t, pbo.Result), mustJSON(t, bb.Result))
+		}
+	}
+	// Decide on the engine's own selection: both backends must accept.
+	wire := make([][][]any, len(bbTopK.Packages))
+	for i, p := range bbTopK.Packages {
+		wire[i] = p.Tuples
+	}
+	bbDec := solve(BackendBB, OpDecide, wire)
+	pboDec := solve(BackendPBO, OpDecide, wire)
+	if !bbDec.OK || !pboDec.OK {
+		t.Fatalf("decide on the top-k selection: bb=%v pbo=%v, want both true", bbDec.OK, pboDec.OK)
+	}
+
+	st := s.Stats()
+	if st.PBOSolves < 5 {
+		t.Fatalf("stats pboSolves = %d after 5 pbo ops", st.PBOSolves)
+	}
+	if st.PBOPropagations == 0 {
+		t.Fatal("pbo propagation accounting not surfaced in stats")
+	}
+}
+
+// Backend participates in the cache key: a pbo request never reuses a bb
+// entry, while repeated pbo requests share one.
+func TestBackendCacheKeysSeparate(t *testing.T) {
+	s := travelServer(t, Options{}, 30, 24)
+	ps := travelSpec(2)
+	ps.Bound = -100
+	req := Request{Collection: "travel", Op: OpCount, Spec: ps}
+
+	mustSolve(t, s, req)
+	req.Backend = BackendPBO
+	if resp := mustSolve(t, s, req); resp.Cached {
+		t.Fatal("pbo request was served the bb backend's cache entry")
+	}
+	if resp := mustSolve(t, s, req); !resp.Cached {
+		t.Fatal("repeat pbo request missed the cache")
+	}
+	// The explicit and implicit default backend share one entry.
+	req.Backend = BackendBB
+	if resp := mustSolve(t, s, req); !resp.Cached {
+		t.Fatal(`explicit "bb" did not share the default backend's entry`)
+	}
+}
+
+// Unknown backends are client faults (400), and the pbo backend rejects the
+// ops it does not serve; both on /v1/solve and per-item in /v1/batch.
+func TestUnsupportedBackendRejected(t *testing.T) {
+	s := travelServer(t, Options{}, 30, 24)
+	ps := travelSpec(2)
+
+	var re *RequestError
+	_, err := s.Solve(context.Background(),
+		Request{Collection: "travel", Op: OpCount, Spec: ps, Backend: "z3"})
+	if !errors.As(err, &re) || !errors.Is(err, errUnsupportedBackend) {
+		t.Fatalf("unknown backend: got %v, want RequestError wrapping errUnsupportedBackend", err)
+	}
+	_, err = s.Solve(context.Background(),
+		Request{Collection: "travel", Op: OpRelax, Spec: ps, Backend: BackendPBO})
+	if !errors.As(err, &re) {
+		t.Fatalf("pbo on op relax: got %v, want RequestError", err)
+	}
+
+	bresp, err := s.SolveBatch(context.Background(), BatchRequest{
+		Collection: "travel",
+		Items: []BatchItem{
+			{Op: OpCount, Spec: ps, Backend: "z3"},
+			{Op: OpCount, Spec: ps, Backend: BackendPBO},
+		},
+	})
+	if err != nil {
+		t.Fatalf("batch-level error for an item fault: %v", err)
+	}
+	if bresp.Errors != 1 || !strings.Contains(bresp.Items[0].Error, "unsupported backend") {
+		t.Fatalf("bad-backend item not isolated: %+v", bresp.Items[0])
+	}
+	if bresp.Items[1].Error != "" || *bresp.Items[1].Result.Count < 0 {
+		t.Fatalf("valid pbo item failed: %+v", bresp.Items[1])
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(
+		`{"collection":"travel","op":"count","backend":"z3","spec":{"query":"Q(x) :- poi(x, c, t, k, m).","cost":{"kind":"count"},"val":{"kind":"count"}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HTTP unknown backend: %d, want 400", resp.StatusCode)
+	}
+}
+
+// A batch mixing backends: equal specs still share one prepared problem,
+// identical pbo items dedup onto one solve, and bb/pbo answers agree.
+func TestBatchBackendMix(t *testing.T) {
+	s := travelServer(t, Options{}, 30, 24)
+	ps := travelSpec(2)
+	ps.Bound = -100
+
+	bresp, err := s.SolveBatch(context.Background(), BatchRequest{
+		Collection: "travel",
+		Items: []BatchItem{
+			{Op: OpCount, Spec: ps},
+			{Op: OpCount, Spec: ps, Backend: BackendPBO},
+			{Op: OpCount, Spec: ps, Backend: BackendPBO},
+			{Op: OpTopK, Spec: ps, Backend: BackendPBO},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ir := range bresp.Items {
+		if ir.Error != "" {
+			t.Fatalf("item %d failed: %s", i, ir.Error)
+		}
+	}
+	if *bresp.Items[0].Result.Count != *bresp.Items[1].Result.Count {
+		t.Fatalf("bb count %d != pbo count %d",
+			*bresp.Items[0].Result.Count, *bresp.Items[1].Result.Count)
+	}
+	if !bresp.Items[2].Deduped {
+		t.Fatal("identical pbo items did not dedup")
+	}
+	if !bresp.Items[3].Result.OK {
+		t.Fatal("pbo topk item found no selection")
+	}
+	if bresp.Solves != 3 || bresp.Deduped != 1 {
+		t.Fatalf("batch tally solves=%d deduped=%d, want 3/1", bresp.Solves, bresp.Deduped)
+	}
+}

@@ -33,10 +33,12 @@ type BatchRequest struct {
 // collection (the batch names it once) and without a timeout (the batch
 // carries one whole-batch deadline).
 type BatchItem struct {
-	Op        string           `json:"op"`
-	Spec      spec.ProblemSpec `json:"spec"`
-	Selection [][][]any        `json:"selection,omitempty"`
-	Relax     *spec.RelaxSpec  `json:"relax,omitempty"`
+	Op   string           `json:"op"`
+	Spec spec.ProblemSpec `json:"spec"`
+	// Backend selects the solver for this item, as in Request.Backend.
+	Backend   string          `json:"backend,omitempty"`
+	Selection [][][]any       `json:"selection,omitempty"`
+	Relax     *spec.RelaxSpec `json:"relax,omitempty"`
 	// MaxSuggestions caps op "relaxplan" output, as in Request.
 	MaxSuggestions int                `json:"maxSuggestions,omitempty"`
 	Adjust         *spec.AdjustSpec   `json:"adjust,omitempty"`
@@ -53,6 +55,7 @@ func (it BatchItem) Request(collection string) Request {
 		Collection:     collection,
 		Op:             it.Op,
 		Spec:           it.Spec,
+		Backend:        it.Backend,
 		Selection:      it.Selection,
 		Relax:          it.Relax,
 		MaxSuggestions: it.MaxSuggestions,
@@ -260,7 +263,16 @@ func (s *Server) solveBatchItem(ctx context.Context, coll *collection, it *batch
 		if err != nil {
 			return nil, err
 		}
-		r, err := s.solveOp(ctx, prob, v.req, v.sel)
+		var r *Result
+		if v.req.Backend == BackendPBO {
+			comp, cerr := it.shared.getPBO(&s.pbo)
+			if cerr != nil {
+				return nil, cerr
+			}
+			r, err = s.solvePBOOp(ctx, comp, prob, v.req, v.sel)
+		} else {
+			r, err = s.solveOp(ctx, prob, v.req, v.sel)
+		}
 		if err == nil && !v.req.NoCache {
 			s.putIfCurrent(coll, v, r)
 		}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pbo"
 	"repro/internal/relation"
 )
 
@@ -29,6 +30,15 @@ type preparedProblem struct {
 	done    atomic.Bool
 	prob    *core.Problem
 	err     error
+
+	// The spec's pseudo-Boolean compilation, built lazily on first
+	// backend-"pbo" use of this prepared problem and shared by every such
+	// solve (the compiled store is immutable; searches carry their own
+	// state). rebind deliberately does not carry it: the rebound copy
+	// recompiles on demand against the new database pointer.
+	pboOnce sync.Once
+	pboC    *pbo.Compiled
+	pboErr  error
 }
 
 func (sp *preparedProblem) get() (*core.Problem, error) {
@@ -41,6 +51,20 @@ func (sp *preparedProblem) get() (*core.Problem, error) {
 		sp.done.Store(true)
 	})
 	return sp.prob, sp.err
+}
+
+// getPBO returns the spec's shared PB compilation, building the underlying
+// problem first if needed. Compile failures are memoised like build
+// failures: a spec the backend cannot compile fails once, not per request.
+func (sp *preparedProblem) getPBO(ctr *pbo.Counters) (*pbo.Compiled, error) {
+	prob, err := sp.get()
+	if err != nil {
+		return nil, err
+	}
+	sp.pboOnce.Do(func() {
+		sp.pboC, sp.pboErr = pbo.Compile(prob, ctr)
+	})
+	return sp.pboC, sp.pboErr
 }
 
 // ready reports a successfully built-and-prepared problem — the only state

@@ -60,6 +60,7 @@ import (
 	"repro/internal/adjust"
 	"repro/internal/core"
 	"repro/internal/parser"
+	"repro/internal/pbo"
 	"repro/internal/relation"
 	"repro/internal/relax"
 	"repro/internal/spec"
@@ -164,6 +165,7 @@ type Server struct {
 	flight flightGroup
 	stats  statsRec
 	eng    core.EngineCounters
+	pbo    pbo.Counters
 
 	// writeMu serializes collection writers (SetCollection,
 	// MutateCollection, RemoveCollection) so delta application and
@@ -393,6 +395,11 @@ func (s *Server) validateRequest(coll *collection, req Request) (validated, erro
 		return validated{}, err
 	}
 	req.Op = op
+	backend, err := normalizeBackend(req.Backend, op)
+	if err != nil {
+		return validated{}, err
+	}
+	req.Backend = backend
 	s.stats.op(op)
 	var sel []core.Package
 	if op == OpDecide {
@@ -607,12 +614,21 @@ func (s *Server) sharedProblem(coll *collection, v validated) *preparedProblem {
 	})
 }
 
-// runSolve executes the request on the engine: the collection's shared
-// prepared Problem for the spec, then the operation dispatch.
+// runSolve executes the request on its backend: the collection's shared
+// prepared Problem for the spec, then the operation dispatch — to the
+// engine, or through the problem's shared PB compilation for backend "pbo".
 func (s *Server) runSolve(ctx context.Context, coll *collection, v validated) (*Result, error) {
-	prob, err := s.sharedProblem(coll, v).get()
+	sp := s.sharedProblem(coll, v)
+	prob, err := sp.get()
 	if err != nil {
 		return nil, err
+	}
+	if v.req.Backend == BackendPBO {
+		comp, err := sp.getPBO(&s.pbo)
+		if err != nil {
+			return nil, err
+		}
+		return s.solvePBOOp(ctx, comp, prob, v.req, v.sel)
 	}
 	return s.solveOp(ctx, prob, v.req, v.sel)
 }
@@ -739,6 +755,63 @@ func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, s
 	return res, nil
 }
 
+// solvePBOOp executes a package-problem operation on the spec's shared PB
+// compilation. The result shapes are exactly solveOp's — the backends are
+// result-identical by construction (the PB constraints are a sound
+// relaxation and every model re-passes the exact filters; see internal/pbo)
+// — so a "pbo" answer differs from a "bb" answer at most in the op "decide"
+// witness, which is genuine under either backend. normalizeBackend already
+// rejected the ops the backend does not serve.
+func (s *Server) solvePBOOp(ctx context.Context, comp *pbo.Compiled, prob *core.Problem, req Request, sel []core.Package) (*Result, error) {
+	res := &Result{Op: req.Op}
+	switch req.Op {
+	case OpTopK:
+		sel, ok, err := comp.FindTopKCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+		for _, n := range sel {
+			res.Packages = append(res.Packages, packageResult(prob, n))
+		}
+	case OpDecide:
+		ok, wit, err := comp.DecideTopKCtx(ctx, sel)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+		if wit != nil {
+			w := packageResult(prob, *wit)
+			res.Witness = &w
+		}
+	case OpMaxBound:
+		b, ok, err := comp.MaxBoundCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+		if ok {
+			res.Bound = &b
+		}
+	case OpCount:
+		n, err := comp.CountValidCtx(ctx, req.Spec.Bound)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = true
+		res.Count = &n
+	case OpExists:
+		ok, err := comp.ExistsKValidCtx(ctx, prob.K, req.Spec.Bound)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+	default:
+		return nil, &RequestError{Err: fmt.Errorf("backend %q does not support op %q", req.Backend, req.Op)}
+	}
+	return res, nil
+}
+
 // defaultMaxSuggestions caps op "relaxplan" output when the request does
 // not choose its own limit.
 const defaultMaxSuggestions = 5
@@ -800,7 +873,7 @@ func decodeSelection(sel [][][]any) ([]core.Package, error) {
 // formatting-different but equal requests share an entry.
 func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package, canon, relFP string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s:%s|%s|%s", spec.CanonString(coll.name), relFP, req.Op, canon)
+	fmt.Fprintf(&b, "%s:%s|%s|%s|%s", spec.CanonString(coll.name), relFP, req.Op, req.Backend, canon)
 	switch req.Op {
 	case OpDecide:
 		keys := make([]string, len(sel))
@@ -848,5 +921,6 @@ func (s *Server) Stats() Stats {
 	st.EnginePrepares = s.eng.Prepares.Load()
 	st.EngineSessionResumes = s.eng.SessionResumes.Load()
 	st.EngineSessionNodesSaved = s.eng.SessionNodesSaved.Load()
+	st.PBOSolves, _, st.PBOPropagations, st.PBOConflicts, _, _ = s.pbo.Snapshot()
 	return st
 }

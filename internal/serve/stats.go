@@ -61,10 +61,19 @@ type Stats struct {
 	// core.SolveSession memo instead of a fresh engine walk, and the DFS
 	// nodes those walks would have visited. They grow with relax/relaxplan
 	// traffic whose gap levels collapse to repeated candidate lists.
-	EngineSessionResumes    int64             `json:"engineSessionResumes"`
-	EngineSessionNodesSaved int64             `json:"engineSessionNodesSaved"`
-	Latency                 LatencySummary    `json:"latencyMs"`
-	PerOp                   map[string]uint64 `json:"perOp,omitempty"`
+	EngineSessionResumes    int64 `json:"engineSessionResumes"`
+	EngineSessionNodesSaved int64 `json:"engineSessionNodesSaved"`
+	// PBOSolves / PBOConflicts / PBOPropagations are the pseudo-Boolean
+	// backend's accounting (pbo.Counters) across all backend-"pbo" solves
+	// since start: entry-point solves, search dead ends, and literals forced
+	// by constraint propagation. All three stay zero until a request selects
+	// the backend. Like the Engine* group they are written lock-free and
+	// only individually consistent.
+	PBOSolves       int64             `json:"pboSolves"`
+	PBOConflicts    int64             `json:"pboConflicts"`
+	PBOPropagations int64             `json:"pboPropagations"`
+	Latency         LatencySummary    `json:"latencyMs"`
+	PerOp           map[string]uint64 `json:"perOp,omitempty"`
 }
 
 // LatencySummary reports percentiles (in milliseconds) over the most recent

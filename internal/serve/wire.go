@@ -34,6 +34,38 @@ func normalizeOp(op string) (string, error) {
 	return "", &RequestError{Err: fmt.Errorf("unknown op %q", op)}
 }
 
+// Solver backends. The default branch-and-bound engine answers every
+// operation; the pseudo-Boolean backend (internal/pbo) answers the five
+// core package problems and is result-identical to the engine on them —
+// only the choice of RPP witness may differ, and any witness is genuine.
+const (
+	BackendBB  = "bb"  // the internal/core branch-and-bound engine (default)
+	BackendPBO = "pbo" // the internal/pbo pseudo-Boolean optimization backend
+)
+
+// errUnsupportedBackend marks a backend name the server does not know; the
+// HTTP layer maps the wrapping RequestError to 400.
+var errUnsupportedBackend = fmt.Errorf("unsupported backend")
+
+// normalizeBackend validates a request's backend choice against its
+// (already normalized) operation. An empty backend means the default
+// engine; the pbo backend serves the package problems but not the
+// relaxation/adjustment ops, which are search loops around the engine
+// rather than single solves.
+func normalizeBackend(backend, op string) (string, error) {
+	switch backend {
+	case "", BackendBB:
+		return BackendBB, nil
+	case BackendPBO:
+		switch op {
+		case OpTopK, OpDecide, OpMaxBound, OpCount, OpExists:
+			return BackendPBO, nil
+		}
+		return "", &RequestError{Err: fmt.Errorf("backend %q does not support op %q", backend, op)}
+	}
+	return "", &RequestError{Err: fmt.Errorf("%w %q", errUnsupportedBackend, backend)}
+}
+
 // Request is one solve request. Collection names a registered collection;
 // Spec describes the problem over it (queries in the textual syntax, see
 // docs/serving.md); the remaining fields parameterise individual
@@ -43,6 +75,12 @@ type Request struct {
 	Collection string           `json:"collection"`
 	Op         string           `json:"op"`
 	Spec       spec.ProblemSpec `json:"spec"`
+	// Backend selects the solver: "bb" (or empty, the default) for the
+	// branch-and-bound engine, "pbo" for the pseudo-Boolean backend on ops
+	// topk/decide/maxbound/count/exists. Backends are result-identical, but
+	// the op "decide" witness may legitimately differ, so the backend
+	// participates in the cache key.
+	Backend string `json:"backend,omitempty"`
 	// Selection is the candidate top-k selection for op "decide": packages
 	// as lists of tuples of JSON scalars.
 	Selection [][][]any `json:"selection,omitempty"`

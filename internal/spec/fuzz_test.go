@@ -1,0 +1,68 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// FuzzCanonicalSpec pins the spec canonicalization fixpoint: whenever a
+// ProblemSpec canonicalizes successfully, re-rendering its queries through
+// the parser and canonicalizing again must yield the identical fingerprint,
+// dependencies and exhaustiveness — parse ∘ render is a fixpoint, which is
+// exactly the property that lets syntactically different requests share one
+// cache entry in the serving layer.
+func FuzzCanonicalSpec(f *testing.F) {
+	f.Add(`Q(x, y) :- R(x, z), S(z, y), x < 5.`, "", 2, 40.0, 2, 10.0)
+	f.Add(`RQ(name, type, ticket, time) :- poi(name, city, type, ticket, time), city = "nyc".`, "", 3, 240.0, 1, -40.0)
+	f.Add(`Q(x) :- R(x).`, `Bad(x) :- Q(x), Q(y), x != y.`, 0, 1.0, 1, 0.0)
+	f.Add(`P(x) :- E(x, y). P(x) :- P(y), E(y, x).`, "", 1, 5.0, 2, 1.0)
+	f.Add("", "", 0, 0.0, 0, 0.0)
+	f.Add(`Q(x) :-`, "", 0, 0.0, 0, 0.0)
+	f.Fuzz(func(t *testing.T, queryText, qcText string, attr int, budget float64, k int, bound float64) {
+		if len(queryText)+len(qcText) > 4096 {
+			return
+		}
+		s := ProblemSpec{
+			Query:  queryText,
+			Qc:     qcText,
+			Cost:   AggSpec{Kind: "count"},
+			Val:    AggSpec{Kind: "sum", Attr: attr},
+			Budget: budget,
+			K:      k,
+			Bound:  bound,
+		}
+		canon, deps, exhaustive, err := s.CanonicalAndDeps()
+		if err != nil {
+			return // malformed input is allowed to fail, never to panic
+		}
+		s2 := s
+		q, err := parser.Parse(s.Query)
+		if err != nil {
+			t.Fatalf("canonicalized but query does not re-parse: %v", err)
+		}
+		s2.Query = q.String()
+		if s.Qc != "" {
+			qc, err := parser.Parse(s.Qc)
+			if err != nil {
+				t.Fatalf("canonicalized but qc does not re-parse: %v", err)
+			}
+			s2.Qc = qc.String()
+		}
+		canon2, deps2, exhaustive2, err := s2.CanonicalAndDeps()
+		if err != nil {
+			t.Fatalf("re-rendered spec failed to canonicalize: %v", err)
+		}
+		if canon2 != canon {
+			t.Fatalf("canonicalization not idempotent:\n first: %s\nsecond: %s", canon, canon2)
+		}
+		if exhaustive2 != exhaustive || len(deps2) != len(deps) {
+			t.Fatalf("deps/exhaustive drifted: (%v, %v) → (%v, %v)", deps, exhaustive, deps2, exhaustive2)
+		}
+		for i := range deps {
+			if deps[i] != deps2[i] {
+				t.Fatalf("deps drifted: %v → %v", deps, deps2)
+			}
+		}
+	})
+}
