@@ -655,6 +655,11 @@ func render(rep *report) {
 			st.HitRate, st.Coalesced, st.Batches, st.BatchItems, st.BatchDeduped, st.Errors)
 		fmt.Printf("server: deltas=%d deltaItems=%d snapshotsLive=%d prepares=%d\n",
 			st.Deltas, st.DeltaItems, st.SnapshotsLive, st.EnginePrepares)
+		if repaired := st.RepairRekeyed + st.RepairPatched; repaired+st.RepairResolved > 0 {
+			fmt.Printf("repair: rekeyed=%d patched=%d resolved=%d (repair ratio %.2f)\n",
+				st.RepairRekeyed, st.RepairPatched, st.RepairResolved,
+				float64(repaired)/float64(repaired+st.RepairResolved))
+		}
 		fmt.Printf("engine: nodes=%d packages=%d pruned=%d boundEvals=%d sessionResumes=%d; server p50=%.2fms p99=%.2fms\n",
 			st.EngineNodes, st.EnginePackages, st.EnginePruned, st.EngineBoundEvals,
 			st.EngineSessionResumes, st.Latency.P50, st.Latency.P99)

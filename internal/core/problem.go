@@ -49,6 +49,12 @@ type Problem struct {
 	// way — the flag exists for the Pruned-vs-Exhaustive benchmarks and
 	// the equivalence tests that prove exactly that.
 	Exhaustive bool
+	// TrackProvenance asks Prepare to build the per-candidate read table
+	// (see Provenance) alongside the candidate answer, using the traced
+	// evaluator — same join work, plus lineage recording priced per
+	// candidate. Only the traceable fragment (CQ/UCQ) supports it; for
+	// other languages the flag is ignored and Provenance() returns nil.
+	TrackProvenance bool
 
 	candidates *relation.Relation
 	candList   []relation.Tuple
@@ -57,6 +63,9 @@ type Problem struct {
 	costBounds  Bounder
 	valBounds   Bounder
 	boundsReady bool
+	// prov is the read-provenance table (TrackProvenance); advanced
+	// problems inherit a rebuilt table instead of re-tracing.
+	prov *Provenance
 }
 
 // Validate checks the instance is well-formed.
@@ -84,7 +93,14 @@ func (p *Problem) Validate() error {
 // aggregator state without re-sorting.
 func (p *Problem) Candidates() (*relation.Relation, error) {
 	if p.candidates == nil {
-		r, err := p.Q.Eval(p.DB)
+		var r *relation.Relation
+		var err error
+		var reads map[string][]string
+		if p.TrackProvenance && query.Traceable(p.Q) {
+			r, reads, err = query.TraceEval(p.Q, p.DB)
+		} else {
+			r, err = p.Q.Eval(p.DB)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -92,6 +108,9 @@ func (p *Problem) Candidates() (*relation.Relation, error) {
 		ts := append([]relation.Tuple(nil), r.Tuples()...)
 		sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
 		p.candList = ts
+		if reads != nil {
+			p.prov = newProvenance(p, ts, reads)
+		}
 		if p.Counters != nil {
 			p.Counters.Prepares.Add(1)
 		}
@@ -137,6 +156,7 @@ func (p *Problem) InvalidateCache() {
 	p.costBounds = nil
 	p.valBounds = nil
 	p.boundsReady = false
+	p.prov = nil
 }
 
 // maxSize resolves the package size bound.

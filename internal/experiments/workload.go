@@ -89,6 +89,38 @@ func ChurnDelta(rel string, i int) (relation.Delta, error) {
 	return relation.Delta{Deletes: rd}, nil
 }
 
+// RepairChurnDelta returns the i-th mutation of the three-tier repair
+// churn stream against a WorkloadDB collection's poi relation. Like
+// ChurnDelta it alternates upsert (even i) and delete of the tuple the
+// previous upsert added (odd i), but the upserted tuple cycles through
+// the three classes the serving layer's delta repair distinguishes:
+//
+//   - i/2 % 3 == 0: a tuple outside every sampled query's filter
+//     (city "chu") — candidate sets are unchanged, dependent entries
+//     rekey;
+//   - i/2 % 3 == 1: a candidate tuple (city "nyc") whose value (−900,
+//     under the workload's negated-ticket rating) sits far below every
+//     workload bound and result floor — entries keep their results and
+//     patch;
+//   - i/2 % 3 == 2: a cheap, highly rated candidate tuple that can
+//     change answers — dependent entries must re-solve.
+func RepairChurnDelta(i int) relation.Delta {
+	var row []any
+	switch (i / 2) % 3 {
+	case 0:
+		row = []any{fmt.Sprintf("rekey%06d", i/2), "chu", "pavilion", 7, 45}
+	case 1:
+		row = []any{fmt.Sprintf("patch%06d", i/2), "nyc", "pavilion", 900, 1}
+	default:
+		row = []any{fmt.Sprintf("hot%06d", i/2), "nyc", "museum", 1, 1}
+	}
+	rd := []relation.RelationDelta{{Name: "poi", Tuples: [][]any{row}}}
+	if i%2 == 0 {
+		return relation.Delta{Upserts: rd}
+	}
+	return relation.Delta{Deletes: rd}
+}
+
 // workloadSpec is variant v of the fixed-query travel problem: packages of
 // up to two nyc POIs, cost = total visiting time within a varying budget,
 // rated by negated total ticket price, with varying k and rating bound.

@@ -1,0 +1,321 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Read provenance for the positive fragment (CQ/UCQ): which relation
+// tuples each output tuple was derived from. The traced evaluator mirrors
+// bodyPlan.run but records, per derivation, the source tuple matched at
+// every relation atom — the lineage that lets a delta consumer decide
+// whether a touched tuple can possibly affect an output without
+// re-evaluating the query. Under set semantics an output tuple may have
+// several derivations; all traces report the union of their reads.
+
+// SourceRef identifies one relation tuple a derivation read: the relation
+// name and the tuple's canonical key, joined by a NUL byte (which cannot
+// occur in either part).
+func SourceRef(rel, tupleKey string) string { return rel + "\x00" + tupleKey }
+
+// SplitSourceRef is the inverse of SourceRef.
+func SplitSourceRef(ref string) (rel, tupleKey string) {
+	rel, tupleKey, _ = strings.Cut(ref, "\x00")
+	return rel, tupleKey
+}
+
+// Traceable reports whether read provenance can be traced for q. Tracing
+// covers the positive existential fragment the paper's package queries
+// live in (SP/CQ/UCQ); negation and recursion would need a different
+// lineage model and report false.
+func Traceable(q Query) bool {
+	switch q.(type) {
+	case *CQ, *UCQ:
+		return true
+	}
+	return false
+}
+
+// TraceEval evaluates q over db like q.Eval, additionally recording for
+// every output tuple the SourceRefs of all its derivations. reads is keyed
+// by the output Tuple.Key(). Only Traceable queries are supported.
+func TraceEval(q Query, db *relation.Database) (*relation.Relation, map[string][]string, error) {
+	out := relation.NewRelation(relation.AutoSchema(q.OutName(), q.Arity()))
+	acc := newReadAcc()
+	for _, cq := range disjuncts(q) {
+		if cq == nil {
+			return nil, nil, fmt.Errorf("query: cannot trace %s query %s", q.Language(), q.OutName())
+		}
+		if err := traceCQ(cq, dbResolver(db), Binding{}, out, acc); err != nil {
+			return nil, nil, err
+		}
+	}
+	out.Sort()
+	return out, acc.flatten(), nil
+}
+
+// TraceDelta performs one semi-naive delta round: it returns every output
+// tuple derivable over db using at least one of the added tuples, with the
+// reads of those derivations. added maps relation names to tuples that are
+// already present in db (the post-delta database). The result over-derives
+// by design — tuples already derivable without the additions may appear
+// when they also have a derivation through one — which is harmless under
+// set semantics; callers dedup against the prior answer.
+func TraceDelta(q Query, db *relation.Database, added map[string][]relation.Tuple) ([]relation.Tuple, map[string][]string, error) {
+	restricted := make(map[string]*relation.Relation, len(added))
+	for name, tuples := range added {
+		src := db.Relation(name)
+		if src == nil {
+			return nil, nil, fmt.Errorf("query: delta trace: unknown relation %q", name)
+		}
+		r := relation.NewRelation(src.Schema())
+		for _, t := range tuples {
+			if err := r.Insert(t); err != nil {
+				return nil, nil, err
+			}
+		}
+		restricted[name] = r
+	}
+	out := relation.NewRelation(relation.AutoSchema(q.OutName(), q.Arity()))
+	acc := newReadAcc()
+	for _, cq := range disjuncts(q) {
+		if cq == nil {
+			return nil, nil, fmt.Errorf("query: cannot trace %s query %s", q.Language(), q.OutName())
+		}
+		// One pass per occurrence of a mutated relation, with that single
+		// occurrence restricted to the added tuples: any derivation using
+		// at least one added tuple uses one at some occurrence, so the
+		// union over passes is complete.
+		occ := -1
+		for _, a := range cq.Body {
+			ra, ok := a.(*RelAtom)
+			if !ok {
+				continue
+			}
+			occ++
+			delta, ok := restricted[ra.Pred]
+			if !ok {
+				continue
+			}
+			resolve := occurrenceResolver(db, occ, delta)
+			if err := traceCQ(cq, resolve, Binding{}, out, acc); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	out.Sort()
+	return out.Tuples(), acc.flatten(), nil
+}
+
+// TraceTuple reports whether t ∈ q(db), evaluating the body with the head
+// bound to t (so the scan is filtered instead of enumerating the full
+// answer), and returns the union of the reads of all of t's derivations.
+func TraceTuple(q Query, db *relation.Database, t relation.Tuple) (bool, []string, error) {
+	if len(t) != q.Arity() {
+		return false, nil, fmt.Errorf("query: trace tuple arity %d against %s/%d", len(t), q.OutName(), q.Arity())
+	}
+	acc := newReadAcc()
+	found := false
+	for _, cq := range disjuncts(q) {
+		if cq == nil {
+			return false, nil, fmt.Errorf("query: cannot trace %s query %s", q.Language(), q.OutName())
+		}
+		env := Binding{}
+		if !bindHead(cq.Head, t, env) {
+			continue // head constants disagree with t in this disjunct
+		}
+		derived := false
+		err := traceBody("CQ "+cq.Name, cq.Body, dbResolver(db), env, func(_ Binding, refs []string) bool {
+			derived = true
+			acc.add(t.Key(), refs)
+			return true // keep going: we want every derivation's reads
+		})
+		if err != nil {
+			return false, nil, err
+		}
+		found = found || derived
+	}
+	if !found {
+		return false, nil, nil
+	}
+	return true, acc.flatten()[t.Key()], nil
+}
+
+// disjuncts views a traceable query as a list of CQs; a nil entry flags an
+// untraceable query.
+func disjuncts(q Query) []*CQ {
+	switch qq := q.(type) {
+	case *CQ:
+		return []*CQ{qq}
+	case *UCQ:
+		return qq.Disjuncts
+	}
+	return []*CQ{nil}
+}
+
+// bindHead pre-binds a CQ head to a concrete output tuple. It reports
+// false when a head constant or a repeated head variable disagrees with t.
+func bindHead(head []Term, t relation.Tuple, env Binding) bool {
+	for i, term := range head {
+		if !term.IsVar {
+			if !term.Const.Equal(t[i]) {
+				return false
+			}
+			continue
+		}
+		if cur, ok := env[term.Var]; ok {
+			if !cur.Equal(t[i]) {
+				return false
+			}
+			continue
+		}
+		env[term.Var] = t[i]
+	}
+	return true
+}
+
+// occurrenceResolver resolves relation-atom occurrence occ to delta and
+// every other occurrence against db.
+func occurrenceResolver(db *relation.Database, occ int, delta *relation.Relation) relResolver {
+	base := dbResolver(db)
+	return func(i int, pred string) (*relation.Relation, error) {
+		if i == occ {
+			return delta, nil
+		}
+		return base(i, pred)
+	}
+}
+
+// traceCQ runs one traced pass of cq under resolve, inserting derived
+// tuples into out and their reads into acc.
+func traceCQ(cq *CQ, resolve relResolver, env Binding, out *relation.Relation, acc *readAcc) error {
+	var headErr error
+	err := traceBody("CQ "+cq.Name, cq.Body, resolve, env, func(e Binding, refs []string) bool {
+		t, err := instantiateHead("CQ "+cq.Name, cq.Head, e)
+		if err != nil {
+			headErr = err
+			return false
+		}
+		if err := out.Insert(t); err != nil {
+			headErr = err
+			return false
+		}
+		acc.add(t.Key(), refs)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return headErr
+}
+
+// traceBody is evalBody with per-derivation source tracking.
+func traceBody(what string, body []Atom, resolve relResolver, env Binding, yield func(Binding, []string) bool) error {
+	bound := make(map[string]struct{}, len(env))
+	for v := range env {
+		bound[v] = struct{}{}
+	}
+	plan, err := planBody(what, body, resolve, bound)
+	if err != nil {
+		return err
+	}
+	plan.runTraced(env, yield)
+	return nil
+}
+
+// runTraced mirrors run but passes yield the SourceRef of the tuple
+// matched at each relation atom. The refs slice is reused across yields;
+// consumers must copy what they keep.
+func (p *bodyPlan) runTraced(env Binding, yield func(Binding, []string) bool) bool {
+	refs := make([]string, len(p.rels))
+	check := func(atoms []Atom) bool {
+		for _, c := range atoms {
+			ok, ground := groundAtomHolds(c, env)
+			if !ground || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	var step func(i int) bool
+	step = func(i int) bool {
+		if i == len(p.rels) {
+			return yield(env, refs)
+		}
+		ra := p.rels[i]
+		src := p.relSources[i]
+	tuples:
+		for _, tup := range src.Tuples() {
+			var newly []string
+			for j, term := range ra.Args {
+				if !term.IsVar {
+					if !term.Const.Equal(tup[j]) {
+						for _, v := range newly {
+							delete(env, v)
+						}
+						continue tuples
+					}
+					continue
+				}
+				if cur, ok := env[term.Var]; ok {
+					if !cur.Equal(tup[j]) {
+						for _, v := range newly {
+							delete(env, v)
+						}
+						continue tuples
+					}
+					continue
+				}
+				env[term.Var] = tup[j]
+				newly = append(newly, term.Var)
+			}
+			refs[i] = SourceRef(ra.Pred, tup.Key())
+			ok := check(p.constraints[i+1])
+			cont := true
+			if ok {
+				cont = step(i + 1)
+			}
+			for _, v := range newly {
+				delete(env, v)
+			}
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	if !check(p.constraints[0]) {
+		return true
+	}
+	return step(0)
+}
+
+// readAcc accumulates the union of reads per output tuple key, deduping
+// refs that repeat across derivations.
+type readAcc struct {
+	refs map[string][]string
+	seen map[string]map[string]struct{}
+}
+
+func newReadAcc() *readAcc {
+	return &readAcc{refs: make(map[string][]string), seen: make(map[string]map[string]struct{})}
+}
+
+func (a *readAcc) add(key string, refs []string) {
+	set := a.seen[key]
+	if set == nil {
+		set = make(map[string]struct{}, len(refs))
+		a.seen[key] = set
+	}
+	for _, r := range refs {
+		if _, ok := set[r]; ok {
+			continue
+		}
+		set[r] = struct{}{}
+		a.refs[key] = append(a.refs[key], r)
+	}
+}
+
+func (a *readAcc) flatten() map[string][]string { return a.refs }

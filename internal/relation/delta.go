@@ -28,16 +28,32 @@ type RelationDelta struct {
 }
 
 // DeltaResult reports what ApplyDelta produced: the new database version,
-// the names of relations whose content actually changed (sorted), and how
-// many tuples were inserted and removed. Mutated tracks net content, not
-// applied operations: an empty Mutated means DB is content-identical to
-// the receiver — either nothing applied (Upserted and Deleted zero), or a
-// self-canceling delta whose steps undid each other.
+// the names of relations whose content actually changed (sorted), how many
+// tuples were inserted and removed, and the touched tuples themselves.
+// Mutated tracks net content, not applied operations: an empty Mutated
+// means DB is content-identical to the receiver — either nothing applied
+// (Upserted and Deleted zero), or a self-canceling delta whose steps undid
+// each other.
 type DeltaResult struct {
 	DB       *Database
 	Mutated  []string
 	Upserted int
 	Deleted  int
+	// Touched reports, per mutated relation, the net tuple-level change:
+	// exactly the tuples whose membership flipped between the receiver and
+	// DB. The incremental set-hash machinery walks exactly these tuples, so
+	// the report is free; a self-canceling pair (upsert X, delete X) cancels
+	// out, and relations reverted to the receiver's pointer carry no entry.
+	// Downstream consumers (result repair, replica catch-up) key off
+	// Tuple.Key() of these rows.
+	Touched map[string]TouchSet
+}
+
+// TouchSet is one relation's net tuple change under a delta: Added holds
+// tuples present in the new version but not the old, Removed the reverse.
+type TouchSet struct {
+	Added   []Tuple
+	Removed []Tuple
 }
 
 // ApplyDelta returns a new database with the delta applied, leaving the
@@ -62,6 +78,17 @@ func (d *Database) ApplyDelta(delta Delta) (DeltaResult, error) {
 	// owned maps relations already cloned for this delta, so several
 	// RelationDelta entries against one relation mutate one clone.
 	owned := make(map[string]*Relation)
+	// added / removed accumulate the net touched tuples per relation, keyed
+	// by Tuple.Key(). Upserts apply before deletes, so a delete of a tuple
+	// this delta added cancels the add instead of recording a removal.
+	added := make(map[string]map[string]Tuple)
+	removed := make(map[string]map[string]Tuple)
+	touch := func(m map[string]map[string]Tuple, name string) map[string]Tuple {
+		if m[name] == nil {
+			m[name] = make(map[string]Tuple)
+		}
+		return m[name]
+	}
 
 	target := func(rd RelationDelta, forDelete bool) (*Relation, error) {
 		if r, ok := owned[rd.Name]; ok {
@@ -107,6 +134,7 @@ func (d *Database) ApplyDelta(delta Delta) (DeltaResult, error) {
 			if r.Len() != before {
 				res.Upserted++
 				changed[rd.Name] = true
+				touch(added, rd.Name)[t.Key()] = t
 			}
 		}
 	}
@@ -123,6 +151,11 @@ func (d *Database) ApplyDelta(delta Delta) (DeltaResult, error) {
 			if r.Delete(t) {
 				res.Deleted++
 				changed[rd.Name] = true
+				if k := t.Key(); mapHas(added[rd.Name], k) {
+					delete(added[rd.Name], k)
+				} else {
+					touch(removed, rd.Name)[k] = t
+				}
 			}
 		}
 	}
@@ -148,7 +181,35 @@ func (d *Database) ApplyDelta(delta Delta) (DeltaResult, error) {
 		}
 	}
 	sort.Strings(res.Mutated)
+	if len(res.Mutated) > 0 {
+		res.Touched = make(map[string]TouchSet, len(res.Mutated))
+		for _, name := range res.Mutated {
+			res.Touched[name] = TouchSet{
+				Added:   sortedTuples(added[name]),
+				Removed: sortedTuples(removed[name]),
+			}
+		}
+	}
 	return res, nil
+}
+
+func mapHas(m map[string]Tuple, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// sortedTuples flattens a keyed touch accumulator into a deterministic,
+// canonically ordered slice (nil when empty).
+func sortedTuples(m map[string]Tuple) []Tuple {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Tuple, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
 }
 
 // checkAttrs validates a RelationDelta's optional schema claim against the

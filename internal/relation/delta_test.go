@@ -235,3 +235,48 @@ func TestIncrementalFingerprintAgreesWithRebuild(t *testing.T) {
 		t.Fatal("incremental fingerprint diverged from rebuild")
 	}
 }
+
+// Touched must report exactly the tuples whose membership flipped — net of
+// self-canceling pairs and ineffective operations — keyed per mutated
+// relation, with no entry for relations that reverted to the original
+// pointer.
+func TestApplyDeltaReportsTouchedTuples(t *testing.T) {
+	db := deltaDB()
+	res, err := db.ApplyDelta(Delta{
+		Upserts: []RelationDelta{{Name: "r", Tuples: [][]any{
+			{3, "z"}, // effective insert
+			{2, "y"}, // already present: no touch
+			{4, "w"}, // inserted then deleted below: cancels out
+		}}},
+		Deletes: []RelationDelta{{Name: "r", Tuples: [][]any{
+			{1, "x"},  // effective delete
+			{4, "w"},  // cancels the upsert above
+			{9, "no"}, // absent: no touch
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, ok := res.Touched["r"]
+	if !ok || len(res.Touched) != 1 {
+		t.Fatalf("touched relations = %v, want exactly [r]", res.Touched)
+	}
+	if len(ts.Added) != 1 || ts.Added[0].Compare(NewTuple(Int(3), Str("z"))) != 0 {
+		t.Fatalf("added = %v, want [(3 z)]", ts.Added)
+	}
+	if len(ts.Removed) != 1 || ts.Removed[0].Compare(NewTuple(Int(1), Str("x"))) != 0 {
+		t.Fatalf("removed = %v, want [(1 x)]", ts.Removed)
+	}
+
+	// A fully self-canceling delta reports no touched relations at all.
+	noop, err := db.ApplyDelta(Delta{
+		Upserts: []RelationDelta{{Name: "s", Tuples: [][]any{{2.5}}}},
+		Deletes: []RelationDelta{{Name: "s", Tuples: [][]any{{2.5}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noop.Mutated) != 0 || noop.Touched != nil {
+		t.Fatalf("self-canceling delta: mutated=%v touched=%v, want none", noop.Mutated, noop.Touched)
+	}
+}

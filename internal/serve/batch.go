@@ -248,7 +248,7 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 func (s *Server) solveBatchItem(ctx context.Context, coll *collection, it *batchItem) (*Result, bool, error) {
 	v := it.v
 	if !v.req.NoCache {
-		if res, ok := s.cache.get(v.key); ok {
+		if res, ok := s.cacheLookup(coll, v); ok {
 			s.stats.lookup(true)
 			return res, true, nil
 		}

@@ -8,12 +8,18 @@ import (
 // lruMap is the bounded map + intrusive-list LRU core under one mutex,
 // shared by the result cache and the per-collection prepared-problem
 // cache: get refreshes recency, inserts evict from the cold end past
-// capacity, removeIf supports targeted purges.
+// capacity, removeIf supports targeted purges. The optional
+// onInsert/onRemove hooks observe every entry entering or leaving the map
+// — including evictions and flushes — and run under the lock, so a
+// derived index maintained by them can never drift from the map contents.
 type lruMap[V any] struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+
+	onInsert func(key string, v V)
+	onRemove func(key string, v V)
 }
 
 type lruSlot[V any] struct {
@@ -38,13 +44,32 @@ func (c *lruMap[V]) get(key string) (V, bool) {
 	return el.Value.(*lruSlot[V]).val, true
 }
 
+// peek returns the value for key without touching its recency.
+func (c *lruMap[V]) peek(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return el.Value.(*lruSlot[V]).val, true
+}
+
 // set stores v under key (updating in place if present), evicting from the
 // cold end past capacity.
 func (c *lruMap[V]) set(key string, v V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruSlot[V]).val = v
+		s := el.Value.(*lruSlot[V])
+		if c.onRemove != nil {
+			c.onRemove(key, s.val)
+		}
+		s.val = v
+		if c.onInsert != nil {
+			c.onInsert(key, v)
+		}
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -68,11 +93,79 @@ func (c *lruMap[V]) getOrCreate(key string, mk func() V) V {
 // insert adds a fresh entry; the caller holds the lock.
 func (c *lruMap[V]) insert(key string, v V) {
 	c.items[key] = c.ll.PushFront(&lruSlot[V]{key: key, val: v})
+	if c.onInsert != nil {
+		c.onInsert(key, v)
+	}
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruSlot[V]).key)
+		s := oldest.Value.(*lruSlot[V])
+		delete(c.items, s.key)
+		if c.onRemove != nil {
+			c.onRemove(s.key, s.val)
+		}
 	}
+}
+
+// remove drops the entry for key, reporting whether it existed.
+func (c *lruMap[V]) remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	if c.onRemove != nil {
+		s := el.Value.(*lruSlot[V])
+		c.onRemove(s.key, s.val)
+	}
+	return true
+}
+
+// rename moves the entry at oldKey to newKey, preserving its recency, with
+// upd mapping the stored value to the one stored under the new key. An
+// entry already sitting at newKey is displaced. Reports false (and changes
+// nothing) when oldKey is absent.
+func (c *lruMap[V]) rename(oldKey, newKey string, upd func(V) V) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[oldKey]
+	if !ok {
+		return false
+	}
+	if oldKey == newKey {
+		s := el.Value.(*lruSlot[V])
+		if c.onRemove != nil {
+			c.onRemove(oldKey, s.val)
+		}
+		s.val = upd(s.val)
+		if c.onInsert != nil {
+			c.onInsert(newKey, s.val)
+		}
+		return true
+	}
+	if other, ok := c.items[newKey]; ok {
+		c.ll.Remove(other)
+		delete(c.items, newKey)
+		if c.onRemove != nil {
+			s := other.Value.(*lruSlot[V])
+			c.onRemove(s.key, s.val)
+		}
+	}
+	s := el.Value.(*lruSlot[V])
+	if c.onRemove != nil {
+		c.onRemove(oldKey, s.val)
+	}
+	s.key = newKey
+	s.val = upd(s.val)
+	delete(c.items, oldKey)
+	c.items[newKey] = el
+	if c.onInsert != nil {
+		c.onInsert(newKey, s.val)
+	}
+	return true
 }
 
 // removeIf drops every entry the predicate matches.
@@ -84,6 +177,9 @@ func (c *lruMap[V]) removeIf(pred func(V) bool) {
 		if s := el.Value.(*lruSlot[V]); pred(s.val) {
 			c.ll.Remove(el)
 			delete(c.items, s.key)
+			if c.onRemove != nil {
+				c.onRemove(s.key, s.val)
+			}
 		}
 		el = next
 	}
@@ -105,6 +201,12 @@ func (c *lruMap[V]) entries() []lruSlot[V] {
 func (c *lruMap[V]) flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.onRemove != nil {
+		for el := c.ll.Front(); el != nil; el = el.Next() {
+			s := el.Value.(*lruSlot[V])
+			c.onRemove(s.key, s.val)
+		}
+	}
 	c.ll.Init()
 	c.items = make(map[string]*list.Element)
 }
@@ -116,28 +218,103 @@ func (c *lruMap[V]) len() int {
 }
 
 // lruCache is the bounded result cache. Entries remember their collection
-// and relation dependencies so a swap or delta can purge exactly the
-// results it invalidated (content-addressed keys alone would only let
-// stale entries age out, holding cache slots hostage in the meantime).
-// Stored Results are shared across readers and must be treated as
-// immutable.
+// and relation dependencies, mirrored into a collection→relation→keys
+// reverse index maintained by the lruMap hooks, so a delta can find its
+// dependent entries in O(dependents) instead of scanning the whole cache
+// (content-addressed keys alone would only let stale entries age out,
+// holding cache slots hostage in the meantime). Stored Results are shared
+// across readers and must be treated as immutable.
 type lruCache struct {
 	*lruMap[*lruEntry]
+
+	// byRel[coll][rel] holds the keys of coll's entries whose dependency
+	// list names rel; byAll[coll] holds the keys of its depsAll entries.
+	// Guarded by the embedded lruMap's mutex (the hooks run under it).
+	byRel map[string]map[string]map[string]struct{}
+	byAll map[string]map[string]struct{}
 }
 
 type lruEntry struct {
 	coll string
 	// deps / depsAll mirror the request's relation dependencies, so a
-	// collection delta can purge exactly the entries it invalidated
-	// (purgeDeps); unaffected entries keep their content-addressed keys
+	// collection delta can repair or purge exactly the entries it
+	// invalidated; unaffected entries keep their content-addressed keys
 	// and stay reachable.
 	deps    []string
 	depsAll bool
-	res     *Result
+	// keyRest is the request half of the cache key — everything except the
+	// collection name and relation fingerprint — kept so a repair can
+	// reseal the entry under the post-delta fingerprint without the
+	// original request in hand.
+	keyRest string
+	// repair, when present, carries the solve-time metadata the delta
+	// repair pipeline classifies against; nil means the entry can only be
+	// resolved (purged) when its relations mutate.
+	repair *repairInfo
+	res    *Result
 }
 
 func newLRU(capacity int) *lruCache {
-	return &lruCache{lruMap: newLRUMap[*lruEntry](capacity)}
+	c := &lruCache{
+		lruMap: newLRUMap[*lruEntry](capacity),
+		byRel:  make(map[string]map[string]map[string]struct{}),
+		byAll:  make(map[string]map[string]struct{}),
+	}
+	c.lruMap.onInsert = c.indexAdd
+	c.lruMap.onRemove = c.indexDel
+	return c
+}
+
+func (c *lruCache) indexAdd(key string, e *lruEntry) {
+	if e.depsAll {
+		set := c.byAll[e.coll]
+		if set == nil {
+			set = make(map[string]struct{})
+			c.byAll[e.coll] = set
+		}
+		set[key] = struct{}{}
+		return
+	}
+	rels := c.byRel[e.coll]
+	if rels == nil {
+		rels = make(map[string]map[string]struct{})
+		c.byRel[e.coll] = rels
+	}
+	for _, d := range e.deps {
+		set := rels[d]
+		if set == nil {
+			set = make(map[string]struct{})
+			rels[d] = set
+		}
+		set[key] = struct{}{}
+	}
+}
+
+func (c *lruCache) indexDel(key string, e *lruEntry) {
+	if e.depsAll {
+		if set := c.byAll[e.coll]; set != nil {
+			delete(set, key)
+			if len(set) == 0 {
+				delete(c.byAll, e.coll)
+			}
+		}
+		return
+	}
+	rels := c.byRel[e.coll]
+	if rels == nil {
+		return
+	}
+	for _, d := range e.deps {
+		if set := rels[d]; set != nil {
+			delete(set, key)
+			if len(set) == 0 {
+				delete(rels, d)
+			}
+		}
+	}
+	if len(rels) == 0 {
+		delete(c.byRel, e.coll)
+	}
 }
 
 // get returns the cached result for key, refreshing its recency.
@@ -149,9 +326,9 @@ func (c *lruCache) get(key string) (*Result, bool) {
 	return e.res, true
 }
 
-// put stores res under key.
-func (c *lruCache) put(key, coll string, deps []string, depsAll bool, res *Result) {
-	c.set(key, &lruEntry{coll: coll, deps: deps, depsAll: depsAll, res: res})
+// put stores the entry under key.
+func (c *lruCache) put(key string, e *lruEntry) {
+	c.set(key, e)
 }
 
 // purge drops every entry belonging to the named collection.
@@ -159,22 +336,37 @@ func (c *lruCache) purge(coll string) {
 	c.removeIf(func(e *lruEntry) bool { return e.coll == coll })
 }
 
+// dependents returns, via the reverse index, the keys of the named
+// collection's entries whose dependency set intersects the mutated
+// relations (including whole-database entries) — O(dependent entries),
+// not O(cache).
+func (c *lruCache) dependents(coll string, mutated map[string]struct{}) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[string]struct{})
+	for key := range c.byAll[coll] {
+		seen[key] = struct{}{}
+	}
+	if rels := c.byRel[coll]; rels != nil {
+		for rel := range mutated {
+			for key := range rels[rel] {
+				seen[key] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for key := range seen {
+		out = append(out, key)
+	}
+	return out
+}
+
 // purgeDeps drops the named collection's entries whose dependency set
 // intersects the mutated relations (or that depend on the whole database).
 // Entries over untouched relations survive — the point of delta-aware
 // caching.
 func (c *lruCache) purgeDeps(coll string, mutated map[string]struct{}) {
-	c.removeIf(func(e *lruEntry) bool { return e.coll == coll && dependsOn(e, mutated) })
-}
-
-func dependsOn(e *lruEntry, mutated map[string]struct{}) bool {
-	if e.depsAll {
-		return true
+	for _, key := range c.dependents(coll, mutated) {
+		c.remove(key)
 	}
-	for _, d := range e.deps {
-		if _, ok := mutated[d]; ok {
-			return true
-		}
-	}
-	return false
 }

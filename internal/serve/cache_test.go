@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// rebuildIndex recomputes the reverse index the slow way — from the cache
+// contents — for comparison against the incrementally maintained one.
+func rebuildIndex(c *lruCache) (byRel map[string]map[string]map[string]struct{}, byAll map[string]map[string]struct{}) {
+	byRel = make(map[string]map[string]map[string]struct{})
+	byAll = make(map[string]map[string]struct{})
+	for _, slot := range c.entries() {
+		e := slot.val
+		if e.depsAll {
+			if byAll[e.coll] == nil {
+				byAll[e.coll] = make(map[string]struct{})
+			}
+			byAll[e.coll][slot.key] = struct{}{}
+			continue
+		}
+		if byRel[e.coll] == nil {
+			byRel[e.coll] = make(map[string]map[string]struct{})
+		}
+		for _, d := range e.deps {
+			if byRel[e.coll][d] == nil {
+				byRel[e.coll][d] = make(map[string]struct{})
+			}
+			byRel[e.coll][d][slot.key] = struct{}{}
+		}
+	}
+	return byRel, byAll
+}
+
+func checkIndex(t *testing.T, c *lruCache, when string) {
+	t.Helper()
+	wantRel, wantAll := rebuildIndex(c)
+	c.mu.Lock()
+	gotRel, gotAll := c.byRel, c.byAll
+	defer c.mu.Unlock()
+	if !reflect.DeepEqual(gotRel, wantRel) {
+		t.Fatalf("%s: byRel index drifted:\n got %v\nwant %v", when, gotRel, wantRel)
+	}
+	if !reflect.DeepEqual(gotAll, wantAll) {
+		t.Fatalf("%s: byAll index drifted:\n got %v\nwant %v", when, gotAll, wantAll)
+	}
+}
+
+// The reverse index must track the cache contents exactly through every
+// mutation path: insert, in-place update, LRU eviction, targeted purge,
+// repair rename, whole-collection purge and flush.
+func TestCacheReverseIndexConsistency(t *testing.T) {
+	c := newLRU(4)
+	entry := func(coll string, depsAll bool, deps ...string) *lruEntry {
+		return &lruEntry{coll: coll, deps: deps, depsAll: depsAll, res: &Result{Op: OpCount}}
+	}
+	c.put("k1", entry("a", false, "poi"))
+	c.put("k2", entry("a", false, "poi", "flight"))
+	c.put("k3", entry("a", true))
+	c.put("k4", entry("b", false, "hotel"))
+	checkIndex(t, c, "after inserts")
+
+	// Dependent lookup via the index: poi touches k1, k2 and the depsAll
+	// entry k3; hotel in collection a touches only k3.
+	deps := c.dependents("a", map[string]struct{}{"poi": {}})
+	if len(deps) != 3 {
+		t.Fatalf("dependents(a, poi) = %v, want k1 k2 k3", deps)
+	}
+	if deps := c.dependents("a", map[string]struct{}{"hotel": {}}); len(deps) != 1 {
+		t.Fatalf("dependents(a, hotel) = %v, want k3 only (depsAll)", deps)
+	}
+
+	// In-place update may change the dependency set; the index must follow.
+	c.put("k1", entry("a", false, "museum"))
+	checkIndex(t, c, "after dep-changing update")
+	if deps := c.dependents("a", map[string]struct{}{"museum": {}}); len(deps) != 2 {
+		t.Fatalf("dependents(a, museum) = %v, want k1 k3", deps)
+	}
+
+	// Capacity is 4: a fifth entry evicts the coldest, and the evicted
+	// entry's keys must leave the index.
+	c.put("k5", entry("b", false, "hotel", "flight"))
+	if c.len() != 4 {
+		t.Fatalf("cache len %d, want 4 after eviction", c.len())
+	}
+	checkIndex(t, c, "after eviction")
+
+	// A repair rename moves a key without touching the dependency set.
+	if !c.rename("k5", "k5'", func(e *lruEntry) *lruEntry { return e }) {
+		t.Fatal("rename of a live key failed")
+	}
+	checkIndex(t, c, "after rename")
+	if _, ok := c.peek("k5"); ok {
+		t.Fatal("renamed key still resolves under the old name")
+	}
+	if _, ok := c.peek("k5'"); !ok {
+		t.Fatal("renamed key not reachable under the new name")
+	}
+
+	// Renaming onto an occupied key displaces the occupant.
+	c.put("k6", entry("b", false, "train"))
+	if !c.rename("k5'", "k6", func(e *lruEntry) *lruEntry { return e }) {
+		t.Fatal("displacing rename failed")
+	}
+	checkIndex(t, c, "after displacing rename")
+	if c.rename("gone", "anywhere", func(e *lruEntry) *lruEntry { return e }) {
+		t.Fatal("rename of an absent key claimed success")
+	}
+
+	// Targeted purges and removals.
+	c.purgeDeps("a", map[string]struct{}{"museum": {}})
+	checkIndex(t, c, "after purgeDeps")
+	if deps := c.dependents("a", map[string]struct{}{"museum": {}}); len(deps) != 0 {
+		t.Fatalf("purged keys still indexed: %v", deps)
+	}
+	c.remove("k6")
+	checkIndex(t, c, "after remove")
+	c.purge("b")
+	checkIndex(t, c, "after purge")
+
+	// Refill and flush: the index must end empty alongside the cache.
+	for i := 0; i < 6; i++ {
+		c.put(fmt.Sprintf("r%d", i), entry("a", i%3 == 0, "poi"))
+	}
+	checkIndex(t, c, "after refill")
+	c.flush()
+	checkIndex(t, c, "after flush")
+	if len(c.byRel) != 0 || len(c.byAll) != 0 {
+		t.Fatalf("flush left index residue: byRel=%v byAll=%v", c.byRel, c.byAll)
+	}
+}

@@ -121,25 +121,30 @@ func TestDeltaCarriesPreparedProblemsOver(t *testing.T) {
 		t.Fatalf("warm re-solve re-prepared: prepares = %d, want 2", got)
 	}
 
+	flightBefore := mustSolve(t, s, flightReq)
 	if _, err := s.MutateCollection("travel", flightDelta(0)); err != nil {
 		t.Fatal(err)
 	}
 	s.mu.RLock()
 	carried := s.colls["travel"].probs.len()
 	s.mu.RUnlock()
-	if carried != 1 {
-		t.Fatalf("new version carried %d prepared problems, want 1 (poi only)", carried)
+	if carried != 2 {
+		t.Fatalf("new version carried %d prepared problems, want 2 (poi carried, flight advanced)", carried)
 	}
 	// Unmutated group: carried over, no rebuild.
 	mustSolve(t, s, poiReq)
 	if got := s.Stats().EnginePrepares; got != 2 {
 		t.Fatalf("delta to flight re-prepared the poi problem: prepares = %d, want 2", got)
 	}
-	// Mutated group: must rebuild (a cheap delta must not serve stale
-	// candidates).
-	mustSolve(t, s, flightReq)
-	if got := s.Stats().EnginePrepares; got != 3 {
-		t.Fatalf("flight problem not rebuilt after its relation mutated: prepares = %d, want 3", got)
+	// Mutated group: advanced incrementally, not re-prepared — and the
+	// advanced problem must see the delta (a stale candidate set would keep
+	// the count unchanged; the upserted flight is in budget and adds one).
+	flightAfter := mustSolve(t, s, flightReq)
+	if got := s.Stats().EnginePrepares; got != 2 {
+		t.Fatalf("flight problem re-prepared instead of advanced: prepares = %d, want 2", got)
+	}
+	if *flightAfter.Count == *flightBefore.Count {
+		t.Fatal("advanced flight problem served stale candidates: count unchanged")
 	}
 }
 

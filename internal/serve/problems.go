@@ -87,6 +87,19 @@ func (sp *preparedProblem) rebind(db *relation.Database) *preparedProblem {
 	return out
 }
 
+// advancedPrepared wraps an already-prepared problem — produced by
+// core.Problem.Advance across a collection delta — as a ready
+// preparedProblem, so the delta repair pipeline can seed the new version's
+// cache with warm state for the specs the delta *did* touch. Like rebind,
+// the PB compilation is not carried: the candidate set may have changed,
+// so backend-"pbo" use recompiles on demand.
+func advancedPrepared(prob *core.Problem, deps []string, depsAll bool) *preparedProblem {
+	out := &preparedProblem{deps: deps, depsAll: depsAll, prob: prob}
+	out.once.Do(func() {})
+	out.done.Store(true)
+	return out
+}
+
 // problemCache is the per-collection-snapshot LRU of prepared problems,
 // keyed by canonical spec text. It bounds the warmed state a collection
 // holds (candidate lists and bound tables are O(|Q(D)|) each); eviction is

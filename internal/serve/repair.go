@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Delta-driven result repair. A collection delta used to purge every cache
+// entry whose relations mutated; most of those results were still exactly
+// right — hot-relation churn rarely touches what a given query reads. With
+// read provenance on the prepared problems (core.Provenance) a mutation
+// can instead classify each dependent entry into one of three tiers:
+//
+//   - rekey: the spec's candidate set is unchanged by the delta. Every
+//     score is a function of the candidate tuple itself, so the result is
+//     bit-identical over the new snapshot — rewrite the entry's
+//     content-addressed key to the new fingerprint and keep it.
+//   - patch: candidates changed, but every added/removed candidate is
+//     provably irrelevant to this particular result (outside the entry's
+//     recorded search floor under the problem's admissible per-candidate
+//     bounds, and not a member of the returned packages). Keep the result,
+//     rewrite the key.
+//   - resolve: anything else — purge, exactly as before.
+//
+// Soundness leans on admissible bounds only (core.CandidateValUpper /
+// CandidateCostLower); whenever metadata is missing, a bound is
+// unavailable, the spec reads mutated relations through Qc, or the
+// provenance cannot advance, classification falls through to resolve.
+
+// repairMeta is the solve-time half of the classification evidence,
+// captured by solveOp/solvePBOOp for the five package operations and
+// carried (unexported) on the wire Result to putIfCurrent.
+type repairMeta struct {
+	// ok mirrors Result.OK (whether the operation succeeded / held).
+	ok bool
+	// floor is the op's val threshold: the minimum selection val for
+	// topk/decide, the request bound for count/exists, the achieved bound
+	// for maxbound; -Inf when the op reported no selection.
+	floor float64
+	// members holds the tuple keys appearing in the returned/checked
+	// packages (topk and decide only): a removed candidate that is a
+	// member invalidates the result outright.
+	members map[string]struct{}
+	// candFP fingerprints the candidate set the result was computed over,
+	// guarding classification against entries from older snapshots.
+	candFP string
+}
+
+// repairInfo is repairMeta bound to the entry's canonical spec, the link
+// from a cache entry to the prepared problem that can judge it.
+type repairInfo struct {
+	canon string
+	repairMeta
+}
+
+// buildRepairMeta captures the repair metadata for one solved result; nil
+// for operations the repair pipeline does not patch (relax/relaxplan/
+// adjust answer over the mutated content itself and always resolve).
+func buildRepairMeta(prob *core.Problem, req Request, sel []core.Package, res *Result) *repairMeta {
+	switch req.Op {
+	case OpTopK, OpDecide, OpMaxBound, OpCount, OpExists:
+	default:
+		return nil
+	}
+	fp, err := prob.CandidatesFingerprint()
+	if err != nil {
+		return nil
+	}
+	m := &repairMeta{ok: res.OK, floor: math.Inf(-1), candFP: fp}
+	switch req.Op {
+	case OpCount, OpExists:
+		m.floor = req.Spec.Bound
+	case OpMaxBound:
+		if res.OK && res.Bound != nil {
+			m.floor = *res.Bound
+		}
+	case OpTopK, OpDecide:
+		if res.OK && len(sel) > 0 {
+			m.members = make(map[string]struct{})
+			minVal := math.Inf(1)
+			for _, p := range sel {
+				minVal = math.Min(minVal, prob.Val.Eval(p))
+				for _, t := range p.Tuples() {
+					m.members[t.Key()] = struct{}{}
+				}
+			}
+			m.floor = minVal
+		}
+	}
+	return m
+}
+
+// specRepair is one warm spec's delta outcome, shared by every cache entry
+// of that spec.
+type specRepair struct {
+	// unchanged: the candidate set survived the delta intact (rekey tier).
+	unchanged bool
+	// resolve: entries of this spec cannot be repaired at all (compat
+	// constraints over mutated content, no provenance, advance failure).
+	resolve bool
+	// oldProb judges removed candidates (their bounds live in the
+	// pre-delta problem), advProb judges added ones.
+	oldProb, advProb *core.Problem
+	added, removed   []relation.Tuple
+	// oldCandFP / advCandFP fingerprint the pre/post-delta candidate sets.
+	oldCandFP, advCandFP string
+}
+
+// planRepairs advances every ready prepared problem whose dependency set
+// intersects the mutated relations: the advanced problem is installed warm
+// into the new collection (the carry-over's counterpart for *affected*
+// specs — no re-prepare), and the candidate diff is kept as the spec's
+// classification plan. Runs before the new version is installed, so no
+// reader can observe c.probs while it is being seeded.
+func (s *Server) planRepairs(c *collection, res relation.DeltaResult, mutated map[string]struct{}, oldProbs []lruSlot[*preparedProblem]) map[string]*specRepair {
+	plans := make(map[string]*specRepair)
+	for _, slot := range oldProbs {
+		sp := slot.val
+		if !sp.ready() || sp.depsAll {
+			continue
+		}
+		affected := false
+		for _, dep := range sp.deps {
+			if _, ok := mutated[dep]; ok {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			continue // carried over verbatim by carryOver
+		}
+		plan := classifySpec(sp.prob, res, mutated)
+		plans[slot.key] = plan
+		if plan.advProb != nil {
+			adv := advancedPrepared(plan.advProb, sp.deps, sp.depsAll)
+			c.probs.getOrCreate(slot.key, func() *preparedProblem { return adv })
+		}
+	}
+	return plans
+}
+
+// classifySpec advances one prepared problem across the delta and decides
+// how far its entries can be repaired. Even when entries must resolve
+// (e.g. the compatibility query reads a mutated relation), the advanced
+// problem is still sound — candidates come from Q alone and Qc evaluates
+// at solve time over the new database — so the spec stays warm regardless.
+func classifySpec(prob *core.Problem, res relation.DeltaResult, mutated map[string]struct{}) *specRepair {
+	plan := &specRepair{resolve: true}
+	prov, err := prob.Provenance()
+	if err != nil || prov == nil {
+		return plan
+	}
+	adv, diff, err := prob.Advance(res.DB, res.Touched)
+	if err != nil {
+		return plan
+	}
+	plan.oldProb, plan.advProb = prob, adv
+	if plan.oldCandFP, err = prob.CandidatesFingerprint(); err != nil {
+		return plan
+	}
+	if plan.advCandFP, err = adv.CandidatesFingerprint(); err != nil {
+		return plan
+	}
+	// Custom compatibility/pruning predicates may read anything; a Qc
+	// touching a mutated relation (other than the package placeholder) sees
+	// different content. Either way the stored results cannot be vouched
+	// for — but the advanced problem above stays installed.
+	if prob.CompatFn != nil || prob.Prune != nil {
+		return plan
+	}
+	if prob.Qc != nil {
+		rels, exhaustive := query.Relations(prob.Qc)
+		if !exhaustive {
+			return plan
+		}
+		for _, r := range rels {
+			if r == prob.Q.OutName() {
+				continue
+			}
+			if _, ok := mutated[r]; ok {
+				return plan
+			}
+		}
+	}
+	plan.resolve = false
+	plan.unchanged = diff.Unchanged
+	plan.added, plan.removed = diff.Added, diff.Removed
+	return plan
+}
+
+// repairCache classifies every cache entry depending on a mutated relation
+// and repairs or purges it. Runs after the new collection version is
+// installed so entries put by solves that straddled the delta — keyed on
+// the old fingerprint, admitted because putIfCurrent still saw the old
+// version — are caught here, exactly like the old purge.
+func (s *Server) repairCache(c *collection, mutated map[string]struct{}, plans map[string]*specRepair) {
+	var rekeyed, patched, resolved uint64
+	for _, key := range s.cache.dependents(c.name, mutated) {
+		e, ok := s.cache.peek(key)
+		if !ok {
+			continue
+		}
+		tier, newKey := classifyEntry(e, c, plans)
+		switch tier {
+		case tierSkip:
+			// Already keyed on the current fingerprint (a post-install put).
+		case tierResolve:
+			if s.cache.remove(key) {
+				resolved++
+			}
+		default:
+			advFP := plans[e.repair.canon].advCandFP
+			if s.cache.rename(key, newKey, func(old *lruEntry) *lruEntry {
+				ne := *old
+				ri := *old.repair
+				ri.candFP = advFP
+				ne.repair = &ri
+				return &ne
+			}) {
+				if tier == tierPatch {
+					patched++
+				} else {
+					rekeyed++
+				}
+			}
+		}
+	}
+	s.stats.repairs(rekeyed, patched, resolved)
+}
+
+type repairTier int
+
+const (
+	tierResolve repairTier = iota
+	tierRekey
+	tierPatch
+	tierSkip
+)
+
+// classifyEntry decides one entry's tier and, for the repair tiers, the
+// key it moves to.
+func classifyEntry(e *lruEntry, c *collection, plans map[string]*specRepair) (repairTier, string) {
+	if e.depsAll || e.repair == nil {
+		return tierResolve, ""
+	}
+	plan := plans[e.repair.canon]
+	if plan == nil || plan.resolve {
+		return tierResolve, ""
+	}
+	// An entry computed over a different candidate snapshot than the plan's
+	// pre-delta problem cannot be judged by its diff.
+	if e.repair.candFP != plan.oldCandFP {
+		if e.repair.candFP == plan.advCandFP {
+			return tierSkip, "" // already current: put after the install
+		}
+		return tierResolve, ""
+	}
+	newKey := sealCacheKey(c.name, c.relevant(e.deps, false), e.keyRest)
+	if plan.unchanged {
+		return tierRekey, newKey
+	}
+	for _, t := range plan.added {
+		if !tupleIrrelevant(plan.advProb, &e.repair.repairMeta, e.res.Op, t, true) {
+			return tierResolve, ""
+		}
+	}
+	for _, t := range plan.removed {
+		if !tupleIrrelevant(plan.oldProb, &e.repair.repairMeta, e.res.Op, t, false) {
+			return tierResolve, ""
+		}
+	}
+	return tierPatch, newKey
+}
+
+// tupleIrrelevant reports whether one added/removed candidate provably
+// cannot change this entry's result. Added candidates are judged by the
+// advanced problem's bounds, removed ones by the pre-delta problem's (the
+// snapshot they lived in). Every comparison is arranged so that an
+// unavailable or NaN bound answers false — resolve is always sound.
+func tupleIrrelevant(prob *core.Problem, m *repairMeta, op string, t relation.Tuple, added bool) bool {
+	// A candidate no valid package can afford is invisible to every op.
+	if lb, ok, err := prob.CandidateCostLower(t); err == nil && ok && lb > prob.Budget {
+		return true
+	}
+	mv, haveVal, err := prob.CandidateValUpper(t)
+	haveVal = haveVal && err == nil && !math.IsNaN(mv)
+	switch op {
+	case OpTopK:
+		if !m.ok {
+			// No k-selection existed; removals only shrink the package
+			// space, additions could create one.
+			return !added
+		}
+		if added {
+			// Strictly below the selection floor it cannot displace a
+			// selected package (ties lose to the incumbent's order).
+			return haveVal && mv < m.floor
+		}
+		_, member := m.members[t.Key()]
+		return !member
+	case OpCount:
+		// Every package through t scores ≤ mv; below the counting bound
+		// none of them is counted, in either direction.
+		return haveVal && mv < m.floor
+	case OpExists:
+		if m.ok && added {
+			return true // additions cannot destroy an existing witness set
+		}
+		if !m.ok && !added {
+			return true // removals cannot create one
+		}
+		return haveVal && mv < m.floor
+	case OpMaxBound:
+		if !m.ok {
+			return !added // no valid package existed; removals keep it so
+		}
+		if added {
+			return haveVal && mv <= m.floor // cannot beat the achieved max
+		}
+		return haveVal && mv < m.floor // below the max it did not carry it
+	case OpDecide:
+		if !m.ok {
+			// The checked selection failed; without knowing why, only
+			// cost-invisible candidates are safely ignored (handled above).
+			return false
+		}
+		if added {
+			// DecideTopK rejects only on a strictly better package.
+			return haveVal && mv <= m.floor
+		}
+		_, member := m.members[t.Key()]
+		return !member
+	}
+	return false
+}

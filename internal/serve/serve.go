@@ -272,11 +272,16 @@ func (s *Server) MutateCollection(name string, delta relation.Delta) (DeltaInfo,
 		mutated[n] = struct{}{}
 	}
 	c.probs.carryOver(old.probs, mutated, res.DB)
+	// Advance the affected warm problems before install (so the first
+	// reader of the new version finds them prepared), classify and repair
+	// the dependent cache entries after (so a put racing the install is
+	// caught — exactly the window the old purge covered).
+	plans := s.planRepairs(c, res, mutated, old.probs.entries())
 	s.mu.Lock()
 	s.colls[name] = c
 	s.mu.Unlock()
 	s.unpin(old)
-	s.cache.purgeDeps(name, mutated)
+	s.repairCache(c, mutated, plans)
 	s.stats.delta(res.Upserted + res.Deleted)
 	info.CollectionInfo = c.info()
 	return info, nil
@@ -323,25 +328,110 @@ func (s *Server) Collection(name string) (CollectionInfo, bool) {
 func (s *Server) FlushCache() { s.cache.flush() }
 
 // putIfCurrent stores a solve result only while it is valid for the
-// currently registered collection: either the snapshot it was computed on
-// is still installed, or the installed version's relevant-relation
-// fingerprint matches the one the key was built over (the solve straddled
-// a delta that did not touch its relations). The check and the put share
-// the server lock with the writers' install step, so a stale key can never
-// be left squatting an LRU slot: either this put sees the old snapshot gone
-// and its fingerprint moved (and skips), or the writer's purge runs after
-// the put and removes the entry.
+// currently registered collection: the snapshot it was computed on is
+// still installed, the installed version's relevant-relation fingerprint
+// matches the one the key was built over (the solve straddled a delta that
+// did not touch its relations), or — the repair pipeline's put-side twin —
+// the installed version's warm problem proves the spec's candidate set is
+// unchanged, in which case the result is resealed under the current
+// fingerprint instead of dropped (see resealKey). The check and the put
+// share the server lock with the writers' install step, so a stale key can
+// never be left squatting an LRU slot: either this put sees the old
+// snapshot gone and its fingerprint moved (and reseals or skips), or the
+// writer's repair pass runs after the put and classifies the entry.
 func (s *Server) putIfCurrent(c *collection, v validated, res *Result) {
+	warmed, ok := s.tryPut(c, v, res)
+	if ok || warmed == nil {
+		return
+	}
+	// The spec was not warm on the installed version, so the reseal could
+	// not be judged. Prepare it there — work the next miss for this spec
+	// would pay anyway, now shared through the problem cache — and retry
+	// the put once with the warm problem in hand.
+	if _, err := s.sharedProblem(warmed, v).get(); err != nil {
+		return
+	}
+	s.tryPut(c, v, res)
+}
+
+// tryPut is one putIfCurrent attempt under the server lock. When the put
+// is neither stored nor provably dead — the installed version moved but
+// has no warm problem for the spec to judge a reseal by — it returns that
+// version (non-nil) with ok=false so the caller can warm it and retry.
+func (s *Server) tryPut(c *collection, v validated, res *Result) (warm *collection, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	cur := s.colls[c.name]
 	if cur == nil {
-		return
+		return nil, false
 	}
-	if cur != c && cur.relevant(v.deps, v.keyAll) != v.relFP {
-		return
+	key := v.key
+	candFP := ""
+	if res.repair != nil {
+		candFP = res.repair.candFP
 	}
-	s.cache.put(v.key, c.name, v.deps, v.keyAll, res)
+	if cur != c {
+		curFP := cur.relevant(v.deps, v.keyAll)
+		if curFP != v.relFP {
+			ok, fp := s.resealKey(cur, v, res)
+			if !ok {
+				if fp == resealNotWarm && res.repair != nil && !v.keyAll {
+					return cur, false
+				}
+				return nil, false
+			}
+			key = sealCacheKey(c.name, curFP, v.keyRest)
+			candFP = fp
+		}
+	}
+	var ri *repairInfo
+	if res.repair != nil && !v.keyAll {
+		m := *res.repair
+		m.candFP = candFP
+		ri = &repairInfo{canon: v.canon, repairMeta: m}
+	}
+	s.cache.put(key, &lruEntry{
+		coll:    c.name,
+		deps:    v.deps,
+		depsAll: v.keyAll,
+		keyRest: v.keyRest,
+		repair:  ri,
+		res:     res,
+	})
+	return nil, true
+}
+
+// resealNotWarm flags (in the fingerprint slot) that resealKey could not
+// decide because the spec has no warm problem on the current version.
+const resealNotWarm = "\x00not-warm"
+
+// resealKey decides whether a result whose relations mutated while it was
+// being computed is still exactly the answer the current version would
+// give: the current warm problem for the same canonical spec must carry a
+// candidate set fingerprint equal to the one the result was computed over
+// (every score is a function of the candidate tuple itself, so an equal
+// set means an equal answer), and nothing outside the candidate set may
+// influence the result (no compatibility query or custom predicates). On
+// success it returns the current candidate fingerprint for the entry's
+// repair metadata; on failure the fingerprint slot is resealNotWarm when
+// warming the spec could still rescue the put.
+func (s *Server) resealKey(cur *collection, v validated, res *Result) (bool, string) {
+	if v.keyAll || res.repair == nil {
+		return false, ""
+	}
+	sp, ok := cur.probs.peek(v.canon)
+	if !ok || !sp.ready() {
+		return false, resealNotWarm
+	}
+	prob := sp.prob
+	if prob.Qc != nil || prob.CompatFn != nil || prob.Prune != nil {
+		return false, ""
+	}
+	fp, err := prob.CandidatesFingerprint()
+	if err != nil || fp != res.repair.candFP {
+		return false, ""
+	}
+	return true, fp
 }
 
 // snapshot resolves and pins the collection a request targets; the caller
@@ -384,6 +474,7 @@ type validated struct {
 	depsAll bool           // the spec may read the whole database (FO)
 	keyAll  bool           // the result depends on the whole database
 	relFP   string         // content fingerprint the result is keyed on
+	keyRest string         // request half of the key (op, backend, params)
 	key     string         // result-cache key
 }
 
@@ -423,7 +514,8 @@ func (s *Server) validateRequest(coll *collection, req Request) (validated, erro
 		}
 	}
 	v.relFP = coll.relevant(v.deps, v.keyAll)
-	v.key = s.cacheKey(coll, req, sel, canon, v.relFP)
+	v.keyRest = requestKeyRest(req, sel, canon)
+	v.key = sealCacheKey(coll.name, v.relFP, v.keyRest)
 	return v, nil
 }
 
@@ -491,7 +583,7 @@ func (s *Server) Solve(ctx context.Context, req Request) (*Response, error) {
 	req, key := v.req, v.key
 
 	if !req.NoCache {
-		if res, ok := s.cache.get(key); ok {
+		if res, ok := s.cacheLookup(coll, v); ok {
 			s.stats.lookup(true)
 			s.stats.observe(time.Since(start))
 			return s.respond(res, coll, true, start), nil
@@ -530,6 +622,30 @@ func (s *Server) Solve(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 	return s.respond(res, coll, false, start), nil
+}
+
+// cacheLookup consults the result cache for a validated request. On a miss
+// it gives the lookup one second chance under the currently installed
+// version's fingerprint: the request may have validated against a snapshot
+// a delta superseded in the meantime, while the repair pipeline moved the
+// wanted entry to its resealed key. Serving that entry is sound — it is
+// the current version's exact answer, and a request racing a delta may be
+// answered on either side of it.
+func (s *Server) cacheLookup(coll *collection, v validated) (*Result, bool) {
+	if res, ok := s.cache.get(v.key); ok {
+		return res, true
+	}
+	s.mu.RLock()
+	cur := s.colls[coll.name]
+	s.mu.RUnlock()
+	if cur == nil || cur == coll {
+		return nil, false
+	}
+	key := sealCacheKey(coll.name, cur.relevant(v.deps, v.keyAll), v.keyRest)
+	if key == v.key {
+		return nil, false
+	}
+	return s.cache.get(key)
 }
 
 func (s *Server) respond(res *Result, coll *collection, cached bool, start time.Time) *Response {
@@ -596,6 +712,11 @@ func (s *Server) buildProblem(coll *collection, ps spec.ProblemSpec) (*core.Prob
 		return nil, &RequestError{Err: err}
 	}
 	prob.Counters = &s.eng
+	// Read provenance feeds the delta repair pipeline: with the table in
+	// hand a mutation can advance the prepared problem and repair cached
+	// results instead of discarding both. Prepare pays one lineage record
+	// per candidate for it; untraceable (FO) specs ignore the flag.
+	prob.TrackProvenance = true
 	return prob, nil
 }
 
@@ -642,6 +763,7 @@ func (s *Server) runSolve(ctx context.Context, coll *collection, v validated) (*
 func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, sel []core.Package) (*Result, error) {
 	workers := s.workers(req)
 	res := &Result{Op: req.Op}
+	var metaSel []core.Package // the selection repair metadata describes
 	switch req.Op {
 	case OpTopK:
 		sel, ok, err := prob.FindTopKParallelCtx(ctx, workers)
@@ -652,6 +774,7 @@ func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, s
 		for _, n := range sel {
 			res.Packages = append(res.Packages, packageResult(prob, n))
 		}
+		metaSel = sel
 	case OpDecide:
 		ok, wit, err := prob.DecideTopKParallelCtx(ctx, sel, workers)
 		if err != nil {
@@ -662,6 +785,7 @@ func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, s
 			w := packageResult(prob, *wit)
 			res.Witness = &w
 		}
+		metaSel = sel
 	case OpMaxBound:
 		b, ok, err := prob.MaxBoundParallelCtx(ctx, workers)
 		if err != nil {
@@ -752,6 +876,7 @@ func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, s
 	default:
 		return nil, &RequestError{Err: fmt.Errorf("unknown op %q", req.Op)}
 	}
+	res.repair = buildRepairMeta(prob, req, metaSel, res)
 	return res, nil
 }
 
@@ -764,6 +889,7 @@ func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, s
 // rejected the ops the backend does not serve.
 func (s *Server) solvePBOOp(ctx context.Context, comp *pbo.Compiled, prob *core.Problem, req Request, sel []core.Package) (*Result, error) {
 	res := &Result{Op: req.Op}
+	var metaSel []core.Package // the selection repair metadata describes
 	switch req.Op {
 	case OpTopK:
 		sel, ok, err := comp.FindTopKCtx(ctx)
@@ -774,6 +900,7 @@ func (s *Server) solvePBOOp(ctx context.Context, comp *pbo.Compiled, prob *core.
 		for _, n := range sel {
 			res.Packages = append(res.Packages, packageResult(prob, n))
 		}
+		metaSel = sel
 	case OpDecide:
 		ok, wit, err := comp.DecideTopKCtx(ctx, sel)
 		if err != nil {
@@ -784,6 +911,7 @@ func (s *Server) solvePBOOp(ctx context.Context, comp *pbo.Compiled, prob *core.
 			w := packageResult(prob, *wit)
 			res.Witness = &w
 		}
+		metaSel = sel
 	case OpMaxBound:
 		b, ok, err := comp.MaxBoundCtx(ctx)
 		if err != nil {
@@ -809,6 +937,7 @@ func (s *Server) solvePBOOp(ctx context.Context, comp *pbo.Compiled, prob *core.
 	default:
 		return nil, &RequestError{Err: fmt.Errorf("backend %q does not support op %q", req.Backend, req.Op)}
 	}
+	res.repair = buildRepairMeta(prob, req, metaSel, res)
 	return res, nil
 }
 
@@ -872,8 +1001,17 @@ func decodeSelection(sel [][][]any) ([]core.Package, error) {
 // re-render (internal/parser.Canonicalize via spec.Canonical), so
 // formatting-different but equal requests share an entry.
 func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package, canon, relFP string) string {
+	return sealCacheKey(coll.name, relFP, requestKeyRest(req, sel, canon))
+}
+
+// requestKeyRest renders the request half of the cache key — operation,
+// backend, canonical spec and op parameters — without the collection name
+// or content fingerprint. Cache entries keep it (lruEntry.keyRest) so the
+// delta repair pipeline can reseal a surviving entry under the post-delta
+// fingerprint without the original request in hand.
+func requestKeyRest(req Request, sel []core.Package, canon string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s:%s|%s|%s|%s", spec.CanonString(coll.name), relFP, req.Op, req.Backend, canon)
+	fmt.Fprintf(&b, "%s|%s|%s", req.Op, req.Backend, canon)
 	switch req.Op {
 	case OpDecide:
 		keys := make([]string, len(sel))
@@ -899,7 +1037,14 @@ func (s *Server) cacheKey(coll *collection, req Request, sel []core.Package, can
 			fmt.Fprintf(&b, "|extra=%s", req.Extra.Fingerprint())
 		}
 	}
-	sum := sha256.Sum256([]byte(b.String()))
+	return b.String()
+}
+
+// sealCacheKey combines the collection name, the content fingerprint of
+// the relations the request reads, and the request half of the key into
+// the stored cache key.
+func sealCacheKey(collName, relFP, keyRest string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s:%s|%s", spec.CanonString(collName), relFP, keyRest)))
 	return hex.EncodeToString(sum[:])
 }
 

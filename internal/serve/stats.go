@@ -42,6 +42,16 @@ type Stats struct {
 	Deltas        uint64 `json:"deltas"`
 	DeltaItems    uint64 `json:"deltaItems"`
 	SnapshotsLive int64  `json:"snapshotsLive"`
+	// RepairRekeyed / RepairPatched / RepairResolved break down what deltas
+	// did to the cache entries depending on a mutated relation: kept
+	// verbatim under a new content key (the spec's candidates were
+	// untouched), kept because every candidate change was provably outside
+	// the entry's result (see internal/serve/repair.go), or purged. The
+	// repaired fraction (rekeyed+patched over all three) is the direct
+	// measure of how much churn the repair pipeline absorbs.
+	RepairRekeyed  uint64 `json:"repairRekeyed"`
+	RepairPatched  uint64 `json:"repairPatched"`
+	RepairResolved uint64 `json:"repairResolved"`
 	// EngineNodes / EnginePackages / EnginePruned / EngineBoundEvals are
 	// the engine's cost accounting (core.EngineCounters): DFS nodes
 	// visited, valid packages yielded, subtrees cut by the branch-and-bound
@@ -107,6 +117,9 @@ type statsRec struct {
 	deltas       uint64
 	deltaItems   uint64
 	snapsLive    int64
+	rekeyed      uint64
+	patched      uint64
+	resolved     uint64
 
 	perOp map[string]uint64
 	ring  []float64 // latency samples in ms
@@ -199,6 +212,15 @@ func (s *statsRec) delta(items int) {
 	s.mu.Unlock()
 }
 
+// repairs records one delta's cache-repair outcome tallies.
+func (s *statsRec) repairs(rekeyed, patched, resolved uint64) {
+	s.mu.Lock()
+	s.rekeyed += rekeyed
+	s.patched += patched
+	s.resolved += resolved
+	s.mu.Unlock()
+}
+
 // snapshots moves the live-snapshot gauge: +1 when a collection version is
 // installed, -1 when the last reference (registry or in-flight solve) to a
 // version drops.
@@ -247,6 +269,10 @@ func (s *statsRec) snapshot() Stats {
 		Deltas:        s.deltas,
 		DeltaItems:    s.deltaItems,
 		SnapshotsLive: s.snapsLive,
+
+		RepairRekeyed:  s.rekeyed,
+		RepairPatched:  s.patched,
+		RepairResolved: s.resolved,
 	}
 	st.PerOp = make(map[string]uint64, len(s.perOp))
 	for k, v := range s.perOp {

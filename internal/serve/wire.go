@@ -137,6 +137,11 @@ type Result struct {
 	// Delta and DeltaSize describe the minimal adjustment (op adjust).
 	Delta     []string `json:"delta,omitempty"`
 	DeltaSize *int     `json:"deltaSize,omitempty"`
+
+	// repair carries the solve-time classification evidence the delta
+	// repair pipeline judges cached copies of this result by (see
+	// internal/serve/repair.go). Never serialized.
+	repair *repairMeta
 }
 
 // SuggestionResult is one ranked relaxation suggestion on the wire. Choices
