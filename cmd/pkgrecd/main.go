@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -pprof flag: profiling handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"strings"
@@ -44,6 +45,12 @@ func main() {
 		maxInFlight = flag.Int("max-concurrent", 0, "max solves running at once (0 = GOMAXPROCS)")
 		engWorkers  = flag.Int("workers", 1, "engine workers per solve (requests may override)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default solve deadline (0 = none)")
+		maxQueue    = flag.Int("max-queue", 0, "max solves one collection may have waiting before its next solve sheds with 429 (0 = 16x max-concurrent)")
+		shedAfter   = flag.Duration("shed-threshold", 0, "shed non-cheap solves whose predicted wait exceeds this (0 = disabled)")
+		cheapAfter  = flag.Duration("cheap-threshold", 0, "predicted cost at or below this rides the express admission lane (0 = 2ms)")
+		walDir      = flag.String("wal-dir", "", "directory for collection durability (delta WAL + snapshots); empty = in-memory only")
+		walCompact  = flag.Int64("wal-compact", 0, "compact a collection's WAL once it exceeds this many bytes (0 = 4MiB)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 		loads       []string
 	)
 	flag.Func("load", "collection to serve, as name=dbfile.json (repeatable)", func(v string) error {
@@ -58,7 +65,29 @@ func main() {
 		MaxConcurrent:    *maxInFlight,
 		EngineWorkers:    *engWorkers,
 		DefaultTimeout:   *timeout,
+		MaxQueue:         *maxQueue,
+		ShedThreshold:    *shedAfter,
+		CheapThreshold:   *cheapAfter,
 	})
+	if *walDir != "" {
+		// Durability first: recover persisted collections before -load
+		// runs, so a reload of identical content is the idempotent no-op
+		// SetCollection promises, and live deltas land in the log.
+		if err := srv.OpenWAL(serve.WALConfig{Dir: *walDir, CompactBytes: *walCompact}); err != nil {
+			log.Fatalf("opening WAL at %s: %v", *walDir, err)
+		}
+		st := srv.Stats()
+		log.Printf("durability on at %s: %d collections recovered, %d records replayed",
+			*walDir, st.WALCollections, st.WALReplayed)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers; a
+			// dedicated listener keeps profiling off the service port.
+			log.Printf("pprof on %s", *pprofAddr)
+			log.Printf("pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 	for _, l := range loads {
 		name, path, ok := strings.Cut(l, "=")
 		if !ok || name == "" || path == "" {
@@ -93,9 +122,12 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	if err := srv.Close(); err != nil {
+		log.Printf("closing WAL: %v", err)
+	}
 	st := srv.Stats()
-	log.Printf("served %d requests (%.0f%% cache hits, %d coalesced, %d errors)",
-		st.Requests, 100*st.HitRate, st.Coalesced, st.Errors)
+	log.Printf("served %d requests (%.0f%% cache hits, %d coalesced, %d shed, %d errors)",
+		st.Requests, 100*st.HitRate, st.Coalesced, st.Shed, st.Errors)
 }
 
 func loadCollection(srv *serve.Server, name, path string) (serve.CollectionInfo, error) {

@@ -73,6 +73,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -112,6 +113,11 @@ func main() {
 		churnRel   = flag.String("churnrel", "flight", "relation the churn mutates (flight = unread by the queries, poi = read by all)")
 		churnSwap  = flag.Bool("churnswap", false, "install churn as full collection PUT swaps instead of deltas")
 		jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report on stdout instead of text")
+		maxConc    = flag.Int("max-concurrent", 0, "in-process daemon: solve pool size (0 = GOMAXPROCS); overload runs shrink it below -c")
+		maxQueue   = flag.Int("max-queue", 0, "in-process daemon: per-collection admission queue bound before 429s (0 = 16x pool)")
+		shedAfter  = flag.Duration("shed-threshold", 0, "in-process daemon: shed solves whose predicted wait exceeds this (0 = disabled)")
+		walDir     = flag.String("wal-dir", "", "in-process daemon: durability directory (delta WAL + snapshots)")
+		restart    = flag.Bool("restart", false, "after the run, restart the in-process daemon over -wal-dir and verify the collection recovers to the pre-restart fingerprint")
 	)
 	flag.Parse()
 	if *batch < 1 || *n < 1 || *conc < 1 || *hit < 0 || *hit >= 1 {
@@ -153,14 +159,22 @@ func main() {
 		}
 	}
 
+	spawnOpts := serve.Options{MaxConcurrent: *maxConc, MaxQueue: *maxQueue, ShedThreshold: *shedAfter}
+	if *addr != "" && (*maxConc != 0 || *maxQueue != 0 || *shedAfter != 0 || *walDir != "" || *restart) {
+		log.Fatal("-max-concurrent, -max-queue, -shed-threshold, -wal-dir and -restart configure the in-process daemon; they cannot be combined with -addr")
+	}
+	if *restart && *walDir == "" {
+		log.Fatal("-restart needs -wal-dir: a memory-only daemon has nothing to recover from")
+	}
 	base := *addr
+	var stop func()
 	if base == "" {
-		srv, stop, err := spawn()
+		var err error
+		base, stop, err = spawn(spawnOpts, *walDir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer stop()
-		base = srv
+		defer func() { stop() }()
 		if !*jsonOut {
 			log.Printf("spawned in-process daemon at %s", base)
 		}
@@ -209,6 +223,8 @@ func main() {
 		NPOI: *nPOI, Ops: ops, Seed: *seed, NoCache: *noCache,
 		RelaxFrac: *relaxFrac, PBOFrac: *pboFrac,
 		Churn: *churn, ChurnRel: *churnRel, ChurnSwap: *churnSwap,
+		MaxConcurrent: *maxConc, MaxQueue: *maxQueue, ShedThreshold: *shedAfter,
+		WALDir: *walDir, Restart: *restart,
 	}
 	rep.Summary.OfferedRepeatRatio = offeredRepeats
 	for _, i := range stream {
@@ -221,6 +237,18 @@ func main() {
 	}
 	if st, err := client.Stats(ctx); err == nil {
 		rep.Server = st
+	}
+	if *restart {
+		rs, stop2, err := restartScenario(ctx, client, *collection, stop, spawnOpts, *walDir)
+		if stop2 != nil {
+			stop = stop2
+		} else {
+			stop = func() {}
+		}
+		if err != nil {
+			log.Fatalf("restart scenario: %v", err)
+		}
+		rep.Restart = rs
 	}
 
 	if *jsonOut {
@@ -235,25 +263,81 @@ func main() {
 	} else {
 		render(rep)
 	}
-	if rep.Summary.Errors > 0 || (rep.Summary.Churn != nil && rep.Summary.Churn.Errors > 0) {
+	// Sheds are deliberate back-pressure, not failures; a restart that does
+	// not recover the exact pre-restart collection is.
+	if rep.Summary.Errors > 0 || (rep.Summary.Churn != nil && rep.Summary.Churn.Errors > 0) ||
+		(rep.Restart != nil && !rep.Restart.Match) {
 		os.Exit(1)
 	}
 }
 
 // spawn starts the serving stack in-process on a loopback listener: the
 // same Server + Handler pkgrecd runs, behind a real HTTP server, so the
-// measured path includes the full wire protocol.
-func spawn() (base string, stop func(), err error) {
+// measured path includes the full wire protocol. A non-empty walDir turns
+// on durability (and recovers whatever a previous daemon left there).
+func spawn(opts serve.Options, walDir string) (base string, stop func(), err error) {
+	srv := serve.NewServer(opts)
+	if walDir != "" {
+		if err := srv.OpenWAL(serve.WALConfig{Dir: walDir}); err != nil {
+			return "", nil, err
+		}
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		_ = srv.Close()
 		return "", nil, err
 	}
 	hs := &http.Server{
-		Handler:           serve.NewServer(serve.Options{}).Handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() { _ = hs.Serve(ln) }()
-	return "http://" + ln.Addr().String(), func() { _ = hs.Close() }, nil
+	return "http://" + ln.Addr().String(), func() { _ = hs.Close(); _ = srv.Close() }, nil
+}
+
+// restartSummary reports the -restart scenario: the daemon is bounced
+// over its durability directory and the collection must come back as the
+// exact pre-restart content.
+type restartSummary struct {
+	FingerprintBefore string  `json:"fingerprintBefore"`
+	FingerprintAfter  string  `json:"fingerprintAfter"`
+	Match             bool    `json:"match"`
+	Replayed          uint64  `json:"replayed"`
+	RecoverMS         float64 `json:"recoverMs"`
+}
+
+// restartScenario stops the in-process daemon, spawns a fresh one over
+// the same durability directory, and checks the recovered collection
+// against the pre-restart fingerprint. It returns the new daemon's stop
+// function so the caller can adopt it.
+func restartScenario(ctx context.Context, client *serve.Client, coll string,
+	stop func(), opts serve.Options, walDir string) (*restartSummary, func(), error) {
+
+	before, err := client.GetCollection(ctx, coll)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pre-restart collection: %w", err)
+	}
+	stop()
+	start := time.Now()
+	base, stop2, err := spawn(opts, walDir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("respawning daemon: %w", err)
+	}
+	c2 := serve.NewClient(base)
+	after, err := c2.GetCollection(ctx, coll)
+	if err != nil {
+		return nil, stop2, fmt.Errorf("post-restart collection: %w", err)
+	}
+	rs := &restartSummary{
+		FingerprintBefore: before.Fingerprint,
+		FingerprintAfter:  after.Fingerprint,
+		Match:             before.Fingerprint == after.Fingerprint,
+		RecoverMS:         float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if st, err := c2.Stats(ctx); err == nil {
+		rs.Replayed = st.WALReplayed
+	}
+	return rs, stop2, nil
 }
 
 // samplePool draws the distinct request pool. With relaxFrac zero it is
@@ -346,6 +430,13 @@ type config struct {
 	Churn       int      `json:"churn,omitempty"`
 	ChurnRel    string   `json:"churnRel,omitempty"`
 	ChurnSwap   bool     `json:"churnSwap,omitempty"`
+	// Hardening knobs of the in-process daemon (zero when driving an
+	// external one).
+	MaxConcurrent int           `json:"maxConcurrent,omitempty"`
+	MaxQueue      int           `json:"maxQueue,omitempty"`
+	ShedThreshold time.Duration `json:"shedThreshold,omitempty"`
+	WALDir        string        `json:"walDir,omitempty"`
+	Restart       bool          `json:"restart,omitempty"`
 }
 
 // churner installs the churn mutations: one experiments.ChurnDelta per
@@ -444,7 +535,10 @@ type latency struct {
 	Max   float64 `json:"max"`
 }
 
-// summary is the run's aggregate outcome. OfferedRepeatRatio is the
+// summary is the run's aggregate outcome. Sheds counts items the daemon
+// rejected with 429 under admission control — deliberate load-shedding,
+// reported apart from Errors so an overload run can require sheds > 0
+// with zero failures. OfferedRepeatRatio is the
 // realised fraction of stream items that repeated an earlier one — it
 // meets -hit when the pool is large enough and exceeds it when fresh
 // draws had to cycle a capped pool. RelaxItems/RelaxHits split out the
@@ -459,6 +553,7 @@ type summary struct {
 	HTTPRequests       int           `json:"httpRequests"`
 	Items              int           `json:"items"`
 	Errors             int           `json:"errors"`
+	Sheds              int           `json:"sheds"`
 	Seconds            float64       `json:"seconds"`
 	ItemsPerSec        float64       `json:"itemsPerSec"`
 	ReqPerSec          float64       `json:"reqPerSec"`
@@ -473,12 +568,20 @@ type summary struct {
 
 // report is the machine-readable shape `recload -json` emits — the serving
 // counterpart of recbench's BENCH_*.json artifacts, archived by CI as
-// BENCH_load.json.
+// BENCH_load.json (and, for overload runs, BENCH_overload.json).
 type report struct {
-	Title   string       `json:"title"`
-	Config  config       `json:"config"`
-	Summary summary      `json:"summary"`
-	Server  *serve.Stats `json:"server,omitempty"`
+	Title   string          `json:"title"`
+	Config  config          `json:"config"`
+	Summary summary         `json:"summary"`
+	Restart *restartSummary `json:"restart,omitempty"`
+	Server  *serve.Stats    `json:"server,omitempty"`
+}
+
+// isShed says whether a request failed because the daemon shed it (HTTP
+// 429 from admission control).
+func isShed(err error) bool {
+	var apiErr *serve.APIError
+	return errors.As(err, &apiErr) && apiErr.Overloaded()
 }
 
 // run replays the stream: conc workers issue calls of batchSize items each
@@ -518,7 +621,7 @@ func run(ctx context.Context, client *serve.Client, collection string,
 	jobs := make(chan call)
 	durs := make([]time.Duration, 0, len(calls))
 	var mu sync.Mutex
-	var items, errs, relaxItems, relaxHits int
+	var items, errs, sheds, relaxItems, relaxHits int
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < conc; w++ {
@@ -536,13 +639,20 @@ func run(ctx context.Context, client *serve.Client, collection string,
 				// reported as cache-served (deduped items inherit their
 				// lead's cached flag, so they count the way the lead was
 				// answered).
-				var okItems, badItems, rxItems, rxHits int
+				var okItems, badItems, shedItems, rxItems, rxHits int
 				if batchSize == 1 {
 					req := item(c.idxs[0]).Request(collection)
 					req.TimeoutMS = timeout.Milliseconds()
 					req.NoCache = noCache
 					if resp, err := client.Solve(ctx, req); err != nil {
-						badItems = 1
+						// A 429 is the daemon keeping its latency promise
+						// under overload, not a failure: count it apart so
+						// overload runs can assert sheds > 0 AND errors == 0.
+						if isShed(err) {
+							shedItems = 1
+						} else {
+							badItems = 1
+						}
 					} else {
 						okItems = 1
 						if isRelaxOp(req.Op) {
@@ -563,7 +673,14 @@ func run(ctx context.Context, client *serve.Client, collection string,
 					} else {
 						for j, ir := range resp.Items {
 							if ir.Error != "" {
-								badItems++
+								// Batch items carry their error as text;
+								// shed items are recognizable by the
+								// OverloadError message.
+								if strings.Contains(ir.Error, "overloaded") {
+									shedItems++
+								} else {
+									badItems++
+								}
 								continue
 							}
 							okItems++
@@ -581,6 +698,7 @@ func run(ctx context.Context, client *serve.Client, collection string,
 				durs = append(durs, d)
 				items += okItems
 				errs += badItems
+				sheds += shedItems
 				relaxItems += rxItems
 				relaxHits += rxHits
 				mu.Unlock()
@@ -600,6 +718,7 @@ func run(ctx context.Context, client *serve.Client, collection string,
 			HTTPRequests: len(durs),
 			Items:        items,
 			Errors:       errs,
+			Sheds:        sheds,
 			Seconds:      wall,
 			ItemsPerSec:  float64(items) / wall,
 			ReqPerSec:    float64(len(durs)) / wall,
@@ -633,6 +752,13 @@ func render(rep *report) {
 		rep.Config.Concurrency, s.OfferedRepeatRatio, s.ItemsPerSec, s.ReqPerSec, s.Errors)
 	fmt.Printf("latency per HTTP call (ms): p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 		s.LatencyMS.P50, s.LatencyMS.P95, s.LatencyMS.P99, s.LatencyMS.Max)
+	if s.Sheds > 0 {
+		fmt.Printf("admission: %d items shed with 429 (back-pressure, not errors)\n", s.Sheds)
+	}
+	if rs := rep.Restart; rs != nil {
+		fmt.Printf("restart: recovered in %.1fms, replayed %d WAL records, fingerprint match=%v\n",
+			rs.RecoverMS, rs.Replayed, rs.Match)
+	}
 	if s.RelaxItems > 0 {
 		fmt.Printf("relax traffic: %d items, %d cache-served (relaxHitRate=%.2f)\n",
 			s.RelaxItems, s.RelaxHits, s.RelaxHitRate)

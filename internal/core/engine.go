@@ -220,6 +220,13 @@ type EngineCounters struct {
 	SessionNodesSaved atomic.Int64
 }
 
+// AddTo adds c's tallies into dst (both may be shared; fields are
+// atomics). It is the flush half of per-solve accounting: give a solve a
+// private counter set (Problem.WithCounters), read its tallies when the
+// solve returns, then AddTo the shared totals — the serving layer's cost
+// model learns per-spec solve cost exactly this way.
+func (c *EngineCounters) AddTo(dst *EngineCounters) { c.addTo(dst) }
+
 // addTo adds c's tallies into dst (both may be shared; fields are atomics).
 func (c *EngineCounters) addTo(dst *EngineCounters) {
 	if dst == nil {

@@ -181,6 +181,19 @@ func (p *Problem) WithMaxSize(bp int) *Problem {
 	return &c
 }
 
+// WithCounters returns a shallow copy of the problem whose engine
+// accounting flows to c instead of p.Counters. The memoised solve state
+// (candidate list, bound tables, provenance) is shared with the receiver,
+// so on a prepared problem the copy is safe for concurrent read-only
+// solves alongside the original. This is the per-solve half of the
+// accounting: run one solve on the copy, read c's tallies for that solve
+// alone, then flush them into the shared totals with EngineCounters.AddTo.
+func (p *Problem) WithCounters(c *EngineCounters) *Problem {
+	cp := *p
+	cp.Counters = c
+	return &cp
+}
+
 // Compatible reports whether the package satisfies the compatibility
 // constraints: Qc(N, D) = ∅ and/or CompatFn.
 func (p *Problem) Compatible(pkg Package) (bool, error) {

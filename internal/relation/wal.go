@@ -1,0 +1,382 @@
+package relation
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// WAL is a durable append-only log of collection deltas. Each accepted
+// delta is framed, CRC-protected and fsynced before the caller installs
+// the new database version, so a crash after Append returns loses
+// nothing: on restart the log replays on top of the last snapshot.
+// Because a Delta is a membership statement (replay is idempotent, see
+// Delta), logging the original delta — not a diff against the installed
+// version — is sound even when the same record is applied twice across a
+// snapshot boundary.
+//
+// Frame layout, little-endian:
+//
+//	[uint32 payload length][uint32 CRC-32 (IEEE) of payload][payload]
+//
+// where the payload is the JSON encoding of a WALRecord. A torn tail —
+// a partial frame from a crash mid-write — is detected by short reads,
+// CRC mismatch or undecodable payload, and truncated away on open; the
+// log is then positioned for appends at the truncation point.
+//
+// Appends from concurrent writers are serialized internally; fsyncs are
+// group-committed — one Sync covers every frame written before it was
+// issued, so N concurrent Appends cost far fewer than N disk flushes.
+type WAL struct {
+	path  string
+	hooks WALHooks
+
+	mu      sync.Mutex // guards file writes, size, seq, counters
+	f       *os.File
+	size    int64
+	nextSeq uint64
+	records uint64
+	closed  bool
+
+	// Group-commit state, under its own lock so waiters don't block
+	// writers appending the next batch of frames.
+	syncMu  sync.Mutex
+	syncing bool
+	syncGen uint64
+	synced  int64 // bytes durably flushed
+	syncs   uint64
+	syncErr error // error of the last completed round
+	syncCnd *sync.Cond
+}
+
+// WALRecord is one logged mutation: the delta and its log sequence
+// number. Sequence numbers are assigned by Append, strictly increasing,
+// and survive compaction (Reset keeps the counter), so a snapshot
+// stamped with the last applied seq lets recovery skip records the
+// snapshot already contains — the crash-during-compaction window where
+// both the snapshot and a pre-compaction suffix exist is safe.
+type WALRecord struct {
+	Seq   uint64 `json:"seq"`
+	Delta Delta  `json:"delta"`
+}
+
+// WALHooks are fault-injection points for tests: BeforeWrite runs before
+// a record's frame is written (an error aborts the append with no
+// observable effect on the log), BeforeSync runs inside each fsync round
+// before the actual Sync (an error or a stall is observed by every
+// waiter of that round). Both may be nil. Production opens pass nil
+// hooks; the serving layer threads them through for its fault suite.
+type WALHooks struct {
+	BeforeWrite func(rec *WALRecord) error
+	BeforeSync  func() error
+}
+
+// ErrWALClosed is returned by operations on a closed WAL.
+var ErrWALClosed = errors.New("relation: WAL is closed")
+
+// maxWALFrame bounds a frame's claimed payload length; anything larger
+// is treated as tail corruption rather than attempted as an allocation.
+const maxWALFrame = 1 << 30
+
+// walFrameHeader is the fixed frame prefix: payload length + CRC.
+const walFrameHeader = 8
+
+// OpenWAL opens (creating if absent) the log at path, replays every
+// intact record, truncates a torn tail, and returns the WAL positioned
+// for appends together with the replayed records in log order. The
+// returned records are the recovery stream: apply those with Seq greater
+// than the snapshot's to rebuild the pre-crash state.
+func OpenWAL(path string, hooks *WALHooks) (*WAL, []WALRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, good, err := readWALFrames(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Drop the torn tail (if any) and position at the end of the intact
+	// prefix. Truncation is what makes the next append start on a frame
+	// boundary instead of extending garbage.
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, nil, err
+	} else if fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &WAL{path: path, f: f, size: good, synced: good, nextSeq: 1, records: uint64(len(recs))}
+	if hooks != nil {
+		w.hooks = *hooks
+	}
+	if n := len(recs); n > 0 {
+		w.nextSeq = recs[n-1].Seq + 1
+	}
+	w.syncCnd = sync.NewCond(&w.syncMu)
+	return w, recs, nil
+}
+
+// readWALFrames scans the log from the start, returning the decoded
+// records and the byte offset of the end of the last intact frame.
+// Corruption anywhere in a frame — short header, absurd length, short
+// payload, CRC mismatch, undecodable JSON, or a sequence number that
+// does not increase — ends the scan at that frame's start; everything
+// before it is intact. Only I/O errors (not corruption) are returned.
+func readWALFrames(f *os.File) ([]WALRecord, int64, error) {
+	var (
+		recs    []WALRecord
+		good    int64
+		hdr     [walFrameHeader]byte
+		lastSeq uint64
+	)
+	for {
+		n, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF && n == 0 {
+			return recs, good, nil
+		}
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return recs, good, nil // torn header
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxWALFrame {
+			return recs, good, nil // length field is garbage
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return recs, good, nil // torn payload
+			}
+			return nil, 0, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, good, nil // bit rot or torn overwrite
+		}
+		var rec WALRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, good, nil
+		}
+		if rec.Seq <= lastSeq {
+			return recs, good, nil // ordering violated: distrust the tail
+		}
+		lastSeq = rec.Seq
+		recs = append(recs, rec)
+		good += walFrameHeader + int64(length)
+	}
+}
+
+// Append logs one delta: the record is framed, written, and fsynced
+// (group-committed) before Append returns with the record's sequence
+// number. An error leaves the log exactly as it was — a partial frame
+// from a failed write is truncated away immediately, not left for the
+// next open to clean up.
+func (w *WAL) Append(delta Delta) (uint64, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrWALClosed
+	}
+	rec := WALRecord{Seq: w.nextSeq, Delta: delta}
+	if w.hooks.BeforeWrite != nil {
+		if err := w.hooks.BeforeWrite(&rec); err != nil {
+			w.mu.Unlock()
+			return 0, err
+		}
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	frame := make([]byte, walFrameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[walFrameHeader:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		// A short write leaves a torn frame; cut it off so the in-memory
+		// size and the on-disk intact prefix stay equal.
+		w.f.Truncate(w.size)
+		w.f.Seek(w.size, io.SeekStart)
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.size += int64(len(frame))
+	w.nextSeq++
+	w.records++
+	target := w.size
+	w.mu.Unlock()
+	if err := w.syncTo(target); err != nil {
+		return 0, err
+	}
+	return rec.Seq, nil
+}
+
+// syncTo blocks until at least target bytes of the log are durably
+// flushed. One goroutine runs the fsync while later arrivals wait on the
+// round; a successful round covers every byte written before it started,
+// so each caller needs at most two rounds (one in flight when it
+// arrived, then its own).
+func (w *WAL) syncTo(target int64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	for w.synced < target {
+		if w.syncing {
+			gen := w.syncGen
+			for w.syncGen == gen {
+				w.syncCnd.Wait()
+			}
+			if w.synced >= target {
+				return nil
+			}
+			if w.syncErr != nil {
+				return w.syncErr
+			}
+			continue
+		}
+		w.syncing = true
+		w.mu.Lock()
+		covered := w.size
+		closed := w.closed
+		w.mu.Unlock()
+		w.syncMu.Unlock()
+		var err error
+		if closed {
+			err = ErrWALClosed
+		} else {
+			if w.hooks.BeforeSync != nil {
+				err = w.hooks.BeforeSync()
+			}
+			if err == nil {
+				err = w.f.Sync()
+			}
+		}
+		w.syncMu.Lock()
+		w.syncing = false
+		w.syncGen++
+		w.syncErr = err
+		if err == nil {
+			w.syncs++
+			if covered > w.synced {
+				w.synced = covered
+			}
+		}
+		w.syncCnd.Broadcast()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset empties the log — called after a snapshot has durably captured
+// everything the log held (compaction). The sequence counter is NOT
+// reset: later appends continue above the snapshot's seq, preserving
+// the seq-gated replay invariant.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = 0
+	w.records = 0
+	w.syncMu.Lock()
+	w.synced = 0
+	w.syncMu.Unlock()
+	return nil
+}
+
+// Advance ensures future sequence numbers exceed seq. Recovery calls it
+// with the snapshot's seq when the snapshot is ahead of the (compacted)
+// log, so post-restart appends never reuse a seq the snapshot covers.
+func (w *WAL) Advance(seq uint64) {
+	w.mu.Lock()
+	if seq >= w.nextSeq {
+		w.nextSeq = seq + 1
+	}
+	w.mu.Unlock()
+}
+
+// Close flushes and closes the log file. Further operations return
+// ErrWALClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.mu.Unlock()
+	// Wake any group-commit waiters parked on an in-flight round.
+	w.syncMu.Lock()
+	w.syncCnd.Broadcast()
+	w.syncMu.Unlock()
+	return err
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Size returns the log's current length in bytes (intact frames only).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Records returns the number of records in the log since the last Reset.
+func (w *WAL) Records() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Syncs returns the number of fsync rounds completed — with group
+// commit this is ≤ the number of Appends.
+func (w *WAL) Syncs() uint64 {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	return w.syncs
+}
+
+// NextSeq returns the sequence number the next Append will use.
+func (w *WAL) NextSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (w *WAL) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return fmt.Sprintf("wal(%s: %d records, %d bytes)", w.path, w.records, w.size)
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// admitter is the cost-aware admission controller that replaced the
+// plain counting semaphore on the solve pool. Every solve still occupies
+// one of MaxConcurrent slots, but who gets the next free slot — and who
+// is told to come back later — is a scheduling decision priced in
+// predicted solve cost (cost.go):
+//
+//   - express lane: when a slot is free and either nobody is queued or
+//     the request is cheap (predicted under Options.CheapThreshold), it
+//     starts immediately. Cached results never even reach the admitter,
+//     so the cheap lane is for the cheap-but-uncached tail;
+//   - fairness queue: otherwise the request waits in its tenant's (its
+//     collection's) queue. Slots are granted to the tenant with the
+//     least accumulated debt — the sum of predicted cost it has been
+//     granted — so one tenant flooding expensive solves cannot starve
+//     the others: its debt races ahead and every other tenant's
+//     occasional request is scheduled first. Within a tenant, cheap
+//     requests go before expensive ones, then lower predicted cost,
+//     then arrival order;
+//   - shedding: a full tenant queue (Options.MaxQueue waiters for one
+//     collection — the per-collection fairness budget, so one tenant's
+//     backlog sheds its own traffic, never another tenant's), or — when
+//     Options.ShedThreshold is set — a predicted queue drain beyond the
+//     threshold, rejects the request with an OverloadError carrying a
+//     Retry-After derived from that predicted drain. Cheap requests are
+//     exempt from the predicted-drain shed (they are the traffic an
+//     operator least wants bounced) but not from the per-tenant bound.
+//
+// Observability endpoints (/v1/stats, /metrics) bypass the admitter
+// entirely — they never solve — so a saturated pool cannot starve the
+// instruments that explain the saturation.
+type admitter struct {
+	slots         int
+	maxQueue      int
+	shedThreshold time.Duration
+
+	mu          sync.Mutex
+	running     int
+	runningCost time.Duration // predicted cost of running solves
+	queuedCost  time.Duration // predicted cost of queued solves
+	waiting     int
+	seq         uint64
+	tenants     map[string]*tenantQ
+
+	// Counters, surfaced through Stats/metrics.
+	express uint64 // admitted without queueing
+	queued  uint64 // admitted after waiting in the queue
+	sheds   uint64 // rejected with OverloadError
+}
+
+// tenantQ is one tenant's (collection's) wait queue plus its scheduling
+// debt. Entries exist only while a tenant has waiters; a new entry
+// starts at the minimum live debt, so a quiet tenant joining mid-overload
+// is next in line without being able to monopolize the pool.
+type tenantQ struct {
+	name string
+	debt float64 // granted predicted cost, ns
+	q    []*waiter
+}
+
+type waiter struct {
+	seq     uint64
+	pred    time.Duration
+	cheap   bool
+	granted bool
+	ready   chan struct{}
+}
+
+func newAdmitter(slots, maxQueue int, shedThreshold time.Duration) *admitter {
+	return &admitter{
+		slots:         slots,
+		maxQueue:      maxQueue,
+		shedThreshold: shedThreshold,
+		tenants:       make(map[string]*tenantQ),
+	}
+}
+
+// acquire takes a solve slot for tenant, blocking in the fairness queue
+// when the pool is busy. It returns an *OverloadError when the request
+// is shed, or ctx.Err() when the context ends first. The caller must
+// release(pred) with the same predicted cost when the solve finishes.
+func (a *admitter) acquire(ctx context.Context, tenant string, pred time.Duration, cheap bool) error {
+	a.mu.Lock()
+	if a.running < a.slots && (a.waiting == 0 || cheap) {
+		a.running++
+		a.runningCost += pred
+		a.express++
+		a.mu.Unlock()
+		return nil
+	}
+	tq := a.tenants[tenant]
+	if (tq != nil && len(tq.q) >= a.maxQueue) ||
+		(a.shedThreshold > 0 && !cheap && a.predictedWaitLocked() > a.shedThreshold) {
+		a.sheds++
+		err := &OverloadError{RetryAfter: retryAfter(a.predictedWaitLocked())}
+		a.mu.Unlock()
+		return err
+	}
+	w := &waiter{seq: a.seq, pred: pred, cheap: cheap, ready: make(chan struct{})}
+	a.seq++
+	if tq == nil {
+		tq = &tenantQ{name: tenant, debt: a.minDebtLocked()}
+		a.tenants[tenant] = tq
+	}
+	tq.q = append(tq.q, w)
+	a.waiting++
+	a.queuedCost += pred
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation; the slot is ours, give
+			// it back.
+			a.releaseLocked(pred)
+		} else {
+			a.dropWaiterLocked(tenant, w)
+		}
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns a slot granted with predicted cost pred and hands it
+// to the best queued waiter, if any.
+func (a *admitter) release(pred time.Duration) {
+	a.mu.Lock()
+	a.releaseLocked(pred)
+	a.mu.Unlock()
+}
+
+func (a *admitter) releaseLocked(pred time.Duration) {
+	a.running--
+	a.runningCost -= pred
+	a.dispatchLocked()
+}
+
+// dispatchLocked grants free slots to queued waiters: tenant with the
+// least debt first (ties by name, for determinism), and within the
+// tenant cheap before expensive, then lower predicted cost, then
+// arrival order.
+func (a *admitter) dispatchLocked() {
+	for a.running < a.slots && a.waiting > 0 {
+		tq := a.pickTenantLocked()
+		wi := pickWaiter(tq.q)
+		w := tq.q[wi]
+		tq.q = append(tq.q[:wi], tq.q[wi+1:]...)
+		a.waiting--
+		a.queuedCost -= w.pred
+		a.running++
+		a.runningCost += w.pred
+		a.queued++
+		tq.debt += float64(w.pred)
+		if len(tq.q) == 0 {
+			delete(a.tenants, tq.name)
+		}
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// pickTenantLocked returns the waiting tenant with the least debt,
+// breaking ties by name.
+func (a *admitter) pickTenantLocked() *tenantQ {
+	var best *tenantQ
+	for _, tq := range a.tenants {
+		if len(tq.q) == 0 {
+			continue
+		}
+		if best == nil || tq.debt < best.debt || (tq.debt == best.debt && tq.name < best.name) {
+			best = tq
+		}
+	}
+	return best
+}
+
+// pickWaiter returns the index of the best waiter in one tenant's queue:
+// cheap class first, then ascending predicted cost, then arrival order.
+func pickWaiter(q []*waiter) int {
+	best := 0
+	for i := 1; i < len(q); i++ {
+		w, b := q[i], q[best]
+		switch {
+		case w.cheap != b.cheap:
+			if w.cheap {
+				best = i
+			}
+		case w.pred != b.pred:
+			if w.pred < b.pred {
+				best = i
+			}
+		case w.seq < b.seq:
+			best = i
+		}
+	}
+	return best
+}
+
+// dropWaiterLocked removes a canceled waiter from its tenant's queue.
+func (a *admitter) dropWaiterLocked(tenant string, w *waiter) {
+	tq := a.tenants[tenant]
+	if tq == nil {
+		return
+	}
+	for i, x := range tq.q {
+		if x == w {
+			tq.q = append(tq.q[:i], tq.q[i+1:]...)
+			a.waiting--
+			a.queuedCost -= w.pred
+			break
+		}
+	}
+	if len(tq.q) == 0 {
+		delete(a.tenants, tq.name)
+	}
+}
+
+// minDebtLocked is the debt a newly waiting tenant starts at: the
+// minimum live debt, so it is next in line but cannot replay an empty
+// history into a monopoly.
+func (a *admitter) minDebtLocked() float64 {
+	first := true
+	min := 0.0
+	for _, tq := range a.tenants {
+		if first || tq.debt < min {
+			min = tq.debt
+			first = false
+		}
+	}
+	return min
+}
+
+// predictedWaitLocked estimates how long a new arrival would wait for a
+// slot: everything running plus everything queued, drained across the
+// pool's slots.
+func (a *admitter) predictedWaitLocked() time.Duration {
+	return (a.runningCost + a.queuedCost) / time.Duration(a.slots)
+}
+
+// retryAfter converts a predicted queue drain into the Retry-After the
+// 429 carries: whole seconds, rounded up, at least 1.
+func retryAfter(wait time.Duration) time.Duration {
+	secs := int64(wait+time.Second-1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// queueDepth returns the current number of queued solves.
+func (a *admitter) queueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting
+}
+
+// counters returns the admission tallies (express grants, queued grants,
+// sheds).
+func (a *admitter) counters() (express, queued, sheds uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.express, a.queued, a.sheds
+}
+
+// tenantsSnapshot lists the waiting tenants and their queue lengths,
+// sorted by name — diagnostics for tests and debugging.
+func (a *admitter) tenantsSnapshot() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.tenants))
+	for name := range a.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The admission controller's scheduling decisions are deterministic given
+// a queue state, so they are pinned by direct unit tests: waiter ordering
+// within a tenant, tenant selection by debt, the express lane, both shed
+// conditions, and the Retry-After arithmetic the 429s carry.
+
+func wtr(seq uint64, pred time.Duration, cheap bool) *waiter {
+	return &waiter{seq: seq, pred: pred, cheap: cheap, ready: make(chan struct{})}
+}
+
+func TestPickWaiterOrdering(t *testing.T) {
+	cases := []struct {
+		name string
+		q    []*waiter
+		want int
+	}{
+		{"cheap beats expensive", []*waiter{
+			wtr(0, 50*time.Millisecond, false),
+			wtr(1, 80*time.Millisecond, true),
+		}, 1},
+		{"cheap beats cheaper non-cheap", []*waiter{
+			wtr(0, time.Millisecond, false),
+			wtr(1, 2*time.Millisecond, true),
+		}, 1},
+		{"lower predicted cost wins within a class", []*waiter{
+			wtr(0, 30*time.Millisecond, false),
+			wtr(1, 10*time.Millisecond, false),
+			wtr(2, 20*time.Millisecond, false),
+		}, 1},
+		{"arrival order breaks prediction ties", []*waiter{
+			wtr(5, 10*time.Millisecond, false),
+			wtr(3, 10*time.Millisecond, false),
+			wtr(4, 10*time.Millisecond, false),
+		}, 1},
+		{"cheap class sorts by cost then arrival too", []*waiter{
+			wtr(0, time.Millisecond, true),
+			wtr(1, time.Millisecond, true),
+			wtr(2, 500*time.Microsecond, true),
+		}, 2},
+	}
+	for _, tc := range cases {
+		if got := pickWaiter(tc.q); got != tc.want {
+			t.Errorf("%s: pickWaiter = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPickTenantLeastDebtWithNameTieBreak(t *testing.T) {
+	a := newAdmitter(1, 16, 0)
+	a.tenants["zeta"] = &tenantQ{name: "zeta", debt: 5, q: []*waiter{wtr(0, time.Millisecond, false)}}
+	a.tenants["alpha"] = &tenantQ{name: "alpha", debt: 10, q: []*waiter{wtr(1, time.Millisecond, false)}}
+	if got := a.pickTenantLocked(); got.name != "zeta" {
+		t.Fatalf("least-debt tenant: got %q, want zeta", got.name)
+	}
+	a.tenants["alpha"].debt = 5
+	if got := a.pickTenantLocked(); got.name != "alpha" {
+		t.Fatalf("debt tie: got %q, want alpha (name order)", got.name)
+	}
+	// Tenants with empty queues are skipped, not picked.
+	a.tenants["aaaa"] = &tenantQ{name: "aaaa", debt: 0}
+	if got := a.pickTenantLocked(); got.name != "alpha" {
+		t.Fatalf("empty-queue tenant picked: got %q", got.name)
+	}
+}
+
+// A tenant joining mid-overload starts at the minimum live debt: next in
+// line, but unable to convert an empty history into a monopoly.
+func TestNewTenantStartsAtMinimumDebt(t *testing.T) {
+	a := newAdmitter(1, 16, 0)
+	if got := a.minDebtLocked(); got != 0 {
+		t.Fatalf("min debt with no tenants = %v, want 0", got)
+	}
+	a.tenants["a"] = &tenantQ{name: "a", debt: 7}
+	a.tenants["b"] = &tenantQ{name: "b", debt: 3}
+	if got := a.minDebtLocked(); got != 3 {
+		t.Fatalf("min debt = %v, want 3", got)
+	}
+}
+
+func TestRetryAfterMath(t *testing.T) {
+	cases := []struct {
+		wait time.Duration
+		want time.Duration
+	}{
+		{0, time.Second},                           // floor: at least 1s
+		{time.Millisecond, time.Second},            // sub-second rounds up to the floor
+		{time.Second, time.Second},                 // exact second stays
+		{1001 * time.Millisecond, 2 * time.Second}, // ceil, not round
+		{2500 * time.Millisecond, 3 * time.Second},
+		{10 * time.Second, 10 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := retryAfter(tc.wait); got != tc.want {
+			t.Errorf("retryAfter(%v) = %v, want %v", tc.wait, got, tc.want)
+		}
+	}
+}
+
+func TestPredictedWaitDrainsAcrossSlots(t *testing.T) {
+	a := newAdmitter(4, 16, 0)
+	a.runningCost = 200 * time.Millisecond
+	a.queuedCost = 600 * time.Millisecond
+	if got := a.predictedWaitLocked(); got != 200*time.Millisecond {
+		t.Fatalf("predicted wait = %v, want 200ms ((200+600)/4)", got)
+	}
+}
+
+// The express lane: a free slot admits immediately when nobody queues, and
+// cheap requests may take a free slot past a non-empty queue.
+func TestExpressLaneAndCheapBypass(t *testing.T) {
+	ctx := context.Background()
+	a := newAdmitter(2, 16, 0)
+	if err := a.acquire(ctx, "t", 5*time.Millisecond, false); err != nil {
+		t.Fatalf("express acquire: %v", err)
+	}
+
+	// Fill the second slot, then park a waiter so the queue is non-empty.
+	if err := a.acquire(ctx, "t", 5*time.Millisecond, false); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- a.acquire(ctx, "t", 5*time.Millisecond, false) }()
+	for a.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Release one slot: it must go to the queued waiter, not sit free.
+	a.release(5 * time.Millisecond)
+	if err := <-waited; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+
+	// Park another expensive waiter; a cheap request must still ride the
+	// express lane the moment a slot frees, ahead of it… but only via
+	// dispatch fairness: with no free slot it queues like everyone else.
+	go func() { waited <- a.acquire(ctx, "t", 5*time.Millisecond, false) }()
+	for a.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	a.release(5 * time.Millisecond) // grant the parked waiter
+	if err := <-waited; err != nil {
+		t.Fatalf("second queued acquire: %v", err)
+	}
+	a.release(5 * time.Millisecond) // one slot free again, one running
+
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(ctx, "t2", time.Millisecond, true) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cheap express acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cheap request did not take the free slot")
+	}
+
+	express, queued, sheds := a.counters()
+	if express != 3 || queued != 2 || sheds != 0 {
+		t.Fatalf("counters express=%d queued=%d sheds=%d, want 3/2/0", express, queued, sheds)
+	}
+}
+
+func TestMaxQueueSheds(t *testing.T) {
+	ctx := context.Background()
+	a := newAdmitter(1, 1, 0)
+	if err := a.acquire(ctx, "t", 10*time.Millisecond, false); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	queuedErr := make(chan error, 1)
+	go func() { queuedErr <- a.acquire(ctx, "t", 10*time.Millisecond, false) }()
+	for a.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue is full: the next arrival — cheap or not — sheds.
+	err := a.acquire(ctx, "t", 10*time.Millisecond, false)
+	var ov *OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("full queue: got %v, want OverloadError", err)
+	}
+	if ov.RetryAfter < time.Second {
+		t.Fatalf("Retry-After %v below the 1s floor", ov.RetryAfter)
+	}
+	if err := a.acquire(ctx, "t", time.Microsecond, true); !errors.As(err, &ov) {
+		t.Fatalf("cheap past a full queue: got %v, want OverloadError (hard bound exempts nobody)", err)
+	}
+
+	a.release(10 * time.Millisecond)
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued waiter after release: %v", err)
+	}
+	if _, _, sheds := a.counters(); sheds != 2 {
+		t.Fatalf("sheds = %d, want 2", sheds)
+	}
+}
+
+func TestShedThresholdSparesCheap(t *testing.T) {
+	ctx := context.Background()
+	a := newAdmitter(1, 100, 50*time.Millisecond)
+	if err := a.acquire(ctx, "t", 200*time.Millisecond, false); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Predicted wait is 200ms > 50ms threshold: expensive arrivals shed…
+	var ov *OverloadError
+	if err := a.acquire(ctx, "t", 10*time.Millisecond, false); !errors.As(err, &ov) {
+		t.Fatalf("beyond threshold: got %v, want OverloadError", err)
+	}
+	// …but a cheap arrival queues instead of shedding.
+	cheapErr := make(chan error, 1)
+	go func() { cheapErr <- a.acquire(ctx, "t", time.Millisecond, true) }()
+	for a.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	a.release(200 * time.Millisecond)
+	if err := <-cheapErr; err != nil {
+		t.Fatalf("cheap acquire under threshold pressure: %v", err)
+	}
+}
+
+// A canceled context abandons the wait and leaves no queue residue; a
+// cancellation racing its own grant returns the slot.
+func TestAcquireCancellation(t *testing.T) {
+	a := newAdmitter(1, 16, 0)
+	if err := a.acquire(context.Background(), "t", time.Millisecond, false); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.acquire(ctx, "t", time.Millisecond, false) }()
+	for a.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire: %v", err)
+	}
+	if d := a.queueDepth(); d != 0 {
+		t.Fatalf("canceled waiter left queue depth %d", d)
+	}
+	if ts := a.tenantsSnapshot(); len(ts) != 0 {
+		t.Fatalf("canceled waiter left tenants %v", ts)
+	}
+	a.release(time.Millisecond)
+}
+
+// Under a multi-tenant backlog, grants interleave by debt: a flooding
+// tenant cannot take consecutive slots while another tenant waits.
+func TestDispatchInterleavesTenants(t *testing.T) {
+	ctx := context.Background()
+	a := newAdmitter(1, 100, 0)
+	if err := a.acquire(ctx, "seed", 10*time.Millisecond, false); err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	enqueue := func(tenant string, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := a.acquire(ctx, tenant, 10*time.Millisecond, false); err != nil {
+					t.Errorf("%s acquire: %v", tenant, err)
+					return
+				}
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				a.release(10 * time.Millisecond)
+			}()
+		}
+	}
+	enqueue("flood", 6)
+	for a.queueDepth() < 6 {
+		time.Sleep(time.Millisecond)
+	}
+	enqueue("victim", 2)
+	for a.queueDepth() < 8 {
+		time.Sleep(time.Millisecond)
+	}
+
+	a.release(10 * time.Millisecond) // start draining
+	wg.Wait()
+
+	// The victim's two requests must both complete within the first four
+	// grants: debts alternate, so flood can never run twice while victim
+	// still waits.
+	victims := 0
+	for i, tenant := range order {
+		if tenant == "victim" {
+			victims++
+			if i >= 4 {
+				t.Fatalf("victim grant delayed to position %d in %v", i, order)
+			}
+		}
+	}
+	if victims != 2 {
+		t.Fatalf("victim grants = %d in %v, want 2", victims, order)
+	}
+}

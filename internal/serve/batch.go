@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -104,7 +105,8 @@ type BatchResponse struct {
 type batchItem struct {
 	v      validated
 	shared *preparedProblem
-	lead   int // index of the first identical item; == own index for leads
+	lead   int  // index of the first identical item; == own index for leads
+	shed   bool // the lead was shed by admission (OverloadError)
 }
 
 // SolveBatch answers a batch of solve requests over one collection
@@ -193,7 +195,9 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 				ElapsedMS: float64(time.Since(itemStart)) / float64(time.Millisecond),
 			}
 			if err != nil {
-				s.stats.addError()
+				var ov *OverloadError
+				it.shed = errors.As(err, &ov)
+				s.countFailure(err)
 				ir.Error = err.Error()
 			} else {
 				ir.Result = res
@@ -215,7 +219,12 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 		lead := resp.Items[it.lead]
 		if lead.Error != "" {
 			resp.Items[i] = ItemResponse{Error: lead.Error}
-			s.stats.addError()
+			// A duplicate of a shed lead inherits the shed, not an
+			// error — exactly as coalesced followers of a shed single
+			// solve do.
+			if !items[it.lead].shed {
+				s.stats.addError()
+			}
 			continue
 		}
 		resp.Items[i] = ItemResponse{
@@ -255,24 +264,12 @@ func (s *Server) solveBatchItem(ctx context.Context, coll *collection, it *batch
 		s.stats.lookup(false)
 	}
 	res, shared, err := s.flight.do(ctx, flightKey(v.key, v.req.NoCache), func() (*Result, error) {
-		if err := s.acquire(ctx); err != nil {
-			return nil, err
-		}
-		defer s.release()
-		prob, err := it.shared.get()
+		release, err := s.admitSolve(ctx, coll.name, v)
 		if err != nil {
 			return nil, err
 		}
-		var r *Result
-		if v.req.Backend == BackendPBO {
-			comp, cerr := it.shared.getPBO(&s.pbo)
-			if cerr != nil {
-				return nil, cerr
-			}
-			r, err = s.solvePBOOp(ctx, comp, prob, v.req, v.sel)
-		} else {
-			r, err = s.solveOp(ctx, prob, v.req, v.sel)
-		}
+		defer release()
+		r, err := s.runSolveOn(ctx, it.shared, v)
 		if err == nil && !v.req.NoCache {
 			s.putIfCurrent(coll, v, r)
 		}

@@ -8,7 +8,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/relation"
 )
@@ -26,15 +28,22 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
 }
 
-// APIError is a non-2xx daemon reply.
+// APIError is a non-2xx daemon reply. A 429 (shed by admission control)
+// carries RetryAfter, parsed from the Retry-After header — the daemon's
+// estimate of when a slot will be free.
 type APIError struct {
-	Status  int
-	Message string
+	Status     int
+	Message    string
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Message)
 }
+
+// Overloaded reports whether the error is a shed (HTTP 429); callers
+// should back off by RetryAfter and retry.
+func (e *APIError) Overloaded() bool { return e.Status == http.StatusTooManyRequests }
 
 // Solve posts one solve request.
 func (c *Client) Solve(ctx context.Context, req Request) (*Response, error) {
@@ -145,7 +154,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		out := &APIError{Status: resp.StatusCode, Message: msg}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil {
+				out.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return out
 	}
 	if out == nil {
 		return nil

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// costModel learns per-spec-shape solve cost from observed solves. The
+// unit of learning is a *family*: one (op, backend, canonical spec)
+// triple — exactly the identity the prepared-problem cache and the result
+// cache already canonicalize on, so formatting-different but equal
+// requests train one estimator. Each family keeps an exponentially
+// weighted moving average of solve wall time and of engine DFS nodes
+// (the paper's instances span trivial to NP-hard, and the engine's node
+// counter is the direct observable of where an instance sits); a global
+// EWMA serves as the prior for families never seen. Families are bounded
+// by an LRU so adversarial spec churn cannot grow the model without
+// bound.
+//
+// Predictions feed the admission controller (admit.go): the predicted
+// duration is the queue currency — per-tenant debts, predicted queue
+// drain, and the 429 Retry-After all derive from it — and the
+// cheap-request classification (predicted below Options.CheapThreshold)
+// is what lets interactive traffic bypass a queue full of expensive
+// solves.
+type costModel struct {
+	mu     sync.Mutex
+	fams   *lruMap[*famCost]
+	global ewma // prior across all solves
+}
+
+// famCost is one family's running estimate.
+type famCost struct {
+	ns    ewma // solve wall time, nanoseconds
+	nodes ewma // engine DFS nodes per solve (0 for the pbo backend)
+}
+
+// ewma is a fixed-smoothing exponentially weighted moving average.
+type ewma struct {
+	val float64
+	n   uint64
+}
+
+// ewmaAlpha weights new observations: high enough to track a phase
+// change in a family's cost within a few solves, low enough that one
+// outlier (a cold cache, a GC pause) does not whipsaw admission.
+const ewmaAlpha = 0.3
+
+func (e *ewma) observe(x float64) {
+	if e.n == 0 {
+		e.val = x
+	} else {
+		e.val += ewmaAlpha * (x - e.val)
+	}
+	e.n++
+}
+
+// defaultPredictNS is the prediction before any solve has ever been
+// observed: deliberately above every sane CheapThreshold, so unknown
+// work queues like expensive work until the model has evidence.
+const defaultPredictNS = 10e6 // 10ms
+
+// costFamilies bounds the number of families tracked.
+const costFamilies = 4096
+
+func newCostModel() *costModel {
+	return &costModel{fams: newLRUMap[*famCost](costFamilies)}
+}
+
+// costFamily renders a validated request's family key.
+func costFamily(v validated) string {
+	return fmt.Sprintf("%s|%s|%s", v.req.Op, v.req.Backend, v.canon)
+}
+
+// predict returns the expected solve duration for a family: the family's
+// EWMA when it has history, the global prior otherwise, and a fixed
+// default before any history exists at all.
+func (m *costModel) predict(family string) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.fams.get(family); ok && f.ns.n > 0 {
+		return time.Duration(f.ns.val)
+	}
+	if m.global.n > 0 {
+		return time.Duration(m.global.val)
+	}
+	return time.Duration(defaultPredictNS)
+}
+
+// observe trains the model with one completed solve: the family's wall
+// time and engine node count, plus the global prior.
+func (m *costModel) observe(family string, d time.Duration, nodes float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.fams.peek(family)
+	if !ok {
+		f = &famCost{}
+		m.fams.set(family, f)
+	}
+	f.ns.observe(float64(d))
+	if nodes > 0 {
+		f.nodes.observe(nodes)
+	}
+	m.global.observe(float64(d))
+}
+
+// families returns the number of families currently tracked.
+func (m *costModel) families() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fams.len()
+}
+
+// familyNodes returns the family's EWMA of engine nodes per solve (0
+// when unseen) — surfaced for diagnostics and tests; admission itself
+// prices queues in time, not nodes.
+func (m *costModel) familyNodes(family string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.fams.peek(family); ok {
+		return f.nodes.val
+	}
+	return 0
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"repro/internal/relation"
+)
+
+// WALConfig enables collection durability: every accepted delta is
+// appended to a per-collection write-ahead log (relation.WAL) and
+// fsynced before the new version installs, full loads write a snapshot,
+// and OpenWAL replays snapshot + log suffix on startup — so collections
+// mutated live survive a restart or crash with nothing lost past the
+// last acknowledged request. The log doubles as a replication stream:
+// its records are self-describing, idempotent deltas in seq order.
+type WALConfig struct {
+	// Dir is the root directory; each collection gets a subdirectory
+	// (URL-path-escaped name) holding deltas.wal and snapshot.json.
+	Dir string
+	// CompactBytes triggers compaction: when a collection's log exceeds
+	// it after an append, the current version is snapshotted and the log
+	// reset. ≤ 0 means 4 MiB.
+	CompactBytes int64
+	// Hooks are fault-injection points threaded to every collection's
+	// WAL (tests only; nil in production).
+	Hooks *relation.WALHooks
+}
+
+func (c WALConfig) withDefaults() WALConfig {
+	if c.CompactBytes <= 0 {
+		c.CompactBytes = 4 << 20
+	}
+	return c
+}
+
+// collWAL is one collection's durability state. Fields are written only
+// under the server's writeMu (the writer serialization lock); the WAL
+// itself is internally synchronized.
+type collWAL struct {
+	dir string
+	w   *relation.WAL
+	seq uint64 // last seq applied to the live collection
+	// needSeed marks a log opened for a collection whose snapshot has
+	// never been written (the collection was registered before OpenWAL,
+	// or the snapshot write failed): the first delta must snapshot the
+	// pre-delta state first, or the log would replay onto nothing.
+	needSeed bool
+}
+
+// walSnapshot is the snapshot.json schema: the full database at Seq,
+// integrity-checked by its content fingerprint.
+type walSnapshot struct {
+	Seq         uint64             `json:"seq"`
+	Fingerprint string             `json:"fingerprint"`
+	DB          *relation.Database `json:"db"`
+}
+
+// OpenWAL enables durability under cfg.Dir and recovers every collection
+// persisted there: snapshot load (fingerprint-verified), then replay of
+// the log records past the snapshot's seq. Call it once, before serving
+// traffic and before loading collections; collections registered earlier
+// are seeded into the log on their first delta. Recovered collections
+// appear exactly as if freshly loaded: version 1, warm caches empty.
+func (s *Server) OpenWAL(cfg WALConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return fmt.Errorf("serve: WALConfig.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.walMu.Lock()
+	s.walCfg = &cfg
+	s.walMu.Unlock()
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil {
+			return fmt.Errorf("serve: undecodable collection directory %q: %w", e.Name(), err)
+		}
+		if err := s.recoverCollection(name, filepath.Join(cfg.Dir, e.Name())); err != nil {
+			return fmt.Errorf("serve: recovering collection %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// recoverCollection rebuilds one collection from its directory. Caller
+// holds writeMu.
+func (s *Server) recoverCollection(name, dir string) error {
+	var snap walSnapshot
+	haveSnap := false
+	raw, err := os.ReadFile(filepath.Join(dir, "snapshot.json"))
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if snap.DB == nil {
+			return fmt.Errorf("snapshot: missing database")
+		}
+		if fp := snap.DB.Fingerprint(); fp != snap.Fingerprint {
+			return fmt.Errorf("snapshot integrity: fingerprint %s, recorded %s", fp, snap.Fingerprint)
+		}
+		haveSnap = true
+	case os.IsNotExist(err):
+		// A crash between directory creation and the first snapshot
+		// write: recover from the log alone (deltas carry schemas for
+		// relations they create).
+	default:
+		return err
+	}
+	w, recs, err := relation.OpenWAL(filepath.Join(dir, "deltas.wal"), s.walHooks())
+	if err != nil {
+		return err
+	}
+	db := snap.DB
+	if db == nil {
+		db = relation.NewDatabase()
+	}
+	seq := snap.Seq
+	replayed := 0
+	for _, rec := range recs {
+		if rec.Seq <= snap.Seq {
+			// The record predates the snapshot — the crash hit the
+			// window between snapshot rename and log reset. Skip it; the
+			// snapshot already contains its effect.
+			continue
+		}
+		res, err := db.ApplyDelta(rec.Delta)
+		if err != nil {
+			w.Close()
+			return fmt.Errorf("replaying record %d: %w", rec.Seq, err)
+		}
+		db = res.DB
+		seq = rec.Seq
+		replayed++
+	}
+	w.Advance(seq)
+	if haveSnap || replayed > 0 {
+		s.mu.Lock()
+		old := s.colls[name]
+		c := s.newCollection(name, 1, db.Fingerprint(), db)
+		s.colls[name] = c
+		s.mu.Unlock()
+		s.unpin(old)
+	}
+	s.walMu.Lock()
+	s.wals[name] = &collWAL{dir: dir, w: w, seq: seq, needSeed: !haveSnap && replayed == 0}
+	s.walMu.Unlock()
+	s.stats.walReplay(replayed)
+	return nil
+}
+
+// walHooks returns the configured fault-injection hooks (nil when
+// durability is off or no hooks were set).
+func (s *Server) walHooks() *relation.WALHooks {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.walCfg == nil {
+		return nil
+	}
+	return s.walCfg.Hooks
+}
+
+// walFor returns the collection's durability state, creating the
+// directory and log on first use. Returns (nil, nil) when durability is
+// disabled. Caller holds writeMu.
+func (s *Server) walFor(name string) (*collWAL, error) {
+	s.walMu.Lock()
+	cfg := s.walCfg
+	cw := s.wals[name]
+	s.walMu.Unlock()
+	if cfg == nil {
+		return nil, nil
+	}
+	if cw != nil {
+		return cw, nil
+	}
+	dir := filepath.Join(cfg.Dir, url.PathEscape(name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w, _, err := relation.OpenWAL(filepath.Join(dir, "deltas.wal"), cfg.Hooks)
+	if err != nil {
+		return nil, err
+	}
+	cw = &collWAL{dir: dir, w: w, seq: w.NextSeq() - 1, needSeed: true}
+	s.walMu.Lock()
+	s.wals[name] = cw
+	s.walMu.Unlock()
+	return cw, nil
+}
+
+// persistSnapshot writes the collection's full state atomically
+// (tmp + fsync + rename + directory fsync) and resets the log — both
+// full-load persistence (SetCollection) and size-triggered compaction.
+// The log is reset only after the snapshot is durably in place, so a
+// crash between the two replays the (idempotent) records onto the
+// snapshot harmlessly.
+func (s *Server) persistSnapshot(cw *collWAL, fp string, db *relation.Database) error {
+	seq := cw.w.NextSeq() - 1
+	if cw.seq > seq {
+		seq = cw.seq
+	}
+	if err := writeSnapshotFile(cw.dir, walSnapshot{Seq: seq, Fingerprint: fp, DB: db}); err != nil {
+		return err
+	}
+	if err := cw.w.Reset(); err != nil {
+		return err
+	}
+	cw.seq = seq
+	cw.needSeed = false
+	s.stats.walCompaction()
+	return nil
+}
+
+// writeSnapshotFile writes snapshot.json atomically into dir.
+func writeSnapshotFile(dir string, snap walSnapshot) error {
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "snapshot.json.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "snapshot.json")); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// walAppend makes one delta durable before its install: seeds the
+// collection's snapshot if this log has never had one, then appends and
+// fsyncs the record. An error means the delta MUST be rejected — the
+// durability contract says an acknowledged delta survives a crash.
+// Caller holds writeMu.
+func (s *Server) walAppend(cw *collWAL, preDelta *collection, delta relation.Delta) error {
+	if cw.needSeed {
+		if err := writeSnapshotFile(cw.dir, walSnapshot{
+			Seq:         cw.w.NextSeq() - 1,
+			Fingerprint: preDelta.fingerprint,
+			DB:          preDelta.db,
+		}); err != nil {
+			return err
+		}
+		cw.seq = cw.w.NextSeq() - 1
+		cw.needSeed = false
+	}
+	seq, err := cw.w.Append(delta)
+	if err != nil {
+		return err
+	}
+	cw.seq = seq
+	s.stats.walAppend()
+	return nil
+}
+
+// maybeCompact snapshots and resets a log that outgrew CompactBytes.
+// Failures degrade: the log keeps growing and the counter fires; the
+// next append retries. Caller holds writeMu.
+func (s *Server) maybeCompact(cw *collWAL, c *collection) {
+	s.walMu.Lock()
+	cfg := s.walCfg
+	s.walMu.Unlock()
+	if cfg == nil || cw.w.Size() <= cfg.CompactBytes {
+		return
+	}
+	if err := s.persistSnapshot(cw, c.fingerprint, c.db); err != nil {
+		s.stats.walError()
+	}
+}
+
+// removeWAL drops a removed collection's durability state and files.
+func (s *Server) removeWAL(name string) {
+	s.walMu.Lock()
+	cw := s.wals[name]
+	delete(s.wals, name)
+	s.walMu.Unlock()
+	if cw == nil {
+		return
+	}
+	if err := cw.w.Close(); err != nil {
+		s.stats.walError()
+	}
+	if err := os.RemoveAll(cw.dir); err != nil {
+		s.stats.walError()
+	}
+}
+
+// Close releases the server's durable state: every collection log is
+// flushed and closed. The server must not accept mutations afterwards;
+// a fresh NewServer + OpenWAL over the same directory resumes exactly
+// where this one stopped.
+func (s *Server) Close() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.walMu.Lock()
+	wals := s.wals
+	s.wals = make(map[string]*collWAL)
+	s.walMu.Unlock()
+	var first error
+	for _, cw := range wals {
+		if err := cw.w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// walTotals sums live log sizes and fsync rounds for Stats.
+func (s *Server) walTotals() (colls int, bytes int64, syncs uint64) {
+	s.walMu.Lock()
+	wals := make([]*collWAL, 0, len(s.wals))
+	for _, cw := range s.wals {
+		wals = append(wals, cw)
+	}
+	s.walMu.Unlock()
+	for _, cw := range wals {
+		bytes += cw.w.Size()
+		syncs += cw.w.Syncs()
+	}
+	return len(wals), bytes, syncs
+}

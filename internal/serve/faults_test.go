@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// Fault-injection suite: the production-hardening contract is that the
+// daemon degrades — sheds with Retry-After, rejects non-durable deltas
+// with 503, fires the wal_errors counter — and never hangs or corrupts
+// state, whatever the disk or the load does. Faults are injected through
+// relation.WALHooks failpoints and through pool starvation.
+
+func pkgDelta(i int) relation.Delta {
+	return relation.Delta{Upserts: []relation.RelationDelta{{
+		Name:   "poi",
+		Tuples: [][]any{{fmt.Sprintf("fault-poi-%d", i), "edi", "museum", i, 30}},
+	}}}
+}
+
+// A failing WAL append must reject the delta with UnavailableError (503
+// on the wire), leave the collection at its pre-delta version, and count
+// a durability fault — the acknowledged-means-durable contract.
+func TestWALWriteFaultRejectsDelta(t *testing.T) {
+	var failing atomic.Bool
+	hooks := &relation.WALHooks{BeforeWrite: func(*relation.WALRecord) error {
+		if failing.Load() {
+			return errors.New("injected write fault")
+		}
+		return nil
+	}}
+	s := travelServer(t, Options{}, 20, 16)
+	defer s.Close()
+	if err := s.OpenWAL(WALConfig{Dir: t.TempDir(), Hooks: hooks}); err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+
+	if _, err := s.MutateCollection("travel", pkgDelta(0)); err != nil {
+		t.Fatalf("healthy delta: %v", err)
+	}
+	before, _ := s.Collection("travel")
+
+	failing.Store(true)
+	_, err := s.MutateCollection("travel", pkgDelta(1))
+	var un *UnavailableError
+	if !errors.As(err, &un) {
+		t.Fatalf("delta under write fault: got %v, want UnavailableError", err)
+	}
+	after, _ := s.Collection("travel")
+	if after.Version != before.Version || after.Fingerprint != before.Fingerprint {
+		t.Fatalf("rejected delta still installed: %+v -> %+v", before, after)
+	}
+	if st := s.Stats(); st.WALErrors == 0 {
+		t.Fatalf("wal error counter did not fire: %+v", st)
+	}
+
+	// The fault clears; the same delta now lands, and the log replays it.
+	failing.Store(false)
+	if _, err := s.MutateCollection("travel", pkgDelta(1)); err != nil {
+		t.Fatalf("delta after fault cleared: %v", err)
+	}
+}
+
+// A stalled fsync slows acknowledgements but never hangs them: every
+// delta completes, group commit batches the stalled rounds, and solves
+// keep flowing around the mutation path the whole time.
+func TestFsyncStallDegradesGracefully(t *testing.T) {
+	var stallCount atomic.Int64
+	hooks := &relation.WALHooks{BeforeSync: func() error {
+		stallCount.Add(1)
+		time.Sleep(20 * time.Millisecond)
+		return nil
+	}}
+	s := travelServer(t, Options{MaxConcurrent: 4}, 20, 16)
+	defer s.Close()
+	if err := s.OpenWAL(WALConfig{Dir: t.TempDir(), Hooks: hooks}); err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+
+	ps := travelSpec(2)
+	ps.Bound = -100
+	done := make(chan struct{})
+	var solveErrs atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := s.Solve(context.Background(),
+					Request{Collection: "travel", Op: OpCount, Spec: ps}); err != nil {
+					solveErrs.Add(1)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	const deltas = 8
+	errc := make(chan error, deltas)
+	for i := 0; i < deltas; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.MutateCollection("travel", pkgDelta(i))
+			errc <- err
+		}(i)
+	}
+	waitDone := make(chan struct{})
+	go func() {
+		for i := 0; i < deltas; i++ {
+			if err := <-errc; err != nil {
+				t.Errorf("delta under fsync stall: %v", err)
+			}
+		}
+		close(waitDone)
+	}()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deltas hung under fsync stall")
+	}
+	close(done)
+	wg.Wait()
+
+	if solveErrs.Load() > 0 {
+		t.Fatalf("%d solves failed while fsync stalled", solveErrs.Load())
+	}
+	if stallCount.Load() == 0 {
+		t.Fatal("fsync failpoint never fired")
+	}
+	st := s.Stats()
+	if st.WALAppends != deltas {
+		t.Fatalf("wal appends = %d, want %d", st.WALAppends, deltas)
+	}
+	t.Logf("%d deltas in %v across %d stalled sync rounds (group commit)",
+		deltas, time.Since(start), stallCount.Load())
+}
+
+// Pool exhaustion: with every slot held and the queue full, new solves
+// shed with OverloadError + Retry-After instead of hanging, the shed
+// counter fires, and sheds never count as errors.
+func TestPoolExhaustionSheds(t *testing.T) {
+	s := travelServer(t, Options{MaxConcurrent: 1, MaxQueue: 1}, 20, 16)
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s.solveHook = func(validated) {
+		started <- struct{}{}
+		<-release
+	}
+	defer close(release)
+
+	hold := func(i int) Request {
+		p := travelSpec(2)
+		p.Bound = -100 - float64(i) // distinct keys: no coalescing
+		return Request{Collection: "travel", Op: OpCount, Spec: p, NoCache: true}
+	}
+
+	// Occupy the slot, then the one queue seat.
+	errs := make(chan error, 2)
+	go func() { _, err := s.Solve(context.Background(), hold(0)); errs <- err }()
+	<-started // slot holder is inside the solve
+	go func() { _, err := s.Solve(context.Background(), hold(1)); errs <- err }()
+	for s.admit.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Saturated: the next solve sheds, immediately, with a Retry-After.
+	shedStart := time.Now()
+	_, err := s.Solve(context.Background(), hold(2))
+	var ov *OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("saturated solve: got %v, want OverloadError", err)
+	}
+	if ov.RetryAfter < time.Second {
+		t.Fatalf("Retry-After %v below the 1s floor", ov.RetryAfter)
+	}
+	if waited := time.Since(shedStart); waited > 5*time.Second {
+		t.Fatalf("shed took %v; shedding must not wait for a slot", waited)
+	}
+
+	st := s.Stats()
+	if st.Shed == 0 {
+		t.Fatalf("shed counter did not fire: %+v", st)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("sheds counted as errors: %d", st.Errors)
+	}
+	release <- struct{}{}
+	release <- struct{}{}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("held solve: %v", err)
+		}
+	}
+}
+
+// A snapshot-write fault during SetCollection degrades (serve from
+// memory, count the fault) instead of failing the load; MutateCollection
+// stays strict.
+func TestSnapshotFaultDegradesSetCollection(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	dir := t.TempDir()
+	if err := s.OpenWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	// Pre-create the collection's path as a plain file: the subdirectory
+	// cannot be created, so every persistence attempt for it errors.
+	sentinel := filepath.Join(dir, "travel")
+	if err := os.WriteFile(sentinel, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	info := s.SetCollection("travel", gen.Travel(7, 20, 16))
+	if info.Version != 1 {
+		t.Fatalf("degraded SetCollection version = %d, want 1", info.Version)
+	}
+	if _, ok := s.Collection("travel"); !ok {
+		t.Fatal("collection not served after degraded persistence")
+	}
+	if st := s.Stats(); st.WALErrors == 0 {
+		t.Fatalf("snapshot fault not counted: %+v", st)
+	}
+
+	// The strict path: a delta that cannot become durable is rejected.
+	_, err := s.MutateCollection("travel", pkgDelta(0))
+	var un *UnavailableError
+	if !errors.As(err, &un) {
+		t.Fatalf("non-durable delta: got %v, want UnavailableError", err)
+	}
+}

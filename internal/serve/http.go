@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/relation"
 )
@@ -15,6 +17,7 @@ import (
 //	POST   /v1/solve              solve a problem (body: Request)
 //	POST   /v1/batch              solve a batch over one collection (body: BatchRequest)
 //	GET    /v1/stats              service counters (Stats)
+//	GET    /metrics               the same counters in Prometheus text format
 //	GET    /v1/collections        list collections
 //	GET    /v1/collections/{name} one collection's description
 //	PUT    /v1/collections/{name} load or swap a collection (body: database JSON)
@@ -24,13 +27,19 @@ import (
 //	GET    /healthz               liveness probe
 //
 // Errors are JSON objects {"error": "..."} with status 400 (malformed
-// request), 404 (unknown collection or route), 504 (solve deadline
-// exceeded) or 500 (internal failure).
+// request), 404 (unknown collection or route), 429 (shed by admission
+// control, with a Retry-After header in whole seconds), 503 (durability
+// unavailable — e.g. a delta whose WAL append failed), 504 (solve
+// deadline exceeded) or 500 (internal failure).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	// Observability routes answer from counters, never the solve pool, so
+	// they stay responsive during overload — the regression tests pin
+	// exactly that.
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/collections", s.handleListCollections)
 	mux.HandleFunc("GET /v1/collections/{name}", s.handleGetCollection)
 	mux.HandleFunc("PUT /v1/collections/{name}", s.handlePutCollection)
@@ -164,6 +173,8 @@ func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var reqErr *RequestError
 	var nfErr *NotFoundError
+	var ovErr *OverloadError
+	var unErr *UnavailableError
 	var tooBig *http.MaxBytesError
 	switch {
 	case errors.As(err, &tooBig):
@@ -172,6 +183,13 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.As(err, &nfErr):
 		status = http.StatusNotFound
+	case errors.As(err, &ovErr):
+		// Shed by admission control; Retry-After is derived from the
+		// predicted queue drain (whole seconds, at least 1).
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(ovErr.RetryAfter/time.Second), 10))
+	case errors.As(err, &unErr):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the service counters in the Prometheus text
+// exposition format (version 0.0.4) at GET /metrics — hand-rolled, no
+// client library, because the repo's no-new-dependencies rule applies
+// and the format is three line shapes: # HELP, # TYPE, and samples.
+// Every series carries the pkgrec_ prefix. The endpoint reads the same
+// consistent Stats snapshot /v1/stats serves, plus the two live
+// histograms, and — like /v1/stats — bypasses solve admission entirely:
+// a saturated pool must never starve the instruments that explain it.
+
+// histogram is a fixed-bucket Prometheus histogram: counts[i] tallies
+// observations ≤ buckets[i], counts[len(buckets)] is the +Inf bucket.
+// Rendering emits cumulative bucket counts, as the format requires.
+// Not internally locked — statsRec guards its histograms with its own
+// mutex.
+type histogram struct {
+	buckets []float64 // upper bounds, ascending
+	counts  []uint64  // len(buckets)+1, last is +Inf
+	sum     float64
+	count   uint64
+}
+
+func (h *histogram) init(buckets []float64) {
+	h.buckets = buckets
+	h.counts = make([]uint64, len(buckets)+1)
+}
+
+func (h *histogram) observe(x float64) {
+	i := sort.SearchFloat64s(h.buckets, x) // first bucket with bound >= x
+	h.counts[i]++
+	h.sum += x
+	h.count++
+}
+
+func (h *histogram) clone() histogram {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return c
+}
+
+// solveLatencyBuckets cover engine runs from sub-millisecond cache-warm
+// specs to deadline-bounded multi-second walks.
+var solveLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// costRatioBuckets cover the actual/predicted calibration ratio; mass
+// around 1.0 means the cost model prices solves accurately.
+var costRatioBuckets = []float64{0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 4, 8, 16}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(s.renderMetrics()))
+}
+
+// renderMetrics builds the full exposition text.
+func (s *Server) renderMetrics() string {
+	st := s.Stats()
+	solve, ratio := s.stats.histograms()
+	var b strings.Builder
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP pkgrec_%s %s\n# TYPE pkgrec_%s counter\npkgrec_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP pkgrec_%s %s\n# TYPE pkgrec_%s gauge\npkgrec_%s %s\n", name, help, name, name, formatFloat(v))
+	}
+
+	counter("requests_total", "Single solve requests received.", st.Requests)
+	counter("cache_hits_total", "Consulted result-cache lookups that hit.", st.CacheHits)
+	counter("cache_misses_total", "Consulted result-cache lookups that missed.", st.CacheMisses)
+	counter("coalesced_total", "Solves answered by joining an identical in-flight solve.", st.Coalesced)
+	counter("errors_total", "Failed requests (sheds excluded).", st.Errors)
+	counter("batches_total", "Batch calls received.", st.Batches)
+	counter("batch_items_total", "Sub-requests across all batches.", st.BatchItems)
+	counter("batch_deduped_total", "Batch items answered by an identical item of the same batch.", st.BatchDeduped)
+	counter("deltas_total", "Content-changing collection deltas installed.", st.Deltas)
+	counter("delta_items_total", "Tuples upserted plus deleted across installed deltas.", st.DeltaItems)
+	counter("repair_rekeyed_total", "Cache entries carried across a delta under a new content key.", st.RepairRekeyed)
+	counter("repair_patched_total", "Cache entries proven unaffected by a delta and kept.", st.RepairPatched)
+	counter("repair_resolved_total", "Cache entries a delta invalidated and purged.", st.RepairResolved)
+
+	counter("admit_express_total", "Solves admitted without queueing (free slot or cheap class).", st.AdmitExpress)
+	counter("admit_queued_total", "Solves admitted after waiting in the fairness queue.", st.AdmitQueued)
+	counter("shed_total", "Solves shed with 429 and a Retry-After.", st.Shed)
+
+	counter("wal_appends_total", "Delta records appended to collection WALs.", st.WALAppends)
+	counter("wal_syncs_total", "WAL fsync rounds (group commit: one round covers many appends).", st.WALSyncs)
+	counter("wal_compactions_total", "WAL compactions (snapshot written, log reset).", st.WALCompactions)
+	counter("wal_replayed_total", "WAL records replayed during recovery.", st.WALReplayed)
+	counter("wal_errors_total", "Durability faults: failed appends or snapshot writes.", st.WALErrors)
+
+	gauge("collections", "Registered collections.", float64(st.Collections))
+	gauge("cache_entries", "Result-cache entries.", float64(st.CacheEntries))
+	gauge("in_flight", "Requests currently being served.", float64(st.InFlight))
+	gauge("snapshots_live", "Collection snapshots reachable (registered plus pinned by in-flight solves).", float64(st.SnapshotsLive))
+	gauge("queue_depth", "Solves waiting in the admission queue.", float64(st.QueueDepth))
+	gauge("cost_families", "Spec families tracked by the cost model.", float64(st.CostFamilies))
+	gauge("wal_collections", "Collections with a live WAL.", float64(st.WALCollections))
+	gauge("wal_bytes", "Live WAL bytes across collections.", float64(st.WALBytes))
+
+	fmt.Fprintf(&b, "# HELP pkgrec_engine_nodes_total Engine DFS nodes visited.\n# TYPE pkgrec_engine_nodes_total counter\npkgrec_engine_nodes_total %d\n", st.EngineNodes)
+	fmt.Fprintf(&b, "# HELP pkgrec_engine_pruned_total Subtrees cut by the bound layer.\n# TYPE pkgrec_engine_pruned_total counter\npkgrec_engine_pruned_total %d\n", st.EnginePruned)
+	fmt.Fprintf(&b, "# HELP pkgrec_engine_prepares_total Candidate evaluations (problem warm-ups).\n# TYPE pkgrec_engine_prepares_total counter\npkgrec_engine_prepares_total %d\n", st.EnginePrepares)
+	fmt.Fprintf(&b, "# HELP pkgrec_pbo_solves_total Pseudo-Boolean backend solves.\n# TYPE pkgrec_pbo_solves_total counter\npkgrec_pbo_solves_total %d\n", st.PBOSolves)
+
+	// Per-op request breakdown as one labeled counter family. Declared
+	// only once it has samples: a family with HELP/TYPE and no series is
+	// legal but reads as an exposition bug to linters.
+	if len(st.PerOp) > 0 {
+		fmt.Fprintf(&b, "# HELP pkgrec_op_requests_total Validated requests by operation.\n# TYPE pkgrec_op_requests_total counter\n")
+		ops := make([]string, 0, len(st.PerOp))
+		for op := range st.PerOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			fmt.Fprintf(&b, "pkgrec_op_requests_total{op=%q} %d\n", op, st.PerOp[op])
+		}
+	}
+
+	renderHistogram(&b, "solve_duration_seconds", "Engine/backend solve wall time (cache hits excluded).", solve)
+	renderHistogram(&b, "cost_ratio", "Actual over predicted solve cost (1 = perfectly calibrated).", ratio)
+	return b.String()
+}
+
+// renderHistogram emits one histogram family with cumulative buckets.
+func renderHistogram(b *strings.Builder, name, help string, h histogram) {
+	fmt.Fprintf(b, "# HELP pkgrec_%s %s\n# TYPE pkgrec_%s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(b, "pkgrec_%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum)
+	}
+	cum += h.counts[len(h.buckets)]
+	fmt.Fprintf(b, "pkgrec_%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "pkgrec_%s_sum %s\n", name, formatFloat(h.sum))
+	fmt.Fprintf(b, "pkgrec_%s_count %d\n", name, h.count)
+}
+
+// formatFloat renders a float the Prometheus way: shortest decimal, no
+// exponent for the magnitudes these series take.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// /metrics format validation: the exposition is hand-rolled (no client
+// library), so its invariants are pinned here the way promtool would —
+// every family announced with # HELP and # TYPE before its samples,
+// histogram buckets cumulative with le="+Inf" equal to _count, and the
+// hardening counters present with the values /v1/stats agrees on.
+
+// metricsFixture drives enough traffic through a WAL-enabled server that
+// every counter class is nonzero: solves (miss then hit), a delta, a shed.
+func metricsFixture(t *testing.T) *Server {
+	t.Helper()
+	s := travelServer(t, Options{MaxConcurrent: 1, MaxQueue: 1}, 20, 16)
+	t.Cleanup(func() { s.Close() })
+	if err := s.OpenWAL(WALConfig{Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	ps := travelSpec(2)
+	ps.Bound = -100
+	req := Request{Collection: "travel", Op: OpCount, Spec: ps}
+	mustSolve(t, s, req)
+	mustSolve(t, s, req) // cache hit
+	if _, err := s.MutateCollection("travel", pkgDelta(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the pool and overflow the queue for one shed. Closing block
+	// turns the hook into a no-op, so the held solves drain.
+	block := make(chan struct{})
+	s.solveHook = func(validated) { <-block }
+	hold := func(i int) Request {
+		p := travelSpec(2)
+		p.Bound = -200 - float64(i)
+		return Request{Collection: "travel", Op: OpCount, Spec: p, NoCache: true}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // 1 running + 1 queued = saturation
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Solve(context.Background(), hold(i)); err != nil {
+				t.Errorf("held solve %d: %v", i, err)
+			}
+		}(i)
+	}
+	for s.admit.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Solve(context.Background(), hold(2)); err == nil {
+		t.Error("expected a shed")
+	}
+	close(block)
+	wg.Wait()
+	return s
+}
+
+type metricSample struct {
+	name   string // family name, labels stripped
+	labels string
+	value  float64
+}
+
+// parseMetrics splits the exposition into HELP/TYPE declarations and
+// samples, failing on any line that fits no shape.
+func parseMetrics(t *testing.T, text string) (help, typ map[string]string, samples []metricSample) {
+	t.Helper()
+	help, typ = map[string]string{}, map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(rest) != 2 || rest[1] == "" {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			help[rest[0]] = rest[1]
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(rest) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch rest[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			typ[rest[0]] = rest[1]
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unrecognized comment line: %q", line)
+		default:
+			name, rest, ok := strings.Cut(line, " ")
+			labels := ""
+			if open := strings.Index(name, "{"); open >= 0 {
+				if !strings.HasSuffix(name, "}") {
+					t.Fatalf("malformed labels in %q", line)
+				}
+				labels = name[open+1 : len(name)-1]
+				name = name[:open]
+			}
+			if !ok || name == "" {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+			samples = append(samples, metricSample{name: name, labels: labels, value: v})
+		}
+	}
+	return help, typ, samples
+}
+
+// family maps a sample name to the family its TYPE declares: histogram
+// samples drop the _bucket/_sum/_count suffix.
+func family(typ map[string]string, name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typ[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	s := metricsFixture(t)
+	text := s.renderMetrics()
+	help, typ, samples := parseMetrics(t, text)
+
+	for name := range typ {
+		if help[name] == "" {
+			t.Errorf("family %s has TYPE but no HELP", name)
+		}
+		if !strings.HasPrefix(name, "pkgrec_") {
+			t.Errorf("family %s lacks the pkgrec_ prefix", name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, smp := range samples {
+		fam := family(typ, smp.name)
+		if typ[fam] == "" {
+			t.Errorf("sample %s has no TYPE declaration", smp.name)
+		}
+		seen[fam] = true
+		if smp.value < 0 || math.IsNaN(smp.value) {
+			t.Errorf("sample %s carries %v", smp.name, smp.value)
+		}
+	}
+	for name := range typ {
+		if !seen[name] {
+			t.Errorf("family %s declared but has no samples", name)
+		}
+	}
+
+	// The hardening counters the operations guide alerts on must exist
+	// and agree with /v1/stats.
+	st := s.Stats()
+	want := map[string]float64{
+		"pkgrec_requests_total":    float64(st.Requests),
+		"pkgrec_cache_hits_total":  float64(st.CacheHits),
+		"pkgrec_shed_total":        float64(st.Shed),
+		"pkgrec_deltas_total":      float64(st.Deltas),
+		"pkgrec_wal_appends_total": float64(st.WALAppends),
+		"pkgrec_wal_syncs_total":   float64(st.WALSyncs),
+		"pkgrec_wal_errors_total":  float64(st.WALErrors),
+		"pkgrec_queue_depth":       0,
+		"pkgrec_wal_collections":   1,
+	}
+	got := map[string]float64{}
+	for _, smp := range samples {
+		if smp.labels == "" {
+			got[smp.name] = smp.value
+		}
+	}
+	for name, v := range want {
+		gv, ok := got[name]
+		if !ok {
+			t.Errorf("series %s missing", name)
+		} else if gv != v {
+			t.Errorf("%s = %v, want %v (stats agreement)", name, gv, v)
+		}
+	}
+	if st.Shed == 0 || st.WALAppends == 0 {
+		t.Fatalf("fixture did not exercise the hardening counters: %+v", st)
+	}
+	var ops []string
+	for _, smp := range samples {
+		if smp.name == "pkgrec_op_requests_total" {
+			ops = append(ops, smp.labels)
+		}
+	}
+	sort.Strings(ops)
+	if len(ops) == 0 || !strings.Contains(strings.Join(ops, ","), `op="count"`) {
+		t.Errorf("per-op breakdown missing: %v", ops)
+	}
+}
+
+func TestMetricsHistogramInvariants(t *testing.T) {
+	s := metricsFixture(t)
+	_, typ, samples := parseMetrics(t, s.renderMetrics())
+
+	for fam, kind := range typ {
+		if kind != "histogram" {
+			continue
+		}
+		var bounds []float64
+		var cumulative []float64
+		var infCount, count float64
+		haveSum, haveCount, haveInf := false, false, false
+		for _, smp := range samples {
+			switch smp.name {
+			case fam + "_bucket":
+				le := ""
+				for _, kv := range strings.Split(smp.labels, ",") {
+					if v, ok := strings.CutPrefix(kv, `le="`); ok {
+						le = strings.TrimSuffix(v, `"`)
+					}
+				}
+				if le == "+Inf" {
+					haveInf, infCount = true, smp.value
+					continue
+				}
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("%s: unparseable le %q", fam, le)
+				}
+				bounds = append(bounds, b)
+				cumulative = append(cumulative, smp.value)
+			case fam + "_sum":
+				haveSum = true
+			case fam + "_count":
+				haveCount, count = true, smp.value
+			}
+		}
+		if !haveSum || !haveCount || !haveInf {
+			t.Fatalf("%s: incomplete histogram (sum=%v count=%v inf=%v)", fam, haveSum, haveCount, haveInf)
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			t.Errorf("%s: bucket bounds not ascending: %v", fam, bounds)
+		}
+		if !sort.Float64sAreSorted(cumulative) {
+			t.Errorf("%s: bucket counts not cumulative: %v", fam, cumulative)
+		}
+		if infCount != count {
+			t.Errorf("%s: le=\"+Inf\" bucket %v != _count %v", fam, infCount, count)
+		}
+		if len(cumulative) > 0 && cumulative[len(cumulative)-1] > infCount {
+			t.Errorf("%s: finite bucket exceeds +Inf: %v > %v", fam, cumulative[len(cumulative)-1], infCount)
+		}
+	}
+
+	// The fixture ran real solves, so the latency histogram is populated.
+	for _, smp := range samples {
+		if smp.name == "pkgrec_solve_duration_seconds_count" && smp.value == 0 {
+			t.Error("solve latency histogram empty after solves")
+		}
+	}
+}
+
+func TestMetricsEndpointContentType(t *testing.T) {
+	s := travelServer(t, Options{}, 20, 16)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -90,6 +91,19 @@ type Options struct {
 	// LatencyWindow is the number of recent solve latencies kept for the
 	// percentile stats; ≤ 0 means 1024.
 	LatencyWindow int
+	// MaxQueue bounds each collection's admission queue — the
+	// per-collection fairness budget: a collection with MaxQueue solves
+	// already waiting sheds its next one with 429 + Retry-After, without
+	// touching other collections' traffic; ≤ 0 means 16 × MaxConcurrent.
+	MaxQueue int
+	// ShedThreshold sheds non-cheap solves whose predicted wait for a
+	// pool slot (queue drain at predicted cost) exceeds it; 0 disables
+	// predicted-wait shedding (the MaxQueue bound still applies).
+	ShedThreshold time.Duration
+	// CheapThreshold classifies a solve as cheap — eligible for the
+	// express admission lane and exempt from predicted-wait shedding —
+	// when its predicted cost is at or below it; ≤ 0 means 2ms.
+	CheapThreshold time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +121,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.LatencyWindow <= 0 {
 		o.LatencyWindow = 1024
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 16 * o.MaxConcurrent
+	}
+	if o.CheapThreshold <= 0 {
+		o.CheapThreshold = 2 * time.Millisecond
 	}
 	return o
 }
@@ -160,7 +180,8 @@ func (c *collection) info() CollectionInfo {
 // methods are safe for concurrent use.
 type Server struct {
 	opts   Options
-	sem    chan struct{}
+	admit  *admitter
+	cost   *costModel
 	cache  *lruCache
 	flight flightGroup
 	stats  statsRec
@@ -174,6 +195,17 @@ type Server struct {
 	writeMu sync.Mutex
 	mu      sync.RWMutex
 	colls   map[string]*collection
+
+	// walMu guards the durability registry (see durable.go); nil walCfg
+	// means durability is off.
+	walMu  sync.Mutex
+	walCfg *WALConfig
+	wals   map[string]*collWAL
+
+	// solveHook, when set (tests only), runs inside every solve while it
+	// holds its pool slot — the knob the admission soak uses to give
+	// solves a deterministic, per-collection duration.
+	solveHook func(v validated)
 }
 
 // NewServer builds a Server; see Options for the zero-value defaults.
@@ -181,9 +213,11 @@ func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:  opts,
-		sem:   make(chan struct{}, opts.MaxConcurrent),
+		admit: newAdmitter(opts.MaxConcurrent, opts.MaxQueue, opts.ShedThreshold),
+		cost:  newCostModel(),
 		cache: newLRU(opts.CacheSize),
 		colls: make(map[string]*collection),
+		wals:  make(map[string]*collWAL),
 	}
 	s.stats.init(opts.LatencyWindow)
 	return s
@@ -235,6 +269,19 @@ func (s *Server) SetCollection(name string, db *relation.Database) CollectionInf
 	s.mu.Unlock()
 	s.unpin(old)
 	s.cache.purge(name)
+	// Persist the full load as a snapshot (superseding any logged
+	// deltas). SetCollection predates durability and has no error
+	// return, so a persistence failure degrades — the collection serves
+	// from memory and the WALErrors counter fires — instead of failing
+	// the load; MutateCollection, which can refuse, enforces the strict
+	// contract.
+	if cw, err := s.walFor(name); err != nil {
+		s.stats.walError()
+	} else if cw != nil {
+		if err := s.persistSnapshot(cw, fp, clone); err != nil {
+			s.stats.walError()
+		}
+	}
 	return c.info()
 }
 
@@ -266,6 +313,19 @@ func (s *Server) MutateCollection(name string, delta relation.Delta) (DeltaInfo,
 		info.CollectionInfo = old.info()
 		return info, nil
 	}
+	// Durability before visibility: the delta is appended and fsynced
+	// before the new version installs, so an acknowledged mutation
+	// survives a crash. A WAL failure rejects the delta outright
+	// (503 on the wire) — acknowledging it un-logged would be a silent
+	// lie about durability.
+	cw, werr := s.walFor(name)
+	if werr == nil && cw != nil {
+		werr = s.walAppend(cw, old, delta)
+	}
+	if werr != nil {
+		s.stats.walError()
+		return DeltaInfo{}, &UnavailableError{Err: fmt.Errorf("delta not durable: %w", werr)}
+	}
 	c := s.newCollection(name, old.version+1, res.DB.Fingerprint(), res.DB)
 	mutated := make(map[string]struct{}, len(res.Mutated))
 	for _, n := range res.Mutated {
@@ -283,6 +343,9 @@ func (s *Server) MutateCollection(name string, delta relation.Delta) (DeltaInfo,
 	s.unpin(old)
 	s.repairCache(c, mutated, plans)
 	s.stats.delta(res.Upserted + res.Deleted)
+	if cw != nil {
+		s.maybeCompact(cw, c)
+	}
 	info.CollectionInfo = c.info()
 	return info, nil
 }
@@ -298,6 +361,7 @@ func (s *Server) RemoveCollection(name string) bool {
 	s.mu.Unlock()
 	s.unpin(old)
 	s.cache.purge(name)
+	s.removeWAL(name)
 	return old != nil
 }
 
@@ -601,10 +665,11 @@ func (s *Server) Solve(ctx context.Context, req Request) (*Response, error) {
 	solveCtx, cancel := s.withDeadline(ctx, req)
 	defer cancel()
 	res, shared, err := s.flight.do(solveCtx, fkey, func() (*Result, error) {
-		if err := s.acquire(solveCtx); err != nil {
+		release, err := s.admitSolve(solveCtx, coll.name, v)
+		if err != nil {
 			return nil, err
 		}
-		defer s.release()
+		defer release()
 		r, err := s.runSolve(solveCtx, coll, v)
 		if err == nil && !req.NoCache {
 			s.putIfCurrent(coll, v, r)
@@ -618,10 +683,22 @@ func (s *Server) Solve(ctx context.Context, req Request) (*Response, error) {
 	// tail the latency percentiles exist to expose.
 	s.stats.observe(time.Since(start))
 	if err != nil {
-		s.stats.addError()
+		s.countFailure(err)
 		return nil, err
 	}
 	return s.respond(res, coll, false, start), nil
+}
+
+// countFailure tallies a failed solve. Sheds (OverloadError) are
+// deliberate load management, counted by the admitter into the Shed
+// stat, not into Errors — an operator alerting on error rate must not
+// page on the server doing exactly what it was configured to do.
+func (s *Server) countFailure(err error) {
+	var ov *OverloadError
+	if errors.As(err, &ov) {
+		return
+	}
+	s.stats.addError()
 }
 
 // cacheLookup consults the result cache for a validated request. On a miss
@@ -671,18 +748,20 @@ func flightKey(key string, noCache bool) string {
 	return key
 }
 
-// acquire takes a slot on the bounded solve pool, abandoning the wait when
-// the request's context ends first.
-func (s *Server) acquire(ctx context.Context) error {
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+// admitSolve takes a slot on the bounded solve pool through the
+// cost-aware admission controller: the request is priced by the cost
+// model, classified cheap or expensive against CheapThreshold, and
+// queued under its collection's fairness budget (see admitter). The
+// returned release function must be called when the solve finishes. A
+// shed returns *OverloadError; a context cancellation returns ctx.Err().
+func (s *Server) admitSolve(ctx context.Context, tenant string, v validated) (func(), error) {
+	pred := s.cost.predict(costFamily(v))
+	cheap := pred <= s.opts.CheapThreshold
+	if err := s.admit.acquire(ctx, tenant, pred, cheap); err != nil {
+		return nil, err
 	}
+	return func() { s.admit.release(pred) }, nil
 }
-
-func (s *Server) release() { <-s.sem }
 
 // withDeadline applies the request's (or the server's default) timeout.
 func (s *Server) withDeadline(ctx context.Context, req Request) (context.Context, context.CancelFunc) {
@@ -739,19 +818,48 @@ func (s *Server) sharedProblem(coll *collection, v validated) *preparedProblem {
 // prepared Problem for the spec, then the operation dispatch — to the
 // engine, or through the problem's shared PB compilation for backend "pbo".
 func (s *Server) runSolve(ctx context.Context, coll *collection, v validated) (*Result, error) {
-	sp := s.sharedProblem(coll, v)
+	return s.runSolveOn(ctx, s.sharedProblem(coll, v), v)
+}
+
+// runSolveOn is the instrumented solve shared by the single and batch
+// paths: it resolves the prepared problem, runs the operation, and
+// trains the cost model with the observed wall time and — for the
+// branch-and-bound backend — the solve's own engine node count, read
+// from a private counter set (core.Problem.WithCounters) and flushed
+// into the shared totals afterwards. The predicted-vs-actual ratio
+// lands in the calibration histogram the /metrics endpoint exports.
+func (s *Server) runSolveOn(ctx context.Context, sp *preparedProblem, v validated) (*Result, error) {
 	prob, err := sp.get()
 	if err != nil {
 		return nil, err
 	}
-	if v.req.Backend == BackendPBO {
-		comp, err := sp.getPBO(&s.pbo)
-		if err != nil {
-			return nil, err
-		}
-		return s.solvePBOOp(ctx, comp, prob, v.req, v.sel)
+	family := costFamily(v)
+	pred := s.cost.predict(family)
+	if s.solveHook != nil {
+		s.solveHook(v)
 	}
-	return s.solveOp(ctx, prob, v.req, v.sel)
+	start := time.Now()
+	var res *Result
+	var nodes float64
+	if v.req.Backend == BackendPBO {
+		comp, cerr := sp.getPBO(&s.pbo)
+		if cerr != nil {
+			return nil, cerr
+		}
+		res, err = s.solvePBOOp(ctx, comp, prob, v.req, v.sel)
+	} else {
+		var priv core.EngineCounters
+		res, err = s.solveOp(ctx, prob.WithCounters(&priv), v.req, v.sel)
+		nodes = float64(priv.Nodes.Load())
+		priv.AddTo(&s.eng)
+	}
+	// Errored solves train the model too: a deadline hit cost at least
+	// its wall time, and pricing the family low because its solves keep
+	// timing out would invert the admission order.
+	actual := time.Since(start)
+	s.cost.observe(family, actual, nodes)
+	s.stats.observeSolve(actual, pred)
+	return res, err
 }
 
 // solveOp executes the request's operation on a prebuilt problem. Every arm
@@ -1067,5 +1175,9 @@ func (s *Server) Stats() Stats {
 	st.EngineSessionResumes = s.eng.SessionResumes.Load()
 	st.EngineSessionNodesSaved = s.eng.SessionNodesSaved.Load()
 	st.PBOSolves, _, st.PBOPropagations, st.PBOConflicts, _, _ = s.pbo.Snapshot()
+	st.AdmitExpress, st.AdmitQueued, st.Shed = s.admit.counters()
+	st.QueueDepth = s.admit.queueDepth()
+	st.CostFamilies = s.cost.families()
+	st.WALCollections, st.WALBytes, st.WALSyncs = s.walTotals()
 	return st
 }

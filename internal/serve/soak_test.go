@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// Admission soak: one tenant floods the pool far past capacity while a
+// second tenant keeps its modest request rate. The fairness contract —
+// per-tenant queue budgets plus least-debt scheduling — is that the
+// victim's p99 latency stays within 2× of its unloaded baseline, the
+// victim is never shed, and the flood is (shedding active).
+
+func p99(durs []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(0.99 * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func TestSoakFairVictimP99UnderFlood(t *testing.T) {
+	const (
+		victim      = "frontend"  // the tenant whose latency must hold
+		flood       = "reporting" // the tenant that overloads the pool
+		victimSolve = 40 * time.Millisecond
+		floodSolve  = 10 * time.Millisecond
+		victimReqs  = 24
+	)
+	s := NewServer(Options{MaxConcurrent: 2, MaxQueue: 4})
+	s.SetCollection(victim, gen.Travel(7, 12, 10))
+	s.SetCollection(flood, gen.Travel(9, 12, 10))
+	// Deterministic solve durations: the flood's solves are cheaper than
+	// the victim's, so the head-of-line wait a victim request can absorb
+	// (one flood solve, no preemption) stays within its own 2× budget.
+	s.solveHook = func(v validated) {
+		if v.req.Collection == flood {
+			time.Sleep(floodSolve)
+		} else {
+			time.Sleep(victimSolve)
+		}
+	}
+	soakReq := func(coll string, i int) Request {
+		ps := travelSpec(2)
+		ps.Bound = -50 - float64(i%97) // distinct keys: no coalescing
+		return Request{Collection: coll, Op: OpCount, Spec: ps, NoCache: true}
+	}
+	victimRun := func() []time.Duration {
+		durs := make([]time.Duration, 0, victimReqs)
+		for i := 0; i < victimReqs; i++ {
+			start := time.Now()
+			if _, err := s.Solve(context.Background(), soakReq(victim, i)); err != nil {
+				t.Errorf("victim request %d: %v", i, err)
+				continue
+			}
+			durs = append(durs, time.Since(start))
+		}
+		return durs
+	}
+
+	base := victimRun()
+	baseP99 := p99(base)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := s.Solve(context.Background(), soakReq(flood, w*1000+i))
+				var ov *OverloadError
+				if errors.As(err, &ov) {
+					time.Sleep(2 * time.Millisecond)
+				} else if err != nil {
+					t.Errorf("flood solve: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Let the flood saturate the pool before measuring.
+	for s.admit.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	flooded := victimRun()
+	close(stop)
+	wg.Wait()
+	floodP99 := p99(flooded)
+
+	st := s.Stats()
+	if st.Shed == 0 {
+		t.Fatal("flood never shed; the soak did not overload the pool")
+	}
+	if len(flooded) != victimReqs {
+		t.Fatalf("victim completed %d/%d requests under flood (fairness must shed the flood, not the victim)",
+			len(flooded), victimReqs)
+	}
+	limit := 2 * baseP99
+	if floor := 2 * (victimSolve + floodSolve); limit < floor {
+		// Baselines below a few solve durations are scheduler noise; the
+		// floor keeps the bound meaningful instead of flaky.
+		limit = floor
+	}
+	t.Logf("victim p99: baseline %v, under flood %v (limit %v); %d sheds, %d queued grants",
+		baseP99, floodP99, limit, st.Shed, st.AdmitQueued)
+	if floodP99 > limit {
+		t.Fatalf("victim p99 %v exceeds %v (2x baseline %v) under flood", floodP99, limit, baseP99)
+	}
+}
+
+// The observability exemption, end to end over the wire: with every pool
+// slot held and the admission queue full, /v1/stats and /metrics answer
+// immediately and a further solve sheds as a 429 whose Retry-After the
+// client parses.
+func TestStatsAndMetricsServeDuringOverload(t *testing.T) {
+	s := travelServer(t, Options{MaxConcurrent: 1, MaxQueue: 2}, 20, 16)
+	block := make(chan struct{})
+	s.solveHook = func(validated) { <-block }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(block)
+		}
+	}
+	defer release()
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	req := func(i int) Request {
+		ps := travelSpec(2)
+		ps.Bound = -50 - float64(i)
+		return Request{Collection: "travel", Op: OpCount, Spec: ps, NoCache: true}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ { // 1 running + 2 queued = saturation
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := client.Solve(ctx, req(i)); err != nil {
+				t.Errorf("held solve %d: %v", i, err)
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.admit.queueDepth() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never saturated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The pool is wedged; the instruments must not be.
+	probe := &http.Client{Timeout: 2 * time.Second}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatalf("/v1/stats during overload: %v", err)
+	}
+	if st.QueueDepth != 2 || st.InFlight == 0 {
+		t.Fatalf("stats during overload: queueDepth=%d inFlight=%d", st.QueueDepth, st.InFlight)
+	}
+	resp, err := probe.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics during overload: %v", err)
+	}
+	body := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	text := string(body[:n])
+	if !strings.Contains(text, "pkgrec_queue_depth 2") {
+		t.Fatalf("/metrics does not report the saturated queue:\n%s", text)
+	}
+
+	// One more solve: shed on the wire as 429 + Retry-After, parsed back
+	// by the client.
+	_, err = client.Solve(ctx, req(9))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || !apiErr.Overloaded() {
+		t.Fatalf("saturated solve over the wire: got %v, want 429 APIError", err)
+	}
+	if apiErr.RetryAfter < time.Second {
+		t.Fatalf("client-parsed Retry-After %v below the 1s floor", apiErr.RetryAfter)
+	}
+	if !strings.Contains(s.renderMetrics(), "pkgrec_shed_total 1") {
+		t.Fatal("shed not visible in /metrics")
+	}
+	release()
+	wg.Wait()
+}

@@ -79,11 +79,36 @@ type Stats struct {
 	// by constraint propagation. All three stay zero until a request selects
 	// the backend. Like the Engine* group they are written lock-free and
 	// only individually consistent.
-	PBOSolves       int64             `json:"pboSolves"`
-	PBOConflicts    int64             `json:"pboConflicts"`
-	PBOPropagations int64             `json:"pboPropagations"`
-	Latency         LatencySummary    `json:"latencyMs"`
-	PerOp           map[string]uint64 `json:"perOp,omitempty"`
+	PBOSolves       int64 `json:"pboSolves"`
+	PBOConflicts    int64 `json:"pboConflicts"`
+	PBOPropagations int64 `json:"pboPropagations"`
+	// AdmitExpress / AdmitQueued / Shed / QueueDepth describe the
+	// cost-aware admission controller (see admit.go): solves granted a
+	// slot without waiting, solves granted after the fairness queue,
+	// solves rejected with 429 + Retry-After, and the queue's current
+	// depth. Sheds are load management, not faults — they are deliberately
+	// excluded from Errors. CostFamilies is the number of
+	// (op, backend, spec) families the cost model currently tracks.
+	AdmitExpress uint64 `json:"admitExpress"`
+	AdmitQueued  uint64 `json:"admitQueued"`
+	Shed         uint64 `json:"shed"`
+	QueueDepth   int    `json:"queueDepth"`
+	CostFamilies int    `json:"costFamilies"`
+	// The WAL* group describes collection durability (see durable.go):
+	// collections with a live log, records appended and fsync rounds run
+	// since start, live log bytes across collections, compactions
+	// (snapshot + log reset), records replayed during recovery, and
+	// durability faults (failed appends, snapshot write failures) — the
+	// alert-worthy counter of the group.
+	WALCollections int               `json:"walCollections"`
+	WALAppends     uint64            `json:"walAppends"`
+	WALSyncs       uint64            `json:"walSyncs"`
+	WALBytes       int64             `json:"walBytes"`
+	WALCompactions uint64            `json:"walCompactions"`
+	WALReplayed    uint64            `json:"walReplayed"`
+	WALErrors      uint64            `json:"walErrors"`
+	Latency        LatencySummary    `json:"latencyMs"`
+	PerOp          map[string]uint64 `json:"perOp,omitempty"`
 }
 
 // LatencySummary reports percentiles (in milliseconds) over the most recent
@@ -121,16 +146,29 @@ type statsRec struct {
 	patched      uint64
 	resolved     uint64
 
+	walAppends     uint64
+	walCompactions uint64
+	walReplayed    uint64
+	walErrors      uint64
+
 	perOp map[string]uint64
 	ring  []float64 // latency samples in ms
 	next  int
 	full  bool
+
+	// Prometheus histograms (metrics.go renders them): solve wall time
+	// in seconds, and the cost model's calibration — actual over
+	// predicted solve cost, 1.0 meaning a perfect prediction.
+	solveHist histogram
+	ratioHist histogram
 }
 
 // init sizes the latency ring; called once by NewServer before any use.
 func (s *statsRec) init(window int) {
 	s.perOp = make(map[string]uint64)
 	s.ring = make([]float64, window)
+	s.solveHist.init(solveLatencyBuckets)
+	s.ratioHist.init(costRatioBuckets)
 }
 
 // startRequest admits one single-solve request: counted before validation,
@@ -212,6 +250,51 @@ func (s *statsRec) delta(items int) {
 	s.mu.Unlock()
 }
 
+// observeSolve records one engine/backend run (not cache hits): its wall
+// time into the solve-latency histogram and its actual-over-predicted
+// cost ratio into the calibration histogram.
+func (s *statsRec) observeSolve(actual, pred time.Duration) {
+	s.mu.Lock()
+	s.solveHist.observe(actual.Seconds())
+	if pred > 0 && actual > 0 {
+		s.ratioHist.observe(float64(actual) / float64(pred))
+	}
+	s.mu.Unlock()
+}
+
+// histograms returns consistent copies of the histograms for rendering.
+func (s *statsRec) histograms() (solve, ratio histogram) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solveHist.clone(), s.ratioHist.clone()
+}
+
+// walAppend / walCompaction / walReplay / walError tally durability
+// events (see durable.go).
+func (s *statsRec) walAppend() {
+	s.mu.Lock()
+	s.walAppends++
+	s.mu.Unlock()
+}
+
+func (s *statsRec) walCompaction() {
+	s.mu.Lock()
+	s.walCompactions++
+	s.mu.Unlock()
+}
+
+func (s *statsRec) walReplay(n int) {
+	s.mu.Lock()
+	s.walReplayed += uint64(n)
+	s.mu.Unlock()
+}
+
+func (s *statsRec) walError() {
+	s.mu.Lock()
+	s.walErrors++
+	s.mu.Unlock()
+}
+
 // repairs records one delta's cache-repair outcome tallies.
 func (s *statsRec) repairs(rekeyed, patched, resolved uint64) {
 	s.mu.Lock()
@@ -273,6 +356,11 @@ func (s *statsRec) snapshot() Stats {
 		RepairRekeyed:  s.rekeyed,
 		RepairPatched:  s.patched,
 		RepairResolved: s.resolved,
+
+		WALAppends:     s.walAppends,
+		WALCompactions: s.walCompactions,
+		WALReplayed:    s.walReplayed,
+		WALErrors:      s.walErrors,
 	}
 	st.PerOp = make(map[string]uint64, len(s.perOp))
 	for k, v := range s.perOp {

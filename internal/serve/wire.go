@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/relation"
 	"repro/internal/spec"
@@ -189,3 +190,24 @@ func (e *RequestError) Unwrap() error { return e.Err }
 type NotFoundError struct{ What, Name string }
 
 func (e *NotFoundError) Error() string { return fmt.Sprintf("unknown %s %q", e.What, e.Name) }
+
+// OverloadError marks a solve the admission controller shed: the pool
+// and its queue are saturated, and the client should retry after
+// RetryAfter — derived from the predicted queue drain, so backing off by
+// it lands the retry when a slot is plausibly free. The HTTP layer maps
+// it to 429 with a Retry-After header. Sheds are deliberate load
+// management, not faults: they count into the Shed stat, not Errors.
+type OverloadError struct{ RetryAfter time.Duration }
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server overloaded; retry after %s", e.RetryAfter)
+}
+
+// UnavailableError marks a request the server refused because it could
+// not honor its durability contract — a delta whose WAL append failed is
+// the canonical case: accepting it would acknowledge a mutation a crash
+// could silently lose. The HTTP layer maps it to 503.
+type UnavailableError struct{ Err error }
+
+func (e *UnavailableError) Error() string { return fmt.Sprintf("service unavailable: %v", e.Err) }
+func (e *UnavailableError) Unwrap() error { return e.Err }

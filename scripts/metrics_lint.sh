@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# metrics_lint.sh — promtool-style validation of a Prometheus text-format
+# (0.0.4) exposition, with nothing but POSIX awk. CI scrapes the daemon's
+# /metrics into a file and pipes it through here, so the hand-rolled
+# exposition in internal/serve/metrics.go stays scrapeable without adding
+# a prometheus dependency to the repo.
+#
+#   usage: scripts/metrics_lint.sh metrics.txt
+#
+# Checks:
+#   - every non-comment line parses as  name[{labels}] value
+#   - every sampled family is announced by # HELP and # TYPE first
+#   - TYPE is one of counter | gauge | histogram
+#   - every family carries the pkgrec_ namespace prefix
+#   - sample values are finite numbers; counters are >= 0
+#   - histograms: le bounds ascending, bucket counts cumulative,
+#     le="+Inf" present and equal to the _count series, _sum present
+set -euo pipefail
+
+if [ $# -ne 1 ] || [ ! -f "$1" ]; then
+  echo "usage: $0 <metrics-file>" >&2
+  exit 2
+fi
+
+awk '
+function fail(msg) { printf "metrics_lint: line %d: %s: %s\n", NR, msg, $0; bad = 1 }
+function famof(name,   base) {
+  # histogram samples attach to the family their suffix strips to
+  if (name ~ /_bucket$/) { base = substr(name, 1, length(name) - 7); if (type[base] == "histogram") return base }
+  if (name ~ /_sum$/)    { base = substr(name, 1, length(name) - 4); if (type[base] == "histogram") return base }
+  if (name ~ /_count$/)  { base = substr(name, 1, length(name) - 6); if (type[base] == "histogram") return base }
+  return name
+}
+function series(fam, labels,   s) {
+  # group one labeled histogram: everything but the le pair
+  s = labels
+  sub(/le="[^"]*",?/, "", s)
+  return fam "|" s
+}
+/^# HELP / {
+  if (NF < 4 || $3 == "") fail("HELP without text")
+  help[$3] = 1; next
+}
+/^# TYPE / {
+  if ($4 != "counter" && $4 != "gauge" && $4 != "histogram") fail("unknown TYPE")
+  if (!($3 in help)) fail("TYPE before HELP")
+  if ($3 !~ /^pkgrec_/) fail("family outside the pkgrec_ namespace")
+  type[$3] = $4; next
+}
+/^#/ { fail("unrecognized comment"); next }
+/^$/ { next }
+{
+  # sample line: name[{labels}] value
+  if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|NaN|Inf)$/) {
+    fail("unparseable sample"); next
+  }
+  name = $1; val = $2
+  labels = ""
+  if (match(name, /\{.*\}$/)) {
+    labels = substr(name, RSTART + 1, RLENGTH - 2)
+    name = substr(name, 1, RSTART - 1)
+  }
+  fam = famof(name)
+  if (!(fam in type)) { fail("sample with no TYPE declaration"); next }
+  sampled[fam] = 1
+  if (val ~ /NaN|Inf/) fail("non-finite sample value")
+  if (type[fam] == "counter" && val + 0 < 0) fail("negative counter")
+  if (type[fam] == "histogram" && name ~ /_bucket$/) {
+    if (!match(labels, /le="[^"]*"/)) { fail("bucket without le label"); next }
+    le = substr(labels, RSTART + 4, RLENGTH - 5)
+    s = series(fam, labels)
+    if (le == "+Inf") {
+      inf[s] = val + 0; has_inf[s] = 1
+    } else {
+      if ((s in prev_le) && le + 0 <= prev_le[s]) fail("bucket bounds not ascending")
+      if ((s in prev_ct) && val + 0 < prev_ct[s]) fail("bucket counts not cumulative")
+      prev_le[s] = le + 0; prev_ct[s] = val + 0
+    }
+  }
+  if (type[fam] == "histogram" && name ~ /_count$/) {
+    s = series(fam, labels)
+    cnt[s] = val + 0; has_cnt[s] = 1
+  }
+  if (type[fam] == "histogram" && name ~ /_sum$/) {
+    s = series(fam, labels)
+    has_sum[s] = 1
+  }
+}
+END {
+  nfam = 0
+  for (f in type) {
+    nfam++
+    if (!(f in sampled)) { printf "metrics_lint: family %s declared but never sampled\n", f; bad = 1 }
+  }
+  for (s in has_cnt) {
+    if (!(s in has_inf)) { printf "metrics_lint: histogram %s lacks an le=\"+Inf\" bucket\n", s; bad = 1 }
+    else if (inf[s] != cnt[s]) { printf "metrics_lint: histogram %s: +Inf bucket %d != _count %d\n", s, inf[s], cnt[s]; bad = 1 }
+    if (!(s in has_sum)) { printf "metrics_lint: histogram %s lacks a _sum series\n", s; bad = 1 }
+    if ((s in prev_ct) && prev_ct[s] > inf[s]) { printf "metrics_lint: histogram %s: finite bucket exceeds +Inf\n", s; bad = 1 }
+  }
+  for (s in has_inf) if (!(s in has_cnt)) { printf "metrics_lint: histogram %s has buckets but no _count\n", s; bad = 1 }
+  if (nfam == 0) { print "metrics_lint: no metric families found"; bad = 1 }
+  if (bad) exit 1
+  printf "metrics_lint: OK (%d families)\n", nfam
+}
+' "$1"
