@@ -1,0 +1,114 @@
+// Command pkgrecr is the package recommendation fleet router: it fronts
+// a set of pkgrecd nodes behind the exact single-daemon wire API
+// (internal/cluster.Router implements the same serve.Service interface
+// a daemon does, and this command wraps it in the same serve.NewHandler
+// pkgrecd uses). Clients talk to pkgrecr as if it were one pkgrecd —
+// same endpoints, same JSON, same error taxonomy — and the router
+// partitions collections across the fleet by rendezvous hashing,
+// replicates them over the nodes' WAL streams, splits big solves into
+// candidate-space shards merged at the router, and fails requests over
+// past unhealthy nodes. See docs/operations.md ("Running a fleet").
+//
+//	pkgrecr -addr :8090 \
+//	    -node http://10.0.0.1:8080 -node http://10.0.0.2:8080 \
+//	    -node http://10.0.0.3:8080 \
+//	    -replicas 2 -shard travel=3
+//
+// GET /metrics on pkgrecr exposes the router's pkgrecr_* series (node
+// health, failovers, shard merges, replication cursors); each node keeps
+// its own pkgrec_* series.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("pkgrecr: ")
+	var (
+		addr      = flag.String("addr", ":8090", "listen address")
+		replicas  = flag.Int("replicas", 1, "replica-set size per collection (clamped to the fleet size)")
+		threshold = flag.Int("fail-threshold", 3, "consecutive failures marking a node down")
+		timeout   = flag.Duration("node-timeout", 0, "per-node HTTP client timeout (0 = none; solves carry their own deadlines)")
+		nodeURLs  []string
+		shards    = map[string]int{}
+	)
+	flag.Func("node", "pkgrecd base URL to route to (repeatable, order-insensitive)", func(v string) error {
+		nodeURLs = append(nodeURLs, v)
+		return nil
+	})
+	flag.Func("shard", "collection to answer via sharded fan-out, as name=width (repeatable)", func(v string) error {
+		name, width, ok := strings.Cut(v, "=")
+		w, err := strconv.Atoi(width)
+		if !ok || name == "" || err != nil || w < 2 {
+			return errors.New("want name=width with width >= 2")
+		}
+		shards[name] = w
+		return nil
+	})
+	flag.Parse()
+	if len(nodeURLs) == 0 {
+		log.Fatal("need at least one -node")
+	}
+
+	nodes := make([]cluster.Node, 0, len(nodeURLs))
+	for _, u := range nodeURLs {
+		c := serve.NewClient(u)
+		if *timeout > 0 {
+			c.HTTPClient = &http.Client{Timeout: *timeout}
+		}
+		// The URL is the placement identity: keep node URLs stable
+		// across router restarts or collections move homes.
+		nodes = append(nodes, cluster.Node{Name: u, Svc: c})
+	}
+	router, err := cluster.New(cluster.Options{
+		Nodes:         nodes,
+		Replicas:      *replicas,
+		ShardSolves:   shards,
+		FailThreshold: *threshold,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("routing %d nodes, %d replica(s) per collection, %d sharded collection(s)",
+		len(nodes), *replicas, len(shards))
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(router),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	st := router.RouterStats()
+	log.Printf("routed: %d fan-out solves (%d partials merged), %d failovers, %d replica syncs, %d fingerprint mismatches",
+		st.FanoutSolves, st.MergedPartials, st.Failovers, st.ReplicaSyncs, st.ReplicaFingerprintMismatches)
+}

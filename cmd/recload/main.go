@@ -14,6 +14,7 @@
 //	recload -churn 32 -churnswap     # same mutations as full collection swaps
 //	recload -relax 0.5               # half the pool is relax/relaxplan traffic
 //	recload -pbo 0.5                 # half the eligible pool runs backend "pbo"
+//	recload -cluster 3               # 3-node in-process fleet behind a cluster router
 //	recload -json > BENCH_load.json  # machine-readable report (CI archives it)
 //
 // recload always generates its own collection (experiments.WorkloadDB) and
@@ -68,6 +69,19 @@
 // compares the two backends under an identical mixed workload. With
 // -pbo 0 (the default) no item is tagged and reports stay comparable
 // with earlier versions.
+//
+// The -cluster flag swaps the single in-process daemon for an in-process
+// fleet: N pkgrecd nodes, each with its own listener and durability
+// directory, behind one cluster router serving the same public API the
+// client already speaks. The collection is fully replicated across the
+// fleet and its shardable solves fan out N ways, so one run drives
+// shard-merged solves, synchronous WAL-stream replication and per-sync
+// fingerprint consistency checks together. The JSON report gains a
+// `cluster` block (the router's own counters: fanoutSolves,
+// mergedPartials, failovers, replicaSyncs, replicaFingerprintMismatches,
+// per-node health) and the exit code turns red on any replica
+// fingerprint mismatch — CI gates on `.cluster.mergedPartials > 0` and
+// `.cluster.replicaFingerprintMismatches == 0`.
 package main
 
 import (
@@ -86,6 +100,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/relation"
 	"repro/internal/serve"
@@ -118,6 +133,7 @@ func main() {
 		shedAfter  = flag.Duration("shed-threshold", 0, "in-process daemon: shed solves whose predicted wait exceeds this (0 = disabled)")
 		walDir     = flag.String("wal-dir", "", "in-process daemon: durability directory (delta WAL + snapshots)")
 		restart    = flag.Bool("restart", false, "after the run, restart the in-process daemon over -wal-dir and verify the collection recovers to the pre-restart fingerprint")
+		clusterN   = flag.Int("cluster", 0, "spawn an in-process fleet of this many pkgrecd nodes behind a cluster router (full replication, solves sharded across all nodes); 0 = single daemon")
 	)
 	flag.Parse()
 	if *batch < 1 || *n < 1 || *conc < 1 || *hit < 0 || *hit >= 1 {
@@ -166,17 +182,34 @@ func main() {
 	if *restart && *walDir == "" {
 		log.Fatal("-restart needs -wal-dir: a memory-only daemon has nothing to recover from")
 	}
+	if *clusterN != 0 {
+		if *clusterN < 2 {
+			log.Fatal("want -cluster >= 2 (a fleet of one is just the default daemon)")
+		}
+		if *addr != "" || *walDir != "" || *restart {
+			log.Fatal("-cluster spawns its own fleet (per-node WAL dirs included); it cannot be combined with -addr, -wal-dir or -restart")
+		}
+	}
 	base := *addr
 	var stop func()
+	var rtr *cluster.Router
 	if base == "" {
 		var err error
-		base, stop, err = spawn(spawnOpts, *walDir)
+		if *clusterN > 0 {
+			base, rtr, stop, err = spawnFleet(*clusterN, spawnOpts, *collection)
+		} else {
+			base, stop, err = spawn(spawnOpts, *walDir)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer func() { stop() }()
 		if !*jsonOut {
-			log.Printf("spawned in-process daemon at %s", base)
+			if rtr != nil {
+				log.Printf("spawned in-process %d-node fleet behind router at %s", *clusterN, base)
+			} else {
+				log.Printf("spawned in-process daemon at %s", base)
+			}
 		}
 	}
 	ctx := context.Background()
@@ -224,7 +257,7 @@ func main() {
 		RelaxFrac: *relaxFrac, PBOFrac: *pboFrac,
 		Churn: *churn, ChurnRel: *churnRel, ChurnSwap: *churnSwap,
 		MaxConcurrent: *maxConc, MaxQueue: *maxQueue, ShedThreshold: *shedAfter,
-		WALDir: *walDir, Restart: *restart,
+		WALDir: *walDir, Restart: *restart, Cluster: *clusterN,
 	}
 	rep.Summary.OfferedRepeatRatio = offeredRepeats
 	for _, i := range stream {
@@ -237,6 +270,10 @@ func main() {
 	}
 	if st, err := client.Stats(ctx); err == nil {
 		rep.Server = st
+	}
+	if rtr != nil {
+		rs := rtr.RouterStats()
+		rep.Cluster = &rs
 	}
 	if *restart {
 		rs, stop2, err := restartScenario(ctx, client, *collection, stop, spawnOpts, *walDir)
@@ -264,9 +301,11 @@ func main() {
 		render(rep)
 	}
 	// Sheds are deliberate back-pressure, not failures; a restart that does
-	// not recover the exact pre-restart collection is.
+	// not recover the exact pre-restart collection is, and so is any replica
+	// whose fingerprint diverged from its primary during the run.
 	if rep.Summary.Errors > 0 || (rep.Summary.Churn != nil && rep.Summary.Churn.Errors > 0) ||
-		(rep.Restart != nil && !rep.Restart.Match) {
+		(rep.Restart != nil && !rep.Restart.Match) ||
+		(rep.Cluster != nil && rep.Cluster.ReplicaFingerprintMismatches > 0) {
 		os.Exit(1)
 	}
 }
@@ -293,6 +332,70 @@ func spawn(opts serve.Options, walDir string) (base string, stop func(), err err
 	}
 	go func() { _ = hs.Serve(ln) }()
 	return "http://" + ln.Addr().String(), func() { _ = hs.Close(); _ = srv.Close() }, nil
+}
+
+// spawnFleet starts a -cluster run's topology in-process: n pkgrecd
+// nodes (each with its own listener and its own durability directory, so
+// replication runs over the real delta-WAL stream) behind one cluster
+// router serving the public API. The collection is fully replicated
+// (Replicas = n) and its shardable solves are fanned out n ways, so the
+// run exercises fan-out/merge, synchronous replication and fingerprint
+// consistency checks at once. The returned stop tears the whole fleet
+// down, router first.
+func spawnFleet(n int, opts serve.Options, collection string) (base string, rtr *cluster.Router, stop func(), err error) {
+	var stops []func()
+	stopAll := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	defer func() {
+		if err != nil {
+			stopAll()
+		}
+	}()
+	nodes := make([]cluster.Node, 0, n)
+	for i := 0; i < n; i++ {
+		srv := serve.NewServer(opts)
+		dir, derr := os.MkdirTemp("", "recload-node-")
+		if derr != nil {
+			_ = srv.Close()
+			return "", nil, nil, derr
+		}
+		stops = append(stops, func() { _ = os.RemoveAll(dir) })
+		if werr := srv.OpenWAL(serve.WALConfig{Dir: dir}); werr != nil {
+			_ = srv.Close()
+			return "", nil, nil, werr
+		}
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			_ = srv.Close()
+			return "", nil, nil, lerr
+		}
+		hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = hs.Serve(ln) }()
+		stops = append(stops, func() { _ = hs.Close(); _ = srv.Close() })
+		nodes = append(nodes, cluster.Node{
+			Name: fmt.Sprintf("node-%d", i),
+			Svc:  serve.NewClient("http://" + ln.Addr().String()),
+		})
+	}
+	rtr, err = cluster.New(cluster.Options{
+		Nodes:       nodes,
+		Replicas:    n,
+		ShardSolves: map[string]int{collection: n},
+	})
+	if err != nil {
+		return "", nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	hs := &http.Server{Handler: serve.NewHandler(rtr), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = hs.Serve(ln) }()
+	stops = append(stops, func() { _ = hs.Close() })
+	return "http://" + ln.Addr().String(), rtr, stopAll, nil
 }
 
 // restartSummary reports the -restart scenario: the daemon is bounced
@@ -437,6 +540,7 @@ type config struct {
 	ShedThreshold time.Duration `json:"shedThreshold,omitempty"`
 	WALDir        string        `json:"walDir,omitempty"`
 	Restart       bool          `json:"restart,omitempty"`
+	Cluster       int           `json:"cluster,omitempty"`
 }
 
 // churner installs the churn mutations: one experiments.ChurnDelta per
@@ -570,11 +674,12 @@ type summary struct {
 // counterpart of recbench's BENCH_*.json artifacts, archived by CI as
 // BENCH_load.json (and, for overload runs, BENCH_overload.json).
 type report struct {
-	Title   string          `json:"title"`
-	Config  config          `json:"config"`
-	Summary summary         `json:"summary"`
-	Restart *restartSummary `json:"restart,omitempty"`
-	Server  *serve.Stats    `json:"server,omitempty"`
+	Title   string               `json:"title"`
+	Config  config               `json:"config"`
+	Summary summary              `json:"summary"`
+	Restart *restartSummary      `json:"restart,omitempty"`
+	Server  *serve.Stats         `json:"server,omitempty"`
+	Cluster *cluster.RouterStats `json:"cluster,omitempty"`
 }
 
 // isShed says whether a request failed because the daemon shed it (HTTP
@@ -754,6 +859,18 @@ func render(rep *report) {
 		s.LatencyMS.P50, s.LatencyMS.P95, s.LatencyMS.P99, s.LatencyMS.Max)
 	if s.Sheds > 0 {
 		fmt.Printf("admission: %d items shed with 429 (back-pressure, not errors)\n", s.Sheds)
+	}
+	if cs := rep.Cluster; cs != nil {
+		down := 0
+		for _, n := range cs.Nodes {
+			if n.Down {
+				down++
+			}
+		}
+		fmt.Printf("cluster: %d nodes (%d down), fanoutSolves=%d mergedPartials=%d versionRetries=%d failovers=%d\n",
+			len(cs.Nodes), down, cs.FanoutSolves, cs.MergedPartials, cs.VersionRetries, cs.Failovers)
+		fmt.Printf("cluster: replicaSyncs=%d recordsApplied=%d snapshots=%d fingerprintMismatches=%d\n",
+			cs.ReplicaSyncs, cs.ReplicaRecords, cs.ReplicaSnapshots, cs.ReplicaFingerprintMismatches)
 	}
 	if rs := rep.Restart; rs != nil {
 		fmt.Printf("restart: recovered in %.1fms, replayed %d WAL records, fingerprint match=%v\n",

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/serve"
 )
 
 // samplePool with -relax 0 must be the historical pool, item for item:
@@ -91,5 +94,77 @@ func TestSummarizePercentiles(t *testing.T) {
 	got := summarize(durs)
 	if got.Count != 100 || got.P50 != 50 || got.P95 != 95 || got.P99 != 99 || got.Max != 100 {
 		t.Fatalf("summarize(1..100ms) = %+v", got)
+	}
+}
+
+// The -cluster topology end to end: spawnFleet's router answers the
+// replay loop that main drives, with churn racing the fan-outs, zero
+// errors and zero replica divergence.
+func TestRunAgainstFleet(t *testing.T) {
+	base, rtr, stop, err := spawnFleet(2, serve.Options{}, "recload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	ctx := context.Background()
+	client := serve.NewClient(base)
+	db := experiments.WorkloadDB(20)
+	if _, err := client.PutCollection(ctx, "recload", db); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := samplePool(rand.New(rand.NewSource(3)), 8, db, experiments.WorkloadOps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := make([]int, 24)
+	for i := range stream {
+		stream[i] = i % len(pool)
+	}
+	ch := &churner{client: client, coll: "recload", rel: "poi", mirror: db}
+	rep, err := run(ctx, client, "recload", pool, stream, 1, 2, 10*time.Second, false, 8, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Errors != 0 || rep.Summary.Items != len(stream) {
+		t.Fatalf("fleet replay: %d items, %d errors", rep.Summary.Items, rep.Summary.Errors)
+	}
+	rep.Summary.Churn = ch.summary()
+	if rep.Summary.Churn.Installs != 3 || rep.Summary.Churn.Errors != 0 {
+		t.Fatalf("churn through the router: %+v", rep.Summary.Churn)
+	}
+	rs := rtr.RouterStats()
+	if rs.ReplicaSyncs == 0 {
+		t.Fatal("churn writes did not replicate")
+	}
+	if rs.ReplicaFingerprintMismatches != 0 {
+		t.Fatalf("replicas diverged %d times", rs.ReplicaFingerprintMismatches)
+	}
+	if st, err := client.Stats(ctx); err == nil {
+		rep.Server = st
+	}
+	rep.Cluster = &rs
+	rep.Config = config{N: len(stream), Batch: 1, Concurrency: 2, Cluster: 2}
+	render(rep)
+}
+
+func TestPBOCapable(t *testing.T) {
+	for _, op := range []string{serve.OpTopK, serve.OpDecide, serve.OpMaxBound, serve.OpCount, serve.OpExists} {
+		if !pboCapable(op) {
+			t.Errorf("pboCapable(%q) = false", op)
+		}
+	}
+	for _, op := range []string{serve.OpRelax, "relaxplan", "adjust", ""} {
+		if pboCapable(op) {
+			t.Errorf("pboCapable(%q) = true", op)
+		}
+	}
+}
+
+func TestIsShed(t *testing.T) {
+	if isShed(errors.New("plain")) {
+		t.Error("plain error classified as shed")
+	}
+	if !isShed(&serve.APIError{Status: 429}) {
+		t.Error("429 APIError not classified as shed")
 	}
 }

@@ -66,6 +66,7 @@ var docPackages = map[string]string{
 	"adjust":      "internal/adjust",
 	"spec":        "internal/spec",
 	"serve":       "internal/serve",
+	"cluster":     "internal/cluster",
 	"boolenc":     "internal/boolenc",
 	"sat":         "internal/sat",
 	"pbo":         "internal/pbo",

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Placement is rendezvous (highest-random-weight) hashing over node
+// names: every (node, collection) pair hashes to a weight, and a
+// collection's owners are the nodes in descending weight order. The
+// properties the router leans on:
+//
+//   - ownership is a pure function of the member names, so every router
+//     instance — and every test — computes the identical owner ranking
+//     with no coordination state to persist or replicate;
+//   - removing a node only promotes the next-ranked node for the
+//     collections it owned; no other collection moves (the minimal-
+//     disruption property consistent hashing is used for, without the
+//     virtual-node bookkeeping a hash ring needs at this fleet size);
+//   - the full ranking is a failover order, not just a primary: the
+//     first Replicas nodes are the replica set, and within it the
+//     first healthy node is the acting primary.
+//
+// The weight hash is FNV-1a over "node\x00collection" — stable across
+// processes and platforms (unlike Go's map iteration or hash/maphash
+// seeds), which is what makes placement reproducible in CI — pushed
+// through a finalizing avalanche. The finalizer matters: raw FNV-1a
+// gives bytes near the end of the input only a few multiply rounds, so
+// two collections differing in a trailing character barely move the
+// hash and the node-name prefix would decide every ranking the same
+// way (one node would own everything). The splitmix64-style mix
+// spreads every input bit across the word, restoring the uniform
+// per-(node, collection) weights rendezvous hashing assumes.
+func rendezvousWeight(node, collection string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(collection))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ranked returns all nodes in descending rendezvous-weight order for
+// collection, ties broken by name so the order is total.
+func (r *Router) ranked(collection string) []*node {
+	out := make([]*node, len(r.nodes))
+	copy(out, r.nodes)
+	sort.SliceStable(out, func(i, j int) bool {
+		wi := rendezvousWeight(out[i].name, collection)
+		wj := rendezvousWeight(out[j].name, collection)
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// owners returns collection's replica set: the top Replicas nodes of
+// the rendezvous ranking. owners[0] is the home primary; the rest are
+// replicas in failover order.
+func (r *Router) owners(collection string) []*node {
+	return r.ranked(collection)[:r.replicas]
+}
+
+// ordered returns the owner set with healthy nodes first (preserving
+// rank order within each class), so callers iterate it as a failover
+// sequence: down nodes are still tried, but only after every healthy
+// owner — a router with its whole replica set marked down degrades to
+// optimistic retries rather than refusing outright.
+func ordered(owners []*node) []*node {
+	out := make([]*node, 0, len(owners))
+	for _, n := range owners {
+		if !n.isDown() {
+			out = append(out, n)
+		}
+	}
+	for _, n := range owners {
+		if n.isDown() {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/serve"
+)
+
+// Replication rides the durability layer: a replica catches up by
+// pulling the primary's WAL stream (serve.WALStreamer) — the delta-log
+// suffix past its cursor when the log still covers it, a full snapshot
+// otherwise — and the stream's content fingerprint is checked against
+// the replica's resulting state after every sync. The fingerprint is
+// the collection-content hash the serve layer already maintains for
+// idempotent puts, so replica consistency verification is free: a
+// replica that applied the stream and hashes differently has diverged,
+// and is rebuilt from a snapshot on the spot.
+
+// snapshotSince is the cursor that forces a snapshot stream: it is past
+// any real log position, and the WAL streamer answers a cursor it
+// cannot serve records for with the full live state.
+const snapshotSince = ^uint64(0)
+
+// cursorKey identifies one replica's position in one source's log.
+// The source is part of the key because WAL sequence numbers are
+// per-node: after a primary failover the cursor against the new
+// source starts unknown and the first sync transfers a snapshot.
+func cursorKey(replica, collection, source string) string {
+	return replica + "\x00" + collection + "\x00" + source
+}
+
+func (r *Router) cursor(key string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastSeq[key]
+}
+
+func (r *Router) setCursor(key string, seq, lag uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastSeq[key] = seq
+	r.lastLag[key] = lag
+}
+
+// dropCursors forgets every cursor of one node's collection (both as
+// replica and as source), after the collection is removed.
+func (r *Router) dropCursors(nodeName, collection string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key := range r.lastSeq {
+		rep, coll, src, ok := splitCursorKey(key)
+		if ok && coll == collection && (rep == nodeName || src == nodeName) {
+			delete(r.lastSeq, key)
+			delete(r.lastLag, key)
+		}
+	}
+}
+
+func splitCursorKey(key string) (replica, collection, source string, ok bool) {
+	first := -1
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			if first < 0 {
+				first = i
+			} else {
+				return key[:first], key[first+1 : i], key[i+1:], true
+			}
+		}
+	}
+	return "", "", "", false
+}
+
+// syncReplicas brings every non-primary owner up to the primary's
+// state. A replica that cannot be synchronized is marked failed and
+// skipped — the write has already durably landed on the primary, and
+// the replica catches up on the next write (its stale cursor pulls the
+// missed suffix) or is rebuilt from a snapshot if the log moved past
+// it.
+func (r *Router) syncReplicas(ctx context.Context, primary *node, owners []*node, collection string) {
+	if primary == nil {
+		return
+	}
+	for _, n := range owners {
+		if n == primary {
+			continue
+		}
+		if err := r.syncReplica(ctx, primary, n, collection); err != nil {
+			n.markFailed(err)
+		} else {
+			n.markOK()
+		}
+	}
+}
+
+// syncReplica pulls one replica up to the source's current state and
+// fingerprint-checks the result.
+func (r *Router) syncReplica(ctx context.Context, src, dst *node, collection string) error {
+	streamer, ok := src.svc.(serve.WALStreamer)
+	if !ok {
+		return fmt.Errorf("cluster: node %q cannot stream collection %q", src.name, collection)
+	}
+	key := cursorKey(dst.name, collection, src.name)
+	since := r.cursor(key)
+	if since == 0 {
+		// Unknown replica state (first sync against this source):
+		// request a snapshot rather than replaying a log from seq 1
+		// over whatever the replica already holds.
+		since = snapshotSince
+	}
+	stream, err := streamer.WALStream(ctx, collection, since)
+	if err != nil {
+		return err
+	}
+	lag := uint64(len(stream.Records))
+	if err := r.applyStream(ctx, dst, collection, stream); err != nil {
+		return err
+	}
+	if err := r.checkReplica(ctx, dst, collection, stream.Fingerprint); err != nil {
+		// Divergence: count it, then rebuild the replica from a full
+		// snapshot and re-check. Only a clean rebuild clears the sync.
+		r.stats.add(&r.stats.replicaFingerprintMismatches, 1)
+		stream, err = streamer.WALStream(ctx, collection, snapshotSince)
+		if err != nil {
+			return err
+		}
+		if err := r.applyStream(ctx, dst, collection, stream); err != nil {
+			return err
+		}
+		if err := r.checkReplica(ctx, dst, collection, stream.Fingerprint); err != nil {
+			return err
+		}
+	}
+	r.setCursor(key, stream.Seq, lag)
+	r.stats.add(&r.stats.replicaSyncs, 1)
+	return nil
+}
+
+// applyStream installs a WAL stream on a replica: the snapshot as a
+// full collection put, or the record suffix as ordinary deltas — the
+// same mutation path any client write takes, so the replica's own WAL,
+// cache repair and metrics all see replication traffic as traffic.
+func (r *Router) applyStream(ctx context.Context, dst *node, collection string, stream *serve.WALStream) error {
+	if stream.Snapshot != nil {
+		if _, err := dst.svc.PutCollection(ctx, collection, stream.Snapshot); err != nil {
+			return err
+		}
+		r.stats.add(&r.stats.replicaSnapshots, 1)
+		return nil
+	}
+	for _, rec := range stream.Records {
+		if _, err := dst.svc.ApplyDelta(ctx, collection, rec.Delta); err != nil {
+			return err
+		}
+	}
+	r.stats.add(&r.stats.replicaRecords, uint64(len(stream.Records)))
+	return nil
+}
+
+// checkReplica verifies the replica's collection content hash equals
+// the fingerprint the stream promised.
+func (r *Router) checkReplica(ctx context.Context, dst *node, collection, fingerprint string) error {
+	info, err := dst.svc.GetCollection(ctx, collection)
+	if err != nil {
+		return err
+	}
+	if info.Fingerprint != fingerprint {
+		return fmt.Errorf("cluster: replica %q fingerprint %s != primary %s for collection %q",
+			dst.name, info.Fingerprint, fingerprint, collection)
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/serve"
+)
+
+// routerCounters are the router's own tallies, separate from the nodes'
+// serve.Stats (which aggregate through Stats).
+type routerCounters struct {
+	fanoutSolves                 uint64 // sharded solves answered by a merge
+	mergedPartials               uint64 // shard partials merged across them
+	versionRetries               uint64 // fan-outs retried for version skew
+	failovers                    uint64 // requests moved past a failing node
+	replicaSyncs                 uint64 // replica catch-ups completed
+	replicaRecords               uint64 // WAL records applied to replicas
+	replicaSnapshots             uint64 // full snapshot transfers to replicas
+	replicaFingerprintMismatches uint64 // divergent replicas detected (then rebuilt)
+}
+
+func (c *routerCounters) add(field *uint64, n uint64) {
+	atomic.AddUint64(field, n)
+}
+
+func (c *routerCounters) snapshot() routerCounters {
+	return routerCounters{
+		fanoutSolves:                 atomic.LoadUint64(&c.fanoutSolves),
+		mergedPartials:               atomic.LoadUint64(&c.mergedPartials),
+		versionRetries:               atomic.LoadUint64(&c.versionRetries),
+		failovers:                    atomic.LoadUint64(&c.failovers),
+		replicaSyncs:                 atomic.LoadUint64(&c.replicaSyncs),
+		replicaRecords:               atomic.LoadUint64(&c.replicaRecords),
+		replicaSnapshots:             atomic.LoadUint64(&c.replicaSnapshots),
+		replicaFingerprintMismatches: atomic.LoadUint64(&c.replicaFingerprintMismatches),
+	}
+}
+
+// NodeStatus is one node's health as the router sees it.
+type NodeStatus struct {
+	Name string `json:"name"`
+	Down bool   `json:"down"`
+	// ConsecutiveFailures is the current failure streak (FailThreshold
+	// of them marks the node down); Failures is the lifetime total.
+	ConsecutiveFailures int    `json:"consecutiveFailures"`
+	Failures            uint64 `json:"failures"`
+	LastError           string `json:"lastError,omitempty"`
+}
+
+// ReplicaCursor is one replica's replication position: the last source
+// log sequence it has applied, and how many records the last catch-up
+// transferred (0 = it was current; large = it had fallen behind — the
+// replication-lag signal /metrics exposes per cursor).
+type ReplicaCursor struct {
+	Node       string `json:"node"`
+	Collection string `json:"collection"`
+	Source     string `json:"source"`
+	Seq        uint64 `json:"seq"`
+	LastLag    uint64 `json:"lastLag"`
+}
+
+// RouterStats snapshots the router's coordination counters and fleet
+// health — the cluster-layer complement to the per-node serve.Stats.
+type RouterStats struct {
+	Nodes          []NodeStatus    `json:"nodes"`
+	Cursors        []ReplicaCursor `json:"cursors,omitempty"`
+	FanoutSolves   uint64          `json:"fanoutSolves"`
+	MergedPartials uint64          `json:"mergedPartials"`
+	VersionRetries uint64          `json:"versionRetries"`
+	Failovers      uint64          `json:"failovers"`
+	ReplicaSyncs   uint64          `json:"replicaSyncs"`
+	ReplicaRecords uint64          `json:"replicaRecordsApplied"`
+	// ReplicaSnapshots counts full-state transfers (first seeding, log
+	// truncation, divergence rebuilds); ReplicaFingerprintMismatches
+	// counts divergences detected — every one was rebuilt from a
+	// snapshot or reported as a sync failure, so a nonzero value is an
+	// investigation signal, not a live inconsistency.
+	ReplicaSnapshots             uint64 `json:"replicaSnapshots"`
+	ReplicaFingerprintMismatches uint64 `json:"replicaFingerprintMismatches"`
+}
+
+// RouterStats snapshots the router's own counters; it performs no node
+// calls.
+func (r *Router) RouterStats() RouterStats {
+	c := r.stats.snapshot()
+	out := RouterStats{
+		FanoutSolves:                 c.fanoutSolves,
+		MergedPartials:               c.mergedPartials,
+		VersionRetries:               c.versionRetries,
+		Failovers:                    c.failovers,
+		ReplicaSyncs:                 c.replicaSyncs,
+		ReplicaRecords:               c.replicaRecords,
+		ReplicaSnapshots:             c.replicaSnapshots,
+		ReplicaFingerprintMismatches: c.replicaFingerprintMismatches,
+	}
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		out.Nodes = append(out.Nodes, NodeStatus{
+			Name:                n.name,
+			Down:                n.consecFails >= n.threshold,
+			ConsecutiveFailures: n.consecFails,
+			Failures:            n.failures,
+			LastError:           n.lastErr,
+		})
+		n.mu.Unlock()
+	}
+	r.mu.Lock()
+	for key, seq := range r.lastSeq {
+		rep, coll, src, ok := splitCursorKey(key)
+		if !ok {
+			continue
+		}
+		out.Cursors = append(out.Cursors, ReplicaCursor{
+			Node: rep, Collection: coll, Source: src,
+			Seq: seq, LastLag: r.lastLag[key],
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out.Cursors, func(i, j int) bool {
+		a, b := out.Cursors[i], out.Cursors[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Collection != b.Collection {
+			return a.Collection < b.Collection
+		}
+		return a.Source < b.Source
+	})
+	return out
+}
+
+// Stats aggregates the fleet's serve.Stats: every numeric counter is
+// summed across reachable nodes (so fleet throughput, cache traffic and
+// engine work read like one big daemon's; replicated collections count
+// once per holding node), and the hit rate is recomputed from the
+// summed hits and misses. At least one node must answer.
+func (r *Router) Stats(ctx context.Context) (*serve.Stats, error) {
+	var total serve.Stats
+	reachable := 0
+	for _, n := range r.nodes {
+		st, err := n.svc.Stats(ctx)
+		if err != nil {
+			n.markFailed(err)
+			continue
+		}
+		n.markOK()
+		reachable++
+		addStats(&total, st)
+	}
+	if reachable == 0 {
+		return nil, &serve.UnavailableError{Err: fmt.Errorf("cluster: no node answered stats")}
+	}
+	if lookups := total.CacheHits + total.CacheMisses; lookups > 0 {
+		total.HitRate = float64(total.CacheHits) / float64(lookups)
+	} else {
+		total.HitRate = 0
+	}
+	return &total, nil
+}
+
+// addStats sums every numeric field of one node's stats into the
+// total. serve.Stats is a flat struct of counters and gauges, so
+// field-wise addition is the aggregate; reflection keeps this correct
+// as the serve layer grows new counters.
+func addStats(total, st *serve.Stats) {
+	tv := reflect.ValueOf(total).Elem()
+	sv := reflect.ValueOf(st).Elem()
+	for i := 0; i < tv.NumField(); i++ {
+		tf := tv.Field(i)
+		if !tf.CanSet() {
+			continue
+		}
+		switch tf.Kind() {
+		case reflect.Int, reflect.Int64:
+			tf.SetInt(tf.Int() + sv.Field(i).Int())
+		case reflect.Uint64:
+			tf.SetUint(tf.Uint() + sv.Field(i).Uint())
+		case reflect.Float64:
+			tf.SetFloat(tf.Float() + sv.Field(i).Float())
+		}
+	}
+}
+
+// RenderMetrics renders the router's coordination metrics in Prometheus
+// text exposition format under the pkgrecr_ prefix — the fleet-layer
+// complement to each node's pkgrec_ metrics. serve.NewHandler sees this
+// and mounts GET /metrics on the router daemon.
+func (r *Router) RenderMetrics() string {
+	st := r.RouterStats()
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	down := 0
+	for _, n := range st.Nodes {
+		if n.Down {
+			down++
+		}
+	}
+	fmt.Fprintf(&b, "# HELP pkgrecr_nodes Fleet size.\n# TYPE pkgrecr_nodes gauge\npkgrecr_nodes %d\n", len(st.Nodes))
+	fmt.Fprintf(&b, "# HELP pkgrecr_nodes_down Nodes currently past the failure threshold.\n# TYPE pkgrecr_nodes_down gauge\npkgrecr_nodes_down %d\n", down)
+	b.WriteString("# HELP pkgrecr_node_up Per-node health (1 = up).\n# TYPE pkgrecr_node_up gauge\n")
+	for _, n := range st.Nodes {
+		up := 1
+		if n.Down {
+			up = 0
+		}
+		fmt.Fprintf(&b, "pkgrecr_node_up{node=%q} %d\n", n.Name, up)
+	}
+	b.WriteString("# HELP pkgrecr_node_failures_total Per-node failed calls.\n# TYPE pkgrecr_node_failures_total counter\n")
+	for _, n := range st.Nodes {
+		fmt.Fprintf(&b, "pkgrecr_node_failures_total{node=%q} %d\n", n.Name, n.Failures)
+	}
+	counter("pkgrecr_fanout_solves_total", "Sharded solves answered by merging shard partials.", st.FanoutSolves)
+	counter("pkgrecr_merged_partials_total", "Shard partials merged at the router.", st.MergedPartials)
+	counter("pkgrecr_version_retries_total", "Shard fan-outs retried because partials straddled a collection mutation.", st.VersionRetries)
+	counter("pkgrecr_failovers_total", "Requests moved past a failing node to a replica.", st.Failovers)
+	counter("pkgrecr_replica_syncs_total", "Replica catch-ups completed over the WAL stream.", st.ReplicaSyncs)
+	counter("pkgrecr_replica_records_total", "WAL records applied to replicas.", st.ReplicaRecords)
+	counter("pkgrecr_replica_snapshots_total", "Full snapshot transfers to replicas.", st.ReplicaSnapshots)
+	counter("pkgrecr_replica_fingerprint_mismatches_total", "Replica divergences detected by the content fingerprint check (each triggers a snapshot rebuild).", st.ReplicaFingerprintMismatches)
+	if len(st.Cursors) > 0 {
+		b.WriteString("# HELP pkgrecr_replica_seq Last source WAL sequence applied per replica cursor.\n# TYPE pkgrecr_replica_seq gauge\n")
+		for _, c := range st.Cursors {
+			fmt.Fprintf(&b, "pkgrecr_replica_seq{node=%q,collection=%q,source=%q} %d\n", c.Node, c.Collection, c.Source, c.Seq)
+		}
+		b.WriteString("# HELP pkgrecr_replica_last_lag WAL records the last catch-up transferred per replica cursor (how far behind it had fallen).\n# TYPE pkgrecr_replica_last_lag gauge\n")
+		for _, c := range st.Cursors {
+			fmt.Fprintf(&b, "pkgrecr_replica_last_lag{node=%q,collection=%q,source=%q} %d\n", c.Node, c.Collection, c.Source, c.LastLag)
+		}
+	}
+	return b.String()
+}
+
+// sortCollections orders a collection listing by name.
+func sortCollections(infos []serve.CollectionInfo) {
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+}

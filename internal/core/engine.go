@@ -407,6 +407,17 @@ func normWorkers(workers int) int {
 // raise by any worker (e.g. FindTopKParallel publishing a full local top-k
 // buffer's k-th rating) immediately tightens every other worker's cuts.
 func (p *Problem) runParallel(ctx context.Context, workers int, floor *searchFloor, makeYield func(w int) pathYield) error {
+	return p.runParallelShard(ctx, workers, floor, ShardSpec{}, makeYield)
+}
+
+// runParallelShard is runParallel restricted to a candidate-space shard:
+// only subtree roots the shard owns are fed to the workers, so the walk
+// covers exactly the packages whose smallest candidate index falls in the
+// shard. Every package belongs to exactly one root subtree, so disjoint
+// shards partition the package space and their per-shard results merge
+// without overlap — the decomposition the distributed coordinator fans out
+// across nodes. The zero ShardSpec owns every root, reproducing runParallel.
+func (p *Problem) runParallelShard(ctx context.Context, workers int, floor *searchFloor, shard ShardSpec, makeYield func(w int) pathYield) error {
 	if _, err := p.Candidates(); err != nil {
 		return err
 	}
@@ -420,7 +431,9 @@ func (p *Problem) runParallel(ctx context.Context, workers int, floor *searchFlo
 	st := p.newStrategy(floor)
 	roots := make(chan int, len(p.candList))
 	for i := range p.candList {
-		roots <- i
+		if shard.owns(i) {
+			roots <- i
+		}
 	}
 	close(roots)
 

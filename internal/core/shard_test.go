@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// randomShardProblem builds a small random instance for the shard
+// equivalence trials.
+func randomShardProblem(t *testing.T, rng *rand.Rand, k int) *Problem {
+	t.Helper()
+	db := relation.NewDatabase()
+	r := relation.NewRelation(relation.NewSchema("item", "id", "price", "rating"))
+	items := 5 + rng.Intn(5)
+	for i := 0; i < items; i++ {
+		if err := r.Insert(relation.Ints(int64(i), int64(rng.Intn(30)), int64(rng.Intn(10)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Add(r)
+	return &Problem{
+		DB: db, Q: query.Identity("RQ", r),
+		Cost: SumAttr(1).WithMonotone(), Val: SumAttr(2),
+		Budget: float64(15 + rng.Intn(50)), K: k,
+	}
+}
+
+// TestShardedTopKMatchesWhole pins the tentpole decomposition: for every
+// shard count, running FindTopKShardCtx per shard and merging the
+// partials must reproduce the single-node scored top-k bit for bit —
+// same packages, same order, same float64 ratings.
+func TestShardedTopKMatchesWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ctx := context.Background()
+	for trial := 0; trial < 15; trial++ {
+		k := 1 + rng.Intn(3)
+		p := randomShardProblem(t, rng, k)
+		whole, wholeOK, err := p.FindTopKParallelCtx(ctx, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wholeBound, wholeBoundOK, err := p.MaxBoundParallelCtx(ctx, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, count := range []int{1, 2, 3, 5} {
+			parts := make([]TopKPartial, count)
+			for i := 0; i < count; i++ {
+				parts[i], err = p.FindTopKShardCtx(ctx, ShardSpec{Index: i, Count: count}, math.Inf(-1), 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			scored, ok := MergeTopKPartials(k, parts)
+			if ok != wholeOK {
+				t.Fatalf("trial %d count %d: merged ok %v vs whole %v", trial, count, ok, wholeOK)
+			}
+			if !ok {
+				continue
+			}
+			if len(scored) != len(whole) {
+				t.Fatalf("trial %d count %d: merged %d packages vs whole %d", trial, count, len(scored), len(whole))
+			}
+			for i := range scored {
+				if !scored[i].Pkg.Equal(whole[i]) {
+					t.Fatalf("trial %d count %d rank %d: merged %s vs whole %s",
+						trial, count, i, scored[i].Pkg.Key(), whole[i].Key())
+				}
+				if scored[i].Val != p.Val.Eval(whole[i]) {
+					t.Fatalf("trial %d count %d rank %d: merged val %v vs eval %v",
+						trial, count, i, scored[i].Val, p.Val.Eval(whole[i]))
+				}
+			}
+			mb, mbOK := MergeMaxBoundPartials(k, parts)
+			if mbOK != wholeBoundOK || (mbOK && mb != wholeBound) {
+				t.Fatalf("trial %d count %d: merged maxbound %v/%v vs whole %v/%v",
+					trial, count, mb, mbOK, wholeBound, wholeBoundOK)
+			}
+		}
+	}
+}
+
+// TestShardedTopKFloorHint checks that a sound floor hint (the k-th
+// rating of another shard's full partial) does not change the merged
+// answer — the soundness contract coordinators rely on to prune.
+func TestShardedTopKFloorHint(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	ctx := context.Background()
+	for trial := 0; trial < 10; trial++ {
+		k := 1 + rng.Intn(2)
+		p := randomShardProblem(t, rng, k)
+		whole, wholeOK, err := p.FindTopKParallelCtx(ctx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const count = 2
+		first, err := p.FindTopKShardCtx(ctx, ShardSpec{Index: 0, Count: count}, math.Inf(-1), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hint := math.Inf(-1)
+		if len(first.Scored) == k {
+			// k packages rated >= the partial's k-th rating exist: a sound hint.
+			hint = first.Scored[k-1].Val
+		}
+		second, err := p.FindTopKShardCtx(ctx, ShardSpec{Index: 1, Count: count}, hint, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scored, ok := MergeTopKPartials(k, []TopKPartial{first, second})
+		if ok != wholeOK {
+			t.Fatalf("trial %d: hinted merge ok %v vs whole %v", trial, ok, wholeOK)
+		}
+		for i := range scored {
+			if !scored[i].Pkg.Equal(whole[i]) {
+				t.Fatalf("trial %d rank %d: hinted merge %s vs whole %s",
+					trial, i, scored[i].Pkg.Key(), whole[i].Key())
+			}
+		}
+	}
+}
+
+// TestShardedCountAndExistsMatchWhole pins the additive merges: shard
+// counts sum to the whole-space count, and capped feasibility counts
+// decide ∃k-valid exactly.
+func TestShardedCountAndExistsMatchWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	ctx := context.Background()
+	for trial := 0; trial < 15; trial++ {
+		p := randomShardProblem(t, rng, 1)
+		bound := float64(rng.Intn(12))
+		whole, err := p.CountValidParallelCtx(ctx, bound, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + rng.Intn(5)
+		wantExists, err := p.ExistsKValidParallelCtx(ctx, k, bound, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, count := range []int{1, 2, 4} {
+			counts := make([]int64, count)
+			capped := make([]int64, count)
+			for i := 0; i < count; i++ {
+				counts[i], err = p.CountValidShardCtx(ctx, bound, ShardSpec{Index: i, Count: count}, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				capped[i], err = p.ExistsCountShardCtx(ctx, k, bound, ShardSpec{Index: i, Count: count}, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if capped[i] > int64(k) {
+					t.Fatalf("capped count %d exceeds cap %d", capped[i], k)
+				}
+			}
+			if got := MergeCountPartials(counts); got != whole {
+				t.Fatalf("trial %d count %d: merged count %d vs whole %d", trial, count, got, whole)
+			}
+			if got := MergeExistsPartials(k, capped); got != wantExists {
+				t.Fatalf("trial %d count %d: merged exists %v vs whole %v", trial, count, got, wantExists)
+			}
+		}
+	}
+}
+
+// TestShardSpecValidate pins the spec's bounds checking.
+func TestShardSpecValidate(t *testing.T) {
+	for _, tc := range []struct {
+		spec ShardSpec
+		ok   bool
+	}{
+		{ShardSpec{Index: 0, Count: 1}, true},
+		{ShardSpec{Index: 2, Count: 3}, true},
+		{ShardSpec{Index: 0, Count: 0}, false},
+		{ShardSpec{Index: -1, Count: 2}, false},
+		{ShardSpec{Index: 2, Count: 2}, false},
+	} {
+		if err := tc.spec.Validate(); (err == nil) != tc.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", tc.spec, err, tc.ok)
+		}
+	}
+}

@@ -180,6 +180,36 @@ func readWALFrames(f *os.File) ([]WALRecord, int64, error) {
 	}
 }
 
+// ReadWALSince reads the log at path read-only and returns the intact
+// records with Seq strictly greater than since, in log order — the
+// replication stream a follower tails to catch up from its last applied
+// sequence number. The file is opened, scanned with the same
+// torn-tail-tolerant frame reader recovery uses, and closed; nothing is
+// truncated or repositioned, so a concurrent writer's WAL is unaffected
+// (callers serialize against compaction, which swaps the file's content
+// under the owner's lock). A missing file is an empty stream, not an
+// error: a collection whose log was just compacted away has nothing to
+// tail, and the caller falls back to a snapshot transfer.
+func ReadWALSince(path string, since uint64) ([]WALRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	recs, _, err := readWALFrames(f)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for i < len(recs) && recs[i].Seq <= since {
+		i++
+	}
+	return recs[i:], nil
+}
+
 // Append logs one delta: the record is framed, written, and fsynced
 // (group-committed) before Append returns with the record's sequence
 // number. An error leaves the log exactly as it was — a partial frame

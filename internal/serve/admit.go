@@ -70,8 +70,26 @@ type waiter struct {
 	seq     uint64
 	pred    time.Duration
 	cheap   bool
+	class   int // admission class: -1 high, 0 normal, 1 low
 	granted bool
 	ready   chan struct{}
+}
+
+// priorityClass maps a normalized Request.Priority onto the admitter's
+// ordering key: high < normal < low. The class orders a tenant's queue
+// ahead of the cheap/cost/arrival criteria — within one tenant, a
+// "high" request always dispatches before its tenant's "normal" ones —
+// but deliberately does not cross tenants: the least-debt fairness pick
+// stays first, so one tenant marking everything "high" gains nothing
+// over its neighbors, only over its own traffic.
+func priorityClass(p string) int {
+	switch p {
+	case PriorityHigh:
+		return -1
+	case PriorityLow:
+		return 1
+	}
+	return 0
 }
 
 func newAdmitter(slots, maxQueue int, shedThreshold time.Duration) *admitter {
@@ -87,7 +105,7 @@ func newAdmitter(slots, maxQueue int, shedThreshold time.Duration) *admitter {
 // when the pool is busy. It returns an *OverloadError when the request
 // is shed, or ctx.Err() when the context ends first. The caller must
 // release(pred) with the same predicted cost when the solve finishes.
-func (a *admitter) acquire(ctx context.Context, tenant string, pred time.Duration, cheap bool) error {
+func (a *admitter) acquire(ctx context.Context, tenant string, pred time.Duration, cheap bool, class int) error {
 	a.mu.Lock()
 	if a.running < a.slots && (a.waiting == 0 || cheap) {
 		a.running++
@@ -104,7 +122,7 @@ func (a *admitter) acquire(ctx context.Context, tenant string, pred time.Duratio
 		a.mu.Unlock()
 		return err
 	}
-	w := &waiter{seq: a.seq, pred: pred, cheap: cheap, ready: make(chan struct{})}
+	w := &waiter{seq: a.seq, pred: pred, cheap: cheap, class: class, ready: make(chan struct{})}
 	a.seq++
 	if tq == nil {
 		tq = &tenantQ{name: tenant, debt: a.minDebtLocked()}
@@ -186,12 +204,18 @@ func (a *admitter) pickTenantLocked() *tenantQ {
 }
 
 // pickWaiter returns the index of the best waiter in one tenant's queue:
-// cheap class first, then ascending predicted cost, then arrival order.
+// admission class first (high before normal before low — the
+// user-facing priority knob), then cheap before expensive, then
+// ascending predicted cost, then arrival order.
 func pickWaiter(q []*waiter) int {
 	best := 0
 	for i := 1; i < len(q); i++ {
 		w, b := q[i], q[best]
 		switch {
+		case w.class != b.class:
+			if w.class < b.class {
+				best = i
+			}
 		case w.cheap != b.cheap:
 			if w.cheap {
 				best = i

@@ -119,16 +119,16 @@ func TestPredictedWaitDrainsAcrossSlots(t *testing.T) {
 func TestExpressLaneAndCheapBypass(t *testing.T) {
 	ctx := context.Background()
 	a := newAdmitter(2, 16, 0)
-	if err := a.acquire(ctx, "t", 5*time.Millisecond, false); err != nil {
+	if err := a.acquire(ctx, "t", 5*time.Millisecond, false, 0); err != nil {
 		t.Fatalf("express acquire: %v", err)
 	}
 
 	// Fill the second slot, then park a waiter so the queue is non-empty.
-	if err := a.acquire(ctx, "t", 5*time.Millisecond, false); err != nil {
+	if err := a.acquire(ctx, "t", 5*time.Millisecond, false, 0); err != nil {
 		t.Fatalf("second acquire: %v", err)
 	}
 	waited := make(chan error, 1)
-	go func() { waited <- a.acquire(ctx, "t", 5*time.Millisecond, false) }()
+	go func() { waited <- a.acquire(ctx, "t", 5*time.Millisecond, false, 0) }()
 	for a.queueDepth() == 0 {
 		time.Sleep(time.Millisecond)
 	}
@@ -142,7 +142,7 @@ func TestExpressLaneAndCheapBypass(t *testing.T) {
 	// Park another expensive waiter; a cheap request must still ride the
 	// express lane the moment a slot frees, ahead of it… but only via
 	// dispatch fairness: with no free slot it queues like everyone else.
-	go func() { waited <- a.acquire(ctx, "t", 5*time.Millisecond, false) }()
+	go func() { waited <- a.acquire(ctx, "t", 5*time.Millisecond, false, 0) }()
 	for a.queueDepth() == 0 {
 		time.Sleep(time.Millisecond)
 	}
@@ -153,7 +153,7 @@ func TestExpressLaneAndCheapBypass(t *testing.T) {
 	a.release(5 * time.Millisecond) // one slot free again, one running
 
 	done := make(chan error, 1)
-	go func() { done <- a.acquire(ctx, "t2", time.Millisecond, true) }()
+	go func() { done <- a.acquire(ctx, "t2", time.Millisecond, true, 0) }()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -172,17 +172,17 @@ func TestExpressLaneAndCheapBypass(t *testing.T) {
 func TestMaxQueueSheds(t *testing.T) {
 	ctx := context.Background()
 	a := newAdmitter(1, 1, 0)
-	if err := a.acquire(ctx, "t", 10*time.Millisecond, false); err != nil {
+	if err := a.acquire(ctx, "t", 10*time.Millisecond, false, 0); err != nil {
 		t.Fatalf("first acquire: %v", err)
 	}
 	queuedErr := make(chan error, 1)
-	go func() { queuedErr <- a.acquire(ctx, "t", 10*time.Millisecond, false) }()
+	go func() { queuedErr <- a.acquire(ctx, "t", 10*time.Millisecond, false, 0) }()
 	for a.queueDepth() == 0 {
 		time.Sleep(time.Millisecond)
 	}
 
 	// Queue is full: the next arrival — cheap or not — sheds.
-	err := a.acquire(ctx, "t", 10*time.Millisecond, false)
+	err := a.acquire(ctx, "t", 10*time.Millisecond, false, 0)
 	var ov *OverloadError
 	if !errors.As(err, &ov) {
 		t.Fatalf("full queue: got %v, want OverloadError", err)
@@ -190,7 +190,7 @@ func TestMaxQueueSheds(t *testing.T) {
 	if ov.RetryAfter < time.Second {
 		t.Fatalf("Retry-After %v below the 1s floor", ov.RetryAfter)
 	}
-	if err := a.acquire(ctx, "t", time.Microsecond, true); !errors.As(err, &ov) {
+	if err := a.acquire(ctx, "t", time.Microsecond, true, 0); !errors.As(err, &ov) {
 		t.Fatalf("cheap past a full queue: got %v, want OverloadError (hard bound exempts nobody)", err)
 	}
 
@@ -206,17 +206,17 @@ func TestMaxQueueSheds(t *testing.T) {
 func TestShedThresholdSparesCheap(t *testing.T) {
 	ctx := context.Background()
 	a := newAdmitter(1, 100, 50*time.Millisecond)
-	if err := a.acquire(ctx, "t", 200*time.Millisecond, false); err != nil {
+	if err := a.acquire(ctx, "t", 200*time.Millisecond, false, 0); err != nil {
 		t.Fatalf("first acquire: %v", err)
 	}
 	// Predicted wait is 200ms > 50ms threshold: expensive arrivals shed…
 	var ov *OverloadError
-	if err := a.acquire(ctx, "t", 10*time.Millisecond, false); !errors.As(err, &ov) {
+	if err := a.acquire(ctx, "t", 10*time.Millisecond, false, 0); !errors.As(err, &ov) {
 		t.Fatalf("beyond threshold: got %v, want OverloadError", err)
 	}
 	// …but a cheap arrival queues instead of shedding.
 	cheapErr := make(chan error, 1)
-	go func() { cheapErr <- a.acquire(ctx, "t", time.Millisecond, true) }()
+	go func() { cheapErr <- a.acquire(ctx, "t", time.Millisecond, true, 0) }()
 	for a.queueDepth() == 0 {
 		time.Sleep(time.Millisecond)
 	}
@@ -230,12 +230,12 @@ func TestShedThresholdSparesCheap(t *testing.T) {
 // cancellation racing its own grant returns the slot.
 func TestAcquireCancellation(t *testing.T) {
 	a := newAdmitter(1, 16, 0)
-	if err := a.acquire(context.Background(), "t", time.Millisecond, false); err != nil {
+	if err := a.acquire(context.Background(), "t", time.Millisecond, false, 0); err != nil {
 		t.Fatalf("first acquire: %v", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
-	go func() { errc <- a.acquire(ctx, "t", time.Millisecond, false) }()
+	go func() { errc <- a.acquire(ctx, "t", time.Millisecond, false, 0) }()
 	for a.queueDepth() == 0 {
 		time.Sleep(time.Millisecond)
 	}
@@ -257,7 +257,7 @@ func TestAcquireCancellation(t *testing.T) {
 func TestDispatchInterleavesTenants(t *testing.T) {
 	ctx := context.Background()
 	a := newAdmitter(1, 100, 0)
-	if err := a.acquire(ctx, "seed", 10*time.Millisecond, false); err != nil {
+	if err := a.acquire(ctx, "seed", 10*time.Millisecond, false, 0); err != nil {
 		t.Fatalf("seed acquire: %v", err)
 	}
 
@@ -269,7 +269,7 @@ func TestDispatchInterleavesTenants(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				if err := a.acquire(ctx, tenant, 10*time.Millisecond, false); err != nil {
+				if err := a.acquire(ctx, tenant, 10*time.Millisecond, false, 0); err != nil {
 					t.Errorf("%s acquire: %v", tenant, err)
 					return
 				}

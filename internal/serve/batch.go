@@ -28,6 +28,9 @@ type BatchRequest struct {
 	// NoCache makes every item bypass the result cache (deduplication
 	// still applies, among the batch's NoCache items).
 	NoCache bool `json:"noCache,omitempty"`
+	// Priority is the admission class every item inherits unless it sets
+	// its own; see Request.Priority.
+	Priority string `json:"priority,omitempty"`
 }
 
 // BatchItem is one sub-request of a batch: a Request without the
@@ -46,6 +49,8 @@ type BatchItem struct {
 	Extra          *relation.Database `json:"extra,omitempty"`
 	Workers        int                `json:"workers,omitempty"`
 	NoCache        bool               `json:"noCache,omitempty"`
+	// Priority is the item's admission class; empty inherits the batch's.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Request lifts the item to the single-solve Request form — the form the
@@ -64,6 +69,7 @@ func (it BatchItem) Request(collection string) Request {
 		Extra:          it.Extra,
 		Workers:        it.Workers,
 		NoCache:        it.NoCache,
+		Priority:       it.Priority,
 	}
 }
 
@@ -157,6 +163,9 @@ func (s *Server) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchRespo
 	for i, bit := range breq.Items {
 		req := bit.Request(breq.Collection)
 		req.NoCache = req.NoCache || breq.NoCache
+		if req.Priority == "" {
+			req.Priority = breq.Priority
+		}
 		v, err := s.validateRequest(coll, req)
 		if err != nil {
 			fail(i, err)

@@ -15,8 +15,149 @@ import (
 	"repro/internal/relation"
 )
 
-// Client speaks the pkgrecd JSON-over-HTTP protocol. The zero HTTPClient
-// means http.DefaultClient; BaseURL is the daemon root, e.g.
+// Transport executes one JSON round trip of the pkgrecd wire protocol:
+// marshal, POST/GET/PUT/DELETE, and on a non-2xx reply decode the wire
+// error taxonomy into an *APIError. It is the single HTTP codepath
+// every caller shares — the user-facing Client wraps it, and the
+// cluster router's fan-out clients are the same struct — so error
+// parsing, Retry-After handling, and the taxonomy reconstruction can
+// never drift between a user talking to one daemon and a coordinator
+// talking to its fleet. The zero HTTPClient means http.DefaultClient.
+type Transport struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewTransport builds a transport for the daemon at baseURL.
+func NewTransport(baseURL string) *Transport {
+	return &Transport{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Do executes one round trip. A nil body sends no payload; a nil out
+// discards the reply body. Non-2xx replies return *APIError.
+func (t *Transport) Do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := t.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError rebuilds the typed error a non-2xx reply carries: the
+// taxonomy code and retryable bit from the body when the server sent
+// them (every current daemon does), the status-derived code otherwise,
+// and the Retry-After from the millisecond body field with the
+// whole-second header as fallback.
+func decodeAPIError(resp *http.Response) *APIError {
+	var body errorBody
+	msg := resp.Status
+	if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Error != "" {
+		msg = body.Error
+	}
+	out := &APIError{
+		Status:    resp.StatusCode,
+		Message:   msg,
+		Code:      body.Code,
+		Retryable: body.Retryable,
+	}
+	if body.Code == "" {
+		out.Code = codeForStatus(resp.StatusCode)
+		out.Retryable = Retryable(out.Code)
+	}
+	switch {
+	case body.RetryAfterMS > 0:
+		out.RetryAfter = time.Duration(body.RetryAfterMS) * time.Millisecond
+	default:
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil {
+				out.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+	}
+	return out
+}
+
+// APIError is a non-2xx daemon reply, carrying the wire error taxonomy
+// across the transport hop: the origin's code, its retryable bit, and —
+// for sheds — the Retry-After estimate of when a slot will be free.
+// Unwrap rebuilds the origin's typed error, so errors.As/errors.Is work
+// identically whether the error crossed zero hops (a local Service),
+// one (a client), or two (a client behind the cluster router):
+// errors.As(err, **OverloadError) matches a remote shed, and
+// errors.Is(err, context.DeadlineExceeded) matches a remote timeout.
+type APIError struct {
+	Status     int
+	Message    string
+	Code       string // taxonomy code (errors.go); never empty
+	Retryable  bool   // whether a retry or failover could succeed
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Message)
+}
+
+// code returns the taxonomy code, deriving it from the status for
+// hand-constructed values that left Code empty.
+func (e *APIError) code() string {
+	if e.Code != "" {
+		return e.Code
+	}
+	return codeForStatus(e.Status)
+}
+
+// Unwrap projects the wire error back onto the origin server's typed
+// error, keyed by taxonomy code.
+func (e *APIError) Unwrap() error {
+	switch e.code() {
+	case CodeOverloaded:
+		return &OverloadError{RetryAfter: e.RetryAfter}
+	case CodeUnavailable:
+		return &UnavailableError{Err: fmt.Errorf("%s", e.Message)}
+	case CodeBadRequest:
+		return &RequestError{Err: fmt.Errorf("%s", e.Message)}
+	case CodeTimeout:
+		return context.DeadlineExceeded
+	case CodeCanceled:
+		return context.Canceled
+	}
+	return nil
+}
+
+// Overloaded reports whether the error is a shed (HTTP 429); callers
+// should back off by RetryAfter and retry.
+func (e *APIError) Overloaded() bool { return e.Status == http.StatusTooManyRequests }
+
+// Client speaks the pkgrecd JSON-over-HTTP protocol; it implements
+// Service, so callers can hold a remote daemon and an in-process one
+// behind the same interface. The zero HTTPClient means
+// http.DefaultClient; BaseURL is the daemon root, e.g.
 // "http://localhost:8080".
 type Client struct {
 	BaseURL    string
@@ -28,22 +169,11 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
 }
 
-// APIError is a non-2xx daemon reply. A 429 (shed by admission control)
-// carries RetryAfter, parsed from the Retry-After header — the daemon's
-// estimate of when a slot will be free.
-type APIError struct {
-	Status     int
-	Message    string
-	RetryAfter time.Duration
+// Transport returns the client's wire codepath — the same Transport the
+// cluster router fans out through.
+func (c *Client) Transport() *Transport {
+	return &Transport{BaseURL: c.BaseURL, HTTPClient: c.HTTPClient}
 }
-
-func (e *APIError) Error() string {
-	return fmt.Sprintf("serve: server returned %d: %s", e.Status, e.Message)
-}
-
-// Overloaded reports whether the error is a shed (HTTP 429); callers
-// should back off by RetryAfter and retry.
-func (e *APIError) Overloaded() bool { return e.Status == http.StatusTooManyRequests }
 
 // Solve posts one solve request.
 func (c *Client) Solve(ctx context.Context, req Request) (*Response, error) {
@@ -121,49 +251,18 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
+// WALStream fetches a collection's replication stream: the delta log
+// records past since, or a full snapshot when the suffix is gone. The
+// client side of the WALStreamer extension.
+func (c *Client) WALStream(ctx context.Context, name string, since uint64) (*WALStream, error) {
+	var stream WALStream
+	path := "/v1/collections/" + url.PathEscape(name) + "/wal?since=" + strconv.FormatUint(since, 10)
+	if err := c.do(ctx, http.MethodGet, path, nil, &stream); err != nil {
+		return nil, err
+	}
+	return &stream, nil
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
-	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(buf)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var apiErr struct {
-			Error string `json:"error"`
-		}
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			msg = apiErr.Error
-		}
-		out := &APIError{Status: resp.StatusCode, Message: msg}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil {
-				out.RetryAfter = time.Duration(secs) * time.Second
-			}
-		}
-		return out
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return c.Transport().Do(ctx, method, path, body, out)
 }

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 )
@@ -122,4 +124,79 @@ func (m *costModel) familyNodes(family string) float64 {
 		return f.nodes.val
 	}
 	return 0
+}
+
+// costState is the cost model's persistence schema (cost.json, beside
+// the WAL): the global prior plus every family, oldest-first so a
+// restore reproduces the LRU recency order.
+type costState struct {
+	Global   ewmaState  `json:"global"`
+	Families []famState `json:"families"`
+}
+
+type famState struct {
+	Key   string    `json:"key"`
+	NS    ewmaState `json:"ns"`
+	Nodes ewmaState `json:"nodes"`
+}
+
+type ewmaState struct {
+	Val float64 `json:"val"`
+	N   uint64  `json:"n"`
+}
+
+func (e ewma) state() ewmaState { return ewmaState{Val: e.val, N: e.n} }
+func (s ewmaState) ewma() ewma  { return ewma{val: s.Val, n: s.N} }
+
+// saveTo writes the model atomically (tmp + rename): families are a
+// few thousand small records at most, so the write is one marshal. The
+// model re-learns on loss, so no fsync ceremony is needed.
+func (m *costModel) saveTo(path string) error {
+	m.mu.Lock()
+	st := costState{Global: m.global.state()}
+	for _, slot := range m.fams.entries() {
+		st.Families = append(st.Families, famState{
+			Key:   slot.key,
+			NS:    slot.val.ns.state(),
+			Nodes: slot.val.nodes.state(),
+		})
+	}
+	m.mu.Unlock()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// loadFrom restores a saved model. A missing file is a clean cold start
+// (nil error); a corrupt one is reported and leaves the model cold —
+// predictions are hints, so recovery never fails over this.
+func (m *costModel) loadFrom(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var st costState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.global = st.Global.ewma()
+	for _, f := range st.Families {
+		m.fams.set(f.Key, &famCost{ns: f.NS.ewma(), nodes: f.Nodes.ewma()})
+	}
+	return nil
 }

@@ -1,0 +1,512 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// corruptFile flips one byte in the middle of a file.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A corrupted snapshot whose log still covers the full history recovers
+// by replaying the log from an empty database — content identical to
+// the pre-crash state — with the WALErrors counter reporting the
+// corruption.
+func TestSnapshotCorruptionFallsBackToLogReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := NewServer(Options{})
+	if err := s.OpenWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// Seed empty, then build all content through logged deltas that
+	// carry their schemas — so the log alone reconstructs everything.
+	s.SetCollection("built", relation.NewDatabase())
+	attrs := []string{"name", "city", "type", "ticket", "time"}
+	for i := 0; i < 4; i++ {
+		delta := relation.Delta{Upserts: []relation.RelationDelta{{
+			Name: "poi", Attrs: attrs,
+			Tuples: [][]any{{"p", "nyc", "museum", i, 45}},
+		}}}
+		if _, err := s.MutateCollection("built", delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := s.Collection("built")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptFile(t, filepath.Join(dir, "built", "snapshot.json"))
+
+	s2 := NewServer(Options{})
+	defer s2.Close()
+	if err := s2.OpenWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatalf("recovery over corrupt snapshot: %v", err)
+	}
+	if got := s2.Stats().WALErrors; got == 0 {
+		t.Fatal("corruption left WALErrors at 0")
+	}
+	info, ok := s2.Collection("built")
+	if !ok {
+		t.Fatal("collection did not recover from the log")
+	}
+	if info.Fingerprint != want.Fingerprint {
+		t.Fatalf("log replay recovered fingerprint %s, want %s", info.Fingerprint, want.Fingerprint)
+	}
+}
+
+// A corrupted snapshot whose log records need the lost state (the usual
+// case: the seed snapshot held the collection body) abandons the
+// collection instead of failing the daemon's whole recovery: OpenWAL
+// succeeds, WALErrors reports the damage, and a fresh upload reseeds
+// durability in the same directory.
+func TestSnapshotCorruptionAbandonsUnrecoverable(t *testing.T) {
+	dir := t.TempDir()
+	db := gen.Travel(7, 20, 16)
+	s := NewServer(Options{})
+	if err := s.OpenWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetCollection("travel", db)
+	// A schemaless delta: replayable only on top of the snapshot.
+	delta := relation.Delta{Upserts: []relation.RelationDelta{{
+		Name: "poi", Tuples: [][]any{{"corrupt-poi", "nyc", "museum", 3, 45}},
+	}}}
+	if _, err := s.MutateCollection("travel", delta); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptFile(t, filepath.Join(dir, "travel", "snapshot.json"))
+
+	s2 := NewServer(Options{})
+	defer s2.Close()
+	if err := s2.OpenWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatalf("recovery must not fail over one corrupt collection: %v", err)
+	}
+	if got := s2.Stats().WALErrors; got == 0 {
+		t.Fatal("corruption left WALErrors at 0")
+	}
+	if _, ok := s2.Collection("travel"); ok {
+		t.Fatal("unrecoverable collection was registered anyway")
+	}
+	// The directory is still a live durability home: reseed and mutate.
+	s2.SetCollection("travel", db)
+	if _, err := s2.MutateCollection("travel", delta); err != nil {
+		t.Fatalf("reseeded collection rejects deltas: %v", err)
+	}
+	want, _ := s2.Collection("travel")
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewServer(Options{})
+	defer s3.Close()
+	if err := s3.OpenWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := s3.Collection("travel")
+	if !ok || info.Fingerprint != want.Fingerprint {
+		t.Fatalf("reseeded collection did not recover (%v, %+v != %+v)", ok, info, want)
+	}
+}
+
+// The learned cost model survives a restart: families observed before
+// Close predict identically after OpenWAL over the same directory.
+func TestCostModelPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := NewServer(Options{})
+	if err := s.OpenWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetCollection("travel", gen.Travel(7, 20, 16))
+	req := Request{Collection: "travel", Op: OpTopK, Spec: travelSpec(2)}
+	mustSolve(t, s, req)
+	v, err := s.validateRequest(mustSnapshot(t, s, "travel"), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	family := costFamily(v)
+	wantNS := s.cost.predict(family)
+	wantFams := s.cost.families()
+	if wantFams == 0 {
+		t.Fatal("solve trained no cost family")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, costModelFile)); err != nil {
+		t.Fatalf("Close left no cost model file: %v", err)
+	}
+
+	s2 := NewServer(Options{})
+	defer s2.Close()
+	if err := s2.OpenWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.cost.families(); got != wantFams {
+		t.Fatalf("restored %d cost families, want %d", got, wantFams)
+	}
+	if got := s2.cost.predict(family); got != wantNS {
+		t.Fatalf("restored prediction %v, want %v", got, wantNS)
+	}
+}
+
+func mustSnapshot(t *testing.T, s *Server, name string) *collection {
+	t.Helper()
+	coll, err := s.snapshot(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.unpin(coll) })
+	return coll
+}
+
+// WALStream semantics: header-only when current, the exact record
+// suffix when the log covers the cursor, a snapshot when it cannot.
+func TestWALStreamSemantics(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s := NewServer(Options{})
+	defer s.Close()
+	if err := s.OpenWAL(WALConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetCollection("travel", gen.Travel(7, 20, 16))
+	for i := 0; i < 3; i++ {
+		delta := relation.Delta{Upserts: []relation.RelationDelta{{
+			Name: "poi", Tuples: [][]any{{"stream-poi", "nyc", "museum", i, 45}},
+		}}}
+		if _, err := s.MutateCollection("travel", delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, _ := s.Collection("travel")
+
+	head, err := s.WALStream(ctx, "travel", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Fingerprint != info.Fingerprint {
+		t.Fatalf("stream fingerprint %s != collection %s", head.Fingerprint, info.Fingerprint)
+	}
+	if head.Seq == 0 {
+		t.Fatal("no log position after three deltas")
+	}
+
+	// Current follower: header only.
+	cur, err := s.WALStream(ctx, "travel", head.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Snapshot != nil || len(cur.Records) != 0 {
+		t.Fatalf("up-to-date stream carried payload: snap=%v records=%d", cur.Snapshot != nil, len(cur.Records))
+	}
+
+	// One behind: exactly the missing record.
+	one, err := s.WALStream(ctx, "travel", head.Seq-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Snapshot != nil || len(one.Records) != 1 || one.Records[0].Seq != head.Seq {
+		t.Fatalf("suffix stream wrong: snap=%v records=%+v", one.Snapshot != nil, one.Records)
+	}
+
+	// Unserveable cursor (follower from another life): full snapshot.
+	reset, err := s.WALStream(ctx, "travel", ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reset.Snapshot == nil || len(reset.Records) != 0 {
+		t.Fatal("unserveable cursor did not fall back to a snapshot")
+	}
+	if got := reset.Snapshot.Fingerprint(); got != info.Fingerprint {
+		t.Fatalf("snapshot fingerprint %s != collection %s", got, info.Fingerprint)
+	}
+
+	if _, err := s.WALStream(ctx, "nope", 0); ErrorCode(err) != CodeNotFound {
+		t.Fatalf("unknown collection: got %v", err)
+	}
+}
+
+// Priority is admission-only: it reorders a tenant's queue and never
+// touches the answer or the cache identity.
+func TestPriorityReordersWithinTenant(t *testing.T) {
+	a := newAdmitter(1, 16, 0)
+	ctx := context.Background()
+	if err := a.acquire(ctx, "t", time.Millisecond, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 2)
+	depth := 0
+	enqueue := func(label string, class int) {
+		go func() {
+			if err := a.acquire(ctx, "t", time.Millisecond, false, class); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- label
+			a.release(time.Millisecond)
+		}()
+		depth++
+		for a.queueDepth() < depth {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	enqueue("normal", priorityClass(""))
+	enqueue("high", priorityClass(PriorityHigh))
+	a.release(time.Millisecond)
+	if first := <-order; first != "high" {
+		t.Fatalf("dispatched %q first, want the high-class waiter", first)
+	}
+	<-order
+}
+
+func TestPriorityWireValidationAndCacheIdentity(t *testing.T) {
+	s := travelServer(t, Options{}, 20, 16)
+	req := Request{Collection: "travel", Op: OpTopK, Spec: travelSpec(2)}
+	first := mustSolve(t, s, req)
+	if first.Cached {
+		t.Fatal("first solve cached")
+	}
+	req.Priority = PriorityHigh
+	second := mustSolve(t, s, req)
+	if !second.Cached {
+		t.Fatal("priority participated in the cache key: identical high-priority request missed")
+	}
+	req.Priority = "urgent"
+	if _, err := s.Solve(context.Background(), req); ErrorCode(err) != CodeBadRequest {
+		t.Fatalf("unknown priority: got %v", err)
+	}
+}
+
+// Shard partials merged at the serve layer equal the whole-space solve,
+// including through the pilot-floor hint path the cluster router uses.
+func TestShardedSolveMergesToWholeAnswer(t *testing.T) {
+	s := travelServer(t, Options{}, 24, 20)
+	const w = 3
+	base := travelSpec(3)
+	boundSpec := base
+	boundSpec.Bound = -120
+
+	for _, tc := range []struct {
+		op  string
+		req Request
+	}{
+		{OpTopK, Request{Collection: "travel", Op: OpTopK, Spec: base}},
+		{OpMaxBound, Request{Collection: "travel", Op: OpMaxBound, Spec: base}},
+		{OpCount, Request{Collection: "travel", Op: OpCount, Spec: boundSpec}},
+		{OpExists, Request{Collection: "travel", Op: OpExists, Spec: boundSpec}},
+	} {
+		whole := mustSolve(t, s, tc.req)
+		var hint *float64
+		parts := make([]*Result, w)
+		for i := 0; i < w; i++ {
+			sub := tc.req
+			sub.Shard = &core.ShardSpec{Index: i, Count: w}
+			if i > 0 {
+				sub.FloorHint = hint
+			}
+			resp := mustSolve(t, s, sub)
+			if !resp.Partial {
+				t.Fatalf("%s shard %d: result not marked partial", tc.op, i)
+			}
+			if i == 0 && (tc.op == OpTopK || tc.op == OpMaxBound) &&
+				resp.OK && len(resp.Packages) == tc.req.Spec.K && resp.ShardFloor != nil {
+				hint = resp.ShardFloor
+			}
+			pr := resp.Result
+			parts[i] = &pr
+		}
+		merged, err := MergeShardResults(tc.op, tc.req.Spec.K, parts)
+		if err != nil {
+			t.Fatalf("%s: merge: %v", tc.op, err)
+		}
+		mj, _ := json.Marshal(merged)
+		wj, _ := json.Marshal(whole.Result)
+		if string(mj) != string(wj) {
+			t.Fatalf("%s: merged shards diverge from whole solve\nmerged: %s\nwhole:  %s", tc.op, mj, wj)
+		}
+	}
+}
+
+// Shard requests are validated at the wire edge.
+func TestShardRequestValidation(t *testing.T) {
+	s := travelServer(t, Options{}, 10, 8)
+	ctx := context.Background()
+	base := Request{Collection: "travel", Op: OpTopK, Spec: travelSpec(2)}
+
+	bad := base
+	bad.Shard = &core.ShardSpec{Index: 3, Count: 3}
+	if _, err := s.Solve(ctx, bad); ErrorCode(err) != CodeBadRequest {
+		t.Fatalf("out-of-range shard: got %v", err)
+	}
+	bad = base
+	bad.Op = OpRelax
+	bad.Relax = nil
+	bad.Shard = &core.ShardSpec{Index: 0, Count: 2}
+	if _, err := s.Solve(ctx, bad); ErrorCode(err) != CodeBadRequest {
+		t.Fatalf("sharded relax: got %v", err)
+	}
+	bad = base
+	f := 1.5
+	bad.FloorHint = &f
+	if _, err := s.Solve(ctx, bad); ErrorCode(err) != CodeBadRequest {
+		t.Fatalf("floor hint without shard: got %v", err)
+	}
+	bad = base
+	bad.Backend = BackendPBO
+	bad.Shard = &core.ShardSpec{Index: 0, Count: 2}
+	if _, err := s.Solve(ctx, bad); ErrorCode(err) != CodeBadRequest {
+		t.Fatalf("sharded pbo backend: got %v", err)
+	}
+}
+
+// The wire error taxonomy survives transport hops: codes, retryability
+// and Retry-After cross one HTTP hop — and a second, as when a cluster
+// router relays a node's error — reconstructible with errors.As.
+func TestErrorTaxonomyAcrossHops(t *testing.T) {
+	ctx := context.Background()
+	s := travelServer(t, Options{}, 10, 8)
+	hop1 := httptest.NewServer(NewHandler(s.Service()))
+	defer hop1.Close()
+	c1 := NewClient(hop1.URL)
+	// Second hop: a handler over the first hop's client — the router
+	// daemon's exact topology.
+	hop2 := httptest.NewServer(NewHandler(c1))
+	defer hop2.Close()
+	c2 := NewClient(hop2.URL)
+
+	_, err := c2.GetCollection(ctx, "nope")
+	if ErrorCode(err) != CodeNotFound {
+		t.Fatalf("two-hop not-found classified %q (%v)", ErrorCode(err), err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("two-hop error is not a 404 APIError: %v", err)
+	}
+	if RetryableError(err) {
+		t.Fatal("not-found classified retryable")
+	}
+
+	_, err = c2.Solve(ctx, Request{Collection: "travel", Op: "bogus"})
+	if ErrorCode(err) != CodeBadRequest {
+		t.Fatalf("two-hop bad request classified %q (%v)", ErrorCode(err), err)
+	}
+	var reqErr *RequestError
+	if !errors.As(err, &reqErr) {
+		t.Fatalf("two-hop bad request does not unwrap to RequestError: %v", err)
+	}
+
+	// An overload carries its Retry-After through both hops.
+	overloaded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &OverloadError{RetryAfter: 7 * time.Second})
+	}))
+	defer overloaded.Close()
+	relay := httptest.NewServer(NewHandler(NewClient(overloaded.URL)))
+	defer relay.Close()
+	_, err = NewClient(relay.URL).Stats(ctx)
+	if ErrorCode(err) != CodeOverloaded || !RetryableError(err) {
+		t.Fatalf("two-hop overload classified %q (%v)", ErrorCode(err), err)
+	}
+	var ov *OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("two-hop overload does not unwrap to OverloadError: %v", err)
+	}
+	if ov.RetryAfter != 7*time.Second {
+		t.Fatalf("Retry-After degraded across hops: %v", ov.RetryAfter)
+	}
+}
+
+// The replication stream over the real wire: Client.WALStream and the
+// in-process Service passthrough answer identically, and the shared
+// Transport speaks raw paths.
+func TestWALStreamOverWire(t *testing.T) {
+	ctx := context.Background()
+	s := NewServer(Options{})
+	defer s.Close()
+	if err := s.OpenWAL(WALConfig{Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetCollection("travel", gen.Travel(7, 20, 16))
+	delta := relation.Delta{Upserts: []relation.RelationDelta{{
+		Name: "poi", Tuples: [][]any{{"wire-poi", "nyc", "museum", 9, 45}},
+	}}}
+	if _, err := s.MutateCollection("travel", delta); err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := s.Service().(WALStreamer).WALStream(ctx, "travel", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s.Service()))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	remote, err := c.WALStream(ctx, "travel", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Seq != local.Seq || remote.Fingerprint != local.Fingerprint {
+		t.Fatalf("wire stream header (%d, %s) != local (%d, %s)",
+			remote.Seq, remote.Fingerprint, local.Seq, local.Fingerprint)
+	}
+	// A follower with no state at all asks with an unserveable cursor
+	// (the router's convention) and gets a snapshot.
+	cold, err := c.WALStream(ctx, "travel", ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Snapshot == nil {
+		t.Fatal("cold follower got no snapshot over the wire")
+	}
+	if got := cold.Snapshot.Fingerprint(); got != local.Fingerprint {
+		t.Fatalf("wire snapshot fingerprint %s, want %s", got, local.Fingerprint)
+	}
+	suffix, err := c.WALStream(ctx, "travel", remote.Seq-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suffix.Snapshot != nil || len(suffix.Records) != 1 {
+		t.Fatalf("wire suffix stream wrong: snap=%v records=%d", suffix.Snapshot != nil, len(suffix.Records))
+	}
+	if _, err := c.WALStream(ctx, "nope", 0); ErrorCode(err) != CodeNotFound {
+		t.Fatalf("unknown collection over the wire: got %v", err)
+	}
+
+	// The bare Transport is the same codepath the Client wraps.
+	tr := NewTransport(ts.URL + "/")
+	var infos []CollectionInfo
+	if err := tr.Do(ctx, http.MethodGet, "/v1/collections", nil, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "travel" {
+		t.Fatalf("transport listing = %+v", infos)
+	}
+	err = tr.Do(ctx, http.MethodGet, "/v1/collections/nope", nil, nil)
+	if ErrorCode(err) != CodeNotFound {
+		t.Fatalf("transport error taxonomy: got %v", err)
+	}
+}

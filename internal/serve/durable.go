@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -51,12 +53,25 @@ type collWAL struct {
 	needSeed bool
 }
 
-// walSnapshot is the snapshot.json schema: the full database at Seq,
+// walSnapshot is the snapshot body: the full database at Seq,
 // integrity-checked by its content fingerprint.
 type walSnapshot struct {
 	Seq         uint64             `json:"seq"`
 	Fingerprint string             `json:"fingerprint"`
 	DB          *relation.Database `json:"db"`
+}
+
+// walSnapshotFile is the snapshot.json schema: the marshaled walSnapshot
+// body guarded by a CRC-32 (IEEE, the same polynomial the WAL frames
+// use) over its exact bytes. The WAL was CRC-framed from the start; the
+// snapshot used to be trusted as written, leaving recovery's biggest
+// input unguarded against torn writes and bit rot — now both halves of
+// the durable state are checksummed, and a snapshot that fails its CRC
+// (or its body's content fingerprint) degrades to full-log replay
+// instead of poisoning recovery.
+type walSnapshotFile struct {
+	CRC      uint32          `json:"crc"`
+	Snapshot json.RawMessage `json:"snapshot"`
 }
 
 // OpenWAL enables durability under cfg.Dir and recovers every collection
@@ -94,31 +109,47 @@ func (s *Server) OpenWAL(cfg WALConfig) error {
 			return fmt.Errorf("serve: recovering collection %q: %w", name, err)
 		}
 	}
+	// The learned cost model persists beside the collection logs: load
+	// whatever the previous process saved on Close, so admission prices
+	// solves from history instead of re-learning every family from the
+	// high unknown prior. The model is a performance hint, never a
+	// correctness input — a missing or corrupt file just means cold
+	// predictions (plus a WALErrors tick for the corrupt case).
+	if err := s.cost.loadFrom(filepath.Join(cfg.Dir, costModelFile)); err != nil {
+		s.stats.walError()
+	}
 	return nil
 }
 
 // recoverCollection rebuilds one collection from its directory. Caller
-// holds writeMu.
+// holds writeMu. A snapshot that fails integrity checking — wrapper or
+// body JSON, CRC, content fingerprint — is treated as absent: recovery
+// degrades to replaying the full log from an empty database, the
+// WALErrors counter fires, and anything the log no longer covers
+// (records compacted into the bad snapshot) is lost rather than
+// silently wrong. When a log record cannot apply without the lost
+// snapshot state (a delta into a relation only the snapshot defined),
+// the collection is abandoned — left unregistered with its log position
+// preserved, so the daemon starts, reports the damage through
+// WALErrors, and a fresh upload reseeds durability — instead of the
+// whole daemon failing to boot over one bad file.
 func (s *Server) recoverCollection(name, dir string) error {
 	var snap walSnapshot
-	haveSnap := false
+	haveSnap, snapCorrupt := false, false
 	raw, err := os.ReadFile(filepath.Join(dir, "snapshot.json"))
 	switch {
 	case err == nil:
-		if err := json.Unmarshal(raw, &snap); err != nil {
-			return fmt.Errorf("snapshot: %w", err)
+		parsed, perr := parseSnapshotFile(raw)
+		if perr != nil {
+			s.stats.walError()
+			snapCorrupt = true
+		} else {
+			snap = parsed
+			haveSnap = true
 		}
-		if snap.DB == nil {
-			return fmt.Errorf("snapshot: missing database")
-		}
-		if fp := snap.DB.Fingerprint(); fp != snap.Fingerprint {
-			return fmt.Errorf("snapshot integrity: fingerprint %s, recorded %s", fp, snap.Fingerprint)
-		}
-		haveSnap = true
 	case os.IsNotExist(err):
 		// A crash between directory creation and the first snapshot
-		// write: recover from the log alone (deltas carry schemas for
-		// relations they create).
+		// write: recover from the log alone.
 	default:
 		return err
 	}
@@ -132,6 +163,7 @@ func (s *Server) recoverCollection(name, dir string) error {
 	}
 	seq := snap.Seq
 	replayed := 0
+	abandoned := false
 	for _, rec := range recs {
 		if rec.Seq <= snap.Seq {
 			// The record predates the snapshot — the crash hit the
@@ -139,17 +171,29 @@ func (s *Server) recoverCollection(name, dir string) error {
 			// snapshot already contains its effect.
 			continue
 		}
-		res, err := db.ApplyDelta(rec.Delta)
-		if err != nil {
-			w.Close()
-			return fmt.Errorf("replaying record %d: %w", rec.Seq, err)
+		if !abandoned {
+			res, err := db.ApplyDelta(rec.Delta)
+			if err != nil {
+				if !snapCorrupt {
+					w.Close()
+					return fmt.Errorf("replaying record %d: %w", rec.Seq, err)
+				}
+				// The record needs state the corrupt snapshot held; the
+				// content is unrecoverable from this directory.
+				s.stats.walError()
+				abandoned = true
+			} else {
+				db = res.DB
+				replayed++
+			}
 		}
-		db = res.DB
+		// Track the log position even past an abandonment, so the next
+		// seeding appends after the old records instead of colliding
+		// with them.
 		seq = rec.Seq
-		replayed++
 	}
 	w.Advance(seq)
-	if haveSnap || replayed > 0 {
+	if !abandoned && (haveSnap || replayed > 0) {
 		s.mu.Lock()
 		old := s.colls[name]
 		c := s.newCollection(name, 1, db.Fingerprint(), db)
@@ -158,10 +202,41 @@ func (s *Server) recoverCollection(name, dir string) error {
 		s.unpin(old)
 	}
 	s.walMu.Lock()
-	s.wals[name] = &collWAL{dir: dir, w: w, seq: seq, needSeed: !haveSnap && replayed == 0}
+	s.wals[name] = &collWAL{dir: dir, w: w, seq: seq,
+		needSeed: abandoned || (!haveSnap && replayed == 0)}
 	s.walMu.Unlock()
-	s.stats.walReplay(replayed)
+	if abandoned {
+		s.stats.walReplay(0)
+	} else {
+		s.stats.walReplay(replayed)
+	}
 	return nil
+}
+
+// parseSnapshotFile validates and decodes one snapshot.json: CRC over
+// the exact body bytes, then the body's own fingerprint check.
+func parseSnapshotFile(raw []byte) (walSnapshot, error) {
+	var file walSnapshotFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return walSnapshot{}, fmt.Errorf("snapshot: %w", err)
+	}
+	if len(file.Snapshot) == 0 {
+		return walSnapshot{}, fmt.Errorf("snapshot: missing body")
+	}
+	if sum := crc32.ChecksumIEEE(file.Snapshot); sum != file.CRC {
+		return walSnapshot{}, fmt.Errorf("snapshot integrity: CRC %08x, recorded %08x", sum, file.CRC)
+	}
+	var snap walSnapshot
+	if err := json.Unmarshal(file.Snapshot, &snap); err != nil {
+		return walSnapshot{}, fmt.Errorf("snapshot body: %w", err)
+	}
+	if snap.DB == nil {
+		return walSnapshot{}, fmt.Errorf("snapshot: missing database")
+	}
+	if fp := snap.DB.Fingerprint(); fp != snap.Fingerprint {
+		return walSnapshot{}, fmt.Errorf("snapshot integrity: fingerprint %s, recorded %s", fp, snap.Fingerprint)
+	}
+	return snap, nil
 }
 
 // walHooks returns the configured fault-injection hooks (nil when
@@ -227,9 +302,14 @@ func (s *Server) persistSnapshot(cw *collWAL, fp string, db *relation.Database) 
 	return nil
 }
 
-// writeSnapshotFile writes snapshot.json atomically into dir.
+// writeSnapshotFile writes snapshot.json atomically into dir, wrapping
+// the body with its CRC (see walSnapshotFile).
 func writeSnapshotFile(dir string, snap walSnapshot) error {
-	raw, err := json.Marshal(snap)
+	body, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(walSnapshotFile{CRC: crc32.ChecksumIEEE(body), Snapshot: body})
 	if err != nil {
 		return err
 	}
@@ -330,16 +410,98 @@ func (s *Server) Close() error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	s.walMu.Lock()
+	cfg := s.walCfg
 	wals := s.wals
 	s.wals = make(map[string]*collWAL)
 	s.walMu.Unlock()
 	var first error
+	if cfg != nil {
+		if err := s.cost.saveTo(filepath.Join(cfg.Dir, costModelFile)); err != nil {
+			s.stats.walError()
+			first = err
+		}
+	}
 	for _, cw := range wals {
 		if err := cw.w.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// WALStream is one replication catch-up reply (the WALStreamer
+// extension, GET /v1/collections/{name}/wal?since=N). To apply it, a
+// follower installs Snapshot when present (a full state transfer),
+// then applies Records in order; it is then at Seq, and its content
+// fingerprint must equal Fingerprint — the consistency check the
+// cluster router enforces on every sync. A reply with neither snapshot
+// nor records means the follower was already current.
+type WALStream struct {
+	Collection  string               `json:"collection"`
+	Version     uint64               `json:"version"`
+	Fingerprint string               `json:"fingerprint"`
+	Seq         uint64               `json:"seq"`
+	Snapshot    *relation.Database   `json:"snapshot,omitempty"`
+	Records     []relation.WALRecord `json:"records,omitempty"`
+}
+
+// costModelFile is the cost model's persistence file, beside the
+// per-collection WAL directories.
+const costModelFile = "cost.json"
+
+// WALStream hands out one collection's replication stream: the delta
+// log records past since when the log still covers them, or a full
+// snapshot of the live database when they are gone (compacted away,
+// follower ahead of the primary after a reset, durability off). The
+// reply describes the exact state applying it reaches — Version and the
+// content Fingerprint of the live collection, and the Seq a follower
+// should resume from — so the PR 5 fingerprint doubles as a free
+// replica-consistency check: a follower that applies the stream and
+// computes a different fingerprint has diverged, full stop.
+//
+// The read runs under writeMu, the same lock every append and
+// compaction holds, so the log suffix and the live state are one
+// consistent cut; the stream is a bounded read (the compaction
+// threshold caps log size), not a tail — followers poll.
+func (s *Server) WALStream(_ context.Context, name string, since uint64) (*WALStream, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.RLock()
+	c := s.colls[name]
+	s.mu.RUnlock()
+	if c == nil {
+		return nil, &NotFoundError{What: "collection", Name: name}
+	}
+	out := &WALStream{Collection: name, Version: c.version, Fingerprint: c.fingerprint}
+	s.walMu.Lock()
+	cw := s.wals[name]
+	s.walMu.Unlock()
+	if cw == nil {
+		// Durability off: snapshot-only stream at seq 0. Followers
+		// re-transfer full state whenever fingerprints diverge.
+		out.Snapshot = c.db
+		return out, nil
+	}
+	out.Seq = cw.seq
+	if since == cw.seq {
+		return out, nil // up to date: header only
+	}
+	if since < cw.seq {
+		recs, err := relation.ReadWALSince(filepath.Join(cw.dir, "deltas.wal"), since)
+		if err == nil && streamCovers(recs, since, cw.seq) {
+			out.Records = recs
+			return out, nil
+		}
+	}
+	out.Snapshot = c.db
+	return out, nil
+}
+
+// streamCovers reports whether recs is the gapless suffix (since, upto]:
+// seqs are dense within one log generation, so coverage is exactly
+// "starts right after since, ends at upto".
+func streamCovers(recs []relation.WALRecord, since, upto uint64) bool {
+	return len(recs) > 0 && recs[0].Seq == since+1 && recs[len(recs)-1].Seq == upto
 }
 
 // walTotals sums live log sizes and fsync rounds for Stats.

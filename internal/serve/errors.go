@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// The wire-stable error taxonomy. Every error a Service implementation
+// returns maps to exactly one code; the HTTP layer serializes the code
+// (and the retryable bit and any Retry-After) alongside the legacy
+// "error" message, and the Client rebuilds a typed error from it — so a
+// coordinator hop loses nothing: the router sees the same code the
+// origin daemon classified, re-emits the same status and Retry-After,
+// and errors.As/errors.Is work identically one hop or two away from the
+// solve. Codes are part of the wire contract (docs/serving.md) and must
+// never be renamed.
+const (
+	CodeBadRequest  = "bad_request" // client fault: malformed spec, unknown op (400)
+	CodeNotFound    = "not_found"   // missing collection or route (404)
+	CodeOverloaded  = "overloaded"  // shed by admission control; retry after Retry-After (429)
+	CodeUnavailable = "unavailable" // durability or dependency unavailable (503)
+	CodeTimeout     = "timeout"     // solve deadline exceeded (504)
+	CodeCanceled    = "canceled"    // caller went away (499)
+	CodeTooLarge    = "too_large"   // request body over the size bound (413)
+	CodeInternal    = "internal"    // unclassified server fault (500)
+)
+
+// ErrorCode classifies any error from a Service call into the taxonomy.
+// A *Client error (APIError) keeps the code the origin server assigned;
+// local typed errors classify by type, mirroring writeError's historical
+// status mapping exactly.
+func ErrorCode(err error) string {
+	var apiErr *APIError
+	var reqErr *RequestError
+	var nfErr *NotFoundError
+	var ovErr *OverloadError
+	var unErr *UnavailableError
+	var tooBig *http.MaxBytesError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &apiErr):
+		return apiErr.code()
+	case errors.As(err, &tooBig):
+		return CodeTooLarge
+	case errors.As(err, &reqErr):
+		return CodeBadRequest
+	case errors.As(err, &nfErr):
+		return CodeNotFound
+	case errors.As(err, &ovErr):
+		return CodeOverloaded
+	case errors.As(err, &unErr):
+		return CodeUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	}
+	return CodeInternal
+}
+
+// Retryable reports whether an error with the given code could succeed
+// on retry — on the same node later (overloaded, unavailable) or on
+// another replica right now (internal: the fault may be node-local).
+// Client faults, timeouts (the deadline travels with the request — a
+// replica would time out too), and cancellations are not retryable.
+func Retryable(code string) bool {
+	switch code {
+	case CodeOverloaded, CodeUnavailable, CodeInternal:
+		return true
+	}
+	return false
+}
+
+// RetryableError reports whether err itself is worth retrying or
+// failing over; see Retryable.
+func RetryableError(err error) bool { return Retryable(ErrorCode(err)) }
+
+// statusForCode maps a taxonomy code to its HTTP status.
+func statusForCode(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return 499 // client closed request (de-facto convention)
+	case CodeTooLarge:
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusInternalServerError
+}
+
+// codeForStatus recovers a taxonomy code from a bare HTTP status — the
+// fallback when a reply carries no "code" field (an old server, a proxy
+// in the path).
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusTooManyRequests:
+		return CodeOverloaded
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	case http.StatusGatewayTimeout:
+		return CodeTimeout
+	case 499:
+		return CodeCanceled
+	case http.StatusRequestEntityTooLarge:
+		return CodeTooLarge
+	}
+	return CodeInternal
+}
+
+// errorBody is the JSON error shape every status ≥ 400 carries: the
+// legacy "error" message plus the taxonomy fields clients and
+// coordinators route on.
+type errorBody struct {
+	Error        string `json:"error"`
+	Code         string `json:"code,omitempty"`
+	Retryable    bool   `json:"retryable,omitempty"`
+	RetryAfterMS int64  `json:"retryAfterMs,omitempty"`
+}
+
+// retryAfterOf extracts the Retry-After an error carries (sheds do).
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	var ovErr *OverloadError
+	if errors.As(err, &ovErr) {
+		return ovErr.RetryAfter
+	}
+	return 0
+}

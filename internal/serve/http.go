@@ -1,9 +1,7 @@
 package serve
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"net/http"
 	"strconv"
 	"time"
@@ -11,42 +9,174 @@ import (
 	"repro/internal/relation"
 )
 
-// Handler returns the JSON-over-HTTP front end documented in
-// docs/serving.md:
+// Handler returns the daemon's JSON-over-HTTP front end: NewHandler over
+// the server's own Service. See NewHandler for the routes.
+func (s *Server) Handler() http.Handler {
+	return NewHandler(s.Service())
+}
+
+// NewHandler builds the JSON-over-HTTP front end documented in
+// docs/serving.md for any Service — the in-process daemon and the
+// cluster router serve byte-identical wire formats because they serve
+// through this one function:
 //
 //	POST   /v1/solve              solve a problem (body: Request)
 //	POST   /v1/batch              solve a batch over one collection (body: BatchRequest)
 //	GET    /v1/stats              service counters (Stats)
-//	GET    /metrics               the same counters in Prometheus text format
+//	GET    /metrics               Prometheus text format (services implementing MetricsRenderer)
 //	GET    /v1/collections        list collections
 //	GET    /v1/collections/{name} one collection's description
 //	PUT    /v1/collections/{name} load or swap a collection (body: database JSON)
 //	POST   /v1/collections/{name}/delta  apply an incremental mutation (body: relation.Delta)
+//	GET    /v1/collections/{name}/wal    replication stream (services implementing WALStreamer)
 //	DELETE /v1/collections/{name} drop a collection
 //	DELETE /v1/cache              flush the result cache
 //	GET    /healthz               liveness probe
 //
-// Errors are JSON objects {"error": "..."} with status 400 (malformed
-// request), 404 (unknown collection or route), 429 (shed by admission
-// control, with a Retry-After header in whole seconds), 503 (durability
-// unavailable — e.g. a delta whose WAL append failed), 504 (solve
-// deadline exceeded) or 500 (internal failure).
-func (s *Server) Handler() http.Handler {
+// Errors are JSON objects {"error", "code", "retryable", "retryAfterMs"}
+// carrying the wire taxonomy (see errors.go): status 400 bad_request,
+// 404 not_found, 413 too_large, 429 overloaded (with a Retry-After
+// header in whole seconds), 503 unavailable, 504 timeout, 499 canceled,
+// 500 internal. The legacy "error" message field is always present.
+func NewHandler(svc Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, &RequestError{Err: err})
+			return
+		}
+		resp, err := svc.Solve(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	// Batch item failures are part of a 200 response (each item carries
+	// its own result or error); only a malformed body or an unknown
+	// collection fails the batch as a whole.
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var breq BatchRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&breq); err != nil {
+			writeError(w, &RequestError{Err: err})
+			return
+		}
+		resp, err := svc.SolveBatch(r.Context(), breq)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	// Observability routes answer from counters, never the solve pool, so
 	// they stay responsive during overload — the regression tests pin
 	// exactly that.
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/collections", s.handleListCollections)
-	mux.HandleFunc("GET /v1/collections/{name}", s.handleGetCollection)
-	mux.HandleFunc("PUT /v1/collections/{name}", s.handlePutCollection)
-	mux.HandleFunc("POST /v1/collections/{name}/delta", s.handleDeltaCollection)
-	mux.HandleFunc("DELETE /v1/collections/{name}", s.handleDeleteCollection)
-	mux.HandleFunc("DELETE /v1/cache", s.handleFlushCache)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.Stats(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	if mr, ok := svc.(MetricsRenderer); ok {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(mr.RenderMetrics()))
+		})
+	}
+	mux.HandleFunc("GET /v1/collections", func(w http.ResponseWriter, r *http.Request) {
+		infos, err := svc.Collections(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("GET /v1/collections/{name}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := svc.GetCollection(r.Context(), r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("PUT /v1/collections/{name}", func(w http.ResponseWriter, r *http.Request) {
+		db := relation.NewDatabase()
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(db); err != nil {
+			writeError(w, &RequestError{Err: err})
+			return
+		}
+		info, err := svc.PutCollection(r.Context(), r.PathValue("name"), db)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	// Deltas mutate a live collection in place: readers keep solving
+	// against their pinned snapshot while the new version installs, and
+	// cached results over unaffected relations stay warm.
+	mux.HandleFunc("POST /v1/collections/{name}/delta", func(w http.ResponseWriter, r *http.Request) {
+		var delta relation.Delta
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&delta); err != nil {
+			writeError(w, &RequestError{Err: err})
+			return
+		}
+		info, err := svc.ApplyDelta(r.Context(), r.PathValue("name"), delta)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	if ws, ok := svc.(WALStreamer); ok {
+		mux.HandleFunc("GET /v1/collections/{name}/wal", func(w http.ResponseWriter, r *http.Request) {
+			var since uint64
+			if q := r.URL.Query().Get("since"); q != "" {
+				v, err := strconv.ParseUint(q, 10, 64)
+				if err != nil {
+					writeError(w, &RequestError{Err: err})
+					return
+				}
+				since = v
+			}
+			stream, err := ws.WALStream(r.Context(), r.PathValue("name"), since)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, stream)
+		})
+	}
+	mux.HandleFunc("DELETE /v1/collections/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if err := svc.RemoveCollection(r.Context(), name); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+	})
+	mux.HandleFunc("DELETE /v1/cache", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.FlushCache(r.Context()); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.Health(r.Context()); err != nil {
+			writeError(w, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	// Unmatched routes get the documented JSON error shape instead of
@@ -63,104 +193,6 @@ func (s *Server) Handler() http.Handler {
 // memory. Oversized requests get a 413.
 const maxBodyBytes = 64 << 20
 
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	var req Request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, &RequestError{Err: err})
-		return
-	}
-	resp, err := s.Solve(r.Context(), req)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// handleBatch serves POST /v1/batch. Item failures are part of a 200
-// response (each item carries its own result or error); only a malformed
-// body or an unknown collection fails the batch as a whole.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var breq BatchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&breq); err != nil {
-		writeError(w, &RequestError{Err: err})
-		return
-	}
-	resp, err := s.SolveBatch(r.Context(), breq)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
-}
-
-func (s *Server) handleListCollections(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Collections())
-}
-
-func (s *Server) handleGetCollection(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	info, ok := s.Collection(name)
-	if !ok {
-		writeError(w, &NotFoundError{What: "collection", Name: name})
-		return
-	}
-	writeJSON(w, http.StatusOK, info)
-}
-
-func (s *Server) handlePutCollection(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	db := relation.NewDatabase()
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(db); err != nil {
-		writeError(w, &RequestError{Err: err})
-		return
-	}
-	writeJSON(w, http.StatusOK, s.SetCollection(name, db))
-}
-
-// handleDeltaCollection serves POST /v1/collections/{name}/delta: an
-// incremental mutation of a live collection. Readers keep solving against
-// their pinned snapshot while the new version installs; cached results and
-// prepared problems over unaffected relations stay warm.
-func (s *Server) handleDeltaCollection(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	var delta relation.Delta
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&delta); err != nil {
-		writeError(w, &RequestError{Err: err})
-		return
-	}
-	info, err := s.MutateCollection(name, delta)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, info)
-}
-
-func (s *Server) handleDeleteCollection(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	if !s.RemoveCollection(name) {
-		writeError(w, &NotFoundError{What: "collection", Name: name})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
-}
-
-func (s *Server) handleFlushCache(w http.ResponseWriter, r *http.Request) {
-	s.FlushCache()
-	writeJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -169,32 +201,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError serializes an error in the wire taxonomy: status and code
+// from ErrorCode's classification, the retryable bit, and — for sheds —
+// both the Retry-After header (whole seconds, the HTTP convention) and
+// retryAfterMs in the body (full precision). An *APIError passes
+// through with the code and Retry-After the origin server assigned, so
+// a coordinator re-emitting a node's error loses nothing.
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	var reqErr *RequestError
-	var nfErr *NotFoundError
-	var ovErr *OverloadError
-	var unErr *UnavailableError
-	var tooBig *http.MaxBytesError
-	switch {
-	case errors.As(err, &tooBig):
-		status = http.StatusRequestEntityTooLarge
-	case errors.As(err, &reqErr):
-		status = http.StatusBadRequest
-	case errors.As(err, &nfErr):
-		status = http.StatusNotFound
-	case errors.As(err, &ovErr):
-		// Shed by admission control; Retry-After is derived from the
-		// predicted queue drain (whole seconds, at least 1).
-		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", strconv.FormatInt(int64(ovErr.RetryAfter/time.Second), 10))
-	case errors.As(err, &unErr):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		// The client went away; 499 is the de-facto convention.
-		status = 499
+	code := ErrorCode(err)
+	body := errorBody{Error: err.Error(), Code: code, Retryable: Retryable(code)}
+	if ra := retryAfterOf(err); ra > 0 {
+		body.RetryAfterMS = int64(ra / time.Millisecond)
+		secs := int64(ra / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, statusForCode(code), body)
 }

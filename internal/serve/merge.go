@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// MergeShardResults merges the per-shard partial Results of one logical
+// request — exactly one partial from each shard of a full partition,
+// any order — into the Result a single whole-space solve of the same
+// request returns. The merge is wire-level: packages arrive as JSON
+// tuples, and core.NewPackage rebuilds their canonical keys from those
+// tuples alone, so the coordinator reproduces the engine's deterministic
+// top-k order (descending rating, ties by ascending key —
+// core.WorseScoredKeyed) without any collection data. Ratings survive
+// the hop bitwise: the engine's incremental scores are bitwise-equal to
+// Val.Eval by the stepper contract, and Go's JSON round-trips float64
+// exactly — which is what makes the merged Result byte-identical to the
+// single-node answer, the property the fleet tests pin.
+//
+// k is the request's Spec.K. Shapes per op (mirroring solveOp):
+// topk returns the merged top-k selection (OK false, no packages, when
+// fewer than k exist globally); maxbound returns the minimum rating of
+// that selection; count sums the shard counts; exists compares the
+// summed capped counts against k. The returned Result is a fresh value
+// with Partial unset.
+func MergeShardResults(op string, k int, parts []*Result) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("serve: no shard partials to merge")
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("serve: shard partial %d is nil", i)
+		}
+		if !p.Partial {
+			return nil, fmt.Errorf("serve: shard result %d is not a partial", i)
+		}
+		if p.Op != op {
+			return nil, fmt.Errorf("serve: shard partial %d is op %q, want %q", i, p.Op, op)
+		}
+	}
+	res := &Result{Op: op}
+	switch op {
+	case OpTopK, OpMaxBound:
+		merged, ok, err := mergeScored(k, parts)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = ok
+		if !ok {
+			return res, nil
+		}
+		if op == OpTopK {
+			res.Packages = merged
+			return res, nil
+		}
+		bound := math.Inf(1)
+		for _, pr := range merged {
+			bound = math.Min(bound, pr.Val)
+		}
+		res.Bound = &bound
+	case OpCount:
+		var total int64
+		for i, p := range parts {
+			if p.Count == nil {
+				return nil, fmt.Errorf("serve: count partial %d carries no count", i)
+			}
+			total += *p.Count
+		}
+		res.OK = true
+		res.Count = &total
+	case OpExists:
+		capped := make([]int64, len(parts))
+		for i, p := range parts {
+			if p.Count == nil {
+				return nil, fmt.Errorf("serve: exists partial %d carries no capped count", i)
+			}
+			capped[i] = *p.Count
+		}
+		res.OK = core.MergeExistsPartials(k, capped)
+	default:
+		return nil, fmt.Errorf("serve: op %q cannot be merged from shards", op)
+	}
+	return res, nil
+}
+
+// mergeScored concatenates the shard partials' scored packages, orders
+// them under the engine's total order, and takes the top k. The wire
+// PackageResult values are kept verbatim — Val/Cost already bitwise
+// match the single-node serialization — and the canonical keys needed
+// for tie-breaking are rebuilt from the tuples.
+func mergeScored(k int, parts []*Result) ([]PackageResult, bool, error) {
+	type keyed struct {
+		pr  PackageResult
+		key string
+	}
+	var all []keyed
+	for i, p := range parts {
+		for j, pr := range p.Packages {
+			pkgs, err := decodeSelection([][][]any{pr.Tuples})
+			if err != nil {
+				return nil, false, fmt.Errorf("serve: shard partial %d package %d: %w", i, j, err)
+			}
+			all = append(all, keyed{pr: pr, key: pkgs[0].Key()})
+		}
+	}
+	if len(all) < k {
+		return nil, false, nil
+	}
+	// Best-first under the engine's strict total order: the merged
+	// prefix is unique however the partials arrived.
+	sort.Slice(all, func(i, j int) bool {
+		return core.WorseScoredKeyed(all[j].pr.Val, all[j].key, all[i].pr.Val, all[i].key)
+	})
+	out := make([]PackageResult, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].pr
+	}
+	return out, true, nil
+}

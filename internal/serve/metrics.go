@@ -3,7 +3,6 @@ package serve
 import (
 	"fmt"
 	"math"
-	"net/http"
 	"sort"
 	"strconv"
 	"strings"
@@ -58,14 +57,8 @@ var solveLatencyBuckets = []float64{
 // around 1.0 means the cost model prices solves accurately.
 var costRatioBuckets = []float64{0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 4, 8, 16}
 
-// handleMetrics serves GET /metrics.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(s.renderMetrics()))
-}
-
-// renderMetrics builds the full exposition text.
+// renderMetrics builds the full exposition text; NewHandler serves it
+// at GET /metrics through the MetricsRenderer extension.
 func (s *Server) renderMetrics() string {
 	st := s.Stats()
 	solve, ratio := s.stats.histograms()

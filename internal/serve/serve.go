@@ -51,6 +51,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -555,6 +556,14 @@ func (s *Server) validateRequest(coll *collection, req Request) (validated, erro
 		return validated{}, err
 	}
 	req.Backend = backend
+	prio, err := normalizePriority(req.Priority)
+	if err != nil {
+		return validated{}, err
+	}
+	req.Priority = prio
+	if err := validateShard(req); err != nil {
+		return validated{}, err
+	}
 	s.stats.op(op)
 	var sel []core.Package
 	if op == OpDecide {
@@ -581,6 +590,42 @@ func (s *Server) validateRequest(coll *collection, req Request) (validated, erro
 	v.keyRest = requestKeyRest(req, sel, canon)
 	v.key = sealCacheKey(coll.name, v.relFP, v.keyRest)
 	return v, nil
+}
+
+// validateShard checks the shard fields' applicability: a well-formed
+// ShardSpec, on a shardable operation (the four whole-space package
+// walks — decide/relax/relaxplan/adjust are search loops whose partials
+// do not merge associatively), on the branch-and-bound backend (the
+// shard is a set of engine subtree roots; the PB compilation has no
+// such decomposition), with a finite FloorHint only where a pruning
+// floor exists (topk/maxbound).
+func validateShard(req Request) error {
+	if req.Shard == nil {
+		if req.FloorHint != nil {
+			return &RequestError{Err: fmt.Errorf("floorHint requires a shard")}
+		}
+		return nil
+	}
+	if err := req.Shard.Validate(); err != nil {
+		return &RequestError{Err: err}
+	}
+	switch req.Op {
+	case OpTopK, OpMaxBound, OpCount, OpExists:
+	default:
+		return &RequestError{Err: fmt.Errorf("op %q cannot be sharded", req.Op)}
+	}
+	if req.Backend != BackendBB {
+		return &RequestError{Err: fmt.Errorf("backend %q cannot be sharded", req.Backend)}
+	}
+	if req.FloorHint != nil {
+		if req.Op != OpTopK && req.Op != OpMaxBound {
+			return &RequestError{Err: fmt.Errorf("floorHint applies to ops %q and %q only", OpTopK, OpMaxBound)}
+		}
+		if math.IsNaN(*req.FloorHint) || math.IsInf(*req.FloorHint, 0) {
+			return &RequestError{Err: fmt.Errorf("floorHint must be finite")}
+		}
+	}
+	return nil
 }
 
 // relaxDepsPrecise reports whether every relaxation point a relax request
@@ -727,11 +772,12 @@ func (s *Server) cacheLookup(coll *collection, v validated) (*Result, bool) {
 
 func (s *Server) respond(res *Result, coll *collection, cached bool, start time.Time) *Response {
 	return &Response{
-		Result:     *res,
-		Collection: coll.name,
-		Version:    coll.version,
-		Cached:     cached,
-		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Result:      *res,
+		Collection:  coll.name,
+		Version:     coll.version,
+		Fingerprint: coll.fingerprint,
+		Cached:      cached,
+		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
 	}
 }
 
@@ -757,7 +803,7 @@ func flightKey(key string, noCache bool) string {
 func (s *Server) admitSolve(ctx context.Context, tenant string, v validated) (func(), error) {
 	pred := s.cost.predict(costFamily(v))
 	cheap := pred <= s.opts.CheapThreshold
-	if err := s.admit.acquire(ctx, tenant, pred, cheap); err != nil {
+	if err := s.admit.acquire(ctx, tenant, pred, cheap, priorityClass(v.req.Priority)); err != nil {
 		return nil, err
 	}
 	return func() { s.admit.release(pred) }, nil
@@ -869,6 +915,9 @@ func (s *Server) runSolveOn(ctx context.Context, sp *preparedProblem, v validate
 // the choice of RPP witness can vary, and any returned witness is genuine).
 // The problem is shared (read-only, after Prepare) across solves.
 func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, sel []core.Package) (*Result, error) {
+	if req.Shard != nil {
+		return s.solveShardOp(ctx, prob, req)
+	}
 	workers := s.workers(req)
 	res := &Result{Op: req.Op}
 	var metaSel []core.Package // the selection repair metadata describes
@@ -985,6 +1034,57 @@ func (s *Server) solveOp(ctx context.Context, prob *core.Problem, req Request, s
 		return nil, &RequestError{Err: fmt.Errorf("unknown op %q", req.Op)}
 	}
 	res.repair = buildRepairMeta(prob, req, metaSel, res)
+	return res, nil
+}
+
+// solveShardOp executes a sharded operation (validateShard admitted it):
+// the engine walks only the candidate subtrees the request's shard owns
+// and the Result comes back Partial, carrying the shard's contribution
+// in the shapes MergeShardResults consumes. Partials skip repair
+// metadata — the repair proofs are whole-space arguments, so a delta to
+// a dependency simply purges them — but they do cache and coalesce like
+// any other result, keyed by their shard spec.
+func (s *Server) solveShardOp(ctx context.Context, prob *core.Problem, req Request) (*Result, error) {
+	workers := s.workers(req)
+	shard := *req.Shard
+	res := &Result{Op: req.Op, Partial: true}
+	switch req.Op {
+	case OpTopK, OpMaxBound:
+		hint := math.Inf(-1)
+		if req.FloorHint != nil {
+			hint = *req.FloorHint
+		}
+		part, err := prob.FindTopKShardCtx(ctx, shard, hint, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = true
+		for _, sp := range part.Scored {
+			res.Packages = append(res.Packages, packageResult(prob, sp.Pkg))
+		}
+		// JSON cannot carry ±Inf; an absent floor means "no pruning floor
+		// was established", which only ever happens when the shard never
+		// filled a k-buffer.
+		if f := part.Floor; !math.IsInf(f, 0) && !math.IsNaN(f) {
+			res.ShardFloor = &f
+		}
+	case OpCount:
+		n, err := prob.CountValidShardCtx(ctx, req.Spec.Bound, shard, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = true
+		res.Count = &n
+	case OpExists:
+		n, err := prob.ExistsCountShardCtx(ctx, prob.K, req.Spec.Bound, shard, workers)
+		if err != nil {
+			return nil, err
+		}
+		res.OK = true
+		res.Count = &n
+	default:
+		return nil, &RequestError{Err: fmt.Errorf("op %q cannot be sharded", req.Op)}
+	}
 	return res, nil
 }
 
@@ -1143,6 +1243,15 @@ func requestKeyRest(req Request, sel []core.Package, canon string) string {
 		}
 		if req.Extra != nil {
 			fmt.Fprintf(&b, "|extra=%s", req.Extra.Fingerprint())
+		}
+	}
+	// A shard partial answers a different (sub-)question than the whole
+	// solve, and a floor hint changes which packages the partial reports,
+	// so both are part of the result's identity.
+	if req.Shard != nil {
+		fmt.Fprintf(&b, "|shard=%d/%d", req.Shard.Index, req.Shard.Count)
+		if req.FloorHint != nil {
+			fmt.Fprintf(&b, "|floor=%s", spec.CanonFloat(*req.FloorHint))
 		}
 	}
 	return b.String()

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"context"
+
+	"repro/internal/relation"
+)
+
+// Service is the transport-agnostic face of a package-recommendation
+// service: everything docs/serving.md documents over HTTP, as one Go
+// interface. Three implementations exist and are deliberately
+// interchangeable — the in-process daemon ((*Server).Service()), the
+// HTTP client (*Client), and the cluster router (internal/cluster.
+// *Router) — so a caller, a test, or the router's own fan-out path can
+// swap a local server for a remote fleet without changing a line.
+// NewHandler turns any Service back into the HTTP front end, which is
+// how both pkgrecd and pkgrecr serve: the daemon wraps its local
+// service, the router wraps its fan-out one, and the wire format is
+// identical by construction.
+//
+// Error contract: implementations return the typed errors of the wire
+// taxonomy (errors.go) — *RequestError, *NotFoundError, *OverloadError,
+// *UnavailableError, context errors — or an *APIError carrying the same
+// code over a transport hop. ErrorCode/RetryableError classify either
+// form, so callers never care how many hops an error crossed.
+type Service interface {
+	// Solve answers one request (POST /v1/solve).
+	Solve(ctx context.Context, req Request) (*Response, error)
+	// SolveBatch answers a batch over one collection (POST /v1/batch).
+	SolveBatch(ctx context.Context, breq BatchRequest) (*BatchResponse, error)
+	// PutCollection loads or swaps a collection (PUT /v1/collections/{name}).
+	PutCollection(ctx context.Context, name string, db *relation.Database) (CollectionInfo, error)
+	// ApplyDelta mutates a collection in place (POST /v1/collections/{name}/delta).
+	ApplyDelta(ctx context.Context, name string, delta relation.Delta) (DeltaInfo, error)
+	// GetCollection describes one collection (GET /v1/collections/{name}).
+	GetCollection(ctx context.Context, name string) (CollectionInfo, error)
+	// RemoveCollection drops a collection (DELETE /v1/collections/{name}).
+	RemoveCollection(ctx context.Context, name string) error
+	// Collections lists the registered collections (GET /v1/collections).
+	Collections(ctx context.Context) ([]CollectionInfo, error)
+	// Stats snapshots the service counters (GET /v1/stats).
+	Stats(ctx context.Context) (*Stats, error)
+	// FlushCache drops the result cache (DELETE /v1/cache).
+	FlushCache(ctx context.Context) error
+	// Health is the liveness probe (GET /healthz).
+	Health(ctx context.Context) error
+}
+
+// MetricsRenderer is the optional Service extension for Prometheus
+// exposition: NewHandler registers GET /metrics when the service
+// implements it.
+type MetricsRenderer interface {
+	RenderMetrics() string
+}
+
+// WALStreamer is the optional Service extension for WAL-stream
+// replication (GET /v1/collections/{name}/wal?since=N): a durability
+// owner hands out its delta log suffix — or a full snapshot when the
+// suffix is gone — so a replica can catch up; see (*Server).WALStream.
+// The cluster router consumes it and does not re-export it.
+type WALStreamer interface {
+	WALStream(ctx context.Context, name string, since uint64) (*WALStream, error)
+}
+
+// The HTTP client is a Service: calling through it is calling the
+// remote daemon.
+var _ Service = (*Client)(nil)
+
+// localService adapts *Server to Service: the server's own methods are
+// synchronous and (mostly) infallible, so the adapter supplies the
+// ctx-first, error-returning shape the interface standardizes on.
+type localService struct{ s *Server }
+
+// Service returns the server as a transport-agnostic Service — the
+// in-process twin of the HTTP Client against this server's Handler.
+func (s *Server) Service() Service { return localService{s} }
+
+func (l localService) Solve(ctx context.Context, req Request) (*Response, error) {
+	return l.s.Solve(ctx, req)
+}
+
+func (l localService) SolveBatch(ctx context.Context, breq BatchRequest) (*BatchResponse, error) {
+	return l.s.SolveBatch(ctx, breq)
+}
+
+func (l localService) PutCollection(_ context.Context, name string, db *relation.Database) (CollectionInfo, error) {
+	return l.s.SetCollection(name, db), nil
+}
+
+func (l localService) ApplyDelta(_ context.Context, name string, delta relation.Delta) (DeltaInfo, error) {
+	return l.s.MutateCollection(name, delta)
+}
+
+func (l localService) GetCollection(_ context.Context, name string) (CollectionInfo, error) {
+	info, ok := l.s.Collection(name)
+	if !ok {
+		return CollectionInfo{}, &NotFoundError{What: "collection", Name: name}
+	}
+	return info, nil
+}
+
+func (l localService) RemoveCollection(_ context.Context, name string) error {
+	if !l.s.RemoveCollection(name) {
+		return &NotFoundError{What: "collection", Name: name}
+	}
+	return nil
+}
+
+func (l localService) Collections(context.Context) ([]CollectionInfo, error) {
+	return l.s.Collections(), nil
+}
+
+func (l localService) Stats(context.Context) (*Stats, error) {
+	st := l.s.Stats()
+	return &st, nil
+}
+
+func (l localService) FlushCache(context.Context) error {
+	l.s.FlushCache()
+	return nil
+}
+
+func (l localService) Health(context.Context) error { return nil }
+
+func (l localService) RenderMetrics() string { return l.s.renderMetrics() }
+
+func (l localService) WALStream(ctx context.Context, name string, since uint64) (*WALStream, error) {
+	return l.s.WALStream(ctx, name, since)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/spec"
 )
@@ -102,6 +103,46 @@ type Request struct {
 	// NoCache bypasses the result cache (the request still coalesces with
 	// identical in-flight solves).
 	NoCache bool `json:"noCache,omitempty"`
+	// Priority is the admission class: "high" requests are scheduled
+	// ahead of their tenant's queue, "low" behind it, "normal" (or empty)
+	// in cost order. Like Workers it steers execution only — the answer
+	// is identical in every class, so priority is excluded from the cache
+	// key.
+	Priority string `json:"priority,omitempty"`
+	// Shard restricts the solve to one candidate-space shard for ops
+	// topk/maxbound/count/exists on the branch-and-bound backend: the
+	// engine walks only the subtree roots the shard owns and the Result
+	// comes back with Partial set, carrying this shard's contribution for
+	// a coordinator to merge (MergeShardResults). Shards partition the
+	// package space, so partials from all Count shards merge into exactly
+	// the single-node answer. Unlike the execution knobs it changes the
+	// (partial) answer and participates in the cache key.
+	Shard *core.ShardSpec `json:"shard,omitempty"`
+	// FloorHint seeds the shard's pruning floor (ops topk/maxbound with
+	// Shard set): the caller asserts k packages rated at least FloorHint
+	// exist globally — e.g. another shard's full partial proves it — so
+	// this shard may skip everything rated strictly below. Affects which
+	// packages the partial reports, so it participates in the cache key.
+	FloorHint *float64 `json:"floorHint,omitempty"`
+}
+
+// Admission classes for Request.Priority.
+const (
+	PriorityHigh   = "high"
+	PriorityNormal = "normal" // the default; equivalent to ""
+	PriorityLow    = "low"
+)
+
+// normalizePriority validates an admission class and folds the default
+// spelling: "" and "normal" are the same class.
+func normalizePriority(p string) (string, error) {
+	switch p {
+	case "", PriorityNormal:
+		return "", nil
+	case PriorityHigh, PriorityLow:
+		return p, nil
+	}
+	return "", &RequestError{Err: fmt.Errorf("unknown priority %q", p)}
 }
 
 // PackageResult is a package on the wire, with its rating and cost.
@@ -138,6 +179,18 @@ type Result struct {
 	// Delta and DeltaSize describe the minimal adjustment (op adjust).
 	Delta     []string `json:"delta,omitempty"`
 	DeltaSize *int     `json:"deltaSize,omitempty"`
+	// Partial marks a shard partial (Request.Shard): the fields above
+	// carry one shard's contribution, not the global answer, and OK means
+	// only that the shard walk succeeded. MergeShardResults combines the
+	// partials of all shards into the single-node Result. For ops topk
+	// and maxbound the partial's Packages are the shard's best min(k,
+	// population) packages; for count and exists, Count is the shard's
+	// (for exists: capped at k) qualifying-package count.
+	Partial bool `json:"partial,omitempty"`
+	// ShardFloor is the pruning floor a topk/maxbound shard walk finished
+	// at (-Inf when the shard never filled a k-buffer): a sound FloorHint
+	// for sibling shards still in flight.
+	ShardFloor *float64 `json:"shardFloor,omitempty"`
 
 	// repair carries the solve-time classification evidence the delta
 	// repair pipeline judges cached copies of this result by (see
@@ -159,13 +212,18 @@ type SuggestionResult struct {
 	Witness *PackageResult `json:"witness,omitempty"`
 }
 
-// Response wraps a Result with how this call was served.
+// Response wraps a Result with how this call was served. Version is the
+// answering node's mutation counter for the collection; Fingerprint is
+// the collection's content hash, which — unlike the per-node version —
+// identifies the content across a replicated fleet (the cluster router
+// uses it to detect shard partials that straddled a mutation).
 type Response struct {
 	Result
-	Collection string  `json:"collection"`
-	Version    uint64  `json:"version"`
-	Cached     bool    `json:"cached"`
-	ElapsedMS  float64 `json:"elapsedMs"`
+	Collection  string  `json:"collection"`
+	Version     uint64  `json:"version"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Cached      bool    `json:"cached"`
+	ElapsedMS   float64 `json:"elapsedMs"`
 }
 
 // DeltaInfo describes the outcome of a collection delta
